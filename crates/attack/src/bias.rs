@@ -1,0 +1,108 @@
+use awsad_linalg::Vector;
+
+use crate::{AttackWindow, SensorAttack};
+
+/// Additive bias attack: while active, the delivered measurement is
+/// `y_t + bias`.
+///
+/// This models the paper's bias scenario ("replaces sensor data with
+/// arbitrary values") as well as the testbed experiment, where a
+/// constant `+2.5 m/s` offset is injected into the speed sensor at the
+/// end of step 79. A zero entry in `bias` leaves that sensor dimension
+/// untouched, producing the partial-compromise case
+/// `0 < ‖e_t‖₀ < n` of the threat model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasAttack {
+    window: AttackWindow,
+    bias: Vector,
+}
+
+impl BiasAttack {
+    /// Creates a bias attack active in `window` adding `bias` to every
+    /// measurement.
+    pub fn new(window: AttackWindow, bias: Vector) -> Self {
+        BiasAttack { window, bias }
+    }
+
+    /// The configured bias vector.
+    pub fn bias(&self) -> &Vector {
+        &self.bias
+    }
+
+    /// The attack window.
+    pub fn window(&self) -> &AttackWindow {
+        &self.window
+    }
+}
+
+impl SensorAttack for BiasAttack {
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector {
+        assert_eq!(
+            y.len(),
+            self.bias.len(),
+            "bias dimension must match measurement dimension"
+        );
+        if self.window.contains(t) {
+            y + &self.bias
+        } else {
+            y.clone()
+        }
+    }
+
+    fn is_active(&self, t: usize) -> bool {
+        self.window.contains(t)
+    }
+
+    fn onset(&self) -> Option<usize> {
+        Some(self.window.start())
+    }
+
+    fn end(&self) -> Option<usize> {
+        self.window.end()
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "bias"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds_bias_only_inside_window() {
+        let mut atk = BiasAttack::new(AttackWindow::new(2, Some(2)), Vector::from_slice(&[1.0, -0.5]));
+        let y = Vector::from_slice(&[0.0, 0.0]);
+        assert_eq!(atk.tamper(1, &y), y);
+        assert_eq!(atk.tamper(2, &y).as_slice(), &[1.0, -0.5]);
+        assert_eq!(atk.tamper(3, &y).as_slice(), &[1.0, -0.5]);
+        assert_eq!(atk.tamper(4, &y), y);
+    }
+
+    #[test]
+    fn partial_compromise_leaves_zero_dims() {
+        let mut atk = BiasAttack::new(AttackWindow::from_step(0), Vector::from_slice(&[0.0, 3.0]));
+        let y = Vector::from_slice(&[7.0, 7.0]);
+        let tampered = atk.tamper(0, &y);
+        assert_eq!(tampered.as_slice(), &[7.0, 10.0]);
+    }
+
+    #[test]
+    fn metadata() {
+        let atk = BiasAttack::new(AttackWindow::new(5, None), Vector::zeros(1));
+        assert_eq!(atk.onset(), Some(5));
+        assert!(atk.is_active(5));
+        assert!(!atk.is_active(4));
+        assert_eq!(atk.name(), "bias");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn dimension_mismatch_panics() {
+        let mut atk = BiasAttack::new(AttackWindow::from_step(0), Vector::zeros(2));
+        atk.tamper(0, &Vector::zeros(3));
+    }
+}

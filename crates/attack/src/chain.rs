@@ -1,0 +1,193 @@
+use awsad_linalg::Vector;
+
+use crate::SensorAttack;
+
+/// Composition of several sensor attacks applied in sequence: the
+/// output of one stage feeds the next.
+///
+/// Real campaigns combine primitives — e.g. a delay that masks a
+/// concurrent bias, or a replay that hides a ramp already in progress.
+/// The chain's onset is the earliest member onset; it is active
+/// whenever any member is; its end is the latest member end (or
+/// open-ended if any member is).
+///
+/// # Example
+///
+/// ```
+/// use awsad_attack::{AttackWindow, BiasAttack, ChainedAttack, DelayAttack, SensorAttack};
+/// use awsad_linalg::Vector;
+///
+/// let chain = ChainedAttack::new(vec![
+///     Box::new(DelayAttack::new(AttackWindow::new(10, Some(20)), 3)),
+///     Box::new(BiasAttack::new(
+///         AttackWindow::new(15, Some(10)),
+///         Vector::from_slice(&[0.5]),
+///     )),
+/// ]);
+/// assert_eq!(chain.onset(), Some(10));
+/// assert_eq!(chain.end(), Some(30));
+/// ```
+pub struct ChainedAttack {
+    stages: Vec<Box<dyn SensorAttack + Send>>,
+}
+
+impl ChainedAttack {
+    /// Creates a chain; stages apply in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty stage list.
+    pub fn new(stages: Vec<Box<dyn SensorAttack + Send>>) -> Self {
+        assert!(!stages.is_empty(), "a chain needs at least one stage");
+        ChainedAttack { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain has no stages (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ChainedAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.stages.iter().map(|s| s.name()).collect();
+        f.debug_struct("ChainedAttack").field("stages", &names).finish()
+    }
+}
+
+impl SensorAttack for ChainedAttack {
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector {
+        let mut current = y.clone();
+        for stage in &mut self.stages {
+            current = stage.tamper(t, &current);
+        }
+        current
+    }
+
+    fn is_active(&self, t: usize) -> bool {
+        self.stages.iter().any(|s| s.is_active(t))
+    }
+
+    fn onset(&self) -> Option<usize> {
+        self.stages.iter().filter_map(|s| s.onset()).min()
+    }
+
+    fn end(&self) -> Option<usize> {
+        // Open-ended if any member is (None while having an onset).
+        let mut latest = None;
+        for s in &self.stages {
+            if s.onset().is_some() {
+                match s.end() {
+                    None => return None,
+                    Some(e) => latest = Some(latest.map_or(e, |l: usize| l.max(e))),
+                }
+            }
+        }
+        latest
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.stages {
+            s.reset();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "chained"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackWindow, BiasAttack, DelayAttack, NoAttack};
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn stages_compose_in_order() {
+        // Bias of +1 then bias of +2: total +3 while both active.
+        let mut chain = ChainedAttack::new(vec![
+            Box::new(BiasAttack::new(AttackWindow::new(0, Some(5)), v(1.0))),
+            Box::new(BiasAttack::new(AttackWindow::new(3, Some(5)), v(2.0))),
+        ]);
+        assert_eq!(chain.tamper(0, &v(0.0))[0], 1.0);
+        assert_eq!(chain.tamper(3, &v(0.0))[0], 3.0);
+        assert_eq!(chain.tamper(6, &v(0.0))[0], 2.0);
+        assert_eq!(chain.tamper(8, &v(0.0))[0], 0.0);
+    }
+
+    #[test]
+    fn delay_feeds_bias() {
+        // The delay stage sees the raw signal; the bias applies to the
+        // delayed value.
+        let mut chain = ChainedAttack::new(vec![
+            Box::new(DelayAttack::new(AttackWindow::from_step(2), 1)),
+            Box::new(BiasAttack::new(AttackWindow::from_step(2), v(10.0))),
+        ]);
+        chain.tamper(0, &v(0.0));
+        chain.tamper(1, &v(1.0));
+        // Step 2: delayed value = step-1 signal (1.0) + bias 10.
+        assert_eq!(chain.tamper(2, &v(2.0))[0], 11.0);
+    }
+
+    #[test]
+    fn window_metadata_merges() {
+        let chain = ChainedAttack::new(vec![
+            Box::new(BiasAttack::new(AttackWindow::new(10, Some(5)), v(1.0))),
+            Box::new(BiasAttack::new(AttackWindow::new(20, Some(5)), v(1.0))),
+        ]);
+        assert_eq!(chain.onset(), Some(10));
+        assert_eq!(chain.end(), Some(25));
+        assert!(chain.is_active(12));
+        assert!(!chain.is_active(17));
+        assert!(chain.is_active(22));
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn open_ended_member_makes_chain_open_ended() {
+        let chain = ChainedAttack::new(vec![
+            Box::new(BiasAttack::new(AttackWindow::new(5, Some(2)), v(1.0))),
+            Box::new(BiasAttack::new(AttackWindow::from_step(8), v(1.0))),
+        ]);
+        assert_eq!(chain.end(), None);
+    }
+
+    #[test]
+    fn benign_members_do_not_define_onset() {
+        let chain = ChainedAttack::new(vec![
+            Box::new(NoAttack),
+            Box::new(BiasAttack::new(AttackWindow::new(7, Some(3)), v(1.0))),
+        ]);
+        assert_eq!(chain.onset(), Some(7));
+        assert_eq!(chain.end(), Some(10));
+    }
+
+    #[test]
+    fn reset_resets_all_stages() {
+        let mut chain = ChainedAttack::new(vec![Box::new(DelayAttack::new(
+            AttackWindow::from_step(1),
+            1,
+        ))]);
+        chain.tamper(0, &v(5.0));
+        chain.reset();
+        chain.tamper(0, &v(9.0));
+        assert_eq!(chain.tamper(1, &v(1.0))[0], 9.0);
+        assert_eq!(chain.name(), "chained");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chain_panics() {
+        let _ = ChainedAttack::new(vec![]);
+    }
+}

@@ -1,0 +1,153 @@
+use awsad_linalg::Vector;
+
+use crate::{AttackWindow, SensorAttack};
+
+/// Delay attack: while active, the delivered measurement is the one
+/// recorded `delay` steps earlier, so the controller "cannot update
+/// the current state estimate in time" (§6.1.1).
+///
+/// The attack records every observed measurement (also before its
+/// window) so that a delay reaching back before the onset returns
+/// genuine stale data rather than a fabricated value. If the requested
+/// lag reaches before the first recorded step, the earliest available
+/// measurement is delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayAttack {
+    window: AttackWindow,
+    delay: usize,
+    history: Vec<Vector>,
+}
+
+impl DelayAttack {
+    /// Creates a delay attack active in `window`, replaying the
+    /// measurement from `delay` steps in the past.
+    pub fn new(window: AttackWindow, delay: usize) -> Self {
+        DelayAttack {
+            window,
+            delay,
+            history: Vec::new(),
+        }
+    }
+
+    /// The configured lag in control steps.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// The attack window.
+    pub fn window(&self) -> &AttackWindow {
+        &self.window
+    }
+}
+
+impl SensorAttack for DelayAttack {
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector {
+        // Record in step order; the simulator guarantees one call per
+        // step, but stay robust if steps are skipped by padding with
+        // the latest value.
+        while self.history.len() < t {
+            let pad = self.history.last().cloned().unwrap_or_else(|| y.clone());
+            self.history.push(pad);
+        }
+        if self.history.len() == t {
+            self.history.push(y.clone());
+        }
+        if self.window.contains(t) && self.delay > 0 {
+            let idx = t.saturating_sub(self.delay);
+            self.history[idx].clone()
+        } else {
+            y.clone()
+        }
+    }
+
+    fn is_active(&self, t: usize) -> bool {
+        self.window.contains(t) && self.delay > 0
+    }
+
+    fn onset(&self) -> Option<usize> {
+        Some(self.window.start())
+    }
+
+    fn end(&self) -> Option<usize> {
+        self.window.end()
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(v: f64) -> Vector {
+        Vector::from_slice(&[v])
+    }
+
+    #[test]
+    fn delays_by_configured_lag() {
+        let mut atk = DelayAttack::new(AttackWindow::from_step(3), 2);
+        assert_eq!(atk.tamper(0, &reading(0.0))[0], 0.0);
+        assert_eq!(atk.tamper(1, &reading(1.0))[0], 1.0);
+        assert_eq!(atk.tamper(2, &reading(2.0))[0], 2.0);
+        // Active: step 3 delivers the step-1 value.
+        assert_eq!(atk.tamper(3, &reading(3.0))[0], 1.0);
+        assert_eq!(atk.tamper(4, &reading(4.0))[0], 2.0);
+    }
+
+    #[test]
+    fn lag_before_first_record_clamps() {
+        let mut atk = DelayAttack::new(AttackWindow::from_step(1), 10);
+        assert_eq!(atk.tamper(0, &reading(5.0))[0], 5.0);
+        // Step 1 with lag 10 clamps to step 0's value.
+        assert_eq!(atk.tamper(1, &reading(6.0))[0], 5.0);
+    }
+
+    #[test]
+    fn window_end_restores_fresh_data() {
+        let mut atk = DelayAttack::new(AttackWindow::new(2, Some(2)), 1);
+        atk.tamper(0, &reading(0.0));
+        atk.tamper(1, &reading(1.0));
+        assert_eq!(atk.tamper(2, &reading(2.0))[0], 1.0);
+        assert_eq!(atk.tamper(3, &reading(3.0))[0], 2.0);
+        assert_eq!(atk.tamper(4, &reading(4.0))[0], 4.0);
+    }
+
+    #[test]
+    fn zero_delay_is_inactive() {
+        let mut atk = DelayAttack::new(AttackWindow::from_step(0), 0);
+        assert!(!atk.is_active(0));
+        assert_eq!(atk.tamper(0, &reading(9.0))[0], 9.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut atk = DelayAttack::new(AttackWindow::from_step(1), 1);
+        atk.tamper(0, &reading(1.0));
+        atk.reset();
+        // Fresh episode: step 0 recorded anew.
+        assert_eq!(atk.tamper(0, &reading(7.0))[0], 7.0);
+        assert_eq!(atk.tamper(1, &reading(8.0))[0], 7.0);
+    }
+
+    #[test]
+    fn skipped_steps_are_padded() {
+        let mut atk = DelayAttack::new(AttackWindow::from_step(5), 1);
+        atk.tamper(0, &reading(1.0));
+        // Jump straight to step 5: history pads steps 1..4.
+        assert_eq!(atk.tamper(5, &reading(9.0))[0], 1.0);
+    }
+
+    #[test]
+    fn metadata() {
+        let atk = DelayAttack::new(AttackWindow::new(4, Some(2)), 3);
+        assert_eq!(atk.onset(), Some(4));
+        assert_eq!(atk.delay(), 3);
+        assert_eq!(atk.name(), "delay");
+    }
+}

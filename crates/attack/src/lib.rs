@@ -1,0 +1,139 @@
+//! Sensor attack models for the AWSAD detection system.
+//!
+//! The DAC'22 paper evaluates its detector under three sensor attack
+//! scenarios (§6.1.1):
+//!
+//! * **Bias** — "replaces sensor data with arbitrary values"; modeled
+//!   as an additive offset vector, the classic transduction-attack
+//!   effect ([`BiasAttack`]).
+//! * **Delay** — "delays sensor measurements sent to the controller
+//!   for a certain time period, so that the controller cannot update
+//!   the current state estimate in time" ([`DelayAttack`]).
+//! * **Replay** — "replaces sensor data with previously recorded ones"
+//!   ([`ReplayAttack`]).
+//!
+//! Beyond the paper's three, the crate ships adversarial variants of
+//! the bias scenario:
+//!
+//! * [`RampAttack`] — the offset grows incrementally (no onset
+//!   discontinuity), the stealthy schedule of the literature the paper
+//!   builds on;
+//! * [`RandomValueAttack`] — the measurement is *replaced* by draws
+//!   from a box ("arbitrary values" taken literally);
+//! * [`ChainedAttack`] — sequential composition of attacks (e.g. a
+//!   delay masking a concurrent bias).
+//!
+//! All attacks implement [`SensorAttack`], which the closed-loop
+//! simulator interposes between the plant's true measurement and the
+//! controller's state estimate. Attacks see every measurement (so
+//! delay/replay can record history before activating) but only tamper
+//! inside their [`AttackWindow`].
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_attack::{AttackWindow, BiasAttack, SensorAttack};
+//! use awsad_linalg::Vector;
+//!
+//! let mut atk = BiasAttack::new(
+//!     AttackWindow::new(10, Some(5)),
+//!     Vector::from_slice(&[2.5]),
+//! );
+//! let clean = Vector::from_slice(&[4.0]);
+//! assert_eq!(atk.tamper(9, &clean)[0], 4.0);  // before onset
+//! assert_eq!(atk.tamper(10, &clean)[0], 6.5); // active
+//! assert_eq!(atk.tamper(15, &clean)[0], 4.0); // expired
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bias;
+mod chain;
+mod delay;
+mod ramp;
+mod random_value;
+mod replay;
+mod window;
+
+pub use bias::BiasAttack;
+pub use chain::ChainedAttack;
+pub use delay::DelayAttack;
+pub use ramp::RampAttack;
+pub use random_value::RandomValueAttack;
+pub use replay::ReplayAttack;
+pub use window::AttackWindow;
+
+use awsad_linalg::Vector;
+
+/// A sensor attack interposed on the measurement channel.
+///
+/// The simulator calls [`SensorAttack::tamper`] exactly once per
+/// control step, in step order, with the *true* measurement `y_t`.
+/// The returned vector is what the controller and detector see.
+pub trait SensorAttack {
+    /// Observes the true measurement at step `t` and returns the
+    /// (possibly tampered) measurement delivered downstream.
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector;
+
+    /// Whether the attack tampers with measurements at step `t`.
+    fn is_active(&self, t: usize) -> bool;
+
+    /// The first attacked step, or `None` for a benign channel.
+    fn onset(&self) -> Option<usize>;
+
+    /// One past the last attacked step, or `None` when the attack is
+    /// open-ended or absent.
+    fn end(&self) -> Option<usize> {
+        None
+    }
+
+    /// Clears recorded history so the object can run a fresh episode.
+    fn reset(&mut self);
+
+    /// Human-readable attack name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The benign channel: measurements pass through untouched.
+///
+/// Used for the false-positive arms of the evaluation, where every
+/// alarm is by definition false.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NoAttack;
+
+impl SensorAttack for NoAttack {
+    fn tamper(&mut self, _t: usize, y: &Vector) -> Vector {
+        y.clone()
+    }
+
+    fn is_active(&self, _t: usize) -> bool {
+        false
+    }
+
+    fn onset(&self) -> Option<usize> {
+        None
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_attack_is_identity() {
+        let mut a = NoAttack;
+        let y = Vector::from_slice(&[1.0, 2.0]);
+        assert_eq!(a.tamper(0, &y), y);
+        assert!(!a.is_active(100));
+        assert_eq!(a.onset(), None);
+        assert_eq!(a.name(), "none");
+        a.reset();
+    }
+}

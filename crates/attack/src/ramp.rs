@@ -1,0 +1,162 @@
+use awsad_linalg::Vector;
+
+use crate::{AttackWindow, SensorAttack};
+
+/// Stealthy ramp (incremental bias) attack: while active, the
+/// delivered measurement is `y_t + slope · min(k, cap_steps)` where
+/// `k` counts steps since the onset.
+///
+/// The paper's bias scenario "replaces sensor data with arbitrary
+/// values"; the adversarially chosen schedule in the stealthy-attack
+/// literature the paper builds on (Urbina et al., CCS'16 — the
+/// paper's reference 10) grows the corruption gradually so each
+/// per-step residual
+/// stays below the detection threshold while the physical plant is
+/// steadily dragged toward the unsafe region. A constant-offset jump
+/// (see [`BiasAttack`](crate::BiasAttack)) is trivially caught by any
+/// window size at its onset discontinuity; the ramp is the variant
+/// that actually exercises the delay/usability trade-off.
+///
+/// Once the accumulated offset reaches the per-dimension `cap`
+/// (`slope · cap_steps`), it stays constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RampAttack {
+    window: AttackWindow,
+    slope: Vector,
+    cap_steps: usize,
+}
+
+impl RampAttack {
+    /// Creates a ramp attack growing by `slope` per step for
+    /// `cap_steps` steps, then holding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap_steps == 0` (the attack would do nothing).
+    pub fn new(window: AttackWindow, slope: Vector, cap_steps: usize) -> Self {
+        assert!(cap_steps > 0, "ramp must grow for at least one step");
+        RampAttack {
+            window,
+            slope,
+            cap_steps,
+        }
+    }
+
+    /// Per-step growth vector.
+    pub fn slope(&self) -> &Vector {
+        &self.slope
+    }
+
+    /// Number of growth steps before the offset saturates.
+    pub fn cap_steps(&self) -> usize {
+        self.cap_steps
+    }
+
+    /// The final (saturated) offset vector.
+    pub fn final_offset(&self) -> Vector {
+        self.slope.scale(self.cap_steps as f64)
+    }
+
+    /// The attack window.
+    pub fn window(&self) -> &AttackWindow {
+        &self.window
+    }
+}
+
+impl SensorAttack for RampAttack {
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector {
+        assert_eq!(
+            y.len(),
+            self.slope.len(),
+            "ramp dimension must match measurement dimension"
+        );
+        if self.window.contains(t) {
+            let k = (t - self.window.start() + 1).min(self.cap_steps);
+            y + &self.slope.scale(k as f64)
+        } else {
+            y.clone()
+        }
+    }
+
+    fn is_active(&self, t: usize) -> bool {
+        self.window.contains(t)
+    }
+
+    fn onset(&self) -> Option<usize> {
+        Some(self.window.start())
+    }
+
+    fn end(&self) -> Option<usize> {
+        self.window.end()
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "bias-ramp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn grows_linearly_then_saturates() {
+        let mut atk = RampAttack::new(AttackWindow::from_step(10), v(0.5), 3);
+        let y = v(1.0);
+        assert_eq!(atk.tamper(9, &y)[0], 1.0);
+        assert_eq!(atk.tamper(10, &y)[0], 1.5);
+        assert_eq!(atk.tamper(11, &y)[0], 2.0);
+        assert_eq!(atk.tamper(12, &y)[0], 2.5);
+        assert_eq!(atk.tamper(13, &y)[0], 2.5); // saturated
+        assert_eq!(atk.tamper(100, &y)[0], 2.5);
+    }
+
+    #[test]
+    fn window_end_stops_attack() {
+        let mut atk = RampAttack::new(AttackWindow::new(0, Some(2)), v(1.0), 10);
+        let y = v(0.0);
+        assert_eq!(atk.tamper(0, &y)[0], 1.0);
+        assert_eq!(atk.tamper(1, &y)[0], 2.0);
+        assert_eq!(atk.tamper(2, &y)[0], 0.0);
+    }
+
+    #[test]
+    fn final_offset_product() {
+        let atk = RampAttack::new(AttackWindow::from_step(0), v(0.25), 8);
+        assert_eq!(atk.final_offset()[0], 2.0);
+        assert_eq!(atk.cap_steps(), 8);
+        assert_eq!(atk.slope()[0], 0.25);
+    }
+
+    #[test]
+    fn per_step_increment_is_slope() {
+        // Stealth property: consecutive deliveries differ by exactly
+        // the slope (plus whatever the true signal does).
+        let mut atk = RampAttack::new(AttackWindow::from_step(0), v(0.01), 100);
+        let y = v(0.0);
+        let a = atk.tamper(5, &y)[0];
+        let b = atk.tamper(6, &y)[0];
+        assert!((b - a - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_cap_panics() {
+        let _ = RampAttack::new(AttackWindow::from_step(0), v(1.0), 0);
+    }
+
+    #[test]
+    fn metadata() {
+        let atk = RampAttack::new(AttackWindow::new(7, None), v(1.0), 5);
+        assert_eq!(atk.onset(), Some(7));
+        assert!(atk.is_active(7));
+        assert!(!atk.is_active(6));
+        assert_eq!(atk.name(), "bias-ramp");
+    }
+}

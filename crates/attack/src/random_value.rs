@@ -1,0 +1,229 @@
+use awsad_linalg::Vector;
+use awsad_sets::BoxSet;
+
+use crate::{AttackWindow, SensorAttack};
+
+/// Random-value attack: while active, the attacked dimensions of the
+/// measurement are *replaced* by values drawn uniformly from a box —
+/// the paper's bias description taken literally ("replaces sensor
+/// data with arbitrary values").
+///
+/// Unlike the offset-style attacks, the delivered data carries no
+/// information about the plant at all; the controller flies blind on
+/// white noise. Randomness comes from an embedded deterministic
+/// xorshift generator seeded at construction, so episodes remain
+/// reproducible without threading an external RNG through the
+/// [`SensorAttack`] trait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomValueAttack {
+    window: AttackWindow,
+    values: BoxSet,
+    /// Which measurement dimensions are replaced (`None` entry =
+    /// untouched); same length as the measurement.
+    targets: Vec<bool>,
+    state: u64,
+    seed: u64,
+}
+
+impl RandomValueAttack {
+    /// Creates the attack: dimensions flagged in `targets` are
+    /// replaced by draws from `values` (a box with one interval per
+    /// *measurement* dimension) while `window` is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `targets.len() != values.dim()`, when no dimension
+    /// is targeted, or when `values` is unbounded in a targeted
+    /// dimension.
+    pub fn new(window: AttackWindow, values: BoxSet, targets: Vec<bool>, seed: u64) -> Self {
+        assert_eq!(
+            targets.len(),
+            values.dim(),
+            "target flags must match the value box dimension"
+        );
+        assert!(
+            targets.iter().any(|&t| t),
+            "at least one dimension must be targeted"
+        );
+        for (i, &targeted) in targets.iter().enumerate() {
+            if targeted {
+                assert!(
+                    values.interval(i).is_bounded(),
+                    "value box must be bounded in targeted dimension {i}"
+                );
+            }
+        }
+        RandomValueAttack {
+            window,
+            values,
+            targets,
+            state: seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            seed,
+        }
+    }
+
+    /// The attack window.
+    pub fn window(&self) -> &AttackWindow {
+        &self.window
+    }
+
+    /// xorshift64* step producing a uniform f64 in [0, 1).
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SensorAttack for RandomValueAttack {
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector {
+        assert_eq!(
+            y.len(),
+            self.targets.len(),
+            "measurement dimension must match the attack configuration"
+        );
+        if !self.window.contains(t) {
+            return y.clone();
+        }
+        let mut out = y.clone();
+        for i in 0..out.len() {
+            if self.targets[i] {
+                let (lo, hi) = {
+                    let iv = self.values.interval(i);
+                    (iv.lo(), iv.hi())
+                };
+                out[i] = lo + self.next_unit() * (hi - lo);
+            }
+        }
+        out
+    }
+
+    fn is_active(&self, t: usize) -> bool {
+        self.window.contains(t)
+    }
+
+    fn onset(&self) -> Option<usize> {
+        Some(self.window.start())
+    }
+
+    fn end(&self) -> Option<usize> {
+        self.window.end()
+    }
+
+    fn reset(&mut self) {
+        self.state = self.seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn name(&self) -> &'static str {
+        "random-value"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attack(seed: u64) -> RandomValueAttack {
+        RandomValueAttack::new(
+            AttackWindow::new(5, Some(10)),
+            BoxSet::from_bounds(&[2.0, -1.0], &[4.0, 1.0]).unwrap(),
+            vec![true, false],
+            seed,
+        )
+    }
+
+    #[test]
+    fn replaces_only_targeted_dims_inside_window() {
+        let mut atk = attack(7);
+        let y = Vector::from_slice(&[0.0, 0.5]);
+        let before = atk.tamper(4, &y);
+        assert_eq!(before, y);
+        let during = atk.tamper(5, &y);
+        assert!(during[0] >= 2.0 && during[0] < 4.0, "value {}", during[0]);
+        assert_eq!(during[1], 0.5);
+        let after = atk.tamper(15, &y);
+        assert_eq!(after, y);
+    }
+
+    #[test]
+    fn values_vary_across_steps() {
+        let mut atk = attack(7);
+        let y = Vector::from_slice(&[0.0, 0.0]);
+        let a = atk.tamper(5, &y)[0];
+        let b = atk.tamper(6, &y)[0];
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_reset() {
+        let y = Vector::from_slice(&[0.0, 0.0]);
+        let mut a1 = attack(42);
+        let mut a2 = attack(42);
+        for t in 5..10 {
+            assert_eq!(a1.tamper(t, &y), a2.tamper(t, &y));
+        }
+        let first = attack(42).tamper(5, &y);
+        a1.reset();
+        assert_eq!(a1.tamper(5, &y), first);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let y = Vector::from_slice(&[0.0, 0.0]);
+        assert_ne!(attack(1).tamper(5, &y)[0], attack(2).tamper(5, &y)[0]);
+    }
+
+    #[test]
+    fn draws_cover_the_range() {
+        let mut atk = RandomValueAttack::new(
+            AttackWindow::from_step(0),
+            BoxSet::from_bounds(&[0.0], &[1.0]).unwrap(),
+            vec![true],
+            9,
+        );
+        let y = Vector::from_slice(&[0.0]);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in 0..2_000 {
+            let v = atk.tamper(t, &y)[0];
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.05 && hi > 0.95, "poor coverage [{lo}, {hi}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn no_target_panics() {
+        let _ = RandomValueAttack::new(
+            AttackWindow::from_step(0),
+            BoxSet::from_bounds(&[0.0], &[1.0]).unwrap(),
+            vec![false],
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded")]
+    fn unbounded_targeted_box_panics() {
+        let _ = RandomValueAttack::new(
+            AttackWindow::from_step(0),
+            BoxSet::entire(1),
+            vec![true],
+            1,
+        );
+    }
+
+    #[test]
+    fn metadata() {
+        let atk = attack(1);
+        assert_eq!(atk.onset(), Some(5));
+        assert_eq!(atk.end(), Some(15));
+        assert_eq!(atk.name(), "random-value");
+    }
+}

@@ -1,0 +1,169 @@
+use awsad_linalg::Vector;
+
+use crate::{AttackWindow, SensorAttack};
+
+/// Replay attack: while active, the delivered measurement is a
+/// previously recorded one (§6.1.1), looped if the attack outlasts the
+/// recording.
+///
+/// The attacker records `record_len` consecutive measurements starting
+/// at `record_start` (which must precede the attack window), then
+/// replays the recording from its beginning once the window opens:
+///
+/// ```text
+/// y'_t = y_{record_start + ((t − start) mod record_len)}
+/// ```
+///
+/// A classic use is hiding a reference change or an ongoing physical
+/// drift behind stale-but-plausible data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayAttack {
+    window: AttackWindow,
+    record_start: usize,
+    record_len: usize,
+    recording: Vec<Vector>,
+}
+
+impl ReplayAttack {
+    /// Creates a replay attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `record_len == 0` or when the recording interval
+    /// `[record_start, record_start + record_len)` extends past the
+    /// attack start (the attacker cannot replay data it has not yet
+    /// recorded).
+    pub fn new(window: AttackWindow, record_start: usize, record_len: usize) -> Self {
+        assert!(record_len > 0, "replay recording must be non-empty");
+        assert!(
+            record_start + record_len <= window.start(),
+            "recording must finish before the attack starts"
+        );
+        ReplayAttack {
+            window,
+            record_start,
+            record_len,
+            recording: Vec::new(),
+        }
+    }
+
+    /// First recorded step.
+    pub fn record_start(&self) -> usize {
+        self.record_start
+    }
+
+    /// Number of recorded steps.
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    /// The attack window.
+    pub fn window(&self) -> &AttackWindow {
+        &self.window
+    }
+}
+
+impl SensorAttack for ReplayAttack {
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector {
+        if t >= self.record_start && self.recording.len() < self.record_len {
+            // Record while the recording window is open. Robust to a
+            // simulator skipping steps: we record the first
+            // `record_len` observations at or after `record_start`.
+            self.recording.push(y.clone());
+        }
+        if self.window.contains(t) && !self.recording.is_empty() {
+            let idx = (t - self.window.start()) % self.recording.len();
+            self.recording[idx].clone()
+        } else {
+            y.clone()
+        }
+    }
+
+    fn is_active(&self, t: usize) -> bool {
+        self.window.contains(t)
+    }
+
+    fn onset(&self) -> Option<usize> {
+        Some(self.window.start())
+    }
+
+    fn end(&self) -> Option<usize> {
+        self.window.end()
+    }
+
+    fn reset(&mut self) {
+        self.recording.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(v: f64) -> Vector {
+        Vector::from_slice(&[v])
+    }
+
+    #[test]
+    fn replays_recorded_segment() {
+        let mut atk = ReplayAttack::new(AttackWindow::new(4, Some(4)), 1, 2);
+        assert_eq!(atk.tamper(0, &reading(0.0))[0], 0.0);
+        assert_eq!(atk.tamper(1, &reading(1.0))[0], 1.0); // recorded
+        assert_eq!(atk.tamper(2, &reading(2.0))[0], 2.0); // recorded
+        assert_eq!(atk.tamper(3, &reading(3.0))[0], 3.0);
+        // Active: replays 1.0, 2.0, 1.0, 2.0 …
+        assert_eq!(atk.tamper(4, &reading(4.0))[0], 1.0);
+        assert_eq!(atk.tamper(5, &reading(5.0))[0], 2.0);
+        assert_eq!(atk.tamper(6, &reading(6.0))[0], 1.0);
+        assert_eq!(atk.tamper(7, &reading(7.0))[0], 2.0);
+        // Expired.
+        assert_eq!(atk.tamper(8, &reading(8.0))[0], 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish before")]
+    fn recording_overlapping_attack_panics() {
+        let _ = ReplayAttack::new(AttackWindow::from_step(3), 2, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_recording_panics() {
+        let _ = ReplayAttack::new(AttackWindow::from_step(3), 0, 0);
+    }
+
+    #[test]
+    fn reset_clears_recording() {
+        let mut atk = ReplayAttack::new(AttackWindow::from_step(2), 0, 2);
+        atk.tamper(0, &reading(1.0));
+        atk.tamper(1, &reading(2.0));
+        atk.reset();
+        atk.tamper(0, &reading(10.0));
+        atk.tamper(1, &reading(20.0));
+        assert_eq!(atk.tamper(2, &reading(0.0))[0], 10.0);
+    }
+
+    #[test]
+    fn metadata() {
+        let atk = ReplayAttack::new(AttackWindow::new(10, Some(3)), 5, 4);
+        assert_eq!(atk.onset(), Some(10));
+        assert_eq!(atk.record_start(), 5);
+        assert_eq!(atk.record_len(), 4);
+        assert_eq!(atk.name(), "replay");
+        assert!(atk.is_active(12));
+        assert!(!atk.is_active(13));
+    }
+
+    #[test]
+    fn multi_dimensional_measurements() {
+        let mut atk = ReplayAttack::new(AttackWindow::from_step(1), 0, 1);
+        let y0 = Vector::from_slice(&[1.0, -1.0]);
+        atk.tamper(0, &y0);
+        let replayed = atk.tamper(1, &Vector::from_slice(&[9.0, 9.0]));
+        assert_eq!(replayed, y0);
+    }
+}

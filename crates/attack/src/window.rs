@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// The interval of control steps during which an attack tampers with
+/// measurements: `[start, start + duration)`, or `[start, ∞)` when the
+/// duration is open-ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttackWindow {
+    start: usize,
+    duration: Option<usize>,
+}
+
+impl AttackWindow {
+    /// Creates a window starting at step `start` lasting `duration`
+    /// steps (`None` = until the end of the episode).
+    pub fn new(start: usize, duration: Option<usize>) -> Self {
+        AttackWindow { start, duration }
+    }
+
+    /// A window that never ends once started.
+    pub fn from_step(start: usize) -> Self {
+        AttackWindow {
+            start,
+            duration: None,
+        }
+    }
+
+    /// First attacked step.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of attacked steps, or `None` when open-ended.
+    pub fn duration(&self) -> Option<usize> {
+        self.duration
+    }
+
+    /// One past the last attacked step, or `None` when open-ended.
+    pub fn end(&self) -> Option<usize> {
+        self.duration.map(|d| self.start.saturating_add(d))
+    }
+
+    /// Whether step `t` falls inside the window.
+    pub fn contains(&self, t: usize) -> bool {
+        t >= self.start && self.end().is_none_or(|e| t < e)
+    }
+}
+
+impl fmt::Display for AttackWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end() {
+            Some(e) => write!(f, "[{}, {})", self.start, e),
+            None => write!(f, "[{}, ∞)", self.start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_window() {
+        let w = AttackWindow::new(10, Some(5));
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(14));
+        assert!(!w.contains(15));
+        assert_eq!(w.end(), Some(15));
+    }
+
+    #[test]
+    fn open_window() {
+        let w = AttackWindow::from_step(79);
+        assert!(!w.contains(78));
+        assert!(w.contains(79));
+        assert!(w.contains(1_000_000));
+        assert_eq!(w.end(), None);
+        assert_eq!(w.duration(), None);
+    }
+
+    #[test]
+    fn zero_duration_never_active() {
+        let w = AttackWindow::new(5, Some(0));
+        assert!(!w.contains(5));
+    }
+
+    #[test]
+    fn saturating_end() {
+        let w = AttackWindow::new(usize::MAX, Some(10));
+        assert_eq!(w.end(), Some(usize::MAX));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AttackWindow::new(1, Some(2)).to_string(), "[1, 3)");
+        assert_eq!(AttackWindow::from_step(4).to_string(), "[4, ∞)");
+    }
+}

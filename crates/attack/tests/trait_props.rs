@@ -1,0 +1,116 @@
+//! Trait-level properties every sensor attack must satisfy.
+
+use awsad_attack::{
+    AttackWindow, BiasAttack, ChainedAttack, DelayAttack, NoAttack, RampAttack,
+    RandomValueAttack, ReplayAttack, SensorAttack,
+};
+use awsad_linalg::Vector;
+use awsad_sets::BoxSet;
+use proptest::prelude::*;
+
+/// Builds one of each attack with the given window parameters.
+fn zoo(onset: usize, duration: usize) -> Vec<Box<dyn SensorAttack>> {
+    let w = AttackWindow::new(onset, Some(duration));
+    vec![
+        Box::new(BiasAttack::new(w, Vector::from_slice(&[0.7, -0.2]))),
+        Box::new(RampAttack::new(w, Vector::from_slice(&[0.01, 0.0]), duration.max(1))),
+        Box::new(DelayAttack::new(w, 3)),
+        Box::new(ReplayAttack::new(w, onset.saturating_sub(5).min(onset), onset.clamp(1, 5))),
+        Box::new(RandomValueAttack::new(
+            w,
+            BoxSet::from_bounds(&[-1.0, -1.0], &[1.0, 1.0]).unwrap(),
+            vec![true, false],
+            9,
+        )),
+    ]
+}
+
+proptest! {
+    /// Outside its window, every attack is the identity on the
+    /// measurement stream.
+    #[test]
+    fn identity_outside_window(onset in 6usize..40, duration in 1usize..20, seed in 0u64..500) {
+        for mut atk in zoo(onset, duration) {
+            let mut state = seed as f64 * 0.01;
+            for t in 0..(onset + duration + 10) {
+                state = state * 0.9 + (t as f64 * 0.37).sin() * 0.1;
+                let y = Vector::from_slice(&[state, -state]);
+                let out = atk.tamper(t, &y);
+                let active = t >= onset && t < onset + duration;
+                if !active {
+                    prop_assert!(
+                        out.approx_eq(&y),
+                        "{} tampered outside its window at t={t}",
+                        atk.name()
+                    );
+                }
+                prop_assert_eq!(out.len(), y.len());
+                prop_assert_eq!(atk.is_active(t), active);
+            }
+        }
+    }
+
+    /// Metadata is consistent: onset/end bracket exactly the active
+    /// region reported by is_active.
+    #[test]
+    fn metadata_brackets_activity(onset in 6usize..40, duration in 1usize..20) {
+        for atk in zoo(onset, duration) {
+            prop_assert_eq!(atk.onset(), Some(onset), "{}", atk.name());
+            prop_assert_eq!(atk.end(), Some(onset + duration), "{}", atk.name());
+            prop_assert!(!atk.is_active(onset.saturating_sub(1)));
+            prop_assert!(atk.is_active(onset));
+            prop_assert!(atk.is_active(onset + duration - 1));
+            prop_assert!(!atk.is_active(onset + duration));
+        }
+    }
+
+    /// reset() makes the attack behave identically on a replayed
+    /// stream (statefulness is episode-local).
+    #[test]
+    fn reset_restores_determinism(onset in 6usize..30, duration in 1usize..15) {
+        for mut atk in zoo(onset, duration) {
+            let stream: Vec<Vector> = (0..onset + duration + 5)
+                .map(|t| Vector::from_slice(&[(t as f64 * 0.31).sin(), (t as f64 * 0.17).cos()]))
+                .collect();
+            let first: Vec<Vector> =
+                stream.iter().enumerate().map(|(t, y)| atk.tamper(t, y)).collect();
+            atk.reset();
+            let second: Vec<Vector> =
+                stream.iter().enumerate().map(|(t, y)| atk.tamper(t, y)).collect();
+            for (t, (a, b)) in first.iter().zip(second.iter()).enumerate() {
+                prop_assert!(a.approx_eq(b), "{} diverged after reset at t={t}", atk.name());
+            }
+        }
+    }
+
+    /// A chain of attacks still satisfies the identity-outside-window
+    /// property of the merged window.
+    #[test]
+    fn chained_attacks_respect_merged_window(onset in 10usize..30, duration in 2usize..10) {
+        let w = AttackWindow::new(onset, Some(duration));
+        let mut chain = ChainedAttack::new(vec![
+            Box::new(BiasAttack::new(w, Vector::from_slice(&[0.5, 0.0]))),
+            Box::new(DelayAttack::new(w, 2)),
+        ]);
+        for t in 0..(onset + duration + 5) {
+            let y = Vector::from_slice(&[t as f64, -(t as f64)]);
+            let out = chain.tamper(t, &y);
+            if t < onset || t >= onset + duration {
+                prop_assert!(out.approx_eq(&y), "chain tampered outside window at t={t}");
+            }
+        }
+        prop_assert_eq!(chain.onset(), Some(onset));
+        prop_assert_eq!(chain.end(), Some(onset + duration));
+    }
+
+    /// NoAttack is the identity everywhere and reports no window.
+    #[test]
+    fn no_attack_is_total_identity(t in 0usize..1000, x in -100.0..100.0f64) {
+        let mut atk = NoAttack;
+        let y = Vector::from_slice(&[x]);
+        prop_assert!(atk.tamper(t, &y).approx_eq(&y));
+        prop_assert!(!atk.is_active(t));
+        prop_assert_eq!(atk.onset(), None);
+        prop_assert_eq!(atk.end(), None);
+    }
+}

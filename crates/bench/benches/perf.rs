@@ -1,0 +1,211 @@
+//! Criterion performance benches backing the paper's "low overhead"
+//! claims (§1, §3): the online deadline estimation must be cheap
+//! enough to run every control period, and the detector/logger path
+//! must be negligible next to it.
+//!
+//! Groups:
+//! * `deadline_query` — precomputed estimator per model (3- to
+//!   12-dimensional state), the per-period online cost;
+//! * `reach_precompute` — the precomputed estimator vs the naive
+//!   recompute-everything transcription of Eqs. (3)–(5) (ablation for
+//!   the caching design choice);
+//! * `detector_step` — one adaptive detection step (logger lookup,
+//!   deadline query, window mean, complementary checks);
+//! * `logger_record` — one data-logger record (predict + residual);
+//! * `discretization` — model construction cost (matrix exponential);
+//! * `episode_step` — a full closed-loop simulation step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use awsad_attack::NoAttack;
+use awsad_sets::Polytope;
+use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
+use awsad_linalg::{discretize, Matrix, Vector};
+use awsad_models::Simulator;
+use awsad_reach::naive_deadline;
+use awsad_sim::{run_episode, EpisodeConfig};
+
+fn deadline_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deadline_query");
+    for sim in [
+        Simulator::AircraftPitch,
+        Simulator::VehicleTurning,
+        Simulator::Quadrotor,
+    ] {
+        let model = sim.build();
+        let est = model.deadline_estimator(model.default_max_window).unwrap();
+        let x0 = model.x0.clone();
+        group.bench_function(model.name, |b| {
+            b.iter(|| black_box(est.deadline(black_box(&x0))))
+        });
+    }
+    group.finish();
+}
+
+fn polytope_deadline(c: &mut Criterion) {
+    // Deadline queries against polytopic safe sets scale with the
+    // face count; compare the aircraft model's 2-face box polytope
+    // against the same box through the specialized estimator.
+    let model = Simulator::AircraftPitch.build();
+    let est_box = model.deadline_estimator(model.default_max_window).unwrap();
+    let poly = Polytope::from_box(&model.safe_set).unwrap();
+    let est_poly = awsad_reach::PolytopeDeadlineEstimator::new(
+        model.system.a(),
+        model.system.b(),
+        model.control_limits.clone(),
+        model.epsilon,
+        poly,
+        model.default_max_window,
+    )
+    .unwrap();
+    let x0 = model.x0.clone();
+    let mut group = c.benchmark_group("polytope_deadline");
+    group.bench_function("box_estimator", |b| {
+        b.iter(|| black_box(est_box.deadline(black_box(&x0))))
+    });
+    group.bench_function("polytope_estimator", |b| {
+        b.iter(|| black_box(est_poly.deadline(black_box(&x0))))
+    });
+    group.finish();
+}
+
+fn eigen_solver(c: &mut Criterion) {
+    let quad = Simulator::Quadrotor.build();
+    let a12 = quad.system.a().clone();
+    c.bench_function("eigenvalues_12x12", |b| {
+        b.iter(|| black_box(awsad_linalg::eigenvalues(black_box(&a12)).unwrap()))
+    });
+}
+
+fn reach_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reach_precompute");
+    let model = Simulator::AircraftPitch.build();
+    let horizon = 20; // modest horizon; the naive path is O(t^2) per query
+    let est = model.deadline_estimator(horizon).unwrap();
+    let cfg = model.reach_config(horizon).unwrap();
+    let x0 = model.x0.clone();
+    group.bench_function("precomputed", |b| {
+        b.iter(|| black_box(est.deadline(black_box(&x0))))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            black_box(
+                naive_deadline(model.system.a(), model.system.b(), &cfg, black_box(&x0)).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn detector_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_step");
+    for sim in [Simulator::AircraftPitch, Simulator::Quadrotor] {
+        let model = sim.build();
+        let w_m = model.default_max_window;
+        let det_cfg = DetectorConfig::new(model.threshold.clone(), w_m).unwrap();
+        let mut logger = DataLogger::new(model.system.clone(), w_m);
+        let u = Vector::zeros(model.system.input_dim());
+        for _ in 0..(w_m + 2) {
+            logger.record(model.x0.clone(), u.clone());
+        }
+        let detector =
+            AdaptiveDetector::new(det_cfg, model.deadline_estimator(w_m).unwrap()).unwrap();
+        group.bench_function(model.name, |b| {
+            b.iter_batched(
+                || detector.clone(),
+                |mut det| black_box(det.step(&logger)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn reestimation_period(c: &mut Criterion) {
+    // Cost of a detector step when the deadline is re-queried every
+    // step vs aged from a cache (the set_reestimation_period knob).
+    let model = Simulator::Quadrotor.build();
+    let w_m = model.default_max_window;
+    let det_cfg = DetectorConfig::new(model.threshold.clone(), w_m).unwrap();
+    let mut logger = DataLogger::new(model.system.clone(), w_m);
+    let u = Vector::zeros(model.system.input_dim());
+    for _ in 0..(w_m + 2) {
+        logger.record(model.x0.clone(), u.clone());
+    }
+    let mut group = c.benchmark_group("reestimation_period");
+    for period in [1usize, 10] {
+        let mut detector =
+            AdaptiveDetector::new(det_cfg.clone(), model.deadline_estimator(w_m).unwrap())
+                .unwrap();
+        detector.set_reestimation_period(period);
+        group.bench_function(format!("period_{period}"), |b| {
+            b.iter(|| black_box(detector.step(&logger)))
+        });
+    }
+    group.finish();
+}
+
+fn logger_record(c: &mut Criterion) {
+    let model = Simulator::Quadrotor.build();
+    let mut logger = DataLogger::new(model.system.clone(), model.default_max_window);
+    let u = Vector::zeros(model.system.input_dim());
+    c.bench_function("logger_record_quadrotor", |b| {
+        b.iter(|| {
+            black_box(logger.record(model.x0.clone(), u.clone()));
+        })
+    });
+}
+
+fn discretization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discretization");
+    // 3-state aircraft.
+    let a3 = Matrix::from_rows(&[
+        &[-0.313, 56.7, 0.0],
+        &[-0.0139, -0.426, 0.0],
+        &[0.0, 56.7, 0.0],
+    ])
+    .unwrap();
+    let b3 = Matrix::from_rows(&[&[0.232], &[0.0203], &[0.0]]).unwrap();
+    group.bench_function("aircraft_3x3", |b| {
+        b.iter(|| black_box(discretize(black_box(&a3), black_box(&b3), 0.02).unwrap()))
+    });
+    // 12-state quadrotor (rebuilt each iteration through the registry
+    // would include allocation; bench the expm path directly).
+    let quad = Simulator::Quadrotor.build();
+    let a12 = quad.system.a().clone();
+    let b12 = quad.system.b().clone();
+    group.bench_function("quadrotor_12x12", |b| {
+        b.iter(|| black_box(discretize(black_box(&a12), black_box(&b12), 0.1).unwrap()))
+    });
+    group.finish();
+}
+
+fn episode_step(c: &mut Criterion) {
+    // Amortized per-step cost of the whole pipeline: run a short
+    // episode and divide by its length (Criterion reports the episode;
+    // the per-step figure is episode/steps).
+    let model = Simulator::VehicleTurning.build();
+    let mut cfg = EpisodeConfig::for_model(&model);
+    cfg.steps = 100;
+    c.bench_function("episode_100_steps_vehicle", |b| {
+        b.iter(|| {
+            let mut attack = NoAttack;
+            black_box(run_episode(&model, &mut attack, None, &cfg, 3))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    deadline_query,
+    polytope_deadline,
+    eigen_solver,
+    reach_precompute,
+    detector_step,
+    reestimation_period,
+    logger_record,
+    discretization,
+    episode_step
+);
+criterion_main!(benches);

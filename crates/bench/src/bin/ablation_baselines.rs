@@ -1,0 +1,133 @@
+//! Ablation: the adaptive window detector vs classical single-stream
+//! baselines (CUSUM, EWMA, chi-squared, every-step thresholding) on the same residual
+//! streams.
+//!
+//! The paper positions adaptive windowing against static detectors
+//! that fix their delay/false-alarm trade-off offline. This ablation
+//! quantifies that (adding an EWMA arm whose effective memory matches
+//! the fixed window): per (simulator, attack) case it reports detection
+//! rate, mean detection delay and pre-attack false-positive *step*
+//! rate for all four detectors on paired trajectories.
+
+use awsad_attack::NoAttack;
+use awsad_bench::write_csv;
+use awsad_core::{estimate_covariance, ChiSquaredDetector, ResidualDetector};
+use awsad_models::Simulator;
+use awsad_sim::{evaluate, run_episode, sample_attack, AttackKind, EpisodeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Agg {
+    detected: usize,
+    delay_sum: usize,
+    fp_rate_sum: f64,
+    dm: usize,
+}
+
+impl Agg {
+    fn new() -> Self {
+        Agg {
+            detected: 0,
+            delay_sum: 0,
+            fp_rate_sum: 0.0,
+            dm: 0,
+        }
+    }
+
+    fn add(&mut self, m: &awsad_sim::EpisodeMetrics) {
+        self.detected += m.detected as usize;
+        self.delay_sum += m.detection_delay.unwrap_or(0);
+        self.fp_rate_sum += m.false_positive_rate;
+        self.dm += m.missed_deadline as usize;
+    }
+}
+
+fn main() {
+    let runs = 50;
+    println!("Ablation: adaptive vs CUSUM vs every-step baselines ({runs} runs per case)");
+    println!(
+        "{:<20} {:<7} {:<11} {:>9} {:>10} {:>9} {:>5}",
+        "Simulator", "Attack", "Detector", "detected", "mean delay", "FP rate", "#DM"
+    );
+
+    let mut rows = Vec::new();
+    for sim in Simulator::all() {
+        let model = sim.build();
+        // Chi-squared calibration: residual covariance from one benign
+        // episode, limit = a generous chi-squared quantile scaled to
+        // the state dimension (jitter regularizes flat dimensions).
+        let cal_cfg = EpisodeConfig::for_model(&model);
+        let mut benign = NoAttack;
+        let cal = run_episode(&model, &mut benign, None, &cal_cfg, 555);
+        let mut cov = estimate_covariance(&cal.residuals[5..]).unwrap();
+        for d in 0..model.state_dim() {
+            cov[(d, d)] += 1e-12;
+        }
+        let chi_limit = 9.0 * model.state_dim() as f64;
+        for attack_kind in AttackKind::attacks() {
+            let cfg = EpisodeConfig::for_model(&model);
+            let mut aggs =
+                [Agg::new(), Agg::new(), Agg::new(), Agg::new(), Agg::new(), Agg::new()];
+            for i in 0..runs {
+                let seed = 77_000 + i as u64;
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xAB1A7E);
+                let s = sample_attack(&model, attack_kind, &mut rng);
+                let mut atk = s.attack;
+                let r = run_episode(&model, atk.as_mut(), Some(s.reference), &cfg, seed);
+                // Chi-squared runs over the same residual stream.
+                let mut chi = ChiSquaredDetector::new(cov.clone(), chi_limit).unwrap();
+                let chi_alarms: Vec<bool> = r
+                    .residuals
+                    .iter()
+                    .enumerate()
+                    .map(|(t, z)| chi.observe(t, z))
+                    .collect();
+                let streams = [
+                    &r.adaptive_alarms,
+                    &r.fixed_alarms,
+                    &r.cusum_alarms,
+                    &r.every_step_alarms,
+                    &r.ewma_alarms,
+                    &chi_alarms,
+                ];
+                for (agg, stream) in aggs.iter_mut().zip(streams) {
+                    agg.add(&evaluate(&r, stream));
+                }
+            }
+            for (agg, name) in aggs
+                .iter()
+                .zip(["adaptive", "fixed", "cusum", "every-step", "ewma", "chi-squared"])
+            {
+                let mean_delay = if agg.detected > 0 {
+                    agg.delay_sum as f64 / agg.detected as f64
+                } else {
+                    f64::NAN
+                };
+                let fp_rate = agg.fp_rate_sum / runs as f64;
+                println!(
+                    "{:<20} {:<7} {:<11} {:>9} {:>10.1} {:>8.1}% {:>5}",
+                    model.name,
+                    attack_kind.to_string(),
+                    name,
+                    agg.detected,
+                    mean_delay,
+                    fp_rate * 100.0,
+                    agg.dm
+                );
+                rows.push(format!(
+                    "{},{},{},{},{:.2},{:.4},{}",
+                    model.name, attack_kind, name, agg.detected, mean_delay, fp_rate, agg.dm
+                ));
+            }
+        }
+    }
+    write_csv(
+        "ablation_baselines.csv",
+        "simulator,attack,detector,detected,mean_delay,fp_step_rate,deadline_misses",
+        &rows,
+    );
+    println!();
+    println!("Expected shape: every-step has the shortest delay but the worst FP rate;");
+    println!("CUSUM and fixed trade delay for usability statically; adaptive keeps");
+    println!("deadline misses near zero while paying FPs only when the state nears unsafe.");
+}

@@ -1,0 +1,128 @@
+//! Ablation: complementary detection on window shrink (Fig. 3 of the
+//! paper) ON vs OFF.
+//!
+//! §4.2.1 argues that when the detection window shrinks, the data
+//! points between the old and the new window escape detection unless
+//! re-checked with the new window size. The escape needs a specific
+//! event order — a short evidence burst that is *diluted* at the
+//! current window size, followed by a deadline collapse that shrinks
+//! the window past it — so this ablation Monte-Carlos exactly that
+//! scenario on the vehicle-turning model:
+//!
+//! 1. the vehicle cruises at yaw 1.0 (window ≈ 6–8);
+//! 2. a single-step sensor bias pulse of 0.18 hits — its window
+//!    statistic at w≈7 stays below τ = 0.07, so no alarm;
+//! 3. one step later the *reference* legitimately steps to 1.7
+//!    (toward the +2 boundary), so a few steps later the trusted
+//!    estimate reports the vehicle near the boundary and the deadline
+//!    collapses, shrinking the window to 2–3;
+//! 4. with complementary detection the re-checked small windows still
+//!    cover the pulse and fire; without it the pulse escaped.
+//!
+//! A second table repeats the Table 2 cells under both settings as a
+//! regression guard (complementary detection must never lose
+//! detections there either).
+
+use awsad_attack::{AttackWindow, BiasAttack};
+use awsad_bench::write_csv;
+use awsad_control::Reference;
+use awsad_linalg::Vector;
+use awsad_models::Simulator;
+use awsad_sim::{run_cell, run_episode, AttackKind, EpisodeConfig};
+
+fn main() {
+    let runs = 100;
+    println!("Ablation A: the escape scenario ({runs} seeded runs, vehicle turning)");
+    let model = Simulator::VehicleTurning.build();
+
+    let mut caught = [0usize; 2]; // [with complementary, without]
+    for (idx, complementary) in [true, false].into_iter().enumerate() {
+        for i in 0..runs {
+            let seed = 61_000 + i as u64;
+            let mut cfg = EpisodeConfig::for_model(&model);
+            cfg.steps = 400;
+            cfg.complementary = complementary;
+            // Quieter sensors than the Table 2 runs: the escape effect
+            // is about evidence bookkeeping, not noise-driven alarms,
+            // so keep spurious alarms out of the attribution window.
+            cfg.measurement_noise = 0.2 * model.sensor_noise;
+            cfg.initial_radius = cfg.measurement_noise;
+
+            let pulse_at = 250usize;
+            let mut attack = BiasAttack::new(
+                AttackWindow::new(pulse_at, Some(1)),
+                Vector::from_slice(&[0.18]),
+            );
+            // Legitimate maneuver toward the boundary right after the
+            // pulse: the deadline collapses a few steps later.
+            let reference = Reference::step(1.0, 1.7, pulse_at + 1);
+            let r = run_episode(&model, &mut attack, Some(reference), &cfg, seed);
+
+            // Detection = an alarm while the pulse is the only
+            // evidence around: from the pulse until a few steps after
+            // the deadline collapse finishes re-checking.
+            let detected = (pulse_at..(pulse_at + 15).min(cfg.steps))
+                .any(|t| r.adaptive_alarms[t]);
+            caught[idx] += detected as usize;
+        }
+    }
+    println!("pulse caught with complementary detection:    {}/{runs}", caught[0]);
+    println!("pulse caught without complementary detection: {}/{runs}", caught[1]);
+    assert!(
+        caught[0] >= caught[1],
+        "complementary detection must not lose detections"
+    );
+
+    println!();
+    let cell_runs = 50;
+    println!("Ablation B: Table 2 cells under both settings ({cell_runs} runs per case)");
+    println!(
+        "{:<20} {:<7} {:>8} {:>8} {:>8} {:>8}",
+        "Simulator", "Attack", "det(ON)", "det(OFF)", "DM(ON)", "DM(OFF)"
+    );
+
+    let mut rows = Vec::new();
+    let (mut dm_on_total, mut dm_off_total) = (0usize, 0usize);
+    for sim in Simulator::all() {
+        let model = sim.build();
+        for attack in AttackKind::attacks() {
+            let mut cfg_on = EpisodeConfig::for_model(&model);
+            cfg_on.complementary = true;
+            let mut cfg_off = cfg_on.clone();
+            cfg_off.complementary = false;
+            let seed = 31_000;
+            let on = run_cell(&model, attack, cell_runs, &cfg_on, seed);
+            let off = run_cell(&model, attack, cell_runs, &cfg_off, seed);
+            println!(
+                "{:<20} {:<7} {:>8} {:>8} {:>8} {:>8}",
+                model.name,
+                attack.to_string(),
+                on.adaptive.detected,
+                off.adaptive.detected,
+                on.adaptive.deadline_misses,
+                off.adaptive.deadline_misses
+            );
+            rows.push(format!(
+                "{},{},{},{},{},{}",
+                model.name,
+                attack,
+                on.adaptive.detected,
+                off.adaptive.detected,
+                on.adaptive.deadline_misses,
+                off.adaptive.deadline_misses
+            ));
+            dm_on_total += on.adaptive.deadline_misses;
+            dm_off_total += off.adaptive.deadline_misses;
+        }
+    }
+    write_csv(
+        "ablation_complementary.csv",
+        "simulator,attack,detected_on,detected_off,dm_on,dm_off",
+        &rows,
+    );
+    println!();
+    println!("Escape scenario: ON caught {} vs OFF {} (out of {runs}).", caught[0], caught[1]);
+    println!("Table 2 cells: total adaptive DM ON={dm_on_total}, OFF={dm_off_total} (onset");
+    println!("evidence dominates there, so the re-check rarely changes aggregate counts —");
+    println!("its value shows when evidence is diluted and the window shrinks afterwards).");
+}

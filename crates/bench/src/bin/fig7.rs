@@ -1,0 +1,58 @@
+//! Regenerates **Figure 7**: the number of false-positive and
+//! false-negative experiments (out of 100) as a function of the fixed
+//! detection window size, on the aircraft-pitch simulator under a
+//! 15-step bias attack (§6.1.2).
+//!
+//! The paper uses this profile to pick the maximum window size `w_m`
+//! (§4.3): the largest window whose false-negative count is acceptable
+//! (they pick 40). The console output prints the same selection rule.
+
+use awsad_bench::write_csv;
+use awsad_models::Simulator;
+use awsad_sim::{run_window_sweep, EpisodeConfig};
+
+fn main() {
+    let model = Simulator::AircraftPitch.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let windows: Vec<usize> = (0..=100).collect();
+    let runs = 100;
+    let attack_len = 15; // 15 control steps = 0.3 s at delta = 0.02
+
+    println!("Figure 7: FP/FN experiments vs window size");
+    println!("(aircraft pitch, bias attack lasting {attack_len} steps, {runs} experiments/size)");
+    let tau = model.threshold[model.attack_profile.target_dim];
+    let points = run_window_sweep(
+        &model,
+        &windows,
+        runs,
+        attack_len,
+        (5.0 * tau, 150.0 * tau),
+        &cfg,
+        7_000,
+    );
+
+    println!("{:>6} {:>6} {:>6}", "window", "#FP", "#FN");
+    for p in points.iter().step_by(5) {
+        println!("{:>6} {:>6} {:>6}", p.window, p.fp_experiments, p.fn_experiments);
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| format!("{},{},{}", p.window, p.fp_experiments, p.fn_experiments))
+        .collect();
+    write_csv("fig7.csv", "window,fp_experiments,fn_experiments", &rows);
+
+    // The paper's selection rule (§4.3): the largest window with zero
+    // FN experiments, and the largest with at most 3.
+    let zero_fn = points.iter().rev().find(|p| p.fn_experiments == 0);
+    let three_fn = points.iter().rev().find(|p| p.fn_experiments <= 3);
+    println!();
+    if let Some(p) = zero_fn {
+        println!("Largest window with 0 FN experiments:  {}", p.window);
+    }
+    if let Some(p) = three_fn {
+        println!("Largest window with <=3 FN experiments: {}", p.window);
+    }
+    println!("(Paper: 35 for zero FNs, 40 tolerating 3 — used as w_m.)");
+    println!("Series written to results/fig7.csv");
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Figure 8**: the RC-car testbed experiment. The car
+//! cruises at 4 m/s; at the end of step 79 a +2.5 m/s bias is added to
+//! the speed sensor. The adaptive detector (deadline-driven window)
+//! must alert in the first step after the attack, while the fixed
+//! window-30 detector alerts only after the true speed has fallen into
+//! the unsafe region (< 2 m/s).
+
+use awsad_attack::{AttackWindow, BiasAttack};
+use awsad_bench::{opt, write_csv};
+use awsad_linalg::Vector;
+use awsad_models::{rc_car, RC_CAR_ATTACK_STEP, RC_CAR_BIAS_MPS, RC_CAR_C};
+use awsad_sim::{run_episode, EpisodeConfig};
+
+fn main() {
+    let model = rc_car();
+    let mut cfg = EpisodeConfig::for_model(&model);
+    cfg.steps = 240;
+    cfg.fixed_window = 30; // the paper's fixed comparison size
+
+    let mut bias = Vector::zeros(1);
+    bias[0] = RC_CAR_BIAS_MPS / RC_CAR_C;
+    let mut attack = BiasAttack::new(AttackWindow::from_step(RC_CAR_ATTACK_STEP), bias);
+    let r = run_episode(&model, &mut attack, None, &cfg, 88);
+
+    let adaptive_at = r.first_adaptive_alarm(RC_CAR_ATTACK_STEP);
+    let fixed_at = r.first_fixed_alarm(RC_CAR_ATTACK_STEP);
+
+    println!("Figure 8: RC-car testbed, +{RC_CAR_BIAS_MPS} m/s speed bias at step {RC_CAR_ATTACK_STEP}");
+    println!("safe speed range [2, 10] m/s; fixed window = {}", cfg.fixed_window);
+    println!();
+    println!("attack onset step:        {RC_CAR_ATTACK_STEP}");
+    println!("unsafe entry step:        {}", opt(r.unsafe_entry));
+    println!("first adaptive alert:     {}", opt(adaptive_at));
+    println!("first fixed alert:        {}", opt(fixed_at));
+    if let Some(a) = adaptive_at {
+        println!(
+            "adaptive delay:           {} step(s) after the attack",
+            a - RC_CAR_ATTACK_STEP
+        );
+    }
+    match (fixed_at, r.unsafe_entry) {
+        (Some(f), Some(u)) if f >= u => {
+            println!("fixed alert came {} step(s) AFTER the unsafe entry (untimely)", f - u)
+        }
+        (None, _) => {
+            // Closed form: under a constant sensor bias b the steady
+            // residual is |(A-1)b|, so the window-w statistic tends to
+            // (spike + w*(1-A)b)/w; if that limit is below tau the
+            // fixed detector can never fire on this ideal LTI plant.
+            let a = 8.435e-1;
+            let b = RC_CAR_BIAS_MPS / RC_CAR_C;
+            let persistent = (1.0 - a) * b;
+            let w = cfg.fixed_window as f64;
+            let limit = (b + w * persistent) / w;
+            println!(
+                "fixed detector never alerted — untimely in the strongest sense: its \
+                 window statistic tends to {limit:.2e} < tau {:.2e} (steady residual \
+                 (1-A)*bias = {persistent:.2e}); the paper's physical testbed shows a \
+                 late alert instead, driven by real-car model mismatch absent from an \
+                 ideal LTI replay (see EXPERIMENTS.md)",
+                model.threshold[0]
+            );
+        }
+        _ => println!("fixed alert was in time (unexpected for this scenario)"),
+    }
+
+    let rows: Vec<String> = (0..r.states.len())
+        .map(|t| {
+            format!(
+                "{t},{:.4},{:.4},{},{},{}",
+                r.states[t][0] * RC_CAR_C,
+                r.estimates[t][0] * RC_CAR_C,
+                r.windows[t],
+                r.adaptive_alarms[t] as u8,
+                r.fixed_alarms[t] as u8
+            )
+        })
+        .collect();
+    write_csv(
+        "fig8.csv",
+        "step,true_speed_mps,measured_speed_mps,window,adaptive_alarm,fixed_alarm",
+        &rows,
+    );
+    println!();
+    println!("Per-step series written to results/fig8.csv");
+    println!("Expected shape (paper): adaptive alerts in the first step after the attack");
+    println!("(the estimator computes the tightest deadline and shrinks the window);");
+    println!("the fixed window-30 detector alerts after the car is already unsafe.");
+}

@@ -1,0 +1,66 @@
+//! The Table 2 protocol applied to the two extra plants that are not
+//! Table 1 rows: the RC-car testbed model (§6.2) and the bonus
+//! open-loop-unstable inverted pendulum.
+//!
+//! The point is generality: the same harness, metrics and detector
+//! configuration produce the same qualitative trade-off on plants the
+//! paper's simulation study never touched — including one whose
+//! deadlines are intrinsically short because the open-loop dynamics
+//! diverge.
+
+use awsad_bench::write_csv;
+use awsad_models::{inverted_pendulum, rc_car};
+use awsad_sim::{run_cell, AttackKind, EpisodeConfig};
+
+fn main() {
+    let runs = 100;
+    println!("Table 2 protocol on the extra plants ({runs} runs per case)");
+    println!(
+        "{:<20} {:<7} {:<9} {:>5} {:>5} {:>9} {:>11}",
+        "Plant", "Attack", "Strategy", "#FP", "#DM", "detected", "mean delay"
+    );
+
+    let mut rows = Vec::new();
+    for model in [rc_car(), inverted_pendulum()] {
+        for attack in AttackKind::attacks() {
+            let cfg = EpisodeConfig::for_model(&model);
+            let cell = run_cell(&model, attack, runs, &cfg, 200_000);
+            for (strategy, stats) in [("Adaptive", cell.adaptive), ("Fixed", cell.fixed)] {
+                println!(
+                    "{:<20} {:<7} {:<9} {:>5} {:>5} {:>9} {:>11.1}",
+                    model.name,
+                    attack.to_string(),
+                    strategy,
+                    stats.fp_experiments,
+                    stats.deadline_misses,
+                    stats.detected,
+                    stats.mean_detection_delay.unwrap_or(f64::NAN)
+                );
+                rows.push(format!(
+                    "{},{},{},{},{},{},{:.2}",
+                    model.name,
+                    attack,
+                    strategy,
+                    stats.fp_experiments,
+                    stats.deadline_misses,
+                    stats.detected,
+                    stats.mean_detection_delay.unwrap_or(f64::NAN)
+                ));
+            }
+        }
+    }
+    write_csv(
+        "table2_extras.csv",
+        "plant,attack,strategy,fp_experiments,deadline_misses,detected,mean_delay",
+        &rows,
+    );
+    println!();
+    println!("Note: the RC car's actuator authority is huge relative to its safety");
+    println!("margin, so its deadlines are 2-3 steps. Delay/replay attacks need a");
+    println!("maneuver before they produce evidence, which arrives after such a");
+    println!("deadline by construction — both strategies miss it; only the attack's");
+    println!("onset discontinuity (bias) is catchable that fast, and the adaptive");
+    println!("detector is the one that catches it. The paper's own testbed study");
+    println!("(Fig. 8) evaluates exactly that bias case.");
+    println!("Written to results/table2_extras.csv");
+}

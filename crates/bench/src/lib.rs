@@ -1,0 +1,74 @@
+//! Shared utilities for the AWSAD experiment binaries: a results
+//! directory next to the workspace root and a tiny CSV writer so every
+//! table/figure bin can dump machine-readable series alongside its
+//! console output.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The directory experiment binaries write CSV series into
+/// (`<workspace>/results`), created on demand.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <workspace>/crates/bench
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes a CSV file named `name` into [`results_dir`], returning the
+/// full path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment binaries want loud failures.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv file");
+    writeln!(f, "{header}").expect("write csv header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write csv row");
+    }
+    path
+}
+
+/// Formats an `Option<usize>` as the value or `-`.
+pub fn opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| x.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_and_is_dir() {
+        let d = results_dir();
+        assert!(d.is_dir());
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "unit_test.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn opt_formatting() {
+        assert_eq!(opt(Some(3)), "3");
+        assert_eq!(opt(None), "-");
+    }
+}

@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Errors produced when constructing a controller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// The controller was created without any PID channel.
+    NoChannels,
+    /// A channel referenced an input dimension outside the saturation
+    /// box.
+    InputIndexOutOfRange {
+        /// Offending input index.
+        index: usize,
+        /// Available input dimension.
+        input_dim: usize,
+    },
+    /// The sampling period is not finite and positive.
+    InvalidSamplingPeriod {
+        /// Offending period.
+        dt: f64,
+    },
+    /// A PID gain was NaN.
+    NanGain,
+    /// LQR design failed (shape mismatch, singular Gram matrix or a
+    /// non-convergent Riccati iteration).
+    LqrFailure {
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::NoChannels => write!(f, "controller requires at least one PID channel"),
+            ControlError::InputIndexOutOfRange { index, input_dim } => write!(
+                f,
+                "channel drives input dimension {index}, but the actuator box has {input_dim} dimensions"
+            ),
+            ControlError::InvalidSamplingPeriod { dt } => {
+                write!(f, "sampling period must be finite and positive, got {dt}")
+            }
+            ControlError::NanGain => write!(f, "PID gains must not be NaN"),
+            ControlError::LqrFailure { reason } => write!(f, "LQR design failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ControlError::NoChannels.to_string().contains("channel"));
+        assert!(ControlError::InputIndexOutOfRange { index: 3, input_dim: 1 }
+            .to_string()
+            .contains('3'));
+        assert!(ControlError::InvalidSamplingPeriod { dt: 0.0 }
+            .to_string()
+            .contains('0'));
+        assert!(ControlError::NanGain.to_string().contains("NaN"));
+        assert!(ControlError::LqrFailure { reason: "diverged" }
+            .to_string()
+            .contains("diverged"));
+    }
+}

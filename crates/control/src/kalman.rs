@@ -1,0 +1,168 @@
+use awsad_linalg::{Lu, Matrix};
+
+use crate::{lqr::solve_dare, ControlError, Result};
+
+/// Designs the steady-state Kalman (optimal observer) gain for
+/// `x⁺ = A x + B u + w`, `y = C x + v` with process covariance `Q_w`
+/// and measurement covariance `R_v`.
+///
+/// Estimation is the dual of control: the prediction covariance `P`
+/// solves the DARE of the *dual* system `(Aᵀ, Cᵀ, Q_w, R_v)`, and the
+/// steady-state gain is
+///
+/// ```text
+/// L = A P Cᵀ (C P Cᵀ + R_v)⁻¹
+/// ```
+///
+/// which plugs directly into [`awsad_lti::Observer`]. Where the
+/// paper's full-observability assumption holds, `C = I` and the
+/// observer is unnecessary; for partially measured plants, this gain
+/// minimizes the steady-state estimation error under the given noise
+/// statistics — which also minimizes the benign residual level the
+/// detector has to tolerate.
+///
+/// [`awsad_lti::Observer`]: https://docs.rs/awsad-lti
+///
+/// # Errors
+///
+/// Returns [`ControlError::LqrFailure`] on shape mismatches, a
+/// singular innovation covariance, or a non-convergent Riccati
+/// iteration (e.g. an undetectable pair `(A, C)`).
+///
+/// # Example
+///
+/// ```
+/// use awsad_control::steady_kalman_gain;
+/// use awsad_linalg::Matrix;
+///
+/// // Double integrator, position-only measurement.
+/// let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+/// let c = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+/// let l = steady_kalman_gain(
+///     &a,
+///     &c,
+///     &Matrix::diagonal(&[1e-4, 1e-4]),
+///     &Matrix::diagonal(&[1e-2]),
+/// ).unwrap();
+/// assert_eq!(l.shape(), (2, 1));
+/// assert!(l[(0, 0)] > 0.0 && l[(1, 0)] > 0.0);
+/// ```
+pub fn steady_kalman_gain(
+    a: &Matrix,
+    c: &Matrix,
+    q_process: &Matrix,
+    r_measurement: &Matrix,
+) -> Result<Matrix> {
+    let n = a.rows();
+    let p_out = c.rows();
+    if !a.is_square() || c.cols() != n {
+        return Err(ControlError::LqrFailure {
+            reason: "A must be square and C must have matching columns",
+        });
+    }
+    if q_process.shape() != (n, n) || r_measurement.shape() != (p_out, p_out) {
+        return Err(ControlError::LqrFailure {
+            reason: "covariance shapes must match A and C",
+        });
+    }
+    // Dual DARE: controller problem on (A', C', Qw, Rv).
+    let p = solve_dare(&a.transpose(), &c.transpose(), q_process, r_measurement)?;
+    // L = A P C' (C P C' + R)^{-1}, computed via the transposed solve:
+    // (C P C' + R)' X = (A P C')'  =>  L = X'.
+    let apct = &(a * &p) * &c.transpose();
+    let innovation = &(&(c * &p) * &c.transpose()) + r_measurement;
+    let lu = Lu::new(&innovation.transpose()).map_err(|_| ControlError::LqrFailure {
+        reason: "innovation covariance is singular",
+    })?;
+    let xt = lu
+        .solve(&apct.transpose())
+        .map_err(|_| ControlError::LqrFailure {
+            reason: "Kalman gain solve failed",
+        })?;
+    Ok(xt.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_linalg::{spectral_radius, Vector};
+
+    fn cart() -> (Matrix, Matrix) {
+        (
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn gain_makes_error_dynamics_stable() {
+        let (a, c) = cart();
+        let l = steady_kalman_gain(
+            &a,
+            &c,
+            &Matrix::diagonal(&[1e-4, 1e-4]),
+            &Matrix::diagonal(&[1e-2]),
+        )
+        .unwrap();
+        let lc = l.checked_mul(&c).unwrap();
+        let err_dyn = &a - &lc;
+        let rho = spectral_radius(&err_dyn).unwrap();
+        assert!(rho < 1.0, "error dynamics spectral radius {rho}");
+    }
+
+    #[test]
+    fn noisier_sensor_means_smaller_gain() {
+        let (a, c) = cart();
+        let q = Matrix::diagonal(&[1e-4, 1e-4]);
+        let trusting = steady_kalman_gain(&a, &c, &q, &Matrix::diagonal(&[1e-4])).unwrap();
+        let skeptical = steady_kalman_gain(&a, &c, &q, &Matrix::diagonal(&[1.0])).unwrap();
+        assert!(
+            skeptical[(0, 0)] < trusting[(0, 0)],
+            "gain must shrink when the sensor is noisy"
+        );
+    }
+
+    #[test]
+    fn works_with_lti_observer() {
+        use awsad_lti::{LtiSystem, NoiseModel, Observer, Plant};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let (a, c) = cart();
+        let b = Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap();
+        let l = steady_kalman_gain(
+            &a,
+            &c,
+            &Matrix::diagonal(&[1e-5, 1e-5]),
+            &Matrix::diagonal(&[1e-3]),
+        )
+        .unwrap();
+        let sys = LtiSystem::new_discrete(a, b, c, 0.1).unwrap();
+        let mut obs = Observer::new(sys.clone(), l, Vector::zeros(2)).unwrap();
+        assert!(obs.is_convergent());
+
+        let mut plant = Plant::new(sys, Vector::from_slice(&[1.0, -0.5]), NoiseModel::None);
+        let mut rng = StdRng::seed_from_u64(0);
+        let u = Vector::from_slice(&[0.05]);
+        for _ in 0..300 {
+            let y = plant.measure();
+            obs.update(&u, &y);
+            plant.step(&u, &mut rng);
+        }
+        assert!((obs.estimate() - plant.state()).norm_inf() < 0.05);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (a, c) = cart();
+        assert!(steady_kalman_gain(
+            &a,
+            &Matrix::identity(3),
+            &Matrix::identity(2),
+            &Matrix::identity(3)
+        )
+        .is_err());
+        assert!(steady_kalman_gain(&a, &c, &Matrix::identity(3), &Matrix::identity(1)).is_err());
+        assert!(steady_kalman_gain(&a, &c, &Matrix::identity(2), &Matrix::identity(2)).is_err());
+    }
+}

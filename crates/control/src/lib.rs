@@ -1,0 +1,73 @@
+//! Controllers and reference signals for the AWSAD benchmark plants.
+//!
+//! Every simulator in Table 1 of the DAC'22 paper closes its loop with
+//! a PID controller whose gains are given per model (`PID` column) and
+//! whose output is limited to the actuator range `U`. This crate
+//! supplies that control layer:
+//!
+//! * [`Reference`] — setpoint signals (constant, step, ramp, sine);
+//! * [`PidGains`] / [`PidChannel`] — a single PID loop from one
+//!   measured state dimension to one actuator;
+//! * [`PidController`] — a set of channels plus the actuator
+//!   saturation box `U`, implementing [`Controller`];
+//! * [`Controller`] — the trait the closed-loop simulator drives;
+//! * [`LqrController`] / [`solve_dare`] — an infinite-horizon discrete
+//!   LQR alternative (the controller family the paper's companion
+//!   recovery works use), for checking that detection is
+//!   controller-agnostic;
+//! * [`steady_kalman_gain`] — the dual design: an optimal observer
+//!   gain for partially measured plants, feeding
+//!   `awsad_lti::Observer`.
+//!
+//! The controller acts on *state estimates* — exactly what a sensor
+//! attacker corrupts — so misleading control inputs emerge naturally
+//! in the simulations, as in the paper's threat model.
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_control::{Controller, PidChannel, PidController, PidGains, Reference};
+//! use awsad_linalg::Vector;
+//! use awsad_sets::BoxSet;
+//!
+//! // One loop: drive state dim 0 to 1.0 through input dim 0,
+//! // saturated to [-3, 3] (vehicle-turning settings).
+//! let channel = PidChannel::new(0, 0, PidGains::new(0.5, 7.0, 0.0), Reference::constant(1.0));
+//! let limits = BoxSet::from_bounds(&[-3.0], &[3.0]).unwrap();
+//! let mut pid = PidController::new(vec![channel], limits, 0.02).unwrap();
+//! let u = pid.control(0, &Vector::from_slice(&[0.0]));
+//! assert!(u[0] > 0.0 && u[0] <= 3.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod kalman;
+mod lqr;
+mod pid;
+mod reference;
+
+pub use error::ControlError;
+pub use kalman::steady_kalman_gain;
+pub use lqr::{solve_dare, LqrController};
+pub use pid::{PidChannel, PidController, PidGains};
+pub use reference::Reference;
+
+use awsad_linalg::Vector;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ControlError>;
+
+/// A discrete-time feedback controller driven once per control period.
+pub trait Controller {
+    /// Computes the control input `u_t` from the current step index
+    /// and the state estimate `x̄_t` (which may be attacker-tainted).
+    fn control(&mut self, t: usize, estimate: &Vector) -> Vector;
+
+    /// Dimension of the produced control input.
+    fn input_dim(&self) -> usize;
+
+    /// Clears internal state (integrators, derivative memory).
+    fn reset(&mut self);
+}

@@ -1,0 +1,357 @@
+use awsad_linalg::Vector;
+use awsad_sets::BoxSet;
+
+use crate::{ControlError, Controller, Reference, Result};
+
+/// Proportional/integral/derivative gains (Table 1's `PID` column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PidGains {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+}
+
+impl PidGains {
+    /// Creates a gain triple.
+    pub fn new(kp: f64, ki: f64, kd: f64) -> Self {
+        PidGains { kp, ki, kd }
+    }
+
+    /// Whether any gain is NaN.
+    pub fn has_nan(&self) -> bool {
+        self.kp.is_nan() || self.ki.is_nan() || self.kd.is_nan()
+    }
+}
+
+/// One PID loop: a measured state dimension, the actuator dimension it
+/// drives, its gains and its setpoint.
+///
+/// Table 1 models are single-loop (e.g. aircraft pitch: elevator from
+/// pitch angle error); the quadrotor closes altitude through thrust
+/// while its remaining inputs idle. Multi-loop plants simply register
+/// several channels.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PidChannel {
+    /// Index of the measured/estimated state dimension.
+    pub state_index: usize,
+    /// Index of the driven control-input dimension.
+    pub input_index: usize,
+    /// PID gains.
+    pub gains: PidGains,
+    /// Setpoint signal for this loop.
+    pub reference: Reference,
+}
+
+impl PidChannel {
+    /// Creates a channel.
+    pub fn new(
+        state_index: usize,
+        input_index: usize,
+        gains: PidGains,
+        reference: Reference,
+    ) -> Self {
+        PidChannel {
+            state_index,
+            input_index,
+            gains,
+            reference,
+        }
+    }
+}
+
+/// Per-channel mutable PID state.
+#[derive(Debug, Clone, Default)]
+struct ChannelState {
+    integral: f64,
+    prev_error: Option<f64>,
+}
+
+/// A multi-channel PID controller with actuator saturation.
+///
+/// Implements the discrete PID law per channel
+///
+/// ```text
+/// e_t = r(t) − x̄_t[state_index]
+/// u   = kp·e_t + ki·∫e dt + kd·(e_t − e_{t−1})/δ
+/// ```
+///
+/// and clamps the stacked input vector into the actuator box `U`
+/// (Table 1's `U` column). Anti-windup uses conditional integration:
+/// a channel's integrator only accumulates while its actuator is not
+/// saturated against the error direction, preventing the huge
+/// overshoots a plain integrator produces under the paper's tight
+/// input ranges.
+#[derive(Debug, Clone)]
+pub struct PidController {
+    channels: Vec<PidChannel>,
+    limits: BoxSet,
+    dt: f64,
+    states: Vec<ChannelState>,
+}
+
+impl PidController {
+    /// Creates a controller from channels, the actuator saturation box
+    /// and the control period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::NoChannels`] for an empty channel list,
+    /// [`ControlError::InputIndexOutOfRange`] when a channel drives a
+    /// dimension outside `limits`, [`ControlError::NanGain`] for NaN
+    /// gains and [`ControlError::InvalidSamplingPeriod`] for a
+    /// non-positive `dt`.
+    pub fn new(channels: Vec<PidChannel>, limits: BoxSet, dt: f64) -> Result<Self> {
+        if channels.is_empty() {
+            return Err(ControlError::NoChannels);
+        }
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(ControlError::InvalidSamplingPeriod { dt });
+        }
+        for ch in &channels {
+            if ch.gains.has_nan() {
+                return Err(ControlError::NanGain);
+            }
+            if ch.input_index >= limits.dim() {
+                return Err(ControlError::InputIndexOutOfRange {
+                    index: ch.input_index,
+                    input_dim: limits.dim(),
+                });
+            }
+        }
+        let states = vec![ChannelState::default(); channels.len()];
+        Ok(PidController {
+            channels,
+            limits,
+            dt,
+            states,
+        })
+    }
+
+    /// The actuator saturation box `U`.
+    pub fn limits(&self) -> &BoxSet {
+        &self.limits
+    }
+
+    /// The configured channels.
+    pub fn channels(&self) -> &[PidChannel] {
+        &self.channels
+    }
+
+    /// Control period in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+}
+
+impl Controller for PidController {
+    fn control(&mut self, t: usize, estimate: &Vector) -> Vector {
+        let mut u = Vector::zeros(self.limits.dim());
+        for (ch, st) in self.channels.iter().zip(self.states.iter_mut()) {
+            let measured = estimate[ch.state_index];
+            let error = ch.reference.value(t, self.dt) - measured;
+
+            let derivative = match st.prev_error {
+                Some(prev) => (error - prev) / self.dt,
+                None => 0.0,
+            };
+            st.prev_error = Some(error);
+
+            let mut integral = st.integral + error * self.dt;
+            let raw =
+                ch.gains.kp * error + ch.gains.ki * integral + ch.gains.kd * derivative;
+
+            // Back-calculation anti-windup: when the channel's own
+            // output saturates against its actuator limit, rewind the
+            // integrator by exactly the clipped amount so it tracks
+            // the achievable output instead of winding up.
+            let limit = self.limits.interval(ch.input_index);
+            let sat = limit.clamp(raw);
+            if sat != raw && ch.gains.ki != 0.0 {
+                integral += (sat - raw) / ch.gains.ki;
+            }
+            st.integral = integral;
+            u[ch.input_index] += sat;
+        }
+        self.limits.clamp(&u)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.limits.dim()
+    }
+
+    fn reset(&mut self) {
+        for st in &mut self.states {
+            st.integral = 0.0;
+            st.prev_error = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_channel(kp: f64, ki: f64, kd: f64, setpoint: f64, lo: f64, hi: f64) -> PidController {
+        PidController::new(
+            vec![PidChannel::new(
+                0,
+                0,
+                PidGains::new(kp, ki, kd),
+                Reference::constant(setpoint),
+            )],
+            BoxSet::from_bounds(&[lo], &[hi]).unwrap(),
+            0.02,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let limits = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+        assert!(matches!(
+            PidController::new(vec![], limits.clone(), 0.02),
+            Err(ControlError::NoChannels)
+        ));
+        let ch = PidChannel::new(0, 5, PidGains::new(1.0, 0.0, 0.0), Reference::constant(0.0));
+        assert!(matches!(
+            PidController::new(vec![ch], limits.clone(), 0.02),
+            Err(ControlError::InputIndexOutOfRange { .. })
+        ));
+        let nan_ch = PidChannel::new(
+            0,
+            0,
+            PidGains::new(f64::NAN, 0.0, 0.0),
+            Reference::constant(0.0),
+        );
+        assert!(matches!(
+            PidController::new(vec![nan_ch], limits.clone(), 0.02),
+            Err(ControlError::NanGain)
+        ));
+        let ok = PidChannel::new(0, 0, PidGains::new(1.0, 0.0, 0.0), Reference::constant(0.0));
+        assert!(matches!(
+            PidController::new(vec![ok], limits, 0.0),
+            Err(ControlError::InvalidSamplingPeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn proportional_action() {
+        let mut pid = single_channel(2.0, 0.0, 0.0, 1.0, -10.0, 10.0);
+        let u = pid.control(0, &Vector::from_slice(&[0.0]));
+        assert!((u[0] - 2.0).abs() < 1e-12);
+        let u2 = pid.control(1, &Vector::from_slice(&[1.0]));
+        assert_eq!(u2[0], 0.0);
+    }
+
+    #[test]
+    fn integral_accumulates() {
+        let mut pid = single_channel(0.0, 1.0, 0.0, 1.0, -10.0, 10.0);
+        let u1 = pid.control(0, &Vector::from_slice(&[0.0]))[0];
+        let u2 = pid.control(1, &Vector::from_slice(&[0.0]))[0];
+        assert!((u1 - 0.02).abs() < 1e-12);
+        assert!((u2 - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_reacts_to_error_change() {
+        let mut pid = single_channel(0.0, 0.0, 0.1, 0.0, -100.0, 100.0);
+        // First step has no derivative memory.
+        let u1 = pid.control(0, &Vector::from_slice(&[0.0]))[0];
+        assert_eq!(u1, 0.0);
+        // Error jumps from 0 to -1: derivative = -1/0.02 = -50.
+        let u2 = pid.control(1, &Vector::from_slice(&[1.0]))[0];
+        assert!((u2 + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_clamps_output() {
+        let mut pid = single_channel(100.0, 0.0, 0.0, 1.0, -3.0, 3.0);
+        let u = pid.control(0, &Vector::from_slice(&[0.0]));
+        assert_eq!(u[0], 3.0);
+        let u_neg = pid.control(1, &Vector::from_slice(&[10.0]));
+        assert_eq!(u_neg[0], -3.0);
+    }
+
+    #[test]
+    fn anti_windup_freezes_integrator() {
+        let mut windup = single_channel(0.0, 100.0, 0.0, 1.0, -1.0, 1.0);
+        // Saturate hard for many steps.
+        for t in 0..100 {
+            let u = windup.control(t, &Vector::from_slice(&[0.0]));
+            assert_eq!(u[0], 1.0);
+        }
+        // Now the measurement overshoots; with anti-windup the output
+        // flips sign quickly instead of staying pinned at +1.
+        let mut flipped_at = None;
+        for t in 100..120 {
+            let u = windup.control(t, &Vector::from_slice(&[2.0]));
+            if u[0] < 1.0 {
+                flipped_at = Some(t);
+                break;
+            }
+        }
+        assert!(flipped_at.is_some(), "anti-windup failed: output never unpinned");
+    }
+
+    #[test]
+    fn closed_loop_converges_on_plant() {
+        // Drive the discretized lag x' = -x + u to 1.0 with PI control.
+        use awsad_linalg::Matrix;
+        use awsad_lti::{LtiSystem, NoiseModel, Plant};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let sys = LtiSystem::from_continuous(
+            Matrix::diagonal(&[-1.0]),
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            Matrix::identity(1),
+            0.02,
+        )
+        .unwrap();
+        let mut plant = Plant::new(sys, Vector::zeros(1), NoiseModel::None);
+        let mut pid = single_channel(0.5, 7.0, 0.0, 1.0, -3.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..2_000 {
+            let est = plant.measure();
+            let u = pid.control(t, &est);
+            plant.step(&u, &mut rng);
+        }
+        assert!(
+            (plant.state()[0] - 1.0).abs() < 1e-3,
+            "did not converge: {}",
+            plant.state()[0]
+        );
+    }
+
+    #[test]
+    fn multi_channel_sums_into_inputs() {
+        let channels = vec![
+            PidChannel::new(0, 0, PidGains::new(1.0, 0.0, 0.0), Reference::constant(1.0)),
+            PidChannel::new(1, 0, PidGains::new(1.0, 0.0, 0.0), Reference::constant(1.0)),
+            PidChannel::new(2, 1, PidGains::new(2.0, 0.0, 0.0), Reference::constant(0.0)),
+        ];
+        let limits = BoxSet::from_bounds(&[-10.0, -10.0], &[10.0, 10.0]).unwrap();
+        let mut pid = PidController::new(channels, limits, 0.1).unwrap();
+        let u = pid.control(0, &Vector::from_slice(&[0.0, 0.0, -1.0]));
+        assert!((u[0] - 2.0).abs() < 1e-12); // two channels summed
+        assert!((u[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut pid = single_channel(0.0, 1.0, 0.5, 1.0, -10.0, 10.0);
+        pid.control(0, &Vector::from_slice(&[0.0]));
+        pid.control(1, &Vector::from_slice(&[0.5]));
+        pid.reset();
+        // After reset the first output equals a fresh controller's.
+        let mut fresh = single_channel(0.0, 1.0, 0.5, 1.0, -10.0, 10.0);
+        let a = pid.control(0, &Vector::from_slice(&[0.2]));
+        let b = fresh.control(0, &Vector::from_slice(&[0.2]));
+        assert!(a.approx_eq(&b));
+    }
+}

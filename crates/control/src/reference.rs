@@ -1,0 +1,161 @@
+use std::fmt;
+
+/// A scalar setpoint signal `r(t)` evaluated at discrete control steps.
+///
+/// The paper's simulators "supervise the physical system at a desired
+/// (or reference) state"; the concrete experiments use constant or
+/// step references (e.g. the RC-car testbed cruises at 4 m/s). Ramp
+/// and sine variants are provided for richer workloads in examples and
+/// ablations.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum Reference {
+    /// `r(t) = value`.
+    Constant {
+        /// The setpoint.
+        value: f64,
+    },
+    /// `r(t) = before` for `t < at`, `after` afterwards.
+    Step {
+        /// Value before the step.
+        before: f64,
+        /// Value from step `at` on.
+        after: f64,
+        /// Step index at which the reference switches.
+        at: usize,
+    },
+    /// `r(t) = start + rate · t · dt`, optionally clamped at `end`.
+    Ramp {
+        /// Initial value.
+        start: f64,
+        /// Slope per second.
+        rate: f64,
+        /// Saturation value (may be ±∞ for an unbounded ramp).
+        end: f64,
+    },
+    /// `r(t) = offset + amplitude · sin(2π · frequency · t · dt)`.
+    Sine {
+        /// Mean value.
+        offset: f64,
+        /// Peak deviation from the mean.
+        amplitude: f64,
+        /// Frequency in Hz.
+        frequency: f64,
+    },
+}
+
+impl Reference {
+    /// A constant reference.
+    pub fn constant(value: f64) -> Self {
+        Reference::Constant { value }
+    }
+
+    /// A step reference switching from `before` to `after` at step
+    /// `at`.
+    pub fn step(before: f64, after: f64, at: usize) -> Self {
+        Reference::Step { before, after, at }
+    }
+
+    /// Evaluates the reference at control step `t` with period `dt`.
+    pub fn value(&self, t: usize, dt: f64) -> f64 {
+        match self {
+            Reference::Constant { value } => *value,
+            Reference::Step { before, after, at } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            Reference::Ramp { start, rate, end } => {
+                let v = start + rate * t as f64 * dt;
+                if *rate >= 0.0 {
+                    v.min(*end)
+                } else {
+                    v.max(*end)
+                }
+            }
+            Reference::Sine {
+                offset,
+                amplitude,
+                frequency,
+            } => offset + amplitude * (std::f64::consts::TAU * frequency * t as f64 * dt).sin(),
+        }
+    }
+}
+
+impl fmt::Display for Reference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reference::Constant { value } => write!(f, "const({value})"),
+            Reference::Step { before, after, at } => write!(f, "step({before}→{after}@{at})"),
+            Reference::Ramp { start, rate, end } => write!(f, "ramp({start}, {rate}/s, ≤{end})"),
+            Reference::Sine {
+                offset,
+                amplitude,
+                frequency,
+            } => write!(f, "sine({offset}±{amplitude}, {frequency}Hz)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant() {
+        let r = Reference::constant(4.0);
+        assert_eq!(r.value(0, 0.05), 4.0);
+        assert_eq!(r.value(1_000, 0.05), 4.0);
+    }
+
+    #[test]
+    fn step_switches_at_index() {
+        let r = Reference::step(0.0, 1.0, 10);
+        assert_eq!(r.value(9, 0.02), 0.0);
+        assert_eq!(r.value(10, 0.02), 1.0);
+        assert_eq!(r.value(11, 0.02), 1.0);
+    }
+
+    #[test]
+    fn ramp_clamps() {
+        let r = Reference::Ramp {
+            start: 0.0,
+            rate: 1.0,
+            end: 0.5,
+        };
+        assert_eq!(r.value(0, 0.1), 0.0);
+        assert!((r.value(3, 0.1) - 0.3).abs() < 1e-12);
+        assert_eq!(r.value(100, 0.1), 0.5);
+    }
+
+    #[test]
+    fn downward_ramp_clamps_at_floor() {
+        let r = Reference::Ramp {
+            start: 1.0,
+            rate: -1.0,
+            end: 0.0,
+        };
+        assert!((r.value(5, 0.1) - 0.5).abs() < 1e-12);
+        assert_eq!(r.value(100, 0.1), 0.0);
+    }
+
+    #[test]
+    fn sine_oscillates() {
+        let r = Reference::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            frequency: 1.0,
+        };
+        assert!((r.value(0, 0.25) - 1.0).abs() < 1e-12);
+        assert!((r.value(1, 0.25) - 1.5).abs() < 1e-12); // quarter period
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reference::constant(2.0).to_string(), "const(2)");
+        assert!(Reference::step(0.0, 1.0, 5).to_string().contains("@5"));
+    }
+}

@@ -1,0 +1,479 @@
+use awsad_reach::{Deadline, DeadlineEstimator};
+
+use crate::{DataLogger, DetectError, DetectorConfig, Result, WindowDetector};
+
+/// The outcome of one adaptive-detector step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveStep {
+    /// The control step this outcome belongs to.
+    pub step: usize,
+    /// The deadline estimated from the newest trusted state.
+    pub deadline: Deadline,
+    /// The window size `w_c` chosen for this step.
+    pub window: usize,
+    /// The window size `w_p` used at the previous step.
+    pub previous_window: usize,
+    /// Whether the window ending at this step tripped the threshold.
+    pub current_alarm: bool,
+    /// End-steps of complementary-detection windows that tripped while
+    /// shrinking the window (Fig. 3). Empty when the window grew or
+    /// stayed.
+    pub complementary_alarms: Vec<usize>,
+}
+
+impl AdaptiveStep {
+    /// Whether any alarm (current or complementary) fired this step.
+    pub fn alarm(&self) -> bool {
+        self.current_alarm || !self.complementary_alarms.is_empty()
+    }
+}
+
+/// The adaptive window-based detector (§4.2/§4.3).
+///
+/// Each step it:
+///
+/// 1. reads the newest **trusted** state estimate — the one just
+///    outside the previous detection window (`x̄_{t−w_p−1}`, §3.3.1) —
+///    from the [`DataLogger`];
+/// 2. queries the [`DeadlineEstimator`] for the detection deadline
+///    `t_d` from that state;
+/// 3. sets `w_c = t_d` clamped into `[min_window, w_m]` (§4.3);
+/// 4. if `w_c < w_p`, runs **complementary detection**: re-checks the
+///    windows of size `w_c` ending at `t−w_p−1+w_c, …, t−1`, so no
+///    logged point escapes the shrunken window unchecked (Fig. 3);
+///    growing the window needs no extra work (Fig. 4);
+/// 5. checks the window `[t−w_c, t]` against the threshold `τ`.
+///
+/// The deadline query may optionally account for bounded noise in the
+/// trusted estimate via [`AdaptiveDetector::set_initial_radius`]
+/// (§3.3.1's initial-state *set*).
+#[derive(Debug, Clone)]
+pub struct AdaptiveDetector {
+    config: DetectorConfig,
+    estimator: DeadlineEstimator,
+    checker: WindowDetector,
+    prev_window: usize,
+    initial_radius: f64,
+    complementary_enabled: bool,
+    reestimation_period: usize,
+    steps_since_estimate: usize,
+    cached_deadline: Option<Deadline>,
+}
+
+impl AdaptiveDetector {
+    /// Creates an adaptive detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::DimensionMismatch`] when the threshold
+    /// dimension differs from the estimator's state dimension.
+    pub fn new(config: DetectorConfig, estimator: DeadlineEstimator) -> Result<Self> {
+        if config.dim() != estimator.state_dim() {
+            return Err(DetectError::DimensionMismatch {
+                threshold_dim: config.dim(),
+                state_dim: estimator.state_dim(),
+            });
+        }
+        let checker = WindowDetector::new(config.threshold().clone());
+        let prev_window = config.max_window();
+        Ok(AdaptiveDetector {
+            config,
+            estimator,
+            checker,
+            prev_window,
+            initial_radius: 0.0,
+            complementary_enabled: true,
+            reestimation_period: 1,
+            steps_since_estimate: 0,
+            cached_deadline: None,
+        })
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The deadline estimator in use.
+    pub fn estimator(&self) -> &DeadlineEstimator {
+        &self.estimator
+    }
+
+    /// The window size chosen at the previous step (`w_p`).
+    pub fn previous_window(&self) -> usize {
+        self.prev_window
+    }
+
+    /// Accounts for bounded noise of radius `r0` in the trusted state
+    /// estimate when querying deadlines (§3.3.1).
+    pub fn set_initial_radius(&mut self, r0: f64) {
+        self.initial_radius = r0.max(0.0);
+    }
+
+    /// Enables or disables complementary detection on window shrink.
+    ///
+    /// Disabling it exists **only** for the ablation study showing
+    /// that points then escape detection; production use should leave
+    /// it on.
+    pub fn set_complementary_enabled(&mut self, enabled: bool) {
+        self.complementary_enabled = enabled;
+    }
+
+    /// Queries the reachability estimator only every `period` steps,
+    /// *conservatively aging* the cached deadline in between: a
+    /// deadline of `t_d` steps estimated `j` steps ago is still valid
+    /// as `t_d − j` (the unsafe set cannot arrive sooner than the
+    /// worst case predicted then — the trusted state the estimate was
+    /// taken from only recedes). This trades a bounded amount of
+    /// pessimism (up to `period − 1` steps of unnecessarily small
+    /// windows) for a `period`-fold cut in estimator cost — the
+    /// paper's low-overhead requirement taken one step further for
+    /// very fast control loops.
+    ///
+    /// A period of 1 (the default) re-estimates every step, exactly
+    /// the paper's protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period == 0`.
+    pub fn set_reestimation_period(&mut self, period: usize) {
+        assert!(period > 0, "re-estimation period must be positive");
+        self.reestimation_period = period;
+        self.steps_since_estimate = 0;
+        self.cached_deadline = None;
+    }
+
+    /// Runs one detection step against the logger's newest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the logger is empty (record the current step
+    /// first) or its model dimension differs from the estimator's.
+    pub fn step(&mut self, logger: &DataLogger) -> AdaptiveStep {
+        let current = logger
+            .current_step()
+            .expect("record the current step before detection");
+
+        // 1-2. Deadline from the newest trusted estimate; re-queried
+        // every `reestimation_period` steps and conservatively aged in
+        // between.
+        let deadline = match self.cached_deadline {
+            Some(cached) if self.steps_since_estimate < self.reestimation_period => {
+                self.steps_since_estimate += 1;
+                match cached {
+                    Deadline::Within(t_d) => Deadline::Within(t_d.saturating_sub(1)),
+                    Deadline::Beyond => Deadline::Beyond,
+                }
+            }
+            _ => {
+                let trusted = logger
+                    .trusted_entry(self.prev_window)
+                    .expect("logger has at least one entry");
+                let fresh = self
+                    .estimator
+                    .checked_deadline(&trusted.estimate, self.initial_radius)
+                    .expect("logger state dimension matches estimator");
+                self.steps_since_estimate = 1;
+                fresh
+            }
+        };
+        self.cached_deadline = Some(deadline);
+
+        // 3. Window adjustment (§4.2): w_c = t_d clamped to [min, w_m].
+        let w_p = self.prev_window;
+        let w_c = deadline.window_size(self.config.min_window(), self.config.max_window());
+
+        // 4. Complementary detection on shrink (Fig. 3).
+        let mut complementary_alarms = Vec::new();
+        if self.complementary_enabled && w_c < w_p && current > 0 {
+            let first_end = current.saturating_sub(w_p + 1).saturating_add(w_c);
+            for end in first_end..current {
+                if self.checker.check(logger, end, w_c) == Some(true) {
+                    complementary_alarms.push(end);
+                }
+            }
+        }
+
+        // 5. Detection for the current step.
+        let current_alarm = self.checker.check(logger, current, w_c).unwrap_or(false);
+
+        self.prev_window = w_c;
+        AdaptiveStep {
+            step: current,
+            deadline,
+            window: w_c,
+            previous_window: w_p,
+            current_alarm,
+            complementary_alarms,
+        }
+    }
+
+    /// Resets the adaptation state (the previous window returns to
+    /// `w_m`, the deadline cache clears) for a fresh episode.
+    pub fn reset(&mut self) {
+        self.prev_window = self.config.max_window();
+        self.steps_since_estimate = 0;
+        self.cached_deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_linalg::{Matrix, Vector};
+    use awsad_lti::LtiSystem;
+    use awsad_reach::ReachConfig;
+    use awsad_sets::BoxSet;
+
+    /// Integrator plant x_{t+1} = x_t + u_t with |u| <= 1 and
+    /// safe |x| <= 5; threshold tau, max window w_m.
+    fn setup(tau: f64, w_m: usize) -> (DataLogger, AdaptiveDetector) {
+        let sys = LtiSystem::new_discrete_fully_observable(
+            Matrix::identity(1),
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            0.02,
+        )
+        .unwrap();
+        let reach = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+            w_m,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(sys.a(), sys.b(), reach).unwrap();
+        let cfg = DetectorConfig::new(Vector::from_slice(&[tau]), w_m).unwrap();
+        let logger = DataLogger::new(sys, w_m);
+        let det = AdaptiveDetector::new(cfg, est).unwrap();
+        (logger, det)
+    }
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (_, det) = setup(0.1, 10);
+        let bad_cfg = DetectorConfig::new(Vector::zeros(2), 10).unwrap();
+        assert!(matches!(
+            AdaptiveDetector::new(bad_cfg, det.estimator().clone()),
+            Err(DetectError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn window_tracks_deadline_of_trusted_state() {
+        let (mut logger, mut det) = setup(0.5, 10);
+        // Steady at origin: deadline from 0 is 5 → window 5.
+        for _ in 0..12 {
+            logger.record(v(0.0), v(0.0));
+            let out = det.step(&logger);
+            assert!(!out.alarm());
+            assert_eq!(out.window, 5);
+        }
+        assert_eq!(det.previous_window(), 5);
+    }
+
+    #[test]
+    fn window_shrinks_near_unsafe_boundary() {
+        let (mut logger, mut det) = setup(10.0, 10); // huge tau: no alarms
+        let mut windows = Vec::new();
+        // March the estimate toward the boundary at +5.
+        for i in 0..14 {
+            let x = (i as f64 * 0.35).min(4.5);
+            logger.record(v(x), v(0.0));
+            windows.push(det.step(&logger).window);
+        }
+        // The window must end strictly smaller than it started; the
+        // trusted-state lag makes the descent trail the estimate.
+        assert!(windows.last().unwrap() < &5);
+        assert!(windows.first().unwrap() >= windows.last().unwrap());
+    }
+
+    #[test]
+    fn beyond_deadline_uses_max_window() {
+        // Strongly contracting plant: the deadline search never finds
+        // an escape, so the detector sits at w_m.
+        let sys = LtiSystem::new_discrete_fully_observable(
+            Matrix::diagonal(&[0.2]),
+            Matrix::from_rows(&[&[0.01]]).unwrap(),
+            0.02,
+        )
+        .unwrap();
+        let reach = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+            8,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(sys.a(), sys.b(), reach).unwrap();
+        let cfg = DetectorConfig::new(v(0.5), 8).unwrap();
+        let mut logger = DataLogger::new(sys, 8);
+        let mut det = AdaptiveDetector::new(cfg, est).unwrap();
+        logger.record(v(0.0), v(0.0));
+        let out = det.step(&logger);
+        assert_eq!(out.deadline, Deadline::Beyond);
+        assert_eq!(out.window, 8);
+    }
+
+    #[test]
+    fn alarm_when_residual_mean_exceeds_tau() {
+        let (mut logger, mut det) = setup(0.2, 10);
+        for _ in 0..8 {
+            logger.record(v(0.0), v(0.0));
+            assert!(!det.step(&logger).alarm());
+        }
+        // Estimate jumps by 2.0: residual 2.0, window 5 → mean 1/3 > 0.2.
+        logger.record(v(2.0), v(0.0));
+        let out = det.step(&logger);
+        assert!(out.current_alarm);
+        assert!(out.alarm());
+    }
+
+    /// Shared escape scenario (hand-verified timeline, paper
+    /// normalization: window sum over `[t−w, t]` divided by `w`):
+    ///
+    /// * `t = 0..=5`: estimate 0 → residual 0, window settles at 5
+    ///   (deadline from the origin of the integrator with safe ±5).
+    /// * `t = 6`: estimate jumps to 0.8 → residual spike 0.8. Every
+    ///   size-5 window containing it scores ≤ (0.8+0.5)/5 = 0.26 <
+    ///   τ = 0.28, so the spike is diluted and no current alarm fires.
+    /// * `t ≥ 7`: the estimate drifts +0.1/step toward the boundary
+    ///   (residual 0.1 each step; any drift-only window scores ≤ 0.2).
+    /// * `t = 12`: the *trusted* entry is now the spike state 0.8,
+    ///   whose deadline is 4 → the window shrinks 5 → 4. The
+    ///   complementary window `[6, 10]` scores (0.8+0.4)/4 = 0.30 >
+    ///   τ: only complementary detection can still catch the spike —
+    ///   every later window contains drift residuals only.
+    ///
+    /// Returns (any complementary alarm fired, any alarm at all fired).
+    fn escape_scenario(enabled: bool) -> (bool, bool) {
+        let (mut logger, mut det) = setup(0.28, 10);
+        det.set_complementary_enabled(enabled);
+        let mut complementary_fired = false;
+        let mut any_fired = false;
+        for t in 0..=18usize {
+            let estimate = match t {
+                0..=5 => 0.0,
+                _ => 0.8 + 0.1 * (t as f64 - 6.0),
+            };
+            logger.record(v(estimate), v(0.0));
+            let out = det.step(&logger);
+            complementary_fired |= !out.complementary_alarms.is_empty();
+            any_fired |= out.alarm();
+        }
+        (complementary_fired, any_fired)
+    }
+
+    #[test]
+    fn complementary_detection_catches_escaping_point() {
+        let (complementary, any) = escape_scenario(true);
+        assert!(complementary, "complementary detection never fired");
+        assert!(any);
+    }
+
+    #[test]
+    fn disabled_complementary_lets_points_escape() {
+        let (complementary, any) = escape_scenario(false);
+        assert!(!complementary);
+        assert!(
+            !any,
+            "without complementary detection the diluted spike must escape entirely"
+        );
+    }
+
+    #[test]
+    fn growing_window_needs_no_complementary_work() {
+        let (mut logger, mut det) = setup(10.0, 10);
+        // Start near the boundary: small window.
+        logger.record(v(4.5), v(0.0));
+        let w_small = det.step(&logger).window;
+        assert!(w_small < 5);
+        // Jump back to the center: deadline grows, window grows, no
+        // complementary alarms possible.
+        logger.record(v(0.0), v(0.0));
+        let out = det.step(&logger);
+        assert!(out.window >= w_small);
+        assert!(out.complementary_alarms.is_empty());
+    }
+
+    #[test]
+    fn initial_radius_tightens_windows() {
+        let (mut logger, mut det) = setup(10.0, 10);
+        let (mut logger2, mut det2) = setup(10.0, 10);
+        det2.set_initial_radius(1.0);
+        logger.record(v(3.0), v(0.0));
+        logger2.record(v(3.0), v(0.0));
+        let w_exact = det.step(&logger).window;
+        let w_fuzzy = det2.step(&logger2).window;
+        assert!(w_fuzzy < w_exact, "{w_fuzzy} !< {w_exact}");
+    }
+
+    #[test]
+    fn reset_restores_max_window() {
+        let (mut logger, mut det) = setup(10.0, 10);
+        logger.record(v(4.5), v(0.0));
+        det.step(&logger);
+        assert!(det.previous_window() < 10);
+        det.reset();
+        assert_eq!(det.previous_window(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "record the current step")]
+    fn stepping_empty_logger_panics() {
+        let (logger, mut det) = setup(0.1, 10);
+        det.step(&logger);
+    }
+
+    #[test]
+    fn reestimation_period_ages_the_deadline_conservatively() {
+        let (mut logger, mut det) = setup(10.0, 10);
+        det.set_reestimation_period(4);
+        // Steady at the origin: the fresh deadline is 5 (integrator,
+        // safe +/-5); between queries it must count down 5,4,3,2 then
+        // refresh back to 5.
+        let mut observed = Vec::new();
+        for _ in 0..9 {
+            logger.record(v(0.0), v(0.0));
+            let out = det.step(&logger);
+            observed.push(out.deadline.steps().unwrap());
+        }
+        assert_eq!(observed, vec![5, 4, 3, 2, 5, 4, 3, 2, 5]);
+    }
+
+    #[test]
+    fn reestimation_period_one_matches_default_protocol() {
+        let run = |period: usize| {
+            let (mut logger, mut det) = setup(0.28, 10);
+            det.set_reestimation_period(period);
+            let mut windows = Vec::new();
+            for t in 0..20usize {
+                let estimate = 0.1 * (t as f64);
+                logger.record(v(estimate), v(0.0));
+                windows.push(det.step(&logger).window);
+            }
+            windows
+        };
+        assert_eq!(run(1), run(1));
+        // On a stream drifting monotonically toward the boundary,
+        // aging only ever makes the window *more* conservative: the
+        // period-3 detector's windows never exceed the per-step ones.
+        let fresh = run(1);
+        let aged = run(3);
+        for (t, (f, a)) in fresh.iter().zip(aged.iter()).enumerate() {
+            assert!(a <= f, "aged window {a} exceeds fresh {f} at t={t}");
+        }
+        // And the two start identically (the first step is a query).
+        assert_eq!(fresh[0], aged[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_reestimation_period_panics() {
+        let (_, mut det) = setup(0.1, 10);
+        det.set_reestimation_period(0);
+    }
+}

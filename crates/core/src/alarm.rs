@@ -1,0 +1,171 @@
+use std::collections::VecDeque;
+
+/// Post-processing policy for a raw per-step alarm stream.
+///
+/// Raw window-detector alarms are *stateless* per step; an operator or
+/// an automated responder usually wants something shaped: ignore
+/// one-off blips (`KOfN`), or convert the first alarm into a sticky
+/// fault condition until explicitly cleared (`Latched`). The policies
+/// compose with any detector in this crate through
+/// [`AlarmFilter::observe`].
+///
+/// Deadline caution: `KOfN` debouncing *delays confirmation* by up to
+/// `n − 1` steps — when pairing it with the adaptive detector, budget
+/// that lag against the detection deadline (e.g. require
+/// `n ≤ t_d / 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmPolicy {
+    /// Pass raw alarms through unchanged.
+    Immediate,
+    /// Confirm only when at least `k` of the last `n` steps alarmed.
+    KOfN {
+        /// Required alarms within the window.
+        k: usize,
+        /// Window length in steps.
+        n: usize,
+    },
+    /// Once confirmed (by the raw stream), stay confirmed until
+    /// [`AlarmFilter::clear`] is called.
+    Latched,
+}
+
+/// Stateful applicator of an [`AlarmPolicy`].
+///
+/// # Example
+///
+/// ```
+/// use awsad_core::{AlarmFilter, AlarmPolicy};
+///
+/// let mut f = AlarmFilter::new(AlarmPolicy::KOfN { k: 2, n: 3 });
+/// assert!(!f.observe(true));  // single blip: not confirmed
+/// assert!(!f.observe(false));
+/// assert!(!f.observe(false)); // blip aged out
+/// assert!(!f.observe(true));
+/// assert!(f.observe(true));   // 2 of the last 3
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlarmFilter {
+    policy: AlarmPolicy,
+    history: VecDeque<bool>,
+    latched: bool,
+}
+
+impl AlarmFilter {
+    /// Creates a filter for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a `KOfN` policy with `k == 0`, `n == 0` or `k > n`.
+    pub fn new(policy: AlarmPolicy) -> Self {
+        if let AlarmPolicy::KOfN { k, n } = policy {
+            assert!(k > 0 && n > 0 && k <= n, "KOfN requires 0 < k <= n");
+        }
+        AlarmFilter {
+            policy,
+            history: VecDeque::new(),
+            latched: false,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> AlarmPolicy {
+        self.policy
+    }
+
+    /// Feeds one raw alarm and returns the confirmed status.
+    pub fn observe(&mut self, raw: bool) -> bool {
+        match self.policy {
+            AlarmPolicy::Immediate => raw,
+            AlarmPolicy::KOfN { k, n } => {
+                self.history.push_back(raw);
+                while self.history.len() > n {
+                    self.history.pop_front();
+                }
+                self.history.iter().filter(|&&a| a).count() >= k
+            }
+            AlarmPolicy::Latched => {
+                self.latched |= raw;
+                self.latched
+            }
+        }
+    }
+
+    /// Whether a latched filter is currently holding an alarm.
+    pub fn is_latched(&self) -> bool {
+        self.latched
+    }
+
+    /// Clears latched state and debounce history.
+    pub fn clear(&mut self) {
+        self.latched = false;
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_is_identity() {
+        let mut f = AlarmFilter::new(AlarmPolicy::Immediate);
+        assert!(!f.observe(false));
+        assert!(f.observe(true));
+        assert!(!f.observe(false));
+    }
+
+    #[test]
+    fn k_of_n_debounces_blips() {
+        let mut f = AlarmFilter::new(AlarmPolicy::KOfN { k: 3, n: 5 });
+        // Isolated blips never confirm.
+        for _ in 0..10 {
+            assert!(!f.observe(true));
+            assert!(!f.observe(false));
+            assert!(!f.observe(false));
+            assert!(!f.observe(false));
+            assert!(!f.observe(false));
+        }
+        // A persistent alarm confirms after exactly k steps.
+        f.clear();
+        assert!(!f.observe(true));
+        assert!(!f.observe(true));
+        assert!(f.observe(true));
+    }
+
+    #[test]
+    fn k_of_n_window_slides() {
+        let mut f = AlarmFilter::new(AlarmPolicy::KOfN { k: 2, n: 2 });
+        assert!(!f.observe(true));
+        assert!(f.observe(true));
+        assert!(!f.observe(false)); // window [true, false]
+        assert!(!f.observe(true)); // window [false, true]
+        assert!(f.observe(true));
+    }
+
+    #[test]
+    fn latched_holds_until_cleared() {
+        let mut f = AlarmFilter::new(AlarmPolicy::Latched);
+        assert!(!f.observe(false));
+        assert!(f.observe(true));
+        assert!(f.observe(false)); // sticky
+        assert!(f.is_latched());
+        f.clear();
+        assert!(!f.is_latched());
+        assert!(!f.observe(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k <= n")]
+    fn invalid_k_of_n_panics() {
+        let _ = AlarmFilter::new(AlarmPolicy::KOfN { k: 3, n: 2 });
+    }
+
+    #[test]
+    fn one_of_one_equals_immediate() {
+        let mut a = AlarmFilter::new(AlarmPolicy::KOfN { k: 1, n: 1 });
+        let mut b = AlarmFilter::new(AlarmPolicy::Immediate);
+        for raw in [true, false, true, true, false] {
+            assert_eq!(a.observe(raw), b.observe(raw));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+use awsad_linalg::Vector;
+
+use crate::{DetectError, Result};
+
+/// A detector driven by the raw residual stream, one sample per
+/// control step.
+///
+/// This is the interface of the classical single-stream baselines the
+/// paper's related work builds on (residual thresholding, CUSUM); the
+/// ablation benchmark compares them against the adaptive detector.
+pub trait ResidualDetector {
+    /// Feeds the residual `z_t` and returns whether an alarm fires at
+    /// this step.
+    fn observe(&mut self, t: usize, residual: &Vector) -> bool;
+
+    /// Clears internal state for a fresh episode.
+    fn reset(&mut self);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The "shortest possible delay" strawman of §1: compares every single
+/// residual against the threshold (equivalent to a window of size 0).
+///
+/// It discovers every detectable attack the moment it appears — and
+/// raises "an unmanageable number of false alarms" under noise, which
+/// is exactly the trade-off the adaptive detector navigates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EveryStepDetector {
+    threshold: Vector,
+}
+
+impl EveryStepDetector {
+    /// Creates the detector with per-dimension threshold `τ`.
+    pub fn new(threshold: Vector) -> Self {
+        EveryStepDetector { threshold }
+    }
+}
+
+impl ResidualDetector for EveryStepDetector {
+    fn observe(&mut self, _t: usize, residual: &Vector) -> bool {
+        residual.any_exceeds(&self.threshold)
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "every-step"
+    }
+}
+
+/// Per-dimension CUSUM (cumulative sum) detector.
+///
+/// Maintains `S_t = max(0, S_{t−1} + z_t − drift)` per dimension and
+/// alarms when any `S_t` exceeds `limit`. The drift absorbs the
+/// nominal residual level; the limit trades detection delay against
+/// false alarms — statically, which is why the paper argues for
+/// run-time adaptation instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CusumDetector {
+    drift: Vector,
+    limit: Vector,
+    sums: Vector,
+}
+
+impl CusumDetector {
+    /// Creates a CUSUM detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidCusumParameter`] when the drift
+    /// and limit dimensions differ, or any entry is negative or
+    /// non-finite.
+    pub fn new(drift: Vector, limit: Vector) -> Result<Self> {
+        if drift.len() != limit.len() {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "drift and limit must have the same dimension",
+            });
+        }
+        if drift.is_empty() {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "dimension must be positive",
+            });
+        }
+        if !drift.is_finite() || !limit.is_finite() {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "parameters must be finite",
+            });
+        }
+        if drift.iter().any(|&d| d < 0.0) || limit.iter().any(|&l| l < 0.0) {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "parameters must be non-negative",
+            });
+        }
+        let n = drift.len();
+        Ok(CusumDetector {
+            drift,
+            limit,
+            sums: Vector::zeros(n),
+        })
+    }
+
+    /// The current per-dimension cumulative sums.
+    pub fn sums(&self) -> &Vector {
+        &self.sums
+    }
+}
+
+impl ResidualDetector for CusumDetector {
+    fn observe(&mut self, _t: usize, residual: &Vector) -> bool {
+        assert_eq!(
+            residual.len(),
+            self.sums.len(),
+            "residual dimension must match CUSUM dimension"
+        );
+        let mut alarm = false;
+        for i in 0..self.sums.len() {
+            self.sums[i] = (self.sums[i] + residual[i] - self.drift[i]).max(0.0);
+            if self.sums[i] > self.limit[i] {
+                alarm = true;
+            }
+        }
+        alarm
+    }
+
+    fn reset(&mut self) {
+        self.sums = Vector::zeros(self.sums.len());
+    }
+
+    fn name(&self) -> &'static str {
+        "cusum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn every_step_fires_immediately() {
+        let mut det = EveryStepDetector::new(v(0.5));
+        assert!(!det.observe(0, &v(0.5)));
+        assert!(det.observe(1, &v(0.51)));
+        assert_eq!(det.name(), "every-step");
+    }
+
+    #[test]
+    fn cusum_validation() {
+        assert!(CusumDetector::new(v(0.1), Vector::zeros(2)).is_err());
+        assert!(CusumDetector::new(Vector::zeros(0), Vector::zeros(0)).is_err());
+        assert!(CusumDetector::new(v(-0.1), v(1.0)).is_err());
+        assert!(CusumDetector::new(v(0.1), v(f64::NAN)).is_err());
+        assert!(CusumDetector::new(v(0.1), v(1.0)).is_ok());
+    }
+
+    #[test]
+    fn cusum_ignores_sub_drift_noise() {
+        let mut det = CusumDetector::new(v(0.2), v(1.0)).unwrap();
+        for t in 0..100 {
+            assert!(!det.observe(t, &v(0.15)));
+        }
+        assert_eq!(det.sums()[0], 0.0);
+    }
+
+    #[test]
+    fn cusum_accumulates_persistent_excess() {
+        let mut det = CusumDetector::new(v(0.1), v(1.0)).unwrap();
+        // Excess 0.2 per step: alarm after ceil(1.0 / 0.2) + 1 = 6 steps.
+        let mut fired_at = None;
+        for t in 0..20 {
+            if det.observe(t, &v(0.3)) {
+                fired_at = Some(t);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(5));
+    }
+
+    #[test]
+    fn cusum_resets_to_zero_floor() {
+        let mut det = CusumDetector::new(v(0.5), v(10.0)).unwrap();
+        det.observe(0, &v(2.0)); // sum = 1.5
+        det.observe(1, &v(0.0)); // sum = 1.0
+        det.observe(2, &v(0.0)); // sum = 0.5
+        det.observe(3, &v(0.0)); // sum = 0.0 (floored)
+        det.observe(4, &v(0.0));
+        assert_eq!(det.sums()[0], 0.0);
+    }
+
+    #[test]
+    fn cusum_reset_clears_sums() {
+        let mut det = CusumDetector::new(v(0.0), v(10.0)).unwrap();
+        det.observe(0, &v(3.0));
+        assert!(det.sums()[0] > 0.0);
+        det.reset();
+        assert_eq!(det.sums()[0], 0.0);
+        assert_eq!(det.name(), "cusum");
+    }
+
+    #[test]
+    fn cusum_multidimensional_any_dim_alarms() {
+        let mut det =
+            CusumDetector::new(Vector::zeros(2), Vector::from_slice(&[1.0, 1.0])).unwrap();
+        assert!(!det.observe(0, &Vector::from_slice(&[0.9, 0.0])));
+        assert!(det.observe(1, &Vector::from_slice(&[0.0, 1.1])));
+    }
+}

@@ -1,0 +1,251 @@
+use awsad_linalg::{Lu, Matrix, Vector};
+
+use crate::{DetectError, ResidualDetector, Result};
+
+/// Estimates the (sample) covariance of a benign residual trace — the
+/// offline calibration step of a chi-squared detector.
+///
+/// # Errors
+///
+/// Returns [`DetectError::InvalidThreshold`] (shared with the other
+/// calibration routine) when the trace has fewer than two samples, is
+/// dimensionally inconsistent, or contains non-finite values.
+pub fn estimate_covariance(residuals: &[Vector]) -> Result<Matrix> {
+    if residuals.len() < 2 {
+        return Err(DetectError::InvalidThreshold {
+            reason: "covariance estimation needs at least two samples",
+        });
+    }
+    let n = residuals[0].len();
+    if n == 0 {
+        return Err(DetectError::InvalidThreshold {
+            reason: "residuals must have at least one dimension",
+        });
+    }
+    if residuals.iter().any(|r| r.len() != n || !r.is_finite()) {
+        return Err(DetectError::InvalidThreshold {
+            reason: "residual trace must be dimensionally consistent and finite",
+        });
+    }
+    let count = residuals.len() as f64;
+    let mut mean = Vector::zeros(n);
+    for r in residuals {
+        mean += r;
+    }
+    let mean = mean.scale(1.0 / count);
+    let mut cov = Matrix::zeros(n, n);
+    for r in residuals {
+        let d = r - &mean;
+        for i in 0..n {
+            for j in 0..n {
+                cov[(i, j)] += d[i] * d[j];
+            }
+        }
+    }
+    Ok(cov.scale(1.0 / (count - 1.0)))
+}
+
+/// Chi-squared (covariance-whitened) residual detector: alarms when
+/// the Mahalanobis statistic `g_t = z_tᵀ Σ⁻¹ z_t` exceeds a limit.
+///
+/// This is the classical bad-data detector of the physics-based
+/// detection literature the paper surveys (its reference 2): under
+/// benign Gaussian-ish residuals with covariance `Σ`, `g_t` is
+/// χ²-distributed with `n` degrees of freedom, so the limit is chosen
+/// as a χ² quantile. Unlike the per-dimension window detectors it
+/// accounts for *correlated* residual dimensions — and like CUSUM and
+/// EWMA it fixes its operating point offline, which is exactly the
+/// rigidity the adaptive detector removes.
+///
+/// # Example
+///
+/// ```
+/// use awsad_core::{estimate_covariance, ChiSquaredDetector, ResidualDetector};
+/// use awsad_linalg::Vector;
+///
+/// let benign: Vec<Vector> = (0..100)
+///     .map(|t| Vector::from_slice(&[0.01 * ((t % 7) as f64 - 3.0)]))
+///     .collect();
+/// let cov = estimate_covariance(&benign).unwrap();
+/// let mut det = ChiSquaredDetector::new(cov, 9.0).unwrap(); // ~3 sigma
+/// assert!(!det.observe(0, &Vector::from_slice(&[0.02])));
+/// assert!(det.observe(1, &Vector::from_slice(&[0.2])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChiSquaredDetector {
+    precision: Matrix,
+    limit: f64,
+    last_statistic: f64,
+}
+
+impl ChiSquaredDetector {
+    /// Creates the detector from a residual covariance `Σ` and a
+    /// statistic limit (a χ²(n) quantile, e.g. 9.0 ≈ the 99.7%
+    /// quantile for n = 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidCusumParameter`] (shared with the
+    /// other single-stream baselines) when `Σ` is not square/finite,
+    /// is singular, or when the limit is not positive and finite.
+    pub fn new(covariance: Matrix, limit: f64) -> Result<Self> {
+        if !covariance.is_square() || !covariance.is_finite() {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "covariance must be square and finite",
+            });
+        }
+        if !(limit.is_finite() && limit > 0.0) {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "chi-squared limit must be positive and finite",
+            });
+        }
+        let precision = Lu::new(&covariance)
+            .and_then(|lu| lu.inverse())
+            .map_err(|_| DetectError::InvalidCusumParameter {
+                reason: "covariance is singular; regularize it (add jitter to the diagonal)",
+            })?;
+        Ok(ChiSquaredDetector {
+            precision,
+            limit,
+            last_statistic: 0.0,
+        })
+    }
+
+    /// The statistic limit.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+
+    /// The most recent Mahalanobis statistic `g_t`.
+    pub fn last_statistic(&self) -> f64 {
+        self.last_statistic
+    }
+}
+
+impl ResidualDetector for ChiSquaredDetector {
+    fn observe(&mut self, _t: usize, residual: &Vector) -> bool {
+        assert_eq!(
+            residual.len(),
+            self.precision.rows(),
+            "residual dimension must match the covariance"
+        );
+        let whitened = self
+            .precision
+            .checked_mul_vec(residual)
+            .expect("shape validated at construction");
+        let g = residual.dot(&whitened);
+        self.last_statistic = g;
+        // Fail safe on non-finite data, as the window detector does.
+        !g.is_finite() || g > self.limit
+    }
+
+    fn reset(&mut self) {
+        self.last_statistic = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "chi-squared"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_cov(entries: &[f64]) -> Matrix {
+        Matrix::diagonal(entries)
+    }
+
+    #[test]
+    fn covariance_of_known_trace() {
+        // Two dims: first alternates ±1 (variance 4/3 over n-1... use
+        // exact: samples -1, 1, -1, 1 → mean 0, var = 4/3), second is
+        // constant (variance 0 — singular, only checked here).
+        let trace = vec![
+            Vector::from_slice(&[-1.0, 2.0]),
+            Vector::from_slice(&[1.0, 2.0]),
+            Vector::from_slice(&[-1.0, 2.0]),
+            Vector::from_slice(&[1.0, 2.0]),
+        ];
+        let cov = estimate_covariance(&trace).unwrap();
+        assert!((cov[(0, 0)] - 4.0 / 3.0).abs() < 1e-12);
+        assert!(cov[(1, 1)].abs() < 1e-12);
+        assert!(cov[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_captures_correlation() {
+        // Perfectly correlated pair.
+        let trace: Vec<Vector> = (0..50)
+            .map(|t| {
+                let v = ((t as f64) * 0.7).sin();
+                Vector::from_slice(&[v, 2.0 * v])
+            })
+            .collect();
+        let cov = estimate_covariance(&trace).unwrap();
+        // cov(x, y) = 2 var(x); cov(y, y) = 4 var(x).
+        assert!((cov[(0, 1)] - 2.0 * cov[(0, 0)]).abs() < 1e-9);
+        assert!((cov[(1, 1)] - 4.0 * cov[(0, 0)]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance_validation() {
+        assert!(estimate_covariance(&[]).is_err());
+        assert!(estimate_covariance(&[Vector::zeros(1)]).is_err());
+        let ragged = vec![Vector::zeros(1), Vector::zeros(2)];
+        assert!(estimate_covariance(&ragged).is_err());
+        let nan = vec![Vector::from_slice(&[f64::NAN]), Vector::zeros(1)];
+        assert!(estimate_covariance(&nan).is_err());
+    }
+
+    #[test]
+    fn detector_validation() {
+        assert!(ChiSquaredDetector::new(Matrix::zeros(2, 3), 9.0).is_err());
+        assert!(ChiSquaredDetector::new(diag_cov(&[1.0]), 0.0).is_err());
+        assert!(ChiSquaredDetector::new(diag_cov(&[1.0]), f64::NAN).is_err());
+        // Singular covariance rejected with a helpful message.
+        assert!(ChiSquaredDetector::new(diag_cov(&[1.0, 0.0]), 9.0).is_err());
+        assert!(ChiSquaredDetector::new(diag_cov(&[1.0, 1.0]), 9.0).is_ok());
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // Σ = diag(0.01, 0.04): g = z1²/0.01 + z2²/0.04.
+        let mut det = ChiSquaredDetector::new(diag_cov(&[0.01, 0.04]), 9.0).unwrap();
+        let z = Vector::from_slice(&[0.1, 0.2]);
+        let fired = det.observe(0, &z);
+        let expected = 0.01 / 0.01 + 0.04 / 0.04;
+        assert!((det.last_statistic() - expected).abs() < 1e-9);
+        assert!(!fired); // g = 2 < 9
+        assert!(det.observe(1, &Vector::from_slice(&[0.4, 0.0]))); // g = 16
+    }
+
+    #[test]
+    fn correlation_awareness_beats_per_dim_thresholds() {
+        // Residuals strongly correlated: (1, 1) direction has large
+        // variance, (1, -1) tiny. A residual along (1, -1) is a huge
+        // anomaly even though each coordinate alone looks small.
+        let cov = Matrix::from_rows(&[&[1.0, 0.99], &[0.99, 1.0]]).unwrap();
+        let mut det = ChiSquaredDetector::new(cov, 9.0).unwrap();
+        // Along the dominant direction: normal.
+        assert!(!det.observe(0, &Vector::from_slice(&[1.0, 1.0])));
+        // Same per-dim magnitudes, anomalous direction: alarm.
+        assert!(det.observe(1, &Vector::from_slice(&[1.0, -1.0])));
+    }
+
+    #[test]
+    fn fail_safe_on_non_finite() {
+        let mut det = ChiSquaredDetector::new(diag_cov(&[1.0]), 9.0).unwrap();
+        assert!(det.observe(0, &Vector::from_slice(&[f64::NAN])));
+    }
+
+    #[test]
+    fn reset_and_name() {
+        let mut det = ChiSquaredDetector::new(diag_cov(&[1.0]), 9.0).unwrap();
+        det.observe(0, &Vector::from_slice(&[1.0]));
+        assert!(det.last_statistic() > 0.0);
+        det.reset();
+        assert_eq!(det.last_statistic(), 0.0);
+        assert_eq!(det.name(), "chi-squared");
+    }
+}

@@ -1,0 +1,128 @@
+use awsad_linalg::Vector;
+
+use crate::{DetectError, Result};
+
+/// Configuration shared by the window-based detectors: the
+/// per-dimension residual threshold `τ` (Table 1's `τ` column) and the
+/// window-size range `[min_window, max_window]` (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DetectorConfig {
+    threshold: Vector,
+    min_window: usize,
+    max_window: usize,
+}
+
+impl DetectorConfig {
+    /// Creates a configuration with `min_window = 0` (the adaptive
+    /// detector may shrink to single-sample detection when the
+    /// deadline demands it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidThreshold`] for an empty, NaN or
+    /// negative threshold and [`DetectError::ZeroMaxWindow`] when
+    /// `max_window == 0`.
+    pub fn new(threshold: Vector, max_window: usize) -> Result<Self> {
+        DetectorConfig::with_min_window(threshold, 0, max_window)
+    }
+
+    /// Creates a configuration with an explicit minimum window size.
+    ///
+    /// # Errors
+    ///
+    /// As [`DetectorConfig::new`], plus [`DetectError::WindowOrdering`]
+    /// when `min_window > max_window`.
+    pub fn with_min_window(threshold: Vector, min_window: usize, max_window: usize) -> Result<Self> {
+        if threshold.is_empty() {
+            return Err(DetectError::InvalidThreshold {
+                reason: "threshold must have at least one dimension",
+            });
+        }
+        if !threshold.is_finite() {
+            return Err(DetectError::InvalidThreshold {
+                reason: "threshold entries must be finite",
+            });
+        }
+        if threshold.iter().any(|&t| t < 0.0) {
+            return Err(DetectError::InvalidThreshold {
+                reason: "threshold entries must be non-negative",
+            });
+        }
+        if max_window == 0 {
+            return Err(DetectError::ZeroMaxWindow);
+        }
+        if min_window > max_window {
+            return Err(DetectError::WindowOrdering {
+                min: min_window,
+                max: max_window,
+            });
+        }
+        Ok(DetectorConfig {
+            threshold,
+            min_window,
+            max_window,
+        })
+    }
+
+    /// Creates a configuration with the same threshold `τ` in every
+    /// dimension, as several Table 1 rows do (e.g. aircraft pitch uses
+    /// `[0.012, 0.012, 0.012]`).
+    ///
+    /// # Errors
+    ///
+    /// As [`DetectorConfig::new`].
+    pub fn uniform(tau: f64, dim: usize, max_window: usize) -> Result<Self> {
+        DetectorConfig::new(Vector::filled(dim, tau), max_window)
+    }
+
+    /// Per-dimension residual threshold `τ`.
+    pub fn threshold(&self) -> &Vector {
+        &self.threshold
+    }
+
+    /// State dimension covered by the threshold.
+    pub fn dim(&self) -> usize {
+        self.threshold.len()
+    }
+
+    /// Smallest admissible window size.
+    pub fn min_window(&self) -> usize {
+        self.min_window
+    }
+
+    /// Largest admissible window size `w_m`.
+    pub fn max_window(&self) -> usize {
+        self.max_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DetectorConfig::new(Vector::zeros(0), 10).is_err());
+        assert!(DetectorConfig::new(Vector::from_slice(&[f64::NAN]), 10).is_err());
+        assert!(DetectorConfig::new(Vector::from_slice(&[-0.1]), 10).is_err());
+        assert!(DetectorConfig::new(Vector::from_slice(&[0.1]), 0).is_err());
+        assert!(DetectorConfig::with_min_window(Vector::from_slice(&[0.1]), 5, 3).is_err());
+        assert!(DetectorConfig::new(Vector::from_slice(&[0.1]), 10).is_ok());
+    }
+
+    #[test]
+    fn uniform_builds_filled_threshold() {
+        let c = DetectorConfig::uniform(0.012, 3, 40).unwrap();
+        assert_eq!(c.threshold().as_slice(), &[0.012, 0.012, 0.012]);
+        assert_eq!(c.dim(), 3);
+        assert_eq!(c.min_window(), 0);
+        assert_eq!(c.max_window(), 40);
+    }
+
+    #[test]
+    fn zero_threshold_is_allowed() {
+        // Degenerate but legal: alarms on any non-zero residual.
+        assert!(DetectorConfig::uniform(0.0, 1, 5).is_ok());
+    }
+}

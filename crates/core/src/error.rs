@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced when configuring the detection system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DetectError {
+    /// The threshold vector is empty or contains NaN / negative
+    /// entries.
+    InvalidThreshold {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// The maximum window size is zero (the detector would never see
+    /// more than the current sample and the data logger could not hold
+    /// a trusted point).
+    ZeroMaxWindow,
+    /// The minimum window exceeds the maximum window.
+    WindowOrdering {
+        /// Configured minimum.
+        min: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The deadline estimator's state dimension does not match the
+    /// threshold dimension.
+    DimensionMismatch {
+        /// Threshold dimension.
+        threshold_dim: usize,
+        /// Estimator state dimension.
+        state_dim: usize,
+    },
+    /// A CUSUM parameter was invalid.
+    InvalidCusumParameter {
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::InvalidThreshold { reason } => write!(f, "invalid threshold: {reason}"),
+            DetectError::ZeroMaxWindow => {
+                write!(f, "maximum detection window size must be positive")
+            }
+            DetectError::WindowOrdering { min, max } => {
+                write!(f, "minimum window {min} exceeds maximum window {max}")
+            }
+            DetectError::DimensionMismatch {
+                threshold_dim,
+                state_dim,
+            } => write!(
+                f,
+                "threshold has {threshold_dim} dimensions but the estimator state has {state_dim}"
+            ),
+            DetectError::InvalidCusumParameter { reason } => {
+                write!(f, "invalid CUSUM parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DetectError::ZeroMaxWindow.to_string().contains("positive"));
+        assert!(DetectError::WindowOrdering { min: 5, max: 3 }
+            .to_string()
+            .contains('5'));
+        assert!(DetectError::InvalidThreshold { reason: "empty" }
+            .to_string()
+            .contains("empty"));
+        assert!(DetectError::DimensionMismatch {
+            threshold_dim: 1,
+            state_dim: 2
+        }
+        .to_string()
+        .contains('2'));
+        assert!(DetectError::InvalidCusumParameter { reason: "negative drift" }
+            .to_string()
+            .contains("drift"));
+    }
+}

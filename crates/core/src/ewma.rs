@@ -1,0 +1,169 @@
+use awsad_linalg::Vector;
+
+use crate::{DetectError, ResidualDetector, Result};
+
+/// Exponentially-weighted moving-average residual detector.
+///
+/// Maintains `s_t = λ z_t + (1−λ) s_{t−1}` per dimension and alarms
+/// when any `s_t` exceeds its limit. An EWMA is the continuous
+/// analogue of a sliding window with effective length `≈ 2/λ − 1`, so
+/// it sits between the every-step and fixed-window baselines in the
+/// ablation — with the same structural weakness the paper targets: its
+/// memory (and hence its delay/false-alarm point) is fixed offline,
+/// deadline-blind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwmaDetector {
+    lambda: f64,
+    limit: Vector,
+    state: Vector,
+    primed: bool,
+}
+
+impl EwmaDetector {
+    /// Creates an EWMA detector with smoothing factor `lambda ∈ (0, 1]`
+    /// and per-dimension alarm limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidCusumParameter`] (shared with the
+    /// other single-stream baselines) for a `lambda` outside `(0, 1]`
+    /// or non-finite/negative limits.
+    pub fn new(lambda: f64, limit: Vector) -> Result<Self> {
+        if !(lambda > 0.0 && lambda <= 1.0) {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "EWMA lambda must be in (0, 1]",
+            });
+        }
+        if limit.is_empty() {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "dimension must be positive",
+            });
+        }
+        if !limit.is_finite() || limit.iter().any(|&l| l < 0.0) {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "EWMA limits must be finite and non-negative",
+            });
+        }
+        let n = limit.len();
+        Ok(EwmaDetector {
+            lambda,
+            limit,
+            state: Vector::zeros(n),
+            primed: false,
+        })
+    }
+
+    /// The smoothing factor λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The current smoothed residual.
+    pub fn state(&self) -> &Vector {
+        &self.state
+    }
+
+    /// Effective window length `2/λ − 1`.
+    pub fn effective_window(&self) -> f64 {
+        2.0 / self.lambda - 1.0
+    }
+}
+
+impl ResidualDetector for EwmaDetector {
+    fn observe(&mut self, _t: usize, residual: &Vector) -> bool {
+        assert_eq!(
+            residual.len(),
+            self.state.len(),
+            "residual dimension must match EWMA dimension"
+        );
+        if self.primed {
+            for i in 0..self.state.len() {
+                self.state[i] = self.lambda * residual[i] + (1.0 - self.lambda) * self.state[i];
+            }
+        } else {
+            // Prime with the first observation instead of biasing
+            // toward zero.
+            self.state = residual.clone();
+            self.primed = true;
+        }
+        self.state.any_exceeds(&self.limit)
+    }
+
+    fn reset(&mut self) {
+        self.state = Vector::zeros(self.state.len());
+        self.primed = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EwmaDetector::new(0.0, v(1.0)).is_err());
+        assert!(EwmaDetector::new(1.5, v(1.0)).is_err());
+        assert!(EwmaDetector::new(0.5, Vector::zeros(0)).is_err());
+        assert!(EwmaDetector::new(0.5, v(-1.0)).is_err());
+        assert!(EwmaDetector::new(0.5, v(f64::NAN)).is_err());
+        assert!(EwmaDetector::new(0.5, v(1.0)).is_ok());
+    }
+
+    #[test]
+    fn lambda_one_is_every_step() {
+        let mut det = EwmaDetector::new(1.0, v(0.5)).unwrap();
+        assert!(!det.observe(0, &v(0.4)));
+        assert!(det.observe(1, &v(0.6)));
+        assert!(!det.observe(2, &v(0.1)));
+        assert!((det.effective_window() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooths_transients() {
+        let mut det = EwmaDetector::new(0.1, v(0.5)).unwrap();
+        det.observe(0, &v(0.0));
+        // A single spike is heavily attenuated (0.1 * 3 = 0.3 < 0.5).
+        assert!(!det.observe(1, &v(3.0)));
+        // But a persistent level above the limit accumulates.
+        let mut fired = false;
+        for t in 2..100 {
+            fired |= det.observe(t, &v(0.8));
+        }
+        assert!(fired, "persistent exceedance never alarmed");
+        // Steady state approaches the input level.
+        assert!((det.state()[0] - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn primes_with_first_observation() {
+        let mut det = EwmaDetector::new(0.01, v(0.5)).unwrap();
+        // Without priming, a huge first residual would be multiplied
+        // by lambda and missed for a long time.
+        assert!(det.observe(0, &v(2.0)));
+    }
+
+    #[test]
+    fn reset_unprimes() {
+        let mut det = EwmaDetector::new(0.2, v(0.5)).unwrap();
+        det.observe(0, &v(1.0));
+        det.reset();
+        assert_eq!(det.state()[0], 0.0);
+        assert!(det.observe(1, &v(0.6)), "re-primes from the first observation");
+        assert_eq!(det.name(), "ewma");
+    }
+
+    #[test]
+    fn multi_dimensional_any_dim() {
+        let mut det =
+            EwmaDetector::new(1.0, Vector::from_slice(&[0.5, 0.5])).unwrap();
+        assert!(det.observe(0, &Vector::from_slice(&[0.0, 0.6])));
+    }
+}

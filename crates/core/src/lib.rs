@@ -1,0 +1,107 @@
+//! The AWSAD detection system: adaptive window-based sensor attack
+//! detection for cyber-physical systems.
+//!
+//! This crate is the paper's primary contribution (DAC'22, Zhang,
+//! Wang, Liu & Kong), assembled from three components:
+//!
+//! * [`DataLogger`] (§5) — a sliding-window log of state estimates and
+//!   residuals with *buffer / hold / release* semantics. At each step
+//!   it predicts `x̃_t = A x̄_{t−1} + B u_{t−1}` and stores the
+//!   residual `z_t = |x̃_t − x̄_t|`; it retains exactly enough history
+//!   (`w_m + 2` entries) for the detector and the deadline estimator,
+//!   whatever the current window size.
+//! * [`WindowDetector`] (§4.1) — the basic window-based check: alarm
+//!   when the average residual over the detection window exceeds the
+//!   per-dimension threshold `τ`.
+//! * [`AdaptiveDetector`] (§4.2/§4.3) — the adaptive protocol. Every
+//!   step it asks the deadline estimator
+//!   ([`awsad_reach::DeadlineEstimator`]) for the current detection
+//!   deadline (seeded from the newest *trusted* estimate, the one just
+//!   outside the window), sets `w_c = t_d` clamped to `[w_min, w_m]`,
+//!   and — when the window shrinks — runs *complementary detection*
+//!   over the windows that would otherwise let logged points escape
+//!   unchecked (Fig. 3). When the window grows no extra work is needed
+//!   (Fig. 4).
+//!
+//! Four classical single-stream baselines are included for the
+//! ablation studies — [`CusumDetector`], [`EwmaDetector`],
+//! [`ChiSquaredDetector`] (covariance-whitened, with
+//! [`estimate_covariance`] as its calibration) and
+//! [`EveryStepDetector`] — plus [`FixedWindowDetector`], the
+//! comparison arm used throughout the paper's evaluation (Table 2,
+//! Figs. 6 and 8). [`calibrate_threshold`] performs the offline
+//! profiling that produces a Table 1-style `τ` from a benign trace.
+//!
+//! # Window-size convention
+//!
+//! Following §4.1 exactly, the window statistic sums the `w_c + 1`
+//! residuals in `[t − w_c, t]` and divides by `w_c` (clamped to 1 so
+//! that `w_c = 0` degenerates to single-sample detection — the "alert
+//! every control period" extreme discussed in §1). The deliberate
+//! `(w_c+1)/w_c` over-count makes small windows strictly more
+//! alarm-prone, which is what lets the adaptive detector fire on the
+//! very first attacked sample when the deadline collapses (Fig. 8).
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
+//! use awsad_linalg::{Matrix, Vector};
+//! use awsad_lti::LtiSystem;
+//! use awsad_reach::{DeadlineEstimator, ReachConfig};
+//! use awsad_sets::BoxSet;
+//!
+//! // Integrator plant, |u| <= 1, safe |x| <= 5, tau = 0.1, w_m = 10.
+//! let sys = LtiSystem::new_discrete_fully_observable(
+//!     Matrix::identity(1),
+//!     Matrix::from_rows(&[&[1.0]]).unwrap(),
+//!     0.02,
+//! ).unwrap();
+//! let reach = ReachConfig::new(
+//!     BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+//!     0.0,
+//!     BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+//!     10,
+//! ).unwrap();
+//! let est = DeadlineEstimator::new(sys.a(), sys.b(), reach).unwrap();
+//! let cfg = DetectorConfig::new(Vector::from_slice(&[0.1]), 10).unwrap();
+//! let mut logger = DataLogger::new(sys, 10);
+//! let mut det = AdaptiveDetector::new(cfg, est).unwrap();
+//!
+//! // Clean steady state: no alarms.
+//! for _ in 0..20 {
+//!     logger.record(Vector::zeros(1), Vector::zeros(1));
+//!     let out = det.step(&logger);
+//!     assert!(!out.alarm());
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adaptive;
+mod alarm;
+mod baselines;
+mod calibrate;
+mod chi_squared;
+mod config;
+mod error;
+mod ewma;
+mod logger;
+mod report;
+mod window;
+
+pub use adaptive::{AdaptiveDetector, AdaptiveStep};
+pub use alarm::{AlarmFilter, AlarmPolicy};
+pub use baselines::{CusumDetector, EveryStepDetector, ResidualDetector};
+pub use calibrate::calibrate_threshold;
+pub use chi_squared::{estimate_covariance, ChiSquaredDetector};
+pub use config::DetectorConfig;
+pub use error::DetectError;
+pub use ewma::EwmaDetector;
+pub use logger::{DataLogger, LogEntry, RetentionState};
+pub use report::DetectionReport;
+pub use window::{FixedWindowDetector, WindowDetector};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DetectError>;

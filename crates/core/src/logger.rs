@@ -1,0 +1,369 @@
+use std::collections::VecDeque;
+
+use awsad_linalg::Vector;
+use awsad_lti::LtiSystem;
+
+/// One logged control step: the state estimate, the control input
+/// applied *at* this step, the model prediction and the residual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Control step index `t`.
+    pub step: usize,
+    /// State estimate `x̄_t` (attacker-visible value).
+    pub estimate: Vector,
+    /// Control input `u_t` computed at this step.
+    pub input: Vector,
+    /// Model prediction `x̃_t = A x̄_{t−1} + B u_{t−1}`, `None` for the
+    /// very first logged step (no history to predict from).
+    pub prediction: Option<Vector>,
+    /// Residual `z_t = |x̃_t − x̄_t|` (zeros at the first step).
+    pub residual: Vector,
+}
+
+/// Where a logged step currently sits in the logger's lifecycle
+/// (Fig. 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetentionState {
+    /// Inside the current detection window `[t − w_c, t]`: integrity
+    /// still unknown, the detector is checking it.
+    Buffered,
+    /// Outside the detection window but inside the sliding window:
+    /// trusted and available for deadline estimation.
+    Held,
+    /// Before `t − w_m − 1`: evicted to save storage.
+    Released,
+    /// After the current step: not produced yet.
+    Future,
+}
+
+/// Sliding-window data logger (§5).
+///
+/// At each control step the logger receives the state estimate and the
+/// control input, predicts the expected state with the plant model,
+/// computes the residual, and stores all of it. It retains exactly
+/// `w_m + 2` entries — the window `[t − w_m − 1, t]` — so that
+///
+/// * any detection window up to `w_m` has all its residuals, and
+/// * the *trusted* estimate `x̄_{t − w_c − 1}` (the newest point
+///   outside the detection window, §3.3.1) is always present, even at
+///   `w_c = w_m`.
+///
+/// Older entries are released (Fig. 5), bounding memory regardless of
+/// episode length.
+#[derive(Debug, Clone)]
+pub struct DataLogger {
+    system: LtiSystem,
+    max_window: usize,
+    entries: VecDeque<LogEntry>,
+    next_step: usize,
+}
+
+impl DataLogger {
+    /// Creates a logger for `system` with maximum detection window
+    /// `max_window` (`w_m`).
+    pub fn new(system: LtiSystem, max_window: usize) -> Self {
+        DataLogger {
+            system,
+            max_window,
+            entries: VecDeque::with_capacity(max_window + 2),
+            next_step: 0,
+        }
+    }
+
+    /// The plant model used for predictions.
+    pub fn system(&self) -> &LtiSystem {
+        &self.system
+    }
+
+    /// The configured maximum window size `w_m`.
+    pub fn max_window(&self) -> usize {
+        self.max_window
+    }
+
+    /// Records step `t` (assigned sequentially) and returns the new
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `estimate` or `input` have the wrong dimension for
+    /// the model.
+    pub fn record(&mut self, estimate: Vector, input: Vector) -> &LogEntry {
+        assert_eq!(
+            estimate.len(),
+            self.system.state_dim(),
+            "estimate dimension must match model"
+        );
+        assert_eq!(
+            input.len(),
+            self.system.input_dim(),
+            "input dimension must match model"
+        );
+        let prediction = self
+            .entries
+            .back()
+            .map(|prev| self.system.step(&prev.estimate, &prev.input));
+        let residual = match &prediction {
+            Some(pred) => (pred - &estimate).abs(),
+            None => Vector::zeros(estimate.len()),
+        };
+        let entry = LogEntry {
+            step: self.next_step,
+            estimate,
+            input,
+            prediction,
+            residual,
+        };
+        self.next_step += 1;
+        self.entries.push_back(entry);
+        // Release: keep [t - w_m - 1, t], i.e. at most w_m + 2 entries.
+        while self.entries.len() > self.max_window + 2 {
+            self.entries.pop_front();
+        }
+        self.entries.back().expect("just pushed")
+    }
+
+    /// The most recently recorded step index, or `None` before the
+    /// first record.
+    pub fn current_step(&self) -> Option<usize> {
+        self.entries.back().map(|e| e.step)
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retained entry for step `step`, or `None` if released or
+    /// not yet recorded.
+    pub fn entry(&self, step: usize) -> Option<&LogEntry> {
+        let first = self.entries.front()?.step;
+        step.checked_sub(first)
+            .and_then(|offset| self.entries.get(offset))
+    }
+
+    /// The most recent entry.
+    pub fn latest(&self) -> Option<&LogEntry> {
+        self.entries.back()
+    }
+
+    /// The oldest retained step.
+    pub fn oldest_step(&self) -> Option<usize> {
+        self.entries.front().map(|e| e.step)
+    }
+
+    /// The paper's average residual over the window `[end − w, end]`:
+    /// the sum of the `w + 1` retained samples divided by `w` (§4.1's
+    /// `z_t^avg = (1/w_c) Σ_{i∈[t−w_c,t]} z_i`), with the divisor
+    /// clamped to 1 so `w = 0` degenerates to single-sample detection.
+    /// Returns `None` when any step in the window is not retained.
+    ///
+    /// The `(w+1)/w` over-count makes *small* windows strictly more
+    /// alarm-prone than a plain mean — the sensitivity the adaptive
+    /// detector relies on when the deadline forces a tight window
+    /// (e.g. the testbed detection in the paper's Fig. 8 fires on the
+    /// very first attacked sample). Windows that would extend before
+    /// step 0 are truncated at 0 (the divisor then clamps to the
+    /// available sample count − 1).
+    pub fn window_mean(&self, end: usize, w: usize) -> Option<Vector> {
+        let start = end.saturating_sub(w);
+        let first = self.entries.front()?.step;
+        let last = self.entries.back()?.step;
+        if start < first || end > last {
+            return None;
+        }
+        let mut acc = Vector::zeros(self.system.state_dim());
+        let mut count = 0usize;
+        for step in start..=end {
+            let entry = self.entry(step)?;
+            acc += &entry.residual;
+            count += 1;
+        }
+        let divisor = count.saturating_sub(1).max(1);
+        Some(acc.scale(1.0 / divisor as f64))
+    }
+
+    /// The newest *trusted* entry for a detection window of size `w`
+    /// ending at the current step: the entry at `t − w − 1`, clamped
+    /// to the oldest retained entry during warm-up (before enough
+    /// steps exist).
+    ///
+    /// Returns `None` only when nothing has been recorded.
+    pub fn trusted_entry(&self, w: usize) -> Option<&LogEntry> {
+        let current = self.current_step()?;
+        let first = self.oldest_step()?;
+        let wanted = current.saturating_sub(w + 1);
+        self.entry(wanted.max(first))
+    }
+
+    /// The lifecycle state of `step` given the current detection
+    /// window size `w_c` (Fig. 5).
+    pub fn retention_state(&self, step: usize, w_c: usize) -> RetentionState {
+        let Some(current) = self.current_step() else {
+            return RetentionState::Future;
+        };
+        if step > current {
+            return RetentionState::Future;
+        }
+        if self.entry(step).is_none() {
+            return RetentionState::Released;
+        }
+        if step >= current.saturating_sub(w_c) {
+            RetentionState::Buffered
+        } else {
+            RetentionState::Held
+        }
+    }
+
+    /// Clears all history for a fresh episode.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.next_step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_linalg::Matrix;
+
+    /// x_{t+1} = 0.5 x_t + u_t, 1-D.
+    fn logger(max_window: usize) -> DataLogger {
+        let sys = LtiSystem::new_discrete_fully_observable(
+            Matrix::diagonal(&[0.5]),
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            0.02,
+        )
+        .unwrap();
+        DataLogger::new(sys, max_window)
+    }
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn first_entry_has_zero_residual() {
+        let mut log = logger(5);
+        let e = log.record(v(3.0), v(0.0));
+        assert_eq!(e.step, 0);
+        assert_eq!(e.prediction, None);
+        assert_eq!(e.residual.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn residual_matches_model_prediction() {
+        let mut log = logger(5);
+        log.record(v(2.0), v(1.0));
+        // Prediction: 0.5*2 + 1 = 2.0; estimate 2.3 → residual 0.3.
+        let e = log.record(v(2.3), v(0.0));
+        assert!((e.residual[0] - 0.3).abs() < 1e-12);
+        assert!((e.prediction.as_ref().unwrap()[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_keeps_w_m_plus_two() {
+        let mut log = logger(3);
+        for i in 0..10 {
+            log.record(v(i as f64), v(0.0));
+        }
+        assert_eq!(log.len(), 5); // w_m + 2
+        assert_eq!(log.oldest_step(), Some(5));
+        assert!(log.entry(4).is_none());
+        assert!(log.entry(5).is_some());
+        assert_eq!(log.current_step(), Some(9));
+    }
+
+    #[test]
+    fn window_mean_uses_papers_normalization() {
+        let mut log = logger(10);
+        // Estimates chosen so residuals are 0, 1.5, 0.75, ...
+        log.record(v(0.0), v(0.0)); // r = 0
+        log.record(v(1.5), v(0.0)); // pred 0, r = 1.5
+        log.record(v(1.5), v(0.0)); // pred 0.75, r = 0.75
+        // w = 1: sum of steps 1..=2 divided by w = 1.
+        let mean = log.window_mean(2, 1).unwrap();
+        assert!((mean[0] - (1.5 + 0.75)).abs() < 1e-12);
+        // w = 2: sum of steps 0..=2 divided by w = 2.
+        let mean_all = log.window_mean(2, 2).unwrap();
+        assert!((mean_all[0] - (0.0 + 1.5 + 0.75) / 2.0).abs() < 1e-12);
+        // w = 0: single sample, divisor clamped to 1.
+        let single = log.window_mean(2, 0).unwrap();
+        assert!((single[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_mean_truncates_at_zero_and_rejects_released() {
+        let mut log = logger(3);
+        log.record(v(0.0), v(0.0));
+        log.record(v(1.0), v(0.0));
+        // Window larger than history truncates at step 0.
+        assert!(log.window_mean(1, 10).is_some());
+        for i in 0..10 {
+            log.record(v(i as f64), v(0.0));
+        }
+        // Step 2 has been released.
+        assert!(log.window_mean(2, 0).is_none());
+        // Future step not recorded.
+        assert!(log.window_mean(100, 0).is_none());
+    }
+
+    #[test]
+    fn trusted_entry_is_just_outside_window() {
+        let mut log = logger(10);
+        for i in 0..8 {
+            log.record(v(i as f64), v(0.0));
+        }
+        // Current step 7, window 3 → trusted = step 3.
+        assert_eq!(log.trusted_entry(3).unwrap().step, 3);
+        // Warm-up clamp: window 10 wants step -4 → oldest (0).
+        assert_eq!(log.trusted_entry(10).unwrap().step, 0);
+    }
+
+    #[test]
+    fn trusted_entry_respects_release() {
+        let mut log = logger(4);
+        for i in 0..20 {
+            log.record(v(i as f64), v(0.0));
+        }
+        // Current 19, oldest 14 (w_m+2=6 entries). Window 4 → wants 14.
+        assert_eq!(log.trusted_entry(4).unwrap().step, 14);
+    }
+
+    #[test]
+    fn retention_states_match_fig5() {
+        let mut log = logger(4);
+        for i in 0..10 {
+            log.record(v(i as f64), v(0.0));
+        }
+        // Current 9, w_c = 2: buffered [7, 9], held [4, 6], released < 4.
+        assert_eq!(log.retention_state(9, 2), RetentionState::Buffered);
+        assert_eq!(log.retention_state(7, 2), RetentionState::Buffered);
+        assert_eq!(log.retention_state(6, 2), RetentionState::Held);
+        assert_eq!(log.retention_state(4, 2), RetentionState::Held);
+        assert_eq!(log.retention_state(3, 2), RetentionState::Released);
+        assert_eq!(log.retention_state(10, 2), RetentionState::Future);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut log = logger(3);
+        log.record(v(1.0), v(0.0));
+        log.reset();
+        assert!(log.is_empty());
+        assert_eq!(log.current_step(), None);
+        let e = log.record(v(2.0), v(0.0));
+        assert_eq!(e.step, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate dimension")]
+    fn wrong_estimate_dimension_panics() {
+        let mut log = logger(3);
+        log.record(Vector::zeros(2), v(0.0));
+    }
+}

@@ -1,0 +1,216 @@
+use std::fmt;
+
+use crate::AdaptiveStep;
+
+/// Session-level aggregation of adaptive-detector outcomes: alarm
+/// counts, window-size distribution, deadline statistics, first-alarm
+/// bookkeeping.
+///
+/// Feed it every [`AdaptiveStep`] of an episode and read a one-glance
+/// summary — what an operator console or a post-incident report would
+/// show.
+///
+/// # Example
+///
+/// ```
+/// use awsad_core::DetectionReport;
+///
+/// let report = DetectionReport::new();
+/// assert_eq!(report.steps(), 0);
+/// assert!(report.first_alarm().is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DetectionReport {
+    steps: usize,
+    alarms: usize,
+    complementary_alarms: usize,
+    first_alarm: Option<usize>,
+    window_sum: usize,
+    window_min: Option<usize>,
+    window_max: Option<usize>,
+    finite_deadlines: usize,
+    shrink_events: usize,
+    grow_events: usize,
+}
+
+impl DetectionReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        DetectionReport::default()
+    }
+
+    /// Ingests one detector step outcome.
+    pub fn record(&mut self, step: &AdaptiveStep) {
+        self.steps += 1;
+        if step.alarm() {
+            self.alarms += 1;
+            if self.first_alarm.is_none() {
+                self.first_alarm = Some(step.step);
+            }
+        }
+        self.complementary_alarms += step.complementary_alarms.len();
+        self.window_sum += step.window;
+        self.window_min = Some(self.window_min.map_or(step.window, |m| m.min(step.window)));
+        self.window_max = Some(self.window_max.map_or(step.window, |m| m.max(step.window)));
+        if step.deadline.steps().is_some() {
+            self.finite_deadlines += 1;
+        }
+        if step.window < step.previous_window {
+            self.shrink_events += 1;
+        } else if step.window > step.previous_window {
+            self.grow_events += 1;
+        }
+    }
+
+    /// Number of steps ingested.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of alarmed steps.
+    pub fn alarms(&self) -> usize {
+        self.alarms
+    }
+
+    /// Total complementary-window alarms observed.
+    pub fn complementary_alarms(&self) -> usize {
+        self.complementary_alarms
+    }
+
+    /// The earliest alarmed step.
+    pub fn first_alarm(&self) -> Option<usize> {
+        self.first_alarm
+    }
+
+    /// Alarm rate over the ingested steps (0 when empty).
+    pub fn alarm_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.alarms as f64 / self.steps as f64
+        }
+    }
+
+    /// Mean window size (0 when empty).
+    pub fn mean_window(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.window_sum as f64 / self.steps as f64
+        }
+    }
+
+    /// Smallest and largest window sizes seen.
+    pub fn window_range(&self) -> Option<(usize, usize)> {
+        self.window_min.zip(self.window_max)
+    }
+
+    /// Fraction of steps whose deadline was finite (inside the search
+    /// horizon).
+    pub fn finite_deadline_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.finite_deadlines as f64 / self.steps as f64
+        }
+    }
+
+    /// Number of steps on which the window shrank / grew.
+    pub fn adaptation_events(&self) -> (usize, usize) {
+        (self.shrink_events, self.grow_events)
+    }
+}
+
+impl fmt::Display for DetectionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "detection report: {} steps", self.steps)?;
+        writeln!(
+            f,
+            "  alarms: {} ({:.1}% of steps, {} via complementary windows)",
+            self.alarms,
+            self.alarm_rate() * 100.0,
+            self.complementary_alarms
+        )?;
+        match self.first_alarm {
+            Some(t) => writeln!(f, "  first alarm at step {t}")?,
+            None => writeln!(f, "  no alarms")?,
+        }
+        match self.window_range() {
+            Some((lo, hi)) => writeln!(
+                f,
+                "  window: mean {:.1}, range [{lo}, {hi}], {} shrinks / {} grows",
+                self.mean_window(),
+                self.shrink_events,
+                self.grow_events
+            )?,
+            None => writeln!(f, "  window: (no steps)")?,
+        }
+        write!(
+            f,
+            "  finite deadline on {:.1}% of steps",
+            self.finite_deadline_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_reach::Deadline;
+
+    fn step(t: usize, window: usize, prev: usize, alarm: bool, deadline: Deadline) -> AdaptiveStep {
+        AdaptiveStep {
+            step: t,
+            deadline,
+            window,
+            previous_window: prev,
+            current_alarm: alarm,
+            complementary_alarms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_counts_and_ranges() {
+        let mut r = DetectionReport::new();
+        r.record(&step(0, 5, 10, false, Deadline::Within(5)));
+        r.record(&step(1, 3, 5, true, Deadline::Within(3)));
+        r.record(&step(2, 8, 3, false, Deadline::Beyond));
+        assert_eq!(r.steps(), 3);
+        assert_eq!(r.alarms(), 1);
+        assert_eq!(r.first_alarm(), Some(1));
+        assert!((r.alarm_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_window() - 16.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.window_range(), Some((3, 8)));
+        assert!((r.finite_deadline_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.adaptation_events(), (2, 1));
+    }
+
+    #[test]
+    fn complementary_alarms_counted_and_set_first_alarm() {
+        let mut r = DetectionReport::new();
+        let mut s = step(4, 2, 6, false, Deadline::Within(2));
+        s.complementary_alarms = vec![1, 2];
+        r.record(&s);
+        assert_eq!(r.alarms(), 1); // the step alarmed (via complementary)
+        assert_eq!(r.complementary_alarms(), 2);
+        assert_eq!(r.first_alarm(), Some(4));
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let r = DetectionReport::new();
+        assert_eq!(r.alarm_rate(), 0.0);
+        assert_eq!(r.mean_window(), 0.0);
+        assert_eq!(r.window_range(), None);
+        assert!(r.to_string().contains("no alarms"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut r = DetectionReport::new();
+        r.record(&step(0, 5, 10, true, Deadline::Within(5)));
+        let s = r.to_string();
+        assert!(s.contains("first alarm at step 0"));
+        assert!(s.contains("range [5, 5]"));
+    }
+}

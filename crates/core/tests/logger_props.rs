@@ -1,0 +1,152 @@
+//! Property-based tests for the sliding-window data logger (§5).
+
+use awsad_core::{DataLogger, RetentionState};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use proptest::prelude::*;
+
+fn logger(a: f64, b: f64, w_m: usize) -> DataLogger {
+    let sys = LtiSystem::new_discrete_fully_observable(
+        Matrix::diagonal(&[a]),
+        Matrix::from_rows(&[&[b]]).unwrap(),
+        0.02,
+    )
+    .unwrap();
+    DataLogger::new(sys, w_m)
+}
+
+proptest! {
+    /// Retention: after any sequence of records, exactly the last
+    /// `min(len, w_m + 2)` steps are retained, contiguously.
+    #[test]
+    fn retention_window_is_exact(
+        w_m in 1usize..20,
+        stream in prop::collection::vec((-10.0..10.0f64, -1.0..1.0f64), 1..100),
+    ) {
+        let mut log = logger(0.9, 0.5, w_m);
+        for &(x, u) in &stream {
+            log.record(Vector::from_slice(&[x]), Vector::from_slice(&[u]));
+        }
+        let n = stream.len();
+        let expect = n.min(w_m + 2);
+        prop_assert_eq!(log.len(), expect);
+        prop_assert_eq!(log.current_step(), Some(n - 1));
+        prop_assert_eq!(log.oldest_step(), Some(n - expect));
+        // Contiguity: every step in the retained range is present,
+        // everything older is gone.
+        for s in (n - expect)..n {
+            prop_assert!(log.entry(s).is_some(), "missing retained step {s}");
+        }
+        if n > expect {
+            prop_assert!(log.entry(n - expect - 1).is_none());
+        }
+    }
+
+    /// Residuals follow the definition exactly:
+    /// z_t = |a*x_{t-1} + b*u_{t-1} - x_t| for the scalar plant.
+    #[test]
+    fn residuals_match_definition(
+        a in -1.0..1.0f64,
+        b in -1.0..1.0f64,
+        stream in prop::collection::vec((-10.0..10.0f64, -1.0..1.0f64), 2..40),
+    ) {
+        let mut log = logger(a, b, 64);
+        for &(x, u) in &stream {
+            log.record(Vector::from_slice(&[x]), Vector::from_slice(&[u]));
+        }
+        for t in 1..stream.len() {
+            let (x_prev, u_prev) = stream[t - 1];
+            let (x_now, _) = stream[t];
+            let expected = (a * x_prev + b * u_prev - x_now).abs();
+            let got = log.entry(t).unwrap().residual[0];
+            prop_assert!((got - expected).abs() < 1e-9, "t={t}: {got} vs {expected}");
+        }
+        prop_assert_eq!(log.entry(0).unwrap().residual[0], 0.0);
+    }
+
+    /// window_mean equals the brute-force paper statistic
+    /// (sum over [end-w, end]) / max(w, 1) wherever it is defined.
+    #[test]
+    fn window_mean_matches_brute_force(
+        w in 0usize..10,
+        stream in prop::collection::vec((-5.0..5.0f64, -1.0..1.0f64), 2..60),
+    ) {
+        let mut log = logger(0.8, 0.3, 64);
+        let mut residuals = vec![0.0f64];
+        for (t, &(x, u)) in stream.iter().enumerate() {
+            log.record(Vector::from_slice(&[x]), Vector::from_slice(&[u]));
+            if t > 0 {
+                let (xp, up) = stream[t - 1];
+                residuals.push((0.8 * xp + 0.3 * up - x).abs());
+            }
+        }
+        for end in 0..stream.len() {
+            if let Some(mean) = log.window_mean(end, w) {
+                let start = end.saturating_sub(w);
+                let sum: f64 = residuals[start..=end].iter().sum();
+                let count = end - start;
+                let expected = sum / count.max(1) as f64;
+                prop_assert!(
+                    (mean[0] - expected).abs() < 1e-9,
+                    "end={end} w={w}: {} vs {expected}",
+                    mean[0]
+                );
+            }
+        }
+    }
+
+    /// The trusted entry is always strictly outside the window and as
+    /// recent as retention allows.
+    #[test]
+    fn trusted_entry_is_outside_window(
+        w_m in 2usize..20,
+        w in 0usize..20,
+        n in 1usize..60,
+    ) {
+        let w = w.min(w_m);
+        let mut log = logger(1.0, 0.0, w_m);
+        for i in 0..n {
+            log.record(Vector::from_slice(&[i as f64]), Vector::zeros(1));
+        }
+        let trusted = log.trusted_entry(w).unwrap();
+        let current = n - 1;
+        // Outside the window [current - w, current]...
+        let wanted = current.saturating_sub(w + 1);
+        // ...except during warm-up/retention clamping.
+        let oldest = log.oldest_step().unwrap();
+        prop_assert_eq!(trusted.step, wanted.max(oldest));
+    }
+
+    /// Retention states partition each step's lifecycle consistently
+    /// with entry() availability.
+    #[test]
+    fn retention_states_are_consistent(
+        w_m in 1usize..10,
+        w_c in 0usize..10,
+        n in 1usize..40,
+        probe in 0usize..50,
+    ) {
+        let w_c = w_c.min(w_m);
+        let mut log = logger(0.5, 0.5, w_m);
+        for i in 0..n {
+            log.record(Vector::from_slice(&[i as f64]), Vector::zeros(1));
+        }
+        let state = log.retention_state(probe, w_c);
+        let current = n - 1;
+        match state {
+            RetentionState::Future => prop_assert!(probe > current),
+            RetentionState::Released => {
+                prop_assert!(probe <= current);
+                prop_assert!(log.entry(probe).is_none());
+            }
+            RetentionState::Buffered => {
+                prop_assert!(log.entry(probe).is_some());
+                prop_assert!(probe + w_c >= current);
+            }
+            RetentionState::Held => {
+                prop_assert!(log.entry(probe).is_some());
+                prop_assert!(probe + w_c < current);
+            }
+        }
+    }
+}

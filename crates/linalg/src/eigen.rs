@@ -1,0 +1,445 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// A (possibly complex) eigenvalue `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Eigenvalue {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Eigenvalue {
+    /// Modulus `|λ|`.
+    pub fn modulus(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// Maximum QR iterations per eigenvalue before giving up.
+const MAX_ITERATIONS_PER_EIGENVALUE: usize = 120;
+
+/// Computes all eigenvalues of a square real matrix via the shifted
+/// Hessenberg QR algorithm.
+///
+/// Eigenvalues answer the stability questions the detection stack
+/// keeps asking: is the discretized plant stable, does an LQR gain or
+/// a Luenberger observer place the closed-loop poles inside the unit
+/// circle, how underdamped is the RLC benchmark. The implementation
+/// reduces `A` to upper Hessenberg form with Householder reflections,
+/// then runs Wilkinson-shifted QR iterations with deflation, emitting
+/// real eigenvalues from 1×1 trailing blocks and complex-conjugate
+/// pairs from irreducible 2×2 blocks.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input,
+/// [`LinalgError::NonFiniteArgument`] for NaN/∞ entries, and
+/// [`LinalgError::Singular`] if the iteration fails to converge
+/// (does not happen for the well-scaled matrices in this workspace).
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{eigenvalues, Matrix};
+///
+/// // Rotation-ish block: eigenvalues 1 ± 2i.
+/// let a = Matrix::from_rows(&[&[1.0, -2.0], &[2.0, 1.0]]).unwrap();
+/// let mut eig = eigenvalues(&a).unwrap();
+/// eig.sort_by(|a, b| a.im.partial_cmp(&b.im).unwrap());
+/// assert!((eig[0].re - 1.0).abs() < 1e-9 && (eig[0].im + 2.0).abs() < 1e-9);
+/// assert!((eig[1].re - 1.0).abs() < 1e-9 && (eig[1].im - 2.0).abs() < 1e-9);
+/// ```
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Eigenvalue>> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFiniteArgument { name: "a" });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![Eigenvalue {
+            re: a[(0, 0)],
+            im: 0.0,
+        }]);
+    }
+
+    let mut h = hessenberg(a);
+    let mut eig = Vec::with_capacity(n);
+    let mut hi = n; // active block is h[0..hi][0..hi]
+    let eps = 1e-14;
+    let mut iters_left = MAX_ITERATIONS_PER_EIGENVALUE * n;
+    // Iterations since the active block last shrank; triggers
+    // exceptional shifts when the standard double shift stagnates.
+    let mut stagnation = 0usize;
+
+    while hi > 0 {
+        if hi == 1 {
+            eig.push(Eigenvalue {
+                re: h[(0, 0)],
+                im: 0.0,
+            });
+            hi = 0;
+            continue;
+        }
+        // Deflate: find the largest l such that subdiagonal (l, l-1)
+        // is negligible relative to its neighbours.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let sub = h[(lo, lo - 1)].abs();
+            if sub <= eps * (h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs()) + f64::MIN_POSITIVE {
+                h[(lo, lo - 1)] = 0.0;
+                break;
+            }
+            lo -= 1;
+        }
+
+        if lo == hi - 1 {
+            // 1x1 block converged.
+            eig.push(Eigenvalue {
+                re: h[(hi - 1, hi - 1)],
+                im: 0.0,
+            });
+            hi -= 1;
+            stagnation = 0;
+            continue;
+        }
+        if lo == hi - 2 {
+            // 2x2 block: solve its characteristic polynomial directly.
+            let (e1, e2) = eig2x2(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            );
+            eig.push(e1);
+            eig.push(e2);
+            hi -= 2;
+            stagnation = 0;
+            continue;
+        }
+
+        if iters_left == 0 {
+            return Err(LinalgError::Singular);
+        }
+        iters_left -= 1;
+        stagnation += 1;
+
+        // Shift pair (as sum `s` and product `t`) from the trailing
+        // 2x2 of the active block; exceptional values on stagnation
+        // (the classic dlahqr escape hatch).
+        let m = hi - 1;
+        let (shift_sum, shift_prod) = if stagnation.is_multiple_of(10) {
+            let w = h[(m, m - 1)].abs() + h[(m - 1, m - 2)].abs();
+            (1.5 * w + h[(m, m)], w * w)
+        } else {
+            let (p, q, r, ss) = (
+                h[(m - 1, m - 1)],
+                h[(m - 1, m)],
+                h[(m, m - 1)],
+                h[(m, m)],
+            );
+            (p + ss, p * ss - q * r)
+        };
+
+        francis_double_step(&mut h, lo, hi, shift_sum, shift_prod);
+    }
+    Ok(eig)
+}
+
+/// Eigenvalues of a real 2x2 `[[p, q], [r, s]]`.
+fn eig2x2(p: f64, q: f64, r: f64, s: f64) -> (Eigenvalue, Eigenvalue) {
+    let trace = p + s;
+    let det = p * s - q * r;
+    let disc = trace * trace / 4.0 - det;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        (
+            Eigenvalue {
+                re: trace / 2.0 + sq,
+                im: 0.0,
+            },
+            Eigenvalue {
+                re: trace / 2.0 - sq,
+                im: 0.0,
+            },
+        )
+    } else {
+        let sq = (-disc).sqrt();
+        (
+            Eigenvalue {
+                re: trace / 2.0,
+                im: sq,
+            },
+            Eigenvalue {
+                re: trace / 2.0,
+                im: -sq,
+            },
+        )
+    }
+}
+
+/// One implicit Francis double-shift QR sweep on the Hessenberg block
+/// `[lo, hi)` with shift polynomial `H^2 - s H + t I` (Golub & Van
+/// Loan, Algorithm 7.5.1). Transforms are restricted to the block,
+/// which preserves the union of spectra once the block is decoupled.
+fn francis_double_step(h: &mut Matrix, lo: usize, hi: usize, s: f64, t: f64) {
+    // First column of (H - sigma1 I)(H - sigma2 I).
+    let mut x = h[(lo, lo)] * h[(lo, lo)] + h[(lo, lo + 1)] * h[(lo + 1, lo)]
+        - s * h[(lo, lo)]
+        + t;
+    let mut y = h[(lo + 1, lo)] * (h[(lo, lo)] + h[(lo + 1, lo + 1)] - s);
+    let mut z = h[(lo + 1, lo)] * h[(lo + 2, lo + 1)];
+
+    for k in lo..(hi - 2) {
+        // Householder reflector P annihilating (y, z) in (x, y, z).
+        let norm = (x * x + y * y + z * z).sqrt();
+        if norm > f64::MIN_POSITIVE {
+            let alpha = if x >= 0.0 { -norm } else { norm };
+            let v0 = x - alpha;
+            let (v1, v2) = (y, z);
+            let vtv = v0 * v0 + v1 * v1 + v2 * v2;
+            if vtv > f64::MIN_POSITIVE {
+                let beta = 2.0 / vtv;
+                // Left: rows k..k+3.
+                let col_start = k.saturating_sub(1).max(lo);
+                for col in col_start..hi {
+                    let dot =
+                        v0 * h[(k, col)] + v1 * h[(k + 1, col)] + v2 * h[(k + 2, col)];
+                    let f = beta * dot;
+                    h[(k, col)] -= f * v0;
+                    h[(k + 1, col)] -= f * v1;
+                    h[(k + 2, col)] -= f * v2;
+                }
+                // Right: cols k..k+3.
+                let row_end = (k + 4).min(hi);
+                for row in lo..row_end {
+                    let dot =
+                        v0 * h[(row, k)] + v1 * h[(row, k + 1)] + v2 * h[(row, k + 2)];
+                    let f = beta * dot;
+                    h[(row, k)] -= f * v0;
+                    h[(row, k + 1)] -= f * v1;
+                    h[(row, k + 2)] -= f * v2;
+                }
+            }
+        }
+        x = h[(k + 1, k)];
+        y = h[(k + 2, k)];
+        if k < hi - 3 {
+            z = h[(k + 3, k)];
+        } else {
+            z = 0.0;
+        }
+    }
+
+    // Final 2x1 Givens rotation on (x, y) = rows (hi-2, hi-1).
+    let r = x.hypot(y);
+    if r > f64::MIN_POSITIVE {
+        let (c, sn) = (x / r, y / r);
+        let k = hi - 2;
+        let col_start = k.saturating_sub(1).max(lo);
+        for col in col_start..hi {
+            let a0 = h[(k, col)];
+            let a1 = h[(k + 1, col)];
+            h[(k, col)] = c * a0 + sn * a1;
+            h[(k + 1, col)] = -sn * a0 + c * a1;
+        }
+        for row in lo..hi {
+            let a0 = h[(row, k)];
+            let a1 = h[(row, k + 1)];
+            h[(row, k)] = c * a0 + sn * a1;
+            h[(row, k + 1)] = -sn * a0 + c * a1;
+        }
+    }
+}
+
+/// The exact spectral radius `max |λ_i|`.
+///
+/// # Errors
+///
+/// Same as [`eigenvalues`].
+pub fn spectral_radius(a: &Matrix) -> Result<f64> {
+    Ok(eigenvalues(a)?
+        .iter()
+        .map(Eigenvalue::modulus)
+        .fold(0.0, f64::max))
+}
+
+/// Reduces `a` to upper Hessenberg form by Householder similarity
+/// transforms (same eigenvalues).
+fn hessenberg(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut h = a.clone();
+    for j in 0..n.saturating_sub(2) {
+        let mut norm = 0.0;
+        for i in (j + 1)..n {
+            norm += h[(i, j)] * h[(i, j)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            continue;
+        }
+        let alpha = if h[(j + 1, j)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; n];
+        v[j + 1] = h[(j + 1, j)] - alpha;
+        for i in (j + 2)..n {
+            v[i] = h[(i, j)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            continue;
+        }
+        // H A: rows.
+        for col in 0..n {
+            let dot: f64 = ((j + 1)..n).map(|i| v[i] * h[(i, col)]).sum();
+            let f = 2.0 * dot / vtv;
+            for i in (j + 1)..n {
+                h[(i, col)] -= f * v[i];
+            }
+        }
+        // A H: columns.
+        for row in 0..n {
+            let dot: f64 = ((j + 1)..n).map(|i| h[(row, i)] * v[i]).sum();
+            let f = 2.0 * dot / vtv;
+            for i in (j + 1)..n {
+                h[(row, i)] -= f * v[i];
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_moduli(a: &Matrix) -> Vec<f64> {
+        let mut m: Vec<f64> = eigenvalues(a).unwrap().iter().map(|e| e.modulus()).collect();
+        m.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::diagonal(&[3.0, -1.0, 0.5]);
+        let mut res: Vec<f64> = eigenvalues(&a).unwrap().iter().map(|e| e.re).collect();
+        res.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((res[0] + 1.0).abs() < 1e-9);
+        assert!((res[1] - 0.5).abs() < 1e-9);
+        assert!((res[2] - 3.0).abs() < 1e-9);
+        assert!(eigenvalues(&a).unwrap().iter().all(|e| e.im == 0.0));
+    }
+
+    #[test]
+    fn triangular_matrix_eigenvalues_on_diagonal() {
+        let a = Matrix::from_rows(&[&[2.0, 5.0, -3.0], &[0.0, -1.0, 4.0], &[0.0, 0.0, 0.5]])
+            .unwrap();
+        let mut res: Vec<f64> = eigenvalues(&a).unwrap().iter().map(|e| e.re).collect();
+        res.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((res[0] + 1.0).abs() < 1e-8);
+        assert!((res[1] - 0.5).abs() < 1e-8);
+        assert!((res[2] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn complex_pair_from_rotation() {
+        let t = 0.3_f64;
+        // Rotation by t scaled by 0.9: eigenvalues 0.9 e^{±it}.
+        let a = Matrix::from_rows(&[
+            &[0.9 * t.cos(), -0.9 * t.sin()],
+            &[0.9 * t.sin(), 0.9 * t.cos()],
+        ])
+        .unwrap();
+        let eig = eigenvalues(&a).unwrap();
+        for e in &eig {
+            assert!((e.modulus() - 0.9).abs() < 1e-9);
+        }
+        assert!((spectral_radius(&a).unwrap() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_by_four_known_spectrum() {
+        // Block diagonal: diag(2, -3) plus a complex pair 1 ± i.
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 0.0, 0.0],
+            &[0.0, -3.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0, -1.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let moduli = sorted_moduli(&a);
+        let sqrt2 = 2.0_f64.sqrt();
+        assert!((moduli[0] - sqrt2).abs() < 1e-8);
+        assert!((moduli[1] - sqrt2).abs() < 1e-8);
+        assert!((moduli[2] - 2.0).abs() < 1e-8);
+        assert!((moduli[3] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn product_of_moduli_matches_determinant() {
+        let a = Matrix::from_rows(&[
+            &[1.2, -0.3, 0.5, 0.1],
+            &[0.4, 0.8, -0.2, 0.6],
+            &[-0.1, 0.7, 1.5, -0.4],
+            &[0.3, 0.2, 0.1, 0.9],
+        ])
+        .unwrap();
+        let prod: f64 = eigenvalues(&a).unwrap().iter().map(|e| e.modulus()).product();
+        let det = crate::Lu::new(&a).unwrap().determinant().abs();
+        assert!(
+            (prod - det).abs() < 1e-6 * det.max(1.0),
+            "product of |eig| {prod} vs |det| {det}"
+        );
+    }
+
+    #[test]
+    fn sum_of_real_parts_matches_trace() {
+        let a = Matrix::from_rows(&[
+            &[0.5, 1.0, -0.7],
+            &[-0.2, 0.3, 0.9],
+            &[0.8, -0.5, 0.1],
+        ])
+        .unwrap();
+        let sum: f64 = eigenvalues(&a).unwrap().iter().map(|e| e.re).sum();
+        let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
+        assert!((sum - trace).abs() < 1e-8);
+    }
+
+    #[test]
+    fn benchmark_plants_are_closed_loop_relevant() {
+        // The discretized aircraft-pitch A has its open-loop pitch
+        // integrator on the unit circle (|λ| = 1) and everything else
+        // inside.
+        let a_c = Matrix::from_rows(&[
+            &[-0.313, 56.7, 0.0],
+            &[-0.0139, -0.426, 0.0],
+            &[0.0, 56.7, 0.0],
+        ])
+        .unwrap();
+        let b_c = Matrix::from_rows(&[&[0.232], &[0.0203], &[0.0]]).unwrap();
+        let (a_d, _) = crate::discretize(&a_c, &b_c, 0.02).unwrap();
+        let rho = spectral_radius(&a_d).unwrap();
+        assert!((rho - 1.0).abs() < 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(eigenvalues(&Matrix::zeros(2, 3)).is_err());
+        let mut nan = Matrix::identity(2);
+        nan[(0, 1)] = f64::NAN;
+        assert!(eigenvalues(&nan).is_err());
+    }
+
+    #[test]
+    fn single_element() {
+        let a = Matrix::diagonal(&[42.0]);
+        let eig = eigenvalues(&a).unwrap();
+        assert_eq!(eig.len(), 1);
+        assert_eq!(eig[0].re, 42.0);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries the offending `(rows, cols)` pairs of the left and right
+    /// operand so callers can report exactly what went wrong.
+    DimensionMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factored or inverted.
+    Singular,
+    /// A dimension argument was zero where a positive size is required.
+    EmptyDimension,
+    /// A scalar argument was not finite (NaN or infinite) where a finite
+    /// value is required, e.g. the sampling period of [`discretize`].
+    ///
+    /// [`discretize`]: crate::discretize
+    NonFiniteArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "square matrix required, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::EmptyDimension => write!(f, "dimension must be positive"),
+            LinalgError::NonFiniteArgument { name } => {
+                write!(f, "argument `{name}` must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = LinalgError::DimensionMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let err = LinalgError::NotSquare { shape: (2, 3) };
+        assert!(err.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn display_singular_and_empty() {
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        assert!(LinalgError::EmptyDimension.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(LinalgError::Singular);
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+use crate::{LinalgError, Lu, Matrix, Result};
+
+/// Padé-13 coefficients from Higham, "The Scaling and Squaring Method
+/// for the Matrix Exponential Revisited" (2005).
+const PADE13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// 1-norm threshold above which the argument is scaled before applying
+/// the Padé-13 approximant (Higham's θ₁₃).
+const THETA13: f64 = 5.371920351148152;
+
+/// Computes the matrix exponential `e^A` using a Padé-13 approximant
+/// with scaling and squaring.
+///
+/// This is the workhorse behind [`discretize`], which converts the
+/// continuous-time benchmark models of the paper (aircraft pitch, DC
+/// motor, RLC circuit, quadrotor, …) into the discrete LTI form
+/// `x_{t+1} = A x_t + B u_t` the detection system operates on. The
+/// implementation handles stiff models (e.g. the DC motor's electrical
+/// pole at ≈ −1.45·10⁶ rad/s) by scaling the argument down below the
+/// Padé accuracy radius and squaring back up.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input and
+/// [`LinalgError::Singular`] if the Padé denominator is singular
+/// (does not happen for finite input after scaling).
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{expm, Matrix};
+///
+/// // exp of a diagonal matrix exponentiates the diagonal.
+/// let a = Matrix::diagonal(&[0.0, 1.0]);
+/// let e = expm(&a).unwrap();
+/// assert!((e[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!((e[(1, 1)] - std::f64::consts::E).abs() < 1e-12);
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFiniteArgument { name: "a" });
+    }
+    let n = a.rows();
+    let norm = a.norm_1();
+    let s = if norm > THETA13 {
+        (norm / THETA13).log2().ceil().max(0.0) as u32
+    } else {
+        0
+    };
+    let a_scaled = a.scale(0.5_f64.powi(s as i32));
+
+    // Padé-13: U = A (b13 A6^2 + b11 A6 A4? ...) — use the standard
+    // grouping with A2, A4, A6.
+    let a2 = &a_scaled * &a_scaled;
+    let a4 = &a2 * &a2;
+    let a6 = &a4 * &a2;
+    let ident = Matrix::identity(n);
+
+    // U = A * (A6*(b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+    let w1 = &(&(&a6 * PADE13[13]) + &(&a4 * PADE13[11])) + &(&a2 * PADE13[9]);
+    let w2 = &(&(&a6 * PADE13[7]) + &(&a4 * PADE13[5]))
+        + &(&(&a2 * PADE13[3]) + &(&ident * PADE13[1]));
+    let u = &a_scaled * &(&(&a6 * &w1) + &w2);
+
+    // V = A6*(b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+    let z1 = &(&(&a6 * PADE13[12]) + &(&a4 * PADE13[10])) + &(&a2 * PADE13[8]);
+    let z2 = &(&(&a6 * PADE13[6]) + &(&a4 * PADE13[4]))
+        + &(&(&a2 * PADE13[2]) + &(&ident * PADE13[0]));
+    let v = &(&a6 * &z1) + &z2;
+
+    // r = (V - U)^{-1} (V + U)
+    let denom = &v - &u;
+    let numer = &v + &u;
+    let mut r = Lu::new(&denom)?.solve(&numer)?;
+    for _ in 0..s {
+        r = &r * &r;
+    }
+    Ok(r)
+}
+
+/// Zero-order-hold discretization of the continuous-time pair
+/// `(A_c, B_c)` at sampling period `dt`:
+///
+/// `A_d = e^{A_c dt}`, `B_d = ∫₀^dt e^{A_c s} ds · B_c`.
+///
+/// Both are obtained from a single exponential of the augmented matrix
+/// `[[A_c, B_c], [0, 0]] · dt`, which avoids inverting `A_c` and is
+/// therefore valid for singular `A_c` (integrators), as in the
+/// vehicle-turning and DC-motor-position models.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `B_c` has a
+/// different row count than `A_c`, [`LinalgError::NotSquare`] when
+/// `A_c` is rectangular, and [`LinalgError::NonFiniteArgument`] when
+/// `dt` is not finite or not positive.
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{discretize, Matrix};
+///
+/// // Double integrator at dt = 0.5.
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+/// let b = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+/// let (ad, bd) = discretize(&a, &b, 0.5).unwrap();
+/// assert!((ad[(0, 1)] - 0.5).abs() < 1e-12);
+/// assert!((bd[(0, 0)] - 0.125).abs() < 1e-12); // dt^2 / 2
+/// assert!((bd[(1, 0)] - 0.5).abs() < 1e-12);
+/// ```
+pub fn discretize(a_c: &Matrix, b_c: &Matrix, dt: f64) -> Result<(Matrix, Matrix)> {
+    if !a_c.is_square() {
+        return Err(LinalgError::NotSquare { shape: a_c.shape() });
+    }
+    if b_c.rows() != a_c.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "discretize",
+            left: a_c.shape(),
+            right: b_c.shape(),
+        });
+    }
+    if !dt.is_finite() || dt <= 0.0 {
+        return Err(LinalgError::NonFiniteArgument { name: "dt" });
+    }
+    let n = a_c.rows();
+    let m = b_c.cols();
+    // Augmented [[A, B], [0, 0]] * dt
+    let top = a_c.hstack(b_c)?;
+    let bottom = Matrix::zeros(m, n + m);
+    let aug = top.vstack(&bottom)?.scale(dt);
+    let e = expm(&aug)?;
+    let ad = e.block(0, 0, n, n);
+    let bd = e.block(0, n, n, m);
+    Ok((ad, bd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vector;
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let e = expm(&Matrix::zeros(3, 3)).unwrap();
+        assert!(e.approx_eq(&Matrix::identity(3)));
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let a = Matrix::diagonal(&[1.0, -2.0, 0.5]);
+        let e = expm(&a).unwrap();
+        for (i, d) in [1.0f64, -2.0, 0.5].into_iter().enumerate() {
+            assert!((e[(i, i)] - d.exp()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn expm_rotation_block() {
+        // exp([[0, -t], [t, 0]]) = [[cos t, -sin t], [sin t, cos t]]
+        let t = 0.7;
+        let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - t.cos()).abs() < 1e-12);
+        assert!((e[(0, 1)] + t.sin()).abs() < 1e-12);
+        assert!((e[(1, 0)] - t.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_nilpotent() {
+        // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!(e.approx_eq(&Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap()));
+    }
+
+    #[test]
+    fn expm_inverse_property() {
+        let a = Matrix::from_rows(&[&[0.1, 0.4], &[-0.3, 0.2]]).unwrap();
+        let e_pos = expm(&a).unwrap();
+        let e_neg = expm(&a.scale(-1.0)).unwrap();
+        assert!((&e_pos * &e_neg).approx_eq_tol(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn expm_large_norm_scaling() {
+        // Stiff: eigenvalue -1e6 over dt=0.1 handled via scaling.
+        let a = Matrix::diagonal(&[-1.0e6]);
+        let e = expm(&a.scale(0.1)).unwrap();
+        assert!(e[(0, 0)].abs() < 1e-300 || e[(0, 0)] == 0.0);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn expm_rejects_rectangular_and_nan() {
+        assert!(expm(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = f64::NAN;
+        assert!(expm(&a).is_err());
+    }
+
+    #[test]
+    fn discretize_first_order_lag() {
+        // x' = -x + u, dt = 0.1: Ad = e^{-0.1}, Bd = 1 - e^{-0.1}.
+        let a = Matrix::diagonal(&[-1.0]);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let (ad, bd) = discretize(&a, &b, 0.1).unwrap();
+        assert!((ad[(0, 0)] - (-0.1_f64).exp()).abs() < 1e-12);
+        assert!((bd[(0, 0)] - (1.0 - (-0.1_f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discretize_matches_step_response() {
+        // Compare one discrete step against a fine Euler integration.
+        let a_c = Matrix::from_rows(&[&[-0.313, 56.7], &[-0.0139, -0.426]]).unwrap();
+        let b_c = Matrix::from_rows(&[&[0.232], &[0.0203]]).unwrap();
+        let dt = 0.02;
+        let (ad, bd) = discretize(&a_c, &b_c, dt).unwrap();
+
+        let x0 = Vector::from_slice(&[0.1, -0.05]);
+        let u = 0.7;
+        let discrete = &(&ad * &x0) + &(&bd * &Vector::from_slice(&[u]));
+
+        // Fine forward-Euler reference.
+        let steps = 200_000;
+        let h = dt / steps as f64;
+        let mut x = x0.clone();
+        for _ in 0..steps {
+            let dx = &(&a_c * &x) + &(&b_c * &Vector::from_slice(&[u]));
+            x += &dx.scale(h);
+        }
+        assert!(discrete.approx_eq_tol(&x, 1e-5));
+    }
+
+    #[test]
+    fn discretize_validates_arguments() {
+        let a = Matrix::identity(2);
+        let b = Matrix::zeros(2, 1);
+        assert!(discretize(&a, &b, 0.0).is_err());
+        assert!(discretize(&a, &b, f64::NAN).is_err());
+        assert!(discretize(&a, &Matrix::zeros(3, 1), 0.1).is_err());
+        assert!(discretize(&Matrix::zeros(2, 3), &b, 0.1).is_err());
+    }
+
+    #[test]
+    fn discretize_stiff_dc_motor_stays_finite() {
+        // DC motor position model: electrical time constant ~ 0.7 µs
+        // discretized at 0.1 s — extreme stiffness.
+        let (j, b_f, k, r, l) = (3.2284e-6, 3.5077e-6, 0.0274, 4.0, 2.75e-6);
+        let a_c = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[0.0, -b_f / j, k / j],
+            &[0.0, -k / l, -r / l],
+        ])
+        .unwrap();
+        let b_c = Matrix::from_rows(&[&[0.0], &[0.0], &[1.0 / l]]).unwrap();
+        let (ad, bd) = discretize(&a_c, &b_c, 0.1).unwrap();
+        assert!(ad.is_finite());
+        assert!(bd.is_finite());
+        // Position integrates rotation: A[0][0] stays 1.
+        assert!((ad[(0, 0)] - 1.0).abs() < 1e-9);
+    }
+}

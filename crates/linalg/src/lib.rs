@@ -1,0 +1,68 @@
+//! Small dense linear-algebra substrate for the AWSAD detection system.
+//!
+//! The adaptive window-based sensor attack detection system (DAC'22)
+//! operates on discrete linear time-invariant (LTI) plant models
+//! `x_{t+1} = A x_t + B u_t + v_t`. Its reachability-based deadline
+//! estimator needs matrix powers, matrix-vector products and vector
+//! norms; discretizing the continuous-time benchmark models needs the
+//! matrix exponential. The Rust ecosystem's control/estimation crates
+//! are thin, so this crate provides exactly the dense-`f64` kernel the
+//! rest of the workspace needs, implemented from scratch:
+//!
+//! * [`Vector`] — a dense column vector with arithmetic and k-norms.
+//! * [`Matrix`] — a dense row-major matrix with arithmetic, products,
+//!   transposition and induced norms.
+//! * [`Lu`] — LU decomposition with partial pivoting: solving, inverse,
+//!   determinant.
+//! * [`expm`] — matrix exponential via Padé approximation with scaling
+//!   and squaring.
+//! * [`qr`] / [`lstsq`] — Householder QR and least squares (model
+//!   identification, as in the paper's testbed).
+//! * [`eigenvalues`] / [`spectral_radius`] — shifted Hessenberg QR
+//!   eigenvalue solver (stability checks for plants, LQR gains and
+//!   observers).
+//! * [`discretize`] — zero-order-hold conversion of a continuous pair
+//!   `(A_c, B_c)` into the discrete pair `(A_d, B_d)` at a control step.
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_linalg::{Matrix, Vector, discretize};
+//!
+//! // Continuous integrator x' = u, discretized at 0.1 s.
+//! let a = Matrix::zeros(1, 1);
+//! let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+//! let (ad, bd) = discretize(&a, &b, 0.1).unwrap();
+//! assert!((ad[(0, 0)] - 1.0).abs() < 1e-12);
+//! assert!((bd[(0, 0)] - 0.1).abs() < 1e-12);
+//!
+//! let x = Vector::from_slice(&[2.0]);
+//! let next = &(&ad * &x) + &(&bd * &Vector::from_slice(&[1.0]));
+//! assert!((next[0] - 2.1).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod eigen;
+mod error;
+mod expm;
+mod lu;
+mod matrix;
+mod qr;
+mod vector;
+
+pub use eigen::{eigenvalues, spectral_radius, Eigenvalue};
+pub use error::LinalgError;
+pub use expm::{discretize, expm};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::{lstsq, qr};
+pub use vector::Vector;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Absolute tolerance used by the `approx_eq` helpers on [`Vector`] and
+/// [`Matrix`].
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;

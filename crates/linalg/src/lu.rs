@@ -1,0 +1,255 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// LU decomposition with partial pivoting, `P A = L U`.
+///
+/// The factorization is computed once and can then solve multiple
+/// right-hand sides, compute the inverse, or the determinant. It backs
+/// the Padé solver inside [`expm`] and is available to downstream
+/// crates (e.g. for computing steady-state gains of the benchmark
+/// models).
+///
+/// [`expm`]: crate::expm
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{Lu, Matrix, Vector};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+/// let lu = Lu::new(&a).unwrap();
+/// let x = lu.solve_vec(&Vector::from_slice(&[10.0, 12.0])).unwrap();
+/// // Check A x = b.
+/// let b = &a * &x;
+/// assert!((b[0] - 10.0).abs() < 1e-12 && (b[1] - 12.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (below diagonal, unit diagonal implied) and U
+    /// (diagonal and above) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix came from row
+    /// `perm[i]` of the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used for the
+    /// determinant.
+    perm_sign: f64,
+}
+
+/// Pivot entries smaller than this in absolute value are treated as a
+/// singular matrix.
+const PIVOT_EPSILON: f64 = 1e-13;
+
+impl Lu {
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input and
+    /// [`LinalgError::Singular`] when a pivot column has no usable
+    /// pivot (matrix is singular to working precision).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |entry| in column k at
+            // or below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_EPSILON {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let upd = lu[(k, j)] * factor;
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` does
+    /// not match the factored dimension.
+    pub fn solve_vec(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution (L has implicit
+        // unit diagonal), then back substitution with U.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let s: f64 = (0..i).map(|j| self.lu[(i, j)] * x[j]).sum();
+            x[i] -= s;
+        }
+        for i in (0..n).rev() {
+            let s: f64 = ((i + 1)..n).map(|j| self.lu[(i, j)] * x[j]).sum();
+            x[i] = (x[i] - s) / self.lu[(i, i)];
+        }
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `B.rows()` does
+    /// not match the factored dimension.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse `A⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (cannot fail after a successful
+    /// factorization in practice).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_vec(&Vector::from_slice(&[5.0, 10.0])).unwrap();
+        assert!(x.approx_eq(&Vector::from_slice(&[1.0, 3.0])));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = &a * &inv;
+        assert!(prod.approx_eq(&Matrix::identity(2)));
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // First pivot is zero, forcing a row swap; det = -(1*1) ... the
+        // matrix [[0,1],[1,0]] has determinant -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, 5.0], &[0.0, 3.0]]).unwrap();
+        assert!((Lu::new(&a).unwrap().determinant() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(Lu::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        assert!((&a * &x).approx_eq(&b));
+    }
+
+    #[test]
+    fn solve_dimension_mismatch() {
+        let a = Matrix::identity(2);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve_vec(&Vector::zeros(3)).is_err());
+        assert!(lu.solve(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn larger_system() {
+        // Well-conditioned 4x4 with known solution x = (1, 2, 3, 4).
+        let a = Matrix::from_rows(&[
+            &[10.0, -1.0, 2.0, 0.0],
+            &[-1.0, 11.0, -1.0, 3.0],
+            &[2.0, -1.0, 10.0, -1.0],
+            &[0.0, 3.0, -1.0, 8.0],
+        ])
+        .unwrap();
+        let x_true = Vector::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let b = &a * &x_true;
+        let x = Lu::new(&a).unwrap().solve_vec(&b).unwrap();
+        assert!(x.approx_eq_tol(&x_true, 1e-10));
+    }
+}

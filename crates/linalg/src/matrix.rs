@@ -1,0 +1,673 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{LinalgError, Result, Vector, DEFAULT_TOLERANCE};
+
+/// A dense row-major matrix of `f64` entries.
+///
+/// `Matrix` carries the plant model matrices `A`, `B`, `C` of the LTI
+/// systems the detection system runs on, and the matrix powers `A^i`
+/// used by the reachability-based deadline estimator. Like [`Vector`],
+/// operators on references panic on shape mismatch (programming error)
+/// while `checked_*` variants return [`LinalgError`].
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{Matrix, Vector};
+///
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]]).unwrap();
+/// let x = Vector::from_slice(&[2.0, 3.0]);
+/// let y = &a * &x;
+/// assert_eq!(y.as_slice(), &[3.0, -2.0]);
+/// assert_eq!((&a * &a.transpose())[(0, 0)], 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square matrix with `diag` on its diagonal.
+    ///
+    /// The paper's control-input box is `c + Q B_(∞)` with
+    /// `Q = diag(γ_1, …, γ_m)`; this constructor builds such `Q`.
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, d) in diag.iter().enumerate() {
+            m.data[i * n + i] = *d;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyDimension`] for an empty row set and
+    /// [`LinalgError::DimensionMismatch`] if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::EmptyDimension);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "from_rows",
+                    left: (1, cols),
+                    right: (1, rows[i].len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `data.len() != rows * cols`, and [`LinalgError::EmptyDimension`]
+    /// for a zero-sized shape.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "from_row_major",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a single-column matrix from a vector.
+    pub fn column(v: &Vector) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.as_slice().to_vec(),
+        }
+    }
+
+    /// Creates a `rows x cols` matrix whose `(i, j)` entry is `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the entries as a flat row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns row `i` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> Vector {
+        assert!(i < self.rows, "row index out of bounds");
+        Vector::from_slice(&self.data[i * self.cols..(i + 1) * self.cols])
+    }
+
+    /// Returns column `j` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vector {
+        assert!(j < self.cols, "column index out of bounds");
+        Vector::from_fn(self.rows, |i| self.data[i * self.cols + j])
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.data[j * self.cols + i])
+    }
+
+    /// Scales every entry by `factor`.
+    pub fn scale(&self, factor: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * factor).collect(),
+        }
+    }
+
+    /// Fallible matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn checked_mul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, r) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += aik * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fallible matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when
+    /// `self.cols() != v.len()`.
+    pub fn checked_mul_vec(&self, v: &Vector) -> Result<Vector> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok(Vector::from_fn(self.rows, |i| {
+            self.data[i * self.cols..(i + 1) * self.cols]
+                .iter()
+                .zip(v.as_slice())
+                .map(|(a, x)| a * x)
+                .sum()
+        }))
+    }
+
+    /// Transposed matrix-vector product `Mᵀ v` without materializing
+    /// the transpose.
+    ///
+    /// The deadline estimator evaluates `(A^i B Q)ᵀ l` and `(A^i)ᵀ l`
+    /// on every search step; this keeps that inner loop allocation-free
+    /// apart from the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when
+    /// `self.rows() != v.len()`.
+    pub fn checked_transpose_mul_vec(&self, v: &Vector) -> Result<Vector> {
+        if self.rows != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "transpose_matvec",
+                left: (self.cols, self.rows),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let vi = v[i];
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, a) in out
+                .iter_mut()
+                .zip(&self.data[i * self.cols..(i + 1) * self.cols])
+            {
+                *o += a * vi;
+            }
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Matrix power `self^k` by repeated squaring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn pow(&self, k: usize) -> Result<Matrix> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        let mut k = k;
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.checked_mul(&base)?;
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.checked_mul(&base)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Sum of the diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics for rectangular matrices.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Whether the matrix equals its transpose within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.data[i * self.cols + j] - self.data[j * self.cols + i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Induced 1-norm (maximum absolute column sum).
+    pub fn norm_1(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self.data[i * self.cols + j].abs()).sum())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Induced ∞-norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|x| x.abs())
+                    .sum()
+            })
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Whether all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Whether `self` and `other` agree entrywise within `tol`.
+    pub fn approx_eq_tol(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Whether `self` and `other` agree entrywise within
+    /// [`DEFAULT_TOLERANCE`].
+    pub fn approx_eq(&self, other: &Matrix) -> bool {
+        self.approx_eq_tol(other, DEFAULT_TOLERANCE)
+    }
+
+    /// Horizontal concatenation `[self | right]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when row counts differ.
+    pub fn hstack(&self, right: &Matrix) -> Result<Matrix> {
+        if self.rows != right.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hstack",
+                left: self.shape(),
+                right: right.shape(),
+            });
+        }
+        Ok(Matrix::from_fn(self.rows, self.cols + right.cols, |i, j| {
+            if j < self.cols {
+                self.data[i * self.cols + j]
+            } else {
+                right.data[i * right.cols + (j - self.cols)]
+            }
+        }))
+    }
+
+    /// Vertical concatenation `[self; below]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when column counts
+    /// differ.
+    pub fn vstack(&self, below: &Matrix) -> Result<Matrix> {
+        if self.cols != below.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "vstack",
+                left: self.shape(),
+                right: below.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&below.data);
+        Ok(Matrix {
+            rows: self.rows + below.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Extracts the sub-matrix with rows `r0..r0+rows` and columns
+    /// `c0..c0+cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block exceeds the matrix bounds.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
+        Matrix::from_fn(rows, cols, |i, j| self.data[(r0 + i) * self.cols + (c0 + j)])
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<'a> Add for &'a Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &'a Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl<'a> Sub for &'a Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &'a Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl<'a> Mul for &'a Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &'a Matrix) -> Matrix {
+        self.checked_mul(rhs).expect("matrix product shape mismatch")
+    }
+}
+
+impl<'a> Mul<&'a Vector> for &'a Matrix {
+    type Output = Vector;
+
+    fn mul(self, rhs: &'a Vector) -> Vector {
+        self.checked_mul_vec(rhs)
+            .expect("matrix-vector product shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self.data[i * self.cols + j])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let d = Matrix::diagonal(&[2.0, 3.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 3.0);
+        assert_eq!(d[(1, 0)], 0.0);
+        let c = Matrix::column(&Vector::from_slice(&[1.0, 2.0]));
+        assert_eq!(c.shape(), (2, 1));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn from_row_major_validates_length() {
+        assert!(Matrix::from_row_major(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_row_major(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_row_major(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = sample();
+        assert_eq!(m.row(1).as_slice(), &[3.0, 4.0]);
+        assert_eq!(m.col(0).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = sample();
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let ab = &a * &b;
+        assert_eq!(ab, Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap());
+    }
+
+    #[test]
+    fn matvec() {
+        let m = sample();
+        let v = Vector::from_slice(&[1.0, -1.0]);
+        assert_eq!((&m * &v).as_slice(), &[-1.0, -1.0]);
+        assert!(m.checked_mul_vec(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn transpose_mul_vec_matches_explicit_transpose() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let v = Vector::from_slice(&[1.0, -1.0]);
+        let fast = m.checked_transpose_mul_vec(&v).unwrap();
+        let slow = &m.transpose() * &v;
+        assert!(fast.approx_eq(&slow));
+    }
+
+    #[test]
+    fn pow_repeated_squaring() {
+        let m = sample();
+        let m3 = m.pow(3).unwrap();
+        let explicit = &(&m * &m) * &m;
+        assert!(m3.approx_eq(&explicit));
+        assert!(m.pow(0).unwrap().approx_eq(&Matrix::identity(2)));
+        assert!(Matrix::zeros(2, 3).pow(2).is_err());
+    }
+
+    #[test]
+    fn trace_and_symmetry() {
+        let m = sample();
+        assert_eq!(m.trace(), 5.0);
+        assert!(!m.is_symmetric(1e-12));
+        let s = Matrix::from_rows(&[&[2.0, 7.0], &[7.0, -1.0]]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+        assert!(Matrix::identity(4).is_symmetric(0.0));
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0], &[-3.0, 4.0]]).unwrap();
+        assert_eq!(m.norm_1(), 6.0); // max column sum |−2|+|4|
+        assert_eq!(m.norm_inf(), 7.0); // max row sum |−3|+|4|
+        assert!((m.norm_frobenius() - (30.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = sample();
+        let h = a.hstack(&Matrix::identity(2)).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(0, 2)], 1.0);
+        let v = a.vstack(&Matrix::zeros(1, 2)).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v[(2, 0)], 0.0);
+        assert!(a.hstack(&Matrix::zeros(3, 1)).is_err());
+        assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+        let b = m.block(1, 1, 2, 2);
+        assert_eq!(b, Matrix::from_rows(&[&[5.0, 6.0], &[8.0, 9.0]]).unwrap());
+    }
+
+    #[test]
+    fn scale_and_ops() {
+        let m = sample();
+        assert_eq!((&m * 2.0)[(1, 1)], 8.0);
+        assert_eq!((&m + &m)[(0, 0)], 2.0);
+        assert_eq!((&m - &m).norm_frobenius(), 0.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(sample().is_finite());
+        let mut bad = sample();
+        bad[(0, 0)] = f64::NAN;
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let s = sample().to_string();
+        assert!(s.contains("1.000000"));
+        assert!(s.lines().count() == 2);
+    }
+}

@@ -1,0 +1,210 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// QR decomposition by Householder reflections: `A = Q R` with `Q`
+/// orthogonal and `R` upper triangular.
+///
+/// Used by the eigenvalue solver ([`eigenvalues`]) and available for
+/// least-squares work on the benchmark models (e.g. fitting the RC-car
+/// testbed model from trace data, as the paper's system-identification
+/// step does).
+///
+/// [`eigenvalues`]: crate::eigenvalues
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{qr, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[12.0, -51.0], &[6.0, 167.0], &[-4.0, 24.0]]).unwrap();
+/// let (q, r) = qr(&a).unwrap();
+/// assert!((&q * &r).approx_eq_tol(&a, 1e-9));
+/// // Q has orthonormal columns.
+/// let qtq = &q.transpose() * &q;
+/// assert!(qtq.approx_eq_tol(&Matrix::identity(2), 1e-9));
+/// ```
+pub fn qr(a: &Matrix) -> Result<(Matrix, Matrix)> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyDimension);
+    }
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Accumulate Q implicitly: start from identity and apply the same
+    // reflections.
+    let mut q = Matrix::identity(m);
+
+    for j in 0..k {
+        // Householder vector for column j below the diagonal.
+        let mut norm = 0.0;
+        for i in j..m {
+            norm += r[(i, j)] * r[(i, j)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            continue;
+        }
+        let alpha = if r[(j, j)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m];
+        v[j] = r[(j, j)] - alpha;
+        for i in (j + 1)..m {
+            v[i] = r[(i, j)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R (left) and Q (right,
+        // accumulating Q = H_1 H_2 ... so Q * R = A).
+        for col in 0..n {
+            let dot: f64 = (j..m).map(|i| v[i] * r[(i, col)]).sum();
+            let f = 2.0 * dot / vtv;
+            for i in j..m {
+                r[(i, col)] -= f * v[i];
+            }
+        }
+        for row in 0..m {
+            let dot: f64 = (j..m).map(|i| q[(row, i)] * v[i]).sum();
+            let f = 2.0 * dot / vtv;
+            for i in j..m {
+                q[(row, i)] -= f * v[i];
+            }
+        }
+    }
+    // Zero out numerical fuzz below the diagonal of R and shrink to
+    // the economic size (m x n stays; R is m x n upper-trapezoidal).
+    for j in 0..n {
+        for i in (j + 1)..m {
+            r[(i, j)] = 0.0;
+        }
+    }
+    // Economic form: Q is m x k, R is k x n.
+    let q_econ = q.block(0, 0, m, k);
+    let r_econ = r.block(0, 0, k, n);
+    Ok((q_econ, r_econ))
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` for a full-rank
+/// tall matrix `A` via QR.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `b.len() !=
+/// a.rows()` and [`LinalgError::Singular`] when `R` has a (near-)zero
+/// diagonal entry (rank-deficient `A`).
+pub fn lstsq(a: &Matrix, b: &Vector) -> Result<Vector> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lstsq",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let (q, r) = qr(a)?;
+    // x solves R x = Qᵀ b by back substitution.
+    let qtb = q.checked_transpose_mul_vec(b)?;
+    let n = r.cols();
+    if r.rows() < n {
+        return Err(LinalgError::Singular);
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for j in (i + 1)..n {
+            s -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        x[i] = s / d;
+    }
+    Ok(Vector::from_vec(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 3.0], &[4.0, 1.0, -2.0], &[1.0, 5.0, 2.0]])
+            .unwrap();
+        let (q, r) = qr(&a).unwrap();
+        assert!((&q * &r).approx_eq_tol(&a, 1e-10));
+        // R upper triangular.
+        assert_eq!(r[(1, 0)], 0.0);
+        assert_eq!(r[(2, 0)], 0.0);
+        assert_eq!(r[(2, 1)], 0.0);
+        // Q orthogonal.
+        assert!((&q.transpose() * &q).approx_eq_tol(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn qr_tall_matrix_economic() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let (q, r) = qr(&a).unwrap();
+        assert_eq!(q.shape(), (3, 2));
+        assert_eq!(r.shape(), (2, 2));
+        assert!((&q * &r).approx_eq_tol(&a, 1e-10));
+    }
+
+    #[test]
+    fn qr_empty_rejected() {
+        assert!(qr(&Matrix::zeros(2, 3).block(0, 0, 2, 3)).is_ok());
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let x = lstsq(&a, &Vector::from_slice(&[3.0, 4.0])).unwrap();
+        assert!(x.approx_eq(&Vector::from_slice(&[3.0, 2.0])));
+    }
+
+    #[test]
+    fn lstsq_overdetermined_line_fit() {
+        // Fit y = c0 + c1 t through (0,1), (1,3), (2,5): exact line
+        // y = 1 + 2t.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 3.0, 5.0]);
+        let x = lstsq(&a, &b).unwrap();
+        assert!(x.approx_eq_tol(&Vector::from_slice(&[1.0, 2.0]), 1e-10));
+    }
+
+    #[test]
+    fn lstsq_noisy_identification_recovers_rc_car_a() {
+        // System identification as the paper's testbed does: regress
+        // x_{t+1} on [x_t, u_t] for the identified car model.
+        let (a_true, b_true) = (0.8435, 7.7919e-4);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut y = Vec::new();
+        let mut x = 0.0104;
+        for t in 0..50 {
+            let u = 2.0 + (t as f64 * 0.37).sin();
+            let x_next = a_true * x + b_true * u;
+            rows.push(vec![x, u]);
+            y.push(x_next);
+            x = x_next;
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let coef = lstsq(&a, &Vector::from_vec(y)).unwrap();
+        assert!((coef[0] - a_true).abs() < 1e-9);
+        assert!((coef[1] - b_true).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_dimension_mismatch() {
+        let a = Matrix::identity(2);
+        assert!(lstsq(&a, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn lstsq_rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        assert!(matches!(
+            lstsq(&a, &Vector::from_slice(&[1.0, 2.0, 3.0])),
+            Err(LinalgError::Singular)
+        ));
+    }
+}

@@ -1,0 +1,464 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::{LinalgError, Result, DEFAULT_TOLERANCE};
+
+/// A dense column vector of `f64` entries.
+///
+/// `Vector` is the state/input/residual carrier of the whole workspace:
+/// plant states `x_t`, control inputs `u_t`, state estimates `x̄_t` and
+/// residuals `z_t` are all `Vector`s. Arithmetic operators are
+/// implemented on references so hot loops avoid cloning; mismatched
+/// lengths in operator position panic (programming error), while the
+/// fallible `checked_*` variants return [`LinalgError`].
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::Vector;
+///
+/// let a = Vector::from_slice(&[1.0, -2.0, 3.0]);
+/// let b = Vector::from_slice(&[0.5, 0.5, 0.5]);
+/// let sum = &a + &b;
+/// assert_eq!(sum.as_slice(), &[1.5, -1.5, 3.5]);
+/// assert_eq!(a.norm_inf(), 3.0);
+/// assert_eq!(a.norm_l1(), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector from a slice of entries.
+    pub fn from_slice(entries: &[f64]) -> Self {
+        Vector {
+            data: entries.to_vec(),
+        }
+    }
+
+    /// Creates a vector taking ownership of `entries`.
+    pub fn from_vec(entries: Vec<f64>) -> Self {
+        Vector { data: entries }
+    }
+
+    /// Creates a zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Vector {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector of length `len` with every entry equal to `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a vector of length `len` whose `i`-th entry is `f(i)`.
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f64) -> Self {
+        Vector {
+            data: (0..len).map(f).collect(),
+        }
+    }
+
+    /// Creates the `i`-th standard basis vector of length `len`
+    /// (all zeros except a `1.0` at index `i`).
+    ///
+    /// The deadline estimator uses basis vectors as the support
+    /// directions `l` of Eqs. (4)/(5) in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::EmptyDimension`] if `i >= len`.
+    pub fn basis(len: usize, i: usize) -> Result<Self> {
+        if i >= len {
+            return Err(LinalgError::EmptyDimension);
+        }
+        let mut v = Vector::zeros(len);
+        v.data[i] = 1.0;
+        Ok(v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the entries as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrow the entries as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns its entries.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Dot product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ; use [`Vector::checked_dot`] to get an
+    /// error instead.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        self.checked_dot(other)
+            .expect("vector lengths must match for dot product")
+    }
+
+    /// Fallible dot product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when lengths differ.
+    pub fn checked_dot(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "dot",
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Sum of absolute values (ℓ1 norm).
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Euclidean (ℓ2) norm.
+    pub fn norm_l2(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (ℓ∞ norm); `0.0` for an empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// General k-norm `(Σ |x_i|^k)^(1/k)` for `k >= 1`.
+    ///
+    /// Definition 3.2 of the paper defines unit balls in an arbitrary
+    /// k-norm; this is the matching norm evaluation.
+    pub fn norm_k(&self, k: f64) -> f64 {
+        assert!(k >= 1.0, "k-norm requires k >= 1");
+        if k.is_infinite() {
+            return self.norm_inf();
+        }
+        self.data
+            .iter()
+            .map(|x| x.abs().powf(k))
+            .sum::<f64>()
+            .powf(1.0 / k)
+    }
+
+    /// Elementwise absolute value.
+    ///
+    /// Residuals in the paper are defined elementwise:
+    /// `z_t = |x̃_t − x̄_t|`.
+    pub fn abs(&self) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x.abs()).collect(),
+        }
+    }
+
+    /// Elementwise maximum of two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn elementwise_max(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len(), "elementwise_max length mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        }
+    }
+
+    /// Scales every entry by `factor`.
+    pub fn scale(&self, factor: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x * factor).collect(),
+        }
+    }
+
+    /// Whether any entry of `self` strictly exceeds the matching entry
+    /// of `threshold`.
+    ///
+    /// This is the alarm condition of the window-based detector: an
+    /// alert is raised when the window-average residual exceeds the
+    /// per-dimension threshold `τ` in *any* dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn any_exceeds(&self, threshold: &Vector) -> bool {
+        assert_eq!(self.len(), threshold.len(), "any_exceeds length mismatch");
+        self.data
+            .iter()
+            .zip(threshold.data.iter())
+            .any(|(a, t)| a > t)
+    }
+
+    /// Whether all entries are finite (no NaN / ±∞).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Whether `self` and `other` agree entrywise within `tol`.
+    pub fn approx_eq_tol(&self, other: &Vector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Whether `self` and `other` agree entrywise within
+    /// [`DEFAULT_TOLERANCE`].
+    pub fn approx_eq(&self, other: &Vector) -> bool {
+        self.approx_eq_tol(other, DEFAULT_TOLERANCE)
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl<'a> Add for &'a Vector {
+    type Output = Vector;
+
+    fn add(self, rhs: &'a Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector add length mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl<'a> Sub for &'a Vector {
+    type Output = Vector;
+
+    fn sub(self, rhs: &'a Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector sub length mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector add-assign length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector sub-assign length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+
+    fn mul(self, rhs: f64) -> Vector {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+
+    fn neg(self) -> Vector {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v[1], 2.0);
+        let z = Vector::zeros(4);
+        assert_eq!(z.as_slice(), &[0.0; 4]);
+        let f = Vector::filled(2, 7.5);
+        assert_eq!(f.as_slice(), &[7.5, 7.5]);
+        let g = Vector::from_fn(3, |i| i as f64 * 2.0);
+        assert_eq!(g.as_slice(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn basis_vectors() {
+        let e1 = Vector::basis(3, 1).unwrap();
+        assert_eq!(e1.as_slice(), &[0.0, 1.0, 0.0]);
+        assert!(Vector::basis(3, 3).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b), 4.0 - 10.0 + 18.0);
+        let c = Vector::zeros(2);
+        assert!(a.checked_dot(&c).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from_slice(&[3.0, -4.0]);
+        assert_eq!(v.norm_l1(), 7.0);
+        assert_eq!(v.norm_l2(), 5.0);
+        assert_eq!(v.norm_inf(), 4.0);
+        assert!((v.norm_k(2.0) - 5.0).abs() < 1e-12);
+        assert_eq!(v.norm_k(f64::INFINITY), 4.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, -1.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 1.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 1.0]);
+        c -= &b;
+        assert!(c.approx_eq(&a));
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let a = Vector::from_slice(&[-1.0, 2.0]);
+        assert_eq!(a.abs().as_slice(), &[1.0, 2.0]);
+        let b = Vector::from_slice(&[0.5, 3.0]);
+        assert_eq!(a.elementwise_max(&b).as_slice(), &[0.5, 3.0]);
+    }
+
+    #[test]
+    fn any_exceeds_threshold() {
+        let z = Vector::from_slice(&[0.01, 0.2]);
+        let tau = Vector::from_slice(&[0.1, 0.1]);
+        assert!(z.any_exceeds(&tau));
+        let small = Vector::from_slice(&[0.05, 0.1]);
+        assert!(!small.any_exceeds(&tau)); // equality is not exceedance
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vector::from_slice(&[1.0, 2.0]).is_finite());
+        assert!(!Vector::from_slice(&[f64::NAN]).is_finite());
+        assert!(!Vector::from_slice(&[f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn display_formats_entries() {
+        let v = Vector::from_slice(&[1.0, -2.5]);
+        let s = v.to_string();
+        assert!(s.starts_with('['));
+        assert!(s.contains("1.000000"));
+        assert!(s.contains("-2.500000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_mismatched_panics() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

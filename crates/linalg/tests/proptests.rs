@@ -1,0 +1,191 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use awsad_linalg::{discretize, expm, Lu, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy: a vector of length `n` with moderate entries.
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vector> {
+    prop::collection::vec(-100.0..100.0f64, n).prop_map(Vector::from_vec)
+}
+
+/// Strategy: an `n x n` matrix with moderate entries.
+fn mat_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, n * n)
+        .prop_map(move |data| Matrix::from_row_major(n, n, data).unwrap())
+}
+
+/// Strategy: a small matrix suitable for expm (norm kept moderate).
+fn small_mat_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n)
+        .prop_map(move |data| Matrix::from_row_major(n, n, data).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn vector_add_commutes(a in vec_strategy(4), b in vec_strategy(4)) {
+        prop_assert!((&a + &b).approx_eq(&(&b + &a)));
+    }
+
+    #[test]
+    fn vector_norm_triangle_inequality(a in vec_strategy(5), b in vec_strategy(5)) {
+        let sum = &a + &b;
+        prop_assert!(sum.norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-9);
+        prop_assert!(sum.norm_l1() <= a.norm_l1() + b.norm_l1() + 1e-9);
+        prop_assert!(sum.norm_inf() <= a.norm_inf() + b.norm_inf() + 1e-9);
+    }
+
+    #[test]
+    fn vector_norm_ordering(a in vec_strategy(6)) {
+        // ‖x‖∞ ≤ ‖x‖₂ ≤ ‖x‖₁ for any vector.
+        prop_assert!(a.norm_inf() <= a.norm_l2() + 1e-9);
+        prop_assert!(a.norm_l2() <= a.norm_l1() + 1e-9);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in vec_strategy(4), b in vec_strategy(4), c in vec_strategy(4), s in -5.0..5.0f64) {
+        let lhs = (&(&a * s) + &b).dot(&c);
+        let rhs = s * a.dot(&c) + b.dot(&c);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in mat_strategy(3), b in mat_strategy(3), c in mat_strategy(3)) {
+        let lhs = &(&a + &b) * &c;
+        let rhs = &(&a * &c) + &(&b * &c);
+        prop_assert!(lhs.approx_eq_tol(&rhs, 1e-7));
+    }
+
+    #[test]
+    fn matmul_associates(a in mat_strategy(3), b in mat_strategy(3), c in mat_strategy(3)) {
+        let lhs = &(&a * &b) * &c;
+        let rhs = &a * &(&b * &c);
+        prop_assert!(lhs.approx_eq_tol(&rhs, 1e-6));
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in mat_strategy(3), b in mat_strategy(3)) {
+        let lhs = (&a * &b).transpose();
+        let rhs = &b.transpose() * &a.transpose();
+        prop_assert!(lhs.approx_eq_tol(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn transpose_mul_vec_agrees(a in mat_strategy(4), v in vec_strategy(4)) {
+        let fast = a.checked_transpose_mul_vec(&v).unwrap();
+        let slow = &a.transpose() * &v;
+        prop_assert!(fast.approx_eq_tol(&slow, 1e-8));
+    }
+
+    #[test]
+    fn matrix_pow_agrees_with_repeated_mul(a in small_mat_strategy(3), k in 0usize..6) {
+        let fast = a.pow(k).unwrap();
+        let mut slow = Matrix::identity(3);
+        for _ in 0..k {
+            slow = &slow * &a;
+        }
+        prop_assert!(fast.approx_eq_tol(&slow, 1e-8));
+    }
+
+    #[test]
+    fn induced_norms_bound_matvec(a in mat_strategy(3), v in vec_strategy(3)) {
+        let av = &a * &v;
+        prop_assert!(av.norm_inf() <= a.norm_inf() * v.norm_inf() + 1e-7);
+        prop_assert!(av.norm_l1() <= a.norm_1() * v.norm_l1() + 1e-7);
+    }
+
+    #[test]
+    fn lu_solve_recovers_solution(a in mat_strategy(4), x in vec_strategy(4)) {
+        // Skip (near-)singular draws.
+        if let Ok(lu) = Lu::new(&a) {
+            // Guard against ill-conditioned matrices where residual
+            // checks would be meaningless.
+            prop_assume!(lu.determinant().abs() > 1e-3);
+            let b = &a * &x;
+            let solved = lu.solve_vec(&b).unwrap();
+            let back = &a * &solved;
+            prop_assert!(back.approx_eq_tol(&b, 1e-5 * (1.0 + b.norm_inf())));
+        }
+    }
+
+    #[test]
+    fn lu_inverse_roundtrips(a in mat_strategy(3)) {
+        if let Ok(lu) = Lu::new(&a) {
+            prop_assume!(lu.determinant().abs() > 1e-3);
+            let inv = lu.inverse().unwrap();
+            prop_assert!((&a * &inv).approx_eq_tol(&Matrix::identity(3), 1e-5));
+        }
+    }
+
+    #[test]
+    fn expm_of_negation_is_inverse(a in small_mat_strategy(3)) {
+        let e = expm(&a).unwrap();
+        let e_neg = expm(&a.scale(-1.0)).unwrap();
+        prop_assert!((&e * &e_neg).approx_eq_tol(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn expm_semigroup_property(a in small_mat_strategy(2)) {
+        // e^{2A} = (e^A)^2
+        let e2 = expm(&a.scale(2.0)).unwrap();
+        let e = expm(&a).unwrap();
+        prop_assert!(e2.approx_eq_tol(&(&e * &e), 1e-8));
+    }
+
+    #[test]
+    fn discretize_composes_over_time(a in small_mat_strategy(2), dt in 0.01..0.5f64) {
+        // Stepping twice at dt equals stepping once at 2*dt for the
+        // state matrix (A_d(2dt) = A_d(dt)^2).
+        let b = Matrix::zeros(2, 1);
+        let (ad1, _) = discretize(&a, &b, dt).unwrap();
+        let (ad2, _) = discretize(&a, &b, 2.0 * dt).unwrap();
+        prop_assert!(ad2.approx_eq_tol(&(&ad1 * &ad1), 1e-8));
+    }
+
+    #[test]
+    fn discretize_b_is_integral(a in small_mat_strategy(2), dt in 0.01..0.2f64) {
+        // For small dt, B_d ≈ B*dt + A*B*dt²/2 (second-order Taylor).
+        let b = Matrix::from_rows(&[&[1.0], &[0.5]]).unwrap();
+        let (_, bd) = discretize(&a, &b, dt).unwrap();
+        let taylor = &b.scale(dt) + &(&a * &b).scale(dt * dt / 2.0);
+        prop_assert!(bd.approx_eq_tol(&taylor, dt * dt * dt * 2.0));
+    }
+}
+
+proptest! {
+    #[test]
+    fn eigenvalue_sum_matches_trace(a in mat_strategy(4)) {
+        let eig = awsad_linalg::eigenvalues(&a).unwrap();
+        let sum: f64 = eig.iter().map(|e| e.re).sum();
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        prop_assert!((sum - trace).abs() < 1e-6 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn eigenvalue_product_matches_determinant(a in mat_strategy(3)) {
+        if let Ok(lu) = Lu::new(&a) {
+            let det = lu.determinant().abs();
+            prop_assume!(det > 1e-3);
+            let prod: f64 = awsad_linalg::eigenvalues(&a)
+                .unwrap()
+                .iter()
+                .map(|e| e.modulus())
+                .product();
+            prop_assert!((prod - det).abs() < 1e-5 * det.max(1.0));
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthogonal(a in mat_strategy(4)) {
+        let (q, r) = awsad_linalg::qr(&a).unwrap();
+        prop_assert!((&q * &r).approx_eq_tol(&a, 1e-7));
+        let qtq = &q.transpose() * &q;
+        prop_assert!(qtq.approx_eq_tol(&Matrix::identity(4), 1e-8));
+    }
+
+    #[test]
+    fn spectral_radius_bounded_by_induced_norms(a in mat_strategy(3)) {
+        let rho = awsad_linalg::spectral_radius(&a).unwrap();
+        prop_assert!(rho <= a.norm_inf() + 1e-7);
+        prop_assert!(rho <= a.norm_1() + 1e-7);
+    }
+}

@@ -1,0 +1,187 @@
+use awsad_linalg::{spectral_radius, Matrix};
+
+use crate::LtiSystem;
+
+/// Numerical rank of a matrix via row-echelon reduction with partial
+/// pivoting, with entries below `tol` (relative to the largest pivot)
+/// treated as zero.
+fn numerical_rank(m: &Matrix, tol: f64) -> usize {
+    let rows = m.rows();
+    let cols = m.cols();
+    let mut a = m.clone();
+    let mut rank = 0;
+    let mut row = 0;
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+        .max(1e-300);
+    for col in 0..cols {
+        // Find pivot in this column at or below `row`.
+        let mut best = row;
+        let mut best_val = 0.0;
+        for r in row..rows {
+            let v = a[(r, col)].abs();
+            if v > best_val {
+                best_val = v;
+                best = r;
+            }
+        }
+        if best_val <= tol * scale {
+            continue;
+        }
+        // Swap rows and eliminate below.
+        if best != row {
+            for c in 0..cols {
+                let tmp = a[(row, c)];
+                a[(row, c)] = a[(best, c)];
+                a[(best, c)] = tmp;
+            }
+        }
+        for r in (row + 1)..rows {
+            let factor = a[(r, col)] / a[(row, col)];
+            for c in col..cols {
+                let upd = factor * a[(row, c)];
+                a[(r, c)] -= upd;
+            }
+        }
+        rank += 1;
+        row += 1;
+        if row == rows {
+            break;
+        }
+    }
+    rank
+}
+
+impl LtiSystem {
+    /// The controllability matrix `[B, AB, A²B, …, A^{n−1}B]`.
+    pub fn controllability_matrix(&self) -> Matrix {
+        let n = self.state_dim();
+        let mut blocks = self.b().clone();
+        let mut term = self.b().clone();
+        for _ in 1..n {
+            term = self.a().checked_mul(&term).expect("shapes fixed");
+            blocks = blocks.hstack(&term).expect("row counts match");
+        }
+        blocks
+    }
+
+    /// The observability matrix `[C; CA; CA²; …; CA^{n−1}]`.
+    pub fn observability_matrix(&self) -> Matrix {
+        let n = self.state_dim();
+        let mut blocks = self.c().clone();
+        let mut term = self.c().clone();
+        for _ in 1..n {
+            term = term.checked_mul(self.a()).expect("shapes fixed");
+            blocks = blocks.vstack(&term).expect("column counts match");
+        }
+        blocks
+    }
+
+    /// Whether the pair `(A, B)` is controllable (the controllability
+    /// matrix has full row rank).
+    ///
+    /// The reachability analysis implicitly assumes the attacker's
+    /// worst-case control can actually steer the plant; an
+    /// uncontrollable direction can never be driven unsafe by inputs
+    /// alone.
+    pub fn is_controllable(&self) -> bool {
+        numerical_rank(&self.controllability_matrix(), 1e-10) == self.state_dim()
+    }
+
+    /// Whether the pair `(A, C)` is observable (the observability
+    /// matrix has full column rank).
+    ///
+    /// The paper assumes full observability ("all n dimensions can be
+    /// estimated from sensor measurements"); this check verifies the
+    /// weaker structural property needed when `C ≠ I` and a state
+    /// observer ([`Observer`](crate::Observer)) reconstructs the
+    /// state.
+    pub fn is_observable(&self) -> bool {
+        numerical_rank(&self.observability_matrix(), 1e-10) == self.state_dim()
+    }
+
+    /// Exact spectral radius of `A` (open-loop).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a constructed system (A is square and finite).
+    pub fn spectral_radius(&self) -> f64 {
+        spectral_radius(self.a()).expect("A is square and finite by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_linalg::Matrix;
+
+    fn double_integrator(c: Matrix) -> LtiSystem {
+        LtiSystem::new_discrete(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+            Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap(),
+            c,
+            0.1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn double_integrator_is_controllable() {
+        let sys = double_integrator(Matrix::identity(2));
+        assert!(sys.is_controllable());
+        assert_eq!(sys.controllability_matrix().shape(), (2, 2));
+    }
+
+    #[test]
+    fn decoupled_state_is_uncontrollable() {
+        // Second state unaffected by the input and by the first state.
+        let sys = LtiSystem::new_discrete(
+            Matrix::from_rows(&[&[0.9, 0.0], &[0.0, 0.8]]).unwrap(),
+            Matrix::from_rows(&[&[1.0], &[0.0]]).unwrap(),
+            Matrix::identity(2),
+            0.1,
+        )
+        .unwrap();
+        assert!(!sys.is_controllable());
+    }
+
+    #[test]
+    fn position_measurement_observes_double_integrator() {
+        // Measuring position alone observes velocity through the
+        // dynamics.
+        let sys = double_integrator(Matrix::from_rows(&[&[1.0, 0.0]]).unwrap());
+        assert!(sys.is_observable());
+        assert_eq!(sys.observability_matrix().shape(), (2, 2));
+    }
+
+    #[test]
+    fn velocity_measurement_misses_position() {
+        // Measuring only velocity of a double integrator cannot
+        // reconstruct absolute position.
+        let sys = double_integrator(Matrix::from_rows(&[&[0.0, 1.0]]).unwrap());
+        assert!(!sys.is_observable());
+    }
+
+    #[test]
+    fn full_state_output_is_always_observable() {
+        let sys = double_integrator(Matrix::identity(2));
+        assert!(sys.is_observable());
+    }
+
+    #[test]
+    fn spectral_radius_of_integrator_is_one() {
+        let sys = double_integrator(Matrix::identity(2));
+        assert!((sys.spectral_radius() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_helper_detects_dependent_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(numerical_rank(&m, 1e-10), 1);
+        let full = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(numerical_rank(&full, 1e-10), 2);
+        assert_eq!(numerical_rank(&Matrix::zeros(3, 3), 1e-10), 0);
+    }
+}

@@ -1,0 +1,124 @@
+use std::fmt;
+
+use awsad_linalg::LinalgError;
+
+/// Errors produced when constructing or simulating an LTI model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LtiError {
+    /// The `A` matrix is not square.
+    StateMatrixNotSquare {
+        /// Offending shape.
+        shape: (usize, usize),
+    },
+    /// The `B` matrix row count does not match the state dimension.
+    InputMatrixMismatch {
+        /// State dimension from `A`.
+        state_dim: usize,
+        /// Shape of the supplied `B`.
+        shape: (usize, usize),
+    },
+    /// The `C` matrix column count does not match the state dimension.
+    OutputMatrixMismatch {
+        /// State dimension from `A`.
+        state_dim: usize,
+        /// Shape of the supplied `C`.
+        shape: (usize, usize),
+    },
+    /// The sampling period is not finite and positive.
+    InvalidSamplingPeriod {
+        /// Offending period.
+        dt: f64,
+    },
+    /// The noise bound ε is negative or not finite.
+    InvalidNoiseBound {
+        /// Offending bound.
+        epsilon: f64,
+    },
+    /// A vector supplied at runtime has the wrong dimension.
+    DimensionMismatch {
+        /// What the vector was (e.g. `"state"`, `"input"`).
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An underlying linear-algebra operation failed (e.g.
+    /// discretization of a non-finite model).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for LtiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LtiError::StateMatrixNotSquare { shape } => {
+                write!(f, "state matrix A must be square, got {}x{}", shape.0, shape.1)
+            }
+            LtiError::InputMatrixMismatch { state_dim, shape } => write!(
+                f,
+                "input matrix B must have {state_dim} rows, got {}x{}",
+                shape.0, shape.1
+            ),
+            LtiError::OutputMatrixMismatch { state_dim, shape } => write!(
+                f,
+                "output matrix C must have {state_dim} columns, got {}x{}",
+                shape.0, shape.1
+            ),
+            LtiError::InvalidSamplingPeriod { dt } => {
+                write!(f, "sampling period must be finite and positive, got {dt}")
+            }
+            LtiError::InvalidNoiseBound { epsilon } => {
+                write!(f, "noise bound must be finite and non-negative, got {epsilon}")
+            }
+            LtiError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} vector must have length {expected}, got {actual}"),
+            LtiError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LtiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LtiError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for LtiError {
+    fn from(e: LinalgError) -> Self {
+        LtiError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LtiError::InvalidSamplingPeriod { dt: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let wrapped = LtiError::from(LinalgError::Singular);
+        assert!(wrapped.to_string().contains("singular"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_message() {
+        let e = LtiError::DimensionMismatch {
+            what: "input",
+            expected: 2,
+            actual: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("input") && s.contains('2') && s.contains('3'));
+    }
+}

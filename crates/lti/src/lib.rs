@@ -1,0 +1,64 @@
+//! Discrete linear time-invariant (LTI) plant models with bounded
+//! process noise.
+//!
+//! The DAC'22 detection system assumes the physical system evolves as
+//!
+//! ```text
+//! x_{t+1} = A x_t + B u_t + v_t,        ‖v_t‖₂ ≤ ε       (Eq. 1)
+//! y_t     = C x_t
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`LtiSystem`] — the immutable model `(A, B, C, δ)`, constructible
+//!   directly in discrete time or from a continuous-time model via
+//!   zero-order-hold discretization;
+//! * [`NoiseModel`] — the per-step uncertainty `v_t`: none, uniform in
+//!   a Euclidean ε-ball (the paper's assumption), or truncated
+//!   Gaussian clipped to the ε-ball;
+//! * [`Plant`] — a stateful closed-loop participant that owns the true
+//!   state, applies control inputs and draws noise from a caller
+//!   provided RNG (keeping every experiment reproducible from a seed);
+//! * [`Observer`] — a Luenberger observer for partially measured
+//!   plants (`C ≠ I`), lifting the paper's full-observability
+//!   assumption; structural checks (`is_controllable`,
+//!   `is_observable`, exact `spectral_radius`) live on [`LtiSystem`].
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_linalg::{Matrix, Vector};
+//! use awsad_lti::{LtiSystem, NoiseModel, Plant};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // First-order lag x' = -x + u discretized at 20 ms.
+//! let sys = LtiSystem::from_continuous(
+//!     Matrix::diagonal(&[-1.0]),
+//!     Matrix::from_rows(&[&[1.0]]).unwrap(),
+//!     Matrix::identity(1),
+//!     0.02,
+//! ).unwrap();
+//! let mut plant = Plant::new(sys, Vector::zeros(1), NoiseModel::None);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x1 = plant.step(&Vector::from_slice(&[1.0]), &mut rng).clone();
+//! assert!(x1[0] > 0.0 && x1[0] < 0.02);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod error;
+mod noise;
+mod observer;
+mod plant;
+mod system;
+
+pub use error::LtiError;
+pub use noise::NoiseModel;
+pub use observer::Observer;
+pub use plant::Plant;
+pub use system::LtiSystem;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LtiError>;

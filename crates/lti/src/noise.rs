@@ -1,0 +1,200 @@
+use awsad_linalg::Vector;
+use rand::{Rng, RngExt as _};
+
+use crate::{LtiError, Result};
+
+/// Per-step process uncertainty `v_t` of Eq. (1).
+///
+/// The paper assumes `v_t` is bounded by `ε` at each control step and
+/// over-approximates it by an origin-centered Euclidean ball `B_ε`
+/// (§3.2.1). Every variant here respects that bound, so the deadline
+/// estimator's reachable sets remain sound over-approximations of the
+/// simulated trajectories.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum NoiseModel {
+    /// No process noise (`v_t = 0`).
+    None,
+    /// `v_t` drawn uniformly from the Euclidean ball of radius `ε`.
+    UniformBall {
+        /// Noise bound ε (Table 1 column `ε`).
+        epsilon: f64,
+    },
+    /// `v_t` drawn from an isotropic Gaussian with standard deviation
+    /// `ε / 3` per axis, then clipped to the ε-ball so the bound still
+    /// holds.
+    TruncatedGaussian {
+        /// Noise bound ε.
+        epsilon: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Creates a uniform-ball noise model, validating the bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LtiError::InvalidNoiseBound`] for negative or
+    /// non-finite `epsilon`.
+    pub fn uniform_ball(epsilon: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(LtiError::InvalidNoiseBound { epsilon });
+        }
+        Ok(NoiseModel::UniformBall { epsilon })
+    }
+
+    /// Creates a truncated-Gaussian noise model, validating the bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LtiError::InvalidNoiseBound`] for negative or
+    /// non-finite `epsilon`.
+    pub fn truncated_gaussian(epsilon: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(LtiError::InvalidNoiseBound { epsilon });
+        }
+        Ok(NoiseModel::TruncatedGaussian { epsilon })
+    }
+
+    /// The Euclidean bound `ε` this model never exceeds.
+    pub fn bound(&self) -> f64 {
+        match self {
+            NoiseModel::None => 0.0,
+            NoiseModel::UniformBall { epsilon } | NoiseModel::TruncatedGaussian { epsilon } => {
+                *epsilon
+            }
+        }
+    }
+
+    /// Samples one noise vector of dimension `n`.
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vector {
+        match self {
+            NoiseModel::None => Vector::zeros(n),
+            NoiseModel::UniformBall { epsilon } => sample_uniform_ball(n, *epsilon, rng),
+            NoiseModel::TruncatedGaussian { epsilon } => {
+                let sigma = epsilon / 3.0;
+                let v: Vector = (0..n).map(|_| sigma * sample_standard_normal(rng)).collect();
+                let norm = v.norm_l2();
+                if norm > *epsilon && norm > 0.0 {
+                    v.scale(epsilon / norm)
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// Uniform sample from the n-dimensional Euclidean ball of radius `r`:
+/// an isotropic direction (normalized Gaussian) scaled by `r·U^{1/n}`.
+fn sample_uniform_ball(n: usize, r: f64, rng: &mut impl Rng) -> Vector {
+    if n == 0 || r == 0.0 {
+        return Vector::zeros(n);
+    }
+    loop {
+        let g: Vector = (0..n).map(|_| sample_standard_normal(rng)).collect();
+        let norm = g.norm_l2();
+        if norm > 1e-12 {
+            let radius = r * rng.random_range(0.0..1.0f64).powf(1.0 / n as f64);
+            return g.scale(radius / norm);
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand itself ships no Gaussian).
+fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(NoiseModel::uniform_ball(-0.1).is_err());
+        assert!(NoiseModel::uniform_ball(f64::NAN).is_err());
+        assert!(NoiseModel::truncated_gaussian(f64::INFINITY).is_err());
+        assert!(NoiseModel::uniform_ball(0.0).is_ok());
+    }
+
+    #[test]
+    fn bounds_reported() {
+        assert_eq!(NoiseModel::None.bound(), 0.0);
+        assert_eq!(NoiseModel::uniform_ball(0.5).unwrap().bound(), 0.5);
+        assert_eq!(NoiseModel::truncated_gaussian(0.3).unwrap().bound(), 0.3);
+    }
+
+    #[test]
+    fn none_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = NoiseModel::None.sample(3, &mut rng);
+        assert_eq!(v.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_ball_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = NoiseModel::uniform_ball(0.075).unwrap();
+        for _ in 0..2_000 {
+            let v = m.sample(3, &mut rng);
+            assert!(v.norm_l2() <= 0.075 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_gaussian_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let m = NoiseModel::truncated_gaussian(0.01).unwrap();
+        for _ in 0..2_000 {
+            let v = m.sample(2, &mut rng);
+            assert!(v.norm_l2() <= 0.01 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_ball_fills_the_ball() {
+        // Mean radius of a uniform 1-D ball sample is r/2; check the
+        // sampler is not just returning boundary points.
+        let mut rng = StdRng::seed_from_u64(44);
+        let m = NoiseModel::uniform_ball(1.0).unwrap();
+        let mean: f64 =
+            (0..4_000).map(|_| m.sample(1, &mut rng).norm_l2()).sum::<f64>() / 4_000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean radius {mean} not near 0.5");
+    }
+
+    #[test]
+    fn samples_are_roughly_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let m = NoiseModel::uniform_ball(1.0).unwrap();
+        let mut acc = Vector::zeros(2);
+        let n = 4_000;
+        for _ in 0..n {
+            acc += &m.sample(2, &mut rng);
+        }
+        let mean = acc.scale(1.0 / n as f64);
+        assert!(mean.norm_inf() < 0.05, "mean {mean} not near zero");
+    }
+
+    #[test]
+    fn zero_epsilon_gives_zero() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let v = NoiseModel::uniform_ball(0.0).unwrap().sample(4, &mut rng);
+        assert_eq!(v.norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = NoiseModel::uniform_ball(1.0).unwrap();
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(m.sample(3, &mut r1), m.sample(3, &mut r2));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+use awsad_linalg::{spectral_radius, Matrix, Vector};
+
+use crate::{LtiError, LtiSystem, Result};
+
+/// A Luenberger state observer
+/// `x̂⁺ = A x̂ + B u + L (y − C x̂)`.
+///
+/// The paper assumes full observability "for ease of presentation";
+/// this observer lifts that assumption: when only part of the state is
+/// measured (`C ≠ I`), it reconstructs a full state estimate that the
+/// data logger, the detector and the deadline estimator can consume
+/// unchanged. Detection-wise, a sensor attack now corrupts the
+/// *measurement* `y`, and the observer's innovation dynamics shape how
+/// the corruption appears in the residual.
+///
+/// The gain `L` is supplied by the caller;
+/// [`Observer::is_convergent`] verifies the design (spectral radius of
+/// `A − L C` strictly inside the unit circle).
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{Matrix, Vector};
+/// use awsad_lti::{LtiSystem, Observer};
+///
+/// // Double integrator, position-only measurement.
+/// let sys = LtiSystem::new_discrete(
+///     Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap(),
+///     Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap(),
+///     Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+///     0.1,
+/// ).unwrap();
+/// let l = Matrix::from_rows(&[&[0.8], &[1.5]]).unwrap();
+/// let mut obs = Observer::new(sys, l, Vector::zeros(2)).unwrap();
+/// assert!(obs.is_convergent());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Observer {
+    system: LtiSystem,
+    gain: Matrix,
+    estimate: Vector,
+}
+
+impl Observer {
+    /// Creates an observer with gain `L` and initial estimate `x̂₀`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LtiError::DimensionMismatch`] when `L` is not
+    /// `n × p` (state × output) or `x̂₀` has the wrong length.
+    pub fn new(system: LtiSystem, gain: Matrix, initial: Vector) -> Result<Self> {
+        let n = system.state_dim();
+        let p = system.output_dim();
+        if gain.shape() != (n, p) {
+            return Err(LtiError::DimensionMismatch {
+                what: "observer gain rows",
+                expected: n,
+                actual: gain.rows(),
+            });
+        }
+        if initial.len() != n {
+            return Err(LtiError::DimensionMismatch {
+                what: "initial estimate",
+                expected: n,
+                actual: initial.len(),
+            });
+        }
+        Ok(Observer {
+            system,
+            gain,
+            estimate: initial,
+        })
+    }
+
+    /// The underlying model.
+    pub fn system(&self) -> &LtiSystem {
+        &self.system
+    }
+
+    /// The current state estimate `x̂`.
+    pub fn estimate(&self) -> &Vector {
+        &self.estimate
+    }
+
+    /// The error dynamics matrix `A − L C`.
+    pub fn error_dynamics(&self) -> Matrix {
+        let lc = self
+            .gain
+            .checked_mul(self.system.c())
+            .expect("shapes validated at construction");
+        &self.system.a().clone() - &lc
+    }
+
+    /// Whether the estimation error converges (spectral radius of
+    /// `A − L C` strictly below 1).
+    pub fn is_convergent(&self) -> bool {
+        spectral_radius(&self.error_dynamics())
+            .map(|rho| rho < 1.0)
+            .unwrap_or(false)
+    }
+
+    /// Advances the observer one step with input `u` and measurement
+    /// `y`, returning the new estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` or `y` have the wrong dimension.
+    pub fn update(&mut self, u: &Vector, y: &Vector) -> &Vector {
+        assert_eq!(
+            y.len(),
+            self.system.output_dim(),
+            "measurement dimension must match C"
+        );
+        let predicted = self.system.step(&self.estimate, u);
+        let expected_y = self.system.measure(&self.estimate);
+        let innovation = y - &expected_y;
+        let correction = self
+            .gain
+            .checked_mul_vec(&innovation)
+            .expect("shapes validated at construction");
+        self.estimate = &predicted + &correction;
+        &self.estimate
+    }
+
+    /// Resets the estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x0` has the wrong length.
+    pub fn reset(&mut self, x0: Vector) {
+        assert_eq!(
+            x0.len(),
+            self.system.state_dim(),
+            "reset estimate dimension must match model"
+        );
+        self.estimate = x0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn partial_system() -> LtiSystem {
+        LtiSystem::new_discrete(
+            Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 0.9]]).unwrap(),
+            Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap(),
+            Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(), // position only
+            0.1,
+        )
+        .unwrap()
+    }
+
+    fn gain() -> Matrix {
+        Matrix::from_rows(&[&[0.9], &[1.2]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        let sys = partial_system();
+        assert!(Observer::new(sys.clone(), Matrix::zeros(2, 2), Vector::zeros(2)).is_err());
+        assert!(Observer::new(sys.clone(), gain(), Vector::zeros(3)).is_err());
+        assert!(Observer::new(sys, gain(), Vector::zeros(2)).is_ok());
+    }
+
+    #[test]
+    fn designed_gain_is_convergent() {
+        let obs = Observer::new(partial_system(), gain(), Vector::zeros(2)).unwrap();
+        assert!(obs.is_convergent());
+        // Zero gain leaves the marginally stable A: not strictly
+        // convergent.
+        let lazy = Observer::new(partial_system(), Matrix::zeros(2, 1), Vector::zeros(2)).unwrap();
+        assert!(!lazy.is_convergent());
+    }
+
+    #[test]
+    fn estimate_converges_to_true_state() {
+        let sys = partial_system();
+        let mut plant = Plant::new(sys.clone(), Vector::from_slice(&[2.0, -1.0]), NoiseModel::None);
+        // Observer starts at the wrong state.
+        let mut obs = Observer::new(sys, gain(), Vector::zeros(2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let u = Vector::from_slice(&[0.1]);
+        for _ in 0..200 {
+            let y = plant.measure();
+            obs.update(&u, &y);
+            plant.step(&u, &mut rng);
+        }
+        let err = (obs.estimate() - plant.state()).norm_inf();
+        // One-step lag: compare loosely.
+        assert!(err < 0.05, "observer error {err}");
+    }
+
+    #[test]
+    fn estimate_tracks_under_bounded_noise() {
+        let sys = partial_system();
+        let mut plant = Plant::new(
+            sys.clone(),
+            Vector::zeros(2),
+            NoiseModel::uniform_ball(0.01).unwrap(),
+        );
+        let mut obs = Observer::new(sys, gain(), Vector::zeros(2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = Vector::from_slice(&[0.2]);
+        let mut worst: f64 = 0.0;
+        for t in 0..500 {
+            let y = plant.measure();
+            obs.update(&u, &y);
+            plant.step(&u, &mut rng);
+            if t > 50 {
+                worst = worst.max((obs.estimate() - plant.state()).norm_inf());
+            }
+        }
+        assert!(worst < 0.2, "steady-state observer error {worst}");
+    }
+
+    #[test]
+    fn reset_restores_estimate() {
+        let mut obs = Observer::new(partial_system(), gain(), Vector::zeros(2)).unwrap();
+        obs.update(&Vector::from_slice(&[1.0]), &Vector::from_slice(&[1.0]));
+        obs.reset(Vector::from_slice(&[7.0, 8.0]));
+        assert_eq!(obs.estimate().as_slice(), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn error_dynamics_shape() {
+        let obs = Observer::new(partial_system(), gain(), Vector::zeros(2)).unwrap();
+        assert_eq!(obs.error_dynamics().shape(), (2, 2));
+    }
+}

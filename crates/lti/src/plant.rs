@@ -1,0 +1,195 @@
+use awsad_linalg::Vector;
+use rand::Rng;
+
+use crate::{LtiSystem, NoiseModel};
+
+/// The *true* physical system in a closed-loop simulation.
+///
+/// `Plant` owns the ground-truth state `x_t`, which attackers never
+/// touch — sensor attacks corrupt only the *measurements* downstream.
+/// Each [`Plant::step`] applies the dynamics of Eq. (1) with a fresh
+/// noise draw from the caller's RNG:
+///
+/// ```text
+/// x_{t+1} = A x_t + B u_t + v_t
+/// ```
+///
+/// Keeping the RNG external makes whole experiments reproducible from
+/// a single seed, which the Monte-Carlo harness in `awsad-sim` relies
+/// on.
+#[derive(Debug, Clone)]
+pub struct Plant {
+    system: LtiSystem,
+    state: Vector,
+    noise: NoiseModel,
+    steps: usize,
+}
+
+impl Plant {
+    /// Creates a plant at initial state `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x0.len()` differs from the model's state dimension.
+    pub fn new(system: LtiSystem, x0: Vector, noise: NoiseModel) -> Self {
+        assert_eq!(
+            x0.len(),
+            system.state_dim(),
+            "initial state dimension must match model"
+        );
+        Plant {
+            system,
+            state: x0,
+            noise,
+            steps: 0,
+        }
+    }
+
+    /// The underlying model.
+    pub fn system(&self) -> &LtiSystem {
+        &self.system
+    }
+
+    /// The current true state `x_t`.
+    pub fn state(&self) -> &Vector {
+        &self.state
+    }
+
+    /// The noise model in effect.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Number of steps taken since construction (the current `t`).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Advances one control period with input `u` and returns the new
+    /// true state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u.len()` differs from the model's input dimension.
+    pub fn step(&mut self, u: &Vector, rng: &mut impl Rng) -> &Vector {
+        let noise = self.noise.sample(self.system.state_dim(), rng);
+        let next = self.system.step(&self.state, u);
+        self.state = &next + &noise;
+        self.steps += 1;
+        &self.state
+    }
+
+    /// The *true* sensor reading `y_t = C x_t` before any attack.
+    pub fn measure(&self) -> Vector {
+        self.system.measure(&self.state)
+    }
+
+    /// Resets the plant to a new initial state and zero step count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x0.len()` differs from the model's state dimension.
+    pub fn reset(&mut self, x0: Vector) {
+        assert_eq!(
+            x0.len(),
+            self.system.state_dim(),
+            "reset state dimension must match model"
+        );
+        self.state = x0;
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lag_system() -> LtiSystem {
+        LtiSystem::new_discrete(
+            Matrix::diagonal(&[0.5]),
+            Matrix::from_rows(&[&[0.5]]).unwrap(),
+            Matrix::identity(1),
+            0.02,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn noise_free_step_is_deterministic() {
+        let mut p = Plant::new(lag_system(), Vector::from_slice(&[1.0]), NoiseModel::None);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x1 = p.step(&Vector::from_slice(&[1.0]), &mut rng).clone();
+        assert!((x1[0] - 1.0).abs() < 1e-12);
+        assert_eq!(p.steps(), 1);
+    }
+
+    #[test]
+    fn noisy_trajectory_stays_within_tube() {
+        // With |noise| <= eps each step and a contraction of 0.5, the
+        // deviation from the nominal fixed point is bounded by
+        // eps / (1 - 0.5).
+        let eps = 0.01;
+        let mut p = Plant::new(
+            lag_system(),
+            Vector::from_slice(&[1.0]),
+            NoiseModel::uniform_ball(eps).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = Vector::from_slice(&[1.0]);
+        for _ in 0..500 {
+            p.step(&u, &mut rng);
+            assert!((p.state()[0] - 1.0).abs() <= eps / 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn measure_uses_output_matrix() {
+        let sys = LtiSystem::new_discrete(
+            Matrix::identity(2),
+            Matrix::zeros(2, 1),
+            Matrix::from_rows(&[&[2.0, 0.0]]).unwrap(),
+            0.1,
+        )
+        .unwrap();
+        let p = Plant::new(sys, Vector::from_slice(&[3.0, 1.0]), NoiseModel::None);
+        assert_eq!(p.measure().as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn reset_restores_state_and_counter() {
+        let mut p = Plant::new(lag_system(), Vector::from_slice(&[1.0]), NoiseModel::None);
+        let mut rng = StdRng::seed_from_u64(1);
+        p.step(&Vector::from_slice(&[0.0]), &mut rng);
+        p.reset(Vector::from_slice(&[2.0]));
+        assert_eq!(p.state().as_slice(), &[2.0]);
+        assert_eq!(p.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state dimension")]
+    fn wrong_initial_dimension_panics() {
+        let _ = Plant::new(lag_system(), Vector::zeros(2), NoiseModel::None);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mk = || {
+            Plant::new(
+                lag_system(),
+                Vector::from_slice(&[0.0]),
+                NoiseModel::uniform_ball(0.1).unwrap(),
+            )
+        };
+        let mut p1 = mk();
+        let mut p2 = mk();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let u = Vector::from_slice(&[0.3]);
+        for _ in 0..50 {
+            assert_eq!(p1.step(&u, &mut r1), p2.step(&u, &mut r2));
+        }
+    }
+}

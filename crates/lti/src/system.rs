@@ -1,0 +1,300 @@
+use awsad_linalg::{discretize, Matrix, Vector};
+
+use crate::{LtiError, Result};
+
+/// An immutable discrete LTI model `(A, B, C)` with sampling period
+/// `δ` (the paper's control step size, Table 1 column `δ`).
+///
+/// The same object serves three consumers:
+///
+/// * the [`Plant`](crate::Plant) advances the *true* state with it;
+/// * the data logger predicts the expected state
+///   `x̃_t = A x̄_{t−1} + B u_{t−1}` with it;
+/// * the deadline estimator computes reachable sets from its `A`/`B`.
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{Matrix, Vector};
+/// use awsad_lti::LtiSystem;
+///
+/// let sys = LtiSystem::new_discrete(
+///     Matrix::diagonal(&[0.9]),
+///     Matrix::from_rows(&[&[0.1]]).unwrap(),
+///     Matrix::identity(1),
+///     0.02,
+/// ).unwrap();
+/// let next = sys.step(&Vector::from_slice(&[1.0]), &Vector::from_slice(&[0.5]));
+/// assert!((next[0] - 0.95).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LtiSystem {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    dt: f64,
+}
+
+impl LtiSystem {
+    /// Creates a discrete-time model directly from `(A, B, C, δ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `A` is not square, `B` does not have
+    /// `n` rows, or `C` does not have `n` columns; returns
+    /// [`LtiError::InvalidSamplingPeriod`] for a non-positive `δ`.
+    pub fn new_discrete(a: Matrix, b: Matrix, c: Matrix, dt: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LtiError::StateMatrixNotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if b.rows() != n {
+            return Err(LtiError::InputMatrixMismatch {
+                state_dim: n,
+                shape: b.shape(),
+            });
+        }
+        if c.cols() != n {
+            return Err(LtiError::OutputMatrixMismatch {
+                state_dim: n,
+                shape: c.shape(),
+            });
+        }
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(LtiError::InvalidSamplingPeriod { dt });
+        }
+        Ok(LtiSystem { a, b, c, dt })
+    }
+
+    /// Creates a discrete model by zero-order-hold discretization of a
+    /// continuous-time `(A_c, B_c, C)` triple at period `dt`.
+    ///
+    /// This is how the Table 1 benchmark models (given as differential
+    /// equations) become the difference equation of Eq. (1).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LtiSystem::new_discrete`], plus any discretization
+    /// failure surfaced as [`LtiError::Linalg`].
+    pub fn from_continuous(a_c: Matrix, b_c: Matrix, c: Matrix, dt: f64) -> Result<Self> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(LtiError::InvalidSamplingPeriod { dt });
+        }
+        let (a_d, b_d) = discretize(&a_c, &b_c, dt)?;
+        LtiSystem::new_discrete(a_d, b_d, c, dt)
+    }
+
+    /// Creates a fully-observable model (`C = I`) from discrete
+    /// `(A, B, δ)`.
+    ///
+    /// The paper assumes full observability ("all n dimensions can be
+    /// estimated from sensor measurements").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LtiSystem::new_discrete`].
+    pub fn new_discrete_fully_observable(a: Matrix, b: Matrix, dt: f64) -> Result<Self> {
+        let n = a.rows();
+        LtiSystem::new_discrete(a, b, Matrix::identity(n), dt)
+    }
+
+    /// State dimension `n`.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Input dimension `m`.
+    pub fn input_dim(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Output dimension `p`.
+    pub fn output_dim(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Sampling period `δ` in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// State matrix `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Input matrix `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Output matrix `C`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Noise-free dynamics step `A x + B u`.
+    ///
+    /// This is simultaneously the plant update (before adding `v_t`)
+    /// and the one-step prediction `x̃_t` used to form residuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `u` have the wrong length; use
+    /// [`LtiSystem::checked_step`] for fallible callers.
+    pub fn step(&self, x: &Vector, u: &Vector) -> Vector {
+        self.checked_step(x, u).expect("state/input dimensions must match model")
+    }
+
+    /// Fallible variant of [`LtiSystem::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LtiError::DimensionMismatch`] when `x` or `u` have the
+    /// wrong length.
+    pub fn checked_step(&self, x: &Vector, u: &Vector) -> Result<Vector> {
+        if x.len() != self.state_dim() {
+            return Err(LtiError::DimensionMismatch {
+                what: "state",
+                expected: self.state_dim(),
+                actual: x.len(),
+            });
+        }
+        if u.len() != self.input_dim() {
+            return Err(LtiError::DimensionMismatch {
+                what: "input",
+                expected: self.input_dim(),
+                actual: u.len(),
+            });
+        }
+        let ax = self.a.checked_mul_vec(x)?;
+        let bu = self.b.checked_mul_vec(u)?;
+        Ok(&ax + &bu)
+    }
+
+    /// Sensor map `y = C x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` differs from the state dimension.
+    pub fn measure(&self, x: &Vector) -> Vector {
+        self.c.checked_mul_vec(x).expect("state dimension must match model")
+    }
+
+    /// Spectral-radius upper bound via the induced ∞-norm of `A^k`,
+    /// `ρ(A) ≤ ‖A^k‖_∞^{1/k}`.
+    ///
+    /// A cheap stability diagnostic used by model validation tests
+    /// (all Table 1 closed-loop plants are open-loop stable or
+    /// marginally stable integrators).
+    pub fn spectral_radius_bound(&self, k: usize) -> f64 {
+        let k = k.max(1);
+        self.a
+            .pow(k)
+            .expect("A is square by construction")
+            .norm_inf()
+            .powf(1.0 / k as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> LtiSystem {
+        LtiSystem::new_discrete(
+            Matrix::from_rows(&[&[0.9, 0.1], &[0.0, 0.8]]).unwrap(),
+            Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap(),
+            Matrix::identity(2),
+            0.02,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let s = simple();
+        assert_eq!(s.state_dim(), 2);
+        assert_eq!(s.input_dim(), 1);
+        assert_eq!(s.output_dim(), 2);
+        assert_eq!(s.dt(), 0.02);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Matrix::identity(2);
+        let b = Matrix::zeros(2, 1);
+        let c = Matrix::identity(2);
+        assert!(matches!(
+            LtiSystem::new_discrete(Matrix::zeros(2, 3), b.clone(), c.clone(), 0.1),
+            Err(LtiError::StateMatrixNotSquare { .. })
+        ));
+        assert!(matches!(
+            LtiSystem::new_discrete(a.clone(), Matrix::zeros(3, 1), c.clone(), 0.1),
+            Err(LtiError::InputMatrixMismatch { .. })
+        ));
+        assert!(matches!(
+            LtiSystem::new_discrete(a.clone(), b.clone(), Matrix::zeros(1, 3), 0.1),
+            Err(LtiError::OutputMatrixMismatch { .. })
+        ));
+        assert!(matches!(
+            LtiSystem::new_discrete(a, b, c, 0.0),
+            Err(LtiError::InvalidSamplingPeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn step_matches_hand_computation() {
+        let s = simple();
+        let x = Vector::from_slice(&[1.0, 2.0]);
+        let u = Vector::from_slice(&[0.5]);
+        let next = s.step(&x, &u);
+        assert!(next.approx_eq(&Vector::from_slice(&[1.1, 2.1])));
+    }
+
+    #[test]
+    fn checked_step_rejects_bad_dims() {
+        let s = simple();
+        assert!(s.checked_step(&Vector::zeros(3), &Vector::zeros(1)).is_err());
+        assert!(s.checked_step(&Vector::zeros(2), &Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn measurement_uses_c() {
+        let s = LtiSystem::new_discrete(
+            Matrix::identity(2),
+            Matrix::zeros(2, 1),
+            Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+            0.1,
+        )
+        .unwrap();
+        let y = s.measure(&Vector::from_slice(&[3.0, 4.0]));
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn from_continuous_first_order() {
+        let s = LtiSystem::from_continuous(
+            Matrix::diagonal(&[-2.0]),
+            Matrix::from_rows(&[&[2.0]]).unwrap(),
+            Matrix::identity(1),
+            0.1,
+        )
+        .unwrap();
+        assert!((s.a()[(0, 0)] - (-0.2_f64).exp()).abs() < 1e-12);
+        // Steady state under u = 1 should be 1 (dc gain of 2/2).
+        let mut x = Vector::zeros(1);
+        let u = Vector::from_slice(&[1.0]);
+        for _ in 0..1_000 {
+            x = s.step(&x, &u);
+        }
+        assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_radius_bound_stable_system() {
+        let s = simple();
+        assert!(s.spectral_radius_bound(64) < 1.0);
+    }
+}

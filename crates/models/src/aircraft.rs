@@ -1,0 +1,128 @@
+use awsad_control::{PidChannel, PidGains, Reference};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_sets::BoxSet;
+
+use crate::{AttackProfile, CpsModel};
+
+/// Aircraft pitch control (Table 1 row 1).
+///
+/// Continuous-time longitudinal dynamics from the CTMS control
+/// tutorials (the standard source for this benchmark), with states
+/// attack angle `α`, pitch rate `q` and pitch angle `θ`, and elevator
+/// deflection `δ_e` as input:
+///
+/// ```text
+/// α̇ = −0.313 α + 56.7 q + 0.232 δ_e
+/// q̇ = −0.0139 α − 0.426 q + 0.0203 δ_e
+/// θ̇ = 56.7 q
+/// ```
+///
+/// Table 1 settings: `δ = 0.02 s`, PID `(14, 0.8, 5.7)` on the pitch
+/// angle, `U = [−7, 7]`, `ε = 7.8e−3`, safe set `θ ∈ [−2.5, 2.5]`
+/// (other dimensions unconstrained), `τ = 0.012` per dimension. The
+/// reference is the CTMS 0.2 rad pitch step.
+pub fn aircraft_pitch() -> CpsModel {
+    let a_c = Matrix::from_rows(&[
+        &[-0.313, 56.7, 0.0],
+        &[-0.0139, -0.426, 0.0],
+        &[0.0, 56.7, 0.0],
+    ])
+    .expect("static shape");
+    let b_c = Matrix::from_rows(&[&[0.232], &[0.0203], &[0.0]]).expect("static shape");
+    let system = LtiSystem::from_continuous(a_c, b_c, Matrix::identity(3), 0.02)
+        .expect("model is well-formed");
+
+    let inf = f64::INFINITY;
+    CpsModel {
+        name: "Aircraft Pitch",
+        system,
+        control_limits: BoxSet::from_bounds(&[-7.0], &[7.0]).expect("static bounds"),
+        epsilon: 7.8e-3,
+        sensor_noise: 1.1e-2,
+        safe_set: BoxSet::from_bounds(&[-inf, -inf, -2.5], &[inf, inf, 2.5])
+            .expect("static bounds"),
+        threshold: Vector::from_slice(&[0.012, 0.012, 0.012]),
+        pid_channels: vec![PidChannel::new(
+            2,
+            0,
+            PidGains::new(14.0, 0.8, 5.7),
+            Reference::constant(0.2),
+        )],
+        x0: Vector::zeros(3),
+        default_max_window: 40,
+        state_names: vec!["alpha", "q", "theta"],
+        attack_profile: AttackProfile {
+            target_dim: 2,
+            // Stealthy band: above the deadline-sized window's trip
+            // point, below tau*w_m dilution (see AttackProfile docs).
+            bias_range: (0.12, 0.18),
+            ramp_time_range: (250, 500),
+            delay_range: (15, 50),
+            replay_len: 20,
+            reference_step: 0.5,
+            onset_range: (200, 300),
+            duration_range: (60, 150),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_control::Controller;
+    use awsad_lti::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates() {
+        aircraft_pitch().validate().unwrap();
+    }
+
+    #[test]
+    fn discretization_shape_and_period() {
+        let m = aircraft_pitch();
+        assert_eq!(m.system.state_dim(), 3);
+        assert_eq!(m.system.input_dim(), 1);
+        assert_eq!(m.dt(), 0.02);
+    }
+
+    #[test]
+    fn closed_loop_tracks_pitch_reference() {
+        let m = aircraft_pitch();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..3_000 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+        }
+        let theta = plant.state()[2];
+        assert!((theta - 0.2).abs() < 0.02, "pitch settled at {theta}");
+    }
+
+    #[test]
+    fn closed_loop_stays_safe_under_nominal_noise() {
+        let m = aircraft_pitch();
+        let mut plant = m.plant();
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for t in 0..2_000 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+            assert!(
+                m.safe_set.contains(plant.state()),
+                "left safe set at t={t}: {}",
+                plant.state()
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_estimator_builds() {
+        let m = aircraft_pitch();
+        let est = m.deadline_estimator(40).unwrap();
+        assert_eq!(est.state_dim(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+use awsad_control::{PidChannel, PidGains, Reference};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_sets::BoxSet;
+
+use crate::{AttackProfile, CpsModel};
+
+/// DC motor position control (Table 1 row 4).
+///
+/// Continuous-time model from the CTMS control tutorials, with states
+/// shaft position `θ`, angular velocity `ω` and armature current `i`,
+/// and armature voltage as input:
+///
+/// ```text
+/// θ̇ = ω
+/// ω̇ = (−b ω + K i) / J
+/// i̇ = (−K ω − R i + u) / L
+/// ```
+///
+/// with `J = 0.01`, `b = 0.1`, `K = 0.01`, `R = 1 Ω`, `L = 0.5 H` —
+/// the CTMS motor parameter set also used by the paper's companion
+/// recovery benchmarks. (CTMS's *position*-tutorial micro-motor is
+/// unstable under Table 1's PD gains at the paper's `δ = 0.1 s`
+/// sampling, so the paper evidently used this larger machine.)
+///
+/// Table 1 settings: PD `(11, 0, 5)` on position, `U = [−20, 20]`,
+/// `ε = 1.5e−1`, safe `θ ∈ [−4, 4]` (other dimensions unconstrained),
+/// `τ = 0.118` per dimension. The position setpoint is 1 rad.
+pub fn dc_motor_position() -> CpsModel {
+    let (j, b, k, r, l) = (0.01, 0.1, 0.01, 1.0, 0.5);
+    let a_c = Matrix::from_rows(&[
+        &[0.0, 1.0, 0.0],
+        &[0.0, -b / j, k / j],
+        &[0.0, -k / l, -r / l],
+    ])
+    .expect("static shape");
+    let b_c = Matrix::from_rows(&[&[0.0], &[0.0], &[1.0 / l]]).expect("static shape");
+    let system = LtiSystem::from_continuous(a_c, b_c, Matrix::identity(3), 0.1)
+        .expect("model is well-formed");
+
+    let inf = f64::INFINITY;
+    CpsModel {
+        name: "DC Motor Position",
+        system,
+        control_limits: BoxSet::from_bounds(&[-20.0], &[20.0]).expect("static bounds"),
+        epsilon: 1.5e-1,
+        sensor_noise: 1.2e-1,
+        safe_set: BoxSet::from_bounds(&[-4.0, -inf, -inf], &[4.0, inf, inf])
+            .expect("static bounds"),
+        threshold: Vector::from_slice(&[0.118, 0.118, 0.118]),
+        pid_channels: vec![PidChannel::new(
+            0,
+            0,
+            PidGains::new(11.0, 0.0, 5.0),
+            Reference::constant(1.0),
+        )],
+        x0: Vector::zeros(3),
+        default_max_window: 40,
+        state_names: vec!["theta", "omega", "i"],
+        attack_profile: AttackProfile {
+            target_dim: 0,
+            // Stealthy band for the ~10-step nominal deadline vs
+            // the w_m = 40 fixed window.
+            bias_range: (0.6, 1.8),
+            ramp_time_range: (50, 110),
+            delay_range: (5, 20),
+            replay_len: 10,
+            reference_step: -0.8,
+            onset_range: (60, 100),
+            duration_range: (30, 80),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_control::Controller;
+    use awsad_lti::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates() {
+        dc_motor_position().validate().unwrap();
+    }
+
+    #[test]
+    fn discretization_is_finite() {
+        let m = dc_motor_position();
+        assert!(m.system.a().is_finite());
+        assert!(m.system.b().is_finite());
+        // Position integrates: A[0,0] = 1 exactly for this structure.
+        assert!((m.system.a()[(0, 0)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracks_position_setpoint() {
+        let m = dc_motor_position();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..600 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+        }
+        let theta = plant.state()[0];
+        assert!((theta - 1.0).abs() < 0.05, "position settled at {theta}");
+    }
+
+    #[test]
+    fn stays_safe_under_nominal_noise() {
+        let m = dc_motor_position();
+        let mut plant = m.plant();
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for t in 0..1_000 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+            assert!(m.safe_set.contains(plant.state()), "unsafe at t={t}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The benchmark CPS models of the DAC'22 evaluation (Table 1) plus
+//! the reduced-scale RC-car testbed (§6.2).
+//!
+//! Each model bundles everything a closed-loop detection experiment
+//! needs: the discrete LTI plant, the PID channels with their gains
+//! and references, the actuator range `U`, the uncertainty bound `ε`,
+//! the safe set `S`, the detection threshold `τ` and a per-model
+//! attack profile (which dimension an attacker targets and with what
+//! magnitudes). The Table 1 columns (`δ`, `PID`, `U`, `ε`, `S`, `τ`)
+//! are taken verbatim from the paper; continuous-time dynamics that
+//! the paper references but does not print are taken from the standard
+//! sources its citations use (CTMS control tutorials for aircraft
+//! pitch and DC motor position, Sabatino's thesis for the quadrotor)
+//! and documented per module.
+//!
+//! Two extra plants beyond the paper's set are included:
+//! [`rc_car`] (the §6.2 testbed's identified model) and
+//! [`inverted_pendulum`] (a bonus open-loop-unstable benchmark showing
+//! the detection stack outside Table 1).
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_models::Simulator;
+//!
+//! let model = Simulator::AircraftPitch.build();
+//! assert_eq!(model.system.state_dim(), 3);
+//! assert_eq!(model.system.dt(), 0.02);
+//! assert_eq!(model.threshold.as_slice(), &[0.012, 0.012, 0.012]);
+//!
+//! // Everything needed for a detection run comes from the model:
+//! let _controller = model.controller().unwrap();
+//! let _estimator = model.deadline_estimator(40).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aircraft;
+mod dc_motor;
+mod model;
+mod pendulum;
+mod quadrotor;
+mod rc_car;
+mod registry;
+mod rlc;
+mod vehicle;
+
+pub use model::{AttackProfile, CpsModel};
+pub use pendulum::inverted_pendulum;
+pub use rc_car::{rc_car, RC_CAR_ATTACK_STEP, RC_CAR_BIAS_MPS, RC_CAR_C};
+pub use registry::Simulator;

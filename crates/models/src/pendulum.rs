@@ -1,0 +1,167 @@
+use awsad_control::{PidChannel, PidGains, Reference};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_sets::BoxSet;
+
+use crate::{AttackProfile, CpsModel};
+
+/// Inverted pendulum on a cart — a **bonus** benchmark beyond Table 1,
+/// exercising the detection stack on an *open-loop unstable* plant.
+///
+/// Linearized upright dynamics (CTMS parameters: cart M = 0.5 kg,
+/// bob m = 0.2 kg, friction b = 0.1 N/m/s, inertia I = 0.006 kg·m²,
+/// half-length l = 0.3 m), states
+/// `[cart position x, cart velocity ẋ, pendulum angle φ, rate φ̇]`
+/// and horizontal force as input. With an unstable pole at
+/// ≈ +5.6 rad/s, the reachable set from any off-center state blows up
+/// quickly — deadlines are intrinsically short, and the adaptive
+/// window lives near its minimum whenever the angle strays. Angle-only
+/// feedback leaves the cart mode unstable (the cart accelerates to
+/// hold a lean), so the loop uses full state feedback designed with
+/// this workspace's own LQR (`Q = diag(1, 1, 50, 5)`, `R = 0.05`),
+/// expressed as two PD channels: one on the cart position, one on the
+/// angle.
+pub fn inverted_pendulum() -> CpsModel {
+    let (m_cart, m_bob, b_fric, inertia, l) = (0.5, 0.2, 0.1, 0.006, 0.3);
+    let g = 9.81;
+    let denom = inertia * (m_cart + m_bob) + m_cart * m_bob * l * l;
+
+    let a22 = -(inertia + m_bob * l * l) * b_fric / denom;
+    let a23 = m_bob * m_bob * g * l * l / denom;
+    let a42 = -m_bob * l * b_fric / denom;
+    let a43 = m_bob * g * l * (m_cart + m_bob) / denom;
+    let b2 = (inertia + m_bob * l * l) / denom;
+    let b4 = m_bob * l / denom;
+
+    let a_c = Matrix::from_rows(&[
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, a22, a23, 0.0],
+        &[0.0, 0.0, 0.0, 1.0],
+        &[0.0, a42, a43, 0.0],
+    ])
+    .expect("static shape");
+    let b_c = Matrix::from_rows(&[&[0.0], &[b2], &[0.0], &[b4]]).expect("static shape");
+    let system = LtiSystem::from_continuous(a_c, b_c, Matrix::identity(4), 0.02)
+        .expect("model is well-formed");
+
+    let inf = f64::INFINITY;
+    CpsModel {
+        name: "Inverted Pendulum",
+        system,
+        control_limits: BoxSet::from_bounds(&[-10.0], &[10.0]).expect("static bounds"),
+        epsilon: 2.0e-3,
+        sensor_noise: 2.0e-3,
+        // Only the angle is safety-constrained: beyond ~0.35 rad the
+        // linearization (and the physical recovery envelope) is gone.
+        safe_set: BoxSet::from_bounds(&[-inf, -inf, -0.35, -inf], &[inf, inf, 0.35, inf])
+            .expect("static bounds"),
+        threshold: Vector::from_slice(&[0.02, 0.05, 0.008, 0.05]),
+        pid_channels: vec![
+            // LQR state feedback u = -Kx with K = [-2.70, -5.28,
+            // 42.24, 9.47], split into two PD channels (a PD channel
+            // with setpoint 0 contributes -kp·x_i - kd·ẋ_i).
+            PidChannel::new(
+                0,
+                0,
+                PidGains::new(-2.70, 0.0, -5.28),
+                Reference::constant(0.0),
+            ),
+            PidChannel::new(
+                2,
+                0,
+                PidGains::new(42.24, 0.0, 9.47),
+                Reference::constant(0.0),
+            ),
+        ],
+        x0: Vector::zeros(4),
+        default_max_window: 30,
+        state_names: vec!["x", "x_dot", "phi", "phi_dot"],
+        attack_profile: AttackProfile {
+            target_dim: 2,
+            // Stealthy band for the short (unstable-plant) deadlines.
+            bias_range: (0.03, 0.08),
+            ramp_time_range: (60, 150),
+            delay_range: (3, 10),
+            replay_len: 10,
+            reference_step: 0.05,
+            onset_range: (150, 250),
+            duration_range: (40, 100),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_control::Controller;
+    use awsad_lti::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates() {
+        inverted_pendulum().validate().unwrap();
+    }
+
+    #[test]
+    fn open_loop_is_unstable() {
+        let m = inverted_pendulum();
+        assert!(
+            m.system.spectral_radius() > 1.0,
+            "upright pendulum must be open-loop unstable"
+        );
+    }
+
+    #[test]
+    fn pd_loop_keeps_the_pendulum_up() {
+        let m = inverted_pendulum();
+        let mut x0 = m.x0.clone();
+        x0[2] = 0.05; // small initial tilt
+        let mut plant = Plant::new(m.system.clone(), x0, NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..1_500 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+            assert!(
+                plant.state()[2].abs() < 0.35,
+                "fell over at t={t}: phi={}",
+                plant.state()[2]
+            );
+        }
+        assert!(plant.state()[2].abs() < 0.01, "angle did not settle");
+    }
+
+    #[test]
+    fn deadlines_are_short_for_unstable_plants() {
+        let m = inverted_pendulum();
+        let est = m.deadline_estimator(m.default_max_window).unwrap();
+        // Even from upright, the worst-case reachable angle explodes
+        // fast: the deadline must be finite and small.
+        match est.deadline(&m.x0) {
+            awsad_reach::Deadline::Within(t) => {
+                assert!(t < 25, "deadline {t} suspiciously long for an unstable plant")
+            }
+            awsad_reach::Deadline::Beyond => panic!("expected a finite deadline"),
+        }
+        // And strictly shorter from a tilted state.
+        let mut tilted = m.x0.clone();
+        tilted[2] = 0.2;
+        let d_up = est.deadline(&m.x0).steps().unwrap();
+        let d_tilt = est.deadline(&tilted).steps().unwrap();
+        assert!(d_tilt <= d_up);
+    }
+
+    #[test]
+    fn stays_safe_under_nominal_noise() {
+        let m = inverted_pendulum();
+        let mut plant = m.plant();
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2_000 {
+            let u = pid.control(0, plant.state());
+            plant.step(&u, &mut rng);
+            assert!(m.safe_set.contains(plant.state()));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+use awsad_control::{PidChannel, PidGains, Reference};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_sets::BoxSet;
+
+use crate::{AttackProfile, CpsModel};
+
+/// Quadrotor mass (kg), from Sabatino's thesis.
+const MASS: f64 = 0.468;
+/// Gravitational acceleration (m/s²).
+const G: f64 = 9.81;
+/// Roll/pitch moments of inertia (kg·m²).
+const IXY: f64 = 4.856e-3;
+/// Yaw moment of inertia (kg·m²).
+const IZ: f64 = 8.801e-3;
+
+/// Quadrotor (Table 1 row 5).
+///
+/// Twelve-state hover-linearized model from Sabatino, *Quadrotor
+/// control: modeling, nonlinear control design, and simulation* (the
+/// source the paper cites). States, in order:
+///
+/// ```text
+/// [x, y, z, φ, θ, ψ, vx, vy, vz, p, q, r]
+/// ```
+///
+/// and inputs `[Δf_t, τ_x, τ_y, τ_z]` (thrust deviation from hover and
+/// the three body torques). The linearized dynamics are the integrator
+/// chains `ẋ = v`, `φ̇ = p`, the gravity tilt couplings
+/// `v̇x = −g θ`, `v̇y = g φ`, the vertical channel `v̇z = Δf_t/m` and
+/// the rotational accelerations `ṗ = τ_x/I_x` etc.
+///
+/// Table 1 settings: `δ = 0.1 s`, PD `(0.8, 0, 1)` on altitude through
+/// thrust, `U = [−2, 2]` per input, `ε = 1.56e−15` (numerically
+/// noise-free), safe `z ∈ [−5, 5]` (other dimensions unconstrained),
+/// `τ = 0.018` in every dimension. The altitude setpoint is 1 m.
+pub fn quadrotor() -> CpsModel {
+    let n = 12;
+    let mut a_c = Matrix::zeros(n, n);
+    // Position integrates velocity.
+    a_c[(0, 6)] = 1.0;
+    a_c[(1, 7)] = 1.0;
+    a_c[(2, 8)] = 1.0;
+    // Attitude integrates body rates.
+    a_c[(3, 9)] = 1.0;
+    a_c[(4, 10)] = 1.0;
+    a_c[(5, 11)] = 1.0;
+    // Gravity tilt couplings.
+    a_c[(6, 4)] = -G;
+    a_c[(7, 3)] = G;
+
+    let mut b_c = Matrix::zeros(n, 4);
+    b_c[(8, 0)] = 1.0 / MASS; // thrust → vertical acceleration
+    b_c[(9, 1)] = 1.0 / IXY; // roll torque
+    b_c[(10, 2)] = 1.0 / IXY; // pitch torque
+    b_c[(11, 3)] = 1.0 / IZ; // yaw torque
+
+    let system = LtiSystem::from_continuous(a_c, b_c, Matrix::identity(n), 0.1)
+        .expect("model is well-formed");
+
+    let inf = f64::INFINITY;
+    let mut lo = vec![-inf; n];
+    let mut hi = vec![inf; n];
+    lo[2] = -5.0;
+    hi[2] = 5.0;
+
+    CpsModel {
+        name: "Quadrotor",
+        system,
+        control_limits: BoxSet::from_bounds(&[-2.0; 4], &[2.0; 4]).expect("static bounds"),
+        epsilon: 1.56e-15,
+        sensor_noise: 2.5e-2,
+        safe_set: BoxSet::from_bounds(&lo, &hi).expect("static bounds"),
+        threshold: Vector::filled(n, 0.018),
+        pid_channels: vec![PidChannel::new(
+            2,
+            0,
+            PidGains::new(0.8, 0.0, 1.0),
+            Reference::constant(1.0),
+        )],
+        x0: Vector::zeros(n),
+        default_max_window: 40,
+        state_names: vec![
+            "x", "y", "z", "phi", "theta", "psi", "vx", "vy", "vz", "p", "q", "r",
+        ],
+        attack_profile: AttackProfile {
+            target_dim: 2,
+            // Stealthy band for the ~13-step nominal deadline vs
+            // the w_m = 40 fixed window.
+            bias_range: (0.15, 0.33),
+            ramp_time_range: (350, 700),
+            delay_range: (5, 20),
+            replay_len: 10,
+            reference_step: -1.0,
+            onset_range: (60, 100),
+            duration_range: (30, 80),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_control::Controller;
+    use awsad_lti::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates() {
+        quadrotor().validate().unwrap();
+    }
+
+    #[test]
+    fn twelve_states_four_inputs() {
+        let m = quadrotor();
+        assert_eq!(m.system.state_dim(), 12);
+        assert_eq!(m.system.input_dim(), 4);
+        assert_eq!(m.dt(), 0.1);
+    }
+
+    #[test]
+    fn altitude_pd_tracks_setpoint() {
+        let m = quadrotor();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..400 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+        }
+        let z = plant.state()[2];
+        assert!((z - 1.0).abs() < 0.05, "altitude settled at {z}");
+        // Lateral states stay at zero without disturbances.
+        assert!(plant.state()[0].abs() < 1e-9);
+        assert!(plant.state()[3].abs() < 1e-9);
+    }
+
+    #[test]
+    fn tilt_coupling_moves_lateral_position() {
+        // A pitch torque pulse tilts the body and accelerates x.
+        let m = quadrotor();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pulse = Vector::from_slice(&[0.0, 0.0, 0.01, 0.0]);
+        plant.step(&pulse, &mut rng);
+        let zero = Vector::zeros(4);
+        for _ in 0..20 {
+            plant.step(&zero, &mut rng);
+        }
+        assert!(plant.state()[4] > 0.0, "pitch angle did not respond");
+        assert!(plant.state()[0].abs() > 0.0, "x did not respond to tilt");
+    }
+
+    #[test]
+    fn deadline_estimator_handles_twelve_dims() {
+        let m = quadrotor();
+        let est = m.deadline_estimator(40).unwrap();
+        // From hover the altitude deadline is finite but not tiny.
+        match est.deadline(&m.x0) {
+            awsad_reach::Deadline::Within(t) => assert!(t > 5, "deadline {t} too tight at hover"),
+            awsad_reach::Deadline::Beyond => {}
+        }
+    }
+}

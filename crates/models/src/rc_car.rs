@@ -1,0 +1,144 @@
+use awsad_control::{PidChannel, PidGains, Reference};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_sets::BoxSet;
+
+use crate::{AttackProfile, CpsModel};
+
+/// Output matrix entry of the identified testbed model: measured speed
+/// is `y = C x` in m/s.
+pub const RC_CAR_C: f64 = 3.843402e2;
+
+/// The control step at which the testbed experiment injects the speed
+/// bias ("at the end of the 79th step").
+pub const RC_CAR_ATTACK_STEP: usize = 80;
+
+/// The injected speed bias in m/s.
+pub const RC_CAR_BIAS_MPS: f64 = 2.5;
+
+/// The reduced-scale RC-car cruise-control testbed (§6.2), simulated
+/// with the paper's *identified* model.
+///
+/// The paper performs system identification on the physical car and
+/// reports `x_{t+1} = A x_t + B u_t`, `y_t = C x_t` with
+/// `A = 8.435e−1`, `B = 7.7919e−4`, `C = 3.843402e2` at 20 Hz
+/// (`δ = 0.05 s`). We run the detector against exactly this model —
+/// the substitution documented in DESIGN.md: the paper's own detector
+/// also sees the world only through this identified LTI model, so the
+/// detection code path is identical; only real actuation jitter is
+/// absent.
+///
+/// Settings from §6.2: cruise speed 4 m/s, safe speed `[2, 10] m/s`
+/// (state units `[5.2e−3, 2.6e−2]`), `τ = 3.67e−3`,
+/// `u ∈ [0, 7.7]`, and a `+2.5 m/s` bias injected at the end of step
+/// 79. The PID gains are not printed in the paper; the PI pair below
+/// tracks the cruise setpoint within a few control steps, matching the
+/// testbed's described behaviour.
+pub fn rc_car() -> CpsModel {
+    let a = Matrix::diagonal(&[8.435e-1]);
+    let b = Matrix::from_rows(&[&[7.7919e-4]]).expect("static shape");
+    let system =
+        LtiSystem::new_discrete_fully_observable(a, b, 0.05).expect("model is well-formed");
+
+    let x_ref = 4.0 / RC_CAR_C;
+    CpsModel {
+        name: "RC Car Testbed",
+        system,
+        control_limits: BoxSet::from_bounds(&[0.0], &[7.7]).expect("static bounds"),
+        epsilon: 1.0e-4,
+        sensor_noise: 8.0e-4,
+        safe_set: BoxSet::from_bounds(&[5.2e-3], &[2.6e-2]).expect("static bounds"),
+        threshold: Vector::from_slice(&[3.67e-3]),
+        pid_channels: vec![PidChannel::new(
+            0,
+            0,
+            PidGains::new(1.0e3, 2.0e3, 0.0),
+            Reference::constant(x_ref),
+        )],
+        x0: Vector::from_slice(&[x_ref]),
+        default_max_window: 30,
+        state_names: vec!["speed_state"],
+        attack_profile: AttackProfile {
+            target_dim: 0,
+            // Monte-Carlo band: from just above the adaptive detector's
+            // 2-step trip point to well inside the fixed window's
+            // dilution range. (The paper's fixed testbed bias,
+            // RC_CAR_BIAS_MPS / RC_CAR_C = 6.5e-3, sits at the low end;
+            // the fig8 experiment injects it explicitly.)
+            bias_range: (7.0e-3, 3.0e-2),
+            ramp_time_range: (1, 1),
+            delay_range: (10, 30),
+            replay_len: 15,
+            reference_step: -1.5 / RC_CAR_C,
+            onset_range: (80, 80),
+            duration_range: (120, 120),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_control::Controller;
+    use awsad_lti::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates() {
+        rc_car().validate().unwrap();
+    }
+
+    #[test]
+    fn safe_state_range_matches_speed_range() {
+        // [2, 10] m/s through C: [5.2e-3, 2.6e-2].
+        let m = rc_car();
+        assert!((m.safe_set.interval(0).lo() * RC_CAR_C - 2.0).abs() < 0.01);
+        assert!((m.safe_set.interval(0).hi() * RC_CAR_C - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cruises_at_four_mps() {
+        let m = rc_car();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..400 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+        }
+        let speed = plant.state()[0] * RC_CAR_C;
+        assert!((speed - 4.0).abs() < 0.05, "cruise speed {speed}");
+    }
+
+    #[test]
+    fn steady_input_is_feasible() {
+        // Steady input u = x(1-A)/B ≈ 2.09 must be inside [0, 7.7].
+        let m = rc_car();
+        let u = m.x0[0] * (1.0 - 8.435e-1) / 7.7919e-4;
+        assert!(m.control_limits.contains(&Vector::from_slice(&[u])), "u = {u}");
+    }
+
+    #[test]
+    fn bias_attack_drives_car_below_safe_speed() {
+        let m = rc_car();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let bias = RC_CAR_BIAS_MPS / RC_CAR_C;
+        let mut went_unsafe = false;
+        for t in 0..400 {
+            let mut measured = plant.state().clone();
+            if t >= RC_CAR_ATTACK_STEP {
+                measured[0] += bias;
+            }
+            let u = pid.control(t, &measured);
+            plant.step(&u, &mut rng);
+            if t >= RC_CAR_ATTACK_STEP && !m.safe_set.contains(plant.state()) {
+                went_unsafe = true;
+                break;
+            }
+        }
+        assert!(went_unsafe, "the +2.5 m/s bias must slow the car below 2 m/s");
+    }
+}

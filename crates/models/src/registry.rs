@@ -1,0 +1,120 @@
+use std::fmt;
+
+use crate::{aircraft, dc_motor, quadrotor, rlc, vehicle, CpsModel};
+
+/// The five simulators of the paper's evaluation (Table 1 rows, in
+/// order). The RC-car testbed is separate — see [`crate::rc_car`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Simulator {
+    /// Row 1: aircraft pitch control.
+    AircraftPitch,
+    /// Row 2: vehicle turning.
+    VehicleTurning,
+    /// Row 3: series RLC circuit.
+    RlcCircuit,
+    /// Row 4: DC motor position.
+    DcMotorPosition,
+    /// Row 5: quadrotor (12-state).
+    Quadrotor,
+}
+
+impl Simulator {
+    /// All simulators in Table 1 order.
+    pub fn all() -> [Simulator; 5] {
+        [
+            Simulator::AircraftPitch,
+            Simulator::VehicleTurning,
+            Simulator::RlcCircuit,
+            Simulator::DcMotorPosition,
+            Simulator::Quadrotor,
+        ]
+    }
+
+    /// Builds the model with all Table 1 parameters.
+    pub fn build(self) -> CpsModel {
+        match self {
+            Simulator::AircraftPitch => aircraft::aircraft_pitch(),
+            Simulator::VehicleTurning => vehicle::vehicle_turning(),
+            Simulator::RlcCircuit => rlc::rlc_circuit(),
+            Simulator::DcMotorPosition => dc_motor::dc_motor_position(),
+            Simulator::Quadrotor => quadrotor::quadrotor(),
+        }
+    }
+
+    /// The Table 1 row number (1-based).
+    pub fn table1_row(self) -> usize {
+        match self {
+            Simulator::AircraftPitch => 1,
+            Simulator::VehicleTurning => 2,
+            Simulator::RlcCircuit => 3,
+            Simulator::DcMotorPosition => 4,
+            Simulator::Quadrotor => 5,
+        }
+    }
+}
+
+impl fmt::Display for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Simulator::AircraftPitch => "Aircraft Pitch",
+            Simulator::VehicleTurning => "Vehicle Turning",
+            Simulator::RlcCircuit => "Series RLC Circuit",
+            Simulator::DcMotorPosition => "DC Motor Position",
+            Simulator::Quadrotor => "Quadrotor",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_validate() {
+        for sim in Simulator::all() {
+            let model = sim.build();
+            model
+                .validate()
+                .unwrap_or_else(|e| panic!("{sim} failed validation: {e}"));
+            assert_eq!(model.name, sim.to_string());
+        }
+    }
+
+    /// One Table 1 row to verify: (simulator, delta, U bounds, eps, tau).
+    type Row = (Simulator, f64, (f64, f64), f64, f64);
+
+    #[test]
+    fn table1_settings_match_paper() {
+        // Spot-check each row's delta, U, epsilon, tau against Table 1.
+        let rows: Vec<Row> = vec![
+            (Simulator::AircraftPitch, 0.02, (-7.0, 7.0), 7.8e-3, 0.012),
+            (Simulator::VehicleTurning, 0.02, (-3.0, 3.0), 7.5e-2, 0.07),
+            (Simulator::RlcCircuit, 0.02, (-5.0, 5.0), 1.7e-2, 0.04),
+            (Simulator::DcMotorPosition, 0.1, (-20.0, 20.0), 1.5e-1, 0.118),
+            (Simulator::Quadrotor, 0.1, (-2.0, 2.0), 1.56e-15, 0.018),
+        ];
+        for (sim, dt, (u_lo, u_hi), eps, tau0) in rows {
+            let m = sim.build();
+            assert_eq!(m.dt(), dt, "{sim} dt");
+            assert_eq!(m.control_limits.interval(0).lo(), u_lo, "{sim} U lo");
+            assert_eq!(m.control_limits.interval(0).hi(), u_hi, "{sim} U hi");
+            assert_eq!(m.epsilon, eps, "{sim} epsilon");
+            assert_eq!(m.threshold[0], tau0, "{sim} tau");
+        }
+    }
+
+    #[test]
+    fn row_numbers_are_ordered() {
+        let rows: Vec<usize> = Simulator::all().iter().map(|s| s.table1_row()).collect();
+        assert_eq!(rows, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deadline_estimators_build_for_all_models() {
+        for sim in Simulator::all() {
+            let m = sim.build();
+            let est = m.deadline_estimator(m.default_max_window).unwrap();
+            assert_eq!(est.state_dim(), m.state_dim(), "{sim}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+use awsad_control::{PidChannel, PidGains, Reference};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_sets::BoxSet;
+
+use crate::{AttackProfile, CpsModel};
+
+/// Series RLC circuit (Table 1 row 3).
+///
+/// States are the inductor current `i_L` and the capacitor voltage
+/// `v_C`, with the source voltage as input:
+///
+/// ```text
+/// i̇_L = (−R i_L − v_C + u) / L
+/// v̇_C = i_L / C
+/// ```
+///
+/// Component values `R = 1 Ω`, `L = 0.5 H`, `C = 0.25 F` give an
+/// underdamped response with a natural frequency well resolved by the
+/// 20 ms control step. Table 1 settings: `δ = 0.02 s`, PI `(5, 5, 0)`
+/// on the capacitor voltage, `U = [−5, 5]`, `ε = 1.7e−2`, safe set
+/// `i_L ∈ [−3.5, 3.5] × v_C ∈ [−5, 5]`, `τ = [0.04, 0.01]`. The
+/// regulated setpoint is `v_C = 2 V` (the circuit's DC gain is 1, so
+/// the steady input is 2 V, inside `U`).
+pub fn rlc_circuit() -> CpsModel {
+    let (r, l, c) = (1.0, 0.5, 0.25);
+    let a_c = Matrix::from_rows(&[&[-r / l, -1.0 / l], &[1.0 / c, 0.0]]).expect("static shape");
+    let b_c = Matrix::from_rows(&[&[1.0 / l], &[0.0]]).expect("static shape");
+    let system = LtiSystem::from_continuous(a_c, b_c, Matrix::identity(2), 0.02)
+        .expect("model is well-formed");
+
+    CpsModel {
+        name: "Series RLC Circuit",
+        system,
+        control_limits: BoxSet::from_bounds(&[-5.0], &[5.0]).expect("static bounds"),
+        epsilon: 1.7e-2,
+        sensor_noise: 1.0e-2,
+        safe_set: BoxSet::from_bounds(&[-3.5, -5.0], &[3.5, 5.0]).expect("static bounds"),
+        threshold: Vector::from_slice(&[0.04, 0.01]),
+        pid_channels: vec![PidChannel::new(
+            1,
+            0,
+            PidGains::new(5.0, 5.0, 0.0),
+            Reference::constant(2.0),
+        )],
+        x0: Vector::zeros(2),
+        default_max_window: 40,
+        state_names: vec!["i_L", "v_C"],
+        attack_profile: AttackProfile {
+            target_dim: 1,
+            // Stealthy band (narrow: the nominal deadline ~28 is
+            // close to w_m = 40, so the windows disagree only in a
+            // thin magnitude range).
+            bias_range: (0.09, 0.15),
+            ramp_time_range: (650, 1000),
+            delay_range: (15, 50),
+            replay_len: 20,
+            reference_step: -1.2,
+            onset_range: (200, 300),
+            duration_range: (60, 150),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_control::Controller;
+    use awsad_lti::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates() {
+        rlc_circuit().validate().unwrap();
+    }
+
+    #[test]
+    fn regulates_capacitor_voltage() {
+        let m = rlc_circuit();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..5_000 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+        }
+        let v_c = plant.state()[1];
+        assert!((v_c - 2.0).abs() < 0.02, "v_C settled at {v_c}");
+        // Steady inductor current is ~0.
+        assert!(plant.state()[0].abs() < 0.05);
+    }
+
+    #[test]
+    fn stays_safe_under_nominal_noise() {
+        let m = rlc_circuit();
+        let mut plant = m.plant();
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for t in 0..3_000 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+            assert!(m.safe_set.contains(plant.state()), "unsafe at t={t}");
+        }
+    }
+
+    #[test]
+    fn dynamics_are_underdamped() {
+        // Open-loop step response should overshoot (complex poles).
+        let m = rlc_circuit();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut rng = StdRng::seed_from_u64(0);
+        let u = Vector::from_slice(&[1.0]);
+        let mut peak: f64 = 0.0;
+        for _ in 0..1_000 {
+            plant.step(&u, &mut rng);
+            peak = peak.max(plant.state()[1]);
+        }
+        assert!(peak > 1.05, "no overshoot observed (peak {peak})");
+        assert!(peak < 2.0);
+    }
+}

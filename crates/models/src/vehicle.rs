@@ -1,0 +1,126 @@
+use awsad_control::{PidChannel, PidGains, Reference};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_sets::BoxSet;
+
+use crate::{AttackProfile, CpsModel};
+
+/// Vehicle turning (Table 1 row 2).
+///
+/// The paper's scalar safe set `z ∈ [−2, 2]` and single threshold
+/// `τ = 0.07` imply a one-dimensional model; the paper does not print
+/// its dynamics, so we use a standard first-order yaw model (heading
+/// rate responding to a steering command through a lag):
+///
+/// ```text
+/// ẋ = (K u − x) / T,   K = 1,  T = 0.5 s
+/// ```
+///
+/// which matches the PI gains `(0.5, 7, 0)` in Table 1 (a strong
+/// integral term for a type-0 plant). Settings: `δ = 0.02 s`,
+/// `U = [−3, 3]`, `ε = 7.5e−2`, safe `z ∈ [−2, 2]`, `τ = 0.07`.
+/// The vehicle holds a turn command of 1.0 (midway between the center
+/// and the unsafe boundary, as in Fig. 6's turning scenario).
+pub fn vehicle_turning() -> CpsModel {
+    let t_lag = 0.5;
+    let k = 1.0;
+    let a_c = Matrix::diagonal(&[-1.0 / t_lag]);
+    let b_c = Matrix::from_rows(&[&[k / t_lag]]).expect("static shape");
+    let system = LtiSystem::from_continuous(a_c, b_c, Matrix::identity(1), 0.02)
+        .expect("model is well-formed");
+
+    CpsModel {
+        name: "Vehicle Turning",
+        system,
+        control_limits: BoxSet::from_bounds(&[-3.0], &[3.0]).expect("static bounds"),
+        epsilon: 7.5e-2,
+        sensor_noise: 5.0e-2,
+        safe_set: BoxSet::from_bounds(&[-2.0], &[2.0]).expect("static bounds"),
+        threshold: Vector::from_slice(&[0.07]),
+        pid_channels: vec![PidChannel::new(
+            0,
+            0,
+            PidGains::new(0.5, 7.0, 0.0),
+            Reference::constant(1.0),
+        )],
+        x0: Vector::zeros(1),
+        default_max_window: 40,
+        state_names: vec!["yaw"],
+        attack_profile: AttackProfile {
+            target_dim: 0,
+            // Stealthy band; the top of the range also pushes the
+            // true state (1.0 + b) past the +2 boundary.
+            bias_range: (0.4, 1.2),
+            ramp_time_range: (50, 110),
+            delay_range: (15, 50),
+            replay_len: 20,
+            reference_step: -1.6,
+            onset_range: (200, 300),
+            duration_range: (60, 150),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_control::Controller;
+    use awsad_lti::{NoiseModel, Plant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates() {
+        vehicle_turning().validate().unwrap();
+    }
+
+    #[test]
+    fn closed_loop_tracks_turn_command() {
+        let m = vehicle_turning();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..2_000 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+        }
+        assert!((plant.state()[0] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn stays_safe_under_nominal_noise() {
+        let m = vehicle_turning();
+        let mut plant = m.plant();
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..3_000 {
+            let u = pid.control(t, plant.state());
+            plant.step(&u, &mut rng);
+            assert!(m.safe_set.contains(plant.state()));
+        }
+    }
+
+    #[test]
+    fn sensor_bias_drives_plant_toward_unsafe() {
+        // A -1.5 bias makes the controller believe the yaw is too low,
+        // so it steers up; the true state must cross the +2 boundary.
+        let m = vehicle_turning();
+        let mut plant = Plant::new(m.system.clone(), m.x0.clone(), NoiseModel::None);
+        let mut pid = m.controller().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut went_unsafe = false;
+        for t in 0..3_000 {
+            let mut measured = plant.state().clone();
+            if t >= 500 {
+                measured[0] -= 1.5;
+            }
+            let u = pid.control(t, &measured);
+            plant.step(&u, &mut rng);
+            if !m.safe_set.contains(plant.state()) {
+                went_unsafe = true;
+                break;
+            }
+        }
+        assert!(went_unsafe, "bias attack failed to reach unsafe set");
+    }
+}

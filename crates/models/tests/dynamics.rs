@@ -1,0 +1,146 @@
+//! Quantitative closed-loop characterization of every benchmark
+//! model: settling behaviour, overshoot, steady-state accuracy and
+//! actuator usage. These tests pin down the *dynamics* the detection
+//! experiments run on — if a future change silently makes a plant
+//! sluggish or oscillatory, the Table 2 shapes would shift for the
+//! wrong reason and these tests catch it first.
+
+use awsad_control::Controller;
+use awsad_lti::{NoiseModel, Plant};
+use awsad_models::{inverted_pendulum, rc_car, CpsModel, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Noise-free closed-loop rollout; returns the tracked dimension's
+/// trajectory and the largest |u| used.
+fn rollout(model: &CpsModel, steps: usize) -> (Vec<f64>, f64) {
+    let dim = model.pid_channels.last().unwrap().state_index;
+    let mut plant = Plant::new(model.system.clone(), model.x0.clone(), NoiseModel::None);
+    let mut pid = model.controller().unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut trace = Vec::with_capacity(steps);
+    let mut u_max = 0.0f64;
+    for t in 0..steps {
+        let u = pid.control(t, plant.state());
+        u_max = u_max.max(u.norm_inf());
+        plant.step(&u, &mut rng);
+        trace.push(plant.state()[dim]);
+    }
+    (trace, u_max)
+}
+
+/// First step at which the trace stays within `tol` of `target`
+/// forever after.
+fn settling_step(trace: &[f64], target: f64, tol: f64) -> Option<usize> {
+    let mut settled_from = None;
+    for (t, &x) in trace.iter().enumerate() {
+        if (x - target).abs() <= tol {
+            settled_from.get_or_insert(t);
+        } else {
+            settled_from = None;
+        }
+    }
+    settled_from
+}
+
+#[test]
+fn aircraft_pitch_settles_within_two_seconds() {
+    let model = Simulator::AircraftPitch.build();
+    let (trace, u_max) = rollout(&model, 500);
+    let target = 0.2;
+    let settle = settling_step(&trace, target, 0.02).expect("never settled");
+    // 2 s at 20 ms steps = 100 steps; CTMS's tuned loop settles fast.
+    assert!(settle < 100, "aircraft settled at step {settle}");
+    let overshoot = trace.iter().cloned().fold(f64::MIN, f64::max) - target;
+    assert!(overshoot < 0.2, "overshoot {overshoot} too large");
+    assert!(u_max <= 7.0, "elevator exceeded its range");
+}
+
+#[test]
+fn vehicle_turning_is_overdamped_enough() {
+    let model = Simulator::VehicleTurning.build();
+    let (trace, u_max) = rollout(&model, 1_000);
+    let settle = settling_step(&trace, 1.0, 0.02).expect("never settled");
+    assert!(settle < 400, "vehicle settled at step {settle}");
+    let peak = trace.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(peak < 1.5, "turn overshoot to {peak} approaches the safe boundary");
+    assert!(u_max <= 3.0);
+}
+
+#[test]
+fn rlc_settles_without_hitting_voltage_rails() {
+    let model = Simulator::RlcCircuit.build();
+    let (trace, u_max) = rollout(&model, 1_500);
+    let settle = settling_step(&trace, 2.0, 0.05).expect("never settled");
+    assert!(settle < 800, "RLC settled at step {settle}");
+    let peak = trace.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(peak < 3.5, "capacitor voltage peaked at {peak}");
+    assert!(u_max <= 5.0);
+}
+
+#[test]
+fn dc_motor_position_is_well_damped() {
+    let model = Simulator::DcMotorPosition.build();
+    let (trace, u_max) = rollout(&model, 400);
+    let settle = settling_step(&trace, 1.0, 0.02).expect("never settled");
+    assert!(settle < 150, "motor settled at step {settle}");
+    let peak = trace.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(peak - 1.0 < 0.35, "position overshoot {peak}");
+    assert!(u_max <= 20.0);
+}
+
+#[test]
+fn quadrotor_altitude_loop_is_smooth() {
+    let model = Simulator::Quadrotor.build();
+    let (trace, u_max) = rollout(&model, 400);
+    let settle = settling_step(&trace, 1.0, 0.05).expect("never settled");
+    assert!(settle < 120, "quadrotor settled at step {settle}");
+    let peak = trace.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(peak - 1.0 < 0.25, "altitude overshoot {peak}");
+    assert!(u_max <= 2.0);
+}
+
+#[test]
+fn rc_car_reaches_cruise_speed_quickly() {
+    let model = rc_car();
+    let (trace, u_max) = rollout(&model, 200);
+    let target = 4.0 / awsad_models::RC_CAR_C;
+    let settle = settling_step(&trace, target, target * 0.02).expect("never settled");
+    // 20 Hz: under 2 seconds to cruise.
+    assert!(settle < 40, "car settled at step {settle}");
+    assert!(u_max <= 7.7);
+}
+
+#[test]
+fn pendulum_rejects_an_initial_tilt() {
+    let model = inverted_pendulum();
+    let mut tilted = model.clone();
+    tilted.x0[2] = 0.1;
+    let (trace, u_max) = rollout(&tilted, 800);
+    let settle = settling_step(&trace, 0.0, 0.01).expect("never settled");
+    assert!(settle < 500, "pendulum settled at step {settle}");
+    // The angle must never approach the safety envelope during
+    // recovery from a 0.1 rad tilt.
+    let worst = trace.iter().cloned().fold(0.0f64, |m, x| m.max(x.abs()));
+    assert!(worst < 0.2, "angle excursion {worst}");
+    assert!(u_max <= 10.0);
+}
+
+/// All Table 1 models are closed-loop stable with their configured
+/// controllers: after settling, the tracked output's drift over the
+/// second half of a long run is negligible.
+#[test]
+fn all_models_hold_their_setpoints() {
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let steps = if model.dt() < 0.05 { 2_000 } else { 600 };
+        let (trace, _) = rollout(&model, steps);
+        let tail = &trace[steps * 3 / 4..];
+        let spread = tail.iter().cloned().fold(f64::MIN, f64::max)
+            - tail.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread < 1e-3,
+            "{sim}: output still moving by {spread} at the end of the run"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Result of a deadline search (§3.3).
+///
+/// `Within(t_d)` means the reachable-set over-approximation first
+/// intersects the unsafe set at step `t_d + 1`, so an attack must be
+/// detected within `t_d` steps. `Beyond` means no intersection was
+/// found within the configured horizon (the maximum detection window
+/// size `w_m`), so the detector may use its largest window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Deadline {
+    /// The detection deadline in control steps; `Within(0)` means the
+    /// very next step may already be unsafe.
+    Within(usize),
+    /// No unsafe intersection within the search horizon.
+    Beyond,
+}
+
+impl Deadline {
+    /// Converts the deadline into a detection window size, clamped to
+    /// `[min_window, max_window]` (§4.2/§4.3: `w_c = t_d`, capped by
+    /// the maximum window `w_m`; a floor of at least one step keeps
+    /// the detector running even when the deadline is 0).
+    pub fn window_size(self, min_window: usize, max_window: usize) -> usize {
+        match self {
+            Deadline::Within(t_d) => t_d.clamp(min_window, max_window),
+            Deadline::Beyond => max_window,
+        }
+    }
+
+    /// The raw step count, or `None` for [`Deadline::Beyond`].
+    pub fn steps(self) -> Option<usize> {
+        match self {
+            Deadline::Within(t) => Some(t),
+            Deadline::Beyond => None,
+        }
+    }
+
+    /// Whether this deadline is tighter (smaller) than `other`.
+    /// `Beyond` is never tighter than anything.
+    pub fn is_tighter_than(self, other: Deadline) -> bool {
+        match (self, other) {
+            (Deadline::Within(a), Deadline::Within(b)) => a < b,
+            (Deadline::Within(_), Deadline::Beyond) => true,
+            (Deadline::Beyond, _) => false,
+        }
+    }
+}
+
+impl fmt::Display for Deadline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Deadline::Within(t) => write!(f, "within {t} steps"),
+            Deadline::Beyond => write!(f, "beyond horizon"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_size_clamps() {
+        assert_eq!(Deadline::Within(10).window_size(1, 40), 10);
+        assert_eq!(Deadline::Within(100).window_size(1, 40), 40);
+        assert_eq!(Deadline::Within(0).window_size(1, 40), 1);
+        assert_eq!(Deadline::Beyond.window_size(1, 40), 40);
+    }
+
+    #[test]
+    fn steps_accessor() {
+        assert_eq!(Deadline::Within(7).steps(), Some(7));
+        assert_eq!(Deadline::Beyond.steps(), None);
+    }
+
+    #[test]
+    fn tightness_ordering() {
+        assert!(Deadline::Within(3).is_tighter_than(Deadline::Within(5)));
+        assert!(!Deadline::Within(5).is_tighter_than(Deadline::Within(3)));
+        assert!(Deadline::Within(100).is_tighter_than(Deadline::Beyond));
+        assert!(!Deadline::Beyond.is_tighter_than(Deadline::Within(0)));
+        assert!(!Deadline::Beyond.is_tighter_than(Deadline::Beyond));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Deadline::Within(4).to_string(), "within 4 steps");
+        assert_eq!(Deadline::Beyond.to_string(), "beyond horizon");
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+use awsad_linalg::LinalgError;
+
+/// Errors produced when configuring reachability analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReachError {
+    /// The state matrix `A` is not square.
+    StateMatrixNotSquare {
+        /// Offending shape.
+        shape: (usize, usize),
+    },
+    /// `B`'s row count does not match `A`'s dimension.
+    InputMatrixMismatch {
+        /// State dimension.
+        state_dim: usize,
+        /// Offending shape of `B`.
+        shape: (usize, usize),
+    },
+    /// The control-input box must be bounded (actuator capability is
+    /// finite) and match `B`'s column count.
+    InvalidControlBox {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// The safe set's dimension does not match the state dimension.
+    SafeSetMismatch {
+        /// State dimension.
+        state_dim: usize,
+        /// Safe-set dimension.
+        safe_dim: usize,
+    },
+    /// The uncertainty bound ε is negative or not finite.
+    InvalidNoiseBound {
+        /// Offending bound.
+        epsilon: f64,
+    },
+    /// The maximum search horizon is zero.
+    ZeroHorizon,
+    /// A state vector supplied at query time has the wrong length.
+    DimensionMismatch {
+        /// Expected state dimension.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReachError::StateMatrixNotSquare { shape } => {
+                write!(f, "state matrix A must be square, got {}x{}", shape.0, shape.1)
+            }
+            ReachError::InputMatrixMismatch { state_dim, shape } => write!(
+                f,
+                "input matrix B must have {state_dim} rows, got {}x{}",
+                shape.0, shape.1
+            ),
+            ReachError::InvalidControlBox { reason } => {
+                write!(f, "invalid control-input box: {reason}")
+            }
+            ReachError::SafeSetMismatch {
+                state_dim,
+                safe_dim,
+            } => write!(
+                f,
+                "safe set has {safe_dim} dimensions but the state has {state_dim}"
+            ),
+            ReachError::InvalidNoiseBound { epsilon } => {
+                write!(f, "noise bound must be finite and non-negative, got {epsilon}")
+            }
+            ReachError::ZeroHorizon => write!(f, "maximum search horizon must be positive"),
+            ReachError::DimensionMismatch { expected, actual } => {
+                write!(f, "state vector must have length {expected}, got {actual}")
+            }
+            ReachError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReachError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReachError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ReachError {
+    fn from(e: LinalgError) -> Self {
+        ReachError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ReachError::ZeroHorizon.to_string().contains("positive"));
+        assert!(ReachError::SafeSetMismatch {
+            state_dim: 3,
+            safe_dim: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(ReachError::from(LinalgError::Singular)
+            .to_string()
+            .contains("singular"));
+    }
+}

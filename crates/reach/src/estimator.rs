@@ -1,0 +1,535 @@
+use awsad_linalg::{Matrix, Vector};
+use awsad_sets::BoxSet;
+
+use crate::{Deadline, ReachError, Result};
+
+/// Configuration of a reachability analysis: the admissible control
+/// box `U`, the uncertainty bound `ε`, the safe set `S` and the search
+/// horizon (the maximum detection window size `w_m`, which §4.3 also
+/// uses as the termination condition of the deadline search).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachConfig {
+    control_box: BoxSet,
+    epsilon: f64,
+    safe_set: BoxSet,
+    max_steps: usize,
+}
+
+impl ReachConfig {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::InvalidControlBox`] when the control box
+    /// is unbounded (actuator capability must be finite),
+    /// [`ReachError::InvalidNoiseBound`] for a negative or non-finite
+    /// `ε`, and [`ReachError::ZeroHorizon`] when `max_steps == 0`.
+    pub fn new(
+        control_box: BoxSet,
+        epsilon: f64,
+        safe_set: BoxSet,
+        max_steps: usize,
+    ) -> Result<Self> {
+        if !control_box.is_bounded() {
+            return Err(ReachError::InvalidControlBox {
+                reason: "control-input box must be bounded",
+            });
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(ReachError::InvalidNoiseBound { epsilon });
+        }
+        if max_steps == 0 {
+            return Err(ReachError::ZeroHorizon);
+        }
+        Ok(ReachConfig {
+            control_box,
+            epsilon,
+            safe_set,
+            max_steps,
+        })
+    }
+
+    /// The admissible control box `U`.
+    pub fn control_box(&self) -> &BoxSet {
+        &self.control_box
+    }
+
+    /// The uncertainty bound `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The safe set `S`.
+    pub fn safe_set(&self) -> &BoxSet {
+        &self.safe_set
+    }
+
+    /// The search horizon in steps.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+}
+
+/// Online detection-deadline estimator (§3.4) with offline
+/// precomputation.
+///
+/// At construction the estimator expands Eqs. (4)/(5) into three
+/// cumulative, `x₀`-independent tables up to the horizon `w_m`:
+///
+/// * `drift[t]` — `Σ_{i<t} A^i B c`, the reachable-set center offset
+///   produced by the control box center;
+/// * `spread[t]` — `Σ_{i<t} (‖(A^iBQ)ᵀe_d‖₁ + ε‖(A^i)ᵀe_d‖₂)` per
+///   dimension `d`, the symmetric half-width from control freedom and
+///   uncertainty;
+/// * `pow_row_norm[t]` — `‖(A^t)ᵀe_d‖₂` per dimension, used to inflate
+///   the bounds when the initial state is itself only known within a
+///   ball (§3.3.1, "we can use an initial state set containing x₀").
+///
+/// An online [`DeadlineEstimator::deadline`] query then walks
+/// `t = 0…w_m` computing only `A^t x₀` incrementally — `O(n²)` per
+/// step, no allocations beyond one state vector.
+#[derive(Debug, Clone)]
+pub struct DeadlineEstimator {
+    a: Matrix,
+    config: ReachConfig,
+    /// `drift[t]` = Σ_{i=0}^{t-1} A^i B c (length `max_steps + 1`).
+    drift: Vec<Vector>,
+    /// `spread[t]`, per-dimension symmetric half-width at step `t`.
+    spread: Vec<Vector>,
+    /// `pow_row_norm[t][d]` = ‖(A^t)ᵀ e_d‖₂.
+    pow_row_norm: Vec<Vector>,
+}
+
+impl DeadlineEstimator {
+    /// Builds the estimator, performing all `x₀`-independent work.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `A` is not square, `B` has the wrong
+    /// row count, the control box does not match `B`'s columns, or the
+    /// safe set does not match the state dimension.
+    pub fn new(a: &Matrix, b: &Matrix, config: ReachConfig) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ReachError::StateMatrixNotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if b.rows() != n {
+            return Err(ReachError::InputMatrixMismatch {
+                state_dim: n,
+                shape: b.shape(),
+            });
+        }
+        if config.control_box.dim() != b.cols() {
+            return Err(ReachError::InvalidControlBox {
+                reason: "control-box dimension must match B's column count",
+            });
+        }
+        if config.safe_set.dim() != n {
+            return Err(ReachError::SafeSetMismatch {
+                state_dim: n,
+                safe_dim: config.safe_set.dim(),
+            });
+        }
+
+        let c = config.control_box.center();
+        let q = config.control_box.scaling_matrix();
+        let bq = b.checked_mul(&q)?;
+        let bc = b.checked_mul_vec(&c)?;
+
+        let horizon = config.max_steps;
+        let mut drift = Vec::with_capacity(horizon + 1);
+        let mut spread = Vec::with_capacity(horizon + 1);
+        let mut pow_row_norm = Vec::with_capacity(horizon + 1);
+        drift.push(Vector::zeros(n));
+        spread.push(Vector::zeros(n));
+
+        // a_pow tracks A^i through the loop.
+        let mut a_pow = Matrix::identity(n);
+        for t in 0..horizon {
+            pow_row_norm.push(row_norms_l2(&a_pow));
+            let aibq = a_pow.checked_mul(&bq)?;
+            let aibc = a_pow.checked_mul_vec(&bc)?;
+
+            let prev_drift = &drift[t];
+            drift.push(prev_drift + &aibc);
+
+            let mut s = spread[t].clone();
+            for d in 0..n {
+                let control_term = aibq.row(d).norm_l1();
+                let noise_term = config.epsilon * a_pow.row(d).norm_l2();
+                s[d] += control_term + noise_term;
+            }
+            spread.push(s);
+
+            a_pow = a_pow.checked_mul(a)?;
+        }
+        pow_row_norm.push(row_norms_l2(&a_pow));
+
+        Ok(DeadlineEstimator {
+            a: a.clone(),
+            config,
+            drift,
+            spread,
+            pow_row_norm,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ReachConfig {
+        &self.config
+    }
+
+    /// State dimension `n`.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// The box over-approximation `R̄(x₀, t)` of the reachable set
+    /// after exactly `t` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
+    /// `x₀`; `t` is clamped to the configured horizon.
+    pub fn reach_box(&self, x0: &Vector, t: usize) -> Result<BoxSet> {
+        self.reach_box_with_radius(x0, 0.0, t)
+    }
+
+    /// Like [`DeadlineEstimator::reach_box`], but the initial state is
+    /// only known within a Euclidean ball of radius `r0` around `x₀`
+    /// (§3.3.1 noise-in-estimate variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
+    /// `x₀`.
+    pub fn reach_box_with_radius(&self, x0: &Vector, r0: f64, t: usize) -> Result<BoxSet> {
+        self.check_state(x0)?;
+        let t = t.min(self.config.max_steps);
+        let mut x = x0.clone();
+        for _ in 0..t {
+            x = self.a.checked_mul_vec(&x)?;
+        }
+        Ok(self.bounds_at(&x, r0, t))
+    }
+
+    /// Estimates the detection deadline from initial state `x₀`
+    /// (§3.3.2): walks `t = 0, 1, …, w_m` and returns
+    /// `Deadline::Within(t − 1)` for the first `t` whose reachable box
+    /// escapes the safe set, or `Deadline::Beyond` if none does.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x₀` has the wrong dimension; use
+    /// [`DeadlineEstimator::checked_deadline`] for fallible callers.
+    pub fn deadline(&self, x0: &Vector) -> Deadline {
+        self.checked_deadline(x0, 0.0)
+            .expect("state dimension must match model")
+    }
+
+    /// Fallible deadline query with an initial-state uncertainty ball
+    /// of radius `r0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
+    /// `x₀`.
+    pub fn checked_deadline(&self, x0: &Vector, r0: f64) -> Result<Deadline> {
+        self.check_state(x0)?;
+        let mut x = x0.clone();
+        for t in 0..=self.config.max_steps {
+            if t > 0 {
+                x = self.a.checked_mul_vec(&x)?;
+            }
+            if !self.contained_at(&x, r0, t) {
+                // First escape at step t: the system is conservatively
+                // safe through step t-1, so the deadline is t-1 (0 if
+                // the initial state itself is already outside).
+                return Ok(Deadline::Within(t.saturating_sub(1)));
+            }
+        }
+        Ok(Deadline::Beyond)
+    }
+
+    /// Whether the system started at `x₀` is conservatively safe for
+    /// at least `t` steps (Definition 3.1 applied stepwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
+    /// `x₀`.
+    pub fn is_conservatively_safe(&self, x0: &Vector, t: usize) -> Result<bool> {
+        self.check_state(x0)?;
+        let t = t.min(self.config.max_steps);
+        let mut x = x0.clone();
+        for step in 0..=t {
+            if step > 0 {
+                x = self.a.checked_mul_vec(&x)?;
+            }
+            if !self.contained_at(&x, 0.0, step) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn check_state(&self, x0: &Vector) -> Result<()> {
+        if x0.len() != self.state_dim() {
+            return Err(ReachError::DimensionMismatch {
+                expected: self.state_dim(),
+                actual: x0.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the explicit bounds box at step `t` given `A^t x₀`
+    /// already computed.
+    fn bounds_at(&self, at_x0: &Vector, r0: f64, t: usize) -> BoxSet {
+        let n = self.state_dim();
+        let drift = &self.drift[t];
+        let spread = &self.spread[t];
+        let pow_norm = &self.pow_row_norm[t];
+        let lo: Vec<f64> = (0..n)
+            .map(|d| at_x0[d] + drift[d] - spread[d] - r0 * pow_norm[d])
+            .collect();
+        let hi: Vec<f64> = (0..n)
+            .map(|d| at_x0[d] + drift[d] + spread[d] + r0 * pow_norm[d])
+            .collect();
+        BoxSet::from_bounds(&lo, &hi).expect("lo <= hi by construction")
+    }
+
+    /// Containment check without allocating the bounds box.
+    fn contained_at(&self, at_x0: &Vector, r0: f64, t: usize) -> bool {
+        let n = self.state_dim();
+        let drift = &self.drift[t];
+        let spread = &self.spread[t];
+        let pow_norm = &self.pow_row_norm[t];
+        let safe = &self.config.safe_set;
+        (0..n).all(|d| {
+            let center = at_x0[d] + drift[d];
+            let half = spread[d] + r0 * pow_norm[d];
+            let iv = safe.interval(d);
+            center - half >= iv.lo() && center + half <= iv.hi()
+        })
+    }
+}
+
+/// Euclidean norms of each row of `m`.
+fn row_norms_l2(m: &Matrix) -> Vector {
+    Vector::from_fn(m.rows(), |d| m.row(d).norm_l2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pure integrator: x_{t+1} = x_t + u_t, |u| <= 1.
+    fn integrator(max_steps: usize, safe: f64) -> DeadlineEstimator {
+        let a = Matrix::identity(1);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let cfg = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-safe], &[safe]).unwrap(),
+            max_steps,
+        )
+        .unwrap();
+        DeadlineEstimator::new(&a, &b, cfg).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let bounded = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+        let safe = BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap();
+        assert!(matches!(
+            ReachConfig::new(BoxSet::entire(1), 0.0, safe.clone(), 10),
+            Err(ReachError::InvalidControlBox { .. })
+        ));
+        assert!(matches!(
+            ReachConfig::new(bounded.clone(), -1.0, safe.clone(), 10),
+            Err(ReachError::InvalidNoiseBound { .. })
+        ));
+        assert!(matches!(
+            ReachConfig::new(bounded.clone(), 0.0, safe.clone(), 0),
+            Err(ReachError::ZeroHorizon)
+        ));
+        assert!(ReachConfig::new(bounded, 0.0, safe, 10).is_ok());
+    }
+
+    #[test]
+    fn estimator_shape_validation() {
+        let cfg = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+            10,
+        )
+        .unwrap();
+        // Rectangular A.
+        assert!(DeadlineEstimator::new(
+            &Matrix::zeros(1, 2),
+            &Matrix::zeros(1, 1),
+            cfg.clone()
+        )
+        .is_err());
+        // B row mismatch.
+        assert!(DeadlineEstimator::new(
+            &Matrix::identity(1),
+            &Matrix::zeros(2, 1),
+            cfg.clone()
+        )
+        .is_err());
+        // Control box vs B columns.
+        assert!(DeadlineEstimator::new(
+            &Matrix::identity(1),
+            &Matrix::zeros(1, 2),
+            cfg.clone()
+        )
+        .is_err());
+        // Safe set vs state dim.
+        let cfg2 = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-5.0, -5.0], &[5.0, 5.0]).unwrap(),
+            10,
+        )
+        .unwrap();
+        assert!(DeadlineEstimator::new(
+            &Matrix::identity(1),
+            &Matrix::from_rows(&[&[1.0]]).unwrap(),
+            cfg2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn integrator_reach_box_grows_linearly() {
+        let est = integrator(20, 100.0);
+        let r3 = est.reach_box(&Vector::zeros(1), 3).unwrap();
+        assert!((r3.interval(0).lo() + 3.0).abs() < 1e-12);
+        assert!((r3.interval(0).hi() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrator_deadline_matches_geometry() {
+        let est = integrator(100, 5.0);
+        // From 0: |x_t| <= t; escape at t = 6 → deadline 5.
+        assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Within(5));
+        // From 3: escape at t = 3 (3+3 > 5) → deadline 2.
+        assert_eq!(est.deadline(&Vector::from_slice(&[3.0])), Deadline::Within(2));
+        // From 5.5 (already unsafe): deadline 0.
+        assert_eq!(est.deadline(&Vector::from_slice(&[5.5])), Deadline::Within(0));
+    }
+
+    #[test]
+    fn horizon_caps_search() {
+        let est = integrator(4, 100.0);
+        // Escape would happen at t = 101, far past the horizon 4.
+        assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Beyond);
+    }
+
+    #[test]
+    fn noise_inflates_bounds() {
+        let a = Matrix::identity(1);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let cfg = ReachConfig::new(
+            BoxSet::from_bounds(&[0.0], &[0.0]).unwrap(), // no control authority
+            0.5,
+            BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap(),
+            20,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+        let r4 = est.reach_box(&Vector::zeros(1), 4).unwrap();
+        // Four noise balls of radius 0.5: ±2.
+        assert!((r4.interval(0).hi() - 2.0).abs() < 1e-12);
+        // Escape at t = 5 → deadline 4.
+        assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Within(4));
+    }
+
+    #[test]
+    fn initial_radius_tightens_deadline() {
+        let est = integrator(100, 5.0);
+        let x0 = Vector::from_slice(&[3.0]);
+        let exact = est.checked_deadline(&x0, 0.0).unwrap();
+        let fuzzy = est.checked_deadline(&x0, 1.0).unwrap();
+        assert!(fuzzy.is_tighter_than(exact));
+        // Radius 1 around 3: worst case starts at 4, escape at t=2 → 1.
+        assert_eq!(fuzzy, Deadline::Within(1));
+    }
+
+    #[test]
+    fn contraction_gives_beyond() {
+        // Strongly stable system with tiny inputs never escapes.
+        let a = Matrix::diagonal(&[0.5]);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let cfg = ReachConfig::new(
+            BoxSet::from_bounds(&[-0.1], &[0.1]).unwrap(),
+            0.01,
+            BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap(),
+            200,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+        assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Beyond);
+        assert!(est.is_conservatively_safe(&Vector::zeros(1), 200).unwrap());
+    }
+
+    #[test]
+    fn unsafe_start_is_not_safe() {
+        let est = integrator(10, 5.0);
+        assert!(!est.is_conservatively_safe(&Vector::from_slice(&[6.0]), 0).unwrap());
+        assert!(est.is_conservatively_safe(&Vector::from_slice(&[0.0]), 4).unwrap());
+    }
+
+    #[test]
+    fn reach_box_includes_drift_from_asymmetric_control() {
+        // Control in [0, 2]: center 1 per step drifts the box upward.
+        let a = Matrix::identity(1);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let cfg = ReachConfig::new(
+            BoxSet::from_bounds(&[0.0], &[2.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-100.0], &[100.0]).unwrap(),
+            10,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+        let r3 = est.reach_box(&Vector::zeros(1), 3).unwrap();
+        // After 3 steps: x in [0, 6] (each step adds [0, 2]).
+        assert!((r3.interval(0).lo() - 0.0).abs() < 1e-12);
+        assert!((r3.interval(0).hi() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_dimensional_partial_safe_set() {
+        // Only the first dimension is safety-constrained.
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[1.0], &[0.0]]).unwrap();
+        let cfg = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-3.0, f64::NEG_INFINITY], &[3.0, f64::INFINITY]).unwrap(),
+            50,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+        assert_eq!(est.deadline(&Vector::zeros(2)), Deadline::Within(3));
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let est = integrator(10, 5.0);
+        assert!(est.checked_deadline(&Vector::zeros(2), 0.0).is_err());
+        assert!(est.reach_box(&Vector::zeros(2), 1).is_err());
+        assert!(est.is_conservatively_safe(&Vector::zeros(2), 1).is_err());
+    }
+
+    #[test]
+    fn reach_box_t_clamped_to_horizon() {
+        let est = integrator(5, 100.0);
+        let r = est.reach_box(&Vector::zeros(1), 50).unwrap();
+        assert!((r.interval(0).hi() - 5.0).abs() < 1e-12);
+    }
+}

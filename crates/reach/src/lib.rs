@@ -1,0 +1,83 @@
+//! Reachability analysis and detection-deadline estimation.
+//!
+//! This crate implements Section 3 of the DAC'22 paper. Given the
+//! discrete LTI model of Eq. (1), the reachable set after `t` steps
+//! from an initial state `x₀` under *any* admissible control sequence
+//! and bounded uncertainty is over-approximated by (Eq. 2)
+//!
+//! ```text
+//! R̄(x₀, t) = A^t x₀ ⊕ ⊕_{i=0}^{t-1} A^i B B_U ⊕ ⊕_{i=0}^{t-1} A^i B_ε
+//! ```
+//!
+//! where `B_U = c + Q·B_(∞)` is the control-input box and `B_ε` the
+//! uncertainty ball. Materializing Minkowski sums is expensive, so the
+//! per-dimension bounds are evaluated with support functions
+//! (Eqs. 3–5):
+//!
+//! ```text
+//! ub_d(t) = e_dᵀA^t x₀ + Σᵢ e_dᵀA^iB c + Σᵢ ‖(A^iBQ)ᵀe_d‖₁ + Σᵢ ε‖(A^i)ᵀe_d‖₂
+//! lb_d(t) = e_dᵀA^t x₀ + Σᵢ e_dᵀA^iB c − Σᵢ ‖(A^iBQ)ᵀe_d‖₁ − Σᵢ ε‖(A^i)ᵀe_d‖₂
+//! ```
+//!
+//! **Only the first term depends on `x₀`.** [`DeadlineEstimator`]
+//! therefore precomputes the three cumulative sums for every step up
+//! to the maximum window size at construction; each online deadline
+//! query then costs one matrix-vector product per searched step
+//! (`O(w_m · n²)`), satisfying the paper's low-overhead requirement
+//! for run-time use. A deliberately naive re-computing implementation
+//! ([`naive_deadline`]) is kept for the ablation benchmark.
+//!
+//! The *deadline search* (§3.3) walks `t = 0, 1, 2, …` until the
+//! reachable box escapes the safe set or the maximum window size is
+//! reached; the step before the first escape is the detection deadline
+//! `t_d`.
+//!
+//! Beyond the paper's axis-aligned safe boxes,
+//! [`PolytopeDeadlineEstimator`] runs the same machinery against
+//! arbitrary linear constraints (`awsad_sets::Polytope`) — the
+//! support-function check is exact per face normal, so coupled
+//! constraints like "position + velocity ≤ bound" cost one extra dot
+//! product per face and nothing in conservatism.
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_linalg::{Matrix, Vector};
+//! use awsad_reach::{Deadline, DeadlineEstimator, ReachConfig};
+//! use awsad_sets::BoxSet;
+//!
+//! // Pure integrator x_{t+1} = x_t + u_t, |u| <= 1, safe |x| <= 5.
+//! let a = Matrix::identity(1);
+//! let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+//! let cfg = ReachConfig::new(
+//!     BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+//!     0.0,
+//!     BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+//!     100,
+//! ).unwrap();
+//! let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+//!
+//! // From the origin the state can escape |x|<=5 at step 6, so the
+//! // deadline is 5 steps.
+//! assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Within(5));
+//! // From x = 3 it can escape at step 3: deadline 2.
+//! assert_eq!(est.deadline(&Vector::from_slice(&[3.0])), Deadline::Within(2));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod deadline;
+mod error;
+mod estimator;
+mod naive;
+mod polytope_estimator;
+
+pub use deadline::Deadline;
+pub use error::ReachError;
+pub use estimator::{DeadlineEstimator, ReachConfig};
+pub use naive::naive_deadline;
+pub use polytope_estimator::PolytopeDeadlineEstimator;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ReachError>;

@@ -1,0 +1,130 @@
+use awsad_linalg::Vector;
+use awsad_sets::{Ball, BoxSet, Support};
+
+use crate::{Deadline, ReachConfig, Result};
+
+/// Deadline search that recomputes every support-function term on
+/// every query, with **no** precomputation.
+///
+/// This is the straightforward transcription of Eqs. (3)–(5): for each
+/// step `t` it rebuilds `A^i`, `A^i B` and `A^i B Q` from scratch and
+/// evaluates all Minkowski-sum supports. It exists solely as the
+/// baseline for the `reach_precompute` ablation benchmark, which
+/// quantifies how much the cached cumulative sums in
+/// [`DeadlineEstimator`](crate::DeadlineEstimator) matter for online
+/// use. Results are identical; only the cost differs.
+///
+/// # Errors
+///
+/// Returns the same validation errors as
+/// [`DeadlineEstimator::new`](crate::DeadlineEstimator::new) (it
+/// constructs one internally for validation), plus dimension errors
+/// for a wrong-length `x0`.
+pub fn naive_deadline(
+    a: &awsad_linalg::Matrix,
+    b: &awsad_linalg::Matrix,
+    config: &ReachConfig,
+    x0: &Vector,
+) -> Result<Deadline> {
+    // Reuse the constructor's validation, then ignore its tables.
+    crate::DeadlineEstimator::new(a, b, config.clone())?;
+    let n = a.rows();
+    let c = config.control_box().center();
+    let q = config.control_box().scaling_matrix();
+    let safe = config.safe_set();
+    let noise_ball = Ball::euclidean(Vector::zeros(n), config.epsilon())
+        .expect("validated epsilon is non-negative");
+
+    for t in 0..=config.max_steps() {
+        // Recompute everything for this t — deliberately wasteful.
+        let a_t = a.pow(t)?;
+        let at_x0 = a_t.checked_mul_vec(x0)?;
+        let mut lo = vec![0.0; n];
+        let mut hi = vec![0.0; n];
+        for d in 0..n {
+            let e_d = Vector::basis(n, d)?;
+            let mut up = at_x0[d];
+            let mut down = at_x0[d];
+            for i in 0..t {
+                let a_i = a.pow(i)?;
+                let aib = a_i.checked_mul(b)?;
+                let drift = aib.checked_mul_vec(&c)?[d];
+                let aibq = aib.checked_mul(&q)?;
+                let control_spread = aibq.checked_transpose_mul_vec(&e_d)?.norm_l1();
+                let noise_spread = noise_ball.support(&a_i.checked_transpose_mul_vec(&e_d)?);
+                up += drift + control_spread + noise_spread;
+                down += drift - control_spread - noise_spread;
+            }
+            lo[d] = down;
+            hi[d] = up;
+        }
+        let reach = BoxSet::from_bounds(&lo, &hi).expect("lo <= hi by construction");
+        if !safe.contains_box(&reach) {
+            return Ok(Deadline::Within(t.saturating_sub(1)));
+        }
+    }
+    Ok(Deadline::Beyond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeadlineEstimator;
+    use awsad_linalg::Matrix;
+
+    fn cfg(max_steps: usize) -> ReachConfig {
+        ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.1,
+            BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+            max_steps,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn naive_matches_precomputed_integrator() {
+        let a = Matrix::identity(1);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let config = cfg(30);
+        let est = DeadlineEstimator::new(&a, &b, config.clone()).unwrap();
+        for x in [-4.0, -2.0, 0.0, 1.5, 3.0, 4.9, 5.5] {
+            let x0 = Vector::from_slice(&[x]);
+            assert_eq!(
+                naive_deadline(&a, &b, &config, &x0).unwrap(),
+                est.deadline(&x0),
+                "mismatch at x0 = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_matches_precomputed_2d() {
+        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 0.95]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0], &[0.1]]).unwrap();
+        let config = ReachConfig::new(
+            BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap(),
+            0.05,
+            BoxSet::from_bounds(&[-1.0, -3.0], &[1.0, 3.0]).unwrap(),
+            40,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(&a, &b, config.clone()).unwrap();
+        for (x, y) in [(0.0, 0.0), (0.5, 0.5), (-0.9, 1.0), (0.99, 0.0)] {
+            let x0 = Vector::from_slice(&[x, y]);
+            assert_eq!(
+                naive_deadline(&a, &b, &config, &x0).unwrap(),
+                est.deadline(&x0),
+                "mismatch at x0 = ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_validates_input() {
+        let a = Matrix::identity(1);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let config = cfg(10);
+        assert!(naive_deadline(&a, &b, &config, &Vector::zeros(2)).is_err());
+    }
+}

@@ -1,0 +1,382 @@
+use awsad_linalg::{Matrix, Vector};
+use awsad_sets::{BoxSet, Polytope};
+
+use crate::{Deadline, ReachError, Result};
+
+/// Deadline estimator for **polytopic** safe sets — the
+/// generalization of [`DeadlineEstimator`](crate::DeadlineEstimator)
+/// from Table 1's axis-aligned boxes to arbitrary linear constraints
+/// `normalᵀ x ≤ offset`.
+///
+/// The support-function machinery of §3.4 is direction-agnostic: for
+/// each face normal `l` the reachable set's extent is (Eq. 3)
+///
+/// ```text
+/// ρ_R̄(l, t) = lᵀA^t x₀ + Σ_{i<t} lᵀA^iBc
+///            + Σ_{i<t} ‖(A^iBQ)ᵀl‖₁ + Σ_{i<t} ε‖(A^i)ᵀl‖₂
+/// ```
+///
+/// and conservative safety at step `t` is `ρ_R̄(l_j, t) ≤ b_j` for
+/// every face `j`. As in the box estimator, everything except the
+/// `lᵀA^t x₀` term is precomputed per face and per step, so an online
+/// query costs one matrix-vector product plus one dot product per
+/// face per searched step.
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::{Matrix, Vector};
+/// use awsad_reach::{Deadline, PolytopeDeadlineEstimator, ReachConfig};
+/// use awsad_sets::{BoxSet, Halfspace, Polytope};
+///
+/// // Double integrator; coupled constraint: position + velocity <= 5.
+/// let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+/// let b = Matrix::from_rows(&[&[0.0], &[0.1]]).unwrap();
+/// let safe = Polytope::new(vec![
+///     Halfspace::new(Vector::from_slice(&[1.0, 1.0]), 5.0).unwrap(),
+/// ]).unwrap();
+/// let est = PolytopeDeadlineEstimator::new(
+///     &a,
+///     &b,
+///     BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+///     0.0,
+///     safe,
+///     100,
+/// ).unwrap();
+/// assert!(matches!(est.deadline(&Vector::zeros(2)), Deadline::Within(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolytopeDeadlineEstimator {
+    a: Matrix,
+    safe: Polytope,
+    max_steps: usize,
+    /// Per step `t`, per face `j`: the x₀-independent part of
+    /// `ρ_R̄(l_j, t)` (control drift + control spread + noise spread).
+    face_terms: Vec<Vec<f64>>,
+    /// Per step `t`, per face `j`: `‖(A^t)ᵀ l_j‖₂`, the multiplier of
+    /// an initial-state uncertainty radius.
+    face_pow_norms: Vec<Vec<f64>>,
+}
+
+impl PolytopeDeadlineEstimator {
+    /// Builds the estimator, performing all x₀-independent work.
+    ///
+    /// # Errors
+    ///
+    /// Same shape/validation errors as
+    /// [`DeadlineEstimator::new`](crate::DeadlineEstimator::new), with
+    /// the safe polytope's dimension checked against the state
+    /// dimension.
+    pub fn new(
+        a: &Matrix,
+        b: &Matrix,
+        control_box: BoxSet,
+        epsilon: f64,
+        safe: Polytope,
+        max_steps: usize,
+    ) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ReachError::StateMatrixNotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if b.rows() != n {
+            return Err(ReachError::InputMatrixMismatch {
+                state_dim: n,
+                shape: b.shape(),
+            });
+        }
+        if !control_box.is_bounded() {
+            return Err(ReachError::InvalidControlBox {
+                reason: "control-input box must be bounded",
+            });
+        }
+        if control_box.dim() != b.cols() {
+            return Err(ReachError::InvalidControlBox {
+                reason: "control-box dimension must match B's column count",
+            });
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(ReachError::InvalidNoiseBound { epsilon });
+        }
+        if max_steps == 0 {
+            return Err(ReachError::ZeroHorizon);
+        }
+        if safe.dim() != n {
+            return Err(ReachError::SafeSetMismatch {
+                state_dim: n,
+                safe_dim: safe.dim(),
+            });
+        }
+
+        let c = control_box.center();
+        let q = control_box.scaling_matrix();
+        let bq = b.checked_mul(&q)?;
+        let bc = b.checked_mul_vec(&c)?;
+        let faces: Vec<Vector> = safe.faces().iter().map(|f| f.normal().clone()).collect();
+
+        let mut face_terms = Vec::with_capacity(max_steps + 1);
+        let mut face_pow_norms = Vec::with_capacity(max_steps + 1);
+        face_terms.push(vec![0.0; faces.len()]);
+
+        let mut a_pow = Matrix::identity(n); // A^t
+        for t in 0..max_steps {
+            face_pow_norms.push(
+                faces
+                    .iter()
+                    .map(|l| a_pow.checked_transpose_mul_vec(l).expect("dims checked").norm_l2())
+                    .collect(),
+            );
+            let aibq = a_pow.checked_mul(&bq)?;
+            let aibc = a_pow.checked_mul_vec(&bc)?;
+            let prev = &face_terms[t];
+            let next: Vec<f64> = faces
+                .iter()
+                .zip(prev.iter())
+                .map(|(l, &acc)| {
+                    let drift = l.dot(&aibc);
+                    let control = aibq
+                        .checked_transpose_mul_vec(l)
+                        .expect("dims checked")
+                        .norm_l1();
+                    let noise = epsilon
+                        * a_pow
+                            .checked_transpose_mul_vec(l)
+                            .expect("dims checked")
+                            .norm_l2();
+                    acc + drift + control + noise
+                })
+                .collect();
+            face_terms.push(next);
+            a_pow = a_pow.checked_mul(a)?;
+        }
+        face_pow_norms.push(
+            faces
+                .iter()
+                .map(|l| a_pow.checked_transpose_mul_vec(l).expect("dims checked").norm_l2())
+                .collect(),
+        );
+
+        Ok(PolytopeDeadlineEstimator {
+            a: a.clone(),
+            safe,
+            max_steps,
+            face_terms,
+            face_pow_norms,
+        })
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// The safe polytope.
+    pub fn safe_set(&self) -> &Polytope {
+        &self.safe
+    }
+
+    /// The search horizon.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    /// Deadline search from `x0` (§3.3.2) against the polytope.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong-length `x0`; use
+    /// [`PolytopeDeadlineEstimator::checked_deadline`] to get an error.
+    pub fn deadline(&self, x0: &Vector) -> Deadline {
+        self.checked_deadline(x0, 0.0)
+            .expect("state dimension must match model")
+    }
+
+    /// Fallible deadline query with an initial-state uncertainty ball
+    /// of radius `r0` (§3.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
+    /// `x0`.
+    pub fn checked_deadline(&self, x0: &Vector, r0: f64) -> Result<Deadline> {
+        if x0.len() != self.state_dim() {
+            return Err(ReachError::DimensionMismatch {
+                expected: self.state_dim(),
+                actual: x0.len(),
+            });
+        }
+        let mut x = x0.clone();
+        for t in 0..=self.max_steps {
+            if t > 0 {
+                x = self.a.checked_mul_vec(&x)?;
+            }
+            let contained = self
+                .safe
+                .faces()
+                .iter()
+                .enumerate()
+                .all(|(j, face)| {
+                    face.normal().dot(&x)
+                        + self.face_terms[t][j]
+                        + r0 * self.face_pow_norms[t][j]
+                        <= face.offset()
+                });
+            if !contained {
+                return Ok(Deadline::Within(t.saturating_sub(1)));
+            }
+        }
+        Ok(Deadline::Beyond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeadlineEstimator, ReachConfig};
+    use awsad_sets::Halfspace;
+
+    fn integrator_pair() -> (Matrix, Matrix) {
+        (Matrix::identity(1), Matrix::from_rows(&[&[1.0]]).unwrap())
+    }
+
+    #[test]
+    fn matches_box_estimator_on_box_safe_sets() {
+        // Axis-aligned polytope must reproduce the box estimator
+        // exactly, for every query point and radius.
+        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 0.95]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0], &[0.1]]).unwrap();
+        let control = BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap();
+        let safe_box = BoxSet::from_bounds(&[-1.0, -3.0], &[1.0, 3.0]).unwrap();
+        let eps = 0.05;
+        let horizon = 40;
+
+        let box_est = DeadlineEstimator::new(
+            &a,
+            &b,
+            ReachConfig::new(control.clone(), eps, safe_box.clone(), horizon).unwrap(),
+        )
+        .unwrap();
+        let poly_est = PolytopeDeadlineEstimator::new(
+            &a,
+            &b,
+            control,
+            eps,
+            Polytope::from_box(&safe_box).unwrap(),
+            horizon,
+        )
+        .unwrap();
+
+        for (x, y) in [(0.0, 0.0), (0.5, 0.5), (-0.9, 1.0), (0.99, 0.0), (0.2, -2.5)] {
+            let x0 = Vector::from_slice(&[x, y]);
+            for r0 in [0.0, 0.05, 0.2] {
+                assert_eq!(
+                    poly_est.checked_deadline(&x0, r0).unwrap(),
+                    box_est.checked_deadline(&x0, r0).unwrap(),
+                    "mismatch at ({x}, {y}), r0 = {r0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_constraint_tightens_the_deadline() {
+        // Double integrator: position-only box vs position+velocity
+        // coupled face. The coupled constraint is violated earlier by
+        // fast states, so its deadline from a moving state is tighter.
+        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0], &[0.1]]).unwrap();
+        let control = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+
+        let box_only = Polytope::from_box(
+            &BoxSet::from_bounds(&[f64::NEG_INFINITY, f64::NEG_INFINITY], &[5.0, f64::INFINITY])
+                .unwrap(),
+        )
+        .unwrap();
+        let coupled = Polytope::new(vec![
+            Halfspace::new(Vector::from_slice(&[1.0, 0.0]), 5.0).unwrap(),
+            Halfspace::new(Vector::from_slice(&[1.0, 2.0]), 5.0).unwrap(),
+        ])
+        .unwrap();
+
+        let est_box =
+            PolytopeDeadlineEstimator::new(&a, &b, control.clone(), 0.0, box_only, 200).unwrap();
+        let est_coupled =
+            PolytopeDeadlineEstimator::new(&a, &b, control, 0.0, coupled, 200).unwrap();
+
+        let moving = Vector::from_slice(&[2.0, 1.0]);
+        let d_box = est_box.deadline(&moving);
+        let d_coupled = est_coupled.deadline(&moving);
+        assert!(
+            d_coupled.is_tighter_than(d_box) || d_coupled == d_box,
+            "coupled {d_coupled:?} vs box {d_box:?}"
+        );
+        match (d_coupled, d_box) {
+            (Deadline::Within(c), Deadline::Within(b)) => assert!(c < b),
+            _ => panic!("expected finite deadlines, got {d_coupled:?} / {d_box:?}"),
+        }
+    }
+
+    #[test]
+    fn integrator_geometry() {
+        let (a, b) = integrator_pair();
+        let safe = Polytope::new(vec![
+            Halfspace::new(Vector::from_slice(&[1.0]), 5.0).unwrap(),
+            Halfspace::new(Vector::from_slice(&[-1.0]), 5.0).unwrap(),
+        ])
+        .unwrap();
+        let est = PolytopeDeadlineEstimator::new(
+            &a,
+            &b,
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            safe,
+            100,
+        )
+        .unwrap();
+        assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Within(5));
+        assert_eq!(est.deadline(&Vector::from_slice(&[3.0])), Deadline::Within(2));
+        assert_eq!(est.deadline(&Vector::from_slice(&[6.0])), Deadline::Within(0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (a, b) = integrator_pair();
+        let control = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+        let safe1 = Polytope::new(vec![Halfspace::new(Vector::from_slice(&[1.0]), 5.0).unwrap()])
+            .unwrap();
+        let safe2 =
+            Polytope::new(vec![
+                Halfspace::new(Vector::from_slice(&[1.0, 0.0]), 5.0).unwrap()
+            ])
+            .unwrap();
+        assert!(PolytopeDeadlineEstimator::new(&a, &b, control.clone(), 0.0, safe2, 10).is_err());
+        assert!(PolytopeDeadlineEstimator::new(&a, &b, control.clone(), -1.0, safe1.clone(), 10)
+            .is_err());
+        assert!(PolytopeDeadlineEstimator::new(&a, &b, control.clone(), 0.0, safe1.clone(), 0)
+            .is_err());
+        assert!(PolytopeDeadlineEstimator::new(&a, &b, BoxSet::entire(1), 0.0, safe1.clone(), 10)
+            .is_err());
+        let est = PolytopeDeadlineEstimator::new(&a, &b, control, 0.0, safe1, 10).unwrap();
+        assert!(est.checked_deadline(&Vector::zeros(2), 0.0).is_err());
+    }
+
+    #[test]
+    fn initial_radius_tightens() {
+        let (a, b) = integrator_pair();
+        let safe = Polytope::new(vec![Halfspace::new(Vector::from_slice(&[1.0]), 5.0).unwrap()])
+            .unwrap();
+        let est = PolytopeDeadlineEstimator::new(
+            &a,
+            &b,
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            safe,
+            100,
+        )
+        .unwrap();
+        let x0 = Vector::from_slice(&[3.0]);
+        let exact = est.checked_deadline(&x0, 0.0).unwrap();
+        let fuzzy = est.checked_deadline(&x0, 1.0).unwrap();
+        assert!(fuzzy.is_tighter_than(exact));
+    }
+}

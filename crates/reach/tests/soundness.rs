@@ -1,0 +1,172 @@
+//! Soundness of the reachable-set over-approximation: no simulated
+//! trajectory under admissible control and bounded noise ever leaves
+//! the reach box, and the deadline is conservative (the true system
+//! cannot become unsafe at or before the deadline step).
+
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::{LtiSystem, NoiseModel, Plant};
+use awsad_reach::{Deadline, DeadlineEstimator, ReachConfig};
+use awsad_sets::BoxSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// A random stable-ish 2x2 system with 1 input.
+fn random_system(rng: &mut StdRng) -> (Matrix, Matrix) {
+    let a = &Matrix::from_fn(2, 2, |_, _| rng.random_range(-0.6..0.6))
+        + &Matrix::diagonal(&[rng.random_range(0.3..0.9), rng.random_range(0.3..0.9)]);
+    let b = Matrix::from_fn(2, 1, |_, _| rng.random_range(-1.0..1.0));
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trajectories_stay_inside_reach_box(seed in 0u64..10_000, eps in 0.0..0.2f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = random_system(&mut rng);
+        let control_box = BoxSet::from_bounds(&[-1.5], &[1.5]).unwrap();
+        let cfg = ReachConfig::new(
+            control_box.clone(),
+            eps,
+            BoxSet::entire(2),
+            25,
+        ).unwrap();
+        let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+
+        let sys = LtiSystem::new_discrete_fully_observable(a, b, 0.02).unwrap();
+        let x0 = Vector::from_slice(&[rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]);
+        let noise = if eps > 0.0 { NoiseModel::uniform_ball(eps).unwrap() } else { NoiseModel::None };
+        let mut plant = Plant::new(sys, x0.clone(), noise);
+
+        for t in 1..=25usize {
+            // Random admissible control input.
+            let u = control_box.clamp(&Vector::from_slice(&[rng.random_range(-1.5..1.5)]));
+            plant.step(&u, &mut rng);
+            let reach = est.reach_box(&x0, t).unwrap();
+            prop_assert!(
+                reach.contains(plant.state()),
+                "state {:?} escaped reach box {} at t={}",
+                plant.state(), reach, t
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_is_conservative(seed in 0u64..10_000) {
+        // The plant cannot actually become unsafe at or before the
+        // deadline step, whatever admissible control acts on it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = random_system(&mut rng);
+        let control_box = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+        let safe = BoxSet::from_bounds(&[-3.0, -3.0], &[3.0, 3.0]).unwrap();
+        let eps = 0.05;
+        let cfg = ReachConfig::new(control_box.clone(), eps, safe.clone(), 30).unwrap();
+        let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+
+        let x0 = Vector::from_slice(&[rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)]);
+        if !safe.contains(&x0) {
+            return Ok(()); // start must be safe for the property to apply
+        }
+        let t_d = match est.deadline(&x0) {
+            Deadline::Within(t) => t,
+            Deadline::Beyond => 30,
+        };
+
+        // Adversarial-ish rollout: bang-bang control toward the nearest
+        // unsafe face, plus worst-case-scaled noise.
+        let sys = LtiSystem::new_discrete_fully_observable(a, b, 0.02).unwrap();
+        let mut plant = Plant::new(sys, x0, NoiseModel::uniform_ball(eps).unwrap());
+        for t in 1..=t_d {
+            let s = plant.state().clone();
+            let dir = if s[0] >= 0.0 { 1.0 } else { -1.0 };
+            let u = Vector::from_slice(&[dir]);
+            plant.step(&u, &mut rng);
+            prop_assert!(
+                safe.contains(plant.state()),
+                "became unsafe at t={} <= deadline {}",
+                t, t_d
+            );
+        }
+    }
+}
+
+#[test]
+fn deadline_shrinks_as_state_approaches_unsafe_boundary() {
+    // Vehicle-turning-like scalar lag: the closer the state to the
+    // boundary, the smaller the deadline — the monotonicity the
+    // adaptive window protocol exploits.
+    let a = Matrix::diagonal(&[0.96]);
+    let b = Matrix::from_rows(&[&[0.04]]).unwrap();
+    let cfg = ReachConfig::new(
+        BoxSet::from_bounds(&[-3.0], &[3.0]).unwrap(),
+        0.075,
+        BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap(),
+        100,
+    )
+    .unwrap();
+    let est = DeadlineEstimator::new(&a, &b, cfg).unwrap();
+
+    let mut prev = None;
+    for x in [0.0, 0.5, 1.0, 1.5, 1.9] {
+        let d = est.deadline(&Vector::from_slice(&[x]));
+        if let (Some(p), Deadline::Within(t)) = (prev, d) {
+            let pt = match p {
+                Deadline::Within(t) => t,
+                Deadline::Beyond => usize::MAX,
+            };
+            assert!(t <= pt, "deadline grew from {pt} to {t} at x={x}");
+        }
+        prev = Some(d);
+    }
+    // Near the boundary the deadline must actually be finite and small.
+    match est.deadline(&Vector::from_slice(&[1.9])) {
+        Deadline::Within(t) => assert!(t < 20, "deadline {t} suspiciously large near boundary"),
+        Deadline::Beyond => panic!("expected finite deadline near the boundary"),
+    }
+}
+
+/// Polytope-estimator soundness: under admissible control and bounded
+/// noise, no trajectory violates a safe face at or before the
+/// estimated deadline.
+#[test]
+fn polytope_deadline_is_conservative() {
+    use awsad_reach::PolytopeDeadlineEstimator;
+    use awsad_sets::{Halfspace, Polytope};
+
+    let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 0.95]]).unwrap();
+    let b = Matrix::from_rows(&[&[0.0], &[0.1]]).unwrap();
+    let control = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+    let eps = 0.02;
+    // Coupled face: x + 2 v <= 3, plus a box face x <= 3.
+    let safe = Polytope::new(vec![
+        Halfspace::new(Vector::from_slice(&[1.0, 0.0]), 3.0).unwrap(),
+        Halfspace::new(Vector::from_slice(&[1.0, 2.0]), 3.0).unwrap(),
+    ])
+    .unwrap();
+    let est =
+        PolytopeDeadlineEstimator::new(&a, &b, control, eps, safe.clone(), 50).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(1234);
+    for trial in 0..50 {
+        let x0 = Vector::from_slice(&[rng.random_range(-1.0..2.0), rng.random_range(-0.5..0.5)]);
+        if !safe.contains(&x0) {
+            continue;
+        }
+        let t_d = match est.deadline(&x0) {
+            Deadline::Within(t) => t,
+            Deadline::Beyond => 50,
+        };
+        // Aggressive rollout toward the faces.
+        let sys = LtiSystem::new_discrete_fully_observable(a.clone(), b.clone(), 0.1).unwrap();
+        let mut plant = Plant::new(sys, x0, NoiseModel::uniform_ball(eps).unwrap());
+        for t in 1..=t_d {
+            plant.step(&Vector::from_slice(&[1.0]), &mut rng);
+            assert!(
+                safe.contains(plant.state()),
+                "trial {trial}: violated a face at t={t} <= deadline {t_d}"
+            );
+        }
+    }
+}

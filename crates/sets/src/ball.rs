@@ -1,0 +1,214 @@
+use std::fmt;
+
+use awsad_linalg::Vector;
+
+use crate::{Result, SetError, Support};
+
+/// A k-norm ball `{x : ‖x − center‖_k ≤ radius}` (Definition 3.2).
+///
+/// The paper over-approximates the per-step uncertainty `v_t` of the
+/// plant model by an origin-centered *Euclidean* (2-norm) ball of
+/// radius `ε` (§3.2.1); the ∞-norm ball is a box and is represented by
+/// [`BoxSet`] when box structure is needed, but is also constructible
+/// here for uniform treatment.
+///
+/// The support function of a k-norm ball uses the dual norm `q` with
+/// `1/k + 1/q = 1`: `ρ(l) = lᵀc + r·‖l‖_q`. In particular the 2-norm
+/// ball (self-dual) yields the `ε‖(A^i)ᵀ l‖₂` terms of Eqs. (4)/(5).
+///
+/// [`BoxSet`]: crate::BoxSet
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::Vector;
+/// use awsad_sets::{Ball, Support};
+///
+/// let noise = Ball::euclidean(Vector::zeros(2), 0.5).unwrap();
+/// let l = Vector::from_slice(&[3.0, 4.0]);
+/// assert!((noise.support(&l) - 2.5).abs() < 1e-12); // 0.5 * ||l||_2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ball {
+    center: Vector,
+    radius: f64,
+    k: f64,
+}
+
+impl Ball {
+    /// Creates a k-norm ball.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::NegativeRadius`] for negative radius,
+    /// [`SetError::NanBound`] for NaN radius, and
+    /// [`SetError::InvalidNormOrder`] for `k < 1`.
+    pub fn new(center: Vector, radius: f64, k: f64) -> Result<Self> {
+        if radius.is_nan() {
+            return Err(SetError::NanBound);
+        }
+        if radius < 0.0 {
+            return Err(SetError::NegativeRadius { radius });
+        }
+        // NaN-aware: a NaN order must be rejected, not silently pass.
+        if k.is_nan() || k < 1.0 {
+            return Err(SetError::InvalidNormOrder { k });
+        }
+        Ok(Ball { center, radius, k })
+    }
+
+    /// Creates a Euclidean (2-norm) ball — the uncertainty
+    /// over-approximation `B_ε` of §3.2.1.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ball::new`].
+    pub fn euclidean(center: Vector, radius: f64) -> Result<Self> {
+        Ball::new(center, radius, 2.0)
+    }
+
+    /// Creates an ∞-norm ball (a cube of half-width `radius`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ball::new`].
+    pub fn infinity(center: Vector, radius: f64) -> Result<Self> {
+        Ball::new(center, radius, f64::INFINITY)
+    }
+
+    /// Ball center.
+    pub fn center(&self) -> &Vector {
+        &self.center
+    }
+
+    /// Ball radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Norm order `k`.
+    pub fn norm_order(&self) -> f64 {
+        self.k
+    }
+
+    /// The dual norm order `q` with `1/k + 1/q = 1`.
+    pub fn dual_order(&self) -> f64 {
+        if self.k == 1.0 {
+            f64::INFINITY
+        } else if self.k.is_infinite() {
+            1.0
+        } else {
+            self.k / (self.k - 1.0)
+        }
+    }
+
+    /// Whether `x` lies in the ball.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn contains(&self, x: &Vector) -> bool {
+        assert_eq!(x.len(), self.center.len(), "ball contains dimension mismatch");
+        (x - &self.center).norm_k(self.k) <= self.radius
+    }
+}
+
+impl Support for Ball {
+    fn support(&self, l: &Vector) -> f64 {
+        assert_eq!(l.len(), self.center.len(), "ball support dimension mismatch");
+        self.center.dot(l) + self.radius * l.norm_k(self.dual_order())
+    }
+
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+}
+
+impl fmt::Display for Ball {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ball(center={}, r={}, k={})", self.center, self.radius, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Ball::euclidean(Vector::zeros(2), 1.0).is_ok());
+        assert!(Ball::euclidean(Vector::zeros(2), -1.0).is_err());
+        assert!(Ball::euclidean(Vector::zeros(2), f64::NAN).is_err());
+        assert!(Ball::new(Vector::zeros(2), 1.0, 0.5).is_err());
+        assert!(Ball::new(Vector::zeros(2), 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn dual_orders() {
+        assert_eq!(Ball::new(Vector::zeros(1), 1.0, 2.0).unwrap().dual_order(), 2.0);
+        assert_eq!(Ball::new(Vector::zeros(1), 1.0, 1.0).unwrap().dual_order(), f64::INFINITY);
+        assert_eq!(Ball::infinity(Vector::zeros(1), 1.0).unwrap().dual_order(), 1.0);
+        let b3 = Ball::new(Vector::zeros(1), 1.0, 3.0).unwrap();
+        assert!((b3.dual_order() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_euclidean() {
+        let b = Ball::euclidean(Vector::from_slice(&[1.0, 0.0]), 1.0).unwrap();
+        assert!(b.contains(&Vector::from_slice(&[1.0, 1.0])));
+        assert!(b.contains(&Vector::from_slice(&[2.0, 0.0])));
+        assert!(!b.contains(&Vector::from_slice(&[2.1, 0.0])));
+    }
+
+    #[test]
+    fn containment_infinity() {
+        let b = Ball::infinity(Vector::zeros(2), 1.0).unwrap();
+        assert!(b.contains(&Vector::from_slice(&[1.0, -1.0])));
+        assert!(!b.contains(&Vector::from_slice(&[1.0, -1.1])));
+    }
+
+    #[test]
+    fn support_euclidean_is_self_dual() {
+        let b = Ball::euclidean(Vector::zeros(2), 2.0).unwrap();
+        let l = Vector::from_slice(&[0.6, 0.8]); // unit length
+        assert!((b.support(&l) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_with_offset_center() {
+        let b = Ball::euclidean(Vector::from_slice(&[1.0, 2.0]), 0.5).unwrap();
+        let l = Vector::from_slice(&[1.0, 0.0]);
+        assert!((b.support(&l) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_infinity_ball_uses_l1_dual() {
+        // ∞-ball of radius r: support along l is c·l + r‖l‖₁.
+        let b = Ball::infinity(Vector::zeros(2), 3.0).unwrap();
+        let l = Vector::from_slice(&[1.0, -2.0]);
+        assert!((b.support(&l) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_l1_ball_uses_linf_dual() {
+        let b = Ball::new(Vector::zeros(3), 2.0, 1.0).unwrap();
+        let l = Vector::from_slice(&[1.0, -4.0, 2.0]);
+        assert!((b.support(&l) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_ball_is_point() {
+        let b = Ball::euclidean(Vector::from_slice(&[2.0, 3.0]), 0.0).unwrap();
+        assert!(b.contains(&Vector::from_slice(&[2.0, 3.0])));
+        assert!(!b.contains(&Vector::from_slice(&[2.0, 3.0001])));
+        let l = Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(b.support(&l), 5.0);
+    }
+
+    #[test]
+    fn display() {
+        let b = Ball::euclidean(Vector::zeros(1), 1.0).unwrap();
+        assert!(b.to_string().contains("Ball"));
+    }
+}

@@ -1,0 +1,410 @@
+use std::fmt;
+
+use awsad_linalg::{Matrix, Vector};
+
+use crate::{Interval, Result, SetError, Support};
+
+/// An axis-aligned box: the product of one interval per dimension
+/// (Definition 3.3 of the paper).
+///
+/// Boxes play three roles in the detection system:
+///
+/// * the **control-input set** `U = [u^l_(1), u^u_(1)] × …` limited by
+///   actuator capability;
+/// * the **safe set** `S` (complement of the unsafe set `F`), possibly
+///   unbounded per dimension;
+/// * the **reachable-set over-approximation** produced by the support
+///   function method (Eqs. 4/5 give per-dimension bounds, i.e. a box).
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::Vector;
+/// use awsad_sets::{BoxSet, Interval};
+///
+/// // Safe set of the series RLC circuit (Table 1): [-3.5,3.5]x[-5,5].
+/// let safe = BoxSet::from_bounds(&[-3.5, -5.0], &[3.5, 5.0]).unwrap();
+/// assert!(safe.contains(&Vector::from_slice(&[0.0, 4.9])));
+/// assert!(!safe.contains(&Vector::from_slice(&[3.6, 0.0])));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BoxSet {
+    intervals: Vec<Interval>,
+}
+
+impl BoxSet {
+    /// Creates a box from per-dimension intervals.
+    pub fn from_intervals(intervals: Vec<Interval>) -> Self {
+        BoxSet { intervals }
+    }
+
+    /// Creates a box from per-dimension lower and upper bounds.
+    ///
+    /// Use `f64::NEG_INFINITY` / `f64::INFINITY` for unbounded
+    /// dimensions, matching Table 1 entries like `[-∞, 2.5]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::DimensionMismatch`] when the slices have
+    /// different lengths, and propagates interval construction errors
+    /// (inverted or NaN bounds).
+    pub fn from_bounds(lo: &[f64], hi: &[f64]) -> Result<Self> {
+        if lo.len() != hi.len() {
+            return Err(SetError::DimensionMismatch {
+                left: lo.len(),
+                right: hi.len(),
+            });
+        }
+        let intervals = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| Interval::new(l, h))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BoxSet { intervals })
+    }
+
+    /// The box `[-r, r]^n`, i.e. a scaled ∞-norm unit ball.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SetError::NegativeRadius`] for negative `r`.
+    pub fn symmetric(n: usize, r: f64) -> Result<Self> {
+        Ok(BoxSet {
+            intervals: vec![Interval::symmetric(r)?; n],
+        })
+    }
+
+    /// The unbounded box `(-∞, ∞)^n` (no constraint).
+    pub fn entire(n: usize) -> Self {
+        BoxSet {
+            intervals: vec![Interval::entire(); n],
+        }
+    }
+
+    /// A degenerate box containing exactly `point`.
+    pub fn point(point: &Vector) -> Self {
+        BoxSet {
+            intervals: point
+                .iter()
+                .map(|&x| Interval::new(x, x).expect("finite point"))
+                .collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Per-dimension intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The interval of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn interval(&self, i: usize) -> &Interval {
+        &self.intervals[i]
+    }
+
+    /// Box center, the vector of interval midpoints.
+    ///
+    /// For the control-input set this is the `c` of Definition 3.3;
+    /// entries are non-finite for unbounded dimensions.
+    pub fn center(&self) -> Vector {
+        self.intervals.iter().map(|iv| iv.center()).collect()
+    }
+
+    /// Per-dimension half-widths, the `γ_i` scaling factors of
+    /// Definition 3.3.
+    pub fn radii(&self) -> Vector {
+        self.intervals.iter().map(|iv| iv.radius()).collect()
+    }
+
+    /// The diagonal scaling matrix `Q = diag(γ_1, …, γ_m)` such that
+    /// the box equals `center() + Q · B_(∞)`.
+    pub fn scaling_matrix(&self) -> Matrix {
+        Matrix::diagonal(self.radii().as_slice())
+    }
+
+    /// Whether every dimension is bounded.
+    pub fn is_bounded(&self) -> bool {
+        self.intervals.iter().all(Interval::is_bounded)
+    }
+
+    /// Whether `x` lies in the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn contains(&self, x: &Vector) -> bool {
+        assert_eq!(x.len(), self.dim(), "boxset contains dimension mismatch");
+        self.intervals
+            .iter()
+            .zip(x.iter())
+            .all(|(iv, &xi)| iv.contains(xi))
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    ///
+    /// The deadline search (§3.3) declares the system *conservatively
+    /// safe* at step `t` exactly when the reachable box is contained in
+    /// the safe box; the first step where containment fails is
+    /// `t_d + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn contains_box(&self, other: &BoxSet) -> bool {
+        assert_eq!(self.dim(), other.dim(), "boxset containment dimension mismatch");
+        self.intervals
+            .iter()
+            .zip(other.intervals.iter())
+            .all(|(a, b)| a.contains_interval(b))
+    }
+
+    /// Whether the two boxes overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn intersects(&self, other: &BoxSet) -> bool {
+        assert_eq!(self.dim(), other.dim(), "boxset intersection dimension mismatch");
+        self.intervals
+            .iter()
+            .zip(other.intervals.iter())
+            .all(|(a, b)| a.intersects(b))
+    }
+
+    /// The intersection of two boxes, or `None` when disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn intersection(&self, other: &BoxSet) -> Option<BoxSet> {
+        assert_eq!(self.dim(), other.dim(), "boxset intersection dimension mismatch");
+        let intervals = self
+            .intervals
+            .iter()
+            .zip(other.intervals.iter())
+            .map(|(a, b)| a.intersection(b))
+            .collect::<Option<Vec<_>>>()?;
+        Some(BoxSet { intervals })
+    }
+
+    /// Minkowski sum of two boxes (per-dimension interval sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn minkowski_sum(&self, other: &BoxSet) -> BoxSet {
+        assert_eq!(self.dim(), other.dim(), "boxset minkowski dimension mismatch");
+        BoxSet {
+            intervals: self
+                .intervals
+                .iter()
+                .zip(other.intervals.iter())
+                .map(|(a, b)| a.minkowski_sum(b))
+                .collect(),
+        }
+    }
+
+    /// Box translated by `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset.len() != self.dim()`.
+    pub fn translate(&self, offset: &Vector) -> BoxSet {
+        assert_eq!(offset.len(), self.dim(), "boxset translate dimension mismatch");
+        BoxSet {
+            intervals: self
+                .intervals
+                .iter()
+                .zip(offset.iter())
+                .map(|(iv, &o)| iv.translate(o))
+                .collect(),
+        }
+    }
+
+    /// Clamps `x` dimension-wise into the box (actuator saturation for
+    /// the control-input set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn clamp(&self, x: &Vector) -> Vector {
+        assert_eq!(x.len(), self.dim(), "boxset clamp dimension mismatch");
+        self.intervals
+            .iter()
+            .zip(x.iter())
+            .map(|(iv, &xi)| iv.clamp(xi))
+            .collect()
+    }
+
+    /// Euclidean distance from `x` to the box (0 when inside).
+    ///
+    /// Useful for diagnostics such as "how close is the state to the
+    /// unsafe region".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn distance(&self, x: &Vector) -> f64 {
+        assert_eq!(x.len(), self.dim(), "boxset distance dimension mismatch");
+        self.intervals
+            .iter()
+            .zip(x.iter())
+            .map(|(iv, &xi)| {
+                let d = if xi < iv.lo() {
+                    iv.lo() - xi
+                } else if xi > iv.hi() {
+                    xi - iv.hi()
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Support for BoxSet {
+    /// `ρ_box(l) = Σ_i max(l_i·lo_i, l_i·hi_i)`; infinite when the box
+    /// is unbounded in a direction `l` points to.
+    fn support(&self, l: &Vector) -> f64 {
+        assert_eq!(l.len(), self.dim(), "boxset support dimension mismatch");
+        self.intervals
+            .iter()
+            .zip(l.iter())
+            .map(|(iv, &li)| iv.support(li))
+            .sum()
+    }
+
+    fn dim(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+impl fmt::Display for BoxSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Box(")?;
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box(n: usize) -> BoxSet {
+        BoxSet::symmetric(n, 1.0).unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        let b = BoxSet::from_bounds(&[-1.0, 0.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(b.dim(), 2);
+        assert!(BoxSet::from_bounds(&[0.0], &[1.0, 2.0]).is_err());
+        assert!(BoxSet::from_bounds(&[2.0], &[1.0]).is_err());
+        let p = BoxSet::point(&Vector::from_slice(&[1.0, 2.0]));
+        assert_eq!(p.interval(0).width(), 0.0);
+    }
+
+    #[test]
+    fn center_radii_scaling_match_definition() {
+        // U = [-7, 7] x [0, 4]: c = (0, 2), Q = diag(7, 2).
+        let u = BoxSet::from_bounds(&[-7.0, 0.0], &[7.0, 4.0]).unwrap();
+        assert!(u.center().approx_eq(&Vector::from_slice(&[0.0, 2.0])));
+        assert!(u.radii().approx_eq(&Vector::from_slice(&[7.0, 2.0])));
+        let q = u.scaling_matrix();
+        assert_eq!(q[(0, 0)], 7.0);
+        assert_eq!(q[(1, 1)], 2.0);
+        assert_eq!(q[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let b = unit_box(3);
+        assert!(b.contains(&Vector::from_slice(&[1.0, -1.0, 0.0])));
+        assert!(!b.contains(&Vector::from_slice(&[1.0001, 0.0, 0.0])));
+        let inner = BoxSet::symmetric(3, 0.5).unwrap();
+        assert!(b.contains_box(&inner));
+        assert!(!inner.contains_box(&b));
+    }
+
+    #[test]
+    fn unbounded_safe_set() {
+        // Aircraft pitch safe set: only the 3rd dim (pitch angle) is
+        // constrained to [-2.5, 2.5].
+        let neg = f64::NEG_INFINITY;
+        let pos = f64::INFINITY;
+        let s = BoxSet::from_bounds(&[neg, neg, -2.5], &[pos, pos, 2.5]).unwrap();
+        assert!(s.contains(&Vector::from_slice(&[1e9, -1e9, 2.4])));
+        assert!(!s.contains(&Vector::from_slice(&[0.0, 0.0, 2.6])));
+        assert!(!s.is_bounded());
+        // A huge reachable box is still contained if only constrained
+        // dims stay within bounds.
+        let r = BoxSet::from_bounds(&[-1e6, -1e6, -1.0], &[1e6, 1e6, 1.0]).unwrap();
+        assert!(s.contains_box(&r));
+    }
+
+    #[test]
+    fn intersection_and_minkowski() {
+        let a = BoxSet::from_bounds(&[0.0, 0.0], &[2.0, 2.0]).unwrap();
+        let b = BoxSet::from_bounds(&[1.0, 1.0], &[3.0, 3.0]).unwrap();
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, BoxSet::from_bounds(&[1.0, 1.0], &[2.0, 2.0]).unwrap());
+        let c = BoxSet::from_bounds(&[5.0, 5.0], &[6.0, 6.0]).unwrap();
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+        let m = a.minkowski_sum(&b);
+        assert_eq!(m, BoxSet::from_bounds(&[1.0, 1.0], &[5.0, 5.0]).unwrap());
+    }
+
+    #[test]
+    fn translate_and_clamp() {
+        let b = unit_box(2);
+        let t = b.translate(&Vector::from_slice(&[1.0, -1.0]));
+        assert_eq!(t, BoxSet::from_bounds(&[0.0, -2.0], &[2.0, 0.0]).unwrap());
+        let clamped = b.clamp(&Vector::from_slice(&[5.0, -0.5]));
+        assert_eq!(clamped.as_slice(), &[1.0, -0.5]);
+    }
+
+    #[test]
+    fn distance_to_box() {
+        let b = unit_box(2);
+        assert_eq!(b.distance(&Vector::from_slice(&[0.0, 0.0])), 0.0);
+        assert!((b.distance(&Vector::from_slice(&[2.0, 0.0])) - 1.0).abs() < 1e-12);
+        assert!((b.distance(&Vector::from_slice(&[2.0, 2.0])) - (2.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_function() {
+        let b = BoxSet::from_bounds(&[-1.0, 2.0], &[3.0, 5.0]).unwrap();
+        assert_eq!(b.support(&Vector::from_slice(&[1.0, 0.0])), 3.0);
+        assert_eq!(b.support(&Vector::from_slice(&[-1.0, 0.0])), 1.0);
+        assert_eq!(b.support(&Vector::from_slice(&[0.0, 1.0])), 5.0);
+        assert_eq!(b.support(&Vector::from_slice(&[1.0, -1.0])), 1.0);
+        // Unbounded direction gives infinite support.
+        let e = BoxSet::entire(1);
+        assert_eq!(e.support(&Vector::from_slice(&[1.0])), f64::INFINITY);
+    }
+
+    #[test]
+    fn display() {
+        let b = BoxSet::from_bounds(&[0.0], &[1.0]).unwrap();
+        assert_eq!(b.to_string(), "Box([0, 1])");
+    }
+}

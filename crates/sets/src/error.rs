@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// Errors produced when constructing or combining convex sets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SetError {
+    /// An interval was created with `lo > hi`.
+    InvertedInterval {
+        /// Attempted lower bound.
+        lo: f64,
+        /// Attempted upper bound.
+        hi: f64,
+    },
+    /// A bound or radius was NaN.
+    NanBound,
+    /// A ball radius was negative.
+    NegativeRadius {
+        /// The offending radius.
+        radius: f64,
+    },
+    /// A norm order `k < 1` was supplied for a k-norm ball.
+    InvalidNormOrder {
+        /// The offending order.
+        k: f64,
+    },
+    /// Two sets of different dimension were combined.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for SetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetError::InvertedInterval { lo, hi } => {
+                write!(f, "interval lower bound {lo} exceeds upper bound {hi}")
+            }
+            SetError::NanBound => write!(f, "set bounds must not be NaN"),
+            SetError::NegativeRadius { radius } => {
+                write!(f, "ball radius must be non-negative, got {radius}")
+            }
+            SetError::InvalidNormOrder { k } => {
+                write!(f, "k-norm ball requires k >= 1, got {k}")
+            }
+            SetError::DimensionMismatch { left, right } => {
+                write!(f, "set dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SetError::InvertedInterval { lo: 2.0, hi: 1.0 }
+            .to_string()
+            .contains("exceeds"));
+        assert!(SetError::NanBound.to_string().contains("NaN"));
+        assert!(SetError::NegativeRadius { radius: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(SetError::InvalidNormOrder { k: 0.5 }.to_string().contains("0.5"));
+        assert!(SetError::DimensionMismatch { left: 2, right: 3 }
+            .to_string()
+            .contains("2 vs 3"));
+    }
+}

@@ -1,0 +1,281 @@
+use std::fmt;
+
+use crate::{Result, SetError};
+
+/// A closed interval `[lo, hi]` on the real line, possibly unbounded.
+///
+/// Intervals are the 1-D building block of [`BoxSet`]s: the control
+/// input range of each actuator (Table 1's `U` column) and the safe
+/// range of each state dimension (the `S` column, which uses `±∞`
+/// entries such as `[-∞, 2.5]`) are both intervals.
+///
+/// `lo = -∞` and/or `hi = +∞` are allowed; NaN bounds are rejected.
+///
+/// [`BoxSet`]: crate::BoxSet
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::InvertedInterval`] when `lo > hi` and
+    /// [`SetError::NanBound`] when either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(SetError::NanBound);
+        }
+        if lo > hi {
+            return Err(SetError::InvertedInterval { lo, hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The degenerate interval `[x, x]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::NanBound`] when `x` is NaN.
+    pub fn point(x: f64) -> Result<Self> {
+        Interval::new(x, x)
+    }
+
+    /// The whole real line `(-∞, +∞)`.
+    pub fn entire() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// The symmetric interval `[-r, r]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::NegativeRadius`] for negative `r` and
+    /// [`SetError::NanBound`] for NaN.
+    pub fn symmetric(r: f64) -> Result<Self> {
+        if r.is_nan() {
+            return Err(SetError::NanBound);
+        }
+        if r < 0.0 {
+            return Err(SetError::NegativeRadius { radius: r });
+        }
+        Ok(Interval { lo: -r, hi: r })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint `(lo + hi) / 2`.
+    ///
+    /// For the paper's control-input box this is the box center
+    /// `c_(i) = (u_(i)^u + u_(i)^l) / 2`. Returns NaN for intervals
+    /// unbounded on both sides and ±∞ for half-bounded ones, so callers
+    /// that need a finite center must use bounded intervals.
+    pub fn center(&self) -> f64 {
+        // Avoid overflow of (lo + hi) for huge finite bounds.
+        self.lo / 2.0 + self.hi / 2.0
+    }
+
+    /// Half-width `(hi - lo) / 2`.
+    ///
+    /// For the control-input box this is the scaling factor
+    /// `γ_i = (u_(i)^u − u_(i)^l) / 2` of Definition 3.3.
+    pub fn radius(&self) -> f64 {
+        self.hi / 2.0 - self.lo / 2.0
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether both bounds are finite.
+    pub fn is_bounded(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Whether `x` lies in the interval (bounds inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.lo >= self.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two intervals overlap (closed-set semantics: shared
+    /// endpoints count as overlap).
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The intersection of two intervals, or `None` when disjoint.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// The smallest interval containing both operands.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Minkowski sum `[lo1 + lo2, hi1 + hi2]`.
+    pub fn minkowski_sum(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+
+    /// Interval scaled by `factor` (handles negative factors by
+    /// swapping bounds).
+    pub fn scale(&self, factor: f64) -> Interval {
+        let a = self.lo * factor;
+        let b = self.hi * factor;
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Interval translated by `offset`.
+    pub fn translate(&self, offset: f64) -> Interval {
+        Interval {
+            lo: self.lo + offset,
+            hi: self.hi + offset,
+        }
+    }
+
+    /// Clamps `x` into the interval.
+    ///
+    /// Used by the actuator saturation model: control inputs are
+    /// limited to the actuator's range `U`.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// 1-D support value `sup_{x ∈ [lo, hi]} l·x`.
+    pub fn support(&self, l: f64) -> f64 {
+        if l >= 0.0 {
+            l * self.hi
+        } else {
+            l * self.lo
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Interval::new(1.0, 2.0).is_ok());
+        assert!(Interval::new(2.0, 1.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert!(Interval::new(1.0, f64::NAN).is_err());
+        assert!(Interval::symmetric(-1.0).is_err());
+        assert_eq!(Interval::point(3.0).unwrap().width(), 0.0);
+    }
+
+    #[test]
+    fn center_and_radius_match_paper_definitions() {
+        // U = [-7, 7] (aircraft pitch): c = 0, γ = 7.
+        let u = Interval::new(-7.0, 7.0).unwrap();
+        assert_eq!(u.center(), 0.0);
+        assert_eq!(u.radius(), 7.0);
+        // U = [0, 7.7] (RC car testbed): c = 3.85, γ = 3.85.
+        let u2 = Interval::new(0.0, 7.7).unwrap();
+        assert!((u2.center() - 3.85).abs() < 1e-12);
+        assert!((u2.radius() - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_intervals() {
+        let e = Interval::entire();
+        assert!(!e.is_bounded());
+        assert!(e.contains(1e300));
+        let half = Interval::new(f64::NEG_INFINITY, 2.5).unwrap();
+        assert!(half.contains(-1e308));
+        assert!(!half.contains(3.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Interval::new(0.0, 10.0).unwrap();
+        let b = Interval::new(2.0, 5.0).unwrap();
+        assert!(a.contains_interval(&b));
+        assert!(!b.contains_interval(&a));
+        assert!(a.intersects(&b));
+        let c = Interval::new(11.0, 12.0).unwrap();
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&b), Some(b));
+        assert_eq!(a.intersection(&c), None);
+        // Touching endpoints count as intersecting (closed sets).
+        let d = Interval::new(10.0, 11.0).unwrap();
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn hull_and_minkowski() {
+        let a = Interval::new(-1.0, 1.0).unwrap();
+        let b = Interval::new(3.0, 4.0).unwrap();
+        assert_eq!(a.hull(&b), Interval::new(-1.0, 4.0).unwrap());
+        assert_eq!(a.minkowski_sum(&b), Interval::new(2.0, 5.0).unwrap());
+    }
+
+    #[test]
+    fn scaling_negative_swaps_bounds() {
+        let a = Interval::new(1.0, 2.0).unwrap();
+        assert_eq!(a.scale(-1.0), Interval::new(-2.0, -1.0).unwrap());
+        assert_eq!(a.scale(2.0), Interval::new(2.0, 4.0).unwrap());
+        assert_eq!(a.translate(1.0), Interval::new(2.0, 3.0).unwrap());
+    }
+
+    #[test]
+    fn clamp_saturates() {
+        let u = Interval::new(-3.0, 3.0).unwrap();
+        assert_eq!(u.clamp(5.0), 3.0);
+        assert_eq!(u.clamp(-5.0), -3.0);
+        assert_eq!(u.clamp(1.5), 1.5);
+    }
+
+    #[test]
+    fn support_picks_correct_endpoint() {
+        let a = Interval::new(-2.0, 5.0).unwrap();
+        assert_eq!(a.support(1.0), 5.0);
+        assert_eq!(a.support(-1.0), 2.0);
+        assert_eq!(a.support(0.0), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(0.0, 1.0).unwrap().to_string(), "[0, 1]");
+    }
+}

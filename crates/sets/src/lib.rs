@@ -1,0 +1,59 @@
+//! Convex set geometry for the AWSAD reachability analysis.
+//!
+//! Section 3 of the DAC'22 paper over-approximates the reachable set of
+//! an LTI plant by combining three convex sets:
+//!
+//! * the **uncertainty** `v_t`, bounded by a Euclidean ball of radius
+//!   `ε` (Definition 3.2) — [`Ball`];
+//! * the **control-input set** `U`, a product of actuator intervals,
+//!   i.e. a box that can be written as `c + Q·B_(∞)` with
+//!   `Q = diag(γ_1, …, γ_m)` (Definition 3.3) — [`BoxSet`];
+//! * the **safe set** `S`, a box that may be unbounded in some
+//!   dimensions (Table 1 writes entries like `[-∞, 2.5]`) — also
+//!   [`BoxSet`].
+//!
+//! The reachable-set computation itself (Eq. 2) needs the *support
+//! function* `ρ_S(l) = sup_{x ∈ S} lᵀx` of each of these sets
+//! (Eq. 3–5); the [`Support`] trait provides it, and
+//! [`minkowski_support`] exploits the identity
+//! `ρ_{X ⊕ Y}(l) = ρ_X(l) + ρ_Y(l)`.
+//!
+//! Beyond the paper's boxes, [`Halfspace`] and [`Polytope`] generalize
+//! safe sets to arbitrary linear constraints — the support-function
+//! safety check `ρ_R̄(normal) ≤ offset` stays exact per face.
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_linalg::Vector;
+//! use awsad_sets::{Ball, BoxSet, Interval, Support};
+//!
+//! // Control input set U = [-3, 3] (vehicle turning, Table 1).
+//! let u_set = BoxSet::from_intervals(vec![Interval::new(-3.0, 3.0).unwrap()]);
+//! let l = Vector::from_slice(&[1.0]);
+//! assert_eq!(u_set.support(&l), 3.0);
+//!
+//! // Uncertainty ball ε = 7.5e-2.
+//! let noise = Ball::euclidean(Vector::zeros(1), 7.5e-2).unwrap();
+//! assert!((noise.support(&l) - 7.5e-2).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ball;
+mod boxset;
+mod error;
+mod interval;
+mod polytope;
+mod support;
+
+pub use ball::Ball;
+pub use boxset::BoxSet;
+pub use error::SetError;
+pub use interval::Interval;
+pub use polytope::{Halfspace, Polytope};
+pub use support::{minkowski_support, Support};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SetError>;

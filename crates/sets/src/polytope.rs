@@ -1,0 +1,301 @@
+use std::fmt;
+
+use awsad_linalg::Vector;
+
+use crate::{BoxSet, Result, SetError, Support};
+
+/// A closed halfspace `{x : normalᵀ x ≤ offset}`.
+///
+/// Halfspaces are *constraints*, not bounded sets: the safe region of
+/// a CPS is naturally an intersection of halfspaces (a [`Polytope`]),
+/// of which Table 1's axis-aligned boxes are the special case with
+/// `±e_i` normals. The support-function reachability of §3.4 extends
+/// to arbitrary normals unchanged — conservative safety at step `t` is
+/// simply `ρ_R̄(normal) ≤ offset` per face — which is what
+/// `awsad-reach`'s polytope estimator exploits.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Halfspace {
+    normal: Vector,
+    offset: f64,
+}
+
+impl Halfspace {
+    /// Creates the halfspace `normalᵀ x ≤ offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::NanBound`] for a NaN offset or non-finite
+    /// normal entries, and [`SetError::InvalidNormOrder`] — reused as
+    /// "degenerate input" — when the normal is the zero vector.
+    pub fn new(normal: Vector, offset: f64) -> Result<Self> {
+        if offset.is_nan() || !normal.is_finite() {
+            return Err(SetError::NanBound);
+        }
+        if normal.norm_l2() == 0.0 {
+            return Err(SetError::InvalidNormOrder { k: 0.0 });
+        }
+        Ok(Halfspace { normal, offset })
+    }
+
+    /// The outward face normal.
+    pub fn normal(&self) -> &Vector {
+        &self.normal
+    }
+
+    /// The face offset `b` in `normalᵀ x ≤ b`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Whether `x` satisfies the constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.dim()`.
+    pub fn contains(&self, x: &Vector) -> bool {
+        self.normal.dot(x) <= self.offset
+    }
+
+    /// Signed slack `offset − normalᵀx` (non-negative inside; in units
+    /// of the normal's length).
+    pub fn slack(&self, x: &Vector) -> f64 {
+        self.offset - self.normal.dot(x)
+    }
+}
+
+impl fmt::Display for Halfspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{x : {}·x <= {}}}", self.normal, self.offset)
+    }
+}
+
+/// A convex polytope in halfspace representation: the intersection of
+/// finitely many [`Halfspace`]s (possibly unbounded).
+///
+/// Generalizes the box safe sets of Table 1 to coupled constraints —
+/// e.g. "speed plus half the acceleration must stay below 12" — which
+/// the deadline estimator checks exactly via support functions.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Polytope {
+    dim: usize,
+    faces: Vec<Halfspace>,
+}
+
+impl Polytope {
+    /// Creates a polytope from faces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::DimensionMismatch`] when faces disagree on
+    /// the ambient dimension, and [`SetError::NanBound`] for an empty
+    /// face list (dimension would be undefined).
+    pub fn new(faces: Vec<Halfspace>) -> Result<Self> {
+        let Some(first) = faces.first() else {
+            return Err(SetError::NanBound);
+        };
+        let dim = first.dim();
+        for f in &faces {
+            if f.dim() != dim {
+                return Err(SetError::DimensionMismatch {
+                    left: dim,
+                    right: f.dim(),
+                });
+            }
+        }
+        Ok(Polytope { dim, faces })
+    }
+
+    /// The halfspace representation of a (possibly unbounded) box:
+    /// one face per finite bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetError::NanBound`] when the box has no finite bound
+    /// at all (no face to build).
+    pub fn from_box(b: &BoxSet) -> Result<Self> {
+        let n = b.dim();
+        let mut faces = Vec::new();
+        for (i, iv) in b.intervals().iter().enumerate() {
+            if iv.hi().is_finite() {
+                let e = Vector::basis(n, i).expect("index in range");
+                faces.push(Halfspace::new(e, iv.hi())?);
+            }
+            if iv.lo().is_finite() {
+                let e = Vector::basis(n, i).expect("index in range");
+                faces.push(Halfspace::new(-&e, -iv.lo())?);
+            }
+        }
+        Polytope::new(faces)
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The faces.
+    pub fn faces(&self) -> &[Halfspace] {
+        &self.faces
+    }
+
+    /// Whether `x` satisfies every face constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.dim()`.
+    pub fn contains(&self, x: &Vector) -> bool {
+        self.faces.iter().all(|f| f.contains(x))
+    }
+
+    /// Whether the convex set `s` (given by its support function) is
+    /// entirely inside the polytope: `ρ_s(normal_i) ≤ offset_i` for
+    /// every face. Exact for convex `s` — this is the §3.4 safety
+    /// check generalized to arbitrary face normals.
+    pub fn contains_set(&self, s: &dyn Support) -> bool {
+        assert_eq!(s.dim(), self.dim, "polytope containment dimension mismatch");
+        self.faces.iter().all(|f| s.support(&f.normal) <= f.offset)
+    }
+
+    /// Minimum slack over all faces (how far inside `x` sits;
+    /// negative when outside).
+    pub fn min_slack(&self, x: &Vector) -> f64 {
+        self.faces
+            .iter()
+            .map(|f| f.slack(x))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for Polytope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polytope({} faces in R^{})", self.faces.len(), self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ball, Interval};
+
+    fn v(entries: &[f64]) -> Vector {
+        Vector::from_slice(entries)
+    }
+
+    #[test]
+    fn halfspace_validation() {
+        assert!(Halfspace::new(v(&[1.0, 0.0]), 2.0).is_ok());
+        assert!(Halfspace::new(v(&[0.0, 0.0]), 2.0).is_err());
+        assert!(Halfspace::new(v(&[1.0]), f64::NAN).is_err());
+        assert!(Halfspace::new(v(&[f64::INFINITY]), 0.0).is_err());
+    }
+
+    #[test]
+    fn halfspace_membership_and_slack() {
+        let h = Halfspace::new(v(&[1.0, 1.0]), 2.0).unwrap();
+        assert!(h.contains(&v(&[1.0, 1.0]))); // boundary
+        assert!(h.contains(&v(&[0.0, 0.0])));
+        assert!(!h.contains(&v(&[2.0, 1.0])));
+        assert!((h.slack(&v(&[0.0, 0.0])) - 2.0).abs() < 1e-12);
+        assert!(h.slack(&v(&[2.0, 2.0])) < 0.0);
+    }
+
+    #[test]
+    fn polytope_triangle() {
+        // x >= 0, y >= 0, x + y <= 1.
+        let tri = Polytope::new(vec![
+            Halfspace::new(v(&[-1.0, 0.0]), 0.0).unwrap(),
+            Halfspace::new(v(&[0.0, -1.0]), 0.0).unwrap(),
+            Halfspace::new(v(&[1.0, 1.0]), 1.0).unwrap(),
+        ])
+        .unwrap();
+        assert!(tri.contains(&v(&[0.25, 0.25])));
+        assert!(tri.contains(&v(&[0.0, 1.0])));
+        assert!(!tri.contains(&v(&[0.6, 0.6])));
+        assert!(!tri.contains(&v(&[-0.1, 0.5])));
+    }
+
+    #[test]
+    fn from_box_roundtrip_membership() {
+        let b = BoxSet::from_bounds(&[-1.0, 0.0], &[2.0, 3.0]).unwrap();
+        let p = Polytope::from_box(&b).unwrap();
+        assert_eq!(p.faces().len(), 4);
+        for point in [[0.0, 1.0], [-1.0, 0.0], [2.0, 3.0], [3.0, 1.0], [0.0, -0.5]] {
+            let x = v(&point);
+            assert_eq!(b.contains(&x), p.contains(&x), "disagree at {x}");
+        }
+    }
+
+    #[test]
+    fn from_box_skips_infinite_bounds() {
+        let b = BoxSet::from_intervals(vec![
+            Interval::new(f64::NEG_INFINITY, 2.5).unwrap(),
+            Interval::entire(),
+        ]);
+        let p = Polytope::from_box(&b).unwrap();
+        assert_eq!(p.faces().len(), 1);
+        assert!(p.contains(&v(&[2.5, 1e12])));
+        assert!(!p.contains(&v(&[2.6, 0.0])));
+    }
+
+    #[test]
+    fn from_box_with_no_finite_bounds_errors() {
+        let b = BoxSet::entire(2);
+        assert!(Polytope::from_box(&b).is_err());
+    }
+
+    #[test]
+    fn contains_set_ball() {
+        // Diamond |x| + |y| <= 2 contains the ball of radius 1 at the
+        // origin but not one centered at (1.5, 0).
+        let diamond = Polytope::new(vec![
+            Halfspace::new(v(&[1.0, 1.0]), 2.0).unwrap(),
+            Halfspace::new(v(&[1.0, -1.0]), 2.0).unwrap(),
+            Halfspace::new(v(&[-1.0, 1.0]), 2.0).unwrap(),
+            Halfspace::new(v(&[-1.0, -1.0]), 2.0).unwrap(),
+        ])
+        .unwrap();
+        let centered = Ball::euclidean(Vector::zeros(2), 1.0).unwrap();
+        assert!(diamond.contains_set(&centered));
+        let shifted = Ball::euclidean(v(&[1.5, 0.0]), 1.0).unwrap();
+        assert!(!diamond.contains_set(&shifted));
+    }
+
+    #[test]
+    fn contains_set_matches_box_containment() {
+        let outer = BoxSet::from_bounds(&[-2.0, -2.0], &[2.0, 2.0]).unwrap();
+        let p = Polytope::from_box(&outer).unwrap();
+        let inner = BoxSet::from_bounds(&[-1.0, -1.5], &[1.0, 1.5]).unwrap();
+        assert_eq!(p.contains_set(&inner), outer.contains_box(&inner));
+        let poking = BoxSet::from_bounds(&[-1.0, -1.0], &[2.1, 1.0]).unwrap();
+        assert_eq!(p.contains_set(&poking), outer.contains_box(&poking));
+    }
+
+    #[test]
+    fn min_slack() {
+        let b = BoxSet::from_bounds(&[0.0], &[4.0]).unwrap();
+        let p = Polytope::from_box(&b).unwrap();
+        assert!((p.min_slack(&v(&[1.0])) - 1.0).abs() < 1e-12);
+        assert!(p.min_slack(&v(&[5.0])) < 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let f1 = Halfspace::new(v(&[1.0]), 0.0).unwrap();
+        let f2 = Halfspace::new(v(&[1.0, 0.0]), 0.0).unwrap();
+        assert!(Polytope::new(vec![f1, f2]).is_err());
+        assert!(Polytope::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let p = Polytope::from_box(&BoxSet::from_bounds(&[0.0], &[1.0]).unwrap()).unwrap();
+        assert!(p.to_string().contains("2 faces"));
+    }
+}

@@ -1,0 +1,108 @@
+use awsad_linalg::Vector;
+
+/// Support function of a convex set: `ρ_S(l) = sup_{x ∈ S} lᵀx`
+/// (§3.4 of the paper).
+///
+/// The reachable-set over-approximation never materializes Minkowski
+/// sums; it evaluates supports instead, using the identities
+///
+/// * `ρ_{X ⊕ Y}(l) = ρ_X(l) + ρ_Y(l)` (see [`minkowski_support`]),
+/// * `ρ_{M X}(l) = ρ_X(Mᵀ l)` for a linear map `M`,
+///
+/// which turn Eq. (2) into the closed forms of Eqs. (4)/(5).
+pub trait Support {
+    /// Evaluates `sup_{x ∈ S} lᵀx`.
+    ///
+    /// Returns `+∞` when the set is unbounded in direction `l`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `l.len() != self.dim()`.
+    fn support(&self, l: &Vector) -> f64;
+
+    /// Ambient dimension of the set.
+    fn dim(&self) -> usize;
+
+    /// Per-dimension upper bound: support along the `i`-th standard
+    /// basis vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    fn upper_bound(&self, i: usize) -> f64 {
+        let l = Vector::basis(self.dim(), i).expect("basis index in range");
+        self.support(&l)
+    }
+
+    /// Per-dimension lower bound: `−ρ(−e_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    fn lower_bound(&self, i: usize) -> f64 {
+        let l = Vector::basis(self.dim(), i).expect("basis index in range");
+        -self.support(&(-&l))
+    }
+}
+
+/// Support of a Minkowski sum: `ρ_{X ⊕ Y}(l) = ρ_X(l) + ρ_Y(l)`.
+///
+/// # Example
+///
+/// ```
+/// use awsad_linalg::Vector;
+/// use awsad_sets::{minkowski_support, Ball, BoxSet, Support};
+///
+/// let b = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+/// let e = Ball::euclidean(Vector::zeros(1), 0.25).unwrap();
+/// let l = Vector::from_slice(&[1.0]);
+/// assert_eq!(minkowski_support(&[&b, &e], &l), 1.25);
+/// ```
+pub fn minkowski_support(sets: &[&dyn Support], l: &Vector) -> f64 {
+    sets.iter().map(|s| s.support(l)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ball, BoxSet};
+
+    #[test]
+    fn upper_and_lower_bounds_of_box() {
+        let b = BoxSet::from_bounds(&[-1.0, 2.0], &[3.0, 4.0]).unwrap();
+        assert_eq!(b.upper_bound(0), 3.0);
+        assert_eq!(b.lower_bound(0), -1.0);
+        assert_eq!(b.upper_bound(1), 4.0);
+        assert_eq!(b.lower_bound(1), 2.0);
+    }
+
+    #[test]
+    fn bounds_of_offset_ball() {
+        let ball = Ball::euclidean(Vector::from_slice(&[1.0, -1.0]), 0.5).unwrap();
+        assert!((ball.upper_bound(0) - 1.5).abs() < 1e-12);
+        assert!((ball.lower_bound(0) - 0.5).abs() < 1e-12);
+        assert!((ball.upper_bound(1) + 0.5).abs() < 1e-12);
+        assert!((ball.lower_bound(1) + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_support_sums() {
+        let b1 = BoxSet::from_bounds(&[0.0], &[1.0]).unwrap();
+        let b2 = BoxSet::from_bounds(&[2.0], &[3.0]).unwrap();
+        let l = Vector::from_slice(&[1.0]);
+        assert_eq!(minkowski_support(&[&b1, &b2], &l), 4.0);
+        let neg = Vector::from_slice(&[-1.0]);
+        assert_eq!(minkowski_support(&[&b1, &b2], &neg), -2.0);
+    }
+
+    #[test]
+    fn minkowski_support_matches_explicit_sum() {
+        let b1 = BoxSet::from_bounds(&[-1.0, 0.0], &[1.0, 2.0]).unwrap();
+        let b2 = BoxSet::from_bounds(&[0.5, -0.5], &[1.5, 0.5]).unwrap();
+        let explicit = b1.minkowski_sum(&b2);
+        for i in 0..2 {
+            let l = Vector::basis(2, i).unwrap();
+            assert_eq!(minkowski_support(&[&b1, &b2], &l), explicit.support(&l));
+        }
+    }
+}

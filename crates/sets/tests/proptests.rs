@@ -1,0 +1,132 @@
+//! Property-based tests for the set-geometry substrate.
+
+use awsad_linalg::Vector;
+use awsad_sets::{minkowski_support, Ball, BoxSet, Interval, Support};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (-100.0..100.0f64, 0.0..50.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w).unwrap())
+}
+
+fn boxset_strategy(n: usize) -> impl Strategy<Value = BoxSet> {
+    prop::collection::vec(interval_strategy(), n).prop_map(BoxSet::from_intervals)
+}
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vector> {
+    prop::collection::vec(-10.0..10.0f64, n).prop_map(Vector::from_vec)
+}
+
+proptest! {
+    #[test]
+    fn interval_center_radius_roundtrip(iv in interval_strategy()) {
+        let c = iv.center();
+        let r = iv.radius();
+        prop_assert!((c - r - iv.lo()).abs() < 1e-9);
+        prop_assert!((c + r - iv.hi()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_intersection_symmetric(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        // Intersection is contained in both.
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_interval(&i));
+            prop_assert!(b.contains_interval(&i));
+        }
+    }
+
+    #[test]
+    fn interval_hull_contains_both(a in interval_strategy(), b in interval_strategy()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a));
+        prop_assert!(h.contains_interval(&b));
+    }
+
+    #[test]
+    fn interval_clamp_lands_inside(iv in interval_strategy(), x in -500.0..500.0f64) {
+        prop_assert!(iv.contains(iv.clamp(x)));
+    }
+
+    #[test]
+    fn box_contains_its_center(b in boxset_strategy(3)) {
+        prop_assert!(b.contains(&b.center()));
+    }
+
+    #[test]
+    fn box_contains_clamped_points(b in boxset_strategy(3), x in vec_strategy(3)) {
+        prop_assert!(b.contains(&b.clamp(&x)));
+        // Distance to a contained point is zero.
+        prop_assert_eq!(b.distance(&b.clamp(&x)), 0.0);
+    }
+
+    #[test]
+    fn box_support_dominates_members(b in boxset_strategy(3), x in vec_strategy(3), l in vec_strategy(3)) {
+        // For any point inside the box, l·x <= support(l).
+        let p = b.clamp(&x);
+        prop_assert!(l.dot(&p) <= b.support(&l) + 1e-9);
+    }
+
+    #[test]
+    fn box_containment_implies_support_ordering(b in boxset_strategy(2)) {
+        // A shrunk copy is contained and has no larger support along
+        // the basis directions.
+        let c = b.center();
+        let shrunk = BoxSet::from_bounds(
+            &[c[0] - b.interval(0).radius() * 0.5, c[1] - b.interval(1).radius() * 0.5],
+            &[c[0] + b.interval(0).radius() * 0.5, c[1] + b.interval(1).radius() * 0.5],
+        ).unwrap();
+        prop_assert!(b.contains_box(&shrunk));
+        for i in 0..2 {
+            prop_assert!(shrunk.upper_bound(i) <= b.upper_bound(i) + 1e-9);
+            prop_assert!(shrunk.lower_bound(i) >= b.lower_bound(i) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn box_minkowski_sum_support_is_additive(a in boxset_strategy(2), b in boxset_strategy(2), l in vec_strategy(2)) {
+        let explicit = a.minkowski_sum(&b).support(&l);
+        let additive = minkowski_support(&[&a, &b], &l);
+        prop_assert!((explicit - additive).abs() < 1e-7);
+    }
+
+    #[test]
+    fn box_center_plus_q_recovers_bounds(b in boxset_strategy(2)) {
+        // Box == center + Q * B_inf (Definition 3.3): along e_i the
+        // support is c_i + gamma_i.
+        let c = b.center();
+        let q = b.scaling_matrix();
+        for i in 0..2 {
+            let l = Vector::basis(2, i).unwrap();
+            let via_q = c.dot(&l) + q.checked_transpose_mul_vec(&l).unwrap().norm_l1();
+            prop_assert!((via_q - b.support(&l)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ball_support_dominates_members(cx in -5.0..5.0f64, cy in -5.0..5.0f64, r in 0.0..5.0f64,
+                                      dir in 0.0..std::f64::consts::TAU, l in vec_strategy(2)) {
+        let center = Vector::from_slice(&[cx, cy]);
+        let ball = Ball::euclidean(center.clone(), r).unwrap();
+        // Near-boundary point in direction `dir` (pulled slightly
+        // inward so rounding cannot push it outside).
+        let rr = r * (1.0 - 1e-12);
+        let p = Vector::from_slice(&[cx + rr * dir.cos(), cy + rr * dir.sin()]);
+        prop_assert!(ball.contains(&p));
+        prop_assert!(l.dot(&p) <= ball.support(&l) + 1e-9);
+    }
+
+    #[test]
+    fn ball_support_scales_linearly_with_radius(r in 0.0..10.0f64, l in vec_strategy(3)) {
+        let b1 = Ball::euclidean(Vector::zeros(3), r).unwrap();
+        let b2 = Ball::euclidean(Vector::zeros(3), 2.0 * r).unwrap();
+        prop_assert!((2.0 * b1.support(&l) - b2.support(&l)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinity_ball_matches_symmetric_box(r in 0.0..10.0f64, l in vec_strategy(2)) {
+        let ball = Ball::infinity(Vector::zeros(2), r).unwrap();
+        let boxed = BoxSet::symmetric(2, r).unwrap();
+        prop_assert!((ball.support(&l) - boxed.support(&l)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Calibration diagnostic: per-model residual statistics vs τ.
+//!
+//! Prints, for each benchmark model, the pre-onset single-sample
+//! exceedance rate (drives w=0 false positives), the windowed-mean
+//! residual relative to τ (drives large-window false positives), and
+//! detection behaviour under a short bias attack. Used to calibrate
+//! the per-model `sensor_noise` values.
+
+use awsad_attack::NoAttack;
+use awsad_models::Simulator;
+use awsad_sim::{run_episode, EpisodeConfig};
+
+fn main() {
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut attack = NoAttack;
+        let r = run_episode(&model, &mut attack, None, &cfg, 12345);
+        let n = model.state_dim();
+        let steps = r.residuals.len();
+        let settle = steps / 3; // skip transient
+
+        // Single-sample exceedance rate (any dim).
+        let exceed = (settle..steps)
+            .filter(|&t| r.residuals[t].any_exceeds(&model.threshold))
+            .count() as f64
+            / (steps - settle) as f64;
+
+        // Mean residual per dim / tau.
+        let mut worst_ratio = 0.0f64;
+        let mut worst_dim = 0;
+        for d in 0..n {
+            let mean: f64 = (settle..steps).map(|t| r.residuals[t][d]).sum::<f64>()
+                / (steps - settle) as f64;
+            let ratio = mean / model.threshold[d];
+            if ratio > worst_ratio {
+                worst_ratio = ratio;
+                worst_dim = d;
+            }
+        }
+
+        // Window sizes chosen by the adaptive detector in steady state.
+        let wmin = r.windows[settle..].iter().min().unwrap();
+        let wmax = r.windows[settle..].iter().max().unwrap();
+
+        println!(
+            "{:<22} exceed(w=0)={:>6.1}%  mean/tau={:>5.2} (dim {} '{}')  adaptive w in [{}, {}]",
+            model.name,
+            exceed * 100.0,
+            worst_ratio,
+            worst_dim,
+            model.state_names[worst_dim],
+            wmin,
+            wmax
+        );
+    }
+}

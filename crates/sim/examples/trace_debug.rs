@@ -1,0 +1,74 @@
+//! Debug tracing for tuning: prints a condensed per-step view of one
+//! attacked episode per (model, attack) pair — window size, deadline,
+//! residual in the attacked dimension, alarms, unsafe entry.
+
+use awsad_models::Simulator;
+use awsad_sim::{run_episode, sample_attack, AttackKind, EpisodeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("vehicle");
+    let attack_name = args.get(2).map(String::as_str).unwrap_or("bias");
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let sim = match which {
+        "aircraft" => Simulator::AircraftPitch,
+        "vehicle" => Simulator::VehicleTurning,
+        "rlc" => Simulator::RlcCircuit,
+        "motor" => Simulator::DcMotorPosition,
+        "quad" => Simulator::Quadrotor,
+        other => panic!("unknown model {other}"),
+    };
+    let kind = match attack_name {
+        "bias" => AttackKind::Bias,
+        "delay" => AttackKind::Delay,
+        "replay" => AttackKind::Replay,
+        other => panic!("unknown attack {other}"),
+    };
+
+    let model = sim.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let s = sample_attack(&model, kind, &mut rng);
+    let onset = s.onset.unwrap();
+    let mut atk = s.attack;
+    let r = run_episode(&model, atk.as_mut(), Some(s.reference), &cfg, seed);
+
+    let d = model.attack_profile.target_dim;
+    println!(
+        "{} / {} seed={} onset={} unsafe={:?} adaptive@{:?} fixed@{:?}",
+        model.name,
+        attack_name,
+        seed,
+        onset,
+        r.unsafe_entry,
+        r.first_adaptive_alarm(onset),
+        r.first_fixed_alarm(onset)
+    );
+    println!("tau[{}] = {}", d, model.threshold[d]);
+    let pre_fp_adaptive = r.adaptive_alarms[..onset].iter().filter(|&&a| a).count();
+    println!("pre-onset adaptive alarms: {pre_fp_adaptive}/{onset}");
+
+    let end = r.states.len();
+    let stride = (end / 60).max(1);
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>4} {:>6} {:>9} {:>2}{:>2}",
+        "t", "true", "est", "resid", "w", "dl", "ref", "A", "F"
+    );
+    for t in (0..end).step_by(stride) {
+        println!(
+            "{:>5} {:>9.4} {:>9.4} {:>9.4} {:>4} {:>6} {:>9.4} {:>2}{:>2}",
+            t,
+            r.states[t][d],
+            r.estimates[t][d],
+            r.residuals[t][d],
+            r.windows[t],
+            r.deadlines[t].map_or("-".into(), |x| x.to_string()),
+            r.references[t],
+            r.adaptive_alarms[t] as u8,
+            r.fixed_alarms[t] as u8,
+        );
+    }
+}

@@ -1,0 +1,384 @@
+use awsad_attack::SensorAttack;
+use awsad_control::{Controller, PidController, Reference};
+use awsad_core::{
+    AdaptiveDetector, CusumDetector, DataLogger, DetectorConfig, EveryStepDetector,
+    EwmaDetector, FixedWindowDetector, ResidualDetector,
+};
+use awsad_linalg::Vector;
+use awsad_lti::NoiseModel;
+use awsad_models::CpsModel;
+use awsad_reach::Deadline;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of one closed-loop episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeConfig {
+    /// Number of control steps to simulate.
+    pub steps: usize,
+    /// Maximum detection window `w_m` (§4.3).
+    pub max_window: usize,
+    /// Window size of the fixed-window comparison arm.
+    pub fixed_window: usize,
+    /// Bound of the uniform sensor-noise ball added to measurements
+    /// (the paper: "we consider noise in our experiments").
+    pub measurement_noise: f64,
+    /// Initial-state uncertainty radius passed to the deadline
+    /// estimator (§3.3.1); usually equals `measurement_noise`.
+    pub initial_radius: f64,
+    /// Whether the adaptive detector runs complementary detection on
+    /// window shrink (disable only for the ablation).
+    pub complementary: bool,
+    /// How often the adaptive detector re-queries the reachability
+    /// estimator (1 = every step, the paper's protocol; larger values
+    /// age the cached deadline conservatively between queries).
+    pub reestimation_period: usize,
+    /// Fraction of the conservative uncertainty bound `ε` the plant's
+    /// *actual* process noise uses. The reachability analysis always
+    /// assumes the full bound (sound over-approximation); real
+    /// disturbances rarely fill a worst-case bound, and simulating
+    /// them at the bound would make the nominal residual level sit at
+    /// the detection threshold.
+    pub process_noise_scale: f64,
+}
+
+impl EpisodeConfig {
+    /// Sensible defaults for a model: `w_m` from the model's profile,
+    /// the fixed arm at `w_m`, the model's calibrated sensor noise
+    /// (whose single samples occasionally exceed `τ` while window
+    /// means stay below — the usability trade-off the paper studies),
+    /// and an episode long enough for onset + attack consequences.
+    pub fn for_model(model: &CpsModel) -> Self {
+        EpisodeConfig {
+            steps: model.attack_profile.onset_range.1
+                + model
+                    .attack_profile
+                    .duration_range
+                    .1
+                    .max(model.attack_profile.ramp_time_range.1)
+                + 300,
+            max_window: model.default_max_window,
+            fixed_window: model.default_max_window,
+            measurement_noise: model.sensor_noise,
+            initial_radius: model.sensor_noise,
+            complementary: true,
+            reestimation_period: 1,
+            process_noise_scale: 0.5,
+        }
+    }
+}
+
+/// Everything recorded during one closed-loop episode. All per-step
+/// vectors have length `steps`.
+#[derive(Debug, Clone)]
+pub struct EpisodeResult {
+    /// True plant states `x_t` (never visible to the detectors).
+    pub states: Vec<Vector>,
+    /// State estimates `x̄_t` after attack and sensor noise.
+    pub estimates: Vec<Vector>,
+    /// Residuals `z_t` from the data logger.
+    pub residuals: Vec<Vector>,
+    /// Adaptive window size `w_c` chosen at each step.
+    pub windows: Vec<usize>,
+    /// Estimated detection deadline at each step (`None` = beyond the
+    /// horizon).
+    pub deadlines: Vec<Option<usize>>,
+    /// Adaptive-detector alarms (current or complementary).
+    pub adaptive_alarms: Vec<bool>,
+    /// Fixed-window-detector alarms.
+    pub fixed_alarms: Vec<bool>,
+    /// CUSUM baseline alarms.
+    pub cusum_alarms: Vec<bool>,
+    /// Every-step baseline alarms.
+    pub every_step_alarms: Vec<bool>,
+    /// EWMA baseline alarms (λ chosen to match the fixed window's
+    /// effective length).
+    pub ewma_alarms: Vec<bool>,
+    /// Reference value of the primary channel at each step.
+    pub references: Vec<f64>,
+    /// Attack onset, copied from the scenario (`None` = benign run).
+    pub attack_onset: Option<usize>,
+    /// One past the last attacked step (`None` = benign or open-ended).
+    pub attack_end: Option<usize>,
+    /// First step at which the *true* state left the safe set, if any.
+    pub unsafe_entry: Option<usize>,
+    /// The detection deadline `t_d` estimated at the attack onset
+    /// (`None` when benign, or when the estimate was beyond the
+    /// horizon). Detection later than `onset + t_d` counts as a
+    /// deadline miss (Table 2's `#DM`).
+    pub onset_deadline: Option<usize>,
+}
+
+impl EpisodeResult {
+    /// First adaptive alarm at or after `from`.
+    pub fn first_adaptive_alarm(&self, from: usize) -> Option<usize> {
+        self.adaptive_alarms[from.min(self.adaptive_alarms.len())..]
+            .iter()
+            .position(|&a| a)
+            .map(|i| i + from)
+    }
+
+    /// First fixed-window alarm at or after `from`.
+    pub fn first_fixed_alarm(&self, from: usize) -> Option<usize> {
+        self.fixed_alarms[from.min(self.fixed_alarms.len())..]
+            .iter()
+            .position(|&a| a)
+            .map(|i| i + from)
+    }
+}
+
+/// Runs one closed-loop episode: plant + PID + sensor attack +
+/// data logger + all four detectors on the same trajectory.
+///
+/// The step order matches the paper's system model: at step `t` the
+/// sensors measure `x_t`, the attack tampers with the measurement,
+/// the controller computes `u_t` from the (possibly corrupted)
+/// estimate, the logger/detectors run, and the plant advances to
+/// `x_{t+1}` under process noise.
+///
+/// Determinism: all randomness (process noise, sensor noise) comes
+/// from a single `StdRng` seeded with `seed`, so identical calls give
+/// identical episodes — the Monte-Carlo harness compares strategies on
+/// *paired* trajectories.
+///
+/// # Panics
+///
+/// Panics only on internal inconsistencies of `model` (the built-in
+/// models are validated by their unit tests).
+pub fn run_episode(
+    model: &CpsModel,
+    attack: &mut dyn SensorAttack,
+    reference: Option<Reference>,
+    cfg: &EpisodeConfig,
+    seed: u64,
+) -> EpisodeResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = model.state_dim();
+
+    let process_radius = model.epsilon * cfg.process_noise_scale.clamp(0.0, 1.0);
+    let process_noise = if process_radius > 0.0 {
+        NoiseModel::uniform_ball(process_radius).expect("non-negative noise")
+    } else {
+        NoiseModel::None
+    };
+    let mut plant = awsad_lti::Plant::new(model.system.clone(), model.x0.clone(), process_noise);
+    let mut pid: PidController = model.controller().expect("validated model");
+    if let Some(r) = reference {
+        // The scenario may override the primary channel's setpoint
+        // (delay/replay pair the attack with a maneuver).
+        let mut channels = model.pid_channels.clone();
+        channels[0].reference = r;
+        pid = PidController::new(channels, model.control_limits.clone(), model.dt())
+            .expect("validated model");
+    }
+
+    let det_cfg =
+        DetectorConfig::new(model.threshold.clone(), cfg.max_window).expect("validated model");
+    let mut logger: DataLogger = model.data_logger(cfg.max_window);
+    let mut adaptive = AdaptiveDetector::new(
+        det_cfg.clone(),
+        model
+            .deadline_estimator(cfg.max_window)
+            .expect("validated model"),
+    )
+    .expect("validated model");
+    adaptive.set_initial_radius(cfg.initial_radius);
+    adaptive.set_complementary_enabled(cfg.complementary);
+    adaptive.set_reestimation_period(cfg.reestimation_period.max(1));
+    let fixed = FixedWindowDetector::new(&det_cfg, cfg.fixed_window);
+    let mut cusum = CusumDetector::new(
+        model.threshold.clone(),
+        model.threshold.scale(5.0),
+    )
+    .expect("validated model");
+    let mut every_step = EveryStepDetector::new(model.threshold.clone());
+    // EWMA with an effective window matching the fixed arm:
+    // lambda = 2 / (w + 2)  <=>  effective window = w + 1 samples.
+    let lambda = 2.0 / (cfg.fixed_window as f64 + 2.0);
+    let mut ewma =
+        EwmaDetector::new(lambda, model.threshold.clone()).expect("validated parameters");
+
+    let sensor_noise = if cfg.measurement_noise > 0.0 {
+        NoiseModel::uniform_ball(cfg.measurement_noise).expect("non-negative noise")
+    } else {
+        NoiseModel::None
+    };
+
+    let mut out = EpisodeResult {
+        states: Vec::with_capacity(cfg.steps),
+        estimates: Vec::with_capacity(cfg.steps),
+        residuals: Vec::with_capacity(cfg.steps),
+        windows: Vec::with_capacity(cfg.steps),
+        deadlines: Vec::with_capacity(cfg.steps),
+        adaptive_alarms: Vec::with_capacity(cfg.steps),
+        fixed_alarms: Vec::with_capacity(cfg.steps),
+        cusum_alarms: Vec::with_capacity(cfg.steps),
+        every_step_alarms: Vec::with_capacity(cfg.steps),
+        ewma_alarms: Vec::with_capacity(cfg.steps),
+        references: Vec::with_capacity(cfg.steps),
+        attack_onset: attack.onset(),
+        attack_end: attack.end(),
+        unsafe_entry: None,
+        onset_deadline: None,
+    };
+
+    for t in 0..cfg.steps {
+        let x_true = plant.state().clone();
+        if out.unsafe_entry.is_none() && !model.safe_set.contains(&x_true) {
+            out.unsafe_entry = Some(t);
+        }
+
+        // Sense (fully observable), add sensor noise, then tamper.
+        let noisy = &plant.measure() + &sensor_noise.sample(n, &mut rng);
+        let estimate = attack.tamper(t, &noisy);
+
+        // Control on the (possibly corrupted) estimate.
+        let u = pid.control(t, &estimate);
+
+        // Log and detect.
+        let entry = logger.record(estimate.clone(), u.clone());
+        let residual = entry.residual.clone();
+        let adaptive_out = adaptive.step(&logger);
+        let fixed_alarm = fixed.step(&logger);
+        let cusum_alarm = cusum.observe(t, &residual);
+        let every_alarm = every_step.observe(t, &residual);
+        let ewma_alarm = ewma.observe(t, &residual);
+
+        out.states.push(x_true);
+        out.estimates.push(estimate);
+        out.residuals.push(residual);
+        out.windows.push(adaptive_out.window);
+        out.deadlines.push(match adaptive_out.deadline {
+            Deadline::Within(d) => Some(d),
+            Deadline::Beyond => None,
+        });
+        out.adaptive_alarms.push(adaptive_out.alarm());
+        out.fixed_alarms.push(fixed_alarm);
+        out.cusum_alarms.push(cusum_alarm);
+        out.every_step_alarms.push(every_alarm);
+        out.ewma_alarms.push(ewma_alarm);
+        out.references.push(pid.channels()[0].reference.value(t, model.dt()));
+
+        // Physics.
+        plant.step(&u, &mut rng);
+    }
+    if let Some(onset) = out.attack_onset {
+        out.onset_deadline = out.deadlines.get(onset).copied().flatten();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample_attack, AttackKind};
+    use awsad_attack::NoAttack;
+    use awsad_models::Simulator;
+
+    #[test]
+    fn benign_episode_mostly_quiet_and_safe() {
+        let model = Simulator::VehicleTurning.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut attack = NoAttack;
+        let r = run_episode(&model, &mut attack, None, &cfg, 7);
+        assert_eq!(r.states.len(), cfg.steps);
+        assert_eq!(r.unsafe_entry, None, "benign run must stay safe");
+        // Alarms can happen (noise), but must be rare for the fixed
+        // arm at w_m.
+        let fixed_rate =
+            r.fixed_alarms.iter().filter(|&&a| a).count() as f64 / cfg.steps as f64;
+        assert!(fixed_rate < 0.05, "fixed FP rate {fixed_rate}");
+    }
+
+    #[test]
+    fn episodes_are_deterministic() {
+        let model = Simulator::RlcCircuit.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s1 = sample_attack(&model, AttackKind::Bias, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s2 = sample_attack(&model, AttackKind::Bias, &mut rng);
+        let mut a1 = s1.attack;
+        let mut a2 = s2.attack;
+        let r1 = run_episode(&model, a1.as_mut(), Some(s1.reference), &cfg, 11);
+        let r2 = run_episode(&model, a2.as_mut(), Some(s2.reference), &cfg, 11);
+        assert_eq!(r1.states.last(), r2.states.last());
+        assert_eq!(r1.adaptive_alarms, r2.adaptive_alarms);
+    }
+
+    #[test]
+    fn bias_attack_detected_within_deadline() {
+        let model = Simulator::VehicleTurning.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut rng = StdRng::seed_from_u64(5 ^ 0x5EED_CAFE);
+        let s = sample_attack(&model, AttackKind::Bias, &mut rng);
+        let onset = s.onset.unwrap();
+        let mut attack = s.attack;
+        let r = run_episode(&model, attack.as_mut(), Some(s.reference), &cfg, 5);
+        assert_eq!(r.attack_onset, Some(onset));
+        assert!(r.attack_end.unwrap() > onset);
+        let m = crate::evaluate(&r, &r.adaptive_alarms);
+        assert!(m.detected, "adaptive detector must raise an alarm");
+        assert!(
+            !m.missed_deadline,
+            "adaptive must catch the bias onset within the deadline (delay {:?}, deadline {:?})",
+            m.detection_delay, m.deadline_step
+        );
+    }
+
+    #[test]
+    fn episode_records_attack_metadata() {
+        let model = Simulator::VehicleTurning.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut rng = StdRng::seed_from_u64(7 ^ 0x5EED_CAFE);
+        let s = sample_attack(&model, AttackKind::Bias, &mut rng);
+        let onset = s.onset.unwrap();
+        let end = s.attack.end().unwrap();
+        let mut atk = s.attack;
+        let r = run_episode(&model, atk.as_mut(), Some(s.reference), &cfg, 7);
+        assert_eq!(r.attack_onset, Some(onset));
+        assert_eq!(r.attack_end, Some(end));
+        assert!(end > onset);
+        // The onset deadline must have been captured from the per-step
+        // deadline stream.
+        assert_eq!(r.onset_deadline, r.deadlines[onset]);
+        assert!(r.onset_deadline.is_some(), "vehicle deadlines are finite");
+    }
+
+    #[test]
+    fn benign_episode_has_no_attack_metadata() {
+        let model = Simulator::VehicleTurning.build();
+        let mut cfg = EpisodeConfig::for_model(&model);
+        cfg.steps = 50;
+        let mut attack = NoAttack;
+        let r = run_episode(&model, &mut attack, None, &cfg, 1);
+        assert_eq!(r.attack_onset, None);
+        assert_eq!(r.attack_end, None);
+        assert_eq!(r.onset_deadline, None);
+    }
+
+    #[test]
+    fn windows_stay_within_bounds() {
+        let model = Simulator::AircraftPitch.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut attack = NoAttack;
+        let r = run_episode(&model, &mut attack, None, &cfg, 2);
+        assert!(r.windows.iter().all(|&w| w <= cfg.max_window));
+    }
+
+    #[test]
+    fn first_alarm_helpers() {
+        let model = Simulator::VehicleTurning.build();
+        let cfg = EpisodeConfig {
+            steps: 50,
+            ..EpisodeConfig::for_model(&model)
+        };
+        let mut attack = NoAttack;
+        let mut r = run_episode(&model, &mut attack, None, &cfg, 1);
+        r.adaptive_alarms.iter_mut().for_each(|a| *a = false);
+        r.adaptive_alarms[30] = true;
+        assert_eq!(r.first_adaptive_alarm(0), Some(30));
+        assert_eq!(r.first_adaptive_alarm(31), None);
+        assert_eq!(r.first_adaptive_alarm(30), Some(30));
+    }
+}

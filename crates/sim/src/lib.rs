@@ -1,0 +1,51 @@
+//! Closed-loop simulation and Monte-Carlo experiment harness for the
+//! AWSAD evaluation (§6 of the DAC'22 paper).
+//!
+//! The crate reproduces the paper's experimental methodology:
+//!
+//! * [`run_episode`] — one closed-loop run of a benchmark model under
+//!   a sensor attack, with the adaptive detector, the fixed-window
+//!   comparison arm and the CUSUM / every-step baselines all observing
+//!   the *same* trajectory;
+//! * [`EpisodeMetrics`] — false-positive rate, detection delay and
+//!   deadline-miss classification of a finished episode;
+//! * [`AttackKind`] / [`sample_attack`] — the paper's three attack
+//!   scenarios with per-model randomized parameters;
+//! * [`run_cell`] — one Table 2 cell: `runs` seeded episodes of one
+//!   (simulator, attack) pair, counting `#FP` experiments (FP rate
+//!   above 10%) and `#DM` deadline misses for both strategies;
+//! * [`run_window_sweep`] — the Fig. 7 profiling sweep establishing
+//!   the false-positive / false-negative trade-off across fixed
+//!   window sizes.
+//!
+//! # Example
+//!
+//! ```
+//! use awsad_models::Simulator;
+//! use awsad_sim::{AttackKind, EpisodeConfig, run_cell};
+//!
+//! let model = Simulator::VehicleTurning.build();
+//! let cfg = EpisodeConfig::for_model(&model);
+//! let cell = run_cell(&model, AttackKind::Bias, 5, &cfg, 42);
+//! // The adaptive arm must not miss more deadlines than the fixed arm.
+//! assert!(cell.adaptive.deadline_misses <= cell.fixed.deadline_misses);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod benign;
+mod episode;
+mod metrics;
+mod montecarlo;
+mod parallel;
+mod scenario;
+mod sweep;
+
+pub use benign::{run_benign_cell, BenignCellResult, BenignStats};
+pub use episode::{run_episode, EpisodeConfig, EpisodeResult};
+pub use metrics::{evaluate, EpisodeMetrics, FP_RATE_LIMIT};
+pub use montecarlo::{run_cell, CellResult, StrategyStats};
+pub use parallel::{run_cells_parallel, CellJob};
+pub use scenario::{sample_attack, sample_ramp_bias, AttackKind, SampledAttack};
+pub use sweep::{run_window_sweep, SweepPoint};

@@ -1,0 +1,210 @@
+use crate::EpisodeResult;
+
+/// A simulation counts as a false-positive *experiment* when its
+/// pre-attack false-positive rate exceeds this limit (§6.1.2: "it is
+/// counted as a false positive experiment if the false positive rate
+/// exceeds 10%").
+pub const FP_RATE_LIMIT: f64 = 0.10;
+
+/// Detection metrics of one finished episode, for one detector's alarm
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeMetrics {
+    /// Fraction of attack-free steps that raised an alarm (all steps
+    /// for a benign episode, pre-onset steps otherwise).
+    pub false_positive_rate: f64,
+    /// First alarm at or after the attack onset.
+    pub detection_step: Option<usize>,
+    /// `detection_step − onset`.
+    pub detection_delay: Option<usize>,
+    /// First step the true state left the safe set.
+    pub unsafe_entry: Option<usize>,
+    /// The absolute deadline step `onset + t_d` (from the reachability
+    /// estimate at the onset), if one existed.
+    pub deadline_step: Option<usize>,
+    /// Whether the episode counts as a false-positive experiment
+    /// (`false_positive_rate > FP_RATE_LIMIT`).
+    pub fp_experiment: bool,
+    /// Whether the detector missed the detection deadline: a deadline
+    /// `t_d` was estimated at the onset and no alarm fired by
+    /// `onset + t_d` (§3.3: "The detector is expected to identify an
+    /// attack within the deadline"). Attacks whose evidence is too
+    /// weak to trip any window in time produce misses — the paper:
+    /// adaptive "may miss the detection deadline in some cases …
+    /// because those attacks have a negligible effect". Episodes whose
+    /// onset deadline was beyond the horizon cannot miss.
+    pub missed_deadline: bool,
+    /// Whether the attack was detected at all (false negative
+    /// otherwise; only meaningful when an attack was present).
+    pub detected: bool,
+}
+
+/// Computes metrics for one alarm stream of an episode.
+///
+/// False positives are alarms on *attack-free* steps: before the
+/// onset, or after the attack has ended and its last tainted point has
+/// left even the largest window (a grace of `w_m` steps — taken from
+/// the episode's recorded window bound — follows the attack end).
+/// Alarms inside the attack span (plus grace) count as detection, not
+/// false positives; the first of them is the detection step.
+///
+/// # Panics
+///
+/// Panics when `alarms.len()` differs from the episode length.
+pub fn evaluate(result: &EpisodeResult, alarms: &[bool]) -> EpisodeMetrics {
+    assert_eq!(
+        alarms.len(),
+        result.states.len(),
+        "alarm stream must cover the episode"
+    );
+    let steps = alarms.len();
+    let onset = result.attack_onset.unwrap_or(steps);
+    let grace = result.windows.iter().copied().max().unwrap_or(0) + 1;
+    // One past the last step an alarm may still be attributed to the
+    // attack rather than counted as a false positive.
+    let blame_end = result
+        .attack_end
+        .map_or(steps, |e| (e + grace).min(steps))
+        .max(onset.min(steps));
+
+    let mut fp_count = 0usize;
+    let mut clean_steps = 0usize;
+    for (t, &alarm) in alarms.iter().enumerate() {
+        let attack_attributable = t >= onset && t < blame_end;
+        if !attack_attributable {
+            clean_steps += 1;
+            fp_count += alarm as usize;
+        }
+    }
+    let false_positive_rate = if clean_steps == 0 {
+        0.0
+    } else {
+        fp_count as f64 / clean_steps as f64
+    };
+
+    let detection_step = alarms[onset.min(steps)..blame_end]
+        .iter()
+        .position(|&a| a)
+        .map(|i| i + onset);
+    let detection_delay = detection_step.map(|d| d - onset);
+
+    let deadline_step = result
+        .attack_onset
+        .zip(result.onset_deadline)
+        .map(|(o, t_d)| o + t_d);
+    let missed_deadline = match deadline_step {
+        Some(deadline) => match detection_step {
+            Some(det) => det > deadline,
+            None => true,
+        },
+        None => false,
+    };
+
+    EpisodeMetrics {
+        false_positive_rate,
+        detection_step,
+        detection_delay,
+        unsafe_entry: result.unsafe_entry,
+        deadline_step,
+        fp_experiment: false_positive_rate > FP_RATE_LIMIT,
+        missed_deadline,
+        detected: detection_step.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_linalg::Vector;
+
+    fn blank(steps: usize, onset: Option<usize>, onset_deadline: Option<usize>) -> EpisodeResult {
+        EpisodeResult {
+            states: vec![Vector::zeros(1); steps],
+            estimates: vec![Vector::zeros(1); steps],
+            residuals: vec![Vector::zeros(1); steps],
+            windows: vec![0; steps],
+            deadlines: vec![None; steps],
+            adaptive_alarms: vec![false; steps],
+            fixed_alarms: vec![false; steps],
+            cusum_alarms: vec![false; steps],
+            every_step_alarms: vec![false; steps],
+            ewma_alarms: vec![false; steps],
+            references: vec![0.0; steps],
+            attack_onset: onset,
+            attack_end: None,
+            unsafe_entry: None,
+            onset_deadline,
+        }
+    }
+
+    #[test]
+    fn fp_rate_counts_pre_onset_only() {
+        let r = blank(10, Some(5), None);
+        let mut alarms = vec![false; 10];
+        alarms[1] = true; // pre-onset FP
+        alarms[7] = true; // post-onset: detection, not FP
+        let m = evaluate(&r, &alarms);
+        assert!((m.false_positive_rate - 0.2).abs() < 1e-12);
+        assert!(m.fp_experiment);
+        assert_eq!(m.detection_step, Some(7));
+        assert_eq!(m.detection_delay, Some(2));
+        assert!(m.detected);
+    }
+
+    #[test]
+    fn benign_episode_uses_all_steps() {
+        let r = blank(10, None, None);
+        let mut alarms = vec![false; 10];
+        alarms[9] = true;
+        let m = evaluate(&r, &alarms);
+        assert!((m.false_positive_rate - 0.1).abs() < 1e-12);
+        assert!(!m.fp_experiment); // exactly 10% is not "exceeds"
+        assert_eq!(m.detection_step, None);
+        assert!(!m.missed_deadline);
+    }
+
+    #[test]
+    fn deadline_miss_when_alarm_after_deadline() {
+        // Onset 5, estimated deadline t_d = 5 → absolute deadline 10.
+        let r = blank(20, Some(5), Some(5));
+        let mut late = vec![false; 20];
+        late[12] = true;
+        let m = evaluate(&r, &late);
+        assert_eq!(m.deadline_step, Some(10));
+        assert!(m.missed_deadline);
+
+        let mut in_time = vec![false; 20];
+        in_time[8] = true;
+        assert!(!evaluate(&r, &in_time).missed_deadline);
+
+        // Alarm exactly at the deadline step is still in time
+        // (detection *within* the deadline).
+        let mut exact = vec![false; 20];
+        exact[10] = true;
+        assert!(!evaluate(&r, &exact).missed_deadline);
+    }
+
+    #[test]
+    fn beyond_horizon_deadline_cannot_miss() {
+        let r = blank(20, Some(5), None);
+        let silent = vec![false; 20];
+        let m = evaluate(&r, &silent);
+        assert_eq!(m.deadline_step, None);
+        assert!(!m.missed_deadline);
+        assert!(!m.detected);
+    }
+
+    #[test]
+    fn undetected_attack_with_deadline_misses() {
+        let r = blank(20, Some(5), Some(5));
+        let silent = vec![false; 20];
+        assert!(evaluate(&r, &silent).missed_deadline);
+    }
+
+    #[test]
+    #[should_panic(expected = "alarm stream")]
+    fn length_mismatch_panics() {
+        let r = blank(5, None, None);
+        evaluate(&r, &[false; 4]);
+    }
+}

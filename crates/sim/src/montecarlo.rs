@@ -1,0 +1,135 @@
+use awsad_models::CpsModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{evaluate, run_episode, sample_attack, AttackKind, EpisodeConfig};
+
+/// Aggregate statistics of one strategy (adaptive or fixed) over a
+/// cell's `runs` episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StrategyStats {
+    /// `#FP` of Table 2: episodes whose pre-attack false-positive rate
+    /// exceeded 10%.
+    pub fp_experiments: usize,
+    /// `#DM` of Table 2: episodes where the state went unsafe without
+    /// a strictly earlier alarm.
+    pub deadline_misses: usize,
+    /// Episodes with at least one post-onset alarm.
+    pub detected: usize,
+    /// Mean detection delay (steps) over detected episodes, `None`
+    /// when nothing was detected.
+    pub mean_detection_delay: Option<f64>,
+}
+
+/// Result of one Table 2 cell: the same `runs` seeded trajectories
+/// evaluated under both strategies (paired comparison).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult {
+    /// The attack scenario of this cell.
+    pub attack: AttackKind,
+    /// Number of episodes run.
+    pub runs: usize,
+    /// Adaptive-window strategy statistics.
+    pub adaptive: StrategyStats,
+    /// Fixed-window strategy statistics.
+    pub fixed: StrategyStats,
+    /// Episodes whose attack actually drove the plant unsafe (the
+    /// denominator that can produce deadline misses).
+    pub threatening_runs: usize,
+}
+
+/// Runs one (simulator, attack) cell of Table 2: `runs` episodes with
+/// seeds `base_seed, base_seed+1, …`, each drawing fresh attack
+/// parameters, evaluated under the adaptive and the fixed strategy on
+/// identical trajectories.
+pub fn run_cell(
+    model: &CpsModel,
+    attack: AttackKind,
+    runs: usize,
+    cfg: &EpisodeConfig,
+    base_seed: u64,
+) -> CellResult {
+    let mut adaptive = StrategyStats::default();
+    let mut fixed = StrategyStats::default();
+    let mut threatening = 0usize;
+    let mut adaptive_delay_sum = 0usize;
+    let mut fixed_delay_sum = 0usize;
+
+    for i in 0..runs {
+        let seed = base_seed.wrapping_add(i as u64);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+        let scenario = sample_attack(model, attack, &mut rng);
+        let mut atk = scenario.attack;
+        let result = run_episode(model, atk.as_mut(), Some(scenario.reference), cfg, seed);
+
+        if result.unsafe_entry.is_some() {
+            threatening += 1;
+        }
+        let m_a = evaluate(&result, &result.adaptive_alarms);
+        let m_f = evaluate(&result, &result.fixed_alarms);
+
+        adaptive.fp_experiments += m_a.fp_experiment as usize;
+        adaptive.deadline_misses += m_a.missed_deadline as usize;
+        adaptive.detected += m_a.detected as usize;
+        adaptive_delay_sum += m_a.detection_delay.unwrap_or(0);
+
+        fixed.fp_experiments += m_f.fp_experiment as usize;
+        fixed.deadline_misses += m_f.missed_deadline as usize;
+        fixed.detected += m_f.detected as usize;
+        fixed_delay_sum += m_f.detection_delay.unwrap_or(0);
+    }
+
+    adaptive.mean_detection_delay =
+        (adaptive.detected > 0).then(|| adaptive_delay_sum as f64 / adaptive.detected as f64);
+    fixed.mean_detection_delay =
+        (fixed.detected > 0).then(|| fixed_delay_sum as f64 / fixed.detected as f64);
+
+    CellResult {
+        attack,
+        runs,
+        adaptive,
+        fixed,
+        threatening_runs: threatening,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_models::Simulator;
+
+    #[test]
+    fn cell_is_reproducible() {
+        let model = Simulator::VehicleTurning.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let c1 = run_cell(&model, AttackKind::Bias, 3, &cfg, 100);
+        let c2 = run_cell(&model, AttackKind::Bias, 3, &cfg, 100);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn bias_cell_shows_papers_shape() {
+        // Small but meaningful: the adaptive arm misses no more
+        // deadlines than fixed, and fixed misses at least one on the
+        // vehicle under bias (Table 2: fixed DM 34/100).
+        let model = Simulator::VehicleTurning.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let cell = run_cell(&model, AttackKind::Bias, 10, &cfg, 2_000);
+        assert!(cell.threatening_runs > 0, "bias attacks never threatened safety");
+        assert!(cell.adaptive.deadline_misses <= cell.fixed.deadline_misses);
+        assert!(cell.adaptive.detected >= cell.fixed.detected);
+    }
+
+    #[test]
+    fn counts_bounded_by_runs() {
+        let model = Simulator::RlcCircuit.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let cell = run_cell(&model, AttackKind::Replay, 4, &cfg, 7);
+        for s in [cell.adaptive, cell.fixed] {
+            assert!(s.fp_experiments <= cell.runs);
+            assert!(s.deadline_misses <= cell.runs);
+            assert!(s.detected <= cell.runs);
+        }
+        assert!(cell.threatening_runs <= cell.runs);
+    }
+}

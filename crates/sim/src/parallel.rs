@@ -1,0 +1,111 @@
+use awsad_models::CpsModel;
+
+use crate::{run_cell, AttackKind, CellResult, EpisodeConfig};
+
+/// One Monte-Carlo job: a model, an attack kind, and the seeds/config
+/// to run it with.
+#[derive(Debug, Clone)]
+pub struct CellJob {
+    /// The plant + detection configuration to simulate.
+    pub model: CpsModel,
+    /// The attack scenario.
+    pub attack: AttackKind,
+    /// Number of seeded episodes.
+    pub runs: usize,
+    /// Episode configuration.
+    pub config: EpisodeConfig,
+    /// Base seed (episode `i` uses `base_seed + i`).
+    pub base_seed: u64,
+}
+
+impl CellJob {
+    /// Creates a job with the model's default episode configuration.
+    pub fn new(model: CpsModel, attack: AttackKind, runs: usize, base_seed: u64) -> Self {
+        let config = EpisodeConfig::for_model(&model);
+        CellJob {
+            model,
+            attack,
+            runs,
+            config,
+            base_seed,
+        }
+    }
+}
+
+/// Runs a batch of Monte-Carlo cells across OS threads, one thread per
+/// job (cells are the natural parallel grain: episodes within a cell
+/// share nothing but are sequential so their seed pairing stays
+/// stable). Results come back in job order.
+///
+/// This is the engine behind the `table2` binary; it is exposed so
+/// downstream users can evaluate their own model × attack grids with
+/// the same machinery.
+///
+/// # Example
+///
+/// ```
+/// use awsad_models::Simulator;
+/// use awsad_sim::{run_cells_parallel, AttackKind, CellJob};
+///
+/// let jobs: Vec<CellJob> = [AttackKind::Bias, AttackKind::Replay]
+///     .into_iter()
+///     .map(|k| CellJob::new(Simulator::VehicleTurning.build(), k, 3, 500))
+///     .collect();
+/// let results = run_cells_parallel(jobs);
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].attack, AttackKind::Bias);
+/// ```
+pub fn run_cells_parallel(jobs: Vec<CellJob>) -> Vec<CellResult> {
+    let mut results: Vec<Option<CellResult>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            handles.push(scope.spawn(move || {
+                run_cell(&job.model, job.attack, job.runs, &job.config, job.base_seed)
+            }));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("cell worker panicked"));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_models::Simulator;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let model = Simulator::VehicleTurning.build();
+        let jobs: Vec<CellJob> = AttackKind::attacks()
+            .into_iter()
+            .map(|k| CellJob::new(model.clone(), k, 4, 900))
+            .collect();
+        let parallel = run_cells_parallel(jobs.clone());
+        for (job, got) in jobs.iter().zip(parallel.iter()) {
+            let expected = run_cell(&job.model, job.attack, job.runs, &job.config, job.base_seed);
+            assert_eq!(*got, expected, "{:?} diverged", job.attack);
+        }
+    }
+
+    #[test]
+    fn results_preserve_job_order() {
+        let jobs = vec![
+            CellJob::new(Simulator::VehicleTurning.build(), AttackKind::Replay, 2, 1),
+            CellJob::new(Simulator::VehicleTurning.build(), AttackKind::Bias, 2, 2),
+        ];
+        let results = run_cells_parallel(jobs);
+        assert_eq!(results[0].attack, AttackKind::Replay);
+        assert_eq!(results[1].attack, AttackKind::Bias);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_cells_parallel(Vec::new()).is_empty());
+    }
+}

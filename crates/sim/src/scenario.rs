@@ -1,0 +1,283 @@
+use std::fmt;
+
+use awsad_attack::{
+    AttackWindow, BiasAttack, DelayAttack, NoAttack, RampAttack, ReplayAttack, SensorAttack,
+};
+use awsad_control::Reference;
+use awsad_linalg::Vector;
+use awsad_models::CpsModel;
+use rand::{Rng, RngExt as _};
+
+/// The paper's attack scenarios (§6.1.1), plus the benign case used
+/// for pure false-positive measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// No attack: every alarm is false.
+    None,
+    /// Bias attack: sensor data replaced by offset values.
+    Bias,
+    /// Delay attack: stale measurements delivered to the controller.
+    Delay,
+    /// Replay attack: previously recorded measurements delivered.
+    Replay,
+}
+
+impl AttackKind {
+    /// The three genuine attacks, in the paper's order.
+    pub fn attacks() -> [AttackKind; 3] {
+        [AttackKind::Bias, AttackKind::Delay, AttackKind::Replay]
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttackKind::None => "None",
+            AttackKind::Bias => "Bias",
+            AttackKind::Delay => "Delay",
+            AttackKind::Replay => "Replay",
+        })
+    }
+}
+
+/// A concrete attack instance drawn from a model's
+/// [`AttackProfile`](awsad_models::AttackProfile), together with the
+/// reference signal the episode should run (delay/replay scenarios
+/// pair the attack with a setpoint change the stale data conceals).
+pub struct SampledAttack {
+    /// The attack object to interpose on the sensor channel.
+    pub attack: Box<dyn SensorAttack + Send>,
+    /// The attack onset step.
+    pub onset: Option<usize>,
+    /// Reference for the primary PID channel during this episode.
+    pub reference: Reference,
+}
+
+impl fmt::Debug for SampledAttack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SampledAttack")
+            .field("attack", &self.attack.name())
+            .field("onset", &self.onset)
+            .field("reference", &self.reference)
+            .finish()
+    }
+}
+
+/// Draws a concrete attack of the given kind from the model's attack
+/// profile (§6.1: each of the 100 experiments per case randomizes the
+/// attack parameters).
+///
+/// * **Bias**: a constant offset ([`BiasAttack`]) of magnitude
+///   uniform in the profile's `bias_range`, pointed toward the nearer
+///   unsafe boundary, onset uniform in `onset_range`. The magnitudes
+///   sit in the model's *stealthy band*: large enough that a small
+///   (deadline-tight) window trips on the onset discontinuity, small
+///   enough that a `w_m`-sized window dilutes it below `τ` — the
+///   regime where the delay/usability trade-off the paper studies is
+///   actually exercised (outside the band every window size agrees).
+///   See [`sample_ramp_bias`] for the incremental variant used by the
+///   stealth ablation.
+/// * **Delay**: lag uniform in `delay_range`; the reference steps by
+///   `reference_step` one step after the onset, so the controller
+///   maneuvers on stale data.
+/// * **Replay**: records `replay_len` steps of steady pre-attack data
+///   and replays them from the onset; the same reference step makes
+///   the stale replay consequential.
+pub fn sample_attack(model: &CpsModel, kind: AttackKind, rng: &mut impl Rng) -> SampledAttack {
+    let profile = &model.attack_profile;
+    let nominal = model.pid_channels[0].reference.clone();
+    match kind {
+        AttackKind::None => SampledAttack {
+            attack: Box::new(NoAttack),
+            onset: None,
+            reference: nominal,
+        },
+        AttackKind::Bias => {
+            let onset = sample_range(rng, profile.onset_range);
+            let duration = sample_range(rng, profile.duration_range).max(1);
+            let magnitude = sample_magnitude(rng, profile.bias_range);
+            let mut bias = Vector::zeros(model.state_dim());
+            bias[profile.target_dim] = magnitude * bias_direction(model);
+            SampledAttack {
+                attack: Box::new(BiasAttack::new(
+                    AttackWindow::new(onset, Some(duration)),
+                    bias,
+                )),
+                onset: Some(onset),
+                reference: nominal,
+            }
+        }
+        AttackKind::Delay => {
+            let onset = sample_range(rng, profile.onset_range);
+            let duration = sample_range(rng, profile.duration_range).max(1);
+            let delay = sample_range(rng, profile.delay_range).max(1);
+            SampledAttack {
+                attack: Box::new(DelayAttack::new(
+                    AttackWindow::new(onset, Some(duration)),
+                    delay,
+                )),
+                onset: Some(onset),
+                reference: stepped_reference(model, onset),
+            }
+        }
+        AttackKind::Replay => {
+            let onset = sample_range(rng, profile.onset_range);
+            let duration = sample_range(rng, profile.duration_range).max(1);
+            let len = profile.replay_len.max(1).min(onset.max(1));
+            let record_start = onset - len;
+            SampledAttack {
+                attack: Box::new(ReplayAttack::new(
+                    AttackWindow::new(onset, Some(duration)),
+                    record_start,
+                    len,
+                )),
+                onset: Some(onset),
+                reference: stepped_reference(model, onset),
+            }
+        }
+    }
+}
+
+/// Draws the *stealthy ramp* variant of the bias attack: the same
+/// total offset as [`sample_attack`]'s bias, but grown incrementally
+/// over `ramp_time_range` steps so there is no onset discontinuity at
+/// all. Used by the stealth ablation to show what happens when the
+/// attacker also hides the onset: detection must come from the
+/// accumulated drift, which only small (deadline-driven) windows
+/// amplify above threshold in time.
+pub fn sample_ramp_bias(model: &CpsModel, rng: &mut impl Rng) -> SampledAttack {
+    let profile = &model.attack_profile;
+    let onset = sample_range(rng, profile.onset_range);
+    let magnitude = sample_magnitude(rng, profile.bias_range);
+    let ramp_steps = sample_range(rng, profile.ramp_time_range).max(1);
+    let hold = sample_range(rng, profile.duration_range).max(1);
+    let mut slope = Vector::zeros(model.state_dim());
+    slope[profile.target_dim] = magnitude * bias_direction(model) / ramp_steps as f64;
+    SampledAttack {
+        attack: Box::new(RampAttack::new(
+            AttackWindow::new(onset, Some(ramp_steps + hold)),
+            slope,
+            ramp_steps,
+        )),
+        onset: Some(onset),
+        reference: model.pid_channels[0].reference.clone(),
+    }
+}
+
+fn sample_magnitude(rng: &mut impl Rng, (lo, hi): (f64, f64)) -> f64 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.random_range(lo..hi)
+    }
+}
+
+/// The setpoint step paired with delay/replay attacks: the reference
+/// moves by `reference_step` one step after the attack begins, so the
+/// stale data conceals an ongoing maneuver from its start.
+fn stepped_reference(model: &CpsModel, onset: usize) -> Reference {
+    let before = model.primary_reference(0);
+    Reference::step(
+        before,
+        before + model.attack_profile.reference_step,
+        onset + 1,
+    )
+}
+
+/// Bias sign that pushes the *true* state toward the nearer unsafe
+/// boundary: the controller regulates the measured value to the
+/// reference, so the true state moves opposite to the sensor bias.
+fn bias_direction(model: &CpsModel) -> f64 {
+    let dim = model.attack_profile.target_dim;
+    let iv = model.safe_set.interval(dim);
+    let r = model.primary_reference(0);
+    let margin_up = iv.hi() - r;
+    let margin_down = r - iv.lo();
+    // Negative sensor bias drives the true state up.
+    if margin_up <= margin_down {
+        -1.0
+    } else {
+        1.0
+    }
+}
+
+fn sample_range(rng: &mut impl Rng, (lo, hi): (usize, usize)) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_models::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_has_no_onset() {
+        let model = Simulator::VehicleTurning.build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sample_attack(&model, AttackKind::None, &mut rng);
+        assert_eq!(s.onset, None);
+        assert_eq!(s.attack.name(), "none");
+    }
+
+    #[test]
+    fn bias_respects_profile_ranges() {
+        let model = Simulator::AircraftPitch.build();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = sample_attack(&model, AttackKind::Bias, &mut rng);
+            let onset = s.onset.unwrap();
+            let (lo, hi) = model.attack_profile.onset_range;
+            assert!(onset >= lo && onset <= hi);
+            assert_eq!(s.attack.name(), "bias");
+        }
+    }
+
+    #[test]
+    fn bias_direction_pushes_toward_near_boundary() {
+        // Vehicle: ref 1.0, boundaries ±2 → up is nearer → bias < 0.
+        let model = Simulator::VehicleTurning.build();
+        assert_eq!(bias_direction(&model), -1.0);
+    }
+
+    #[test]
+    fn delay_pairs_with_reference_step() {
+        let model = Simulator::VehicleTurning.build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_attack(&model, AttackKind::Delay, &mut rng);
+        let onset = s.onset.unwrap();
+        let before = s.reference.value(onset, model.dt());
+        let after = s.reference.value(onset + 1, model.dt());
+        assert!((after - before - model.attack_profile.reference_step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_records_before_onset() {
+        let model = Simulator::RlcCircuit.build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_attack(&model, AttackKind::Replay, &mut rng);
+        assert_eq!(s.attack.name(), "replay");
+        assert!(s.onset.unwrap() >= model.attack_profile.onset_range.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = Simulator::AircraftPitch.build();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            sample_attack(&model, AttackKind::Delay, &mut rng).onset
+        };
+        assert_eq!(draw(9), draw(9));
+    }
+
+    #[test]
+    fn attacks_list_is_papers_order() {
+        let names: Vec<String> = AttackKind::attacks().iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, vec!["Bias", "Delay", "Replay"]);
+    }
+}

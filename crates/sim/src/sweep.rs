@@ -1,0 +1,154 @@
+use awsad_attack::{AttackWindow, BiasAttack};
+use awsad_linalg::Vector;
+use awsad_models::CpsModel;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+use crate::{run_episode, EpisodeConfig, FP_RATE_LIMIT};
+
+/// One point of the Fig. 7 profiling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Window size of the fixed detector.
+    pub window: usize,
+    /// Number of experiments whose pre-attack FP rate exceeded 10%.
+    pub fp_experiments: usize,
+    /// Number of experiments whose attack was never detected.
+    pub fn_experiments: usize,
+}
+
+/// Reproduces the Fig. 7 profiling experiment: a short constant-bias
+/// pulse (the paper uses 15 control steps on the aircraft pitch
+/// simulator), `runs` experiments per window size, counting
+/// false-positive and false-negative *experiments* per size.
+///
+/// `bias_magnitude_range` controls the pulse height. The profiling
+/// wants magnitudes around `τ·w` for the interesting window sizes so
+/// the FN count actually rises with the window (tiny windows always
+/// catch the pulse, large windows dilute it) — pass a range of a few
+/// to a few tens of `τ`, not the safety-threatening magnitudes of the
+/// Table 2 attacks.
+///
+/// Each experiment simulates the closed loop **once** and evaluates
+/// every window size on the same residual stream via prefix sums —
+/// the window detector is a pure function of the residuals, so this
+/// is exact and keeps the 100-experiment × 100-window sweep fast.
+pub fn run_window_sweep(
+    model: &CpsModel,
+    windows: &[usize],
+    runs: usize,
+    attack_len: usize,
+    bias_magnitude_range: (f64, f64),
+    cfg: &EpisodeConfig,
+    base_seed: u64,
+) -> Vec<SweepPoint> {
+    let n = model.state_dim();
+    let mut points: Vec<SweepPoint> = windows
+        .iter()
+        .map(|&w| SweepPoint {
+            window: w,
+            fp_experiments: 0,
+            fn_experiments: 0,
+        })
+        .collect();
+
+    for i in 0..runs {
+        let seed = base_seed.wrapping_add(i as u64);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF16_7EED);
+        let profile = &model.attack_profile;
+        let onset = if profile.onset_range.0 >= profile.onset_range.1 {
+            profile.onset_range.0
+        } else {
+            rng.random_range(profile.onset_range.0..=profile.onset_range.1)
+        };
+        let magnitude = if bias_magnitude_range.0 >= bias_magnitude_range.1 {
+            bias_magnitude_range.0
+        } else {
+            rng.random_range(bias_magnitude_range.0..bias_magnitude_range.1)
+        };
+        let mut bias = Vector::zeros(n);
+        bias[profile.target_dim] = -magnitude;
+        let mut attack = BiasAttack::new(AttackWindow::new(onset, Some(attack_len)), bias);
+
+        let result = run_episode(model, &mut attack, None, cfg, seed);
+        let steps = result.residuals.len();
+
+        // Prefix sums per dimension for O(1) window means.
+        let mut prefix = vec![vec![0.0f64; steps + 1]; n];
+        for t in 0..steps {
+            for (d, pref) in prefix.iter_mut().enumerate() {
+                pref[t + 1] = pref[t] + result.residuals[t][d];
+            }
+        }
+        // Paper normalization: window sum over [t-w, t] divided by w
+        // (clamped to 1), matching DataLogger::window_mean.
+        let mean_exceeds = |t: usize, w: usize| -> bool {
+            let start = t.saturating_sub(w);
+            let divisor = (t - start).max(1) as f64;
+            (0..n).any(|d| {
+                let sum = prefix[d][t + 1] - prefix[d][start];
+                sum / divisor > model.threshold[d]
+            })
+        };
+
+        for point in points.iter_mut() {
+            let w = point.window;
+            // FP rate over pre-onset steps.
+            let fp = (0..onset).filter(|&t| mean_exceeds(t, w)).count();
+            if fp as f64 / onset as f64 > FP_RATE_LIMIT {
+                point.fp_experiments += 1;
+            }
+            // FN: no alarm from onset to the end of the episode.
+            let detected = (onset..steps).any(|t| mean_exceeds(t, w));
+            if !detected {
+                point.fn_experiments += 1;
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_models::Simulator;
+
+    #[test]
+    fn sweep_shows_fp_fn_tradeoff() {
+        // The paper's Fig. 7 shape: FPs decrease and FNs increase with
+        // the window size. Check end-to-end with a small run count.
+        let model = Simulator::AircraftPitch.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let windows = [0usize, 5, 20, 60, 100];
+        let tau = model.threshold[2];
+        let points = run_window_sweep(&model, &windows, 12, 15, (5.0 * tau, 30.0 * tau), &cfg, 900);
+        assert_eq!(points.len(), windows.len());
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(
+            first.fp_experiments >= last.fp_experiments,
+            "FP must not increase with window size ({} -> {})",
+            first.fp_experiments,
+            last.fp_experiments
+        );
+        assert!(
+            first.fn_experiments <= last.fn_experiments,
+            "FN must not decrease with window size ({} -> {})",
+            first.fn_experiments,
+            last.fn_experiments
+        );
+        // Tiny windows see the noise: some FP experiments must exist.
+        assert!(first.fp_experiments > 0, "w=0 produced no FP experiments");
+        // Tiny windows never miss a 15-step bias.
+        assert_eq!(first.fn_experiments, 0);
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let model = Simulator::AircraftPitch.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let a = run_window_sweep(&model, &[0, 40], 4, 15, (0.06, 0.36), &cfg, 33);
+        let b = run_window_sweep(&model, &[0, 40], 4, 15, (0.06, 0.36), &cfg, 33);
+        assert_eq!(a, b);
+    }
+}

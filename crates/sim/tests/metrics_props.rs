@@ -1,0 +1,128 @@
+//! Property-based tests for the episode metrics: `evaluate` must be a
+//! total, internally consistent function of (alarm stream, episode
+//! metadata) — the tables are only as trustworthy as this code.
+
+use awsad_linalg::Vector;
+use awsad_sim::{evaluate, EpisodeResult, FP_RATE_LIMIT};
+use proptest::prelude::*;
+
+fn episode(
+    steps: usize,
+    onset: Option<usize>,
+    attack_end: Option<usize>,
+    onset_deadline: Option<usize>,
+    windows: Vec<usize>,
+) -> EpisodeResult {
+    EpisodeResult {
+        states: vec![Vector::zeros(1); steps],
+        estimates: vec![Vector::zeros(1); steps],
+        residuals: vec![Vector::zeros(1); steps],
+        windows,
+        deadlines: vec![None; steps],
+        adaptive_alarms: vec![false; steps],
+        fixed_alarms: vec![false; steps],
+        cusum_alarms: vec![false; steps],
+        every_step_alarms: vec![false; steps],
+        ewma_alarms: vec![false; steps],
+        references: vec![0.0; steps],
+        attack_onset: onset,
+        attack_end,
+        unsafe_entry: None,
+        onset_deadline,
+    }
+}
+
+proptest! {
+    /// For arbitrary alarm streams and attack geometry, every derived
+    /// metric is in range and internally consistent.
+    #[test]
+    fn evaluate_is_internally_consistent(
+        steps in 5usize..120,
+        alarm_bits in prop::collection::vec(any::<bool>(), 5..120),
+        onset_frac in 0.0..1.0f64,
+        duration in 1usize..60,
+        t_d in prop::option::of(0usize..40),
+        w in 0usize..20,
+    ) {
+        let steps = steps.min(alarm_bits.len());
+        let alarms: Vec<bool> = alarm_bits[..steps].to_vec();
+        let onset = ((steps as f64 * onset_frac) as usize).min(steps.saturating_sub(1));
+        let end = (onset + duration).min(steps);
+        let r = episode(steps, Some(onset), Some(end), t_d, vec![w; steps]);
+        let m = evaluate(&r, &alarms);
+
+        // Ranges.
+        prop_assert!((0.0..=1.0).contains(&m.false_positive_rate));
+        prop_assert_eq!(m.fp_experiment, m.false_positive_rate > FP_RATE_LIMIT);
+        prop_assert_eq!(m.detected, m.detection_step.is_some());
+
+        // Detection lies inside the attributable span.
+        if let Some(det) = m.detection_step {
+            prop_assert!(det >= onset);
+            prop_assert!(alarms[det], "detection step must be an alarmed step");
+            prop_assert_eq!(m.detection_delay, Some(det - onset));
+        }
+
+        // Deadline bookkeeping.
+        match (t_d, m.deadline_step) {
+            (Some(d), Some(abs)) => prop_assert_eq!(abs, onset + d),
+            (None, None) => {}
+            other => prop_assert!(false, "deadline mismatch {other:?}"),
+        }
+        if m.deadline_step.is_none() {
+            prop_assert!(!m.missed_deadline, "no deadline, no miss");
+        }
+        if let (Some(deadline), Some(det)) = (m.deadline_step, m.detection_step) {
+            prop_assert_eq!(m.missed_deadline, det > deadline);
+        }
+        if m.deadline_step.is_some() && m.detection_step.is_none() {
+            prop_assert!(m.missed_deadline);
+        }
+    }
+
+    /// A benign episode's FP rate equals the raw alarm fraction.
+    #[test]
+    fn benign_fp_rate_is_the_alarm_fraction(
+        alarm_bits in prop::collection::vec(any::<bool>(), 5..200),
+    ) {
+        let steps = alarm_bits.len();
+        let r = episode(steps, None, None, None, vec![0; steps]);
+        let m = evaluate(&r, &alarm_bits);
+        let expected = alarm_bits.iter().filter(|&&a| a).count() as f64 / steps as f64;
+        prop_assert!((m.false_positive_rate - expected).abs() < 1e-12);
+        prop_assert!(!m.detected);
+        prop_assert!(!m.missed_deadline);
+    }
+
+    /// Adding alarms can only move the detection earlier (or create
+    /// one) and can never turn a kept deadline into a miss.
+    #[test]
+    fn alarms_are_monotone_for_detection(
+        steps in 10usize..80,
+        base_bits in prop::collection::vec(any::<bool>(), 10..80),
+        extra in 0usize..80,
+        onset in 0usize..40,
+        t_d in 0usize..20,
+    ) {
+        let steps = steps.min(base_bits.len());
+        let onset = onset.min(steps - 1);
+        let mut more = base_bits[..steps].to_vec();
+        let extra = extra.min(steps - 1);
+        more[extra] = true;
+
+        let r = episode(steps, Some(onset), Some(steps), Some(t_d), vec![0; steps]);
+        let m_base = evaluate(&r, &base_bits[..steps].to_vec());
+        let m_more = evaluate(&r, &more);
+
+        if let (Some(a), Some(b)) = (m_base.detection_step, m_more.detection_step) {
+            prop_assert!(b <= a, "extra alarm delayed detection");
+        }
+        if m_base.detected {
+            prop_assert!(m_more.detected);
+        }
+        prop_assert!(
+            !(m_more.missed_deadline && !m_base.missed_deadline),
+            "extra alarm created a deadline miss"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Bring your own plant: define a custom CPS model (a 2-D thermal
+//! process), attach the detection system through the same `CpsModel`
+//! interface the built-in benchmarks use, and run a Monte-Carlo cell
+//! on it.
+//!
+//! Run with: `cargo run --example custom_plant`
+
+use awsad::models::{AttackProfile, CpsModel};
+use awsad::prelude::*;
+use awsad::sim::{run_cell, AttackKind, EpisodeConfig};
+
+fn thermal_process() -> CpsModel {
+    // Two coupled thermal masses: x1 = core temperature deviation,
+    // x2 = enclosure temperature deviation, u = heater power deviation.
+    let a_c = Matrix::from_rows(&[&[-0.5, 0.3], &[0.2, -0.4]]).unwrap();
+    let b_c = Matrix::from_rows(&[&[0.8], &[0.0]]).unwrap();
+    let system = LtiSystem::from_continuous(a_c, b_c, Matrix::identity(2), 0.1).unwrap();
+
+    CpsModel {
+        name: "Thermal Process",
+        system,
+        control_limits: BoxSet::from_bounds(&[-4.0], &[4.0]).unwrap(),
+        epsilon: 0.05,
+        sensor_noise: 0.03,
+        safe_set: BoxSet::from_bounds(&[-3.0, -4.0], &[3.0, 4.0]).unwrap(),
+        threshold: Vector::from_slice(&[0.06, 0.06]),
+        pid_channels: vec![PidChannel::new(
+            0,
+            0,
+            PidGains::new(2.0, 1.5, 0.0),
+            Reference::constant(1.0),
+        )],
+        x0: Vector::zeros(2),
+        default_max_window: 40,
+        state_names: vec!["core_temp", "enclosure_temp"],
+        attack_profile: AttackProfile {
+            target_dim: 0,
+            bias_range: (0.35, 0.9),
+            ramp_time_range: (80, 200),
+            delay_range: (10, 40),
+            replay_len: 20,
+            reference_step: -0.8,
+            onset_range: (150, 250),
+            duration_range: (40, 120),
+        },
+    }
+}
+
+fn main() {
+    let model = thermal_process();
+    model.validate().expect("custom model is well-formed");
+
+    println!("custom model: {} ({} states)", model.name, model.state_dim());
+    let est = model.deadline_estimator(model.default_max_window).unwrap();
+    println!(
+        "nominal deadline from the operating point: {}",
+        est.deadline(&Vector::from_slice(&[1.0, 0.5]))
+    );
+
+    let cfg = EpisodeConfig::for_model(&model);
+    for kind in AttackKind::attacks() {
+        let cell = run_cell(&model, kind, 30, &cfg, 2024);
+        println!(
+            "{kind}: adaptive detected {}/30 (DM {}), fixed detected {}/30 (DM {})",
+            cell.adaptive.detected,
+            cell.adaptive.deadline_misses,
+            cell.fixed.detected,
+            cell.fixed.deadline_misses
+        );
+        assert!(cell.adaptive.deadline_misses <= cell.fixed.deadline_misses);
+    }
+    println!();
+    println!("the adaptive detector transfers to a model the paper never saw —");
+    println!("only the CpsModel description (plant, PID, U, eps, S, tau) changes.");
+}

@@ -1,0 +1,66 @@
+//! Explore the reachability-based detection deadline (§3): how the
+//! deadline shrinks as the state approaches the unsafe boundary, how
+//! the uncertainty bound and the actuator range tighten it, and what
+//! the reachable boxes look like.
+//!
+//! Run with: `cargo run --example deadline_explorer`
+
+use awsad::prelude::*;
+
+fn main() {
+    // Vehicle-turning-style scalar plant: x' = (u - x) / 0.2 at 20 ms.
+    let system = LtiSystem::from_continuous(
+        Matrix::diagonal(&[-5.0]),
+        Matrix::from_rows(&[&[5.0]]).unwrap(),
+        Matrix::identity(1),
+        0.02,
+    )
+    .unwrap();
+    let safe = BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap();
+    let u_set = BoxSet::from_bounds(&[-3.0], &[3.0]).unwrap();
+
+    println!("deadline vs distance to the unsafe boundary (safe |x| <= 2):");
+    let cfg = ReachConfig::new(u_set.clone(), 0.075, safe.clone(), 100).unwrap();
+    let est = DeadlineEstimator::new(system.a(), system.b(), cfg).unwrap();
+    for x in [0.0, 0.5, 1.0, 1.5, 1.8, 1.95] {
+        let d = est.deadline(&Vector::from_slice(&[x]));
+        println!("  x = {x:>5.2}  ->  deadline {d}");
+    }
+
+    println!();
+    println!("reachable boxes from x = 1.0 (worst-case control + noise):");
+    for t in [1usize, 2, 4, 8, 12] {
+        let boxed = est.reach_box(&Vector::from_slice(&[1.0]), t).unwrap();
+        println!("  t = {t:>2}: {boxed}");
+    }
+
+    println!();
+    println!("tightening the uncertainty bound extends the deadline:");
+    for eps in [0.3, 0.15, 0.075, 0.01] {
+        let cfg = ReachConfig::new(u_set.clone(), eps, safe.clone(), 100).unwrap();
+        let est = DeadlineEstimator::new(system.a(), system.b(), cfg).unwrap();
+        let d = est.deadline(&Vector::from_slice(&[1.0]));
+        println!("  eps = {eps:>5.3}  ->  deadline from x=1.0: {d}");
+    }
+
+    println!();
+    println!("a weaker actuator (smaller U) also extends the deadline:");
+    for gamma in [3.0, 1.5, 0.75, 0.3] {
+        let u = BoxSet::from_bounds(&[-gamma], &[gamma]).unwrap();
+        let cfg = ReachConfig::new(u, 0.075, safe.clone(), 100).unwrap();
+        let est = DeadlineEstimator::new(system.a(), system.b(), cfg).unwrap();
+        let d = est.deadline(&Vector::from_slice(&[1.0]));
+        println!("  |u| <= {gamma:>4.2}  ->  deadline from x=1.0: {d}");
+    }
+
+    println!();
+    println!("accounting for estimate noise (initial ball, §3.3.1) tightens it:");
+    let cfg = ReachConfig::new(u_set, 0.075, safe, 100).unwrap();
+    let est = DeadlineEstimator::new(system.a(), system.b(), cfg).unwrap();
+    for r0 in [0.0, 0.05, 0.2, 0.5] {
+        let d = est
+            .checked_deadline(&Vector::from_slice(&[1.0]), r0)
+            .unwrap();
+        println!("  r0 = {r0:>4.2}  ->  deadline from x=1.0: {d}");
+    }
+}

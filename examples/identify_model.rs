@@ -1,0 +1,123 @@
+//! The paper's §6.2 workflow end to end: drive the plant, *identify*
+//! its model from logged data (least squares), and hand the identified
+//! model to the detection stack.
+//!
+//! The detector never needs the true dynamics — only a model good
+//! enough that benign residuals stay below τ. This example quantifies
+//! that: identification error, benign residual level with the
+//! identified model, and detection of a bias attack through it.
+//!
+//! Run with: `cargo run --example identify_model`
+
+use awsad::linalg::lstsq;
+use awsad::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The "real car": the paper's identified testbed model is the
+    // ground truth here; we pretend not to know it.
+    let (a_true, b_true) = (8.435e-1, 7.7919e-4);
+    let true_sys = LtiSystem::new_discrete_fully_observable(
+        Matrix::diagonal(&[a_true]),
+        Matrix::from_rows(&[&[b_true]]).unwrap(),
+        0.05,
+    )
+    .unwrap();
+    let mut plant = Plant::new(
+        true_sys,
+        Vector::from_slice(&[0.0104]),
+        NoiseModel::uniform_ball(5.0e-5).unwrap(),
+    );
+
+    // ── 1. Excite and log: persistent excitation via a dithered input.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut targets: Vec<f64> = Vec::new();
+    let mut prev = plant.state()[0];
+    for t in 0..400usize {
+        let u = 2.0 + 1.5 * (t as f64 * 0.61).sin();
+        plant.step(&Vector::from_slice(&[u]), &mut rng);
+        rows.push(vec![prev, u]);
+        targets.push(plant.state()[0]);
+        prev = plant.state()[0];
+    }
+
+    // ── 2. Identify: x_{t+1} ≈ a x_t + b u_t by least squares.
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let design = Matrix::from_rows(&refs).unwrap();
+    let coef = lstsq(&design, &Vector::from_vec(targets)).unwrap();
+    let (a_hat, b_hat) = (coef[0], coef[1]);
+    println!("identified a = {a_hat:.6} (true {a_true:.6}, err {:.2e})", (a_hat - a_true).abs());
+    println!("identified b = {b_hat:.6e} (true {b_true:.6e}, err {:.2e})", (b_hat - b_true).abs());
+    assert!((a_hat - a_true).abs() < 5e-3, "identification too poor");
+
+    // ── 3. Build the detection stack from the *identified* model.
+    let id_sys = LtiSystem::new_discrete_fully_observable(
+        Matrix::diagonal(&[a_hat]),
+        Matrix::from_rows(&[&[b_hat]]).unwrap(),
+        0.05,
+    )
+    .unwrap();
+    let w_m = 30;
+    let reach = ReachConfig::new(
+        BoxSet::from_bounds(&[0.0], &[7.7]).unwrap(),
+        1.0e-4,
+        BoxSet::from_bounds(&[5.2e-3], &[2.6e-2]).unwrap(),
+        w_m,
+    )
+    .unwrap();
+    let estimator = DeadlineEstimator::new(id_sys.a(), id_sys.b(), reach).unwrap();
+
+    // ── 4. Calibrate τ from a benign run through the identified model.
+    let mut bench_logger = DataLogger::new(id_sys.clone(), w_m);
+    let mut pid = PidController::new(
+        vec![PidChannel::new(
+            0,
+            0,
+            PidGains::new(1.0e3, 2.0e3, 0.0),
+            Reference::constant(0.0104),
+        )],
+        BoxSet::from_bounds(&[0.0], &[7.7]).unwrap(),
+        0.05,
+    )
+    .unwrap();
+    let mut residuals = Vec::new();
+    for t in 0..400usize {
+        let est = plant.measure();
+        let u = pid.control(t, &est);
+        let entry = bench_logger.record(est, u.clone());
+        residuals.push(entry.residual.clone());
+        plant.step(&u, &mut rng);
+    }
+    let tau = calibrate_threshold(&residuals, 2, 0.01, 2.0).unwrap();
+    println!("calibrated tau = {:.3e} (paper's testbed used 3.67e-3)", tau[0]);
+
+    // ── 5. Detect a +2.5 m/s bias through the identified model.
+    let mut logger = DataLogger::new(id_sys, w_m);
+    let mut detector = AdaptiveDetector::new(
+        DetectorConfig::new(tau, w_m).unwrap(),
+        estimator,
+    )
+    .unwrap();
+    let mut attack = BiasAttack::new(
+        AttackWindow::from_step(100),
+        Vector::from_slice(&[2.5 / 384.3402]),
+    );
+    pid.reset();
+    let mut first_alarm = None;
+    for t in 0..200usize {
+        let est = attack.tamper(t, &plant.measure());
+        let u = pid.control(t, &est);
+        logger.record(est, u.clone());
+        if detector.step(&logger).alarm() && first_alarm.is_none() {
+            first_alarm = Some(t);
+        }
+        plant.step(&u, &mut rng);
+    }
+    println!("bias attack at step 100; first alarm at {first_alarm:?}");
+    let alarm = first_alarm.expect("attack must be detected");
+    assert!((100..=102).contains(&alarm), "detection too slow through the identified model");
+    println!("=> identify -> calibrate -> detect, exactly the paper's testbed pipeline,");
+    println!("   with every stage running on this library's own primitives.");
+}

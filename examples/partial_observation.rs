@@ -1,0 +1,100 @@
+//! Lifting the paper's full-observability assumption: a plant whose
+//! sensor measures only part of the state, a Luenberger observer
+//! reconstructing the rest, and the unchanged detection stack running
+//! on the observer's estimates.
+//!
+//! Run with: `cargo run --example partial_observation`
+
+use awsad::prelude::*;
+use awsad::lti::Observer;
+
+fn main() {
+    // Double-integrator cart: position measured, velocity not.
+    let system = LtiSystem::new_discrete(
+        Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 0.95]]).unwrap(),
+        Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap(),
+        Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+        0.1,
+    )
+    .unwrap();
+    assert!(system.is_observable(), "position alone observes the cart");
+    assert!(system.is_controllable());
+
+    // Full-state twin used by the detection stack (predictions need
+    // the full state transition; the observer supplies the state).
+    let full_state_model = LtiSystem::new_discrete_fully_observable(
+        system.a().clone(),
+        system.b().clone(),
+        system.dt(),
+    )
+    .unwrap();
+
+    let gain = Matrix::from_rows(&[&[0.9], &[1.2]]).unwrap();
+    let mut observer = Observer::new(system.clone(), gain, Vector::zeros(2)).unwrap();
+    println!(
+        "observer error dynamics spectral radius: {:.3} (convergent: {})",
+        awsad::linalg::spectral_radius(&observer.error_dynamics()).unwrap(),
+        observer.is_convergent()
+    );
+
+    let max_window = 30;
+    let reach = ReachConfig::new(
+        BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap(),
+        0.02,
+        BoxSet::from_bounds(&[-4.0, f64::NEG_INFINITY], &[4.0, f64::INFINITY]).unwrap(),
+        max_window,
+    )
+    .unwrap();
+    let estimator = DeadlineEstimator::new(system.a(), system.b(), reach).unwrap();
+    let config = DetectorConfig::new(Vector::from_slice(&[0.08, 0.08]), max_window).unwrap();
+    let mut logger = DataLogger::new(full_state_model, max_window);
+    let mut detector = AdaptiveDetector::new(config, estimator).unwrap();
+
+    let mut pid = PidController::new(
+        vec![PidChannel::new(
+            0,
+            0,
+            PidGains::new(3.0, 0.2, 4.0),
+            Reference::constant(1.0),
+        )],
+        BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap(),
+        0.1,
+    )
+    .unwrap();
+
+    let mut plant = Plant::new(
+        system.clone(),
+        Vector::zeros(2),
+        NoiseModel::uniform_ball(0.005).unwrap(),
+    );
+    // Attack the *measurement* channel (1-D): +0.6 bias from step 150.
+    let mut attack = BiasAttack::new(AttackWindow::new(150, Some(60)), Vector::from_slice(&[0.6]));
+
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(21);
+    let mut first_alarm = None;
+    for t in 0..300usize {
+        let y = attack.tamper(t, &plant.measure());
+        // The observer turns the (possibly corrupted) 1-D measurement
+        // into a full state estimate.
+        let u_prev_estimate = observer.estimate().clone();
+        let u = pid.control(t, &u_prev_estimate);
+        observer.update(&u, &y);
+        logger.record(observer.estimate().clone(), u.clone());
+        let out = detector.step(&logger);
+        if out.alarm() && first_alarm.is_none() && t >= 150 {
+            first_alarm = Some((t, out.window));
+        }
+        plant.step(&u, &mut rng);
+    }
+
+    match first_alarm {
+        Some((t, w)) => {
+            println!("sensor bias at step 150; first alarm at step {t} (window {w})");
+            println!("=> the detection stack is agnostic to where estimates come from:");
+            println!("   the observer's innovation turns the measurement bias into");
+            println!("   exactly the residual pattern the window detector consumes.");
+            assert!(t <= 160, "detection too slow: {t}");
+        }
+        None => panic!("the detector missed the attack through the observer"),
+    }
+}

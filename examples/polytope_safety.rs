@@ -1,0 +1,73 @@
+//! Deadlines against polytopic safe sets: coupled linear constraints
+//! that an axis-aligned box cannot express, checked exactly by the
+//! same support-function machinery (§3.4 generalized).
+//!
+//! Run with: `cargo run --example polytope_safety`
+
+use awsad::prelude::*;
+use awsad::reach::PolytopeDeadlineEstimator;
+use awsad::sets::{Halfspace, Polytope};
+
+fn main() {
+    // Double-integrator vehicle: position x, velocity v; |u| <= 1.
+    let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+    let b = Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap();
+    let control = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
+
+    // Box constraint: position below 10.
+    let box_safe = Polytope::from_box(
+        &BoxSet::from_bounds(&[f64::NEG_INFINITY, f64::NEG_INFINITY], &[10.0, f64::INFINITY])
+            .unwrap(),
+    )
+    .unwrap();
+    // Coupled braking constraint: position + 2*velocity <= 10
+    // ("if you're fast, you must be further from the wall").
+    let coupled_safe = Polytope::new(vec![
+        Halfspace::new(Vector::from_slice(&[1.0, 0.0]), 10.0).unwrap(),
+        Halfspace::new(Vector::from_slice(&[1.0, 2.0]), 10.0).unwrap(),
+    ])
+    .unwrap();
+
+    let est_box =
+        PolytopeDeadlineEstimator::new(&a, &b, control.clone(), 0.01, box_safe, 300).unwrap();
+    let est_coupled =
+        PolytopeDeadlineEstimator::new(&a, &b, control, 0.01, coupled_safe, 300).unwrap();
+
+    println!("deadline comparison: position-only box vs coupled position+velocity face");
+    println!("{:>10} {:>10} {:>14} {:>16}", "position", "velocity", "box deadline", "coupled deadline");
+    for (x, v) in [
+        (0.0, 0.0),
+        (5.0, 0.0),
+        (5.0, 1.0),
+        (5.0, 2.0),
+        (8.0, 0.0),
+        (8.0, 1.0),
+    ] {
+        let state = Vector::from_slice(&[x, v]);
+        let d_box = est_box.deadline(&state);
+        let d_coupled = est_coupled.deadline(&state);
+        println!("{x:>10.1} {v:>10.1} {:>14} {:>16}", show(d_box), show(d_coupled));
+    }
+
+    println!();
+    println!("the coupled face tightens the deadline precisely for fast states —");
+    println!("information the box model cannot encode. The adaptive detector fed by");
+    println!("the polytope estimator therefore sharpens its window earlier when the");
+    println!("vehicle approaches the wall at speed.");
+
+    // Machine-checked takeaway for the fast state.
+    let fast = Vector::from_slice(&[5.0, 2.0]);
+    let d_box = est_box.deadline(&fast);
+    let d_coupled = est_coupled.deadline(&fast);
+    assert!(
+        d_coupled.is_tighter_than(d_box),
+        "coupled {d_coupled:?} should be tighter than box {d_box:?}"
+    );
+}
+
+fn show(d: Deadline) -> String {
+    match d {
+        Deadline::Within(t) => format!("{t} steps"),
+        Deadline::Beyond => "beyond".into(),
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: wire up the detection system by hand on a simple plant
+//! and watch it catch a sensor attack.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use awsad::core::DetectionReport;
+use awsad::prelude::*;
+
+fn main() {
+    // ── 1. A plant: first-order yaw dynamics at 20 ms ───────────────
+    let system = LtiSystem::from_continuous(
+        Matrix::diagonal(&[-2.0]),                    // x' = -2x + 2u
+        Matrix::from_rows(&[&[2.0]]).unwrap(),
+        Matrix::identity(1),                          // fully observable
+        0.02,
+    )
+    .unwrap();
+    let mut plant = Plant::new(
+        system.clone(),
+        Vector::zeros(1),
+        NoiseModel::uniform_ball(0.03).unwrap(),
+    );
+
+    // ── 2. A PI controller holding the yaw at 1.0, |u| <= 3 ─────────
+    let mut pid = PidController::new(
+        vec![PidChannel::new(
+            0,
+            0,
+            PidGains::new(0.5, 7.0, 0.0),
+            Reference::constant(1.0),
+        )],
+        BoxSet::from_bounds(&[-3.0], &[3.0]).unwrap(),
+        0.02,
+    )
+    .unwrap();
+
+    // ── 3. The detection system ─────────────────────────────────────
+    let max_window = 40;
+    let reach = ReachConfig::new(
+        BoxSet::from_bounds(&[-3.0], &[3.0]).unwrap(), // actuator set U
+        0.075,                                         // uncertainty bound
+        BoxSet::from_bounds(&[-2.0], &[2.0]).unwrap(), // safe set S
+        max_window,
+    )
+    .unwrap();
+    let estimator = DeadlineEstimator::new(system.a(), system.b(), reach).unwrap();
+    let config = DetectorConfig::new(Vector::from_slice(&[0.07]), max_window).unwrap();
+    let mut logger = DataLogger::new(system.clone(), max_window);
+    let mut detector = AdaptiveDetector::new(config, estimator).unwrap();
+
+    // ── 4. An attacker: +0.8 sensor bias from step 300 ──────────────
+    let mut attack = BiasAttack::new(
+        AttackWindow::new(300, Some(100)),
+        Vector::from_slice(&[0.8]),
+    );
+
+    // ── 5. The closed loop ──────────────────────────────────────────
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let mut first_alarm = None;
+    let mut report = DetectionReport::new();
+    for t in 0..500usize {
+        let measured = attack.tamper(t, &plant.measure());
+        let u = pid.control(t, &measured);
+        logger.record(measured, u.clone());
+        let out = detector.step(&logger);
+        report.record(&out);
+        if out.alarm() && first_alarm.is_none() {
+            first_alarm = Some((t, out.window, out.deadline));
+        }
+        plant.step(&u, &mut rng);
+    }
+
+    match first_alarm {
+        Some((t, w, deadline)) => {
+            println!("attack started at step 300");
+            println!("first alarm at step {t} (window {w}, deadline {deadline})");
+            assert!(t >= 300, "no false alarm expected before the attack here");
+            assert!(t <= 305, "the bias onset should be caught within a few steps");
+            println!("=> detected {} step(s) after the attack began", t - 300);
+        }
+        None => panic!("the detector missed the attack"),
+    }
+    println!();
+    println!("{report}");
+}

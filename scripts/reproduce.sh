@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every artifact of the reproduction from scratch:
+# tests, all tables/figures/ablations (CSVs under results/), and the
+# Criterion benches. Everything is seeded; outputs are deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== experiments =="
+for b in table1 fig6 fig7 table2 fig8 ablation_complementary \
+         ablation_baselines ablation_stealth ablation_reestimation \
+         benign_fp table2_extras sensitivity; do
+  echo "-- $b"
+  cargo run --release -p awsad-bench --bin "$b"
+done
+cargo run --release -p awsad-bench --bin fig6 -- --all > results/fig6_all_panels.txt
+
+echo "== examples =="
+for e in quickstart aircraft_bias_attack rc_car_testbed deadline_explorer \
+         custom_plant partial_observation polytope_safety \
+         detect_and_respond identify_model; do
+  echo "-- $e"
+  cargo run --release --example "$e" > /dev/null
+done
+
+echo "== benches =="
+cargo bench --workspace
+
+echo "All artifacts regenerated. See results/ and EXPERIMENTS.md."

@@ -1,0 +1,205 @@
+//! A guided, compilable tour of the detection system — every snippet
+//! here is a doc test, so the narrative cannot rot.
+//!
+//! # 1. The plant and the threat
+//!
+//! A CPS plant evolves as `x⁺ = Ax + Bu + v` with bounded uncertainty
+//! `‖v‖ ≤ ε`. The controller never sees `x` directly — it sees state
+//! *estimates* derived from sensors, and a sensor attacker can make
+//! those estimates lie:
+//!
+//! ```
+//! use awsad::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A 1-D yaw plant and a PI controller holding it at 1.0.
+//! let sys = LtiSystem::from_continuous(
+//!     Matrix::diagonal(&[-5.0]),
+//!     Matrix::from_rows(&[&[5.0]]).unwrap(),
+//!     Matrix::identity(1),
+//!     0.02,
+//! ).unwrap();
+//! let mut plant = Plant::new(sys.clone(), Vector::zeros(1), NoiseModel::None);
+//! let mut pid = PidController::new(
+//!     vec![PidChannel::new(0, 0, PidGains::new(0.5, 7.0, 0.0), Reference::constant(1.0))],
+//!     BoxSet::from_bounds(&[-3.0], &[3.0]).unwrap(),
+//!     0.02,
+//! ).unwrap();
+//!
+//! // A bias attack makes the sensor read 1.2 too low...
+//! let mut attack = BiasAttack::new(AttackWindow::from_step(0), Vector::from_slice(&[-1.2]));
+//! let mut rng = StdRng::seed_from_u64(0);
+//! for t in 0..600 {
+//!     let lied = attack.tamper(t, &plant.measure());
+//!     let u = pid.control(t, &lied);
+//!     plant.step(&u, &mut rng);
+//! }
+//! // ...so the controller "corrects" the healthy plant into danger:
+//! // the true state settles near 1.0 + 1.2 = 2.2.
+//! assert!((plant.state()[0] - 2.2).abs() < 0.05);
+//! ```
+//!
+//! # 2. Residuals and the window trade-off
+//!
+//! Detection compares each estimate against the model's one-step
+//! prediction. Averaging the residuals over a window suppresses noise
+//! but dilutes attack evidence — the whole design question is the
+//! window size:
+//!
+//! ```
+//! use awsad::prelude::*;
+//!
+//! let sys = LtiSystem::new_discrete_fully_observable(
+//!     Matrix::identity(1),
+//!     Matrix::zeros(1, 1),
+//!     0.02,
+//! ).unwrap();
+//! let mut logger = DataLogger::new(sys, 40);
+//! for _ in 0..30 {
+//!     logger.record(Vector::zeros(1), Vector::zeros(1));
+//! }
+//! logger.record(Vector::from_slice(&[0.5]), Vector::zeros(1)); // attack onset spike
+//!
+//! let tau = Vector::from_slice(&[0.07]);
+//! let small = WindowDetector::new(tau.clone());
+//! // A 2-step window sees the spike clearly...
+//! assert_eq!(small.check(&logger, 30, 2), Some(true));
+//! // ...a 30-step window dilutes it below the threshold.
+//! assert_eq!(small.check(&logger, 30, 30), Some(false));
+//! ```
+//!
+//! # 3. The deadline: how long is "in time"?
+//!
+//! Reachability analysis answers it: from the newest *trusted* state,
+//! how many control periods until the worst admissible control and
+//! noise could make the plant unsafe?
+//!
+//! ```
+//! use awsad::prelude::*;
+//!
+//! let a = Matrix::identity(1);
+//! let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+//! let est = DeadlineEstimator::new(&a, &b, ReachConfig::new(
+//!     BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+//!     0.0,
+//!     BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+//!     100,
+//! ).unwrap()).unwrap();
+//!
+//! // Far from danger: long deadline. Near the boundary: short.
+//! assert_eq!(est.deadline(&Vector::from_slice(&[0.0])), Deadline::Within(5));
+//! assert_eq!(est.deadline(&Vector::from_slice(&[4.0])), Deadline::Within(1));
+//! ```
+//!
+//! # 4. Putting it together: the adaptive detector
+//!
+//! The adaptive detector sets its window to the deadline every step
+//! and re-checks re-exposed history when the window shrinks, so the
+//! system is always positioned to alert *in time*:
+//!
+//! ```
+//! use awsad::prelude::*;
+//!
+//! let sys = LtiSystem::new_discrete_fully_observable(
+//!     Matrix::identity(1),
+//!     Matrix::from_rows(&[&[1.0]]).unwrap(),
+//!     0.02,
+//! ).unwrap();
+//! let est = DeadlineEstimator::new(sys.a(), sys.b(), ReachConfig::new(
+//!     BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+//!     0.0,
+//!     BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+//!     10,
+//! ).unwrap()).unwrap();
+//! let mut logger = DataLogger::new(sys, 10);
+//! let mut det = AdaptiveDetector::new(
+//!     DetectorConfig::new(Vector::from_slice(&[0.1]), 10).unwrap(),
+//!     est,
+//! ).unwrap();
+//!
+//! // Quiet at the origin, window = deadline = 5.
+//! for _ in 0..10 {
+//!     logger.record(Vector::zeros(1), Vector::zeros(1));
+//!     let out = det.step(&logger);
+//!     assert_eq!(out.window, 5);
+//!     assert!(!out.alarm());
+//! }
+//! // An attacked estimate arrives: the 5-step window flags it at once
+//! // (residual 1.0 over window 5 = 0.2 > 0.1).
+//! logger.record(Vector::from_slice(&[1.0]), Vector::zeros(1));
+//! assert!(det.step(&logger).alarm());
+//! ```
+//!
+//! # 5. Evaluation in one call
+//!
+//! The `sim` crate packages the full §6 methodology — seeded attacks,
+//! paired strategies, FP/deadline-miss metrics:
+//!
+//! ```
+//! use awsad::models::Simulator;
+//! use awsad::sim::{run_cell, AttackKind, EpisodeConfig};
+//!
+//! let model = Simulator::VehicleTurning.build();
+//! let cfg = EpisodeConfig::for_model(&model);
+//! let cell = run_cell(&model, AttackKind::Bias, 5, &cfg, 42);
+//! assert_eq!(cell.adaptive.detected, 5);
+//! assert!(cell.adaptive.deadline_misses <= cell.fixed.deadline_misses);
+//! ```
+//!
+//! From here: `examples/` for full walkthroughs, `crates/bench` for
+//! the paper's tables and figures, `EXPERIMENTS.md` for
+//! paper-vs-measured numbers.
+//!
+//! # 6. Shaping alarms for operations
+//!
+//! Raw per-step alarms are rarely consumed directly: wrap them in a
+//! policy ([`crate::core::AlarmPolicy`]) and summarize sessions with
+//! [`crate::core::DetectionReport`]:
+//!
+//! ```
+//! use awsad::core::{AlarmFilter, AlarmPolicy};
+//!
+//! // Confirm only on 2 consecutive alarms; latch the confirmation.
+//! let mut debounce = AlarmFilter::new(AlarmPolicy::KOfN { k: 2, n: 2 });
+//! let mut latch = AlarmFilter::new(AlarmPolicy::Latched);
+//! let raw = [false, true, false, true, true, false, false];
+//! let shaped: Vec<bool> = raw
+//!     .into_iter()
+//!     .map(|a| latch.observe(debounce.observe(a)))
+//!     .collect();
+//! // The isolated blip at step 1 is suppressed; the pair at steps
+//! // 3-4 confirms; the latch holds from then on.
+//! assert_eq!(shaped, [false, false, false, false, true, true, true]);
+//! ```
+//!
+//! # 7. When sensors don't measure everything
+//!
+//! With `C ≠ I`, reconstruct the state with a Luenberger observer
+//! (design the gain optimally with
+//! [`crate::control::steady_kalman_gain`]) and feed the detector the
+//! estimates — nothing else changes:
+//!
+//! ```
+//! use awsad::control::steady_kalman_gain;
+//! use awsad::lti::Observer;
+//! use awsad::prelude::*;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 0.9]]).unwrap();
+//! let c = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(); // position only
+//! let sys = LtiSystem::new_discrete(
+//!     a.clone(),
+//!     Matrix::from_rows(&[&[0.005], &[0.1]]).unwrap(),
+//!     c.clone(),
+//!     0.1,
+//! ).unwrap();
+//! assert!(sys.is_observable());
+//!
+//! let l = steady_kalman_gain(
+//!     &a,
+//!     &c,
+//!     &Matrix::diagonal(&[1e-4, 1e-4]),
+//!     &Matrix::diagonal(&[1e-2]),
+//! ).unwrap();
+//! let observer = Observer::new(sys, l, Vector::zeros(2)).unwrap();
+//! assert!(observer.is_convergent());
+//! ```

@@ -1,0 +1,165 @@
+//! End-to-end integration tests across all crates: every benchmark
+//! model, every attack scenario, the full detection pipeline.
+
+use awsad::models::Simulator;
+use awsad::prelude::*;
+use awsad::sim::run_cell;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A benign episode on every model: the fixed (w_m) detector must be
+/// quiet almost everywhere and the plant must stay safe.
+#[test]
+fn benign_episodes_are_safe_and_mostly_quiet() {
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut attack = NoAttack;
+        let r = run_episode(&model, &mut attack, None, &cfg, 7);
+        assert_eq!(r.unsafe_entry, None, "{sim}: benign run left the safe set");
+        let m = evaluate(&r, &r.fixed_alarms);
+        assert!(
+            m.false_positive_rate < 0.1,
+            "{sim}: fixed FP rate {} too high on a benign run",
+            m.false_positive_rate
+        );
+        assert!(!m.missed_deadline);
+    }
+}
+
+/// Every (model, attack) cell: the adaptive strategy never does worse
+/// than the fixed strategy on deadline misses, and detects at least as
+/// many attacks.
+#[test]
+fn adaptive_dominates_fixed_on_deadline_misses_everywhere() {
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        for kind in AttackKind::attacks() {
+            let cell = run_cell(&model, kind, 10, &cfg, 9_000);
+            assert!(
+                cell.adaptive.deadline_misses <= cell.fixed.deadline_misses,
+                "{sim}/{kind}: adaptive missed more deadlines ({} > {})",
+                cell.adaptive.deadline_misses,
+                cell.fixed.deadline_misses
+            );
+            assert!(
+                cell.adaptive.detected >= cell.fixed.detected,
+                "{sim}/{kind}: adaptive detected fewer attacks"
+            );
+        }
+    }
+}
+
+/// Bias attacks on every model: the adaptive detector catches the
+/// onset within the estimated deadline in the vast majority of runs.
+#[test]
+fn bias_attacks_caught_within_deadline() {
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let cell = run_cell(&model, AttackKind::Bias, 20, &cfg, 13_000);
+        assert!(
+            cell.adaptive.deadline_misses <= 2,
+            "{sim}: adaptive missed {}/20 bias deadlines",
+            cell.adaptive.deadline_misses
+        );
+        assert_eq!(cell.adaptive.detected, 20, "{sim}: adaptive missed bias attacks");
+    }
+}
+
+/// The full pipeline is deterministic end to end: same seed, same
+/// episode, bit-for-bit.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let model = Simulator::RlcCircuit.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        let s = sample_attack(&model, AttackKind::Replay, &mut rng);
+        let mut atk = s.attack;
+        run_episode(&model, atk.as_mut(), Some(s.reference), &cfg, 99)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.states.len(), b.states.len());
+    for t in 0..a.states.len() {
+        assert_eq!(a.states[t], b.states[t], "state diverged at t={t}");
+        assert_eq!(a.adaptive_alarms[t], b.adaptive_alarms[t]);
+        assert_eq!(a.windows[t], b.windows[t]);
+    }
+}
+
+/// Residual soundness across the stack: with no attack and no noise,
+/// residuals are exactly zero (the logger's prediction matches the
+/// plant's update), so any alarm would be a bug.
+#[test]
+fn noise_free_benign_run_has_zero_residuals() {
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let mut cfg = EpisodeConfig::for_model(&model);
+        cfg.measurement_noise = 0.0;
+        cfg.process_noise_scale = 0.0;
+        cfg.steps = 200;
+        let mut attack = NoAttack;
+        let r = run_episode(&model, &mut attack, None, &cfg, 1);
+        for t in 1..r.residuals.len() {
+            assert!(
+                r.residuals[t].norm_inf() < 1e-9,
+                "{sim}: nonzero residual {} at t={t} without noise",
+                r.residuals[t].norm_inf()
+            );
+            assert!(!r.adaptive_alarms[t], "{sim}: alarm without any noise or attack");
+        }
+    }
+}
+
+/// The window sizes chosen by the adaptive detector always respect the
+/// configured bounds and the deadline estimate.
+#[test]
+fn adaptive_windows_respect_bounds_and_deadlines() {
+    let model = Simulator::AircraftPitch.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let mut rng = StdRng::seed_from_u64(5);
+    let s = sample_attack(&model, AttackKind::Delay, &mut rng);
+    let mut atk = s.attack;
+    let r = run_episode(&model, atk.as_mut(), Some(s.reference), &cfg, 5);
+    for t in 0..r.windows.len() {
+        assert!(r.windows[t] <= cfg.max_window);
+        if let Some(d) = r.deadlines[t] {
+            assert!(
+                r.windows[t] <= d.max(1).min(cfg.max_window),
+                "window {} exceeds deadline {} at t={t}",
+                r.windows[t],
+                d
+            );
+        } else {
+            assert_eq!(r.windows[t], cfg.max_window);
+        }
+    }
+}
+
+/// Attacks tamper only inside their window: estimates match the noisy
+/// measurements exactly outside it (cross-checks attack + episode
+/// bookkeeping).
+#[test]
+fn attack_tampering_is_confined_to_its_window() {
+    let model = Simulator::VehicleTurning.build();
+    let mut cfg = EpisodeConfig::for_model(&model);
+    cfg.measurement_noise = 0.0;
+    cfg.process_noise_scale = 0.0;
+    let mut rng = StdRng::seed_from_u64(3 ^ 0x5EED_CAFE);
+    let s = sample_attack(&model, AttackKind::Bias, &mut rng);
+    let onset = s.onset.unwrap();
+    let mut atk = s.attack;
+    let r = run_episode(&model, atk.as_mut(), Some(s.reference), &cfg, 3);
+    let end = r.attack_end.unwrap();
+    for t in 0..r.states.len() {
+        let diff = (&r.estimates[t] - &r.states[t]).norm_inf();
+        if t < onset || t >= end {
+            assert!(diff < 1e-9, "tampering outside the window at t={t}");
+        } else {
+            assert!(diff > 1e-6, "no tampering inside the window at t={t}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the evaluation harness itself: the parallel
+//! Monte-Carlo engine, the benign cells, the sweep machinery and the
+//! reporting type — the plumbing the tables are built on.
+
+use awsad::core::DetectionReport;
+use awsad::models::Simulator;
+use awsad::prelude::*;
+use awsad::sim::{run_benign_cell, run_cells_parallel, run_window_sweep, CellJob};
+
+/// Parallel execution must be indistinguishable from sequential: the
+/// whole evaluation depends on paired seeds, so any nondeterminism in
+/// the engine would silently invalidate the tables.
+#[test]
+fn parallel_engine_is_deterministic() {
+    let jobs: Vec<CellJob> = Simulator::all()
+        .into_iter()
+        .map(|s| CellJob::new(s.build(), AttackKind::Bias, 3, 77))
+        .collect();
+    let a = run_cells_parallel(jobs.clone());
+    let b = run_cells_parallel(jobs);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 5);
+}
+
+/// The benign cell and the Table 2 cell see the same pre-onset world:
+/// a detector's benign FP profile must not depend on which harness
+/// measured it (same seeds, attack-free prefix).
+#[test]
+fn benign_and_attack_cells_are_consistent() {
+    let model = Simulator::RlcCircuit.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let benign = run_benign_cell(&model, 8, &cfg, 500);
+    // Sanity ordering only (exact rates differ because the attack
+    // episodes exclude the attack span from their denominator).
+    assert!(benign.every_step.mean_fp_rate >= benign.adaptive.mean_fp_rate);
+    assert!(benign.every_step.mean_fp_rate >= benign.fixed.mean_fp_rate);
+    assert!(benign.adaptive.mean_fp_rate < 0.2);
+}
+
+/// The sweep evaluates all window sizes on one shared episode per
+/// seed: adding more window sizes must not change the verdicts of the
+/// existing ones.
+#[test]
+fn sweep_is_consistent_across_window_subsets() {
+    let model = Simulator::AircraftPitch.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let tau = model.threshold[2];
+    let few = run_window_sweep(&model, &[0, 40], 6, 15, (5.0 * tau, 50.0 * tau), &cfg, 31);
+    let many = run_window_sweep(
+        &model,
+        &[0, 10, 40, 80],
+        6,
+        15,
+        (5.0 * tau, 50.0 * tau),
+        &cfg,
+        31,
+    );
+    assert_eq!(few[0], many[0]); // w = 0 identical
+    assert_eq!(few[1], many[2]); // w = 40 identical
+}
+
+/// DetectionReport aggregates a real episode faithfully.
+#[test]
+fn detection_report_matches_manual_counts() {
+    let model = Simulator::VehicleTurning.build();
+    let w_m = model.default_max_window;
+    let mut logger = model.data_logger(w_m);
+    let mut det = AdaptiveDetector::new(
+        DetectorConfig::new(model.threshold.clone(), w_m).unwrap(),
+        model.deadline_estimator(w_m).unwrap(),
+    )
+    .unwrap();
+
+    let mut report = DetectionReport::new();
+    let mut manual_alarms = 0usize;
+    for t in 0..60usize {
+        // Synthetic estimates with a spike at t = 40.
+        let x = if t == 40 { 1.5 } else { 1.0 };
+        logger.record(Vector::from_slice(&[x]), Vector::zeros(1));
+        let out = det.step(&logger);
+        manual_alarms += out.alarm() as usize;
+        report.record(&out);
+    }
+    assert_eq!(report.steps(), 60);
+    assert_eq!(report.alarms(), manual_alarms);
+    assert!(report.alarms() > 0, "the spike must alarm");
+    assert!(report.window_range().unwrap().1 <= w_m);
+    let (shrinks, grows) = report.adaptation_events();
+    assert!(shrinks + grows > 0, "the window never adapted");
+}
+
+/// Alarm policies compose with episode alarm streams.
+#[test]
+fn alarm_policies_shape_episode_streams() {
+    use awsad::core::{AlarmFilter, AlarmPolicy};
+
+    let model = Simulator::VehicleTurning.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let mut attack = NoAttack;
+    let r = run_episode(&model, &mut attack, None, &cfg, 41);
+
+    // Raw benign alarms exist (noise); a 3-of-4 debounce removes the
+    // isolated ones; a latch converts the first into a standing fault.
+    let raw: usize = r.adaptive_alarms.iter().map(|&a| a as usize).sum();
+    let mut debounce = AlarmFilter::new(AlarmPolicy::KOfN { k: 3, n: 4 });
+    let debounced: usize = r
+        .adaptive_alarms
+        .iter()
+        .map(|&a| debounce.observe(a) as usize)
+        .sum();
+    assert!(debounced <= raw, "debouncing must not add alarms");
+
+    let mut latch = AlarmFilter::new(AlarmPolicy::Latched);
+    let latched: Vec<bool> = r.adaptive_alarms.iter().map(|&a| latch.observe(a)).collect();
+    if let Some(first) = r.adaptive_alarms.iter().position(|&a| a) {
+        assert!(latched[first..].iter().all(|&a| a), "latch released");
+        assert!(latched[..first].iter().all(|&a| !a));
+    }
+}

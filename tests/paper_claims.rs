@@ -1,0 +1,150 @@
+//! The paper's headline qualitative claims, asserted as integration
+//! tests so regressions in any crate surface as test failures:
+//!
+//! * Fig. 7: false positives decrease and false negatives increase
+//!   with the window size.
+//! * Table 2: the adaptive strategy trades false-positive experiments
+//!   for (near-)zero deadline misses; the fixed strategy shows the
+//!   opposite bias.
+//! * Fig. 8: on the RC-car testbed the adaptive detector alerts in the
+//!   first step after the attack, before the car leaves the safe
+//!   speed range.
+//! * §3: the estimated deadline shrinks monotonically as the state
+//!   approaches the unsafe boundary.
+
+use awsad::attack::{AttackWindow, BiasAttack};
+use awsad::models::{rc_car, Simulator, RC_CAR_ATTACK_STEP, RC_CAR_BIAS_MPS, RC_CAR_C};
+use awsad::prelude::*;
+use awsad::sim::{run_cell, run_window_sweep};
+
+#[test]
+fn fig7_fp_fn_tradeoff_holds() {
+    let model = Simulator::AircraftPitch.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let tau = model.threshold[2];
+    let windows = [0usize, 10, 40, 100];
+    let points = run_window_sweep(&model, &windows, 25, 15, (5.0 * tau, 150.0 * tau), &cfg, 77);
+
+    // FP monotone non-increasing along the sampled windows.
+    for pair in points.windows(2) {
+        assert!(
+            pair[0].fp_experiments >= pair[1].fp_experiments,
+            "FP increased from w={} to w={}",
+            pair[0].window,
+            pair[1].window
+        );
+    }
+    // FN monotone non-decreasing.
+    for pair in points.windows(2) {
+        assert!(
+            pair[0].fn_experiments <= pair[1].fn_experiments,
+            "FN decreased from w={} to w={}",
+            pair[0].window,
+            pair[1].window
+        );
+    }
+    // The extremes are genuinely different regimes.
+    assert!(points[0].fp_experiments > points[3].fp_experiments);
+    assert!(points[0].fn_experiments < points[3].fn_experiments);
+}
+
+#[test]
+fn table2_shape_on_vehicle_bias() {
+    let model = Simulator::VehicleTurning.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    let cell = run_cell(&model, AttackKind::Bias, 25, &cfg, 50_000);
+    // Adaptive: everything detected, deadlines kept.
+    assert_eq!(cell.adaptive.detected, 25);
+    assert!(cell.adaptive.deadline_misses <= 1);
+    // Fixed: misses most deadlines.
+    assert!(
+        cell.fixed.deadline_misses >= 15,
+        "fixed missed only {}/25 deadlines",
+        cell.fixed.deadline_misses
+    );
+    // And when both detect, adaptive is faster on average.
+    if let (Some(a), Some(f)) = (
+        cell.adaptive.mean_detection_delay,
+        cell.fixed.mean_detection_delay,
+    ) {
+        assert!(a < f, "adaptive delay {a} not below fixed delay {f}");
+    }
+}
+
+#[test]
+fn fig8_first_step_detection_on_testbed() {
+    let model = rc_car();
+    let mut cfg = EpisodeConfig::for_model(&model);
+    cfg.steps = 200;
+    cfg.fixed_window = 30;
+    let mut attack = BiasAttack::new(
+        AttackWindow::from_step(RC_CAR_ATTACK_STEP),
+        Vector::from_slice(&[RC_CAR_BIAS_MPS / RC_CAR_C]),
+    );
+    let r = run_episode(&model, &mut attack, None, &cfg, 88);
+
+    // Paper: "our detector alert[s] in the first step after the attack".
+    assert_eq!(r.first_adaptive_alarm(RC_CAR_ATTACK_STEP), Some(RC_CAR_ATTACK_STEP));
+    // …and before the car leaves the safe speed range.
+    let unsafe_at = r.unsafe_entry.expect("the bias drives the car unsafe");
+    assert!(RC_CAR_ATTACK_STEP < unsafe_at);
+    // The fixed window-30 detector does not alert before the unsafe
+    // entry (on the ideal LTI replay it cannot alert at all).
+    if let Some(f) = r.first_fixed_alarm(RC_CAR_ATTACK_STEP) {
+        assert!(f >= unsafe_at, "fixed alert unexpectedly in time");
+    }
+}
+
+#[test]
+fn deadline_shrinks_toward_unsafe_boundary_on_all_models() {
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let est = model.deadline_estimator(model.default_max_window).unwrap();
+        let dim = model.attack_profile.target_dim;
+        let iv = model.safe_set.interval(dim);
+        let hi = if iv.hi().is_finite() { iv.hi() } else { continue };
+
+        let mut prev: Option<usize> = None;
+        for frac in [0.0, 0.4, 0.7, 0.9] {
+            let mut x = model.x0.clone();
+            x[dim] = hi * frac;
+            let d = est.deadline(&x);
+            let steps = d.steps().unwrap_or(model.default_max_window);
+            if let Some(p) = prev {
+                assert!(
+                    steps <= p,
+                    "{sim}: deadline grew from {p} to {steps} at frac {frac}"
+                );
+            }
+            prev = Some(steps);
+        }
+        // Close to the boundary the deadline must be strictly finite.
+        let mut near = model.x0.clone();
+        near[dim] = hi * 0.95;
+        assert!(
+            est.deadline(&near).steps().is_some(),
+            "{sim}: no finite deadline near the boundary"
+        );
+    }
+}
+
+#[test]
+fn complementary_detection_never_hurts() {
+    let model = Simulator::VehicleTurning.build();
+    for kind in AttackKind::attacks() {
+        let mut on = EpisodeConfig::for_model(&model);
+        on.complementary = true;
+        let mut off = on.clone();
+        off.complementary = false;
+        let cell_on = run_cell(&model, kind, 10, &on, 321);
+        let cell_off = run_cell(&model, kind, 10, &off, 321);
+        assert!(
+            cell_on.adaptive.detected >= cell_off.adaptive.detected,
+            "{kind}: complementary detection lost detections"
+        );
+        assert!(
+            cell_on.adaptive.deadline_misses <= cell_off.adaptive.deadline_misses,
+            "{kind}: complementary detection added deadline misses"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Failure-injection and robustness tests across the stack: faulty
+//! sensors (NaN / absurd values), model mismatch between the detector
+//! and the real plant, and boundary configurations.
+
+use awsad::models::Simulator;
+use awsad::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A sensor that goes NaN must raise an alarm (fail-safe), not
+/// silence the detector forever.
+#[test]
+fn nan_sensor_fault_alarms() {
+    let model = Simulator::VehicleTurning.build();
+    let w_m = model.default_max_window;
+    let mut logger = model.data_logger(w_m);
+    let mut det = AdaptiveDetector::new(
+        DetectorConfig::new(model.threshold.clone(), w_m).unwrap(),
+        model.deadline_estimator(w_m).unwrap(),
+    )
+    .unwrap();
+
+    for _ in 0..20 {
+        logger.record(Vector::from_slice(&[1.0]), Vector::zeros(1));
+        assert!(!det.step(&logger).alarm());
+    }
+    // The sensor dies.
+    logger.record(Vector::from_slice(&[f64::NAN]), Vector::zeros(1));
+    // The deadline estimator sees only trusted (pre-fault) data at
+    // this point, so the step proceeds; the window statistic is NaN
+    // and must fail safe.
+    let out = det.step(&logger);
+    assert!(out.alarm(), "NaN measurement must alarm");
+}
+
+/// An absurd (huge finite) sensor value is an alarm too, through the
+/// ordinary threshold path.
+#[test]
+fn absurd_sensor_value_alarms() {
+    let model = Simulator::VehicleTurning.build();
+    let w_m = model.default_max_window;
+    let mut logger = model.data_logger(w_m);
+    let mut det = AdaptiveDetector::new(
+        DetectorConfig::new(model.threshold.clone(), w_m).unwrap(),
+        model.deadline_estimator(w_m).unwrap(),
+    )
+    .unwrap();
+    for _ in 0..20 {
+        logger.record(Vector::from_slice(&[1.0]), Vector::zeros(1));
+        det.step(&logger);
+    }
+    logger.record(Vector::from_slice(&[1.0e9]), Vector::zeros(1));
+    assert!(det.step(&logger).alarm());
+}
+
+/// Detector model mismatch: the real plant's A differs from the
+/// detector's by 2%. The benign false-positive rate must stay usable
+/// (the mismatch adds a small persistent residual, absorbed by τ).
+#[test]
+fn small_model_mismatch_keeps_benign_fp_low() {
+    let model = Simulator::VehicleTurning.build();
+    let w_m = model.default_max_window;
+
+    // Perturbed "real" plant.
+    let a_real = model.system.a().scale(0.98);
+    let real = LtiSystem::new_discrete_fully_observable(
+        a_real,
+        model.system.b().clone(),
+        model.system.dt(),
+    )
+    .unwrap();
+    let mut plant = Plant::new(
+        real,
+        model.x0.clone(),
+        NoiseModel::uniform_ball(model.epsilon * 0.5).unwrap(),
+    );
+
+    let mut pid = model.controller().unwrap();
+    // Logger and estimator still use the *nominal* model.
+    let mut logger = model.data_logger(w_m);
+    let mut det = AdaptiveDetector::new(
+        DetectorConfig::new(model.threshold.clone(), w_m).unwrap(),
+        model.deadline_estimator(w_m).unwrap(),
+    )
+    .unwrap();
+    det.set_initial_radius(model.sensor_noise);
+    let sensor = NoiseModel::uniform_ball(model.sensor_noise).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut alarms = 0usize;
+    let steps = 600usize;
+    for t in 0..steps {
+        let est = &plant.measure() + &sensor.sample(1, &mut rng);
+        let u = pid.control(t, &est);
+        logger.record(est, u.clone());
+        alarms += det.step(&logger).alarm() as usize;
+        plant.step(&u, &mut rng);
+    }
+    let rate = alarms as f64 / steps as f64;
+    assert!(rate < 0.15, "2% model mismatch blew up the FP rate: {rate}");
+}
+
+/// Boundary configuration: minimum window forced to the maximum
+/// (degenerate adaptation range) must behave exactly like the fixed
+/// detector.
+#[test]
+fn degenerate_adaptation_range_equals_fixed() {
+    let model = Simulator::AircraftPitch.build();
+    let w_m = model.default_max_window;
+    let cfg =
+        DetectorConfig::with_min_window(model.threshold.clone(), w_m, w_m).unwrap();
+    let mut logger = model.data_logger(w_m);
+    let mut adaptive =
+        AdaptiveDetector::new(cfg.clone(), model.deadline_estimator(w_m).unwrap()).unwrap();
+    let fixed = FixedWindowDetector::new(&cfg, w_m);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut plant = Plant::new(
+        model.system.clone(),
+        model.x0.clone(),
+        NoiseModel::uniform_ball(model.epsilon * 0.5).unwrap(),
+    );
+    let mut pid = model.controller().unwrap();
+    let sensor = NoiseModel::uniform_ball(model.sensor_noise).unwrap();
+    for t in 0..200 {
+        let est = &plant.measure() + &sensor.sample(3, &mut rng);
+        let u = pid.control(t, &est);
+        logger.record(est, u.clone());
+        let a = adaptive.step(&logger);
+        let f = fixed.step(&logger);
+        assert_eq!(a.window, w_m);
+        assert_eq!(a.current_alarm, f, "diverged at t={t}");
+        assert!(a.complementary_alarms.is_empty());
+        plant.step(&u, &mut rng);
+    }
+}
+
+/// Saturated actuators throughout an episode must not break any
+/// invariant (windows in range, no panics, detector keeps running).
+#[test]
+fn sustained_actuator_saturation_is_handled() {
+    let model = Simulator::VehicleTurning.build();
+    let cfg = EpisodeConfig::for_model(&model);
+    // A reference far outside what the actuator can reach keeps the
+    // controller pinned at the rail.
+    let reference = Reference::constant(50.0);
+    let mut attack = NoAttack;
+    let r = run_episode(&model, &mut attack, Some(reference), &cfg, 4);
+    assert_eq!(r.states.len(), cfg.steps);
+    assert!(r.windows.iter().all(|&w| w <= cfg.max_window));
+    // The plant saturates at the steady state reachable with u = +3,
+    // which is beyond the +2 boundary: the run must record the unsafe
+    // entry (this is a control failure, not an attack).
+    assert!(r.unsafe_entry.is_some());
+}
