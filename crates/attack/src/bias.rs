@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn adds_bias_only_inside_window() {
-        let mut atk = BiasAttack::new(AttackWindow::new(2, Some(2)), Vector::from_slice(&[1.0, -0.5]));
+        let mut atk = BiasAttack::new(
+            AttackWindow::new(2, Some(2)),
+            Vector::from_slice(&[1.0, -0.5]),
+        );
         let y = Vector::from_slice(&[0.0, 0.0]);
         assert_eq!(atk.tamper(1, &y), y);
         assert_eq!(atk.tamper(2, &y).as_slice(), &[1.0, -0.5]);

@@ -56,7 +56,9 @@ impl ChainedAttack {
 impl std::fmt::Debug for ChainedAttack {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.stages.iter().map(|s| s.name()).collect();
-        f.debug_struct("ChainedAttack").field("stages", &names).finish()
+        f.debug_struct("ChainedAttack")
+            .field("stages", &names)
+            .finish()
     }
 }
 

@@ -211,12 +211,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "bounded")]
     fn unbounded_targeted_box_panics() {
-        let _ = RandomValueAttack::new(
-            AttackWindow::from_step(0),
-            BoxSet::entire(1),
-            vec![true],
-            1,
-        );
+        let _ =
+            RandomValueAttack::new(AttackWindow::from_step(0), BoxSet::entire(1), vec![true], 1);
     }
 
     #[test]

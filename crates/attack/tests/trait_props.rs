@@ -1,8 +1,8 @@
 //! Trait-level properties every sensor attack must satisfy.
 
 use awsad_attack::{
-    AttackWindow, BiasAttack, ChainedAttack, DelayAttack, NoAttack, RampAttack,
-    RandomValueAttack, ReplayAttack, SensorAttack,
+    AttackWindow, BiasAttack, ChainedAttack, DelayAttack, NoAttack, RampAttack, RandomValueAttack,
+    ReplayAttack, SensorAttack,
 };
 use awsad_linalg::Vector;
 use awsad_sets::BoxSet;
@@ -13,9 +13,17 @@ fn zoo(onset: usize, duration: usize) -> Vec<Box<dyn SensorAttack>> {
     let w = AttackWindow::new(onset, Some(duration));
     vec![
         Box::new(BiasAttack::new(w, Vector::from_slice(&[0.7, -0.2]))),
-        Box::new(RampAttack::new(w, Vector::from_slice(&[0.01, 0.0]), duration.max(1))),
+        Box::new(RampAttack::new(
+            w,
+            Vector::from_slice(&[0.01, 0.0]),
+            duration.max(1),
+        )),
         Box::new(DelayAttack::new(w, 3)),
-        Box::new(ReplayAttack::new(w, onset.saturating_sub(5).min(onset), onset.clamp(1, 5))),
+        Box::new(ReplayAttack::new(
+            w,
+            onset.saturating_sub(5).min(onset),
+            onset.clamp(1, 5),
+        )),
         Box::new(RandomValueAttack::new(
             w,
             BoxSet::from_bounds(&[-1.0, -1.0], &[1.0, 1.0]).unwrap(),

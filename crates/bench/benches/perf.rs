@@ -13,17 +13,19 @@
 //!   deadline query, window mean, complementary checks);
 //! * `logger_record` — one data-logger record (predict + residual);
 //! * `discretization` — model construction cost (matrix exponential);
+//! * `runtime_throughput` — the `awsad-runtime` engine end-to-end
+//!   (sessions × ticks through the worker pool), deadline cache on/off;
 //! * `episode_step` — a full closed-loop simulation step.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use awsad_attack::NoAttack;
-use awsad_sets::Polytope;
 use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
 use awsad_linalg::{discretize, Matrix, Vector};
 use awsad_models::Simulator;
 use awsad_reach::naive_deadline;
+use awsad_sets::Polytope;
 use awsad_sim::{run_episode, EpisodeConfig};
 
 fn deadline_query(c: &mut Criterion) {
@@ -136,8 +138,7 @@ fn reestimation_period(c: &mut Criterion) {
     let mut group = c.benchmark_group("reestimation_period");
     for period in [1usize, 10] {
         let mut detector =
-            AdaptiveDetector::new(det_cfg.clone(), model.deadline_estimator(w_m).unwrap())
-                .unwrap();
+            AdaptiveDetector::new(det_cfg.clone(), model.deadline_estimator(w_m).unwrap()).unwrap();
         detector.set_reestimation_period(period);
         group.bench_function(format!("period_{period}"), |b| {
             b.iter(|| black_box(detector.step(&logger)))
@@ -181,6 +182,103 @@ fn discretization(c: &mut Criterion) {
     group.finish();
 }
 
+fn runtime_throughput(c: &mut Criterion) {
+    // End-to-end engine throughput: N concurrent sessions each fed a
+    // fixed tick trace through the worker pool, with and without the
+    // exact deadline cache. Criterion reports seconds per batch;
+    // ticks/sec = (sessions × TICKS) / time.
+    use awsad_reach::{CacheConfig, DeadlineCache};
+    use awsad_runtime::{DetectionEngine, EngineConfig, Tick};
+
+    const TICKS: usize = 64;
+    let model = Simulator::VehicleTurning.build();
+    let w_m = model.default_max_window;
+    // A trace that revisits states (steady-state regulation): the
+    // cache-on variant should report a high hit rate.
+    let trace: Vec<Tick> = (0..TICKS)
+        .map(|t| {
+            let mut estimate = model.x0.clone();
+            estimate[0] += 0.01 * ((t % 4) as f64);
+            Tick {
+                estimate,
+                input: Vector::zeros(model.system.input_dim()),
+            }
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("runtime_throughput");
+    for sessions in [1usize, 8, 64] {
+        for cache in [false, true] {
+            let label = format!(
+                "{sessions}_sessions_cache_{}",
+                if cache { "on" } else { "off" }
+            );
+            let model = &model;
+            let trace = &trace;
+            group.bench_function(label, |b| {
+                b.iter_batched(
+                    || {
+                        let engine = DetectionEngine::new(EngineConfig::default());
+                        let handles: Vec<_> = (0..sessions)
+                            .map(|_| {
+                                let det_cfg =
+                                    DetectorConfig::new(model.threshold.clone(), w_m).unwrap();
+                                let mut detector = AdaptiveDetector::new(
+                                    det_cfg,
+                                    model.deadline_estimator(w_m).unwrap(),
+                                )
+                                .unwrap();
+                                if cache {
+                                    detector.set_deadline_cache(DeadlineCache::new(
+                                        CacheConfig::exact(1024),
+                                    ));
+                                }
+                                let logger = DataLogger::new(model.system.clone(), w_m);
+                                engine.add_session(logger, detector)
+                            })
+                            .collect();
+                        (engine, handles)
+                    },
+                    |(engine, handles)| {
+                        for tick in trace {
+                            for (session, _) in &handles {
+                                session.submit(tick.clone()).unwrap();
+                            }
+                        }
+                        engine.drain();
+                        black_box(engine.metrics().ticks_processed)
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+    group.finish();
+
+    // Sanity check printed once per bench run: the cache must actually
+    // hit on this trace while leaving decisions unchanged.
+    let det_cfg = DetectorConfig::new(model.threshold.clone(), w_m).unwrap();
+    let mut cached =
+        AdaptiveDetector::new(det_cfg.clone(), model.deadline_estimator(w_m).unwrap()).unwrap();
+    cached.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(1024)));
+    let mut plain = AdaptiveDetector::new(det_cfg, model.deadline_estimator(w_m).unwrap()).unwrap();
+    let mut logger_a = DataLogger::new(model.system.clone(), w_m);
+    let mut logger_b = DataLogger::new(model.system.clone(), w_m);
+    for tick in &trace {
+        logger_a.record(tick.estimate.clone(), tick.input.clone());
+        logger_b.record(tick.estimate.clone(), tick.input.clone());
+        assert_eq!(plain.step(&logger_a), cached.step(&logger_b));
+    }
+    let stats = cached.deadline_cache_stats().unwrap();
+    assert!(stats.hits > 0, "throughput trace must exercise the cache");
+    println!(
+        "runtime_throughput: deadline cache hit rate {:.1}% ({} hits / {} queries)",
+        100.0 * stats.hit_rate(),
+        stats.hits,
+        stats.hits + stats.misses
+    );
+}
+
 fn episode_step(c: &mut Criterion) {
     // Amortized per-step cost of the whole pipeline: run a short
     // episode and divide by its length (Criterion reports the episode;
@@ -206,6 +304,7 @@ criterion_group!(
     reestimation_period,
     logger_record,
     discretization,
+    runtime_throughput,
     episode_step
 );
 criterion_main!(benches);

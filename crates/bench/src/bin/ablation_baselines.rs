@@ -66,8 +66,14 @@ fn main() {
         let chi_limit = 9.0 * model.state_dim() as f64;
         for attack_kind in AttackKind::attacks() {
             let cfg = EpisodeConfig::for_model(&model);
-            let mut aggs =
-                [Agg::new(), Agg::new(), Agg::new(), Agg::new(), Agg::new(), Agg::new()];
+            let mut aggs = [
+                Agg::new(),
+                Agg::new(),
+                Agg::new(),
+                Agg::new(),
+                Agg::new(),
+                Agg::new(),
+            ];
             for i in 0..runs {
                 let seed = 77_000 + i as u64;
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xAB1A7E);
@@ -94,10 +100,14 @@ fn main() {
                     agg.add(&evaluate(&r, stream));
                 }
             }
-            for (agg, name) in aggs
-                .iter()
-                .zip(["adaptive", "fixed", "cusum", "every-step", "ewma", "chi-squared"])
-            {
+            for (agg, name) in aggs.iter().zip([
+                "adaptive",
+                "fixed",
+                "cusum",
+                "every-step",
+                "ewma",
+                "chi-squared",
+            ]) {
                 let mean_delay = if agg.detected > 0 {
                     agg.delay_sum as f64 / agg.detected as f64
                 } else {

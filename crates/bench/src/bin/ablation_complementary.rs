@@ -61,13 +61,18 @@ fn main() {
             // Detection = an alarm while the pulse is the only
             // evidence around: from the pulse until a few steps after
             // the deadline collapse finishes re-checking.
-            let detected = (pulse_at..(pulse_at + 15).min(cfg.steps))
-                .any(|t| r.adaptive_alarms[t]);
+            let detected = (pulse_at..(pulse_at + 15).min(cfg.steps)).any(|t| r.adaptive_alarms[t]);
             caught[idx] += detected as usize;
         }
     }
-    println!("pulse caught with complementary detection:    {}/{runs}", caught[0]);
-    println!("pulse caught without complementary detection: {}/{runs}", caught[1]);
+    println!(
+        "pulse caught with complementary detection:    {}/{runs}",
+        caught[0]
+    );
+    println!(
+        "pulse caught without complementary detection: {}/{runs}",
+        caught[1]
+    );
     assert!(
         caught[0] >= caught[1],
         "complementary detection must not lose detections"
@@ -121,7 +126,10 @@ fn main() {
         &rows,
     );
     println!();
-    println!("Escape scenario: ON caught {} vs OFF {} (out of {runs}).", caught[0], caught[1]);
+    println!(
+        "Escape scenario: ON caught {} vs OFF {} (out of {runs}).",
+        caught[0], caught[1]
+    );
     println!("Table 2 cells: total adaptive DM ON={dm_on_total}, OFF={dm_off_total} (onset");
     println!("evidence dominates there, so the re-check rarely changes aggregate counts —");
     println!("its value shows when evidence is diluted and the window shrinks afterwards).");

@@ -16,7 +16,9 @@
 
 use awsad_bench::write_csv;
 use awsad_models::Simulator;
-use awsad_sim::{evaluate, run_episode, sample_attack, sample_ramp_bias, AttackKind, EpisodeConfig};
+use awsad_sim::{
+    evaluate, run_episode, sample_attack, sample_ramp_bias, AttackKind, EpisodeConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,7 +48,10 @@ fn main() {
                 };
                 let mut atk = s.attack;
                 let r = run_episode(&model, atk.as_mut(), Some(s.reference), &cfg, seed);
-                for (k, stream) in [&r.adaptive_alarms, &r.fixed_alarms].into_iter().enumerate() {
+                for (k, stream) in [&r.adaptive_alarms, &r.fixed_alarms]
+                    .into_iter()
+                    .enumerate()
+                {
                     let m = evaluate(&r, stream);
                     det[k] += m.detected as usize;
                     dm[k] += m.missed_deadline as usize;

@@ -44,8 +44,13 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let scenario = sample_attack(&model, kind, &mut rng);
                 let mut attack = scenario.attack;
-                let r =
-                    run_episode(&model, attack.as_mut(), Some(scenario.reference), &cfg, seed);
+                let r = run_episode(
+                    &model,
+                    attack.as_mut(),
+                    Some(scenario.reference),
+                    &cfg,
+                    seed,
+                );
                 let m = evaluate(&r, &r.adaptive_alarms);
                 let in_time = m.detected && !m.missed_deadline;
                 if in_time || seed == 4242 + 19 {

@@ -33,7 +33,10 @@ fn main() {
 
     println!("{:>6} {:>6} {:>6}", "window", "#FP", "#FN");
     for p in points.iter().step_by(5) {
-        println!("{:>6} {:>6} {:>6}", p.window, p.fp_experiments, p.fn_experiments);
+        println!(
+            "{:>6} {:>6} {:>6}",
+            p.window, p.fp_experiments, p.fn_experiments
+        );
     }
 
     let rows: Vec<String> = points

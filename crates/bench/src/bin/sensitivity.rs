@@ -60,8 +60,6 @@ fn main() {
         &rows,
     );
     println!();
-    println!(
-        "cells where adaptive #DM exceeded fixed #DM: {ordering_violations} (expected 0)"
-    );
+    println!("cells where adaptive #DM exceeded fixed #DM: {ordering_violations} (expected 0)");
     println!("Written to results/sensitivity.csv");
 }

@@ -79,7 +79,9 @@ fn main() {
         fix_dm += cell.fixed.deadline_misses;
     }
     println!();
-    println!("Totals over 15 cases: adaptive #FP={adp_fp} #DM={adp_dm}; fixed #FP={fix_fp} #DM={fix_dm}");
+    println!(
+        "Totals over 15 cases: adaptive #FP={adp_fp} #DM={adp_dm}; fixed #FP={fix_fp} #DM={fix_dm}"
+    );
     println!("Expected shape (paper): adaptive trades more FP experiments for near-zero");
     println!("deadline misses; the fixed window has fewer FPs but misses most deadlines.");
     println!("Per-cell rows written to results/table2.csv");

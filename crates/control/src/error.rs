@@ -55,9 +55,12 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(ControlError::NoChannels.to_string().contains("channel"));
-        assert!(ControlError::InputIndexOutOfRange { index: 3, input_dim: 1 }
-            .to_string()
-            .contains('3'));
+        assert!(ControlError::InputIndexOutOfRange {
+            index: 3,
+            input_dim: 1
+        }
+        .to_string()
+        .contains('3'));
         assert!(ControlError::InvalidSamplingPeriod { dt: 0.0 }
             .to_string()
             .contains('0'));

@@ -299,8 +299,13 @@ mod tests {
             BoxSet::from_bounds(&[-1.0, -1.0], &[1.0, 1.0]).unwrap(),
         )
         .is_err());
-        assert!(solve_dare(&a, &Matrix::zeros(3, 1), &Matrix::identity(2), &Matrix::identity(1))
-            .is_err());
+        assert!(solve_dare(
+            &a,
+            &Matrix::zeros(3, 1),
+            &Matrix::identity(2),
+            &Matrix::identity(1)
+        )
+        .is_err());
     }
 
     #[test]

@@ -162,8 +162,7 @@ impl Controller for PidController {
             st.prev_error = Some(error);
 
             let mut integral = st.integral + error * self.dt;
-            let raw =
-                ch.gains.kp * error + ch.gains.ki * integral + ch.gains.kd * derivative;
+            let raw = ch.gains.kp * error + ch.gains.ki * integral + ch.gains.kd * derivative;
 
             // Back-calculation anti-windup: when the channel's own
             // output saturates against its actuator limit, rewind the
@@ -295,7 +294,10 @@ mod tests {
                 break;
             }
         }
-        assert!(flipped_at.is_some(), "anti-windup failed: output never unpinned");
+        assert!(
+            flipped_at.is_some(),
+            "anti-windup failed: output never unpinned"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use awsad_reach::{Deadline, DeadlineEstimator};
+use awsad_reach::{CacheStats, Deadline, DeadlineCache, DeadlineEstimator};
 
 use crate::{DataLogger, DetectError, DetectorConfig, Result, WindowDetector};
 
@@ -58,6 +58,7 @@ pub struct AdaptiveDetector {
     reestimation_period: usize,
     steps_since_estimate: usize,
     cached_deadline: Option<Deadline>,
+    deadline_cache: Option<DeadlineCache>,
 }
 
 impl AdaptiveDetector {
@@ -86,6 +87,7 @@ impl AdaptiveDetector {
             reestimation_period: 1,
             steps_since_estimate: 0,
             cached_deadline: None,
+            deadline_cache: None,
         })
     }
 
@@ -143,6 +145,29 @@ impl AdaptiveDetector {
         self.cached_deadline = None;
     }
 
+    /// Installs a memoizing [`DeadlineCache`] in front of the
+    /// estimator's deadline search.
+    ///
+    /// With the default exact (quantum 0) configuration, cached
+    /// answers are bit-identical to uncached queries and detection
+    /// decisions are unchanged; a positive quantum trades bounded
+    /// extra conservatism for a higher hit rate (see
+    /// [`awsad_reach::CacheConfig::quantum`]).
+    pub fn set_deadline_cache(&mut self, cache: DeadlineCache) {
+        self.deadline_cache = Some(cache);
+    }
+
+    /// Removes and returns the installed deadline cache, if any.
+    pub fn take_deadline_cache(&mut self) -> Option<DeadlineCache> {
+        self.deadline_cache.take()
+    }
+
+    /// Hit/miss/eviction counters of the installed deadline cache
+    /// (`None` when no cache is installed).
+    pub fn deadline_cache_stats(&self) -> Option<CacheStats> {
+        self.deadline_cache.as_ref().map(|c| c.stats())
+    }
+
     /// Runs one detection step against the logger's newest entry.
     ///
     /// # Panics
@@ -169,10 +194,15 @@ impl AdaptiveDetector {
                 let trusted = logger
                     .trusted_entry(self.prev_window)
                     .expect("logger has at least one entry");
-                let fresh = self
-                    .estimator
-                    .checked_deadline(&trusted.estimate, self.initial_radius)
-                    .expect("logger state dimension matches estimator");
+                let fresh = match self.deadline_cache.as_mut() {
+                    Some(cache) => cache
+                        .deadline(&self.estimator, &trusted.estimate, self.initial_radius)
+                        .expect("logger state dimension matches estimator"),
+                    None => self
+                        .estimator
+                        .checked_deadline(&trusted.estimate, self.initial_radius)
+                        .expect("logger state dimension matches estimator"),
+                };
                 self.steps_since_estimate = 1;
                 fresh
             }
@@ -205,6 +235,44 @@ impl AdaptiveDetector {
             previous_window: w_p,
             current_alarm,
             complementary_alarms,
+        }
+    }
+
+    /// Runs one *degraded* detection step: no reachability query, the
+    /// window grows to `w_m`, and the current window is still checked
+    /// against `τ`.
+    ///
+    /// This is the documented overload fallback (used by the runtime's
+    /// drop-to-degraded backpressure policy): growing the window is
+    /// the conservative direction for false positives and needs no
+    /// complementary re-checks (Fig. 4), while detection coverage of
+    /// the current window is preserved. The reported deadline is
+    /// [`Deadline::Beyond`] — "no estimate this step" — and the next
+    /// regular [`AdaptiveDetector::step`] re-queries the estimator
+    /// unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the logger is empty.
+    pub fn step_degraded(&mut self, logger: &DataLogger) -> AdaptiveStep {
+        let current = logger
+            .current_step()
+            .expect("record the current step before detection");
+        let w_p = self.prev_window;
+        let w_c = self.config.max_window();
+        let current_alarm = self.checker.check(logger, current, w_c).unwrap_or(false);
+        self.prev_window = w_c;
+        // The aged in-detector deadline is no longer aligned with the
+        // trusted state after a skipped query; force a refresh.
+        self.steps_since_estimate = 0;
+        self.cached_deadline = None;
+        AdaptiveStep {
+            step: current,
+            deadline: Deadline::Beyond,
+            window: w_c,
+            previous_window: w_p,
+            current_alarm,
+            complementary_alarms: Vec::new(),
         }
     }
 
@@ -475,5 +543,76 @@ mod tests {
     fn zero_reestimation_period_panics() {
         let (_, mut det) = setup(0.1, 10);
         det.set_reestimation_period(0);
+    }
+
+    #[test]
+    fn exact_deadline_cache_leaves_decisions_unchanged() {
+        use awsad_reach::CacheConfig;
+        let (mut logger_a, mut plain) = setup(0.28, 10);
+        let (mut logger_b, mut cached) = setup(0.28, 10);
+        cached.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(256)));
+        for t in 0..=18usize {
+            let estimate = match t {
+                0..=5 => 0.0,
+                _ => 0.8 + 0.1 * (t as f64 - 6.0),
+            };
+            logger_a.record(v(estimate), v(0.0));
+            logger_b.record(v(estimate), v(0.0));
+            assert_eq!(plain.step(&logger_a), cached.step(&logger_b), "t={t}");
+        }
+        let stats = cached.deadline_cache_stats().unwrap();
+        assert!(stats.hits > 0, "repeated trusted states must hit");
+        assert_eq!(plain.deadline_cache_stats(), None);
+    }
+
+    #[test]
+    fn deadline_cache_can_be_taken_back_with_counters() {
+        use awsad_reach::CacheConfig;
+        let (mut logger, mut det) = setup(0.5, 10);
+        det.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(16)));
+        logger.record(v(0.0), v(0.0));
+        det.step(&logger);
+        let cache = det.take_deadline_cache().unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(det.deadline_cache_stats(), None);
+    }
+
+    #[test]
+    fn degraded_step_grows_to_max_window_and_still_detects() {
+        let (mut logger, mut det) = setup(0.2, 10);
+        // Near the boundary the regular step shrinks the window…
+        logger.record(v(4.5), v(0.0));
+        assert!(det.step(&logger).window < 10);
+        // …a degraded step snaps back to w_m without an estimator
+        // query and reports no deadline estimate.
+        logger.record(v(4.5), v(0.0));
+        let out = det.step_degraded(&logger);
+        assert_eq!(out.window, 10);
+        assert_eq!(out.deadline, Deadline::Beyond);
+        assert!(out.complementary_alarms.is_empty());
+        assert_eq!(det.previous_window(), 10);
+        // Detection on the current window still happens: a residual
+        // burst above tau*w trips the degraded step too.
+        let (mut logger2, mut det2) = setup(0.2, 4);
+        for _ in 0..4 {
+            logger2.record(v(0.0), v(0.0));
+            det2.step(&logger2);
+        }
+        logger2.record(v(8.0), v(0.0));
+        assert!(det2.step_degraded(&logger2).current_alarm);
+    }
+
+    #[test]
+    fn degraded_step_forces_requery_on_next_regular_step() {
+        let (mut logger, mut det) = setup(10.0, 10);
+        det.set_reestimation_period(4);
+        logger.record(v(0.0), v(0.0));
+        assert_eq!(det.step(&logger).deadline, Deadline::Within(5));
+        logger.record(v(0.0), v(0.0));
+        det.step_degraded(&logger);
+        // Without the forced refresh the period-4 detector would age
+        // the stale estimate (4); instead it re-queries and reads 5.
+        logger.record(v(0.0), v(0.0));
+        assert_eq!(det.step(&logger).deadline, Deadline::Within(5));
     }
 }

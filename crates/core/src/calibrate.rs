@@ -128,7 +128,11 @@ mod tests {
         let trace = constant_trace(0.1, 100);
         let tau = calibrate_threshold(&trace, 4, 0.05, 1.5).unwrap();
         let expected = 0.1 * 5.0 / 4.0 * 1.5;
-        assert!((tau[0] - expected).abs() < 1e-12, "{} vs {expected}", tau[0]);
+        assert!(
+            (tau[0] - expected).abs() < 1e-12,
+            "{} vs {expected}",
+            tau[0]
+        );
     }
 
     #[test]
@@ -174,14 +178,15 @@ mod tests {
         }
         let rate = exceed as f64 / total as f64;
         assert!(rate <= target + 0.02, "rate {rate} exceeds target {target}");
-        assert!(rate >= target - 0.05, "rate {rate} far below target {target}");
+        assert!(
+            rate >= target - 0.05,
+            "rate {rate} far below target {target}"
+        );
     }
 
     #[test]
     fn per_dimension_independence() {
-        let trace: Vec<Vector> = (0..100)
-            .map(|_| Vector::from_slice(&[0.1, 1.0]))
-            .collect();
+        let trace: Vec<Vector> = (0..100).map(|_| Vector::from_slice(&[0.1, 1.0])).collect();
         let tau = calibrate_threshold(&trace, 2, 0.0, 1.0).unwrap();
         assert!(tau[0] < tau[1]);
         assert!((tau[1] / tau[0] - 10.0).abs() < 1e-9);

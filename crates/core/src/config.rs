@@ -33,7 +33,11 @@ impl DetectorConfig {
     ///
     /// As [`DetectorConfig::new`], plus [`DetectError::WindowOrdering`]
     /// when `min_window > max_window`.
-    pub fn with_min_window(threshold: Vector, min_window: usize, max_window: usize) -> Result<Self> {
+    pub fn with_min_window(
+        threshold: Vector,
+        min_window: usize,
+        max_window: usize,
+    ) -> Result<Self> {
         if threshold.is_empty() {
             return Err(DetectError::InvalidThreshold {
                 reason: "threshold must have at least one dimension",

@@ -81,8 +81,10 @@ mod tests {
         }
         .to_string()
         .contains('2'));
-        assert!(DetectError::InvalidCusumParameter { reason: "negative drift" }
-            .to_string()
-            .contains("drift"));
+        assert!(DetectError::InvalidCusumParameter {
+            reason: "negative drift"
+        }
+        .to_string()
+        .contains("drift"));
     }
 }

@@ -156,14 +156,16 @@ mod tests {
         det.observe(0, &v(1.0));
         det.reset();
         assert_eq!(det.state()[0], 0.0);
-        assert!(det.observe(1, &v(0.6)), "re-primes from the first observation");
+        assert!(
+            det.observe(1, &v(0.6)),
+            "re-primes from the first observation"
+        );
         assert_eq!(det.name(), "ewma");
     }
 
     #[test]
     fn multi_dimensional_any_dim() {
-        let mut det =
-            EwmaDetector::new(1.0, Vector::from_slice(&[0.5, 0.5])).unwrap();
+        let mut det = EwmaDetector::new(1.0, Vector::from_slice(&[0.5, 0.5])).unwrap();
         assert!(det.observe(0, &Vector::from_slice(&[0.0, 0.6])));
     }
 }

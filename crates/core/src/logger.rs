@@ -285,7 +285,7 @@ mod tests {
         log.record(v(0.0), v(0.0)); // r = 0
         log.record(v(1.5), v(0.0)); // pred 0, r = 1.5
         log.record(v(1.5), v(0.0)); // pred 0.75, r = 0.75
-        // w = 1: sum of steps 1..=2 divided by w = 1.
+                                    // w = 1: sum of steps 1..=2 divided by w = 1.
         let mean = log.window_mean(2, 1).unwrap();
         assert!((mean[0] - (1.5 + 0.75)).abs() < 1e-12);
         // w = 2: sum of steps 0..=2 divided by w = 2.

@@ -169,5 +169,8 @@ fn escapes_happen_without_complementary_detection() {
 
     let (checked_on, sizes_on) = run(&stream, 10, 5.0, true);
     let bad_on = violations(&checked_on, &sizes_on);
-    assert!(bad_on.is_empty(), "unexpected escapes with complementary: {bad_on:?}");
+    assert!(
+        bad_on.is_empty(),
+        "unexpected escapes with complementary: {bad_on:?}"
+    );
 }

@@ -138,12 +138,7 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Eigenvalue>> {
             let w = h[(m, m - 1)].abs() + h[(m - 1, m - 2)].abs();
             (1.5 * w + h[(m, m)], w * w)
         } else {
-            let (p, q, r, ss) = (
-                h[(m - 1, m - 1)],
-                h[(m - 1, m)],
-                h[(m, m - 1)],
-                h[(m, m)],
-            );
+            let (p, q, r, ss) = (h[(m - 1, m - 1)], h[(m - 1, m)], h[(m, m - 1)], h[(m, m)]);
             (p + ss, p * ss - q * r)
         };
 
@@ -190,9 +185,7 @@ fn eig2x2(p: f64, q: f64, r: f64, s: f64) -> (Eigenvalue, Eigenvalue) {
 /// which preserves the union of spectra once the block is decoupled.
 fn francis_double_step(h: &mut Matrix, lo: usize, hi: usize, s: f64, t: f64) {
     // First column of (H - sigma1 I)(H - sigma2 I).
-    let mut x = h[(lo, lo)] * h[(lo, lo)] + h[(lo, lo + 1)] * h[(lo + 1, lo)]
-        - s * h[(lo, lo)]
-        + t;
+    let mut x = h[(lo, lo)] * h[(lo, lo)] + h[(lo, lo + 1)] * h[(lo + 1, lo)] - s * h[(lo, lo)] + t;
     let mut y = h[(lo + 1, lo)] * (h[(lo, lo)] + h[(lo + 1, lo + 1)] - s);
     let mut z = h[(lo + 1, lo)] * h[(lo + 2, lo + 1)];
 
@@ -209,8 +202,7 @@ fn francis_double_step(h: &mut Matrix, lo: usize, hi: usize, s: f64, t: f64) {
                 // Left: rows k..k+3.
                 let col_start = k.saturating_sub(1).max(lo);
                 for col in col_start..hi {
-                    let dot =
-                        v0 * h[(k, col)] + v1 * h[(k + 1, col)] + v2 * h[(k + 2, col)];
+                    let dot = v0 * h[(k, col)] + v1 * h[(k + 1, col)] + v2 * h[(k + 2, col)];
                     let f = beta * dot;
                     h[(k, col)] -= f * v0;
                     h[(k + 1, col)] -= f * v1;
@@ -219,8 +211,7 @@ fn francis_double_step(h: &mut Matrix, lo: usize, hi: usize, s: f64, t: f64) {
                 // Right: cols k..k+3.
                 let row_end = (k + 4).min(hi);
                 for row in lo..row_end {
-                    let dot =
-                        v0 * h[(row, k)] + v1 * h[(row, k + 1)] + v2 * h[(row, k + 2)];
+                    let dot = v0 * h[(row, k)] + v1 * h[(row, k + 1)] + v2 * h[(row, k + 2)];
                     let f = beta * dot;
                     h[(row, k)] -= f * v0;
                     h[(row, k + 1)] -= f * v1;
@@ -319,7 +310,11 @@ mod tests {
     use super::*;
 
     fn sorted_moduli(a: &Matrix) -> Vec<f64> {
-        let mut m: Vec<f64> = eigenvalues(a).unwrap().iter().map(|e| e.modulus()).collect();
+        let mut m: Vec<f64> = eigenvalues(a)
+            .unwrap()
+            .iter()
+            .map(|e| e.modulus())
+            .collect();
         m.sort_by(|x, y| x.partial_cmp(y).unwrap());
         m
     }
@@ -337,8 +332,8 @@ mod tests {
 
     #[test]
     fn triangular_matrix_eigenvalues_on_diagonal() {
-        let a = Matrix::from_rows(&[&[2.0, 5.0, -3.0], &[0.0, -1.0, 4.0], &[0.0, 0.0, 0.5]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 5.0, -3.0], &[0.0, -1.0, 4.0], &[0.0, 0.0, 0.5]]).unwrap();
         let mut res: Vec<f64> = eigenvalues(&a).unwrap().iter().map(|e| e.re).collect();
         res.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert!((res[0] + 1.0).abs() < 1e-8);
@@ -389,7 +384,11 @@ mod tests {
             &[0.3, 0.2, 0.1, 0.9],
         ])
         .unwrap();
-        let prod: f64 = eigenvalues(&a).unwrap().iter().map(|e| e.modulus()).product();
+        let prod: f64 = eigenvalues(&a)
+            .unwrap()
+            .iter()
+            .map(|e| e.modulus())
+            .product();
         let det = crate::Lu::new(&a).unwrap().determinant().abs();
         assert!(
             (prod - det).abs() < 1e-6 * det.max(1.0),
@@ -399,12 +398,8 @@ mod tests {
 
     #[test]
     fn sum_of_real_parts_matches_trace() {
-        let a = Matrix::from_rows(&[
-            &[0.5, 1.0, -0.7],
-            &[-0.2, 0.3, 0.9],
-            &[0.8, -0.5, 0.1],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[0.5, 1.0, -0.7], &[-0.2, 0.3, 0.9], &[0.8, -0.5, 0.1]]).unwrap();
         let sum: f64 = eigenvalues(&a).unwrap().iter().map(|e| e.re).sum();
         let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
         assert!((sum - trace).abs() < 1e-8);

@@ -76,14 +76,14 @@ pub fn expm(a: &Matrix) -> Result<Matrix> {
 
     // U = A * (A6*(b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
     let w1 = &(&(&a6 * PADE13[13]) + &(&a4 * PADE13[11])) + &(&a2 * PADE13[9]);
-    let w2 = &(&(&a6 * PADE13[7]) + &(&a4 * PADE13[5]))
-        + &(&(&a2 * PADE13[3]) + &(&ident * PADE13[1]));
+    let w2 =
+        &(&(&a6 * PADE13[7]) + &(&a4 * PADE13[5])) + &(&(&a2 * PADE13[3]) + &(&ident * PADE13[1]));
     let u = &a_scaled * &(&(&a6 * &w1) + &w2);
 
     // V = A6*(b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
     let z1 = &(&(&a6 * PADE13[12]) + &(&a4 * PADE13[10])) + &(&a2 * PADE13[8]);
-    let z2 = &(&(&a6 * PADE13[6]) + &(&a4 * PADE13[4]))
-        + &(&(&a2 * PADE13[2]) + &(&ident * PADE13[0]));
+    let z2 =
+        &(&(&a6 * PADE13[6]) + &(&a4 * PADE13[4])) + &(&(&a2 * PADE13[2]) + &(&ident * PADE13[0]));
     let v = &(&a6 * &z1) + &z2;
 
     // r = (V - U)^{-1} (V + U)

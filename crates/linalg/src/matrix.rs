@@ -287,7 +287,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn pow(&self, k: usize) -> Result<Matrix> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let mut result = Matrix::identity(self.rows);
         let mut base = self.clone();
@@ -332,7 +334,11 @@ impl Matrix {
     /// Induced 1-norm (maximum absolute column sum).
     pub fn norm_1(&self) -> f64 {
         (0..self.cols)
-            .map(|j| (0..self.rows).map(|i| self.data[i * self.cols + j].abs()).sum())
+            .map(|j| {
+                (0..self.rows)
+                    .map(|i| self.data[i * self.cols + j].abs())
+                    .sum()
+            })
             .fold(0.0_f64, f64::max)
     }
 
@@ -387,13 +393,17 @@ impl Matrix {
                 right: right.shape(),
             });
         }
-        Ok(Matrix::from_fn(self.rows, self.cols + right.cols, |i, j| {
-            if j < self.cols {
-                self.data[i * self.cols + j]
-            } else {
-                right.data[i * right.cols + (j - self.cols)]
-            }
-        }))
+        Ok(Matrix::from_fn(
+            self.rows,
+            self.cols + right.cols,
+            |i, j| {
+                if j < self.cols {
+                    self.data[i * self.cols + j]
+                } else {
+                    right.data[i * right.cols + (j - self.cols)]
+                }
+            },
+        ))
     }
 
     /// Vertical concatenation `[self; below]`.
@@ -426,8 +436,13 @@ impl Matrix {
     ///
     /// Panics if the requested block exceeds the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
-        Matrix::from_fn(rows, cols, |i, j| self.data[(r0 + i) * self.cols + (c0 + j)])
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of bounds"
+        );
+        Matrix::from_fn(rows, cols, |i, j| {
+            self.data[(r0 + i) * self.cols + (c0 + j)]
+        })
     }
 }
 
@@ -487,7 +502,8 @@ impl<'a> Mul for &'a Matrix {
     type Output = Matrix;
 
     fn mul(self, rhs: &'a Matrix) -> Matrix {
-        self.checked_mul(rhs).expect("matrix product shape mismatch")
+        self.checked_mul(rhs)
+            .expect("matrix product shape mismatch")
     }
 }
 

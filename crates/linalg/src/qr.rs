@@ -128,8 +128,8 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_square() {
-        let a = Matrix::from_rows(&[&[2.0, -1.0, 3.0], &[4.0, 1.0, -2.0], &[1.0, 5.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 3.0], &[4.0, 1.0, -2.0], &[1.0, 5.0, 2.0]]).unwrap();
         let (q, r) = qr(&a).unwrap();
         assert!((&q * &r).approx_eq_tol(&a, 1e-10));
         // R upper triangular.

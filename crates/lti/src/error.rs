@@ -53,7 +53,11 @@ impl fmt::Display for LtiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LtiError::StateMatrixNotSquare { shape } => {
-                write!(f, "state matrix A must be square, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "state matrix A must be square, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LtiError::InputMatrixMismatch { state_dim, shape } => write!(
                 f,
@@ -69,7 +73,10 @@ impl fmt::Display for LtiError {
                 write!(f, "sampling period must be finite and positive, got {dt}")
             }
             LtiError::InvalidNoiseBound { epsilon } => {
-                write!(f, "noise bound must be finite and non-negative, got {epsilon}")
+                write!(
+                    f,
+                    "noise bound must be finite and non-negative, got {epsilon}"
+                )
             }
             LtiError::DimensionMismatch {
                 what,

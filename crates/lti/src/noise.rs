@@ -74,7 +74,9 @@ impl NoiseModel {
             NoiseModel::UniformBall { epsilon } => sample_uniform_ball(n, *epsilon, rng),
             NoiseModel::TruncatedGaussian { epsilon } => {
                 let sigma = epsilon / 3.0;
-                let v: Vector = (0..n).map(|_| sigma * sample_standard_normal(rng)).collect();
+                let v: Vector = (0..n)
+                    .map(|_| sigma * sample_standard_normal(rng))
+                    .collect();
                 let norm = v.norm_l2();
                 if norm > *epsilon && norm > 0.0 {
                     v.scale(epsilon / norm)
@@ -163,8 +165,10 @@ mod tests {
         // sampler is not just returning boundary points.
         let mut rng = StdRng::seed_from_u64(44);
         let m = NoiseModel::uniform_ball(1.0).unwrap();
-        let mean: f64 =
-            (0..4_000).map(|_| m.sample(1, &mut rng).norm_l2()).sum::<f64>() / 4_000.0;
+        let mean: f64 = (0..4_000)
+            .map(|_| m.sample(1, &mut rng).norm_l2())
+            .sum::<f64>()
+            / 4_000.0;
         assert!((mean - 0.5).abs() < 0.05, "mean radius {mean} not near 0.5");
     }
 

@@ -179,7 +179,11 @@ mod tests {
     #[test]
     fn estimate_converges_to_true_state() {
         let sys = partial_system();
-        let mut plant = Plant::new(sys.clone(), Vector::from_slice(&[2.0, -1.0]), NoiseModel::None);
+        let mut plant = Plant::new(
+            sys.clone(),
+            Vector::from_slice(&[2.0, -1.0]),
+            NoiseModel::None,
+        );
         // Observer starts at the wrong state.
         let mut obs = Observer::new(sys, gain(), Vector::zeros(2)).unwrap();
         let mut rng = StdRng::seed_from_u64(0);

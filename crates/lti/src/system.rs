@@ -144,7 +144,8 @@ impl LtiSystem {
     /// Panics when `x` or `u` have the wrong length; use
     /// [`LtiSystem::checked_step`] for fallible callers.
     pub fn step(&self, x: &Vector, u: &Vector) -> Vector {
-        self.checked_step(x, u).expect("state/input dimensions must match model")
+        self.checked_step(x, u)
+            .expect("state/input dimensions must match model")
     }
 
     /// Fallible variant of [`LtiSystem::step`].
@@ -179,7 +180,9 @@ impl LtiSystem {
     ///
     /// Panics when `x.len()` differs from the state dimension.
     pub fn measure(&self, x: &Vector) -> Vector {
-        self.c.checked_mul_vec(x).expect("state dimension must match model")
+        self.c
+            .checked_mul_vec(x)
+            .expect("state dimension must match model")
     }
 
     /// Spectral-radius upper bound via the induced ∞-norm of `A^k`,
@@ -256,8 +259,12 @@ mod tests {
     #[test]
     fn checked_step_rejects_bad_dims() {
         let s = simple();
-        assert!(s.checked_step(&Vector::zeros(3), &Vector::zeros(1)).is_err());
-        assert!(s.checked_step(&Vector::zeros(2), &Vector::zeros(2)).is_err());
+        assert!(s
+            .checked_step(&Vector::zeros(3), &Vector::zeros(1))
+            .is_err());
+        assert!(s
+            .checked_step(&Vector::zeros(2), &Vector::zeros(2))
+            .is_err());
     }
 
     #[test]

@@ -130,7 +130,11 @@ impl CpsModel {
     /// Propagates estimator construction errors (cannot occur for the
     /// built-in models).
     pub fn deadline_estimator(&self, max_window: usize) -> awsad_reach::Result<DeadlineEstimator> {
-        DeadlineEstimator::new(self.system.a(), self.system.b(), self.reach_config(max_window)?)
+        DeadlineEstimator::new(
+            self.system.a(),
+            self.system.b(),
+            self.reach_config(max_window)?,
+        )
     }
 
     /// Builds the plant at the nominal initial state with the model's
@@ -169,10 +173,16 @@ impl CpsModel {
     pub fn validate(&self) -> std::result::Result<(), String> {
         let n = self.state_dim();
         if self.safe_set.dim() != n {
-            return Err(format!("safe set dim {} != state dim {n}", self.safe_set.dim()));
+            return Err(format!(
+                "safe set dim {} != state dim {n}",
+                self.safe_set.dim()
+            ));
         }
         if self.threshold.len() != n {
-            return Err(format!("threshold dim {} != state dim {n}", self.threshold.len()));
+            return Err(format!(
+                "threshold dim {} != state dim {n}",
+                self.threshold.len()
+            ));
         }
         if self.x0.len() != n {
             return Err(format!("x0 dim {} != state dim {n}", self.x0.len()));
@@ -223,10 +233,16 @@ impl CpsModel {
         }
         for ch in &self.pid_channels {
             if ch.state_index >= n {
-                return Err(format!("PID channel state index {} out of range", ch.state_index));
+                return Err(format!(
+                    "PID channel state index {} out of range",
+                    ch.state_index
+                ));
             }
             if ch.input_index >= self.system.input_dim() {
-                return Err(format!("PID channel input index {} out of range", ch.input_index));
+                return Err(format!(
+                    "PID channel input index {} out of range",
+                    ch.input_index
+                ));
             }
         }
         Ok(())

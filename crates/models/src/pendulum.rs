@@ -140,7 +140,10 @@ mod tests {
         // fast: the deadline must be finite and small.
         match est.deadline(&m.x0) {
             awsad_reach::Deadline::Within(t) => {
-                assert!(t < 25, "deadline {t} suspiciously long for an unstable plant")
+                assert!(
+                    t < 25,
+                    "deadline {t} suspiciously long for an unstable plant"
+                )
             }
             awsad_reach::Deadline::Beyond => panic!("expected a finite deadline"),
         }

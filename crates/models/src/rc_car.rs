@@ -116,7 +116,10 @@ mod tests {
         // Steady input u = x(1-A)/B ≈ 2.09 must be inside [0, 7.7].
         let m = rc_car();
         let u = m.x0[0] * (1.0 - 8.435e-1) / 7.7919e-4;
-        assert!(m.control_limits.contains(&Vector::from_slice(&[u])), "u = {u}");
+        assert!(
+            m.control_limits.contains(&Vector::from_slice(&[u])),
+            "u = {u}"
+        );
     }
 
     #[test]
@@ -139,6 +142,9 @@ mod tests {
                 break;
             }
         }
-        assert!(went_unsafe, "the +2.5 m/s bias must slow the car below 2 m/s");
+        assert!(
+            went_unsafe,
+            "the +2.5 m/s bias must slow the car below 2 m/s"
+        );
     }
 }

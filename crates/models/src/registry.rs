@@ -90,7 +90,13 @@ mod tests {
             (Simulator::AircraftPitch, 0.02, (-7.0, 7.0), 7.8e-3, 0.012),
             (Simulator::VehicleTurning, 0.02, (-3.0, 3.0), 7.5e-2, 0.07),
             (Simulator::RlcCircuit, 0.02, (-5.0, 5.0), 1.7e-2, 0.04),
-            (Simulator::DcMotorPosition, 0.1, (-20.0, 20.0), 1.5e-1, 0.118),
+            (
+                Simulator::DcMotorPosition,
+                0.1,
+                (-20.0, 20.0),
+                1.5e-1,
+                0.118,
+            ),
             (Simulator::Quadrotor, 0.1, (-2.0, 2.0), 1.56e-15, 0.018),
         ];
         for (sim, dt, (u_lo, u_hi), eps, tau0) in rows {

@@ -63,7 +63,10 @@ fn vehicle_turning_is_overdamped_enough() {
     let settle = settling_step(&trace, 1.0, 0.02).expect("never settled");
     assert!(settle < 400, "vehicle settled at step {settle}");
     let peak = trace.iter().cloned().fold(f64::MIN, f64::max);
-    assert!(peak < 1.5, "turn overshoot to {peak} approaches the safe boundary");
+    assert!(
+        peak < 1.5,
+        "turn overshoot to {peak} approaches the safe boundary"
+    );
     assert!(u_max <= 3.0);
 }
 

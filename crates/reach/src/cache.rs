@@ -1,0 +1,294 @@
+use std::collections::{HashMap, VecDeque};
+
+use awsad_linalg::Vector;
+
+use crate::{Deadline, DeadlineEstimator, Result};
+
+/// Configuration of a [`DeadlineCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Quantization step applied per state dimension when forming the
+    /// cache key.
+    ///
+    /// `0.0` (the default) keys on the exact bit pattern of the
+    /// trusted state: hits only occur when the same state recurs
+    /// exactly, and cached answers are **identical** to uncached
+    /// queries — detection decisions are unchanged.
+    ///
+    /// A positive quantum `q` snaps each coordinate to its nearest
+    /// multiple of `q`, so nearby states share one entry. To stay
+    /// *sound*, the cached deadline is computed from the snapped
+    /// representative with the initial-state uncertainty radius
+    /// inflated by `q·√n/2` — every state in the bin lies inside that
+    /// ball, so the cached deadline is conservative (never later than
+    /// the true deadline) for the whole bin. Larger `q` → higher hit
+    /// rate, but up-to-`q·√n/2`-worth of extra pessimism in the
+    /// deadline and therefore smaller detection windows.
+    pub quantum: f64,
+    /// Maximum number of retained entries; the oldest entry is evicted
+    /// (FIFO) once the bound is reached.
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            quantum: 0.0,
+            capacity: 4096,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An exact-key cache (quantum 0) with the given capacity.
+    pub fn exact(capacity: usize) -> Self {
+        CacheConfig {
+            quantum: 0.0,
+            capacity,
+        }
+    }
+
+    /// A quantized cache with the given bin width and capacity.
+    pub fn quantized(quantum: f64, capacity: usize) -> Self {
+        CacheConfig { quantum, capacity }
+    }
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran the full deadline search.
+    pub misses: u64,
+    /// Entries evicted to honor the capacity bound.
+    pub evictions: u64,
+    /// Entries currently retained.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` before any query.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoization layer over [`DeadlineEstimator::checked_deadline`].
+///
+/// The deadline search is the dominant per-step cost of the adaptive
+/// detector — `O(w_m · n²)` per query — yet consecutive control steps
+/// frequently query near-identical trusted states (steady-state
+/// operation, convergent regulation). The cache maps a (quantized)
+/// trusted state to its deadline, bounded by a FIFO eviction policy.
+///
+/// See [`CacheConfig::quantum`] for the exactness/soundness contract.
+#[derive(Debug, Clone)]
+pub struct DeadlineCache {
+    config: CacheConfig,
+    entries: HashMap<Vec<u64>, Deadline>,
+    order: VecDeque<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl DeadlineCache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let capacity = config.capacity.max(1);
+        DeadlineCache {
+            config: CacheConfig { capacity, ..config },
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Effectiveness counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            len: self.entries.len(),
+            ..self.stats
+        }
+    }
+
+    /// The deadline from `x0` with initial-state radius `r0`, answered
+    /// from the cache when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ReachError::DimensionMismatch`] for a
+    /// wrong-length `x0`.
+    pub fn deadline(
+        &mut self,
+        estimator: &DeadlineEstimator,
+        x0: &Vector,
+        r0: f64,
+    ) -> Result<Deadline> {
+        let key = self.key(x0, r0);
+        if let Some(&hit) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            return Ok(hit);
+        }
+        self.stats.misses += 1;
+        let q = self.config.quantum;
+        let deadline = if q > 0.0 {
+            // Evaluate at the bin's snapped representative with the
+            // radius inflated to cover the whole bin (soundness: every
+            // state keyed here lies within q·√n/2 of the
+            // representative).
+            let snapped = Vector::from_fn(x0.len(), |d| (x0[d] / q).round() * q);
+            let inflation = 0.5 * q * (x0.len() as f64).sqrt();
+            estimator.checked_deadline(&snapped, r0 + inflation)?
+        } else {
+            estimator.checked_deadline(x0, r0)?
+        };
+        self.insert(key, deadline);
+        Ok(deadline)
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    fn key(&self, x0: &Vector, r0: f64) -> Vec<u64> {
+        let q = self.config.quantum;
+        let mut key = Vec::with_capacity(x0.len() + 1);
+        for d in 0..x0.len() {
+            if q > 0.0 {
+                key.push((x0[d] / q).round() as i64 as u64);
+            } else {
+                key.push(x0[d].to_bits());
+            }
+        }
+        key.push(r0.to_bits());
+        key
+    }
+
+    fn insert(&mut self, key: Vec<u64>, deadline: Deadline) {
+        while self.entries.len() >= self.config.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.entries.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+        if self.entries.insert(key.clone(), deadline).is_none() {
+            self.order.push_back(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReachConfig;
+    use awsad_linalg::Matrix;
+    use awsad_sets::BoxSet;
+
+    /// Pure integrator: x_{t+1} = x_t + u_t, |u| <= 1, safe |x| <= 5.
+    fn integrator() -> DeadlineEstimator {
+        let a = Matrix::identity(1);
+        let b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let cfg = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+            100,
+        )
+        .unwrap();
+        DeadlineEstimator::new(&a, &b, cfg).unwrap()
+    }
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn exact_mode_matches_uncached_and_counts_hits() {
+        let est = integrator();
+        let mut cache = DeadlineCache::new(CacheConfig::exact(64));
+        for x in [0.0, 3.0, 0.0, 3.0, 0.0] {
+            let cached = cache.deadline(&est, &v(x), 0.0).unwrap();
+            assert_eq!(cached, est.checked_deadline(&v(x), 0.0).unwrap());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.len, 2);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_mode_distinguishes_radii() {
+        let est = integrator();
+        let mut cache = DeadlineCache::new(CacheConfig::exact(64));
+        let a = cache.deadline(&est, &v(3.0), 0.0).unwrap();
+        let b = cache.deadline(&est, &v(3.0), 1.0).unwrap();
+        assert!(b.is_tighter_than(a));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn quantized_mode_is_sound() {
+        let est = integrator();
+        let q = 0.5;
+        let mut cache = DeadlineCache::new(CacheConfig::quantized(q, 64));
+        // Every cached answer must be no later than the exact deadline
+        // for every state in its bin.
+        for i in 0..40 {
+            let x = -4.0 + 0.2 * i as f64;
+            let cached = cache.deadline(&est, &v(x), 0.0).unwrap();
+            let exact = est.checked_deadline(&v(x), 0.0).unwrap();
+            assert!(
+                cached == exact || cached.is_tighter_than(exact),
+                "x={x}: cached {cached} later than exact {exact}"
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "bin sharing must produce hits");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let est = integrator();
+        let mut cache = DeadlineCache::new(CacheConfig::exact(4));
+        for i in 0..10 {
+            cache.deadline(&est, &v(i as f64 * 0.1), 0.0).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.len, 4);
+        assert_eq!(stats.evictions, 6);
+        // The oldest keys were evicted: re-querying them misses.
+        cache.deadline(&est, &v(0.0), 0.0).unwrap();
+        assert_eq!(cache.stats().misses, 11);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let est = integrator();
+        let mut cache = DeadlineCache::new(CacheConfig::exact(8));
+        cache.deadline(&est, &v(1.0), 0.0).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn dimension_mismatch_propagates() {
+        let est = integrator();
+        let mut cache = DeadlineCache::new(CacheConfig::default());
+        assert!(cache.deadline(&est, &Vector::zeros(2), 0.0).is_err());
+    }
+}

@@ -53,7 +53,11 @@ impl fmt::Display for ReachError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReachError::StateMatrixNotSquare { shape } => {
-                write!(f, "state matrix A must be square, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "state matrix A must be square, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             ReachError::InputMatrixMismatch { state_dim, shape } => write!(
                 f,
@@ -71,7 +75,10 @@ impl fmt::Display for ReachError {
                 "safe set has {safe_dim} dimensions but the state has {state_dim}"
             ),
             ReachError::InvalidNoiseBound { epsilon } => {
-                write!(f, "noise bound must be finite and non-negative, got {epsilon}")
+                write!(
+                    f,
+                    "noise bound must be finite and non-negative, got {epsilon}"
+                )
             }
             ReachError::ZeroHorizon => write!(f, "maximum search horizon must be positive"),
             ReachError::DimensionMismatch { expected, actual } => {

@@ -367,26 +367,20 @@ mod tests {
         )
         .unwrap();
         // Rectangular A.
-        assert!(DeadlineEstimator::new(
-            &Matrix::zeros(1, 2),
-            &Matrix::zeros(1, 1),
-            cfg.clone()
-        )
-        .is_err());
+        assert!(
+            DeadlineEstimator::new(&Matrix::zeros(1, 2), &Matrix::zeros(1, 1), cfg.clone())
+                .is_err()
+        );
         // B row mismatch.
-        assert!(DeadlineEstimator::new(
-            &Matrix::identity(1),
-            &Matrix::zeros(2, 1),
-            cfg.clone()
-        )
-        .is_err());
+        assert!(
+            DeadlineEstimator::new(&Matrix::identity(1), &Matrix::zeros(2, 1), cfg.clone())
+                .is_err()
+        );
         // Control box vs B columns.
-        assert!(DeadlineEstimator::new(
-            &Matrix::identity(1),
-            &Matrix::zeros(1, 2),
-            cfg.clone()
-        )
-        .is_err());
+        assert!(
+            DeadlineEstimator::new(&Matrix::identity(1), &Matrix::zeros(1, 2), cfg.clone())
+                .is_err()
+        );
         // Safe set vs state dim.
         let cfg2 = ReachConfig::new(
             BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
@@ -417,9 +411,15 @@ mod tests {
         // From 0: |x_t| <= t; escape at t = 6 → deadline 5.
         assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Within(5));
         // From 3: escape at t = 3 (3+3 > 5) → deadline 2.
-        assert_eq!(est.deadline(&Vector::from_slice(&[3.0])), Deadline::Within(2));
+        assert_eq!(
+            est.deadline(&Vector::from_slice(&[3.0])),
+            Deadline::Within(2)
+        );
         // From 5.5 (already unsafe): deadline 0.
-        assert_eq!(est.deadline(&Vector::from_slice(&[5.5])), Deadline::Within(0));
+        assert_eq!(
+            est.deadline(&Vector::from_slice(&[5.5])),
+            Deadline::Within(0)
+        );
     }
 
     #[test]
@@ -479,8 +479,12 @@ mod tests {
     #[test]
     fn unsafe_start_is_not_safe() {
         let est = integrator(10, 5.0);
-        assert!(!est.is_conservatively_safe(&Vector::from_slice(&[6.0]), 0).unwrap());
-        assert!(est.is_conservatively_safe(&Vector::from_slice(&[0.0]), 4).unwrap());
+        assert!(!est
+            .is_conservatively_safe(&Vector::from_slice(&[6.0]), 0)
+            .unwrap());
+        assert!(est
+            .is_conservatively_safe(&Vector::from_slice(&[0.0]), 4)
+            .unwrap());
     }
 
     #[test]

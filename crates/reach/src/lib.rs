@@ -67,12 +67,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 mod deadline;
 mod error;
 mod estimator;
 mod naive;
 mod polytope_estimator;
 
+pub use cache::{CacheConfig, CacheStats, DeadlineCache};
 pub use deadline::Deadline;
 pub use error::ReachError;
 pub use estimator::{DeadlineEstimator, ReachConfig};

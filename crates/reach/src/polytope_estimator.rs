@@ -123,7 +123,12 @@ impl PolytopeDeadlineEstimator {
             face_pow_norms.push(
                 faces
                     .iter()
-                    .map(|l| a_pow.checked_transpose_mul_vec(l).expect("dims checked").norm_l2())
+                    .map(|l| {
+                        a_pow
+                            .checked_transpose_mul_vec(l)
+                            .expect("dims checked")
+                            .norm_l2()
+                    })
                     .collect(),
             );
             let aibq = a_pow.checked_mul(&bq)?;
@@ -152,7 +157,12 @@ impl PolytopeDeadlineEstimator {
         face_pow_norms.push(
             faces
                 .iter()
-                .map(|l| a_pow.checked_transpose_mul_vec(l).expect("dims checked").norm_l2())
+                .map(|l| {
+                    a_pow
+                        .checked_transpose_mul_vec(l)
+                        .expect("dims checked")
+                        .norm_l2()
+                })
                 .collect(),
         );
 
@@ -210,17 +220,10 @@ impl PolytopeDeadlineEstimator {
             if t > 0 {
                 x = self.a.checked_mul_vec(&x)?;
             }
-            let contained = self
-                .safe
-                .faces()
-                .iter()
-                .enumerate()
-                .all(|(j, face)| {
-                    face.normal().dot(&x)
-                        + self.face_terms[t][j]
-                        + r0 * self.face_pow_norms[t][j]
-                        <= face.offset()
-                });
+            let contained = self.safe.faces().iter().enumerate().all(|(j, face)| {
+                face.normal().dot(&x) + self.face_terms[t][j] + r0 * self.face_pow_norms[t][j]
+                    <= face.offset()
+            });
             if !contained {
                 return Ok(Deadline::Within(t.saturating_sub(1)));
             }
@@ -266,7 +269,13 @@ mod tests {
         )
         .unwrap();
 
-        for (x, y) in [(0.0, 0.0), (0.5, 0.5), (-0.9, 1.0), (0.99, 0.0), (0.2, -2.5)] {
+        for (x, y) in [
+            (0.0, 0.0),
+            (0.5, 0.5),
+            (-0.9, 1.0),
+            (0.99, 0.0),
+            (0.2, -2.5),
+        ] {
             let x0 = Vector::from_slice(&[x, y]);
             for r0 in [0.0, 0.05, 0.2] {
                 assert_eq!(
@@ -288,8 +297,11 @@ mod tests {
         let control = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
 
         let box_only = Polytope::from_box(
-            &BoxSet::from_bounds(&[f64::NEG_INFINITY, f64::NEG_INFINITY], &[5.0, f64::INFINITY])
-                .unwrap(),
+            &BoxSet::from_bounds(
+                &[f64::NEG_INFINITY, f64::NEG_INFINITY],
+                &[5.0, f64::INFINITY],
+            )
+            .unwrap(),
         )
         .unwrap();
         let coupled = Polytope::new(vec![
@@ -334,28 +346,40 @@ mod tests {
         )
         .unwrap();
         assert_eq!(est.deadline(&Vector::zeros(1)), Deadline::Within(5));
-        assert_eq!(est.deadline(&Vector::from_slice(&[3.0])), Deadline::Within(2));
-        assert_eq!(est.deadline(&Vector::from_slice(&[6.0])), Deadline::Within(0));
+        assert_eq!(
+            est.deadline(&Vector::from_slice(&[3.0])),
+            Deadline::Within(2)
+        );
+        assert_eq!(
+            est.deadline(&Vector::from_slice(&[6.0])),
+            Deadline::Within(0)
+        );
     }
 
     #[test]
     fn validation_errors() {
         let (a, b) = integrator_pair();
         let control = BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap();
-        let safe1 = Polytope::new(vec![Halfspace::new(Vector::from_slice(&[1.0]), 5.0).unwrap()])
-            .unwrap();
-        let safe2 =
-            Polytope::new(vec![
-                Halfspace::new(Vector::from_slice(&[1.0, 0.0]), 5.0).unwrap()
-            ])
-            .unwrap();
+        let safe1 = Polytope::new(vec![
+            Halfspace::new(Vector::from_slice(&[1.0]), 5.0).unwrap()
+        ])
+        .unwrap();
+        let safe2 = Polytope::new(vec![
+            Halfspace::new(Vector::from_slice(&[1.0, 0.0]), 5.0).unwrap()
+        ])
+        .unwrap();
         assert!(PolytopeDeadlineEstimator::new(&a, &b, control.clone(), 0.0, safe2, 10).is_err());
-        assert!(PolytopeDeadlineEstimator::new(&a, &b, control.clone(), -1.0, safe1.clone(), 10)
-            .is_err());
-        assert!(PolytopeDeadlineEstimator::new(&a, &b, control.clone(), 0.0, safe1.clone(), 0)
-            .is_err());
-        assert!(PolytopeDeadlineEstimator::new(&a, &b, BoxSet::entire(1), 0.0, safe1.clone(), 10)
-            .is_err());
+        assert!(
+            PolytopeDeadlineEstimator::new(&a, &b, control.clone(), -1.0, safe1.clone(), 10)
+                .is_err()
+        );
+        assert!(
+            PolytopeDeadlineEstimator::new(&a, &b, control.clone(), 0.0, safe1.clone(), 0).is_err()
+        );
+        assert!(
+            PolytopeDeadlineEstimator::new(&a, &b, BoxSet::entire(1), 0.0, safe1.clone(), 10)
+                .is_err()
+        );
         let est = PolytopeDeadlineEstimator::new(&a, &b, control, 0.0, safe1, 10).unwrap();
         assert!(est.checked_deadline(&Vector::zeros(2), 0.0).is_err());
     }
@@ -363,8 +387,10 @@ mod tests {
     #[test]
     fn initial_radius_tightens() {
         let (a, b) = integrator_pair();
-        let safe = Polytope::new(vec![Halfspace::new(Vector::from_slice(&[1.0]), 5.0).unwrap()])
-            .unwrap();
+        let safe = Polytope::new(vec![
+            Halfspace::new(Vector::from_slice(&[1.0]), 5.0).unwrap()
+        ])
+        .unwrap();
         let est = PolytopeDeadlineEstimator::new(
             &a,
             &b,

@@ -145,8 +145,7 @@ fn polytope_deadline_is_conservative() {
         Halfspace::new(Vector::from_slice(&[1.0, 2.0]), 3.0).unwrap(),
     ])
     .unwrap();
-    let est =
-        PolytopeDeadlineEstimator::new(&a, &b, control, eps, safe.clone(), 50).unwrap();
+    let est = PolytopeDeadlineEstimator::new(&a, &b, control, eps, safe.clone(), 50).unwrap();
 
     let mut rng = StdRng::seed_from_u64(1234);
     for trial in 0..50 {

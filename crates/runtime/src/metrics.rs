@@ -1,0 +1,208 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of fixed latency buckets per stage histogram.
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Upper bound (inclusive) of latency bucket `i`, in nanoseconds.
+///
+/// Buckets are powers of two starting at 128 ns: bucket 0 holds
+/// `(0, 128]` ns, bucket 1 `(128, 256]` ns, …; the last bucket is
+/// open-ended (≈ 1 s and above).
+pub fn bucket_bound_ns(i: usize) -> u64 {
+    128u64 << i.min(LATENCY_BUCKETS - 1)
+}
+
+fn bucket_index(ns: u64) -> usize {
+    let mut idx = 0;
+    while idx < LATENCY_BUCKETS - 1 && ns > bucket_bound_ns(idx) {
+        idx += 1;
+    }
+    idx
+}
+
+/// Lock-free accumulation side of one stage histogram.
+#[derive(Debug, Default)]
+pub(crate) struct HistInner {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl HistInner {
+    pub(crate) fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencyHistogram {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        LatencyHistogram {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one stage's latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample count per bucket; see [`bucket_bound_ns`] for bounds.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Mean latency in nanoseconds (`0` before any sample).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bucket bound below which at least `q` (in `[0, 1]`) of
+    /// the samples fall — a conservative quantile estimate (`None`
+    /// before any sample).
+    pub fn quantile_bound_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(bucket_bound_ns(i));
+            }
+        }
+        Some(bucket_bound_ns(LATENCY_BUCKETS - 1))
+    }
+}
+
+/// Shared atomic counters behind [`RuntimeMetrics`] snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsInner {
+    pub(crate) sessions_active: AtomicU64,
+    pub(crate) ticks_submitted: AtomicU64,
+    pub(crate) ticks_processed: AtomicU64,
+    pub(crate) alarms_raised: AtomicU64,
+    pub(crate) degraded_ticks: AtomicU64,
+    pub(crate) queue_depth_high_water: AtomicU64,
+    pub(crate) log_latency: HistInner,
+    pub(crate) detect_latency: HistInner,
+}
+
+impl MetricsInner {
+    pub(crate) fn snapshot(&self) -> RuntimeMetrics {
+        RuntimeMetrics {
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            ticks_submitted: self.ticks_submitted.load(Ordering::Relaxed),
+            ticks_processed: self.ticks_processed.load(Ordering::Relaxed),
+            alarms_raised: self.alarms_raised.load(Ordering::Relaxed),
+            degraded_ticks: self.degraded_ticks.load(Ordering::Relaxed),
+            queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
+            log_latency: self.log_latency.snapshot(),
+            detect_latency: self.detect_latency.snapshot(),
+        }
+    }
+}
+
+/// A consistent-enough point-in-time view of the engine's counters.
+///
+/// All counters accumulate monotonically over the engine's lifetime
+/// (they are not reset by session churn). Individual fields are read
+/// with relaxed atomics: totals can be transiently off by in-flight
+/// ticks relative to each other, but each counter is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeMetrics {
+    /// Sessions currently open (added and not yet closed).
+    pub sessions_active: u64,
+    /// Ticks accepted into session queues so far.
+    pub ticks_submitted: u64,
+    /// Ticks fully processed (logged + detected) so far.
+    pub ticks_processed: u64,
+    /// Processed ticks whose detection step raised any alarm.
+    pub alarms_raised: u64,
+    /// Processed ticks that took the degraded (no-reachability-query)
+    /// path under overload.
+    pub degraded_ticks: u64,
+    /// Highest number of ticks simultaneously queued across all
+    /// sessions observed so far.
+    pub queue_depth_high_water: u64,
+    /// Latency distribution of the logging stage (`DataLogger::record`).
+    pub log_latency: LatencyHistogram,
+    /// Latency distribution of the detection stage
+    /// (`AdaptiveDetector::step` / `step_degraded`).
+    pub detect_latency: LatencyHistogram,
+}
+
+impl RuntimeMetrics {
+    /// Ticks submitted but not yet processed at snapshot time.
+    pub fn backlog(&self) -> u64 {
+        self.ticks_submitted.saturating_sub(self.ticks_processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_double() {
+        assert_eq!(bucket_bound_ns(0), 128);
+        assert_eq!(bucket_bound_ns(1), 256);
+        assert_eq!(bucket_bound_ns(10), 128 << 10);
+    }
+
+    #[test]
+    fn bucket_index_clamps_to_last() {
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(128), 0);
+        assert_eq!(bucket_index(129), 1);
+        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let hist = HistInner::default();
+        hist.record(Duration::from_nanos(100));
+        hist.record(Duration::from_nanos(300));
+        hist.record(Duration::from_micros(10));
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum_ns, 100 + 300 + 10_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 3);
+        assert!((snap.mean_ns() - (10_400.0 / 3.0)).abs() < 1e-9);
+        // Median bound: two of three samples are <= 512 ns.
+        assert_eq!(snap.quantile_bound_ns(0.5), Some(512));
+        assert_eq!(snap.quantile_bound_ns(1.0), Some(16384));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let snap = HistInner::default().snapshot();
+        assert_eq!(snap.quantile_bound_ns(0.5), None);
+        assert_eq!(snap.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let inner = MetricsInner::default();
+        inner.ticks_submitted.fetch_add(5, Ordering::Relaxed);
+        inner.ticks_processed.fetch_add(3, Ordering::Relaxed);
+        let snap = inner.snapshot();
+        assert_eq!(snap.ticks_submitted, 5);
+        assert_eq!(snap.backlog(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// A fixed-size pool of long-lived worker threads draining a shared
+/// injector queue.
+///
+/// This replaces ad-hoc thread-per-job spawning: thread creation is
+/// paid once at construction, concurrency is bounded by the pool size
+/// regardless of how many jobs are submitted, and excess jobs queue up
+/// in FIFO order. A panicking job is contained to that job — the
+/// worker thread survives and moves on to the next one.
+///
+/// Dropping the pool finishes every already-submitted job before the
+/// workers exit (graceful shutdown, no job is abandoned).
+///
+/// Built on `std` only (`Mutex` + `Condvar` + `mpsc`); no external
+/// dependencies.
+#[derive(Debug)]
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared").finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` threads; `0` means one thread per
+    /// available CPU.
+    pub fn new(workers: usize) -> Self {
+        let count = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("awsad-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs submitted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").jobs.len()
+    }
+
+    /// Submits a job to the injector queue.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            debug_assert!(!state.shutdown, "execute after shutdown");
+            state.jobs.push_back(Box::new(job));
+        }
+        self.shared.available.notify_one();
+    }
+
+    /// Runs `f` over every item on the pool and returns the results
+    /// **in item order**, blocking until the whole batch completes.
+    ///
+    /// A panic inside `f` is re-raised here (on the submitting thread)
+    /// after the batch's remaining jobs finish scheduling; the worker
+    /// threads themselves survive.
+    ///
+    /// Do not call this from inside a pool job: the batch would need a
+    /// worker slot the caller is occupying, which can deadlock a fully
+    /// loaded pool.
+    pub fn run_ordered<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+        F: Fn(I) -> T + Send + Sync + 'static,
+    {
+        let n = items.len();
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel();
+        for (idx, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.execute(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f(item)));
+                let _ = tx.send((idx, result));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, result) = rx.recv().expect("pool alive for the whole batch");
+            match result {
+                Ok(value) => slots[idx] = Some(value),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index sent exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool lock");
+            }
+        };
+        // Contain panics to the job; the worker lives on.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // graceful shutdown finishes the queue
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn run_ordered_preserves_item_order() {
+        let pool = WorkerPool::new(3);
+        let results = pool.run_ordered((0..100).collect(), |i: usize| {
+            if i.is_multiple_of(7) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            i * 2
+        });
+        assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_ordered_on_empty_batch() {
+        let pool = WorkerPool::new(1);
+        let results: Vec<usize> = pool.run_ordered(Vec::new(), |i: usize| i);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.workers() >= 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        pool.execute(|| panic!("job panic"));
+        // The single worker must survive to run this:
+        let results = pool.run_ordered(vec![1, 2, 3], |i: i32| i + 1);
+        assert_eq!(results, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn run_ordered_propagates_job_panics() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_ordered(vec![0, 1, 2], |i: usize| {
+                assert!(i != 1, "boom");
+                i
+            })
+        }));
+        assert!(outcome.is_err());
+        // Workers survive the propagated panic.
+        assert_eq!(pool.run_ordered(vec![5], |i: usize| i), vec![5]);
+    }
+}

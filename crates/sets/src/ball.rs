@@ -109,14 +109,22 @@ impl Ball {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn contains(&self, x: &Vector) -> bool {
-        assert_eq!(x.len(), self.center.len(), "ball contains dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.center.len(),
+            "ball contains dimension mismatch"
+        );
         (x - &self.center).norm_k(self.k) <= self.radius
     }
 }
 
 impl Support for Ball {
     fn support(&self, l: &Vector) -> f64 {
-        assert_eq!(l.len(), self.center.len(), "ball support dimension mismatch");
+        assert_eq!(
+            l.len(),
+            self.center.len(),
+            "ball support dimension mismatch"
+        );
         self.center.dot(l) + self.radius * l.norm_k(self.dual_order())
     }
 
@@ -127,7 +135,11 @@ impl Support for Ball {
 
 impl fmt::Display for Ball {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Ball(center={}, r={}, k={})", self.center, self.radius, self.k)
+        write!(
+            f,
+            "Ball(center={}, r={}, k={})",
+            self.center, self.radius, self.k
+        )
     }
 }
 
@@ -146,9 +158,18 @@ mod tests {
 
     #[test]
     fn dual_orders() {
-        assert_eq!(Ball::new(Vector::zeros(1), 1.0, 2.0).unwrap().dual_order(), 2.0);
-        assert_eq!(Ball::new(Vector::zeros(1), 1.0, 1.0).unwrap().dual_order(), f64::INFINITY);
-        assert_eq!(Ball::infinity(Vector::zeros(1), 1.0).unwrap().dual_order(), 1.0);
+        assert_eq!(
+            Ball::new(Vector::zeros(1), 1.0, 2.0).unwrap().dual_order(),
+            2.0
+        );
+        assert_eq!(
+            Ball::new(Vector::zeros(1), 1.0, 1.0).unwrap().dual_order(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            Ball::infinity(Vector::zeros(1), 1.0).unwrap().dual_order(),
+            1.0
+        );
         let b3 = Ball::new(Vector::zeros(1), 1.0, 3.0).unwrap();
         assert!((b3.dual_order() - 1.5).abs() < 1e-12);
     }

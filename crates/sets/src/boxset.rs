@@ -160,7 +160,11 @@ impl BoxSet {
     ///
     /// Panics if dimensions differ.
     pub fn contains_box(&self, other: &BoxSet) -> bool {
-        assert_eq!(self.dim(), other.dim(), "boxset containment dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "boxset containment dimension mismatch"
+        );
         self.intervals
             .iter()
             .zip(other.intervals.iter())
@@ -173,7 +177,11 @@ impl BoxSet {
     ///
     /// Panics if dimensions differ.
     pub fn intersects(&self, other: &BoxSet) -> bool {
-        assert_eq!(self.dim(), other.dim(), "boxset intersection dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "boxset intersection dimension mismatch"
+        );
         self.intervals
             .iter()
             .zip(other.intervals.iter())
@@ -186,7 +194,11 @@ impl BoxSet {
     ///
     /// Panics if dimensions differ.
     pub fn intersection(&self, other: &BoxSet) -> Option<BoxSet> {
-        assert_eq!(self.dim(), other.dim(), "boxset intersection dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "boxset intersection dimension mismatch"
+        );
         let intervals = self
             .intervals
             .iter()
@@ -202,7 +214,11 @@ impl BoxSet {
     ///
     /// Panics if dimensions differ.
     pub fn minkowski_sum(&self, other: &BoxSet) -> BoxSet {
-        assert_eq!(self.dim(), other.dim(), "boxset minkowski dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "boxset minkowski dimension mismatch"
+        );
         BoxSet {
             intervals: self
                 .intervals
@@ -219,7 +235,11 @@ impl BoxSet {
     ///
     /// Panics if `offset.len() != self.dim()`.
     pub fn translate(&self, offset: &Vector) -> BoxSet {
-        assert_eq!(offset.len(), self.dim(), "boxset translate dimension mismatch");
+        assert_eq!(
+            offset.len(),
+            self.dim(),
+            "boxset translate dimension mismatch"
+        );
         BoxSet {
             intervals: self
                 .intervals

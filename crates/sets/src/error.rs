@@ -67,7 +67,9 @@ mod tests {
         assert!(SetError::NegativeRadius { radius: -1.0 }
             .to_string()
             .contains("-1"));
-        assert!(SetError::InvalidNormOrder { k: 0.5 }.to_string().contains("0.5"));
+        assert!(SetError::InvalidNormOrder { k: 0.5 }
+            .to_string()
+            .contains("0.5"));
         assert!(SetError::DimensionMismatch { left: 2, right: 3 }
             .to_string()
             .contains("2 vs 3"));

@@ -30,8 +30,8 @@ fn main() {
         let mut worst_ratio = 0.0f64;
         let mut worst_dim = 0;
         for d in 0..n {
-            let mean: f64 = (settle..steps).map(|t| r.residuals[t][d]).sum::<f64>()
-                / (steps - settle) as f64;
+            let mean: f64 =
+                (settle..steps).map(|t| r.residuals[t][d]).sum::<f64>() / (steps - settle) as f64;
             let ratio = mean / model.threshold[d];
             if ratio > worst_ratio {
                 worst_ratio = ratio;

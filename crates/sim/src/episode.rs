@@ -1,8 +1,8 @@
 use awsad_attack::SensorAttack;
 use awsad_control::{Controller, PidController, Reference};
 use awsad_core::{
-    AdaptiveDetector, CusumDetector, DataLogger, DetectorConfig, EveryStepDetector,
-    EwmaDetector, FixedWindowDetector, ResidualDetector,
+    AdaptiveDetector, CusumDetector, DataLogger, DetectorConfig, EveryStepDetector, EwmaDetector,
+    FixedWindowDetector, ResidualDetector,
 };
 use awsad_linalg::Vector;
 use awsad_lti::NoiseModel;
@@ -76,6 +76,11 @@ pub struct EpisodeResult {
     pub states: Vec<Vector>,
     /// State estimates `x̄_t` after attack and sensor noise.
     pub estimates: Vec<Vector>,
+    /// Control inputs `u_t` computed from the estimates. Together with
+    /// `estimates` this is exactly the tick stream the detectors saw,
+    /// so an episode can be replayed through a fresh logger/detector
+    /// (or an `awsad-runtime` session) step for step.
+    pub inputs: Vec<Vector>,
     /// Residuals `z_t` from the data logger.
     pub residuals: Vec<Vector>,
     /// Adaptive window size `w_c` chosen at each step.
@@ -186,11 +191,8 @@ pub fn run_episode(
     adaptive.set_complementary_enabled(cfg.complementary);
     adaptive.set_reestimation_period(cfg.reestimation_period.max(1));
     let fixed = FixedWindowDetector::new(&det_cfg, cfg.fixed_window);
-    let mut cusum = CusumDetector::new(
-        model.threshold.clone(),
-        model.threshold.scale(5.0),
-    )
-    .expect("validated model");
+    let mut cusum = CusumDetector::new(model.threshold.clone(), model.threshold.scale(5.0))
+        .expect("validated model");
     let mut every_step = EveryStepDetector::new(model.threshold.clone());
     // EWMA with an effective window matching the fixed arm:
     // lambda = 2 / (w + 2)  <=>  effective window = w + 1 samples.
@@ -207,6 +209,7 @@ pub fn run_episode(
     let mut out = EpisodeResult {
         states: Vec::with_capacity(cfg.steps),
         estimates: Vec::with_capacity(cfg.steps),
+        inputs: Vec::with_capacity(cfg.steps),
         residuals: Vec::with_capacity(cfg.steps),
         windows: Vec::with_capacity(cfg.steps),
         deadlines: Vec::with_capacity(cfg.steps),
@@ -246,6 +249,7 @@ pub fn run_episode(
 
         out.states.push(x_true);
         out.estimates.push(estimate);
+        out.inputs.push(u.clone());
         out.residuals.push(residual);
         out.windows.push(adaptive_out.window);
         out.deadlines.push(match adaptive_out.deadline {
@@ -257,7 +261,8 @@ pub fn run_episode(
         out.cusum_alarms.push(cusum_alarm);
         out.every_step_alarms.push(every_alarm);
         out.ewma_alarms.push(ewma_alarm);
-        out.references.push(pid.channels()[0].reference.value(t, model.dt()));
+        out.references
+            .push(pid.channels()[0].reference.value(t, model.dt()));
 
         // Physics.
         plant.step(&u, &mut rng);
@@ -285,8 +290,7 @@ mod tests {
         assert_eq!(r.unsafe_entry, None, "benign run must stay safe");
         // Alarms can happen (noise), but must be rare for the fixed
         // arm at w_m.
-        let fixed_rate =
-            r.fixed_alarms.iter().filter(|&&a| a).count() as f64 / cfg.steps as f64;
+        let fixed_rate = r.fixed_alarms.iter().filter(|&&a| a).count() as f64 / cfg.steps as f64;
         assert!(fixed_rate < 0.05, "fixed FP rate {fixed_rate}");
     }
 

@@ -46,6 +46,6 @@ pub use benign::{run_benign_cell, BenignCellResult, BenignStats};
 pub use episode::{run_episode, EpisodeConfig, EpisodeResult};
 pub use metrics::{evaluate, EpisodeMetrics, FP_RATE_LIMIT};
 pub use montecarlo::{run_cell, CellResult, StrategyStats};
-pub use parallel::{run_cells_parallel, CellJob};
+pub use parallel::{run_cells_on, run_cells_parallel, CellJob};
 pub use scenario::{sample_attack, sample_ramp_bias, AttackKind, SampledAttack};
 pub use sweep::{run_window_sweep, SweepPoint};

@@ -121,6 +121,7 @@ mod tests {
         EpisodeResult {
             states: vec![Vector::zeros(1); steps],
             estimates: vec![Vector::zeros(1); steps],
+            inputs: vec![Vector::zeros(1); steps],
             residuals: vec![Vector::zeros(1); steps],
             windows: vec![0; steps],
             deadlines: vec![None; steps],

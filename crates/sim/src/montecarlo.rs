@@ -115,7 +115,10 @@ mod tests {
         let model = Simulator::VehicleTurning.build();
         let cfg = EpisodeConfig::for_model(&model);
         let cell = run_cell(&model, AttackKind::Bias, 10, &cfg, 2_000);
-        assert!(cell.threatening_runs > 0, "bias attacks never threatened safety");
+        assert!(
+            cell.threatening_runs > 0,
+            "bias attacks never threatened safety"
+        );
         assert!(cell.adaptive.deadline_misses <= cell.fixed.deadline_misses);
         assert!(cell.adaptive.detected >= cell.fixed.detected);
     }

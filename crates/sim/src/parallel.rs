@@ -1,4 +1,5 @@
 use awsad_models::CpsModel;
+use awsad_runtime::WorkerPool;
 
 use crate::{run_cell, AttackKind, CellResult, EpisodeConfig};
 
@@ -32,10 +33,15 @@ impl CellJob {
     }
 }
 
-/// Runs a batch of Monte-Carlo cells across OS threads, one thread per
-/// job (cells are the natural parallel grain: episodes within a cell
-/// share nothing but are sequential so their seed pairing stays
-/// stable). Results come back in job order.
+/// Runs a batch of Monte-Carlo cells on an `awsad-runtime`
+/// [`WorkerPool`] sized to the machine (cells are the natural parallel
+/// grain: episodes within a cell share nothing but are sequential so
+/// their seed pairing stays stable). Results come back in job order.
+///
+/// Unlike the previous thread-per-job implementation, concurrency is
+/// bounded by the CPU count however large the batch is; excess jobs
+/// queue on the pool. Use [`run_cells_on`] to share or size the pool
+/// yourself.
 ///
 /// This is the engine behind the `table2` binary; it is exposed so
 /// downstream users can evaluate their own model × attack grids with
@@ -56,22 +62,16 @@ impl CellJob {
 /// assert_eq!(results[0].attack, AttackKind::Bias);
 /// ```
 pub fn run_cells_parallel(jobs: Vec<CellJob>) -> Vec<CellResult> {
-    let mut results: Vec<Option<CellResult>> = (0..jobs.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(jobs.len());
-        for job in &jobs {
-            handles.push(scope.spawn(move || {
-                run_cell(&job.model, job.attack, job.runs, &job.config, job.base_seed)
-            }));
-        }
-        for (slot, handle) in results.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("cell worker panicked"));
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    run_cells_on(&WorkerPool::new(0), jobs)
+}
+
+/// Runs a batch of Monte-Carlo cells on a caller-provided pool,
+/// returning results in job order. A panic inside a cell propagates to
+/// the caller after the pool survives it.
+pub fn run_cells_on(pool: &WorkerPool, jobs: Vec<CellJob>) -> Vec<CellResult> {
+    pool.run_ordered(jobs, |job: CellJob| {
+        run_cell(&job.model, job.attack, job.runs, &job.config, job.base_seed)
+    })
 }
 
 #[cfg(test)]
@@ -107,5 +107,32 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_cells_parallel(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn hundred_jobs_complete_in_order_on_four_workers() {
+        // Regression for the pool rewiring: far more jobs than workers
+        // must all complete, in job order, with bounded concurrency.
+        let pool = WorkerPool::new(4);
+        let model = Simulator::VehicleTurning.build();
+        let mut config = EpisodeConfig::for_model(&model);
+        config.steps = 40; // keep each cell cheap
+        let attacks = AttackKind::attacks();
+        let jobs: Vec<CellJob> = (0..100)
+            .map(|i| CellJob {
+                model: model.clone(),
+                attack: attacks[i % attacks.len()],
+                runs: 1,
+                config: config.clone(),
+                base_seed: 1000 + i as u64,
+            })
+            .collect();
+        let results = run_cells_on(&pool, jobs.clone());
+        assert_eq!(results.len(), 100);
+        for (i, (job, got)) in jobs.iter().zip(results.iter()).enumerate() {
+            assert_eq!(got.attack, job.attack, "slot {i} out of order");
+            let expected = run_cell(&job.model, job.attack, job.runs, &job.config, job.base_seed);
+            assert_eq!(*got, expected, "slot {i} diverged");
+        }
     }
 }

@@ -277,7 +277,10 @@ mod tests {
 
     #[test]
     fn attacks_list_is_papers_order() {
-        let names: Vec<String> = AttackKind::attacks().iter().map(|k| k.to_string()).collect();
+        let names: Vec<String> = AttackKind::attacks()
+            .iter()
+            .map(|k| k.to_string())
+            .collect();
         assert_eq!(names, vec!["Bias", "Delay", "Replay"]);
     }
 }

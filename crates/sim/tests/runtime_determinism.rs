@@ -1,0 +1,97 @@
+//! The runtime engine must be a *transparent* execution substrate:
+//! driving a session tick-by-tick through `awsad-runtime` has to
+//! produce exactly the `AdaptiveStep` sequence that calling
+//! `AdaptiveDetector::step` directly on the same trace produces —
+//! byte-identical deadlines, windows, and alarms, for every model and
+//! attack shape.
+
+use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger, DetectorConfig};
+use awsad_models::{CpsModel, Simulator};
+use awsad_runtime::{DetectionEngine, EngineConfig, Tick};
+use awsad_sim::{run_episode, sample_attack, AttackKind, EpisodeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fresh detection state mirroring `run_episode`'s construction.
+fn detection_parts(model: &CpsModel, cfg: &EpisodeConfig) -> (DataLogger, AdaptiveDetector) {
+    let det_cfg =
+        DetectorConfig::new(model.threshold.clone(), cfg.max_window).expect("validated model");
+    let logger = model.data_logger(cfg.max_window);
+    let mut detector = AdaptiveDetector::new(
+        det_cfg,
+        model
+            .deadline_estimator(cfg.max_window)
+            .expect("validated model"),
+    )
+    .expect("validated model");
+    detector.set_initial_radius(cfg.initial_radius);
+    detector.set_complementary_enabled(cfg.complementary);
+    detector.set_reestimation_period(cfg.reestimation_period.max(1));
+    (logger, detector)
+}
+
+#[test]
+fn runtime_session_replays_detector_byte_identically() {
+    let models = [
+        Simulator::VehicleTurning,
+        Simulator::AircraftPitch,
+        Simulator::RlcCircuit,
+    ];
+    let attacks = [AttackKind::Bias, AttackKind::Replay];
+    let engine = DetectionEngine::new(EngineConfig::default());
+
+    for (mi, sim) in models.iter().enumerate() {
+        let model = sim.build();
+        let mut cfg = EpisodeConfig::for_model(&model);
+        cfg.steps = cfg.steps.min(250); // enough to cover onset + attack
+        for (ai, kind) in attacks.iter().enumerate() {
+            let seed = 0xD0_0D + (mi * 10 + ai) as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scenario = sample_attack(&model, *kind, &mut rng);
+            let mut attack = scenario.attack;
+            let episode = run_episode(
+                &model,
+                attack.as_mut(),
+                Some(scenario.reference),
+                &cfg,
+                seed,
+            );
+            assert_eq!(episode.estimates.len(), episode.inputs.len());
+
+            // Reference: the detector stepped directly on the trace.
+            let (mut logger, mut detector) = detection_parts(&model, &cfg);
+            let mut expected: Vec<AdaptiveStep> = Vec::with_capacity(cfg.steps);
+            for (estimate, input) in episode.estimates.iter().zip(&episode.inputs) {
+                logger.record(estimate.clone(), input.clone());
+                expected.push(detector.step(&logger));
+            }
+
+            // Same trace through a runtime session.
+            let (logger, detector) = detection_parts(&model, &cfg);
+            let (session, outcomes) = engine.add_session(logger, detector);
+            for (estimate, input) in episode.estimates.iter().zip(&episode.inputs) {
+                session
+                    .submit(Tick {
+                        estimate: estimate.clone(),
+                        input: input.clone(),
+                    })
+                    .expect("session open");
+            }
+            engine.drain();
+            let got: Vec<AdaptiveStep> = outcomes.try_iter().map(|o| o.step).collect();
+
+            assert_eq!(
+                got, expected,
+                "{sim} under {kind:?}: runtime diverged from direct stepping"
+            );
+            // The episode's own alarm log must agree as well (the
+            // engine replay is faithful to the original run, not just
+            // to a re-run).
+            let alarms: Vec<bool> = expected.iter().map(|s| s.alarm()).collect();
+            assert_eq!(
+                alarms, episode.adaptive_alarms,
+                "{sim} under {kind:?}: replay diverged from the episode"
+            );
+        }
+    }
+}

@@ -13,7 +13,12 @@ fn main() {
     let model = Simulator::AircraftPitch.build();
     let cfg = EpisodeConfig::for_model(&model);
 
-    println!("model: {} ({} states, dt = {} s)", model.name, model.state_dim(), model.dt());
+    println!(
+        "model: {} ({} states, dt = {} s)",
+        model.name,
+        model.state_dim(),
+        model.dt()
+    );
     println!(
         "safe set: pitch angle within [-2.5, 2.5] rad; threshold tau = {:?}",
         model.threshold.as_slice()
@@ -24,20 +29,33 @@ fn main() {
     let scenario = sample_attack(&model, AttackKind::Bias, &mut rng);
     let onset = scenario.onset.unwrap();
     let mut attack = scenario.attack;
-    let r = run_episode(&model, attack.as_mut(), Some(scenario.reference), &cfg, seed);
+    let r = run_episode(
+        &model,
+        attack.as_mut(),
+        Some(scenario.reference),
+        &cfg,
+        seed,
+    );
 
     let adaptive = evaluate(&r, &r.adaptive_alarms);
     let fixed = evaluate(&r, &r.fixed_alarms);
 
     println!();
-    println!("attack: sensor bias on the pitch channel, steps {}..{}", onset, r.attack_end.unwrap());
+    println!(
+        "attack: sensor bias on the pitch channel, steps {}..{}",
+        onset,
+        r.attack_end.unwrap()
+    );
     println!(
         "estimated detection deadline at onset: {} steps (absolute step {})",
         r.onset_deadline.unwrap_or(cfg.max_window),
         adaptive.deadline_step.map_or("-".into(), |d| d.to_string()),
     );
     println!();
-    println!("                     adaptive        fixed (w = {})", cfg.fixed_window);
+    println!(
+        "                     adaptive        fixed (w = {})",
+        cfg.fixed_window
+    );
     println!(
         "first alarm:         {:<15} {}",
         fmt(adaptive.detection_step),
@@ -50,8 +68,7 @@ fn main() {
     );
     println!(
         "missed deadline:     {:<15} {}",
-        adaptive.missed_deadline,
-        fixed.missed_deadline
+        adaptive.missed_deadline, fixed.missed_deadline
     );
     println!(
         "false-positive rate: {:<15.3} {:.3}",
@@ -68,7 +85,11 @@ fn main() {
             r.windows[t],
             r.deadlines[t].map_or("inf".into(), |d| d.to_string()),
             r.residuals[t][2],
-            if r.adaptive_alarms[t] { "  << ALARM" } else { "" }
+            if r.adaptive_alarms[t] {
+                "  << ALARM"
+            } else {
+                ""
+            }
         );
     }
 

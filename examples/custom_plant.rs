@@ -50,7 +50,11 @@ fn main() {
     let model = thermal_process();
     model.validate().expect("custom model is well-formed");
 
-    println!("custom model: {} ({} states)", model.name, model.state_dim());
+    println!(
+        "custom model: {} ({} states)",
+        model.name,
+        model.state_dim()
+    );
     let est = model.deadline_estimator(model.default_max_window).unwrap();
     println!(
         "nominal deadline from the operating point: {}",

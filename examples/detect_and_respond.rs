@@ -30,20 +30,16 @@ fn run(respond: bool) -> (Option<usize>, Option<usize>) {
     );
     let mut pid = model.controller().unwrap();
     let mut logger = model.data_logger(w_m);
-    let mut detector =
-        AdaptiveDetector::new(
-            DetectorConfig::new(model.threshold.clone(), w_m).unwrap(),
-            model.deadline_estimator(w_m).unwrap(),
-        )
-        .unwrap();
+    let mut detector = AdaptiveDetector::new(
+        DetectorConfig::new(model.threshold.clone(), w_m).unwrap(),
+        model.deadline_estimator(w_m).unwrap(),
+    )
+    .unwrap();
     detector.set_initial_radius(model.sensor_noise);
 
     // Large, unsafe-driving sensor bias (beyond the stealthy band —
     // the attacker here wants damage, not stealth).
-    let mut attack = BiasAttack::new(
-        AttackWindow::from_step(300),
-        Vector::from_slice(&[-1.4]),
-    );
+    let mut attack = BiasAttack::new(AttackWindow::from_step(300), Vector::from_slice(&[-1.4]));
     let sensor_noise = NoiseModel::uniform_ball(model.sensor_noise).unwrap();
 
     let mut rng = StdRng::seed_from_u64(17);

@@ -48,8 +48,14 @@ fn main() {
     let design = Matrix::from_rows(&refs).unwrap();
     let coef = lstsq(&design, &Vector::from_vec(targets)).unwrap();
     let (a_hat, b_hat) = (coef[0], coef[1]);
-    println!("identified a = {a_hat:.6} (true {a_true:.6}, err {:.2e})", (a_hat - a_true).abs());
-    println!("identified b = {b_hat:.6e} (true {b_true:.6e}, err {:.2e})", (b_hat - b_true).abs());
+    println!(
+        "identified a = {a_hat:.6} (true {a_true:.6}, err {:.2e})",
+        (a_hat - a_true).abs()
+    );
+    println!(
+        "identified b = {b_hat:.6e} (true {b_true:.6e}, err {:.2e})",
+        (b_hat - b_true).abs()
+    );
     assert!((a_hat - a_true).abs() < 5e-3, "identification too poor");
 
     // ── 3. Build the detection stack from the *identified* model.
@@ -91,15 +97,15 @@ fn main() {
         plant.step(&u, &mut rng);
     }
     let tau = calibrate_threshold(&residuals, 2, 0.01, 2.0).unwrap();
-    println!("calibrated tau = {:.3e} (paper's testbed used 3.67e-3)", tau[0]);
+    println!(
+        "calibrated tau = {:.3e} (paper's testbed used 3.67e-3)",
+        tau[0]
+    );
 
     // ── 5. Detect a +2.5 m/s bias through the identified model.
     let mut logger = DataLogger::new(id_sys, w_m);
-    let mut detector = AdaptiveDetector::new(
-        DetectorConfig::new(tau, w_m).unwrap(),
-        estimator,
-    )
-    .unwrap();
+    let mut detector =
+        AdaptiveDetector::new(DetectorConfig::new(tau, w_m).unwrap(), estimator).unwrap();
     let mut attack = BiasAttack::new(
         AttackWindow::from_step(100),
         Vector::from_slice(&[2.5 / 384.3402]),
@@ -117,7 +123,10 @@ fn main() {
     }
     println!("bias attack at step 100; first alarm at {first_alarm:?}");
     let alarm = first_alarm.expect("attack must be detected");
-    assert!((100..=102).contains(&alarm), "detection too slow through the identified model");
+    assert!(
+        (100..=102).contains(&alarm),
+        "detection too slow through the identified model"
+    );
     println!("=> identify -> calibrate -> detect, exactly the paper's testbed pipeline,");
     println!("   with every stage running on this library's own primitives.");
 }

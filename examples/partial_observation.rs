@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example partial_observation`
 
-use awsad::prelude::*;
 use awsad::lti::Observer;
+use awsad::prelude::*;
 
 fn main() {
     // Double-integrator cart: position measured, velocity not.

@@ -16,8 +16,11 @@ fn main() {
 
     // Box constraint: position below 10.
     let box_safe = Polytope::from_box(
-        &BoxSet::from_bounds(&[f64::NEG_INFINITY, f64::NEG_INFINITY], &[10.0, f64::INFINITY])
-            .unwrap(),
+        &BoxSet::from_bounds(
+            &[f64::NEG_INFINITY, f64::NEG_INFINITY],
+            &[10.0, f64::INFINITY],
+        )
+        .unwrap(),
     )
     .unwrap();
     // Coupled braking constraint: position + 2*velocity <= 10
@@ -34,7 +37,10 @@ fn main() {
         PolytopeDeadlineEstimator::new(&a, &b, control, 0.01, coupled_safe, 300).unwrap();
 
     println!("deadline comparison: position-only box vs coupled position+velocity face");
-    println!("{:>10} {:>10} {:>14} {:>16}", "position", "velocity", "box deadline", "coupled deadline");
+    println!(
+        "{:>10} {:>10} {:>14} {:>16}",
+        "position", "velocity", "box deadline", "coupled deadline"
+    );
     for (x, v) in [
         (0.0, 0.0),
         (5.0, 0.0),
@@ -46,7 +52,11 @@ fn main() {
         let state = Vector::from_slice(&[x, v]);
         let d_box = est_box.deadline(&state);
         let d_coupled = est_coupled.deadline(&state);
-        println!("{x:>10.1} {v:>10.1} {:>14} {:>16}", show(d_box), show(d_coupled));
+        println!(
+            "{x:>10.1} {v:>10.1} {:>14} {:>16}",
+            show(d_box),
+            show(d_coupled)
+        );
     }
 
     println!();

@@ -9,9 +9,9 @@ use awsad::prelude::*;
 fn main() {
     // ── 1. A plant: first-order yaw dynamics at 20 ms ───────────────
     let system = LtiSystem::from_continuous(
-        Matrix::diagonal(&[-2.0]),                    // x' = -2x + 2u
+        Matrix::diagonal(&[-2.0]), // x' = -2x + 2u
         Matrix::from_rows(&[&[2.0]]).unwrap(),
-        Matrix::identity(1),                          // fully observable
+        Matrix::identity(1), // fully observable
         0.02,
     )
     .unwrap();
@@ -75,7 +75,10 @@ fn main() {
             println!("attack started at step 300");
             println!("first alarm at step {t} (window {w}, deadline {deadline})");
             assert!(t >= 300, "no false alarm expected before the attack here");
-            assert!(t <= 305, "the bias onset should be caught within a few steps");
+            assert!(
+                t <= 305,
+                "the bias onset should be caught within a few steps"
+            );
             println!("=> detected {} step(s) after the attack began", t - 300);
         }
         None => panic!("the detector missed the attack"),

@@ -24,7 +24,10 @@ fn main() {
     println!("RC car cruise control at 4 m/s; safe speed range [2, 10] m/s");
     println!("+{RC_CAR_BIAS_MPS} m/s sensor bias injected at step {RC_CAR_ATTACK_STEP}");
     println!();
-    println!("{:>5} {:>12} {:>14} {:>7} {:>9}", "step", "true (m/s)", "sensed (m/s)", "window", "alarms");
+    println!(
+        "{:>5} {:>12} {:>14} {:>7} {:>9}",
+        "step", "true (m/s)", "sensed (m/s)", "window", "alarms"
+    );
     for t in (70..110).step_by(2) {
         let marks = match (r.adaptive_alarms[t], r.fixed_alarms[t]) {
             (true, true) => "A F",
@@ -49,12 +52,19 @@ fn main() {
         adaptive_at,
         adaptive_at.map_or(0, |a| a - RC_CAR_ATTACK_STEP)
     );
-    println!("true speed enters the unsafe region at step {:?}", r.unsafe_entry);
+    println!(
+        "true speed enters the unsafe region at step {:?}",
+        r.unsafe_entry
+    );
     println!(
         "fixed window-30 alarm: {:?} (the ideal-LTI replay never accumulates enough",
         r.first_fixed_alarm(RC_CAR_ATTACK_STEP)
     );
     println!("mean residual for w=30 — see EXPERIMENTS.md for the closed-form argument)");
 
-    assert_eq!(adaptive_at, Some(RC_CAR_ATTACK_STEP), "paper: alert in the first step");
+    assert_eq!(
+        adaptive_at,
+        Some(RC_CAR_ATTACK_STEP),
+        "paper: alert in the first step"
+    );
 }

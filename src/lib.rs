@@ -39,6 +39,7 @@
 //! | [`core`] | `awsad-core` | data logger, window detector, adaptive protocol, baselines |
 //! | [`models`] | `awsad-models` | the five Table 1 simulators + RC-car testbed |
 //! | [`sim`] | `awsad-sim` | closed-loop episodes, Monte-Carlo cells, sweeps, metrics |
+//! | [`runtime`] | `awsad-runtime` | multi-session streaming engine: worker pool, bounded queues, deadline cache wiring, metrics |
 //!
 //! ## Quickstart
 //!
@@ -68,6 +69,7 @@ pub use awsad_linalg as linalg;
 pub use awsad_lti as lti;
 pub use awsad_models as models;
 pub use awsad_reach as reach;
+pub use awsad_runtime as runtime;
 pub use awsad_sets as sets;
 pub use awsad_sim as sim;
 
@@ -88,10 +90,17 @@ pub mod prelude {
     pub use awsad_linalg::{discretize, eigenvalues, expm, spectral_radius, Lu, Matrix, Vector};
     pub use awsad_lti::{LtiSystem, NoiseModel, Observer, Plant};
     pub use awsad_models::{rc_car, CpsModel, Simulator};
-    pub use awsad_reach::{Deadline, DeadlineEstimator, PolytopeDeadlineEstimator, ReachConfig};
+    pub use awsad_reach::{
+        CacheConfig, CacheStats, Deadline, DeadlineCache, DeadlineEstimator,
+        PolytopeDeadlineEstimator, ReachConfig,
+    };
+    pub use awsad_runtime::{
+        BackpressurePolicy, DetectionEngine, EngineConfig, RuntimeMetrics, SessionHandle,
+        SessionId, Tick, TickOutcome, WorkerPool,
+    };
     pub use awsad_sets::{Ball, BoxSet, Halfspace, Interval, Polytope, Support};
     pub use awsad_sim::{
-        evaluate, run_benign_cell, run_cell, run_cells_parallel, run_episode, sample_attack,
-        AttackKind, CellJob, EpisodeConfig,
+        evaluate, run_benign_cell, run_cell, run_cells_on, run_cells_parallel, run_episode,
+        sample_attack, AttackKind, CellJob, EpisodeConfig,
     };
 }

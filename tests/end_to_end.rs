@@ -64,7 +64,10 @@ fn bias_attacks_caught_within_deadline() {
             "{sim}: adaptive missed {}/20 bias deadlines",
             cell.adaptive.deadline_misses
         );
-        assert_eq!(cell.adaptive.detected, 20, "{sim}: adaptive missed bias attacks");
+        assert_eq!(
+            cell.adaptive.detected, 20,
+            "{sim}: adaptive missed bias attacks"
+        );
     }
 }
 
@@ -109,7 +112,10 @@ fn noise_free_benign_run_has_zero_residuals() {
                 "{sim}: nonzero residual {} at t={t} without noise",
                 r.residuals[t].norm_inf()
             );
-            assert!(!r.adaptive_alarms[t], "{sim}: alarm without any noise or attack");
+            assert!(
+                !r.adaptive_alarms[t],
+                "{sim}: alarm without any noise or attack"
+            );
         }
     }
 }

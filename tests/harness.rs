@@ -111,7 +111,11 @@ fn alarm_policies_shape_episode_streams() {
     assert!(debounced <= raw, "debouncing must not add alarms");
 
     let mut latch = AlarmFilter::new(AlarmPolicy::Latched);
-    let latched: Vec<bool> = r.adaptive_alarms.iter().map(|&a| latch.observe(a)).collect();
+    let latched: Vec<bool> = r
+        .adaptive_alarms
+        .iter()
+        .map(|&a| latch.observe(a))
+        .collect();
     if let Some(first) = r.adaptive_alarms.iter().position(|&a| a) {
         assert!(latched[first..].iter().all(|&a| a), "latch released");
         assert!(latched[..first].iter().all(|&a| !a));

@@ -107,8 +107,7 @@ fn small_model_mismatch_keeps_benign_fp_low() {
 fn degenerate_adaptation_range_equals_fixed() {
     let model = Simulator::AircraftPitch.build();
     let w_m = model.default_max_window;
-    let cfg =
-        DetectorConfig::with_min_window(model.threshold.clone(), w_m, w_m).unwrap();
+    let cfg = DetectorConfig::with_min_window(model.threshold.clone(), w_m, w_m).unwrap();
     let mut logger = model.data_logger(w_m);
     let mut adaptive =
         AdaptiveDetector::new(cfg.clone(), model.deadline_estimator(w_m).unwrap()).unwrap();

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` interface with
+//! a plain wall-clock measurement loop: each benchmark is warmed up
+//! briefly, then timed over enough iterations to fill a fixed
+//! measurement budget, and the mean time per iteration is printed.
+//! `cargo bench -- --test` runs every benchmark exactly once (the CI
+//! smoke mode).
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` groups setup outputs per timing batch. The
+/// stand-in times per-invocation either way; the variants exist for
+/// API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs; large batches upstream.
+    SmallInput,
+    /// Large routine inputs; smaller batches upstream.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter*` call.
+    ns_per_iter: f64,
+    /// Whether to run exactly one iteration (CI `--test` mode).
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that fills
+        // the measurement budget.
+        let calib_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = calib_start.elapsed().max(Duration::from_nanos(20));
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(10, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup
+    /// cost from the calibration (but, unlike upstream, not from the
+    /// per-batch clock — keep setups cheap).
+    pub fn iter_batched<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        let calib_start = Instant::now();
+        std::hint::black_box(routine(setup()));
+        let once = calib_start.elapsed().max(Duration::from_nanos(20));
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(10, 1_000_000) as u64;
+        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(routine(input));
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Root benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--test` for single-shot smoke runs, a
+    /// positional substring filter otherwise).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter
+            .as_ref()
+            .map(|f| id.contains(f.as_str()))
+            .unwrap_or(true)
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            println!("{id:<50} time: {}", format_time(bencher.ns_per_iter));
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<N, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<N, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace's `serde` features only ever *derive* the traits —
+//! nothing in the repository performs an actual serialization — so the
+//! stand-in ships marker traits and re-exports no-op derive macros.
+//! The feature surface (`derive`) matches what the workspace manifest
+//! requests from the real crate.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
