@@ -1,0 +1,156 @@
+//! In-process `awsad-runtime` throughput report.
+//!
+//! Pushes a fixed vehicle-turning tick trace through the detection
+//! engine for several session counts, with and without the exact
+//! deadline cache, and emits `results/BENCH_runtime.json`: sustained
+//! ticks/s per configuration, per-stage latency quantile bounds from
+//! the engine's histograms, and the deadline-cache hit rate.
+//!
+//! The trace revisits a small set of states (steady-state regulation),
+//! so the cache-on rows show what memoized reachability buys; the
+//! criterion group `runtime_throughput` in `benches/perf.rs` covers
+//! the same grid with statistical rigor, while this binary produces
+//! one machine-readable snapshot cheap enough for CI.
+
+use std::time::Instant;
+
+use awsad_bench::{write_json, Json};
+use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
+use awsad_linalg::Vector;
+use awsad_models::Simulator;
+use awsad_reach::{CacheConfig, DeadlineCache};
+use awsad_runtime::{DetectionEngine, EngineConfig, LatencyHistogram, Tick};
+
+/// Total ticks per configuration, split evenly across its sessions.
+const TOTAL_TICKS: usize = 65_536;
+/// Timed repetitions per configuration; the best rate is reported.
+const REPS: usize = 3;
+
+fn latency_json(h: &LatencyHistogram) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Int(h.count)),
+        ("mean_ns".into(), Json::Num(h.mean_ns())),
+        (
+            "p50_bound_ns".into(),
+            Json::opt_int(h.quantile_bound_ns(0.50)),
+        ),
+        (
+            "p90_bound_ns".into(),
+            Json::opt_int(h.quantile_bound_ns(0.90)),
+        ),
+        (
+            "p99_bound_ns".into(),
+            Json::opt_int(h.quantile_bound_ns(0.99)),
+        ),
+        ("overflow".into(), Json::Int(h.overflow)),
+    ])
+}
+
+fn main() {
+    let model = Simulator::VehicleTurning.build();
+    let w_m = model.default_max_window;
+    let trace: Vec<Tick> = (0..4)
+        .map(|t| {
+            let mut estimate = model.x0.clone();
+            estimate[0] += 0.01 * (t as f64);
+            Tick {
+                estimate,
+                input: Vector::zeros(model.system.input_dim()),
+            }
+        })
+        .collect();
+
+    println!(
+        "{:<10} {:>6} {:>14} {:>12} {:>12} {:>10}",
+        "sessions", "cache", "ticks/s", "log p99", "detect p99", "hit rate"
+    );
+    let mut configs = Vec::new();
+    for sessions in [1usize, 8, 64] {
+        for cache in [false, true] {
+            let per_session = TOTAL_TICKS / sessions;
+            let mut best_rate = 0.0f64;
+            let mut report: Option<(awsad_runtime::RuntimeMetrics, Option<f64>)> = None;
+            for _ in 0..REPS {
+                let engine = DetectionEngine::new(EngineConfig::default());
+                let handles: Vec<_> = (0..sessions)
+                    .map(|_| {
+                        let det_cfg = DetectorConfig::new(model.threshold.clone(), w_m).unwrap();
+                        let mut detector =
+                            AdaptiveDetector::new(det_cfg, model.deadline_estimator(w_m).unwrap())
+                                .unwrap();
+                        if cache {
+                            detector
+                                .set_deadline_cache(DeadlineCache::new(CacheConfig::exact(1024)));
+                        }
+                        let logger = DataLogger::new(model.system.clone(), w_m);
+                        engine.add_session(logger, detector).0
+                    })
+                    .collect();
+                let start = Instant::now();
+                for t in 0..per_session {
+                    let tick = &trace[t % trace.len()];
+                    for session in &handles {
+                        session.submit(tick.clone()).unwrap();
+                    }
+                }
+                engine.drain();
+                let elapsed = start.elapsed().as_secs_f64();
+                let processed = sessions * per_session;
+                let rate = processed as f64 / elapsed;
+                if rate > best_rate {
+                    best_rate = rate;
+                    let hit_rate = handles[0].deadline_cache_stats().map(|s| s.hit_rate());
+                    report = Some((engine.metrics(), hit_rate));
+                }
+            }
+            let (metrics, hit_rate) = report.expect("at least one rep");
+            println!(
+                "{:<10} {:>6} {:>14.0} {:>12} {:>12} {:>10}",
+                sessions,
+                if cache { "on" } else { "off" },
+                best_rate,
+                metrics
+                    .log_latency
+                    .quantile_bound_ns(0.99)
+                    .map(|b| format!("{b} ns"))
+                    .unwrap_or_else(|| "overflow".into()),
+                metrics
+                    .detect_latency
+                    .quantile_bound_ns(0.99)
+                    .map(|b| format!("{b} ns"))
+                    .unwrap_or_else(|| "overflow".into()),
+                hit_rate
+                    .map(|r| format!("{:.1}%", 100.0 * r))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            configs.push(Json::Obj(vec![
+                ("sessions".into(), Json::Int(sessions as u64)),
+                ("cache".into(), Json::Bool(cache)),
+                ("ticks".into(), Json::Int((sessions * per_session) as u64)),
+                ("ticks_per_sec".into(), Json::Num(best_rate)),
+                (
+                    "cache_hit_rate".into(),
+                    hit_rate.map_or(Json::Null, Json::Num),
+                ),
+                ("log_latency".into(), latency_json(&metrics.log_latency)),
+                (
+                    "detect_latency".into(),
+                    latency_json(&metrics.detect_latency),
+                ),
+            ]));
+        }
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("runtime_throughput")),
+        ("model".into(), Json::str(model.name)),
+        (
+            "total_ticks_per_config".into(),
+            Json::Int(TOTAL_TICKS as u64),
+        ),
+        ("reps".into(), Json::Int(REPS as u64)),
+        ("configs".into(), Json::Arr(configs)),
+    ]);
+    let path = write_json("BENCH_runtime.json", &report);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,178 @@
+//! Loopback throughput benchmark for `awsad-serve`, emitting
+//! `results/BENCH_serve.json`.
+//!
+//! Streams a pinned vehicle-turning attack trace through a real TCP
+//! connection on localhost in batched round trips, then replays the
+//! identical trace through a local [`DetectionEngine`] and asserts the
+//! remote outcome stream — alarms, windows, deadlines — is equal to
+//! the direct one. Throughput below [`TARGET_TICKS_PER_SEC`] fails the
+//! process, so the CI smoke step doubles as a perf regression gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use awsad_bench::{write_json, Json};
+use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger, DetectorConfig};
+use awsad_linalg::Vector;
+use awsad_models::Simulator;
+use awsad_reach::{CacheConfig, DeadlineCache};
+use awsad_runtime::{DetectionEngine, EngineConfig, Tick};
+use awsad_serve::wire::{WireLatency, WireTick};
+use awsad_serve::{Client, Server, ServerConfig, SessionSpec};
+
+/// Ticks streamed over the loopback connection.
+const TOTAL_TICKS: usize = 131_072;
+/// Ticks per request frame (round trips are the loopback bottleneck).
+const BATCH: usize = 512;
+/// Deadline-cache capacity installed on both the remote session and
+/// its local replica.
+const CACHE_CAPACITY: u32 = 4096;
+/// Minimum sustained rate the gate accepts, in ticks per second.
+const TARGET_TICKS_PER_SEC: f64 = 50_000.0;
+
+/// The pinned scenario: steady-state regulation that revisits four
+/// states, with a constant sensor bias switched on halfway through.
+fn pinned_trace(model: &awsad_models::CpsModel, len: usize) -> Vec<WireTick> {
+    (0..len)
+        .map(|t| {
+            let mut estimate = model.x0.clone();
+            estimate[0] += 0.01 * ((t % 4) as f64);
+            if t >= len / 2 {
+                estimate[0] += 0.9;
+            }
+            WireTick {
+                estimate: estimate.as_slice().to_vec(),
+                input: vec![0.0; model.system.input_dim()],
+            }
+        })
+        .collect()
+}
+
+/// Replays the trace through an in-process engine configured exactly
+/// like the server resolves the benchmark's [`SessionSpec`]. The
+/// deadline cache is deterministic, so this replica's hit rate equals
+/// the remote session's.
+fn direct_steps(model: &awsad_models::CpsModel, trace: &[WireTick]) -> (Vec<AdaptiveStep>, f64) {
+    let w_m = model.default_max_window;
+    let det_cfg = DetectorConfig::new(model.threshold.clone(), w_m).unwrap();
+    let mut detector =
+        AdaptiveDetector::new(det_cfg, model.deadline_estimator(w_m).unwrap()).unwrap();
+    detector.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(
+        CACHE_CAPACITY as usize,
+    )));
+    let logger = DataLogger::new(model.system.clone(), w_m);
+    let engine = DetectionEngine::new(EngineConfig::default());
+    let (handle, outcomes) = engine.add_session(logger, detector);
+    for tick in trace {
+        handle
+            .submit(Tick {
+                estimate: Vector::from_slice(&tick.estimate),
+                input: Vector::from_slice(&tick.input),
+            })
+            .unwrap();
+    }
+    engine.drain();
+    let steps = outcomes.try_iter().map(|o| o.step).collect();
+    let hit_rate = handle
+        .deadline_cache_stats()
+        .expect("cache installed")
+        .hit_rate();
+    (steps, hit_rate)
+}
+
+fn latency_json(l: &WireLatency) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Int(l.count)),
+        ("mean_ns".into(), Json::Num(l.mean_ns)),
+        ("p50_bound_ns".into(), Json::opt_int(l.p50_bound_ns)),
+        ("p99_bound_ns".into(), Json::opt_int(l.p99_bound_ns)),
+        ("overflow".into(), Json::Int(l.overflow)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let model = Simulator::VehicleTurning.build();
+    let trace = pinned_trace(&model, TOTAL_TICKS);
+    let (direct, cache_hit_rate) = direct_steps(&model, &trace);
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut spec = SessionSpec::model_defaults(Simulator::VehicleTurning.table1_row() as u8);
+    spec.cache_capacity = CACHE_CAPACITY;
+    let session = client.open_session(&spec).expect("open session");
+
+    let mut outcomes = Vec::with_capacity(TOTAL_TICKS);
+    let start = Instant::now();
+    for chunk in trace.chunks(BATCH) {
+        outcomes.extend(client.tick_batch(session.id, chunk).expect("tick batch"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ticks_per_sec = TOTAL_TICKS as f64 / elapsed;
+
+    // Fidelity: the remote stream must be equal to direct stepping.
+    assert_eq!(outcomes.len(), direct.len());
+    assert!(outcomes.iter().all(|o| !o.degraded));
+    for (remote, local) in outcomes.iter().zip(&direct) {
+        assert_eq!(&remote.to_step(), local, "remote/direct divergence");
+    }
+    let alarms = outcomes.iter().filter(|o| o.alarm()).count();
+    assert!(alarms > 0, "the pinned bias attack must raise alarms");
+
+    let metrics = client.metrics().expect("metrics");
+    server.shutdown();
+
+    let meets_target = ticks_per_sec >= TARGET_TICKS_PER_SEC;
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("serve_loopback")),
+        ("model".into(), Json::str(model.name)),
+        ("ticks".into(), Json::Int(TOTAL_TICKS as u64)),
+        ("batch".into(), Json::Int(BATCH as u64)),
+        ("elapsed_sec".into(), Json::Num(elapsed)),
+        ("ticks_per_sec".into(), Json::Num(ticks_per_sec)),
+        (
+            "target_ticks_per_sec".into(),
+            Json::Num(TARGET_TICKS_PER_SEC),
+        ),
+        ("meets_target".into(), Json::Bool(meets_target)),
+        ("alarms".into(), Json::Int(alarms as u64)),
+        ("matches_direct_engine".into(), Json::Bool(true)),
+        ("cache_hit_rate".into(), Json::Num(cache_hit_rate)),
+        ("log_latency".into(), latency_json(&metrics.log_latency)),
+        (
+            "detect_latency".into(),
+            latency_json(&metrics.detect_latency),
+        ),
+        (
+            "transport".into(),
+            Json::Obj(vec![
+                ("frames_in".into(), Json::Int(metrics.frames_in)),
+                ("frames_out".into(), Json::Int(metrics.frames_out)),
+                ("decode_errors".into(), Json::Int(metrics.decode_errors)),
+                (
+                    "connections_opened".into(),
+                    Json::Int(metrics.connections_opened),
+                ),
+                (
+                    "connections_dropped".into(),
+                    Json::Int(metrics.connections_dropped),
+                ),
+            ]),
+        ),
+    ]);
+    let path = write_json("BENCH_serve.json", &report);
+
+    println!(
+        "serve_loopback: {TOTAL_TICKS} ticks in {elapsed:.3} s over localhost \
+         ({ticks_per_sec:.0} ticks/s, batch {BATCH}), {alarms} alarms, \
+         cache hit rate {:.1}%, outcome stream identical to direct engine",
+        100.0 * cache_hit_rate
+    );
+    println!("wrote {}", path.display());
+    if !meets_target {
+        eprintln!(
+            "FAIL: {ticks_per_sec:.0} ticks/s is below the {TARGET_TICKS_PER_SEC:.0} ticks/s gate"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

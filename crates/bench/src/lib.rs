@@ -1,7 +1,8 @@
 //! Shared utilities for the AWSAD experiment binaries: a results
-//! directory next to the workspace root and a tiny CSV writer so every
+//! directory next to the workspace root, a tiny CSV writer so every
 //! table/figure bin can dump machine-readable series alongside its
-//! console output.
+//! console output, and a minimal JSON value type for the benchmark
+//! reports (`BENCH_*.json`).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,6 +44,123 @@ pub fn opt(v: Option<usize>) -> String {
     v.map_or_else(|| "-".to_string(), |x| x.to_string())
 }
 
+/// A JSON value assembled by hand (the build is offline, so no
+/// serde_json; this covers exactly what the benchmark reports need).
+///
+/// Objects preserve insertion order so the emitted reports are stable
+/// and diffable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A floating-point number; non-finite values render as `null`
+    /// (JSON has no NaN/Infinity).
+    Num(f64),
+    /// An exact unsigned integer (`u64` counters exceed `f64`
+    /// precision past 2^53).
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key/value list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer that is `null` when absent (e.g. a latency quantile
+    /// bound that fell into the histogram's overflow bucket).
+    pub fn opt_int(v: Option<u64>) -> Json {
+        v.map_or(Json::Null, Json::Int)
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) if !v.is_finite() => out.push_str("null"),
+            Json::Num(v) => out.push_str(&format!("{v}")),
+            Json::Int(v) => out.push_str(&format!("{v}")),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Json::Str(key.clone()).render_into(out, indent + 1);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a pretty-printed JSON report named `name` into
+/// [`results_dir`], returning the full path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment binaries want loud failures.
+pub fn write_json(name: &str, value: &Json) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create json file");
+    writeln!(f, "{}", value.render()).expect("write json report");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +188,43 @@ mod tests {
     fn opt_formatting() {
         assert_eq!(opt(Some(3)), "3");
         assert_eq!(opt(None), "-");
+    }
+
+    #[test]
+    fn json_renders_scalars_and_nesting() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::str("bench")),
+            ("rate".into(), Json::Num(0.5)),
+            ("count".into(), Json::Int(u64::MAX)),
+            ("p99".into(), Json::opt_int(None)),
+            ("ok".into(), Json::Bool(true)),
+            ("empty".into(), Json::Arr(vec![])),
+            ("items".into(), Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\n  \"name\": \"bench\",\n  \"rate\": 0.5,\n  \"count\": 18446744073709551615,\n  \"p99\": null,\n  \"ok\": true,\n  \"empty\": [],\n  \"items\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nulls_non_finite() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn json_report_roundtrip() {
+        let p = write_json(
+            "unit_test.json",
+            &Json::Obj(vec![("x".into(), Json::Int(1))]),
+        );
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "{\n  \"x\": 1\n}\n");
+        std::fs::remove_file(p).unwrap();
     }
 }

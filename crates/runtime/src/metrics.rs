@@ -7,24 +7,31 @@ pub const LATENCY_BUCKETS: usize = 24;
 /// Upper bound (inclusive) of latency bucket `i`, in nanoseconds.
 ///
 /// Buckets are powers of two starting at 128 ns: bucket 0 holds
-/// `(0, 128]` ns, bucket 1 `(128, 256]` ns, …; the last bucket is
-/// open-ended (≈ 1 s and above).
+/// `(0, 128]` ns, bucket 1 `(128, 256]` ns, …; samples beyond the
+/// last bound (≈ 1 s) land in the explicit overflow bucket, not in
+/// bucket `LATENCY_BUCKETS - 1`.
 pub fn bucket_bound_ns(i: usize) -> u64 {
     128u64 << i.min(LATENCY_BUCKETS - 1)
 }
 
-fn bucket_index(ns: u64) -> usize {
+/// The finite bucket holding `ns`, or `None` when the sample exceeds
+/// the last bucket bound and belongs in the overflow bucket.
+fn bucket_index(ns: u64) -> Option<usize> {
     let mut idx = 0;
-    while idx < LATENCY_BUCKETS - 1 && ns > bucket_bound_ns(idx) {
+    while ns > bucket_bound_ns(idx) {
+        if idx == LATENCY_BUCKETS - 1 {
+            return None;
+        }
         idx += 1;
     }
-    idx
+    Some(idx)
 }
 
 /// Lock-free accumulation side of one stage histogram.
 #[derive(Debug, Default)]
 pub(crate) struct HistInner {
     buckets: [AtomicU64; LATENCY_BUCKETS],
+    overflow: AtomicU64,
     count: AtomicU64,
     sum_ns: AtomicU64,
 }
@@ -32,7 +39,10 @@ pub(crate) struct HistInner {
 impl HistInner {
     pub(crate) fn record(&self, elapsed: Duration) {
         let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        match bucket_index(ns) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -44,6 +54,7 @@ impl HistInner {
         }
         LatencyHistogram {
             buckets,
+            overflow: self.overflow.load(Ordering::Relaxed),
             count: self.count.load(Ordering::Relaxed),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
         }
@@ -53,16 +64,23 @@ impl HistInner {
 /// A point-in-time copy of one stage's latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyHistogram {
-    /// Sample count per bucket; see [`bucket_bound_ns`] for bounds.
+    /// Sample count per finite bucket; see [`bucket_bound_ns`].
     pub buckets: [u64; LATENCY_BUCKETS],
-    /// Total samples recorded.
+    /// Samples beyond the last finite bucket bound. Counting these
+    /// separately keeps [`LatencyHistogram::quantile_bound_ns`]
+    /// honest: a quantile landing here has **no** claimable finite
+    /// bound, instead of being silently attributed to the last bucket.
+    pub overflow: u64,
+    /// Total samples recorded (finite buckets + overflow).
     pub count: u64,
-    /// Sum of all recorded latencies in nanoseconds.
+    /// Sum of all recorded latencies in nanoseconds (actual values,
+    /// including overflow samples, so the mean stays exact).
     pub sum_ns: u64,
 }
 
 impl LatencyHistogram {
-    /// Mean latency in nanoseconds (`0` before any sample).
+    /// Mean latency in nanoseconds (`0` before any sample). Overflow
+    /// samples contribute their actual value, not a bucket bound.
     pub fn mean_ns(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -72,8 +90,10 @@ impl LatencyHistogram {
     }
 
     /// Upper bucket bound below which at least `q` (in `[0, 1]`) of
-    /// the samples fall — a conservative quantile estimate (`None`
-    /// before any sample).
+    /// the samples fall — a conservative quantile estimate. `None`
+    /// before any sample, and `None` when the requested quantile
+    /// lands in the overflow bucket (no finite bound would be
+    /// truthful there).
     pub fn quantile_bound_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -86,7 +106,7 @@ impl LatencyHistogram {
                 return Some(bucket_bound_ns(i));
             }
         }
-        Some(bucket_bound_ns(LATENCY_BUCKETS - 1))
+        None
     }
 }
 
@@ -166,11 +186,14 @@ mod tests {
     }
 
     #[test]
-    fn bucket_index_clamps_to_last() {
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(128), 0);
-        assert_eq!(bucket_index(129), 1);
-        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    fn bucket_index_routes_oversized_samples_to_overflow() {
+        assert_eq!(bucket_index(1), Some(0));
+        assert_eq!(bucket_index(128), Some(0));
+        assert_eq!(bucket_index(129), Some(1));
+        let last = bucket_bound_ns(LATENCY_BUCKETS - 1);
+        assert_eq!(bucket_index(last), Some(LATENCY_BUCKETS - 1));
+        assert_eq!(bucket_index(last + 1), None);
+        assert_eq!(bucket_index(u64::MAX), None);
     }
 
     #[test]
@@ -187,6 +210,36 @@ mod tests {
         // Median bound: two of three samples are <= 512 ns.
         assert_eq!(snap.quantile_bound_ns(0.5), Some(512));
         assert_eq!(snap.quantile_bound_ns(1.0), Some(16384));
+    }
+
+    #[test]
+    fn saturated_histogram_stays_honest() {
+        // Three fast samples plus one far beyond the last bucket
+        // bound (~1.07 s): the big sample must land in the overflow
+        // bucket, keep the mean exact, and poison only the quantiles
+        // that actually reach into the overflow region.
+        let hist = HistInner::default();
+        let last_bound = bucket_bound_ns(LATENCY_BUCKETS - 1);
+        for _ in 0..3 {
+            hist.record(Duration::from_nanos(100));
+        }
+        hist.record(Duration::from_secs(10));
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 3);
+        // Mean uses the actual 10 s value, not a clamped bound.
+        let expected_mean = (3.0 * 100.0 + 10e9) / 4.0;
+        assert!((snap.mean_ns() - expected_mean).abs() < 1e-6);
+        // 75% of samples fall in bucket 0; the p75 bound is finite.
+        assert_eq!(snap.quantile_bound_ns(0.75), Some(128));
+        // The max reaches into overflow: no finite bound is truthful.
+        assert_eq!(snap.quantile_bound_ns(1.0), None);
+        // Sanity: the overflow threshold itself still counts as finite.
+        let edge = HistInner::default();
+        edge.record(Duration::from_nanos(last_bound));
+        assert_eq!(edge.snapshot().overflow, 0);
+        assert_eq!(edge.snapshot().quantile_bound_ns(1.0), Some(last_bound));
     }
 
     #[test]

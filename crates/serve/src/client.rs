@@ -1,0 +1,244 @@
+//! Blocking client for the AWSAD detection service.
+//!
+//! [`Client`] wraps one TCP connection and mirrors the server's
+//! request/reply discipline: every call writes one frame and blocks
+//! for its reply. Batching is the throughput lever — a
+//! [`Client::tick_batch`] of `n` ticks costs one round trip instead
+//! of `n`, and the server still returns one [`WireOutcome`] per tick
+//! in submission order, so the reconstructed `AdaptiveStep` stream is
+//! identical to stepping the engine in-process.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{
+    read_frame, write_frame, ErrorCode, Frame, ReadFrameError, SessionSpec, WireError, WireMetrics,
+    WireOutcome, WireTick, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server sent bytes violating the protocol.
+    Wire(WireError),
+    /// The server closed the connection.
+    Closed,
+    /// The server answered with a typed error frame.
+    Server {
+        /// Failure category.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with a well-formed frame of the wrong
+    /// type for the request (a server bug or a desynchronized
+    /// stream).
+    UnexpectedReply(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::UnexpectedReply(expected) => {
+                write!(f, "unexpected reply frame (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadFrameError> for ClientError {
+    fn from(e: ReadFrameError) -> Self {
+        match e {
+            ReadFrameError::Closed => ClientError::Closed,
+            ReadFrameError::Io(e) => ClientError::Io(e),
+            ReadFrameError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// Client-side result alias.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A session opened on the server, as the client sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteSession {
+    /// Server-assigned session id; pass to [`Client::tick`],
+    /// [`Client::tick_batch`] and [`Client::close_session`].
+    pub id: u64,
+    /// The plant's state dimension — every tick's estimate length.
+    pub state_dim: usize,
+    /// The plant's input dimension — every tick's input length.
+    pub input_dim: usize,
+}
+
+/// A blocking connection to one detection server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connects, disables Nagle, and performs the `Hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures surface as [`ClientError::Io`]; a
+    /// version-incompatible server surfaces as [`ClientError::Wire`]
+    /// or [`ClientError::Server`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client {
+            reader,
+            writer: BufWriter::new(stream),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        };
+        let hello = Frame::Hello {
+            client: format!("awsad-serve-client/{}", env!("CARGO_PKG_VERSION")),
+        };
+        match client.call(&hello)? {
+            Frame::HelloAck { .. } => Ok(client),
+            other => Err(unexpected("HelloAck", other)),
+        }
+    }
+
+    /// Sets a read timeout for replies (`None` = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_reply_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Opens a detection session described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::BadModel`] /
+    /// [`ErrorCode::SessionLimit`] / [`ErrorCode::DimensionMismatch`]
+    /// on a rejected spec, plus the usual transport failures.
+    pub fn open_session(&mut self, spec: &SessionSpec) -> Result<RemoteSession> {
+        match self.call(&Frame::OpenSession(spec.clone()))? {
+            Frame::SessionOpened {
+                session,
+                state_dim,
+                input_dim,
+            } => Ok(RemoteSession {
+                id: session,
+                state_dim: state_dim as usize,
+                input_dim: input_dim as usize,
+            }),
+            other => Err(unexpected("SessionOpened", other)),
+        }
+    }
+
+    /// Submits one measurement tick and blocks for its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on unknown sessions or dimension
+    /// mismatches; transport failures otherwise.
+    pub fn tick(&mut self, session: u64, estimate: &[f64], input: &[f64]) -> Result<WireOutcome> {
+        let mut outcomes = self.tick_batch(
+            session,
+            &[WireTick {
+                estimate: estimate.to_vec(),
+                input: input.to_vec(),
+            }],
+        )?;
+        outcomes
+            .pop()
+            .ok_or(ClientError::UnexpectedReply("exactly one outcome"))
+    }
+
+    /// Submits a batch of ticks in one round trip and blocks until
+    /// the server returns one outcome per tick, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::tick`]; additionally
+    /// [`ClientError::UnexpectedReply`] if the server returns a
+    /// mismatched outcome count or session id.
+    pub fn tick_batch(&mut self, session: u64, ticks: &[WireTick]) -> Result<Vec<WireOutcome>> {
+        let n = ticks.len();
+        let request = Frame::Tick {
+            session,
+            ticks: ticks.to_vec(),
+        };
+        match self.call(&request)? {
+            Frame::TickOutcomes {
+                session: got_session,
+                outcomes,
+            } => {
+                if got_session != session || outcomes.len() != n {
+                    return Err(ClientError::UnexpectedReply(
+                        "outcomes for the submitted batch",
+                    ));
+                }
+                Ok(outcomes)
+            }
+            other => Err(unexpected("TickOutcomes", other)),
+        }
+    }
+
+    /// Closes a session (idempotent server-side state: closing an
+    /// unknown id is a [`ClientError::Server`] with
+    /// [`ErrorCode::UnknownSession`]).
+    ///
+    /// # Errors
+    ///
+    /// As documented above, plus transport failures.
+    pub fn close_session(&mut self, session: u64) -> Result<()> {
+        match self.call(&Frame::CloseSession { session })? {
+            Frame::SessionClosed { .. } => Ok(()),
+            other => Err(unexpected("SessionClosed", other)),
+        }
+    }
+
+    /// Fetches the server's engine counters plus transport counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn metrics(&mut self) -> Result<WireMetrics> {
+        match self.call(&Frame::MetricsQuery)? {
+            Frame::MetricsReply(m) => Ok(m),
+            other => Err(unexpected("MetricsReply", other)),
+        }
+    }
+
+    /// One request/reply round trip. [`Frame::Error`] replies are
+    /// lifted into [`ClientError::Server`] here so every typed method
+    /// above only matches its success frame.
+    fn call(&mut self, request: &Frame) -> Result<Frame> {
+        write_frame(&mut self.writer, request)?;
+        match read_frame(&mut self.reader, self.max_frame_len)? {
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            frame => Ok(frame),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, _got: Frame) -> ClientError {
+    ClientError::UnexpectedReply(expected)
+}

@@ -1,0 +1,585 @@
+//! The AWSAD detection server: a TCP front-end over one shared
+//! [`DetectionEngine`].
+//!
+//! Threading model: one accept thread plus **one reader thread per
+//! connection**. A connection thread owns its sessions exclusively
+//! (id lookup happens in a connection-local map, so one client can
+//! never address another's session) and speaks a strict
+//! request/reply discipline: every decoded frame is answered by
+//! exactly one reply frame. Cross-connection concurrency comes from
+//! the engine's worker pool, not from interleaving on a socket.
+//!
+//! Hostile-input posture, per the serving-layer design:
+//!
+//! * the declared frame length is checked against
+//!   [`ServerConfig::max_frame_len`] *before* any allocation;
+//! * a malformed frame (bad magic/version/type, truncation, trailing
+//!   bytes) increments the `decode_errors` transport counter and
+//!   tears down **only that connection** — its sessions close, queued
+//!   ticks still drain, and every other session keeps ticking;
+//! * sockets carry a read timeout so connection threads observe the
+//!   shutdown flag within [`ServerConfig::read_timeout`] even while a
+//!   peer is idle or trickling bytes mid-frame;
+//! * overload maps onto the engine's own backpressure: under
+//!   [`BackpressurePolicy::Block`](awsad_runtime::BackpressurePolicy)
+//!   a flooding client is throttled by its own unanswered batch, and
+//!   under `Degrade` its over-quota ticks take the flagged cheap path
+//!   — either way other sessions' latency is protected.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use awsad_core::{AdaptiveDetector, DetectorConfig};
+use awsad_linalg::Vector;
+use awsad_models::Simulator;
+use awsad_reach::{CacheConfig, DeadlineCache};
+use awsad_runtime::{
+    DetectionEngine, EngineConfig, LatencyHistogram, RuntimeMetrics, SessionHandle, Tick,
+    TickOutcome,
+};
+
+use crate::wire::{
+    read_frame, write_frame, ErrorCode, Frame, ReadFrameError, SessionSpec, WireLatency,
+    WireMetrics, WireOutcome, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine configuration (worker count, queue capacity,
+    /// backpressure policy) for the shared detection engine.
+    pub engine: EngineConfig,
+    /// Maximum accepted frame payload length; larger declarations are
+    /// rejected before allocation and drop the connection.
+    pub max_frame_len: u32,
+    /// Socket read timeout — the cadence at which idle connection
+    /// threads re-check the shutdown flag.
+    pub read_timeout: Duration,
+    /// How long a `Tick` request may wait for the engine to produce
+    /// its outcomes before the server answers with
+    /// [`ErrorCode::Timeout`].
+    pub outcome_timeout: Duration,
+    /// Maximum sessions one connection may hold open.
+    pub max_sessions_per_connection: usize,
+    /// Name returned in the `HelloAck` handshake.
+    pub server_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            engine: EngineConfig::default(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            read_timeout: Duration::from_millis(100),
+            outcome_timeout: Duration::from_secs(30),
+            max_sessions_per_connection: 64,
+            server_name: format!("awsad-serve/{}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// Atomic transport counters (the serving-layer analogue of
+/// [`RuntimeMetrics`]).
+#[derive(Debug, Default)]
+struct TransportInner {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    decode_errors: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_dropped: AtomicU64,
+}
+
+/// A point-in-time copy of the server's transport counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportMetrics {
+    /// Frames successfully decoded across all connections.
+    pub frames_in: u64,
+    /// Reply frames written across all connections.
+    pub frames_out: u64,
+    /// Malformed or oversized frames observed (each one also drops
+    /// its connection).
+    pub decode_errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_opened: u64,
+    /// Connections torn down for cause — decode error or transport
+    /// I/O failure (clean client closes do not count).
+    pub connections_dropped: u64,
+}
+
+impl TransportInner {
+    fn snapshot(&self) -> TransportMetrics {
+        TransportMetrics {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct ServerShared {
+    config: ServerConfig,
+    engine: DetectionEngine,
+    transport: TransportInner,
+    shutdown: AtomicBool,
+    /// Joined on shutdown; finished threads are reaped opportunistically
+    /// by the accept loop so a long-lived server does not accumulate
+    /// handles for long-gone connections.
+    connections: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A running detection server. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop, wakes every
+/// connection thread, and joins them all.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            engine: DetectionEngine::new(config.engine.clone()),
+            config,
+            transport: TransportInner::default(),
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("awsad-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The address the server is listening on (with the actual port
+    /// when bound ephemerally).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the shared engine's counters.
+    pub fn engine_metrics(&self) -> RuntimeMetrics {
+        self.shared.engine.metrics()
+    }
+
+    /// A point-in-time copy of the transport counters.
+    pub fn transport_metrics(&self) -> TransportMetrics {
+        self.shared.transport.snapshot()
+    }
+
+    /// Stops accepting, wakes every connection thread, and joins them
+    /// all. Sessions close; already-queued ticks still drain on the
+    /// engine. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread may be parked in accept(); poke it with a
+        // throwaway connection so it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.lock().expect("accept lock").take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .connections
+            .lock()
+            .expect("connections lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared
+                    .transport
+                    .connections_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name("awsad-serve-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared))
+                    .expect("spawn connection thread");
+                let mut conns = shared.connections.lock().expect("connections lock");
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off
+                // briefly instead of spinning.
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Wraps the connection socket so blocking reads wake up every
+/// [`ServerConfig::read_timeout`] to observe the shutdown flag — even
+/// mid-frame, so a byte-trickling peer cannot pin a thread across
+/// shutdown. Reads never return `WouldBlock` to the framing layer;
+/// they either deliver bytes, report a real error, or fail with
+/// [`io::ErrorKind::Other`] once shutdown is requested.
+struct ShutdownAwareReader<'a> {
+    stream: BufReader<TcpStream>,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for ShutdownAwareReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(io::Error::other("server shutting down"));
+            }
+            match self.stream.read(buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+/// One open session as a connection thread sees it.
+struct ConnSession {
+    handle: SessionHandle,
+    outcomes: mpsc::Receiver<TickOutcome>,
+    state_dim: usize,
+    input_dim: usize,
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared
+                .transport
+                .connections_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = ShutdownAwareReader {
+        stream: BufReader::new(stream),
+        shutdown: &shared.shutdown,
+    };
+    let mut writer = BufWriter::new(write_stream);
+    let mut sessions: HashMap<u64, ConnSession> = HashMap::new();
+
+    loop {
+        let frame = match read_frame(&mut reader, shared.config.max_frame_len) {
+            Ok(frame) => frame,
+            Err(ReadFrameError::Closed) => return, // clean client close
+            Err(ReadFrameError::Io(_)) => {
+                // Shutdown or transport failure; either way this
+                // connection is done.
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared
+                        .transport
+                        .connections_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Err(ReadFrameError::Wire(err)) => {
+                // Malformed traffic: count it, tell the peer why
+                // (best effort — the stream may be desynchronized),
+                // and kill only this connection.
+                shared
+                    .transport
+                    .decode_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .transport
+                    .connections_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                let reply = Frame::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("protocol violation, closing connection: {err}"),
+                };
+                shared.transport.frames_out.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut writer, &reply);
+                return;
+            }
+        };
+        shared.transport.frames_in.fetch_add(1, Ordering::Relaxed);
+
+        let reply = handle_frame(&shared, &mut sessions, frame);
+        // Count before the bytes hit the wire: a client that has read
+        // its reply must observe the counter already bumped, which
+        // keeps `frames_out` exact from any observer's point of view
+        // (the write-failure path below tears the connection down, so
+        // the one-frame overcount there is visible as a drop).
+        shared.transport.frames_out.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&mut writer, &reply).is_err() {
+            shared
+                .transport
+                .connections_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    // `sessions` drops here (or on any return): handles close, the
+    // engine keeps draining whatever was already queued.
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Frame {
+    Frame::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn handle_frame(
+    shared: &ServerShared,
+    sessions: &mut HashMap<u64, ConnSession>,
+    frame: Frame,
+) -> Frame {
+    match frame {
+        Frame::Hello { client: _ } => Frame::HelloAck {
+            server: shared.config.server_name.clone(),
+        },
+        Frame::OpenSession(spec) => open_session(shared, sessions, &spec),
+        Frame::Tick { session, ticks } => run_ticks(shared, sessions, session, ticks),
+        Frame::CloseSession { session } => match sessions.remove(&session) {
+            Some(conn_session) => {
+                conn_session.handle.close();
+                Frame::SessionClosed { session }
+            }
+            None => error(ErrorCode::UnknownSession, format!("session {session}")),
+        },
+        Frame::MetricsQuery => Frame::MetricsReply(wire_metrics(
+            &shared.engine.metrics(),
+            &shared.transport.snapshot(),
+        )),
+        // Reply-direction frames arriving from a client are requests
+        // we cannot serve; answer with a typed error but keep the
+        // connection (the stream itself is still well-formed).
+        Frame::HelloAck { .. }
+        | Frame::SessionOpened { .. }
+        | Frame::TickOutcomes { .. }
+        | Frame::SessionClosed { .. }
+        | Frame::MetricsReply(_)
+        | Frame::Error { .. } => error(
+            ErrorCode::Internal,
+            "reply-direction frame is not a valid request",
+        ),
+    }
+}
+
+fn open_session(
+    shared: &ServerShared,
+    sessions: &mut HashMap<u64, ConnSession>,
+    spec: &SessionSpec,
+) -> Frame {
+    if sessions.len() >= shared.config.max_sessions_per_connection {
+        return error(
+            ErrorCode::SessionLimit,
+            format!(
+                "connection already holds {} sessions",
+                shared.config.max_sessions_per_connection
+            ),
+        );
+    }
+    let Some(sim) = Simulator::all()
+        .into_iter()
+        .find(|s| s.table1_row() == spec.model as usize)
+    else {
+        return error(
+            ErrorCode::BadModel,
+            format!("no Table 1 row {} (valid: 1..=5)", spec.model),
+        );
+    };
+    let model = sim.build();
+    let w_m = if spec.max_window == 0 {
+        model.default_max_window
+    } else {
+        spec.max_window as usize
+    };
+    let threshold = if spec.threshold.is_empty() {
+        model.threshold.clone()
+    } else {
+        Vector::from_slice(&spec.threshold)
+    };
+    if threshold.len() != model.state_dim() {
+        return error(
+            ErrorCode::DimensionMismatch,
+            format!(
+                "threshold has {} entries, {} wants {}",
+                threshold.len(),
+                model.name,
+                model.state_dim()
+            ),
+        );
+    }
+    let det_cfg = match DetectorConfig::with_min_window(threshold, spec.min_window as usize, w_m) {
+        Ok(cfg) => cfg,
+        Err(e) => return error(ErrorCode::Internal, format!("detector config: {e}")),
+    };
+    let estimator = match model.deadline_estimator(w_m) {
+        Ok(est) => est,
+        Err(e) => return error(ErrorCode::Internal, format!("deadline estimator: {e}")),
+    };
+    let mut detector = match AdaptiveDetector::new(det_cfg, estimator) {
+        Ok(det) => det,
+        Err(e) => return error(ErrorCode::Internal, format!("detector: {e}")),
+    };
+    if spec.cache_capacity > 0 {
+        detector.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(
+            spec.cache_capacity as usize,
+        )));
+    }
+    let logger = model.data_logger(w_m);
+    let (handle, outcomes) = shared.engine.add_session(logger, detector);
+    let id = handle.id().0;
+    sessions.insert(
+        id,
+        ConnSession {
+            handle,
+            outcomes,
+            state_dim: model.state_dim(),
+            input_dim: model.system.input_dim(),
+        },
+    );
+    Frame::SessionOpened {
+        session: id,
+        state_dim: model.state_dim() as u32,
+        input_dim: model.system.input_dim() as u32,
+    }
+}
+
+fn run_ticks(
+    shared: &ServerShared,
+    sessions: &mut HashMap<u64, ConnSession>,
+    session: u64,
+    ticks: Vec<crate::wire::WireTick>,
+) -> Frame {
+    let Some(conn_session) = sessions.get(&session) else {
+        return error(ErrorCode::UnknownSession, format!("session {session}"));
+    };
+    // Validate the whole batch before submitting anything: the engine
+    // asserts on dimension mismatches, and a half-submitted batch
+    // would desynchronize the outcome stream.
+    for (i, tick) in ticks.iter().enumerate() {
+        if tick.estimate.len() != conn_session.state_dim
+            || tick.input.len() != conn_session.input_dim
+        {
+            return error(
+                ErrorCode::DimensionMismatch,
+                format!(
+                    "tick {i}: got estimate/input dims {}/{}, session wants {}/{}",
+                    tick.estimate.len(),
+                    tick.input.len(),
+                    conn_session.state_dim,
+                    conn_session.input_dim
+                ),
+            );
+        }
+    }
+    let n = ticks.len();
+    for tick in ticks {
+        // Under the Block policy this throttles the producer right
+        // here — per-session bounded-queue backpressure reaching all
+        // the way back through TCP to the client, which is waiting on
+        // this very reply.
+        if conn_session
+            .handle
+            .submit(Tick {
+                estimate: Vector::from_vec(tick.estimate),
+                input: Vector::from_vec(tick.input),
+            })
+            .is_err()
+        {
+            return error(ErrorCode::UnknownSession, "session closed under batch");
+        }
+    }
+    let mut outcomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        match conn_session
+            .outcomes
+            .recv_timeout(shared.config.outcome_timeout)
+        {
+            Ok(outcome) => outcomes.push(WireOutcome::from_outcome(&outcome)),
+            Err(_) => {
+                return error(
+                    ErrorCode::Timeout,
+                    format!("engine produced {}/{n} outcomes in time", outcomes.len()),
+                )
+            }
+        }
+    }
+    Frame::TickOutcomes { session, outcomes }
+}
+
+fn wire_latency(hist: &LatencyHistogram) -> WireLatency {
+    WireLatency {
+        count: hist.count,
+        mean_ns: hist.mean_ns(),
+        p50_bound_ns: hist.quantile_bound_ns(0.5),
+        p99_bound_ns: hist.quantile_bound_ns(0.99),
+        overflow: hist.overflow,
+    }
+}
+
+fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> WireMetrics {
+    WireMetrics {
+        sessions_active: engine.sessions_active,
+        ticks_submitted: engine.ticks_submitted,
+        ticks_processed: engine.ticks_processed,
+        alarms_raised: engine.alarms_raised,
+        degraded_ticks: engine.degraded_ticks,
+        queue_depth_high_water: engine.queue_depth_high_water,
+        log_latency: wire_latency(&engine.log_latency),
+        detect_latency: wire_latency(&engine.detect_latency),
+        frames_in: transport.frames_in,
+        frames_out: transport.frames_out,
+        decode_errors: transport.decode_errors,
+        connections_opened: transport.connections_opened,
+        connections_dropped: transport.connections_dropped,
+    }
+}

@@ -1,0 +1,1094 @@
+//! The AWSAD wire protocol: a versioned, length-prefixed binary
+//! framing for detection-as-a-service.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! u32 BE payload length │ payload
+//! ```
+//!
+//! where the payload starts with a fixed header — the 4-byte magic
+//! [`MAGIC`], the protocol version [`VERSION`] (`u16` BE) and a frame
+//! type byte — followed by the type-specific body. All integers are
+//! big-endian; `f64`s travel as their IEEE-754 bit pattern (`u64` BE),
+//! so round-tripping a measurement vector is **bit-exact** — the
+//! server-side detector sees exactly the floats the client produced,
+//! which is what makes the remote `AdaptiveStep` stream byte-identical
+//! to local stepping.
+//!
+//! Encoding and decoding are explicit hand-rolled routines (no serde
+//! on the wire path): the format is frozen by the round-trip tests in
+//! this module, and a decoder fed hostile bytes can only fail with a
+//! typed [`WireError`] — it never panics and never allocates more than
+//! the declared (and size-guarded) frame length.
+
+use std::io::{self, Read, Write};
+
+use awsad_core::AdaptiveStep;
+use awsad_reach::Deadline;
+use awsad_runtime::TickOutcome;
+
+/// First four payload bytes of every AWSAD frame.
+pub const MAGIC: [u8; 4] = *b"AWSD";
+
+/// Protocol version spoken by this build. Decoders reject frames
+/// carrying any other version with [`WireError::UnsupportedVersion`].
+pub const VERSION: u16 = 1;
+
+/// Default upper bound on the payload length a peer will accept.
+/// Large enough for a ~8000-tick batch on the 12-state quadrotor,
+/// small enough that a hostile length prefix cannot balloon memory.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+const FRAME_HELLO: u8 = 0x01;
+const FRAME_HELLO_ACK: u8 = 0x02;
+const FRAME_OPEN_SESSION: u8 = 0x03;
+const FRAME_SESSION_OPENED: u8 = 0x04;
+const FRAME_TICK: u8 = 0x05;
+const FRAME_TICK_OUTCOMES: u8 = 0x06;
+const FRAME_CLOSE_SESSION: u8 = 0x07;
+const FRAME_SESSION_CLOSED: u8 = 0x08;
+const FRAME_METRICS_QUERY: u8 = 0x09;
+const FRAME_METRICS_REPLY: u8 = 0x0a;
+const FRAME_ERROR: u8 = 0x0f;
+
+/// A typed decode failure. Every way a byte stream can violate the
+/// protocol maps to exactly one variant; the server counts these and
+/// drops the offending connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u16),
+    /// The frame type byte is not one this version defines.
+    UnknownFrameType(u8),
+    /// The payload ended before the body it declared was complete.
+    Truncated,
+    /// The body decoded fully but bytes were left over.
+    TrailingBytes(usize),
+    /// The declared payload length exceeds the receiver's limit.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// The receiver's configured maximum.
+        max: u32,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A field held a value outside its domain (named for diagnosis).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (expected {VERSION})")
+            }
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t:#04x}"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "declared frame length {len} exceeds limit {max}")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadValue(what) => write!(f, "field out of domain: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Server-reported failure categories carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The `model` id in `OpenSession` names no registered simulator.
+    BadModel = 1,
+    /// The session id is not open on this connection.
+    UnknownSession = 2,
+    /// A tick's estimate/input length does not match the model.
+    DimensionMismatch = 3,
+    /// The connection hit its session quota.
+    SessionLimit = 4,
+    /// The engine did not produce an outcome within the server's
+    /// deadline.
+    Timeout = 5,
+    /// Anything else; the message has details.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => ErrorCode::BadModel,
+            2 => ErrorCode::UnknownSession,
+            3 => ErrorCode::DimensionMismatch,
+            4 => ErrorCode::SessionLimit,
+            5 => ErrorCode::Timeout,
+            6 => ErrorCode::Internal,
+            _ => return Err(WireError::BadValue("error code")),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::BadModel => "bad model",
+            ErrorCode::UnknownSession => "unknown session",
+            ErrorCode::DimensionMismatch => "dimension mismatch",
+            ErrorCode::SessionLimit => "session limit reached",
+            ErrorCode::Timeout => "engine timeout",
+            ErrorCode::Internal => "internal error",
+        })
+    }
+}
+
+/// Client request to open one detection session.
+///
+/// The model is named by its Table 1 registry row (1..=5, the
+/// `awsad_models::Simulator` order); everything else defaults to the
+/// model's profiled parameters when left at the sentinel (`0` /
+/// empty), so the minimal spec is just a row number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Table 1 row of the plant model (1-based).
+    pub model: u8,
+    /// Maximum detection window `w_m` (`0` → the model default).
+    pub max_window: u32,
+    /// Minimum detection window (usually 0).
+    pub min_window: u32,
+    /// Per-dimension threshold `τ` (empty → the model's profiled τ).
+    pub threshold: Vec<f64>,
+    /// Exact deadline-cache capacity (`0` → no cache installed).
+    pub cache_capacity: u32,
+}
+
+impl SessionSpec {
+    /// A spec running model row `model` entirely on its profiled
+    /// defaults, without a deadline cache.
+    pub fn model_defaults(model: u8) -> Self {
+        SessionSpec {
+            model,
+            max_window: 0,
+            min_window: 0,
+            threshold: Vec::new(),
+            cache_capacity: 0,
+        }
+    }
+}
+
+/// One measurement tick as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTick {
+    /// State estimate `x̄_t`.
+    pub estimate: Vec<f64>,
+    /// Control input `u_t`.
+    pub input: Vec<f64>,
+}
+
+/// One detection outcome as it travels on the wire — a faithful image
+/// of [`awsad_runtime::TickOutcome`] (minus the session id, which the
+/// enclosing frame carries once for the whole batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireOutcome {
+    /// Submission index within the session.
+    pub seq: u64,
+    /// Whether the tick took the degraded overload path.
+    pub degraded: bool,
+    /// `AdaptiveStep::step`.
+    pub step: u64,
+    /// `AdaptiveStep::deadline` (`None` = `Deadline::Beyond`).
+    pub deadline: Option<u64>,
+    /// `AdaptiveStep::window`.
+    pub window: u64,
+    /// `AdaptiveStep::previous_window`.
+    pub previous_window: u64,
+    /// `AdaptiveStep::current_alarm`.
+    pub current_alarm: bool,
+    /// `AdaptiveStep::complementary_alarms`.
+    pub complementary_alarms: Vec<u64>,
+}
+
+impl WireOutcome {
+    /// Builds the wire image of an engine outcome.
+    pub fn from_outcome(o: &TickOutcome) -> Self {
+        WireOutcome {
+            seq: o.seq,
+            degraded: o.degraded,
+            step: o.step.step as u64,
+            deadline: o.step.deadline.steps().map(|s| s as u64),
+            window: o.step.window as u64,
+            previous_window: o.step.previous_window as u64,
+            current_alarm: o.step.current_alarm,
+            complementary_alarms: o
+                .step
+                .complementary_alarms
+                .iter()
+                .map(|&s| s as u64)
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the [`AdaptiveStep`] this outcome carries. The
+    /// round trip through [`WireOutcome::from_outcome`] is lossless,
+    /// so comparing the result against local stepping with `==` is a
+    /// byte-identical check.
+    pub fn to_step(&self) -> AdaptiveStep {
+        AdaptiveStep {
+            step: self.step as usize,
+            deadline: match self.deadline {
+                Some(s) => Deadline::Within(s as usize),
+                None => Deadline::Beyond,
+            },
+            window: self.window as usize,
+            previous_window: self.previous_window as usize,
+            current_alarm: self.current_alarm,
+            complementary_alarms: self
+                .complementary_alarms
+                .iter()
+                .map(|&s| s as usize)
+                .collect(),
+        }
+    }
+
+    /// Whether any alarm (current or complementary) fired.
+    pub fn alarm(&self) -> bool {
+        self.current_alarm || !self.complementary_alarms.is_empty()
+    }
+}
+
+/// Wire image of one latency-stage summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireLatency {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Conservative p50 bound (`None` = no finite bound claimable).
+    pub p50_bound_ns: Option<u64>,
+    /// Conservative p99 bound (`None` = no finite bound claimable).
+    pub p99_bound_ns: Option<u64>,
+    /// Samples beyond the histogram's last finite bucket bound.
+    pub overflow: u64,
+}
+
+/// Wire image of the engine counters plus the server's own transport
+/// counters, returned by `MetricsQuery`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireMetrics {
+    /// Sessions currently open on the engine.
+    pub sessions_active: u64,
+    /// Ticks accepted into session queues.
+    pub ticks_submitted: u64,
+    /// Ticks fully processed.
+    pub ticks_processed: u64,
+    /// Processed ticks that raised any alarm.
+    pub alarms_raised: u64,
+    /// Processed ticks that took the degraded path.
+    pub degraded_ticks: u64,
+    /// Highest simultaneous queue depth observed.
+    pub queue_depth_high_water: u64,
+    /// Logging-stage latency summary.
+    pub log_latency: WireLatency,
+    /// Detection-stage latency summary.
+    pub detect_latency: WireLatency,
+    /// Frames successfully decoded by the server.
+    pub frames_in: u64,
+    /// Frames written by the server.
+    pub frames_out: u64,
+    /// Malformed/oversized frames seen (each also drops a connection).
+    pub decode_errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_opened: u64,
+    /// Connections torn down for cause (decode error, I/O error).
+    pub connections_dropped: u64,
+}
+
+/// Every frame the protocol defines. Requests flow client → server;
+/// each request is answered by exactly one reply frame (its natural
+/// reply or [`Frame::Error`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake request; carries a free-form client name.
+    Hello {
+        /// The client's self-description (diagnostics only).
+        client: String,
+    },
+    /// Handshake reply; version compatibility is implied (any
+    /// mismatch would have failed header decoding).
+    HelloAck {
+        /// The server's self-description.
+        server: String,
+    },
+    /// Open a detection session.
+    OpenSession(SessionSpec),
+    /// Reply to `OpenSession`.
+    SessionOpened {
+        /// Server-assigned session id, unique per server.
+        session: u64,
+        /// Plant state dimension (ticks must match).
+        state_dim: u32,
+        /// Plant input dimension (ticks must match).
+        input_dim: u32,
+    },
+    /// Submit a batch of measurement ticks (a single tick is a batch
+    /// of one).
+    Tick {
+        /// Target session.
+        session: u64,
+        /// Ticks in submission order.
+        ticks: Vec<WireTick>,
+    },
+    /// Reply to `Tick`: one outcome per submitted tick, in order.
+    TickOutcomes {
+        /// The session the outcomes belong to.
+        session: u64,
+        /// Outcomes in submission order.
+        outcomes: Vec<WireOutcome>,
+    },
+    /// Close a session (queued ticks still drain server-side).
+    CloseSession {
+        /// Session to close.
+        session: u64,
+    },
+    /// Reply to `CloseSession`.
+    SessionClosed {
+        /// The session that was closed.
+        session: u64,
+    },
+    /// Ask for engine + transport counters.
+    MetricsQuery,
+    /// Reply to `MetricsQuery`.
+    MetricsReply(WireMetrics),
+    /// Typed failure reply to any request.
+    Error {
+        /// Failure category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(frame_type: u8) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_be_bytes());
+        buf.push(frame_type);
+        Enc { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn f64s(&mut self, v: &[f64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    fn u64s(&mut self, v: &[u64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    fn latency(&mut self, l: &WireLatency) {
+        self.u64(l.count);
+        self.f64(l.mean_ns);
+        self.opt_u64(l.p50_bound_ns);
+        self.opt_u64(l.p99_bound_ns);
+        self.u64(l.overflow);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadValue("bool")),
+        }
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(WireError::BadValue("option tag")),
+        }
+    }
+
+    /// Length-prefixed element count, sanity-bounded by the bytes
+    /// actually remaining so a hostile count cannot pre-allocate.
+    fn seq_len(&mut self, elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_size.max(1)) > self.bytes.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.seq_len(1)?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.seq_len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.seq_len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn latency(&mut self) -> Result<WireLatency, WireError> {
+        Ok(WireLatency {
+            count: self.u64()?,
+            mean_ns: self.f64()?,
+            p50_bound_ns: self.opt_u64()?,
+            p99_bound_ns: self.opt_u64()?,
+            overflow: self.u64()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.bytes.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(left))
+        }
+    }
+}
+
+impl Frame {
+    fn frame_type(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => FRAME_HELLO,
+            Frame::HelloAck { .. } => FRAME_HELLO_ACK,
+            Frame::OpenSession(_) => FRAME_OPEN_SESSION,
+            Frame::SessionOpened { .. } => FRAME_SESSION_OPENED,
+            Frame::Tick { .. } => FRAME_TICK,
+            Frame::TickOutcomes { .. } => FRAME_TICK_OUTCOMES,
+            Frame::CloseSession { .. } => FRAME_CLOSE_SESSION,
+            Frame::SessionClosed { .. } => FRAME_SESSION_CLOSED,
+            Frame::MetricsQuery => FRAME_METRICS_QUERY,
+            Frame::MetricsReply(_) => FRAME_METRICS_REPLY,
+            Frame::Error { .. } => FRAME_ERROR,
+        }
+    }
+
+    /// Serializes the frame payload (header + body, without the
+    /// length prefix — [`write_frame`] adds that).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new(self.frame_type());
+        match self {
+            Frame::Hello { client } => e.str(client),
+            Frame::HelloAck { server } => e.str(server),
+            Frame::OpenSession(spec) => {
+                e.u8(spec.model);
+                e.u32(spec.max_window);
+                e.u32(spec.min_window);
+                e.f64s(&spec.threshold);
+                e.u32(spec.cache_capacity);
+            }
+            Frame::SessionOpened {
+                session,
+                state_dim,
+                input_dim,
+            } => {
+                e.u64(*session);
+                e.u32(*state_dim);
+                e.u32(*input_dim);
+            }
+            Frame::Tick { session, ticks } => {
+                e.u64(*session);
+                e.u32(ticks.len() as u32);
+                for t in ticks {
+                    e.f64s(&t.estimate);
+                    e.f64s(&t.input);
+                }
+            }
+            Frame::TickOutcomes { session, outcomes } => {
+                e.u64(*session);
+                e.u32(outcomes.len() as u32);
+                for o in outcomes {
+                    e.u64(o.seq);
+                    e.u8(o.degraded as u8);
+                    e.u64(o.step);
+                    e.opt_u64(o.deadline);
+                    e.u64(o.window);
+                    e.u64(o.previous_window);
+                    e.u8(o.current_alarm as u8);
+                    e.u64s(&o.complementary_alarms);
+                }
+            }
+            Frame::CloseSession { session } | Frame::SessionClosed { session } => {
+                e.u64(*session);
+            }
+            Frame::MetricsQuery => {}
+            Frame::MetricsReply(m) => {
+                e.u64(m.sessions_active);
+                e.u64(m.ticks_submitted);
+                e.u64(m.ticks_processed);
+                e.u64(m.alarms_raised);
+                e.u64(m.degraded_ticks);
+                e.u64(m.queue_depth_high_water);
+                e.latency(&m.log_latency);
+                e.latency(&m.detect_latency);
+                e.u64(m.frames_in);
+                e.u64(m.frames_out);
+                e.u64(m.decode_errors);
+                e.u64(m.connections_opened);
+                e.u64(m.connections_dropped);
+            }
+            Frame::Error { code, message } => {
+                e.u8(*code as u8);
+                e.str(message);
+            }
+        }
+        e.buf
+    }
+
+    /// Decodes one payload (header + body). Never panics on hostile
+    /// input; every failure is a typed [`WireError`].
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let mut d = Dec {
+            bytes: payload,
+            pos: 0,
+        };
+        let magic: [u8; 4] = d.take(4)?.try_into().unwrap();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = d.u16()?;
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let frame_type = d.u8()?;
+        let frame = match frame_type {
+            FRAME_HELLO => Frame::Hello { client: d.str()? },
+            FRAME_HELLO_ACK => Frame::HelloAck { server: d.str()? },
+            FRAME_OPEN_SESSION => Frame::OpenSession(SessionSpec {
+                model: d.u8()?,
+                max_window: d.u32()?,
+                min_window: d.u32()?,
+                threshold: d.f64s()?,
+                cache_capacity: d.u32()?,
+            }),
+            FRAME_SESSION_OPENED => Frame::SessionOpened {
+                session: d.u64()?,
+                state_dim: d.u32()?,
+                input_dim: d.u32()?,
+            },
+            FRAME_TICK => {
+                let session = d.u64()?;
+                let n = d.seq_len(8)?;
+                let mut ticks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ticks.push(WireTick {
+                        estimate: d.f64s()?,
+                        input: d.f64s()?,
+                    });
+                }
+                Frame::Tick { session, ticks }
+            }
+            FRAME_TICK_OUTCOMES => {
+                let session = d.u64()?;
+                let n = d.seq_len(8)?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outcomes.push(WireOutcome {
+                        seq: d.u64()?,
+                        degraded: d.bool()?,
+                        step: d.u64()?,
+                        deadline: d.opt_u64()?,
+                        window: d.u64()?,
+                        previous_window: d.u64()?,
+                        current_alarm: d.bool()?,
+                        complementary_alarms: d.u64s()?,
+                    });
+                }
+                Frame::TickOutcomes { session, outcomes }
+            }
+            FRAME_CLOSE_SESSION => Frame::CloseSession { session: d.u64()? },
+            FRAME_SESSION_CLOSED => Frame::SessionClosed { session: d.u64()? },
+            FRAME_METRICS_QUERY => Frame::MetricsQuery,
+            FRAME_METRICS_REPLY => Frame::MetricsReply(WireMetrics {
+                sessions_active: d.u64()?,
+                ticks_submitted: d.u64()?,
+                ticks_processed: d.u64()?,
+                alarms_raised: d.u64()?,
+                degraded_ticks: d.u64()?,
+                queue_depth_high_water: d.u64()?,
+                log_latency: d.latency()?,
+                detect_latency: d.latency()?,
+                frames_in: d.u64()?,
+                frames_out: d.u64()?,
+                decode_errors: d.u64()?,
+                connections_opened: d.u64()?,
+                connections_dropped: d.u64()?,
+            }),
+            FRAME_ERROR => Frame::Error {
+                code: ErrorCode::from_u8(d.u8()?)?,
+                message: d.str()?,
+            },
+            other => return Err(WireError::UnknownFrameType(other)),
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream I/O
+
+/// Why [`read_frame`] returned without a frame.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// The peer closed the connection cleanly (EOF at a frame
+    /// boundary).
+    Closed,
+    /// A transport-level I/O failure (includes read timeouts as
+    /// `WouldBlock`/`TimedOut`).
+    Io(io::Error),
+    /// The bytes violated the protocol — the caller should count this
+    /// and drop the connection.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ReadFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadFrameError::Closed => write!(f, "connection closed"),
+            ReadFrameError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadFrameError::Wire(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadFrameError {}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let payload = frame.encode();
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, enforcing `max_len` on the
+/// declared payload length *before* allocating.
+///
+/// EOF exactly at a frame boundary is the clean-close signal
+/// [`ReadFrameError::Closed`]; EOF mid-frame is
+/// [`WireError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Frame, ReadFrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    ReadFrameError::Closed
+                } else {
+                    ReadFrameError::Wire(WireError::Truncated)
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadFrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > max_len {
+        return Err(ReadFrameError::Wire(WireError::FrameTooLarge {
+            len,
+            max: max_len,
+        }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(ReadFrameError::Wire(WireError::Truncated)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadFrameError::Io(e)),
+        }
+    }
+    Frame::decode(&payload).map_err(ReadFrameError::Wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One representative value per frame variant. The match below is
+    /// exhaustive on purpose: adding a frame type without extending
+    /// this list fails to compile.
+    fn sample_frames() -> Vec<Frame> {
+        let variants = [
+            FRAME_HELLO,
+            FRAME_HELLO_ACK,
+            FRAME_OPEN_SESSION,
+            FRAME_SESSION_OPENED,
+            FRAME_TICK,
+            FRAME_TICK_OUTCOMES,
+            FRAME_CLOSE_SESSION,
+            FRAME_SESSION_CLOSED,
+            FRAME_METRICS_QUERY,
+            FRAME_METRICS_REPLY,
+            FRAME_ERROR,
+        ];
+        let latency = WireLatency {
+            count: 400,
+            mean_ns: 1403.25,
+            p50_bound_ns: Some(1024),
+            p99_bound_ns: None,
+            overflow: 3,
+        };
+        variants
+            .iter()
+            .map(|&t| match t {
+                FRAME_HELLO => Frame::Hello {
+                    client: "bench-client/1".into(),
+                },
+                FRAME_HELLO_ACK => Frame::HelloAck {
+                    server: "awsad-serve/0.1".into(),
+                },
+                FRAME_OPEN_SESSION => Frame::OpenSession(SessionSpec {
+                    model: 2,
+                    max_window: 100,
+                    min_window: 1,
+                    threshold: vec![0.07, 0.07, f64::MIN_POSITIVE],
+                    cache_capacity: 4096,
+                }),
+                FRAME_SESSION_OPENED => Frame::SessionOpened {
+                    session: 7,
+                    state_dim: 3,
+                    input_dim: 1,
+                },
+                FRAME_TICK => Frame::Tick {
+                    session: 7,
+                    ticks: vec![
+                        WireTick {
+                            estimate: vec![0.1, -0.2, 1e-300],
+                            input: vec![0.0],
+                        },
+                        WireTick {
+                            estimate: vec![f64::NEG_INFINITY, 0.0, -0.0],
+                            input: vec![3.5],
+                        },
+                    ],
+                },
+                FRAME_TICK_OUTCOMES => Frame::TickOutcomes {
+                    session: 7,
+                    outcomes: vec![
+                        WireOutcome {
+                            seq: 0,
+                            degraded: false,
+                            step: 12,
+                            deadline: Some(40),
+                            window: 40,
+                            previous_window: 38,
+                            current_alarm: false,
+                            complementary_alarms: vec![],
+                        },
+                        WireOutcome {
+                            seq: 1,
+                            degraded: true,
+                            step: 13,
+                            deadline: None,
+                            window: 100,
+                            previous_window: 40,
+                            current_alarm: true,
+                            complementary_alarms: vec![11, 12],
+                        },
+                    ],
+                },
+                FRAME_CLOSE_SESSION => Frame::CloseSession { session: 7 },
+                FRAME_SESSION_CLOSED => Frame::SessionClosed { session: 7 },
+                FRAME_METRICS_QUERY => Frame::MetricsQuery,
+                FRAME_METRICS_REPLY => Frame::MetricsReply(WireMetrics {
+                    sessions_active: 3,
+                    ticks_submitted: 1000,
+                    ticks_processed: 998,
+                    alarms_raised: 17,
+                    degraded_ticks: 2,
+                    queue_depth_high_water: 64,
+                    log_latency: latency,
+                    detect_latency: WireLatency {
+                        p99_bound_ns: Some(1 << 20),
+                        ..latency
+                    },
+                    frames_in: 500,
+                    frames_out: 499,
+                    decode_errors: 1,
+                    connections_opened: 4,
+                    connections_dropped: 1,
+                }),
+                FRAME_ERROR => Frame::Error {
+                    code: ErrorCode::DimensionMismatch,
+                    message: "estimate has 2 entries, model wants 3".into(),
+                },
+                _ => unreachable!("unlisted frame type {t:#04x}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in sample_frames() {
+            let payload = frame.encode();
+            let back = Frame::decode(&payload)
+                .unwrap_or_else(|e| panic!("decode failed for {frame:?}: {e}"));
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn every_frame_round_trips_through_stream_io() {
+        for frame in sample_frames() {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).unwrap();
+            let mut cursor = io::Cursor::new(buf);
+            let back = read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(back, frame);
+            // And the stream is fully consumed: the next read is a
+            // clean close, not garbage.
+            assert!(matches!(
+                read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN),
+                Err(ReadFrameError::Closed)
+            ));
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_errors_without_panic() {
+        for frame in sample_frames() {
+            let payload = frame.encode();
+            for cut in 0..payload.len() {
+                let err =
+                    Frame::decode(&payload[..cut]).expect_err("truncated payload must not decode");
+                // Truncation may surface as Truncated (most cuts) but
+                // never as a panic or a successful decode.
+                let _ = err;
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for frame in sample_frames() {
+            let mut payload = frame.encode();
+            payload.push(0xee);
+            assert_eq!(
+                Frame::decode(&payload),
+                Err(WireError::TrailingBytes(1)),
+                "frame {frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut payload = Frame::MetricsQuery.encode();
+        payload[0] = b'X';
+        assert_eq!(Frame::decode(&payload), Err(WireError::BadMagic(*b"XWSD")));
+
+        let mut payload = Frame::MetricsQuery.encode();
+        payload[4] = 0x7f; // version hi byte
+        assert_eq!(
+            Frame::decode(&payload),
+            Err(WireError::UnsupportedVersion(0x7f01))
+        );
+    }
+
+    #[test]
+    fn unknown_frame_type_is_rejected() {
+        let mut payload = Frame::MetricsQuery.encode();
+        payload[6] = 0x77;
+        assert_eq!(
+            Frame::decode(&payload),
+            Err(WireError::UnknownFrameType(0x77))
+        );
+    }
+
+    #[test]
+    fn hostile_sequence_length_cannot_overallocate() {
+        // A Tick frame declaring u32::MAX ticks with no bytes behind
+        // the claim must fail fast as Truncated.
+        let mut e = Enc::new(FRAME_TICK);
+        e.u64(1); // session
+        e.u32(u32::MAX); // tick count
+        assert_eq!(Frame::decode(&e.buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_guarded_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN) {
+            Err(ReadFrameError::Wire(WireError::FrameTooLarge { len, max })) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, DEFAULT_MAX_FRAME_LEN);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated_not_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::MetricsQuery).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN),
+            Err(ReadFrameError::Wire(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn float_payloads_are_bit_exact() {
+        // Negative zero, subnormals, infinities and NaN all survive
+        // the trip with their exact bit patterns.
+        let specials = vec![-0.0, f64::MIN_POSITIVE / 2.0, f64::INFINITY, f64::NAN];
+        let frame = Frame::Tick {
+            session: 1,
+            ticks: vec![WireTick {
+                estimate: specials.clone(),
+                input: vec![],
+            }],
+        };
+        match Frame::decode(&frame.encode()).unwrap() {
+            Frame::Tick { ticks, .. } => {
+                for (sent, got) in specials.iter().zip(&ticks[0].estimate) {
+                    assert_eq!(sent.to_bits(), got.to_bits());
+                }
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_outcome_round_trips_adaptive_step() {
+        let step = AdaptiveStep {
+            step: 42,
+            deadline: Deadline::Within(7),
+            window: 7,
+            previous_window: 40,
+            current_alarm: true,
+            complementary_alarms: vec![38, 39],
+        };
+        let outcome = TickOutcome {
+            session: awsad_runtime::SessionId(3),
+            seq: 41,
+            degraded: false,
+            step: step.clone(),
+        };
+        let wire = WireOutcome::from_outcome(&outcome);
+        assert_eq!(wire.to_step(), step);
+        assert!(wire.alarm());
+
+        let beyond = AdaptiveStep {
+            deadline: Deadline::Beyond,
+            current_alarm: false,
+            complementary_alarms: vec![],
+            ..step
+        };
+        let wire = WireOutcome::from_outcome(&TickOutcome {
+            session: awsad_runtime::SessionId(3),
+            seq: 42,
+            degraded: true,
+            step: beyond.clone(),
+        });
+        assert_eq!(wire.to_step(), beyond);
+        assert!(!wire.alarm());
+        assert!(wire.degraded);
+    }
+}

@@ -40,6 +40,7 @@
 //! | [`models`] | `awsad-models` | the five Table 1 simulators + RC-car testbed |
 //! | [`sim`] | `awsad-sim` | closed-loop episodes, Monte-Carlo cells, sweeps, metrics |
 //! | [`runtime`] | `awsad-runtime` | multi-session streaming engine: worker pool, bounded queues, deadline cache wiring, metrics |
+//! | [`serve`] | `awsad-serve` | detection-as-a-service: binary wire protocol, TCP server, blocking client |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use awsad_lti as lti;
 pub use awsad_models as models;
 pub use awsad_reach as reach;
 pub use awsad_runtime as runtime;
+pub use awsad_serve as serve;
 pub use awsad_sets as sets;
 pub use awsad_sim as sim;
 
@@ -98,6 +100,7 @@ pub mod prelude {
         BackpressurePolicy, DetectionEngine, EngineConfig, RuntimeMetrics, SessionHandle,
         SessionId, Tick, TickOutcome, WorkerPool,
     };
+    pub use awsad_serve::{Client, Server, ServerConfig, SessionSpec};
     pub use awsad_sets::{Ball, BoxSet, Halfspace, Interval, Polytope, Support};
     pub use awsad_sim::{
         evaluate, run_benign_cell, run_cell, run_cells_on, run_cells_parallel, run_episode,
