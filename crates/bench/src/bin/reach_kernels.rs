@@ -1,0 +1,205 @@
+//! Reachability deadline-kernel microbenchmark + smoke gate.
+//!
+//! Times the three deadline-walk implementations against every
+//! Table 1 plant — the seed's per-step walk
+//! (`DeadlineEstimator::reference_deadline`, one clone + one
+//! allocating matvec per step), the allocation-free scratch walk
+//! (`checked_deadline_with`), and the batched walk
+//! (`deadline_batch_with`, one `A · X` kernel call advancing all
+//! states per step) — for batches of 1, 8 and 64 states, asserting
+//! along the way that all three return identical `Deadline`s.
+//!
+//! Emits `results/BENCH_reach.json` and **panics** when the batched
+//! walk fails to beat the seed walk by [`BATCH_SPEEDUP_FLOOR`] at the
+//! largest batch size, or when `DeadlineEstimator` construction at
+//! `w_m = 100` exceeds [`CONSTRUCTION_BUDGET`] — both run in CI as
+//! smoke gates.
+
+use std::time::{Duration, Instant};
+
+use awsad_bench::{write_json, Json};
+use awsad_linalg::Vector;
+use awsad_models::Simulator;
+use awsad_reach::{BatchScratch, Deadline, DeadlineEstimator, DeadlineScratch};
+
+/// Batch sizes exercised per model.
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+/// Deadline queries per timed pass and path (cycled over the batch).
+const QUERIES: usize = 4096;
+/// Timed repetitions per (model, batch, path); the best rate counts.
+const REPS: usize = 5;
+/// The batched walk must beat the seed walk by at least this factor
+/// at the largest batch size.
+const BATCH_SPEEDUP_FLOOR: f64 = 1.5;
+/// Construction budget for the `w_m = 100` aircraft-pitch estimator
+/// (the cumulative drift/spread/admissible tables over 100 steps).
+const CONSTRUCTION_BUDGET: Duration = Duration::from_millis(10);
+
+/// Deterministic states near the model's nominal initial state —
+/// interior enough that the walks actually search the horizon instead
+/// of escaping at `t = 0`.
+fn states_for(x0: &Vector, count: usize) -> Vec<Vector> {
+    (0..count)
+        .map(|i| {
+            let mut s = x0.clone();
+            for d in 0..s.len() {
+                s[d] += 1e-3 * ((i * 7 + d * 3) % 13) as f64;
+            }
+            s
+        })
+        .collect()
+}
+
+fn time_best<F: FnMut()>(mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn rate(queries: usize, elapsed: Duration) -> f64 {
+    queries as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    // Regression gate for the table construction (`row_slice`-based
+    // row norms and flat cumulative tables): the deepest profiled
+    // window of §4.3 must build well under the control period.
+    let pitch = Simulator::AircraftPitch.build();
+    let construction_best = time_best(|| {
+        let est = pitch.deadline_estimator(100).unwrap();
+        std::hint::black_box(&est);
+    });
+    assert!(
+        construction_best < CONSTRUCTION_BUDGET,
+        "w_m=100 {} estimator construction took {construction_best:?} (budget {CONSTRUCTION_BUDGET:?})",
+        pitch.name,
+    );
+    println!(
+        "construction  {:<18} w_m=100  {:>10.1} us (budget {} ms)\n",
+        pitch.name,
+        construction_best.as_secs_f64() * 1e6,
+        CONSTRUCTION_BUDGET.as_millis(),
+    );
+
+    println!(
+        "{:<18} {:>5} {:>14} {:>14} {:>14} {:>8}",
+        "model", "batch", "seed q/s", "scratch q/s", "batched q/s", "speedup"
+    );
+
+    let mut models_json = Vec::new();
+    for sim in Simulator::all() {
+        let model = sim.build();
+        let w_m = model.default_max_window;
+        let est: DeadlineEstimator = model.deadline_estimator(w_m).unwrap();
+        let r0 = model.sensor_noise;
+
+        let mut batches_json = Vec::new();
+        for &batch in &BATCH_SIZES {
+            let states = states_for(&model.x0, batch);
+            let passes = (QUERIES / batch).max(1);
+            let queries = passes * batch;
+
+            // Equivalence first, outside the timed region: the three
+            // walks must agree on every state.
+            let expected: Vec<Deadline> = states
+                .iter()
+                .map(|s| est.reference_deadline(s, r0).unwrap())
+                .collect();
+            let mut scratch = DeadlineScratch::new();
+            for (s, e) in states.iter().zip(&expected) {
+                let got = est.checked_deadline_with(s, r0, &mut scratch).unwrap();
+                assert_eq!(got, *e, "{}: scratch walk diverged", model.name);
+            }
+            let mut bscratch = BatchScratch::new();
+            let mut bout = Vec::new();
+            est.deadline_batch_with(&states, r0, &mut bscratch, &mut bout)
+                .unwrap();
+            assert_eq!(bout, expected, "{}: batched walk diverged", model.name);
+
+            let seed_best = time_best(|| {
+                for _ in 0..passes {
+                    for s in &states {
+                        std::hint::black_box(est.reference_deadline(s, r0).unwrap());
+                    }
+                }
+            });
+            let scratch_best = time_best(|| {
+                for _ in 0..passes {
+                    for s in &states {
+                        std::hint::black_box(
+                            est.checked_deadline_with(s, r0, &mut scratch).unwrap(),
+                        );
+                    }
+                }
+            });
+            let batched_best = time_best(|| {
+                for _ in 0..passes {
+                    est.deadline_batch_with(&states, r0, &mut bscratch, &mut bout)
+                        .unwrap();
+                    std::hint::black_box(&bout);
+                }
+            });
+
+            let seed_rate = rate(queries, seed_best);
+            let scratch_rate = rate(queries, scratch_best);
+            let batched_rate = rate(queries, batched_best);
+            let speedup = batched_rate / seed_rate;
+            println!(
+                "{:<18} {:>5} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x",
+                model.name, batch, seed_rate, scratch_rate, batched_rate, speedup
+            );
+            if batch == *BATCH_SIZES.last().unwrap() {
+                assert!(
+                    speedup >= BATCH_SPEEDUP_FLOOR,
+                    "{}: batched walk at batch {batch} is only {speedup:.2}x the seed walk \
+                     (floor {BATCH_SPEEDUP_FLOOR}x)",
+                    model.name,
+                );
+            }
+            batches_json.push(Json::Obj(vec![
+                ("batch".into(), Json::Int(batch as u64)),
+                ("queries".into(), Json::Int(queries as u64)),
+                ("seed_queries_per_sec".into(), Json::Num(seed_rate)),
+                ("scratch_queries_per_sec".into(), Json::Num(scratch_rate)),
+                ("batched_queries_per_sec".into(), Json::Num(batched_rate)),
+                ("speedup_batched_vs_seed".into(), Json::Num(speedup)),
+            ]));
+        }
+        models_json.push(Json::Obj(vec![
+            ("model".into(), Json::str(model.name)),
+            ("state_dim".into(), Json::Int(model.state_dim() as u64)),
+            ("max_window".into(), Json::Int(w_m as u64)),
+            ("initial_radius".into(), Json::Num(r0)),
+            ("batches".into(), Json::Arr(batches_json)),
+        ]));
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("reach_kernels")),
+        ("queries_per_pass".into(), Json::Int(QUERIES as u64)),
+        ("reps".into(), Json::Int(REPS as u64)),
+        ("speedup_floor".into(), Json::Num(BATCH_SPEEDUP_FLOOR)),
+        (
+            "construction".into(),
+            Json::Obj(vec![
+                ("model".into(), Json::str(pitch.name)),
+                ("max_window".into(), Json::Int(100)),
+                (
+                    "best_ns".into(),
+                    Json::Int(construction_best.as_nanos() as u64),
+                ),
+                (
+                    "budget_ns".into(),
+                    Json::Int(CONSTRUCTION_BUDGET.as_nanos() as u64),
+                ),
+            ]),
+        ),
+        ("models".into(), Json::Arr(models_json)),
+    ]);
+    let path = write_json("BENCH_reach.json", &report);
+    println!("\nwrote {}", path.display());
+}

@@ -1,4 +1,5 @@
-use awsad_reach::{CacheStats, Deadline, DeadlineCache, DeadlineEstimator};
+use awsad_linalg::Vector;
+use awsad_reach::{CacheStats, Deadline, DeadlineCache, DeadlineEstimator, DeadlineScratch};
 
 use crate::{DataLogger, DetectError, DetectorConfig, Result, WindowDetector};
 
@@ -59,6 +60,9 @@ pub struct AdaptiveDetector {
     steps_since_estimate: usize,
     cached_deadline: Option<Deadline>,
     deadline_cache: Option<DeadlineCache>,
+    scratch: DeadlineScratch,
+    mean_scratch: Vector,
+    last_step_alloc_free: bool,
 }
 
 impl AdaptiveDetector {
@@ -77,6 +81,7 @@ impl AdaptiveDetector {
         }
         let checker = WindowDetector::new(config.threshold().clone());
         let prev_window = config.max_window();
+        let mean_scratch = Vector::zeros(config.dim());
         Ok(AdaptiveDetector {
             config,
             estimator,
@@ -88,6 +93,9 @@ impl AdaptiveDetector {
             steps_since_estimate: 0,
             cached_deadline: None,
             deadline_cache: None,
+            scratch: DeadlineScratch::new(),
+            mean_scratch,
+            last_step_alloc_free: false,
         })
     }
 
@@ -110,6 +118,46 @@ impl AdaptiveDetector {
     /// estimate when querying deadlines (§3.3.1).
     pub fn set_initial_radius(&mut self, r0: f64) {
         self.initial_radius = r0.max(0.0);
+    }
+
+    /// The initial-state radius used for deadline queries.
+    pub fn initial_radius(&self) -> f64 {
+        self.initial_radius
+    }
+
+    /// Whether a memoizing deadline cache is currently installed.
+    pub fn has_deadline_cache(&self) -> bool {
+        self.deadline_cache.is_some()
+    }
+
+    /// Whether the most recent [`AdaptiveDetector::step`] /
+    /// [`AdaptiveDetector::step_degraded`] completed without heap
+    /// allocation on the detect path: the deadline came from the aged
+    /// estimate, a cache hit, or the scratch-buffer reachability walk
+    /// (no cache insert), and no complementary alarms were collected.
+    /// `false` before any step has run.
+    pub fn last_step_was_alloc_free(&self) -> bool {
+        self.last_step_alloc_free
+    }
+
+    /// Pre-populates the installed deadline cache for a batch of
+    /// trusted states using one batched reachability walk
+    /// ([`awsad_reach::DeadlineCache::prewarm`]), so the subsequent
+    /// per-state [`AdaptiveDetector::step`] calls hit the cache. The
+    /// inserted entries are bit-identical to what the per-state miss
+    /// path would have stored.
+    ///
+    /// Returns the number of entries inserted — `0` when no cache is
+    /// installed, every state is already cached, or any state's
+    /// dimension mismatches (the batch is then rejected atomically and
+    /// each step falls back to its own query).
+    pub fn prewarm_deadline_cache(&mut self, states: &[&Vector]) -> usize {
+        let Some(cache) = self.deadline_cache.as_mut() else {
+            return 0;
+        };
+        cache
+            .prewarm(&self.estimator, states, self.initial_radius)
+            .unwrap_or(0)
     }
 
     /// Enables or disables complementary detection on window shrink.
@@ -181,7 +229,10 @@ impl AdaptiveDetector {
 
         // 1-2. Deadline from the newest trusted estimate; re-queried
         // every `reestimation_period` steps and conservatively aged in
-        // between.
+        // between. The query runs through the caller-held scratch
+        // buffers, so steady state only a cache *insert* (a fresh
+        // memoized answer) allocates.
+        let mut alloc_free = true;
         let deadline = match self.cached_deadline {
             Some(cached) if self.steps_since_estimate < self.reestimation_period => {
                 self.steps_since_estimate += 1;
@@ -195,12 +246,28 @@ impl AdaptiveDetector {
                     .trusted_entry(self.prev_window)
                     .expect("logger has at least one entry");
                 let fresh = match self.deadline_cache.as_mut() {
-                    Some(cache) => cache
-                        .deadline(&self.estimator, &trusted.estimate, self.initial_radius)
-                        .expect("logger state dimension matches estimator"),
+                    Some(cache) => {
+                        let misses_before = cache.stats().misses;
+                        let d = cache
+                            .deadline_with(
+                                &self.estimator,
+                                &trusted.estimate,
+                                self.initial_radius,
+                                &mut self.scratch,
+                            )
+                            .expect("logger state dimension matches estimator");
+                        if cache.stats().misses != misses_before {
+                            alloc_free = false;
+                        }
+                        d
+                    }
                     None => self
                         .estimator
-                        .checked_deadline(&trusted.estimate, self.initial_radius)
+                        .checked_deadline_with(
+                            &trusted.estimate,
+                            self.initial_radius,
+                            &mut self.scratch,
+                        )
                         .expect("logger state dimension matches estimator"),
                 };
                 self.steps_since_estimate = 1;
@@ -218,16 +285,27 @@ impl AdaptiveDetector {
         if self.complementary_enabled && w_c < w_p && current > 0 {
             let first_end = current.saturating_sub(w_p + 1).saturating_add(w_c);
             for end in first_end..current {
-                if self.checker.check(logger, end, w_c) == Some(true) {
+                if self
+                    .checker
+                    .check_with(logger, end, w_c, &mut self.mean_scratch)
+                    == Some(true)
+                {
                     complementary_alarms.push(end);
                 }
             }
         }
+        if !complementary_alarms.is_empty() {
+            alloc_free = false;
+        }
 
         // 5. Detection for the current step.
-        let current_alarm = self.checker.check(logger, current, w_c).unwrap_or(false);
+        let current_alarm = self
+            .checker
+            .check_with(logger, current, w_c, &mut self.mean_scratch)
+            .unwrap_or(false);
 
         self.prev_window = w_c;
+        self.last_step_alloc_free = alloc_free;
         AdaptiveStep {
             step: current,
             deadline,
@@ -260,12 +338,16 @@ impl AdaptiveDetector {
             .expect("record the current step before detection");
         let w_p = self.prev_window;
         let w_c = self.config.max_window();
-        let current_alarm = self.checker.check(logger, current, w_c).unwrap_or(false);
+        let current_alarm = self
+            .checker
+            .check_with(logger, current, w_c, &mut self.mean_scratch)
+            .unwrap_or(false);
         self.prev_window = w_c;
         // The aged in-detector deadline is no longer aligned with the
         // trusted state after a skipped query; force a refresh.
         self.steps_since_estimate = 0;
         self.cached_deadline = None;
+        self.last_step_alloc_free = true;
         AdaptiveStep {
             step: current,
             deadline: Deadline::Beyond,
@@ -600,6 +682,74 @@ mod tests {
         }
         logger2.record(v(8.0), v(0.0));
         assert!(det2.step_degraded(&logger2).current_alarm);
+    }
+
+    #[test]
+    fn alloc_free_flag_tracks_cache_inserts_and_complementary_alarms() {
+        use awsad_reach::CacheConfig;
+        let (mut logger, mut det) = setup(0.5, 10);
+        det.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(16)));
+        assert!(!det.last_step_was_alloc_free(), "before any step");
+        logger.record(v(0.0), v(0.0));
+        det.step(&logger);
+        assert!(
+            !det.last_step_was_alloc_free(),
+            "a cache miss inserts a memoized entry"
+        );
+        logger.record(v(0.0), v(0.0));
+        det.step(&logger);
+        assert!(
+            det.last_step_was_alloc_free(),
+            "a repeated trusted state hits the cache"
+        );
+        // Without a cache the scratch walk itself is allocation-free.
+        let (mut logger2, mut det2) = setup(0.5, 10);
+        logger2.record(v(0.0), v(0.0));
+        det2.step(&logger2);
+        assert!(det2.last_step_was_alloc_free());
+        // A complementary alarm collects end-steps → not alloc-free.
+        let (mut logger3, mut det3) = setup(0.28, 10);
+        for t in 0..=12usize {
+            let estimate = match t {
+                0..=5 => 0.0,
+                _ => 0.8 + 0.1 * (t as f64 - 6.0),
+            };
+            logger3.record(v(estimate), v(0.0));
+            let out = det3.step(&logger3);
+            if !out.complementary_alarms.is_empty() {
+                assert!(!det3.last_step_was_alloc_free());
+            }
+        }
+    }
+
+    #[test]
+    fn prewarm_inserts_entries_identical_to_the_miss_path() {
+        use awsad_reach::CacheConfig;
+        let (mut logger_a, mut warm) = setup(0.5, 10);
+        let (mut logger_b, mut cold) = setup(0.5, 10);
+        warm.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(64)));
+        cold.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(64)));
+        let origin = v(0.0);
+        assert_eq!(warm.prewarm_deadline_cache(&[&origin]), 1);
+        // Re-prewarming the same state is a no-op.
+        assert_eq!(warm.prewarm_deadline_cache(&[&origin]), 0);
+        // A dimension-mismatched batch is rejected wholesale.
+        let bad = Vector::zeros(2);
+        assert_eq!(warm.prewarm_deadline_cache(&[&bad]), 0);
+        // Without a cache prewarming is a no-op too.
+        let (_, mut none) = setup(0.5, 10);
+        assert_eq!(none.prewarm_deadline_cache(&[&origin]), 0);
+
+        for _ in 0..4 {
+            logger_a.record(v(0.0), v(0.0));
+            logger_b.record(v(0.0), v(0.0));
+            assert_eq!(warm.step(&logger_a), cold.step(&logger_b));
+        }
+        let w = warm.deadline_cache_stats().unwrap();
+        let c = cold.deadline_cache_stats().unwrap();
+        assert_eq!(w.misses, 1, "only the prewarm insert counts as a miss");
+        assert_eq!(c.misses, 1);
+        assert_eq!(w.hits, c.hits + 1, "warm detector hits on its first step");
     }
 
     #[test]

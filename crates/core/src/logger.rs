@@ -170,21 +170,43 @@ impl DataLogger {
     /// step 0 are truncated at 0 (the divisor then clamps to the
     /// available sample count − 1).
     pub fn window_mean(&self, end: usize, w: usize) -> Option<Vector> {
+        let mut out = Vector::zeros(self.system.state_dim());
+        self.window_mean_into(end, w, &mut out)?;
+        Some(out)
+    }
+
+    /// In-place variant of [`DataLogger::window_mean`]: accumulates the
+    /// statistic into `out` (rebuilt only when its length differs from
+    /// the state dimension, zero-filled otherwise) so steady-state
+    /// detection loops never allocate. The accumulation and scaling
+    /// follow the exact operation order of [`DataLogger::window_mean`],
+    /// so the two produce bit-identical results. Returns `None` —
+    /// leaving `out` unspecified — when the window is not retained.
+    pub fn window_mean_into(&self, end: usize, w: usize, out: &mut Vector) -> Option<()> {
         let start = end.saturating_sub(w);
         let first = self.entries.front()?.step;
         let last = self.entries.back()?.step;
         if start < first || end > last {
             return None;
         }
-        let mut acc = Vector::zeros(self.system.state_dim());
+        let n = self.system.state_dim();
+        if out.len() == n {
+            out.as_mut_slice().fill(0.0);
+        } else {
+            *out = Vector::zeros(n);
+        }
         let mut count = 0usize;
         for step in start..=end {
             let entry = self.entry(step)?;
-            acc += &entry.residual;
+            *out += &entry.residual;
             count += 1;
         }
         let divisor = count.saturating_sub(1).max(1);
-        Some(acc.scale(1.0 / divisor as f64))
+        let factor = 1.0 / divisor as f64;
+        for x in out.as_mut_slice() {
+            *x *= factor;
+        }
+        Some(())
     }
 
     /// The newest *trusted* entry for a detection window of size `w`

@@ -62,6 +62,21 @@ impl WindowDetector {
     pub fn check(&self, logger: &DataLogger, end: usize, w: usize) -> Option<bool> {
         logger.window_mean(end, w).map(|mean| self.exceeds(&mean))
     }
+
+    /// Allocation-free variant of [`WindowDetector::check`]: the window
+    /// mean is accumulated into `scratch` (via
+    /// [`DataLogger::window_mean_into`]) instead of a fresh vector, and
+    /// the decision is identical bit-for-bit.
+    pub fn check_with(
+        &self,
+        logger: &DataLogger,
+        end: usize,
+        w: usize,
+        scratch: &mut Vector,
+    ) -> Option<bool> {
+        logger.window_mean_into(end, w, scratch)?;
+        Some(self.exceeds(scratch))
+    }
 }
 
 /// The comparison arm of the paper's evaluation: the same

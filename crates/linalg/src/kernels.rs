@@ -1,0 +1,122 @@
+//! Shared slice-level kernels for the detection hot path.
+//!
+//! The reachability deadline walk and the window detector evaluate the
+//! same three reductions — dot product, ℓ1 norm, ℓ2 norm — millions of
+//! times per second. These free functions operate on plain `&[f64]`
+//! slices so callers can stay allocation-free; [`Vector`](crate::Vector)
+//! and [`Matrix`](crate::Matrix) delegate to them, which makes the
+//! slice paths bit-identical to the owned-type paths by construction
+//! (a single implementation, a single f64 operation order).
+
+/// Dot product of two equal-length slices.
+///
+/// Accumulates left to right from `0.0` (`iter().zip().map().sum()`),
+/// the exact operation order used by
+/// [`Matrix::checked_mul_vec`](crate::Matrix::checked_mul_vec) and
+/// [`Vector::checked_dot`](crate::Vector::checked_dot) — both delegate
+/// here, so results are bit-identical across the owned and slice APIs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot kernel length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Four dot products sharing one left operand, with interleaved
+/// accumulators.
+///
+/// Each lane accumulates left to right from `0.0` in exactly the order
+/// of [`dot`], so every result is bit-identical to `dot(a, x_i)` — but
+/// the four lanes form independent floating-point dependency chains,
+/// so a latency-bound reduction (the strictly sequential sum `dot` is
+/// pinned to) overlaps up to 4× across lanes. This is what makes the
+/// batched reachability walk faster than four scalar walks without
+/// reassociating a single addition.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `a`'s.
+#[inline]
+pub fn dot4(a: &[f64], x0: &[f64], x1: &[f64], x2: &[f64], x3: &[f64]) -> [f64; 4] {
+    let k = a.len();
+    assert!(
+        x0.len() == k && x1.len() == k && x2.len() == k && x3.len() == k,
+        "dot4 kernel length mismatch"
+    );
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    for i in 0..k {
+        let av = a[i];
+        s0 += av * x0[i];
+        s1 += av * x1[i];
+        s2 += av * x2[i];
+        s3 += av * x3[i];
+    }
+    [s0, s1, s2, s3]
+}
+
+/// Sum of absolute values (ℓ1 norm) of a slice.
+///
+/// Same operation order as [`Vector::norm_l1`](crate::Vector::norm_l1),
+/// which delegates here.
+#[inline]
+pub fn norm_l1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Euclidean (ℓ2) norm of a slice.
+///
+/// Same operation order as [`Vector::norm_l2`](crate::Vector::norm_l2),
+/// which delegates here.
+#[inline]
+pub fn norm_l2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computed() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, -5.0, 6.0]), 4.0 - 10.0 + 18.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatched_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot4_lanes_are_bit_identical_to_dot() {
+        let a: Vec<f64> = (0..17).map(|i| 0.1 * i as f64 - 0.7).collect();
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|j| (0..17).map(|i| (i * 3 + j) as f64 * 0.01 - 0.2).collect())
+            .collect();
+        let got = dot4(&a, &xs[0], &xs[1], &xs[2], &xs[3]);
+        for (j, x) in xs.iter().enumerate() {
+            assert_eq!(got[j].to_bits(), dot(&a, x).to_bits(), "lane {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot4_mismatched_panics() {
+        dot4(&[1.0, 2.0], &[1.0, 2.0], &[1.0], &[1.0, 2.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_match_vector_norms() {
+        let xs = [3.0, -4.0, 0.5];
+        let v = crate::Vector::from_slice(&xs);
+        assert_eq!(norm_l1(&xs).to_bits(), v.norm_l1().to_bits());
+        assert_eq!(norm_l2(&xs).to_bits(), v.norm_l2().to_bits());
+    }
+}

@@ -23,6 +23,9 @@
 //!   observers).
 //! * [`discretize`] — zero-order-hold conversion of a continuous pair
 //!   `(A_c, B_c)` into the discrete pair `(A_d, B_d)` at a control step.
+//! * [`kernels`] — allocation-free slice reductions (`dot`, `norm_l1`,
+//!   `norm_l2`) backing the owned-type methods and the in-place matrix
+//!   products used on the detection hot path.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@
 mod eigen;
 mod error;
 mod expm;
+pub mod kernels;
 mod lu;
 mod matrix;
 mod qr;

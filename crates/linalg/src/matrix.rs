@@ -31,6 +31,12 @@ pub struct Matrix {
 }
 
 impl Matrix {
+    /// Column-tile width of the [`Matrix::mul_into`] microkernel.
+    pub const PACK_COLS: usize = 4;
+    /// Largest shared dimension packed into the stack tile by
+    /// [`Matrix::mul_into`]; larger shapes use the strided fallback.
+    pub const PACK_MAX_K: usize = 256;
+
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
@@ -163,8 +169,22 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> Vector {
+        Vector::from_slice(self.row_slice(i))
+    }
+
+    /// Borrows row `i` as a slice, without allocating.
+    ///
+    /// The deadline estimator's construction loop and horizon walk read
+    /// one row at a time; this is the allocation-free counterpart of
+    /// [`Matrix::row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_slice(&self, i: usize) -> &[f64] {
         assert!(i < self.rows, "row index out of bounds");
-        Vector::from_slice(&self.data[i * self.cols..(i + 1) * self.cols])
+        &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Returns column `j` as a vector.
@@ -237,12 +257,185 @@ impl Matrix {
             });
         }
         Ok(Vector::from_fn(self.rows, |i| {
-            self.data[i * self.cols..(i + 1) * self.cols]
-                .iter()
-                .zip(v.as_slice())
-                .map(|(a, x)| a * x)
-                .sum()
+            crate::kernels::dot(self.row_slice(i), v.as_slice())
         }))
+    }
+
+    /// In-place matrix-vector product: writes `self * v` into `out`.
+    ///
+    /// Bit-identical to [`Matrix::checked_mul_vec`] (both reduce each
+    /// row with [`kernels::dot`](crate::kernels::dot)), but reuses the
+    /// caller's buffer so steady-state loops perform no heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when
+    /// `self.cols() != v.len()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, v: &Vector, out: &mut Vector) -> Result<()> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_into",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_into",
+                left: (self.rows, 1),
+                right: (out.len(), 1),
+            });
+        }
+        let x = v.as_slice();
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = crate::kernels::dot(&self.data[i * self.cols..(i + 1) * self.cols], x);
+        }
+        Ok(())
+    }
+
+    /// Batched matrix-vector product over column-major packed states:
+    /// advances `k = x.len() / self.cols()` column vectors through
+    /// `self` with one call, writing column-major results into `out`.
+    ///
+    /// Column `j` lives at `x[j * self.cols()..][..self.cols()]`; its
+    /// image is written to `out[j * self.rows()..][..self.rows()]`.
+    /// Each output entry is reduced with the same
+    /// [`kernels::dot`](crate::kernels::dot) used by
+    /// [`Matrix::checked_mul_vec`], so every column's trajectory is
+    /// bit-identical to stepping that column alone — the property the
+    /// batched deadline walk relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len()` is not
+    /// a multiple of `self.cols()` or `out.len()` does not match the
+    /// implied column count times `self.rows()`.
+    pub fn mul_cols_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        let k = self.cols;
+        if k == 0 || !x.len().is_multiple_of(k) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_cols",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        let ncols = x.len() / k;
+        if out.len() != ncols * self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_cols",
+                left: (ncols * self.rows, 1),
+                right: (out.len(), 1),
+            });
+        }
+        // Four columns at a time through the interleaved-accumulator
+        // kernel: each lane's reduction order equals `dot`'s (results
+        // are bit-identical column by column), but the four
+        // independent chains overlap the latency-bound sequential sum.
+        let rows = self.rows;
+        let mut xi = x.chunks_exact(4 * k);
+        let mut oi = out.chunks_exact_mut(4 * rows);
+        for (xq, oq) in xi.by_ref().zip(oi.by_ref()) {
+            let (x0, r) = xq.split_at(k);
+            let (x1, r) = r.split_at(k);
+            let (x2, x3) = r.split_at(k);
+            let (o0, r) = oq.split_at_mut(rows);
+            let (o1, r) = r.split_at_mut(rows);
+            let (o2, o3) = r.split_at_mut(rows);
+            for i in 0..rows {
+                let row = &self.data[i * k..(i + 1) * k];
+                let [d0, d1, d2, d3] = crate::kernels::dot4(row, x0, x1, x2, x3);
+                o0[i] = d0;
+                o1[i] = d1;
+                o2[i] = d2;
+                o3[i] = d3;
+            }
+        }
+        for (xc, oc) in xi
+            .remainder()
+            .chunks_exact(k)
+            .zip(oi.into_remainder().chunks_exact_mut(rows))
+        {
+            for (i, o) in oc.iter_mut().enumerate() {
+                *o = crate::kernels::dot(&self.data[i * k..(i + 1) * k], xc);
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place matrix product with a cache-blocked, transpose-packed
+    /// microkernel: writes `self * rhs` into `out` without allocating.
+    ///
+    /// Columns of `rhs` are packed in tiles of [`Self::PACK_COLS`] into
+    /// a stack buffer so the inner reduction reads both operands
+    /// contiguously (the strided column walk of a naive row-major
+    /// product is what kills locality for the `A^t · X` batch step).
+    /// Every output entry is a left-to-right
+    /// [`kernels::dot`](crate::kernels::dot) over the shared dimension —
+    /// `k` is never split across tiles, so the accumulation order is
+    /// independent of the blocking and matches
+    /// [`Matrix::mul_cols_into`] exactly. Note that
+    /// [`Matrix::checked_mul`] accumulates in `i-k-j` order with a
+    /// zero-skip; the two products agree only up to floating-point
+    /// reassociation.
+    ///
+    /// Shapes with `self.cols() > PACK_MAX_K` fall back to a strided
+    /// walk with the same sequential-`k` accumulation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()` or `out.shape()` is not
+    /// `(self.rows(), rhs.cols())`.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_into",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_into",
+                left: (self.rows, rhs.cols),
+                right: out.shape(),
+            });
+        }
+        let k = self.cols;
+        let nc = rhs.cols;
+        if k <= Self::PACK_MAX_K {
+            let mut pack = [0.0_f64; Self::PACK_COLS * Self::PACK_MAX_K];
+            let mut j0 = 0;
+            while j0 < nc {
+                let jw = (nc - j0).min(Self::PACK_COLS);
+                for jj in 0..jw {
+                    for (kk, p) in pack[jj * k..(jj + 1) * k].iter_mut().enumerate() {
+                        *p = rhs.data[kk * nc + j0 + jj];
+                    }
+                }
+                for i in 0..self.rows {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let out_row = &mut out.data[i * nc + j0..i * nc + j0 + jw];
+                    for (jj, o) in out_row.iter_mut().enumerate() {
+                        *o = crate::kernels::dot(a_row, &pack[jj * k..(jj + 1) * k]);
+                    }
+                }
+                j0 += jw;
+            }
+        } else {
+            for i in 0..self.rows {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for j in 0..nc {
+                    let mut acc = 0.0;
+                    for (kk, a) in a_row.iter().enumerate() {
+                        acc += a * rhs.data[kk * nc + j];
+                    }
+                    out.data[i * nc + j] = acc;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Transposed matrix-vector product `Mᵀ v` without materializing
@@ -685,5 +878,99 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("1.000000"));
         assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn row_slice_matches_row() {
+        let m = sample();
+        assert_eq!(m.row_slice(1), m.row(1).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "row index out of bounds")]
+    fn row_slice_out_of_bounds_panics() {
+        sample().row_slice(2);
+    }
+
+    #[test]
+    fn mul_vec_into_bit_identical_to_checked_mul_vec() {
+        let m = Matrix::from_fn(3, 4, |i, j| 0.1 * (i as f64) - 0.37 * (j as f64) + 0.05);
+        let v = Vector::from_fn(4, |i| 1.0 / (i as f64 + 3.0));
+        let owned = m.checked_mul_vec(&v).unwrap();
+        let mut out = Vector::zeros(3);
+        m.mul_vec_into(&v, &mut out).unwrap();
+        for i in 0..3 {
+            assert_eq!(out[i].to_bits(), owned[i].to_bits());
+        }
+        assert!(m.mul_vec_into(&Vector::zeros(3), &mut out).is_err());
+        let mut short = Vector::zeros(2);
+        assert!(m.mul_vec_into(&v, &mut short).is_err());
+    }
+
+    #[test]
+    fn mul_cols_into_bit_identical_per_column() {
+        let m = Matrix::from_fn(3, 3, |i, j| ((i * 3 + j) as f64).sin());
+        let cols: Vec<Vector> = (0..5)
+            .map(|c| Vector::from_fn(3, |i| ((c * 7 + i) as f64).cos()))
+            .collect();
+        let mut x = Vec::new();
+        for c in &cols {
+            x.extend_from_slice(c.as_slice());
+        }
+        let mut out = vec![0.0; x.len()];
+        m.mul_cols_into(&x, &mut out).unwrap();
+        for (c, col) in cols.iter().enumerate() {
+            let single = m.checked_mul_vec(col).unwrap();
+            for i in 0..3 {
+                assert_eq!(out[c * 3 + i].to_bits(), single[i].to_bits());
+            }
+        }
+        assert!(m.mul_cols_into(&x[..4], &mut out[..4]).is_err());
+        assert!(m.mul_cols_into(&x[..3], &mut out[..6]).is_err());
+    }
+
+    #[test]
+    fn mul_into_matches_checked_mul_approximately() {
+        // Different accumulation orders (i-k-j with zero-skip vs
+        // sequential-k dot), so only approximate agreement is promised.
+        let a = Matrix::from_fn(5, 7, |i, j| ((i + 2 * j) as f64).sin());
+        let b = Matrix::from_fn(7, 6, |i, j| ((3 * i + j) as f64).cos());
+        let mut out = Matrix::zeros(5, 6);
+        a.mul_into(&b, &mut out).unwrap();
+        assert!(out.approx_eq(&a.checked_mul(&b).unwrap()));
+        assert!(a.mul_into(&Matrix::zeros(6, 6), &mut out).is_err());
+        let mut wrong = Matrix::zeros(5, 5);
+        assert!(a.mul_into(&b, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn mul_into_tile_boundaries() {
+        // Column counts around the PACK_COLS tile width exercise the
+        // partial-tile path.
+        for nc in [1usize, 3, 4, 5, 8, 9] {
+            let a = Matrix::from_fn(4, 4, |i, j| (i as f64) - 0.5 * (j as f64));
+            let b = Matrix::from_fn(4, nc, |i, j| 0.25 * (i as f64) + (j as f64).sqrt());
+            let mut out = Matrix::zeros(4, nc);
+            a.mul_into(&b, &mut out).unwrap();
+            assert!(out.approx_eq(&a.checked_mul(&b).unwrap()), "nc={nc}");
+        }
+    }
+
+    #[test]
+    fn mul_into_strided_fallback_matches_packed_order() {
+        // k > PACK_MAX_K takes the fallback; per-entry results must be
+        // bit-identical to the sequential-k dot the packed path uses.
+        let k = Matrix::PACK_MAX_K + 3;
+        let a = Matrix::from_fn(2, k, |i, j| ((i + j) as f64 * 0.001).sin());
+        let b = Matrix::from_fn(k, 3, |i, j| ((i * 3 + j) as f64 * 0.002).cos());
+        let mut out = Matrix::zeros(2, 3);
+        a.mul_into(&b, &mut out).unwrap();
+        for i in 0..2 {
+            for j in 0..3 {
+                let col: Vec<f64> = (0..k).map(|kk| b[(kk, j)]).collect();
+                let expect = crate::kernels::dot(a.row_slice(i), &col);
+                assert_eq!(out[(i, j)].to_bits(), expect.to_bits());
+            }
+        }
     }
 }

@@ -136,22 +136,17 @@ impl Vector {
                 right: (other.len(), 1),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(crate::kernels::dot(&self.data, &other.data))
     }
 
     /// Sum of absolute values (ℓ1 norm).
     pub fn norm_l1(&self) -> f64 {
-        self.data.iter().map(|x| x.abs()).sum()
+        crate::kernels::norm_l1(&self.data)
     }
 
     /// Euclidean (ℓ2) norm.
     pub fn norm_l2(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        crate::kernels::norm_l2(&self.data)
     }
 
     /// Maximum absolute entry (ℓ∞ norm); `0.0` for an empty vector.

@@ -2,7 +2,7 @@ use std::collections::{HashMap, VecDeque};
 
 use awsad_linalg::Vector;
 
-use crate::{Deadline, DeadlineEstimator, Result};
+use crate::{Deadline, DeadlineEstimator, DeadlineScratch, Result};
 
 /// Configuration of a [`DeadlineCache`].
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +94,24 @@ pub struct DeadlineCache {
     entries: HashMap<Vec<u64>, Deadline>,
     order: VecDeque<Vec<u64>>,
     stats: CacheStats,
+    /// Reusable key buffer so hit-path lookups allocate nothing.
+    key_scratch: Vec<u64>,
+}
+
+/// Builds the cache key for `(x0, r0)` into `key` (cleared first):
+/// per-dimension quantized bins when `quantum > 0`, exact f64 bit
+/// patterns otherwise, with `r0`'s bits appended.
+fn build_key(quantum: f64, x0: &Vector, r0: f64, key: &mut Vec<u64>) {
+    key.clear();
+    key.reserve(x0.len() + 1);
+    for d in 0..x0.len() {
+        if quantum > 0.0 {
+            key.push((x0[d] / quantum).round() as i64 as u64);
+        } else {
+            key.push(x0[d].to_bits());
+        }
+    }
+    key.push(r0.to_bits());
 }
 
 impl DeadlineCache {
@@ -105,6 +123,7 @@ impl DeadlineCache {
             entries: HashMap::with_capacity(capacity.min(1024)),
             order: VecDeque::new(),
             stats: CacheStats::default(),
+            key_scratch: Vec::new(),
         }
     }
 
@@ -134,8 +153,28 @@ impl DeadlineCache {
         x0: &Vector,
         r0: f64,
     ) -> Result<Deadline> {
-        let key = self.key(x0, r0);
-        if let Some(&hit) = self.entries.get(&key) {
+        let mut scratch = DeadlineScratch::new();
+        self.deadline_with(estimator, x0, r0, &mut scratch)
+    }
+
+    /// Like [`DeadlineCache::deadline`], but misses run the
+    /// allocation-free walk on caller-held scratch — on a hit the
+    /// lookup itself allocates nothing (the key is built in a reusable
+    /// buffer), so a warm cache keeps the detect path heap-quiet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ReachError::DimensionMismatch`] for a
+    /// wrong-length `x0`.
+    pub fn deadline_with(
+        &mut self,
+        estimator: &DeadlineEstimator,
+        x0: &Vector,
+        r0: f64,
+        scratch: &mut DeadlineScratch,
+    ) -> Result<Deadline> {
+        build_key(self.config.quantum, x0, r0, &mut self.key_scratch);
+        if let Some(&hit) = self.entries.get(self.key_scratch.as_slice()) {
             self.stats.hits += 1;
             return Ok(hit);
         }
@@ -148,32 +187,76 @@ impl DeadlineCache {
             // representative).
             let snapped = Vector::from_fn(x0.len(), |d| (x0[d] / q).round() * q);
             let inflation = 0.5 * q * (x0.len() as f64).sqrt();
-            estimator.checked_deadline(&snapped, r0 + inflation)?
+            estimator.checked_deadline_with(&snapped, r0 + inflation, scratch)?
         } else {
-            estimator.checked_deadline(x0, r0)?
+            estimator.checked_deadline_with(x0, r0, scratch)?
         };
+        let key = self.key_scratch.clone();
         self.insert(key, deadline);
         Ok(deadline)
+    }
+
+    /// Speculatively fills the cache for a batch of states with one
+    /// [`DeadlineEstimator::deadline_batch`] walk.
+    ///
+    /// States already cached (or duplicated within `states`) are
+    /// skipped; the rest are evaluated together — in quantized mode at
+    /// their snapped representatives with the usual radius inflation,
+    /// so a prewarmed entry is bit-identical to the one a cache miss
+    /// would have produced. Each computed entry counts as a miss
+    /// (the later lookup that consumes it then counts as a hit, which
+    /// keeps hit-rate accounting aligned with the scalar miss path).
+    ///
+    /// Returns the number of entries computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ReachError::DimensionMismatch`] if any state
+    /// has the wrong length; nothing is inserted in that case.
+    pub fn prewarm(
+        &mut self,
+        estimator: &DeadlineEstimator,
+        states: &[&Vector],
+        r0: f64,
+    ) -> Result<usize> {
+        let q = self.config.quantum;
+        let mut keys: Vec<Vec<u64>> = Vec::new();
+        let mut reps: Vec<Vector> = Vec::new();
+        for s in states {
+            build_key(q, s, r0, &mut self.key_scratch);
+            if self.entries.contains_key(self.key_scratch.as_slice())
+                || keys.contains(&self.key_scratch)
+            {
+                continue;
+            }
+            keys.push(self.key_scratch.clone());
+            reps.push(if q > 0.0 {
+                Vector::from_fn(s.len(), |d| (s[d] / q).round() * q)
+            } else {
+                (*s).clone()
+            });
+        }
+        if reps.is_empty() {
+            return Ok(0);
+        }
+        let eff_r0 = if q > 0.0 {
+            r0 + 0.5 * q * (reps[0].len() as f64).sqrt()
+        } else {
+            r0
+        };
+        let deadlines = estimator.deadline_batch(&reps, eff_r0)?;
+        let count = deadlines.len();
+        for (key, deadline) in keys.into_iter().zip(deadlines) {
+            self.stats.misses += 1;
+            self.insert(key, deadline);
+        }
+        Ok(count)
     }
 
     /// Drops all entries (counters are preserved).
     pub fn clear(&mut self) {
         self.entries.clear();
         self.order.clear();
-    }
-
-    fn key(&self, x0: &Vector, r0: f64) -> Vec<u64> {
-        let q = self.config.quantum;
-        let mut key = Vec::with_capacity(x0.len() + 1);
-        for d in 0..x0.len() {
-            if q > 0.0 {
-                key.push((x0[d] / q).round() as i64 as u64);
-            } else {
-                key.push(x0[d].to_bits());
-            }
-        }
-        key.push(r0.to_bits());
-        key
     }
 
     fn insert(&mut self, key: Vec<u64>, deadline: Deadline) {
@@ -290,5 +373,69 @@ mod tests {
         let est = integrator();
         let mut cache = DeadlineCache::new(CacheConfig::default());
         assert!(cache.deadline(&est, &Vector::zeros(2), 0.0).is_err());
+    }
+
+    #[test]
+    fn deadline_with_scratch_matches_plain_lookup() {
+        let est = integrator();
+        let mut plain = DeadlineCache::new(CacheConfig::exact(64));
+        let mut scratched = DeadlineCache::new(CacheConfig::exact(64));
+        let mut scratch = DeadlineScratch::new();
+        for x in [0.0, 3.0, 0.0, -2.0, 3.0] {
+            let a = plain.deadline(&est, &v(x), 0.0).unwrap();
+            let b = scratched
+                .deadline_with(&est, &v(x), 0.0, &mut scratch)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), scratched.stats());
+    }
+
+    #[test]
+    fn prewarm_turns_lookups_into_hits() {
+        let est = integrator();
+        let mut cache = DeadlineCache::new(CacheConfig::exact(64));
+        let states = [v(0.0), v(3.0), v(0.0), v(-2.0)];
+        let refs: Vec<&Vector> = states.iter().collect();
+        // 4 states, 3 distinct: exactly 3 batch computations.
+        assert_eq!(cache.prewarm(&est, &refs, 0.0).unwrap(), 3);
+        assert_eq!(cache.stats().misses, 3);
+        for s in &states {
+            let cached = cache.deadline(&est, s, 0.0).unwrap();
+            assert_eq!(cached, est.checked_deadline(s, 0.0).unwrap());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 4, "all post-prewarm lookups must hit");
+        assert_eq!(stats.misses, 3);
+        // Prewarming again computes nothing.
+        assert_eq!(cache.prewarm(&est, &refs, 0.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn prewarm_quantized_matches_miss_path() {
+        let est = integrator();
+        let q = 0.5;
+        let states: Vec<Vector> = (0..10).map(|i| v(-2.0 + 0.3 * i as f64)).collect();
+        let refs: Vec<&Vector> = states.iter().collect();
+        let mut warmed = DeadlineCache::new(CacheConfig::quantized(q, 64));
+        warmed.prewarm(&est, &refs, 0.0).unwrap();
+        let mut cold = DeadlineCache::new(CacheConfig::quantized(q, 64));
+        for s in &states {
+            let a = warmed.deadline(&est, s, 0.0).unwrap();
+            let b = cold.deadline(&est, s, 0.0).unwrap();
+            assert_eq!(a, b, "prewarmed entry must equal the miss-path entry");
+        }
+        assert_eq!(warmed.stats().hits, states.len() as u64);
+    }
+
+    #[test]
+    fn prewarm_dimension_mismatch_inserts_nothing() {
+        let est = integrator();
+        let mut cache = DeadlineCache::new(CacheConfig::exact(64));
+        let good = v(1.0);
+        let bad = Vector::zeros(2);
+        assert!(cache.prewarm(&est, &[&good, &bad], 0.0).is_err());
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().misses, 0);
     }
 }

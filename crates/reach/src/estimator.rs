@@ -1,3 +1,4 @@
+use awsad_linalg::kernels::{dot, norm_l1, norm_l2};
 use awsad_linalg::{Matrix, Vector};
 use awsad_sets::BoxSet;
 
@@ -70,34 +71,124 @@ impl ReachConfig {
     }
 }
 
+/// Reusable buffers for the allocation-free scalar deadline walk.
+///
+/// [`DeadlineEstimator::checked_deadline_with`] ping-pongs the state
+/// `A^t x₀` between the two buffers; after warm-up (one growth to the
+/// state dimension) a walk performs zero heap allocations. One scratch
+/// can be reused across estimators of different dimensions.
+#[derive(Debug, Clone, Default)]
+pub struct DeadlineScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl DeadlineScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable buffers for [`DeadlineEstimator::deadline_batch_with`].
+///
+/// Active states are packed column-major (`cur[j*n..][..n]` is state
+/// `j`); `idx` maps packed columns back to caller positions so resolved
+/// states can be compacted out of the batch mid-walk.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+    idx: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Online detection-deadline estimator (§3.4) with offline
 /// precomputation.
 ///
-/// At construction the estimator expands Eqs. (4)/(5) into three
-/// cumulative, `x₀`-independent tables up to the horizon `w_m`:
+/// At construction the estimator expands Eqs. (4)/(5) into cumulative,
+/// `x₀`-independent tables up to the horizon `w_m`, stored as flat
+/// row-per-step (`t * n + d`) arrays:
 ///
 /// * `drift[t]` — `Σ_{i<t} A^i B c`, the reachable-set center offset
 ///   produced by the control box center;
 /// * `spread[t]` — `Σ_{i<t} (‖(A^iBQ)ᵀe_d‖₁ + ε‖(A^i)ᵀe_d‖₂)` per
 ///   dimension `d`, the symmetric half-width from control freedom and
 ///   uncertainty;
-/// * `pow_row_norm[t]` — `‖(A^t)ᵀe_d‖₂` per dimension, used to inflate
-///   the bounds when the initial state is itself only known within a
-///   ball (§3.3.1, "we can use an initial state set containing x₀").
+/// * `pow_row_norm[t][d]` — `‖(A^t)ᵀe_d‖₂`, used to inflate the bounds
+///   when the initial state is itself only known within a ball
+///   (§3.3.1, "we can use an initial state set containing x₀");
+/// * `adm_lo/adm_hi[t][d]` — the *admissible state box*, the safe set
+///   pulled back through drift and spread
+///   (`adm_lo = (S_lo − drift) + spread`,
+///   `adm_hi = (S_hi − drift) − spread`), so the per-step containment
+///   test collapses to `2n` comparisons of `A^t x₀` against
+///   precomputed bounds (plus an `r0·pow_row_norm` correction when the
+///   initial-state ball has positive radius).
 ///
-/// An online [`DeadlineEstimator::deadline`] query then walks
-/// `t = 0…w_m` computing only `A^t x₀` incrementally — `O(n²)` per
-/// step, no allocations beyond one state vector.
+/// An online [`DeadlineEstimator::deadline`] query walks `t = 0…w_m`
+/// computing only `A^t x₀` incrementally — `O(n²)` per step. The
+/// `*_with` variants reuse caller-held scratch so steady-state queries
+/// allocate nothing, and [`DeadlineEstimator::deadline_batch`] advances
+/// `k` states per step with one [`Matrix::mul_cols_into`] call.
 #[derive(Debug, Clone)]
 pub struct DeadlineEstimator {
     a: Matrix,
     config: ReachConfig,
-    /// `drift[t]` = Σ_{i=0}^{t-1} A^i B c (length `max_steps + 1`).
-    drift: Vec<Vector>,
-    /// `spread[t]`, per-dimension symmetric half-width at step `t`.
-    spread: Vec<Vector>,
-    /// `pow_row_norm[t][d]` = ‖(A^t)ᵀ e_d‖₂.
-    pow_row_norm: Vec<Vector>,
+    /// State dimension `n`.
+    n: usize,
+    /// `drift[t*n+d]` = (Σ_{i=0}^{t-1} A^i B c)_d, `t ∈ 0..=max_steps`.
+    drift: Vec<f64>,
+    /// `spread[t*n+d]`, per-dimension symmetric half-width at step `t`.
+    spread: Vec<f64>,
+    /// `pow_row_norm[t*n+d]` = ‖(A^t)ᵀ e_d‖₂.
+    pow_row_norm: Vec<f64>,
+    /// Admissible lower bound on `(A^t x₀)_d` (see struct docs).
+    adm_lo: Vec<f64>,
+    /// Admissible upper bound on `(A^t x₀)_d`.
+    adm_hi: Vec<f64>,
+}
+
+/// Folds one safe-set lower bound into an admissible bound on
+/// `(A^t x₀)_d`: the containment test `(x + drift) − spread ≥ lo`
+/// becomes `x ≥ (lo − drift) + spread`.
+///
+/// When the fold itself is indeterminate (`∞ − ∞`, e.g. an unbounded
+/// safe dimension whose spread has diverged), the comparison outcome no
+/// longer depends on a finite `x`, so it is decided here once from
+/// `drift − spread` and baked in as `∓∞`.
+fn fold_admissible_lo(lo: f64, drift: f64, spread: f64) -> f64 {
+    let folded = (lo - drift) + spread;
+    if !folded.is_nan() {
+        return folded;
+    }
+    let lhs = drift - spread;
+    if lhs >= lo {
+        f64::NEG_INFINITY // always contained on this dimension
+    } else {
+        f64::INFINITY // never contained (also: indeterminate lhs)
+    }
+}
+
+/// Upper-bound analog of [`fold_admissible_lo`]:
+/// `(x + drift) + spread ≤ hi` becomes `x ≤ (hi − drift) − spread`.
+fn fold_admissible_hi(hi: f64, drift: f64, spread: f64) -> f64 {
+    let folded = (hi - drift) - spread;
+    if !folded.is_nan() {
+        return folded;
+    }
+    let lhs = drift + spread;
+    if lhs <= hi {
+        f64::INFINITY // always contained on this dimension
+    } else {
+        f64::NEG_INFINITY // never contained (also: indeterminate lhs)
+    }
 }
 
 impl DeadlineEstimator {
@@ -137,40 +228,52 @@ impl DeadlineEstimator {
         let bc = b.checked_mul_vec(&c)?;
 
         let horizon = config.max_steps;
-        let mut drift = Vec::with_capacity(horizon + 1);
-        let mut spread = Vec::with_capacity(horizon + 1);
-        let mut pow_row_norm = Vec::with_capacity(horizon + 1);
-        drift.push(Vector::zeros(n));
-        spread.push(Vector::zeros(n));
+        let len = (horizon + 1) * n;
+        let mut drift = vec![0.0; len];
+        let mut spread = vec![0.0; len];
+        let mut pow_row_norm = vec![0.0; len];
 
-        // a_pow tracks A^i through the loop.
+        // a_pow tracks A^i through the loop; the accumulation below is
+        // the seed implementation with `row()` allocations replaced by
+        // `row_slice()` — per-entry f64 operation order is unchanged.
         let mut a_pow = Matrix::identity(n);
         for t in 0..horizon {
-            pow_row_norm.push(row_norms_l2(&a_pow));
+            row_norms_l2_into(&a_pow, &mut pow_row_norm[t * n..(t + 1) * n]);
             let aibq = a_pow.checked_mul(&bq)?;
             let aibc = a_pow.checked_mul_vec(&bc)?;
-
-            let prev_drift = &drift[t];
-            drift.push(prev_drift + &aibc);
-
-            let mut s = spread[t].clone();
             for d in 0..n {
-                let control_term = aibq.row(d).norm_l1();
-                let noise_term = config.epsilon * a_pow.row(d).norm_l2();
-                s[d] += control_term + noise_term;
+                drift[(t + 1) * n + d] = drift[t * n + d] + aibc[d];
+                let control_term = norm_l1(aibq.row_slice(d));
+                let noise_term = config.epsilon * norm_l2(a_pow.row_slice(d));
+                spread[(t + 1) * n + d] = spread[t * n + d] + (control_term + noise_term);
             }
-            spread.push(s);
-
             a_pow = a_pow.checked_mul(a)?;
         }
-        pow_row_norm.push(row_norms_l2(&a_pow));
+        row_norms_l2_into(&a_pow, &mut pow_row_norm[horizon * n..(horizon + 1) * n]);
+
+        // Fold drift/spread/safe-set into per-step admissible boxes so
+        // the online containment test needs no per-dimension adds.
+        let mut adm_lo = vec![0.0; len];
+        let mut adm_hi = vec![0.0; len];
+        for t in 0..=horizon {
+            for d in 0..n {
+                let iv = config.safe_set.interval(d);
+                adm_lo[t * n + d] =
+                    fold_admissible_lo(iv.lo(), drift[t * n + d], spread[t * n + d]);
+                adm_hi[t * n + d] =
+                    fold_admissible_hi(iv.hi(), drift[t * n + d], spread[t * n + d]);
+            }
+        }
 
         Ok(DeadlineEstimator {
             a: a.clone(),
             config,
+            n,
             drift,
             spread,
             pow_row_norm,
+            adm_lo,
+            adm_hi,
         })
     }
 
@@ -181,7 +284,7 @@ impl DeadlineEstimator {
 
     /// State dimension `n`.
     pub fn state_dim(&self) -> usize {
-        self.a.rows()
+        self.n
     }
 
     /// The box over-approximation `R̄(x₀, t)` of the reachable set
@@ -230,21 +333,165 @@ impl DeadlineEstimator {
     /// Fallible deadline query with an initial-state uncertainty ball
     /// of radius `r0`.
     ///
+    /// Allocates a walk buffer per call; hot loops should hold a
+    /// [`DeadlineScratch`] and use
+    /// [`DeadlineEstimator::checked_deadline_with`].
+    ///
     /// # Errors
     ///
     /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
     /// `x₀`.
     pub fn checked_deadline(&self, x0: &Vector, r0: f64) -> Result<Deadline> {
+        let mut scratch = DeadlineScratch::new();
+        self.checked_deadline_with(x0, r0, &mut scratch)
+    }
+
+    /// Allocation-free deadline query reusing caller-held scratch.
+    ///
+    /// The dimension check and the `t = 0` containment test run before
+    /// any copy or multiply, so immediate returns (wrong dimension,
+    /// `x₀` already outside the admissible box) touch no buffers at
+    /// all. Results are bit-identical to
+    /// [`DeadlineEstimator::checked_deadline`] and
+    /// [`DeadlineEstimator::deadline_batch`]: all three advance states
+    /// with the same per-row [`dot`] reduction and test containment
+    /// against the same precomputed admissible boxes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
+    /// `x₀`.
+    pub fn checked_deadline_with(
+        &self,
+        x0: &Vector,
+        r0: f64,
+        scratch: &mut DeadlineScratch,
+    ) -> Result<Deadline> {
+        self.check_state(x0)?;
+        if !self.contained_fast(x0.as_slice(), r0, 0) {
+            return Ok(Deadline::Within(0));
+        }
+        let n = self.n;
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(x0.as_slice());
+        scratch.next.clear();
+        scratch.next.resize(n, 0.0);
+        for t in 1..=self.config.max_steps {
+            for i in 0..n {
+                scratch.next[i] = dot(self.a.row_slice(i), &scratch.cur);
+            }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            if !self.contained_fast(&scratch.cur, r0, t) {
+                // First escape at step t: the system is conservatively
+                // safe through step t-1, so the deadline is t-1.
+                return Ok(Deadline::Within(t - 1));
+            }
+        }
+        Ok(Deadline::Beyond)
+    }
+
+    /// Batched deadline query: one walk advances every state per step
+    /// via a single `A · X` kernel call ([`Matrix::mul_cols_into`]).
+    ///
+    /// Returns one [`Deadline`] per input state, in input order. Each
+    /// column's trajectory and containment tests are bit-identical to
+    /// querying that state alone through
+    /// [`DeadlineEstimator::checked_deadline`]; resolved states are
+    /// compacted out of the batch so the per-step cost tracks the
+    /// number of still-live states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] if *any* state has the
+    /// wrong length; all states are validated before any arithmetic.
+    pub fn deadline_batch(&self, states: &[Vector], r0: f64) -> Result<Vec<Deadline>> {
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::with_capacity(states.len());
+        self.deadline_batch_with(states, r0, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`DeadlineEstimator::deadline_batch`]
+    /// reusing caller-held scratch; `out` is cleared and filled with
+    /// one deadline per input state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] if any state has the
+    /// wrong length (checked before any arithmetic; `out` is left
+    /// empty in that case).
+    pub fn deadline_batch_with(
+        &self,
+        states: &[Vector],
+        r0: f64,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Deadline>,
+    ) -> Result<()> {
+        out.clear();
+        for s in states {
+            self.check_state(s)?;
+        }
+        let n = self.n;
+        out.resize(states.len(), Deadline::Beyond);
+        scratch.cur.clear();
+        scratch.idx.clear();
+        for (j, s) in states.iter().enumerate() {
+            if self.contained_fast(s.as_slice(), r0, 0) {
+                scratch.cur.extend_from_slice(s.as_slice());
+                scratch.idx.push(j);
+            } else {
+                out[j] = Deadline::Within(0);
+            }
+        }
+        scratch.next.clear();
+        scratch.next.resize(scratch.cur.len(), 0.0);
+        for t in 1..=self.config.max_steps {
+            let active = scratch.idx.len();
+            if active == 0 {
+                break;
+            }
+            self.a
+                .mul_cols_into(&scratch.cur[..active * n], &mut scratch.next[..active * n])?;
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            let mut j = 0;
+            while j < scratch.idx.len() {
+                if self.contained_fast(&scratch.cur[j * n..(j + 1) * n], r0, t) {
+                    j += 1;
+                    continue;
+                }
+                out[scratch.idx[j]] = Deadline::Within(t - 1);
+                // Compact: move the last live column into slot j.
+                let last = scratch.idx.len() - 1;
+                if j != last {
+                    let (head, tail) = scratch.cur.split_at_mut(last * n);
+                    head[j * n..(j + 1) * n].copy_from_slice(&tail[..n]);
+                }
+                scratch.idx.swap_remove(j);
+                scratch.cur.truncate(last * n);
+            }
+        }
+        Ok(())
+    }
+
+    /// The seed implementation of the deadline walk, kept verbatim as
+    /// the reference for equivalence tests and as the baseline of the
+    /// `reach_kernels` benchmark: allocates a fresh state vector per
+    /// horizon step and evaluates containment from the raw
+    /// drift/spread tables (`center ± half` form) instead of the folded
+    /// admissible boxes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] for a wrong-length
+    /// `x₀`.
+    pub fn reference_deadline(&self, x0: &Vector, r0: f64) -> Result<Deadline> {
         self.check_state(x0)?;
         let mut x = x0.clone();
         for t in 0..=self.config.max_steps {
             if t > 0 {
                 x = self.a.checked_mul_vec(&x)?;
             }
-            if !self.contained_at(&x, r0, t) {
-                // First escape at step t: the system is conservatively
-                // safe through step t-1, so the deadline is t-1 (0 if
-                // the initial state itself is already outside).
+            if !self.contained_reference(&x, r0, t) {
                 return Ok(Deadline::Within(t.saturating_sub(1)));
             }
         }
@@ -261,12 +508,18 @@ impl DeadlineEstimator {
     pub fn is_conservatively_safe(&self, x0: &Vector, t: usize) -> Result<bool> {
         self.check_state(x0)?;
         let t = t.min(self.config.max_steps);
-        let mut x = x0.clone();
-        for step in 0..=t {
-            if step > 0 {
-                x = self.a.checked_mul_vec(&x)?;
+        if !self.contained_fast(x0.as_slice(), 0.0, 0) {
+            return Ok(false);
+        }
+        let n = self.n;
+        let mut cur = x0.as_slice().to_vec();
+        let mut next = vec![0.0; n];
+        for step in 1..=t {
+            for (i, slot) in next.iter_mut().enumerate().take(n) {
+                *slot = dot(self.a.row_slice(i), &cur);
             }
-            if !self.contained_at(&x, 0.0, step) {
+            std::mem::swap(&mut cur, &mut next);
+            if !self.contained_fast(&cur, 0.0, step) {
                 return Ok(false);
             }
         }
@@ -284,12 +537,14 @@ impl DeadlineEstimator {
     }
 
     /// Builds the explicit bounds box at step `t` given `A^t x₀`
-    /// already computed.
+    /// already computed. Operation order matches the seed
+    /// implementation exactly (tables are stored flat but hold the
+    /// same values).
     fn bounds_at(&self, at_x0: &Vector, r0: f64, t: usize) -> BoxSet {
-        let n = self.state_dim();
-        let drift = &self.drift[t];
-        let spread = &self.spread[t];
-        let pow_norm = &self.pow_row_norm[t];
+        let n = self.n;
+        let drift = &self.drift[t * n..(t + 1) * n];
+        let spread = &self.spread[t * n..(t + 1) * n];
+        let pow_norm = &self.pow_row_norm[t * n..(t + 1) * n];
         let lo: Vec<f64> = (0..n)
             .map(|d| at_x0[d] + drift[d] - spread[d] - r0 * pow_norm[d])
             .collect();
@@ -299,12 +554,38 @@ impl DeadlineEstimator {
         BoxSet::from_bounds(&lo, &hi).expect("lo <= hi by construction")
     }
 
-    /// Containment check without allocating the bounds box.
-    fn contained_at(&self, at_x0: &Vector, r0: f64, t: usize) -> bool {
-        let n = self.state_dim();
-        let drift = &self.drift[t];
-        let spread = &self.spread[t];
-        let pow_norm = &self.pow_row_norm[t];
+    /// Containment of `A^t x₀` (given as `x`) in the admissible box at
+    /// step `t`: `2n` comparisons against precomputed bounds, plus an
+    /// `r0`-correction term when the initial-state ball has positive
+    /// radius.
+    #[inline]
+    fn contained_fast(&self, x: &[f64], r0: f64, t: usize) -> bool {
+        let n = self.n;
+        let lo = &self.adm_lo[t * n..(t + 1) * n];
+        let hi = &self.adm_hi[t * n..(t + 1) * n];
+        if r0 == 0.0 {
+            x.iter()
+                .zip(lo.iter().zip(hi))
+                .all(|(&x, (&lo, &hi))| x >= lo && x <= hi)
+        } else {
+            let pow = &self.pow_row_norm[t * n..(t + 1) * n];
+            x.iter()
+                .zip(pow)
+                .zip(lo.iter().zip(hi))
+                .all(|((&x, &p), (&lo, &hi))| {
+                    let c = r0 * p;
+                    x - c >= lo && x + c <= hi
+                })
+        }
+    }
+
+    /// The seed containment check (center ± half against the safe
+    /// set), used by [`DeadlineEstimator::reference_deadline`].
+    fn contained_reference(&self, at_x0: &Vector, r0: f64, t: usize) -> bool {
+        let n = self.n;
+        let drift = &self.drift[t * n..(t + 1) * n];
+        let spread = &self.spread[t * n..(t + 1) * n];
+        let pow_norm = &self.pow_row_norm[t * n..(t + 1) * n];
         let safe = &self.config.safe_set;
         (0..n).all(|d| {
             let center = at_x0[d] + drift[d];
@@ -315,9 +596,11 @@ impl DeadlineEstimator {
     }
 }
 
-/// Euclidean norms of each row of `m`.
-fn row_norms_l2(m: &Matrix) -> Vector {
-    Vector::from_fn(m.rows(), |d| m.row(d).norm_l2())
+/// Euclidean norms of each row of `m`, written into `out`.
+fn row_norms_l2_into(m: &Matrix, out: &mut [f64]) {
+    for (d, o) in out.iter_mut().enumerate() {
+        *o = norm_l2(m.row_slice(d));
+    }
 }
 
 #[cfg(test)]
@@ -528,6 +811,112 @@ mod tests {
         assert!(est.checked_deadline(&Vector::zeros(2), 0.0).is_err());
         assert!(est.reach_box(&Vector::zeros(2), 1).is_err());
         assert!(est.is_conservatively_safe(&Vector::zeros(2), 1).is_err());
+        assert!(est.reference_deadline(&Vector::zeros(2), 0.0).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_precedes_any_arithmetic() {
+        // A wrong-length NaN state must produce a clean error: had any
+        // containment arithmetic run first, the NaN comparisons would
+        // have yielded Within(0) instead of Err.
+        let est = integrator(10, 5.0);
+        let bad = Vector::from_slice(&[f64::NAN, f64::NAN]);
+        assert!(matches!(
+            est.checked_deadline(&bad, 0.0),
+            Err(ReachError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
+        let mut scratch = DeadlineScratch::new();
+        assert!(est.checked_deadline_with(&bad, 0.0, &mut scratch).is_err());
+        // Batched: one bad state anywhere rejects the whole batch
+        // before any arithmetic, leaving `out` empty.
+        let good = Vector::zeros(1);
+        let mut bscratch = BatchScratch::new();
+        let mut out = vec![Deadline::Within(7)];
+        let err = est.deadline_batch_with(
+            &[good.clone(), bad.clone(), good],
+            0.0,
+            &mut bscratch,
+            &mut out,
+        );
+        assert!(err.is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scratch_and_batch_agree_with_reference() {
+        let est = integrator(100, 5.0);
+        let states: Vec<Vector> = [-6.0, -3.0, 0.0, 2.5, 3.0, 5.5, 7.0]
+            .iter()
+            .map(|&x| Vector::from_slice(&[x]))
+            .collect();
+        for r0 in [0.0, 0.5, 1.0] {
+            let batch = est.deadline_batch(&states, r0).unwrap();
+            let mut scratch = DeadlineScratch::new();
+            for (s, b) in states.iter().zip(&batch) {
+                let reference = est.reference_deadline(s, r0).unwrap();
+                let scalar = est.checked_deadline_with(s, r0, &mut scratch).unwrap();
+                assert_eq!(scalar, reference, "x0={s} r0={r0}");
+                assert_eq!(*b, reference, "x0={s} r0={r0}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_compaction_handles_interleaved_escapes() {
+        // States resolving at different steps, out of order, exercise
+        // the swap-remove compaction of the packed columns.
+        let est = integrator(100, 5.0);
+        let states: Vec<Vector> = [4.9, 0.0, 5.5, 3.0, -4.9, -5.5, 1.0]
+            .iter()
+            .map(|&x| Vector::from_slice(&[x]))
+            .collect();
+        let batch = est.deadline_batch(&states, 0.0).unwrap();
+        let expect: Vec<Deadline> = states.iter().map(|s| est.deadline(s)).collect();
+        assert_eq!(batch, expect);
+        // And reuse of the same scratch across calls stays correct.
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        est.deadline_batch_with(&states, 0.0, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, expect);
+        est.deadline_batch_with(&states[..2], 0.0, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, expect[..2]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let est = integrator(10, 5.0);
+        assert!(est.deadline_batch(&[], 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn admissible_fold_handles_infinite_bounds() {
+        // Unbounded safe dimension with finite spread folds to ∓∞.
+        assert_eq!(
+            fold_admissible_lo(f64::NEG_INFINITY, 1.0, 2.0),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(fold_admissible_hi(f64::INFINITY, 1.0, 2.0), f64::INFINITY);
+        // ∞ − ∞ during folding: unbounded safe dimension whose spread
+        // diverged still passes (seed semantics: −∞ ≥ −∞).
+        assert_eq!(
+            fold_admissible_lo(f64::NEG_INFINITY, 1.0, f64::INFINITY),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            fold_admissible_hi(f64::INFINITY, 1.0, f64::INFINITY),
+            f64::INFINITY
+        );
+        // Finite safe bound with diverged spread never passes.
+        assert_eq!(fold_admissible_lo(-3.0, 1.0, f64::INFINITY), f64::INFINITY);
+        assert_eq!(
+            fold_admissible_hi(3.0, 1.0, f64::INFINITY),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -20,12 +20,20 @@
 //! ```
 //!
 //! **Only the first term depends on `x₀`.** [`DeadlineEstimator`]
-//! therefore precomputes the three cumulative sums for every step up
-//! to the maximum window size at construction; each online deadline
-//! query then costs one matrix-vector product per searched step
-//! (`O(w_m · n²)`), satisfying the paper's low-overhead requirement
-//! for run-time use. A deliberately naive re-computing implementation
-//! ([`naive_deadline`]) is kept for the ablation benchmark.
+//! therefore precomputes the cumulative sums for every step up to the
+//! maximum window size at construction — and additionally folds them
+//! with the safe set into per-step *admissible state boxes*, so each
+//! online deadline query costs one matrix-vector product plus `2n`
+//! comparisons per searched step (`O(w_m · n²)`), satisfying the
+//! paper's low-overhead requirement for run-time use. The `*_with`
+//! query variants ([`DeadlineEstimator::checked_deadline_with`],
+//! [`DeadlineEstimator::deadline_batch_with`]) reuse caller-held
+//! [`DeadlineScratch`]/[`BatchScratch`] buffers so steady-state
+//! queries are allocation-free, and the batch walk advances all states
+//! per step with one `A · X` kernel call. A deliberately naive
+//! re-computing implementation ([`naive_deadline`]) is kept for the
+//! ablation benchmark, and the seed's per-step walk survives as
+//! [`DeadlineEstimator::reference_deadline`] for equivalence testing.
 //!
 //! The *deadline search* (§3.3) walks `t = 0, 1, 2, …` until the
 //! reachable box escapes the safe set or the maximum window size is
@@ -77,7 +85,7 @@ mod polytope_estimator;
 pub use cache::{CacheConfig, CacheStats, DeadlineCache};
 pub use deadline::Deadline;
 pub use error::ReachError;
-pub use estimator::{DeadlineEstimator, ReachConfig};
+pub use estimator::{BatchScratch, DeadlineEstimator, DeadlineScratch, ReachConfig};
 pub use naive::naive_deadline;
 pub use polytope_estimator::PolytopeDeadlineEstimator;
 

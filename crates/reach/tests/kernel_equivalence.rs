@@ -1,0 +1,193 @@
+//! Bit-level equivalence of the three deadline-walk implementations.
+//!
+//! The allocation-free scalar path (`checked_deadline_with`), the
+//! batched path (`deadline_batch`) and the seed's per-step walk
+//! (`reference_deadline`) must agree on the `Deadline` for every
+//! query — and the flat-table `reach_box` bounds must be bit-for-bit
+//! identical to a from-scratch reconstruction of the seed's
+//! `Vec<Vector>` tables. This is what lets `DeadlineCache` exact-key
+//! semantics and the pinned `results/*.csv` survive the kernel
+//! rewrite.
+
+use awsad_linalg::{Matrix, Vector};
+use awsad_reach::{Deadline, DeadlineEstimator, DeadlineScratch, ReachConfig};
+use awsad_sets::BoxSet;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+const MODELS: usize = 200;
+const STATES_PER_MODEL: usize = 4;
+
+/// A random 2–5 dimensional model: roughly half stable, half unstable
+/// (spectral radius above 1), with occasional unbounded safe
+/// dimensions to exercise the ±∞ admissible-box folds.
+struct RandomModel {
+    a: Matrix,
+    b: Matrix,
+    cfg: ReachConfig,
+    states: Vec<Vector>,
+    r0: f64,
+}
+
+fn random_model(rng: &mut StdRng) -> RandomModel {
+    let n = rng.random_range(2..=5usize);
+    let m = rng.random_range(1..=2usize);
+    let raw = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+    // norm_inf bounds the spectral radius, so `target` splits the
+    // draw into contractive and expansive systems.
+    let target = rng.random_range(0.5..1.1);
+    let a = raw.scale(target / raw.norm_inf().max(1e-6));
+    let b = Matrix::from_fn(n, m, |_, _| rng.random_range(-1.0..1.0));
+
+    let (ulo, uhi): (Vec<f64>, Vec<f64>) = (0..m)
+        .map(|_| {
+            let lo = rng.random_range(-0.5..0.1);
+            (lo, lo + rng.random_range(0.0..0.5))
+        })
+        .unzip();
+    let epsilon = if rng.random_range(0.0..1.0) < 0.5 {
+        0.0
+    } else {
+        rng.random_range(0.0..0.05)
+    };
+    let (slo, shi): (Vec<f64>, Vec<f64>) = (0..n)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < 0.1 {
+                (f64::NEG_INFINITY, f64::INFINITY)
+            } else {
+                let center = rng.random_range(-1.0..1.0);
+                let half = rng.random_range(0.5..3.0);
+                (center - half, center + half)
+            }
+        })
+        .unzip();
+    let max_steps = rng.random_range(10..=40usize);
+    let cfg = ReachConfig::new(
+        BoxSet::from_bounds(&ulo, &uhi).unwrap(),
+        epsilon,
+        BoxSet::from_bounds(&slo, &shi).unwrap(),
+        max_steps,
+    )
+    .unwrap();
+    let states = (0..STATES_PER_MODEL)
+        .map(|_| Vector::from_fn(n, |_| rng.random_range(-3.0..3.0)))
+        .collect();
+    let r0 = if rng.random_range(0.0..1.0) < 0.5 {
+        0.0
+    } else {
+        rng.random_range(0.0..0.3)
+    };
+    RandomModel {
+        a,
+        b,
+        cfg,
+        states,
+        r0,
+    }
+}
+
+/// The seed's table construction, verbatim (owned `Vector` rows,
+/// `Vec<Vector>` tables), used to cross-check the estimator's flat
+/// tables through its `reach_box` output.
+fn seed_tables(
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &ReachConfig,
+) -> (Vec<Vector>, Vec<Vector>, Vec<Vector>) {
+    let n = a.rows();
+    let c = cfg.control_box().center();
+    let q = cfg.control_box().scaling_matrix();
+    let bq = b.checked_mul(&q).unwrap();
+    let bc = b.checked_mul_vec(&c).unwrap();
+    let horizon = cfg.max_steps();
+    let mut drift = Vec::with_capacity(horizon + 1);
+    let mut spread = Vec::with_capacity(horizon + 1);
+    let mut pow_row_norm = Vec::with_capacity(horizon + 1);
+    drift.push(Vector::zeros(n));
+    spread.push(Vector::zeros(n));
+    let row_norms_l2 = |m: &Matrix| Vector::from_fn(m.rows(), |d| m.row(d).norm_l2());
+    let mut a_pow = Matrix::identity(n);
+    for t in 0..horizon {
+        pow_row_norm.push(row_norms_l2(&a_pow));
+        let aibq = a_pow.checked_mul(&bq).unwrap();
+        let aibc = a_pow.checked_mul_vec(&bc).unwrap();
+        let prev_drift = &drift[t];
+        drift.push(prev_drift + &aibc);
+        let mut s = spread[t].clone();
+        for d in 0..n {
+            let control_term = aibq.row(d).norm_l1();
+            let noise_term = cfg.epsilon() * a_pow.row(d).norm_l2();
+            s[d] += control_term + noise_term;
+        }
+        spread.push(s);
+        a_pow = a_pow.checked_mul(a).unwrap();
+    }
+    pow_row_norm.push(row_norms_l2(&a_pow));
+    (drift, spread, pow_row_norm)
+}
+
+#[test]
+fn all_three_walks_and_reach_boxes_are_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_cafe);
+    let mut scratch = DeadlineScratch::new();
+    let mut beyond = 0usize;
+    let mut within = 0usize;
+    for model_idx in 0..MODELS {
+        let model = random_model(&mut rng);
+        let est = DeadlineEstimator::new(&model.a, &model.b, model.cfg.clone()).unwrap();
+
+        // Deadlines: batch vs scratch scalar vs seed reference.
+        let batch = est.deadline_batch(&model.states, model.r0).unwrap();
+        for (s, b) in model.states.iter().zip(&batch) {
+            let reference = est.reference_deadline(s, model.r0).unwrap();
+            let scalar = est.checked_deadline(s, model.r0).unwrap();
+            let scalar_scratch = est
+                .checked_deadline_with(s, model.r0, &mut scratch)
+                .unwrap();
+            assert_eq!(scalar, reference, "model {model_idx}: scalar vs reference");
+            assert_eq!(
+                scalar_scratch, reference,
+                "model {model_idx}: scratch vs reference"
+            );
+            assert_eq!(*b, reference, "model {model_idx}: batch vs reference");
+            match reference {
+                Deadline::Beyond => beyond += 1,
+                Deadline::Within(_) => within += 1,
+            }
+        }
+
+        // Reach boxes: flat tables vs the seed's Vec<Vector> tables,
+        // bit-for-bit at every horizon step.
+        let (drift, spread, pow_row_norm) = seed_tables(&model.a, &model.b, &model.cfg);
+        let n = est.state_dim();
+        let x0 = &model.states[0];
+        let mut at_x0 = x0.clone();
+        for t in 0..=model.cfg.max_steps() {
+            if t > 0 {
+                at_x0 = est_a_mul(&model.a, &at_x0);
+            }
+            let rb = est.reach_box_with_radius(x0, model.r0, t).unwrap();
+            for d in 0..n {
+                let lo = at_x0[d] + drift[t][d] - spread[t][d] - model.r0 * pow_row_norm[t][d];
+                let hi = at_x0[d] + drift[t][d] + spread[t][d] + model.r0 * pow_row_norm[t][d];
+                assert_eq!(
+                    rb.interval(d).lo().to_bits(),
+                    lo.to_bits(),
+                    "model {model_idx} t={t} d={d}: reach_box lo differs"
+                );
+                assert_eq!(
+                    rb.interval(d).hi().to_bits(),
+                    hi.to_bits(),
+                    "model {model_idx} t={t} d={d}: reach_box hi differs"
+                );
+            }
+        }
+    }
+    // The draw must actually exercise both outcomes to mean anything.
+    assert!(beyond > 20, "too few Beyond outcomes: {beyond}");
+    assert!(within > 20, "too few Within outcomes: {within}");
+}
+
+fn est_a_mul(a: &Matrix, x: &Vector) -> Vector {
+    a.checked_mul_vec(x).unwrap()
+}

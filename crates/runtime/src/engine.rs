@@ -436,34 +436,80 @@ impl Drop for SessionHandle {
     }
 }
 
+/// How many queued ticks one drain cycle pops and processes under a
+/// single state-lock acquisition. Bounds both the lock hold time and
+/// the size of the coalesced deadline-cache prewarm.
+const DRAIN_BATCH: usize = 32;
+
 /// Drains one session's inbox on a pool worker. At most one instance
 /// per session runs at a time (guarded by `Inbox::scheduled`), so
 /// outcomes leave in submission order.
+///
+/// Ticks are popped and processed in batches of up to [`DRAIN_BATCH`]:
+/// the session state lock is taken *first* and the inbox popped under
+/// it, so a stalled session stalls the pop too (queued ticks keep
+/// counting against the queue capacity until the session can actually
+/// run). When a batch carries more than one tick and the detector has
+/// a deadline cache, the batch's estimates are prewarmed with one
+/// batched reachability walk before the per-tick steps — coalescing
+/// what would otherwise be per-tick cache-miss walks.
 fn drain_session(slot: &SessionSlot) {
+    let mut batch: Vec<QueuedTick> = Vec::with_capacity(DRAIN_BATCH);
     loop {
-        let queued = {
+        let mut state = slot.state.lock().expect("state lock");
+        batch.clear();
+        {
             let mut inbox = slot.inbox.lock().expect("inbox lock");
-            match inbox.ticks.pop_front() {
-                Some(t) => {
-                    // A slot freed up: wake one blocked producer.
-                    slot.space.notify_one();
-                    t
-                }
-                None => {
-                    inbox.scheduled = false;
-                    return;
+            while batch.len() < DRAIN_BATCH {
+                match inbox.ticks.pop_front() {
+                    Some(t) => batch.push(t),
+                    None => break,
                 }
             }
-        };
+            if batch.is_empty() {
+                inbox.scheduled = false;
+                return;
+            }
+        }
+        // Slots freed up: wake every blocked producer (a whole batch
+        // of capacity may have opened at once).
+        slot.space.notify_all();
 
         let engine = &slot.engine;
-        {
-            let mut state = slot.state.lock().expect("state lock");
-            let SessionState {
-                logger,
-                detector,
-                outcomes,
-            } = &mut *state;
+        let SessionState {
+            logger,
+            detector,
+            outcomes,
+        } = &mut *state;
+
+        // Coalesce the batch's same-model deadline queries: any of
+        // these estimates may become a trusted query within this or a
+        // later batch, so computing them in one batched walk turns the
+        // per-tick misses into cache hits. Prewarmed entries are
+        // bit-identical to miss-path entries, so outcomes are
+        // unchanged.
+        if batch.len() > 1 && detector.has_deadline_cache() {
+            let estimates: Vec<&Vector> = batch
+                .iter()
+                .filter(|q| !q.degraded)
+                .map(|q| &q.tick.estimate)
+                .collect();
+            if !estimates.is_empty() {
+                let inserted = detector.prewarm_deadline_cache(&estimates);
+                if inserted > 0 {
+                    engine
+                        .metrics
+                        .batched_deadline_queries
+                        .fetch_add(inserted as u64, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let processed = batch.len() as u64;
+        let mut degraded_ticks = 0u64;
+        let mut alarms = 0u64;
+        let mut alloc_free = 0u64;
+        for queued in batch.drain(..) {
             let t0 = Instant::now();
             logger.record(queued.tick.estimate, queued.tick.input);
             let t1 = Instant::now();
@@ -476,18 +522,13 @@ fn drain_session(slot: &SessionSlot) {
 
             engine.metrics.log_latency.record(t1 - t0);
             engine.metrics.detect_latency.record(t2 - t1);
-            engine
-                .metrics
-                .ticks_processed
-                .fetch_add(1, Ordering::Relaxed);
             if queued.degraded {
-                engine
-                    .metrics
-                    .degraded_ticks
-                    .fetch_add(1, Ordering::Relaxed);
+                degraded_ticks += 1;
+            } else if detector.last_step_was_alloc_free() {
+                alloc_free += 1;
             }
             if step.alarm() {
-                engine.metrics.alarms_raised.fetch_add(1, Ordering::Relaxed);
+                alarms += 1;
             }
 
             // The receiver may be gone (caller only wanted metrics).
@@ -498,9 +539,33 @@ fn drain_session(slot: &SessionSlot) {
                 step,
             });
         }
+        drop(state);
+
+        engine
+            .metrics
+            .ticks_processed
+            .fetch_add(processed, Ordering::Relaxed);
+        if degraded_ticks > 0 {
+            engine
+                .metrics
+                .degraded_ticks
+                .fetch_add(degraded_ticks, Ordering::Relaxed);
+        }
+        if alarms > 0 {
+            engine
+                .metrics
+                .alarms_raised
+                .fetch_add(alarms, Ordering::Relaxed);
+        }
+        if alloc_free > 0 {
+            engine
+                .metrics
+                .alloc_free_ticks
+                .fetch_add(alloc_free, Ordering::Relaxed);
+        }
 
         let mut pending = engine.pending.lock().expect("pending lock");
-        *pending -= 1;
+        *pending -= processed;
         if *pending == 0 {
             engine.idle.notify_all();
         }
@@ -778,6 +843,63 @@ mod tests {
         let stats = cached.deadline_cache_stats().unwrap();
         assert!(stats.hits > 0, "alternating states must hit the cache");
         assert!(plain.deadline_cache_stats().is_none());
+    }
+
+    #[test]
+    fn batched_drain_coalesces_cache_misses_and_counts_alloc_free_ticks() {
+        // Stall the session so a burst accumulates, then let a single
+        // batch drain it: the distinct states' cache misses coalesce
+        // into one batched reachability walk and every per-tick query
+        // hits the prewarmed cache.
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            backpressure: BackpressurePolicy::Block,
+        });
+        let (logger, mut det) = parts(0.5, 10);
+        det.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(128)));
+        let (session, outcomes) = engine.add_session(logger, det);
+        {
+            let _stall = session.slot.state.lock().unwrap();
+            for _ in 0..32 {
+                session.submit(tick(0.0)).unwrap();
+            }
+        }
+        engine.drain();
+        assert_eq!(outcomes.try_iter().count(), 32);
+        let m = engine.metrics();
+        assert_eq!(
+            m.batched_deadline_queries, 1,
+            "one distinct state → one prewarmed entry"
+        );
+        assert_eq!(
+            m.alloc_free_ticks, 32,
+            "all steps hit the cache with no complementary alarms"
+        );
+        let stats = session.deadline_cache_stats().unwrap();
+        assert_eq!(stats.misses, 1, "only the prewarm insert");
+        assert_eq!(stats.hits, 32);
+    }
+
+    #[test]
+    fn uncached_steady_stream_is_alloc_free() {
+        let engine = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.5, 10);
+        let (session, _outcomes) = engine.add_session(logger, det);
+        for _ in 0..20 {
+            session.submit(tick(0.0)).unwrap();
+        }
+        engine.drain();
+        let m = engine.metrics();
+        assert_eq!(m.ticks_processed, 20);
+        assert_eq!(
+            m.alloc_free_ticks, 20,
+            "scratch-walk steps without a cache never allocate"
+        );
+        assert_eq!(
+            m.batched_deadline_queries, 0,
+            "no cache, nothing to coalesce"
+        );
     }
 
     #[test]

@@ -119,6 +119,8 @@ pub(crate) struct MetricsInner {
     pub(crate) alarms_raised: AtomicU64,
     pub(crate) degraded_ticks: AtomicU64,
     pub(crate) queue_depth_high_water: AtomicU64,
+    pub(crate) alloc_free_ticks: AtomicU64,
+    pub(crate) batched_deadline_queries: AtomicU64,
     pub(crate) log_latency: HistInner,
     pub(crate) detect_latency: HistInner,
 }
@@ -132,6 +134,8 @@ impl MetricsInner {
             alarms_raised: self.alarms_raised.load(Ordering::Relaxed),
             degraded_ticks: self.degraded_ticks.load(Ordering::Relaxed),
             queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
+            alloc_free_ticks: self.alloc_free_ticks.load(Ordering::Relaxed),
+            batched_deadline_queries: self.batched_deadline_queries.load(Ordering::Relaxed),
             log_latency: self.log_latency.snapshot(),
             detect_latency: self.detect_latency.snapshot(),
         }
@@ -160,6 +164,14 @@ pub struct RuntimeMetrics {
     /// Highest number of ticks simultaneously queued across all
     /// sessions observed so far.
     pub queue_depth_high_water: u64,
+    /// Non-degraded processed ticks whose detection stage completed
+    /// without heap allocation (aged or cache-hit deadline, or the
+    /// scratch-buffer reachability walk; no cache insert, no
+    /// complementary alarms).
+    pub alloc_free_ticks: u64,
+    /// Deadline-cache entries inserted by *batched* (coalesced)
+    /// reachability walks rather than per-tick misses.
+    pub batched_deadline_queries: u64,
     /// Latency distribution of the logging stage (`DataLogger::record`).
     pub log_latency: LatencyHistogram,
     /// Latency distribution of the detection stage

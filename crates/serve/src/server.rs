@@ -581,5 +581,7 @@ fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> WireMe
         decode_errors: transport.decode_errors,
         connections_opened: transport.connections_opened,
         connections_dropped: transport.connections_dropped,
+        alloc_free_ticks: engine.alloc_free_ticks,
+        batched_deadline_queries: engine.batched_deadline_queries,
     }
 }

@@ -306,6 +306,17 @@ pub struct WireMetrics {
     pub connections_opened: u64,
     /// Connections torn down for cause (decode error, I/O error).
     pub connections_dropped: u64,
+    /// Non-degraded ticks whose detection stage ran without heap
+    /// allocation (see `RuntimeMetrics::alloc_free_ticks`).
+    ///
+    /// Appended after the v1 field set; a reply from an older server
+    /// decodes with this zeroed (see [`Frame::decode`]'s append-only
+    /// handling).
+    pub alloc_free_ticks: u64,
+    /// Deadline-cache entries inserted by coalesced batched walks
+    /// (see `RuntimeMetrics::batched_deadline_queries`). Appended
+    /// after the v1 field set, zeroed when absent.
+    pub batched_deadline_queries: u64,
 }
 
 /// Every frame the protocol defines. Requests flow client → server;
@@ -533,8 +544,15 @@ impl<'a> Dec<'a> {
         })
     }
 
+    /// Bytes not yet consumed — the gate for append-only optional
+    /// field extensions (fields added to the *end* of a frame body in
+    /// a later revision, decoded only when present).
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), WireError> {
-        let left = self.bytes.len() - self.pos;
+        let left = self.remaining();
         if left == 0 {
             Ok(())
         } else {
@@ -623,6 +641,11 @@ impl Frame {
                 e.u64(m.decode_errors);
                 e.u64(m.connections_opened);
                 e.u64(m.connections_dropped);
+                // Appended after the v1 field set — same wire version.
+                // Decoders treat these as optional-when-absent, so old
+                // and new peers interoperate without a version bump.
+                e.u64(m.alloc_free_ticks);
+                e.u64(m.batched_deadline_queries);
             }
             Frame::Error { code, message } => {
                 e.u8(*code as u8);
@@ -696,21 +719,33 @@ impl Frame {
             FRAME_CLOSE_SESSION => Frame::CloseSession { session: d.u64()? },
             FRAME_SESSION_CLOSED => Frame::SessionClosed { session: d.u64()? },
             FRAME_METRICS_QUERY => Frame::MetricsQuery,
-            FRAME_METRICS_REPLY => Frame::MetricsReply(WireMetrics {
-                sessions_active: d.u64()?,
-                ticks_submitted: d.u64()?,
-                ticks_processed: d.u64()?,
-                alarms_raised: d.u64()?,
-                degraded_ticks: d.u64()?,
-                queue_depth_high_water: d.u64()?,
-                log_latency: d.latency()?,
-                detect_latency: d.latency()?,
-                frames_in: d.u64()?,
-                frames_out: d.u64()?,
-                decode_errors: d.u64()?,
-                connections_opened: d.u64()?,
-                connections_dropped: d.u64()?,
-            }),
+            FRAME_METRICS_REPLY => {
+                let mut m = WireMetrics {
+                    sessions_active: d.u64()?,
+                    ticks_submitted: d.u64()?,
+                    ticks_processed: d.u64()?,
+                    alarms_raised: d.u64()?,
+                    degraded_ticks: d.u64()?,
+                    queue_depth_high_water: d.u64()?,
+                    log_latency: d.latency()?,
+                    detect_latency: d.latency()?,
+                    frames_in: d.u64()?,
+                    frames_out: d.u64()?,
+                    decode_errors: d.u64()?,
+                    connections_opened: d.u64()?,
+                    connections_dropped: d.u64()?,
+                    alloc_free_ticks: 0,
+                    batched_deadline_queries: 0,
+                };
+                // Append-only extension: a legacy peer's reply ends
+                // here (the counters stay zeroed); a current peer
+                // appends both counters, all-or-nothing.
+                if d.remaining() > 0 {
+                    m.alloc_free_ticks = d.u64()?;
+                    m.batched_deadline_queries = d.u64()?;
+                }
+                Frame::MetricsReply(m)
+            }
             FRAME_ERROR => Frame::Error {
                 code: ErrorCode::from_u8(d.u8()?)?,
                 message: d.str()?,
@@ -909,6 +944,8 @@ mod tests {
                     decode_errors: 1,
                     connections_opened: 4,
                     connections_dropped: 1,
+                    alloc_free_ticks: 950,
+                    batched_deadline_queries: 31,
                 }),
                 FRAME_ERROR => Frame::Error {
                     code: ErrorCode::DimensionMismatch,
@@ -950,7 +987,19 @@ mod tests {
     fn truncation_at_every_boundary_errors_without_panic() {
         for frame in sample_frames() {
             let payload = frame.encode();
+            // The one *legal* short read: a MetricsReply cut exactly at
+            // the legacy field boundary is a valid v1 reply (the
+            // append-only counters are optional-when-absent).
+            let legacy_boundary =
+                matches!(frame, Frame::MetricsReply(_)).then(|| payload.len() - 16);
             for cut in 0..payload.len() {
+                if Some(cut) == legacy_boundary {
+                    assert!(
+                        Frame::decode(&payload[..cut]).is_ok(),
+                        "legacy-boundary cut must decode"
+                    );
+                    continue;
+                }
                 let err =
                     Frame::decode(&payload[..cut]).expect_err("truncated payload must not decode");
                 // Truncation may surface as Truncated (most cuts) but
@@ -971,6 +1020,41 @@ mod tests {
                 "frame {frame:?}"
             );
         }
+    }
+
+    #[test]
+    fn legacy_metrics_reply_decodes_with_zeroed_appended_counters() {
+        let Frame::MetricsReply(sample) = sample_frames()
+            .into_iter()
+            .find(|f| matches!(f, Frame::MetricsReply(_)))
+            .unwrap()
+        else {
+            unreachable!()
+        };
+        assert!(sample.alloc_free_ticks > 0 && sample.batched_deadline_queries > 0);
+        let payload = Frame::MetricsReply(sample).encode();
+        // A v1 peer's reply is byte-identical minus the two appended
+        // counters; it must decode with both reading zero and every
+        // other field intact.
+        let legacy = &payload[..payload.len() - 16];
+        let Frame::MetricsReply(decoded) = Frame::decode(legacy).unwrap() else {
+            panic!("legacy reply must still be a MetricsReply");
+        };
+        assert_eq!(decoded.alloc_free_ticks, 0);
+        assert_eq!(decoded.batched_deadline_queries, 0);
+        assert_eq!(
+            decoded,
+            WireMetrics {
+                alloc_free_ticks: 0,
+                batched_deadline_queries: 0,
+                ..sample
+            }
+        );
+        // And a current reply round-trips the counters verbatim.
+        let Frame::MetricsReply(full) = Frame::decode(&payload).unwrap() else {
+            panic!("full reply must decode");
+        };
+        assert_eq!(full, sample);
     }
 
     #[test]
