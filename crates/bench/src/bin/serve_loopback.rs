@@ -7,6 +7,12 @@
 //! remote outcome stream — alarms, windows, deadlines — is equal to
 //! the direct one. Throughput below [`TARGET_TICKS_PER_SEC`] fails the
 //! process, so the CI smoke step doubles as a perf regression gate.
+//!
+//! A second section measures **reconnect-and-resume latency**: a
+//! `ReconnectingClient` streams the same scenario while the server is
+//! repeatedly killed and rebound on the same address; each resume
+//! (reconnect + `RestoreSession` + batch replay) is timed, and the
+//! recovered stream is asserted byte-identical to direct stepping.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -18,7 +24,7 @@ use awsad_models::Simulator;
 use awsad_reach::{CacheConfig, DeadlineCache};
 use awsad_runtime::{DetectionEngine, EngineConfig, Tick};
 use awsad_serve::wire::{WireLatency, WireTick};
-use awsad_serve::{Client, Server, ServerConfig, SessionSpec};
+use awsad_serve::{Client, ReconnectingClient, RetryPolicy, Server, ServerConfig, SessionSpec};
 
 /// Ticks streamed over the loopback connection.
 const TOTAL_TICKS: usize = 131_072;
@@ -29,6 +35,13 @@ const BATCH: usize = 512;
 const CACHE_CAPACITY: u32 = 4096;
 /// Minimum sustained rate the gate accepts, in ticks per second.
 const TARGET_TICKS_PER_SEC: f64 = 50_000.0;
+/// Ticks streamed in the reconnect-and-resume section.
+const RESUME_TICKS: usize = 4096;
+/// Batch size for the resume section (small enough that kills land
+/// between many batches).
+const RESUME_BATCH: usize = 256;
+/// Forced server kill/restart cycles in the resume section.
+const RESUME_KILLS: usize = 4;
 
 /// The pinned scenario: steady-state regulation that revisits four
 /// states, with a constant sensor bias switched on halfway through.
@@ -80,6 +93,81 @@ fn direct_steps(model: &awsad_models::CpsModel, trace: &[WireTick]) -> (Vec<Adap
     (steps, hit_rate)
 }
 
+/// Streams [`RESUME_TICKS`] through a `ReconnectingClient` while the
+/// server is killed and rebound [`RESUME_KILLS`] times, timing each
+/// resume (server back up → interrupted batch's outcomes in hand) and
+/// asserting the recovered stream equals direct stepping.
+fn reconnect_resume(model: &awsad_models::CpsModel) -> Json {
+    let trace = pinned_trace(model, RESUME_TICKS);
+    let (direct, _) = direct_steps(model, &trace);
+
+    let config = ServerConfig::default();
+    let server = Server::bind("127.0.0.1:0", config.clone()).expect("bind resume server");
+    let addr = server.local_addr();
+    let policy = RetryPolicy {
+        max_retries: 60,
+        base_delay: std::time::Duration::from_millis(2),
+        max_delay: std::time::Duration::from_millis(20),
+        seed: 1,
+    };
+    let mut rc = ReconnectingClient::connect(addr, policy).expect("connect reconnecting");
+    let mut spec = SessionSpec::model_defaults(Simulator::VehicleTurning.table1_row() as u8);
+    spec.cache_capacity = CACHE_CAPACITY;
+    let session = rc.open_session(&spec).expect("open resumable session");
+
+    let chunks: Vec<&[WireTick]> = trace.chunks(RESUME_BATCH).collect();
+    let kill_every = chunks.len() / (RESUME_KILLS + 1);
+    let mut outcomes = Vec::with_capacity(RESUME_TICKS);
+    let mut resume_secs = Vec::new();
+    let mut server = Some(server);
+    for (i, chunk) in chunks.iter().enumerate() {
+        if i > 0 && i % kill_every == 0 && resume_secs.len() < RESUME_KILLS {
+            let old = server.take().expect("live server");
+            old.shutdown();
+            drop(old);
+            server = Some(Server::bind(addr, config.clone()).expect("rebind resume server"));
+            // The server is back; time reconnect + restore + replay
+            // up to the interrupted batch's outcomes being in hand.
+            let t0 = Instant::now();
+            outcomes.extend(rc.tick_batch(session.id, chunk).expect("resume batch"));
+            resume_secs.push(t0.elapsed().as_secs_f64());
+        } else {
+            outcomes.extend(rc.tick_batch(session.id, chunk).expect("tick batch"));
+        }
+    }
+    server.expect("live server").shutdown();
+
+    assert_eq!(rc.reconnects(), RESUME_KILLS as u64);
+    assert_eq!(outcomes.len(), direct.len());
+    for (i, (remote, local)) in outcomes.iter().zip(&direct).enumerate() {
+        assert_eq!(remote.seq, i as u64, "seq discontinuity across resume");
+        assert_eq!(&remote.to_step(), local, "resume/direct divergence");
+    }
+    assert!(outcomes.iter().any(|o| o.alarm()));
+
+    let mean = resume_secs.iter().sum::<f64>() / resume_secs.len() as f64;
+    let min = resume_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = resume_secs.iter().cloned().fold(0.0_f64, f64::max);
+    println!(
+        "reconnect_resume: {RESUME_KILLS} server kills over {RESUME_TICKS} ticks, \
+         resume latency mean {:.1} ms (min {:.1}, max {:.1}), \
+         resumed stream identical to direct engine",
+        1e3 * mean,
+        1e3 * min,
+        1e3 * max
+    );
+    Json::Obj(vec![
+        ("ticks".into(), Json::Int(RESUME_TICKS as u64)),
+        ("batch".into(), Json::Int(RESUME_BATCH as u64)),
+        ("server_kills".into(), Json::Int(RESUME_KILLS as u64)),
+        ("reconnects".into(), Json::Int(rc.reconnects())),
+        ("resume_mean_ms".into(), Json::Num(1e3 * mean)),
+        ("resume_min_ms".into(), Json::Num(1e3 * min)),
+        ("resume_max_ms".into(), Json::Num(1e3 * max)),
+        ("matches_direct_engine".into(), Json::Bool(true)),
+    ])
+}
+
 fn latency_json(l: &WireLatency) -> Json {
     Json::Obj(vec![
         ("count".into(), Json::Int(l.count)),
@@ -121,6 +209,10 @@ fn main() -> ExitCode {
     let metrics = client.metrics().expect("metrics");
     server.shutdown();
 
+    // Fault-tolerance section: its own server instance, so the kill
+    // cycles cannot disturb the throughput gate above.
+    let resume_report = reconnect_resume(&model);
+
     let meets_target = ticks_per_sec >= TARGET_TICKS_PER_SEC;
     let report = Json::Obj(vec![
         ("bench".into(), Json::str("serve_loopback")),
@@ -158,6 +250,7 @@ fn main() -> ExitCode {
                 ),
             ]),
         ),
+        ("reconnect_resume".into(), resume_report),
     ]);
     let path = write_json("BENCH_serve.json", &report);
 

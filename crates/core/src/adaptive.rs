@@ -1,7 +1,7 @@
 use awsad_linalg::Vector;
 use awsad_reach::{CacheStats, Deadline, DeadlineCache, DeadlineEstimator, DeadlineScratch};
 
-use crate::{DataLogger, DetectError, DetectorConfig, Result, WindowDetector};
+use crate::{DataLogger, DetectError, DetectorConfig, DetectorSnapshot, Result, WindowDetector};
 
 /// The outcome of one adaptive-detector step.
 #[derive(Debug, Clone, PartialEq)]
@@ -364,6 +364,68 @@ impl AdaptiveDetector {
         self.prev_window = self.config.max_window();
         self.steps_since_estimate = 0;
         self.cached_deadline = None;
+    }
+
+    /// Captures the detector's full mutable state, together with the
+    /// retained window of `logger`, into a [`DetectorSnapshot`].
+    ///
+    /// Restoring the snapshot into a fresh detector/logger pair built
+    /// from the same configuration continues the outcome stream
+    /// bit-identically (see [`AdaptiveDetector::restore`]).
+    pub fn snapshot(&self, logger: &DataLogger) -> DetectorSnapshot {
+        DetectorSnapshot {
+            prev_window: self.prev_window,
+            steps_since_estimate: self.steps_since_estimate,
+            cached_deadline: self.cached_deadline,
+            initial_radius: self.initial_radius,
+            complementary_enabled: self.complementary_enabled,
+            reestimation_period: self.reestimation_period,
+            logger: logger.snapshot(),
+        }
+    }
+
+    /// Restores the state captured by [`AdaptiveDetector::snapshot`]
+    /// into this detector and `logger`, so the next
+    /// [`AdaptiveDetector::step`] produces exactly the outcome the
+    /// snapshotted detector would have produced.
+    ///
+    /// An installed deadline cache is kept as-is (with the exact
+    /// configuration it is decision-transparent, so a cold cache after
+    /// restore changes cost, never outcomes).
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidSnapshot`] when the snapshot is
+    /// inconsistent with this detector's configuration or internally
+    /// (window bounds, a non-finite or negative radius, a zero
+    /// re-estimation period, or a logger window that fails
+    /// [`DataLogger::restore`] validation). Detector and logger are
+    /// left unchanged on error.
+    pub fn restore(&mut self, logger: &mut DataLogger, snapshot: &DetectorSnapshot) -> Result<()> {
+        let invalid = |reason| Err(DetectError::InvalidSnapshot { reason });
+        if snapshot.prev_window < self.config.min_window()
+            || snapshot.prev_window > self.config.max_window()
+        {
+            return invalid("previous window outside [min_window, max_window]");
+        }
+        if !snapshot.initial_radius.is_finite() || snapshot.initial_radius < 0.0 {
+            return invalid("initial radius must be finite and non-negative");
+        }
+        if snapshot.reestimation_period == 0 {
+            return invalid("re-estimation period must be positive");
+        }
+        if snapshot.steps_since_estimate > snapshot.reestimation_period {
+            return invalid("aging counter exceeds the re-estimation period");
+        }
+        logger.restore(&snapshot.logger)?;
+        self.prev_window = snapshot.prev_window;
+        self.steps_since_estimate = snapshot.steps_since_estimate;
+        self.cached_deadline = snapshot.cached_deadline;
+        self.initial_radius = snapshot.initial_radius;
+        self.complementary_enabled = snapshot.complementary_enabled;
+        self.reestimation_period = snapshot.reestimation_period;
+        self.last_step_alloc_free = false;
+        Ok(())
     }
 }
 
@@ -750,6 +812,107 @@ mod tests {
         assert_eq!(w.misses, 1, "only the prewarm insert counts as a miss");
         assert_eq!(c.misses, 1);
         assert_eq!(w.hits, c.hits + 1, "warm detector hits on its first step");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identical_mid_stream() {
+        // Drive the escape scenario (spike + drift: window shrinks,
+        // complementary alarms fire) with a re-estimation period > 1 so
+        // the aging counter and cached deadline are both mid-flight at
+        // the cut point. The restored pair must continue the exact
+        // stream the uninterrupted pair produces.
+        let trace: Vec<f64> = (0..=18)
+            .map(|t| match t {
+                0..=5 => 0.0,
+                _ => 0.8 + 0.1 * (t as f64 - 6.0),
+            })
+            .collect();
+        let (mut logger_a, mut det_a) = setup(0.28, 10);
+        let (mut logger_b, mut det_b) = setup(0.28, 10);
+        det_a.set_reestimation_period(3);
+        det_b.set_reestimation_period(3);
+        det_a.set_initial_radius(0.05);
+        det_b.set_initial_radius(0.05);
+        let cut = 11;
+        // Uninterrupted reference run over the whole trace.
+        let expected: Vec<AdaptiveStep> = trace
+            .iter()
+            .map(|&x| {
+                logger_a.record(v(x), v(0.0));
+                det_a.step(&logger_a)
+            })
+            .collect();
+        // Interrupted run: step to the cut, snapshot, restore into a
+        // freshly built pair, continue there.
+        for &x in &trace[..cut] {
+            logger_b.record(v(x), v(0.0));
+            det_b.step(&logger_b);
+        }
+        let snap = det_b.snapshot(&logger_b);
+        let (mut logger_c, mut det_c) = setup(0.28, 10);
+        det_c.restore(&mut logger_c, &snap).unwrap();
+        let mut resumed: Vec<AdaptiveStep> = Vec::new();
+        for &x in &trace[cut..] {
+            logger_c.record(v(x), v(0.0));
+            resumed.push(det_c.step(&logger_c));
+        }
+        assert_eq!(resumed, expected[cut..].to_vec());
+        // The reference run must actually exercise the interesting
+        // machinery for the equality to mean anything.
+        assert!(expected.iter().any(|s| s.alarm()));
+        assert!(expected[cut..].iter().any(|s| s.window < 10));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let (mut logger, mut det) = setup(0.5, 10);
+        for _ in 0..6 {
+            logger.record(v(0.0), v(0.0));
+            det.step(&logger);
+        }
+        let good = det.snapshot(&logger);
+        let (mut fresh_logger, mut fresh_det) = setup(0.5, 10);
+        assert!(fresh_det.restore(&mut fresh_logger, &good).is_ok());
+
+        let mut bad = good.clone();
+        bad.prev_window = 99;
+        assert!(matches!(
+            fresh_det.restore(&mut fresh_logger, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        let mut bad = good.clone();
+        bad.reestimation_period = 0;
+        assert!(matches!(
+            fresh_det.restore(&mut fresh_logger, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        let mut bad = good.clone();
+        bad.initial_radius = f64::NAN;
+        assert!(matches!(
+            fresh_det.restore(&mut fresh_logger, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        let mut bad = good.clone();
+        bad.logger.next_step += 1;
+        assert!(matches!(
+            fresh_det.restore(&mut fresh_logger, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        let mut bad = good.clone();
+        bad.logger.entries[2].step += 1;
+        assert!(matches!(
+            fresh_det.restore(&mut fresh_logger, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        let mut bad = good.clone();
+        bad.logger.entries[0].estimate = Vector::zeros(3);
+        assert!(matches!(
+            fresh_det.restore(&mut fresh_logger, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        // The good snapshot still restores after all the rejections —
+        // failed restores must leave the pair untouched.
+        assert!(fresh_det.restore(&mut fresh_logger, &good).is_ok());
     }
 
     #[test]

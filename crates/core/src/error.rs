@@ -34,6 +34,12 @@ pub enum DetectError {
         /// Explanation.
         reason: &'static str,
     },
+    /// A session snapshot failed validation against the detector /
+    /// logger pair it was being restored into.
+    InvalidSnapshot {
+        /// Explanation.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -55,6 +61,9 @@ impl fmt::Display for DetectError {
             ),
             DetectError::InvalidCusumParameter { reason } => {
                 write!(f, "invalid CUSUM parameter: {reason}")
+            }
+            DetectError::InvalidSnapshot { reason } => {
+                write!(f, "invalid session snapshot: {reason}")
             }
         }
     }
@@ -86,5 +95,10 @@ mod tests {
         }
         .to_string()
         .contains("drift"));
+        assert!(DetectError::InvalidSnapshot {
+            reason: "steps not contiguous"
+        }
+        .to_string()
+        .contains("contiguous"));
     }
 }

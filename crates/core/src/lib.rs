@@ -89,6 +89,7 @@ mod error;
 mod ewma;
 mod logger;
 mod report;
+mod snapshot;
 mod window;
 
 pub use adaptive::{AdaptiveDetector, AdaptiveStep};
@@ -101,6 +102,7 @@ pub use error::DetectError;
 pub use ewma::EwmaDetector;
 pub use logger::{DataLogger, LogEntry, RetentionState};
 pub use report::DetectionReport;
+pub use snapshot::{DetectorSnapshot, LoggerSnapshot};
 pub use window::{FixedWindowDetector, WindowDetector};
 
 /// Result alias used throughout the crate.

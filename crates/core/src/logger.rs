@@ -3,6 +3,8 @@ use std::collections::VecDeque;
 use awsad_linalg::Vector;
 use awsad_lti::LtiSystem;
 
+use crate::{DetectError, LoggerSnapshot, Result};
+
 /// One logged control step: the state estimate, the control input
 /// applied *at* this step, the model prediction and the residual.
 #[derive(Debug, Clone, PartialEq)]
@@ -245,6 +247,65 @@ impl DataLogger {
     pub fn reset(&mut self) {
         self.entries.clear();
         self.next_step = 0;
+    }
+
+    /// Captures the retained window into a [`LoggerSnapshot`].
+    pub fn snapshot(&self) -> LoggerSnapshot {
+        LoggerSnapshot {
+            entries: self.entries.iter().cloned().collect(),
+            next_step: self.next_step,
+        }
+    }
+
+    /// Replaces the retained window with the contents of `snapshot`,
+    /// so subsequent [`DataLogger::record`] calls continue the stream
+    /// exactly where the snapshotted logger left off.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidSnapshot`] when the snapshot is
+    /// inconsistent: more entries than this logger retains, vector
+    /// dimensions that disagree with the model, non-contiguous or
+    /// non-ascending step indices, or a `next_step` that does not
+    /// follow the last entry. The logger is left unchanged on error.
+    pub fn restore(&mut self, snapshot: &LoggerSnapshot) -> Result<()> {
+        let invalid = |reason| Err(DetectError::InvalidSnapshot { reason });
+        if snapshot.entries.len() > self.max_window + 2 {
+            return invalid("more entries than the logger retains");
+        }
+        match snapshot.entries.last() {
+            Some(last) => {
+                if last.step.checked_add(1) != Some(snapshot.next_step) {
+                    return invalid("next_step must follow the last entry");
+                }
+            }
+            None => {
+                if snapshot.next_step != 0 {
+                    return invalid("empty snapshot must start at step 0");
+                }
+            }
+        }
+        for (i, entry) in snapshot.entries.iter().enumerate() {
+            if i > 0 && entry.step != snapshot.entries[i - 1].step + 1 {
+                return invalid("entry steps must be contiguous ascending");
+            }
+            if entry.estimate.len() != self.system.state_dim()
+                || entry.residual.len() != self.system.state_dim()
+                || entry
+                    .prediction
+                    .as_ref()
+                    .is_some_and(|p| p.len() != self.system.state_dim())
+            {
+                return invalid("entry state dimension mismatches the model");
+            }
+            if entry.input.len() != self.system.input_dim() {
+                return invalid("entry input dimension mismatches the model");
+            }
+        }
+        self.entries.clear();
+        self.entries.extend(snapshot.entries.iter().cloned());
+        self.next_step = snapshot.next_step;
+        Ok(())
     }
 }
 

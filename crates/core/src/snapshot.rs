@@ -1,0 +1,57 @@
+use awsad_reach::Deadline;
+
+use crate::LogEntry;
+
+/// The full mutable state of an [`AdaptiveDetector`] session plus its
+/// [`DataLogger`] window, extracted into a plain-data form that can be
+/// serialized, shipped across a connection, and restored into a fresh
+/// detector/logger pair built from the same configuration.
+///
+/// A snapshot deliberately excludes everything reconstructible from
+/// configuration: the [`DetectorConfig`], the deadline estimator, any
+/// installed [`awsad_reach::DeadlineCache`] (an exact cache is
+/// decision-transparent, so restoring with an empty one yields a
+/// bit-identical outcome stream), and the scratch buffers.
+///
+/// [`AdaptiveDetector`]: crate::AdaptiveDetector
+/// [`DataLogger`]: crate::DataLogger
+/// [`DetectorConfig`]: crate::DetectorConfig
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSnapshot {
+    /// Window size chosen at the previous step (`w_p`).
+    pub prev_window: usize,
+    /// Steps elapsed since the last fresh deadline query (the
+    /// re-estimation aging counter).
+    pub steps_since_estimate: usize,
+    /// The deadline estimate carried between queries, already aged to
+    /// the snapshot step. `None` forces a fresh query on the next step.
+    pub cached_deadline: Option<Deadline>,
+    /// Initial-state radius used for deadline queries (§3.3.1).
+    pub initial_radius: f64,
+    /// Whether complementary detection on window shrink is enabled.
+    pub complementary_enabled: bool,
+    /// Re-estimation period (1 = query every step).
+    pub reestimation_period: usize,
+    /// The retained logger window.
+    pub logger: LoggerSnapshot,
+}
+
+/// The retained window of a [`DataLogger`]: every entry still held
+/// (at most `w_m + 2`) plus the next step index.
+///
+/// The entries carry their stored predictions verbatim — the
+/// prediction of the oldest retained entry cannot be recomputed from
+/// the snapshot (its predecessor was already released), and the
+/// residual stream after restore must be bit-identical to an
+/// uninterrupted run.
+///
+/// [`DataLogger`]: crate::DataLogger
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggerSnapshot {
+    /// Retained entries, oldest first, with contiguous ascending steps.
+    pub entries: Vec<LogEntry>,
+    /// The step index the next [`DataLogger::record`] call will assign.
+    ///
+    /// [`DataLogger::record`]: crate::DataLogger::record
+    pub next_step: usize,
+}

@@ -3,7 +3,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger};
+use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger, DetectorSnapshot};
 use awsad_linalg::Vector;
 use awsad_reach::CacheStats;
 
@@ -80,6 +80,22 @@ pub struct TickOutcome {
     pub degraded: bool,
     /// The adaptive detector's full step outcome.
     pub step: AdaptiveStep,
+}
+
+/// The full state of one engine session, sufficient to recreate it —
+/// on this engine or another one — with an unbroken outcome stream:
+/// the detector/logger snapshot plus the session's submission
+/// sequence counter.
+///
+/// Produced by [`SessionHandle::snapshot`], consumed by
+/// [`DetectionEngine::restore_session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Detector adaptation state and retained logger window.
+    pub state: DetectorSnapshot,
+    /// The `seq` the next submitted tick will be assigned, so restored
+    /// sessions continue the per-session FIFO numbering without a gap.
+    pub next_seq: u64,
 }
 
 /// Error returned by [`SessionHandle::submit`].
@@ -258,6 +274,37 @@ impl DetectionEngine {
         logger: DataLogger,
         detector: AdaptiveDetector,
     ) -> (SessionHandle, mpsc::Receiver<TickOutcome>) {
+        self.add_session_with(logger, detector, 0)
+    }
+
+    /// Opens a session that resumes from `snapshot`: the detector and
+    /// logger (fresh instances built from the same configuration the
+    /// snapshot was taken under) are rewound to the snapshotted state
+    /// and the new session's outcome `seq` continues from the
+    /// snapshot's counter, so the combined pre/post-snapshot outcome
+    /// stream is indistinguishable from an uninterrupted session.
+    ///
+    /// # Errors
+    ///
+    /// [`awsad_core::DetectError::InvalidSnapshot`] when the snapshot
+    /// fails validation against the supplied detector/logger pair (see
+    /// [`AdaptiveDetector::restore`]); no session is created then.
+    pub fn restore_session(
+        &self,
+        mut logger: DataLogger,
+        mut detector: AdaptiveDetector,
+        snapshot: &SessionSnapshot,
+    ) -> awsad_core::Result<(SessionHandle, mpsc::Receiver<TickOutcome>)> {
+        detector.restore(&mut logger, &snapshot.state)?;
+        Ok(self.add_session_with(logger, detector, snapshot.next_seq))
+    }
+
+    fn add_session_with(
+        &self,
+        logger: DataLogger,
+        detector: AdaptiveDetector,
+        next_seq: u64,
+    ) -> (SessionHandle, mpsc::Receiver<TickOutcome>) {
         let id = {
             let mut next = self.shared.next_id.lock().expect("id lock");
             let id = SessionId(*next);
@@ -272,7 +319,7 @@ impl DetectionEngine {
                 ticks: VecDeque::new(),
                 scheduled: false,
                 closed: false,
-                next_seq: 0,
+                next_seq,
             }),
             space: Condvar::new(),
             state: Mutex::new(SessionState {
@@ -416,6 +463,32 @@ impl SessionHandle {
         self.slot.space.notify_all();
     }
 
+    /// Captures the session's full state as a [`SessionSnapshot`].
+    ///
+    /// Blocks until every tick already submitted to this session has
+    /// been processed (so the snapshot is a clean cut between two
+    /// ticks, never mid-batch), then copies the detector and logger
+    /// state plus the session's sequence counter. Ticks submitted
+    /// concurrently with the snapshot land on one side of the cut or
+    /// the other — callers wanting a deterministic cut should simply
+    /// not submit while snapshotting.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut inbox = self.slot.inbox.lock().expect("inbox lock");
+        while !inbox.ticks.is_empty() || inbox.scheduled {
+            inbox = self.slot.space.wait(inbox).expect("inbox lock");
+        }
+        // No drain can be running (scheduled is false) and none can
+        // start (that requires the inbox lock we hold), so the state
+        // lock is immediately available and the lock order here
+        // (inbox → state) cannot deadlock against drain_session's
+        // state → inbox.
+        let state = self.slot.state.lock().expect("state lock");
+        SessionSnapshot {
+            state: state.detector.snapshot(&state.logger),
+            next_seq: inbox.next_seq,
+        }
+    }
+
     /// Hit/miss counters of the session detector's deadline cache
     /// (`None` when no cache is installed).
     ///
@@ -468,6 +541,10 @@ fn drain_session(slot: &SessionSlot) {
             }
             if batch.is_empty() {
                 inbox.scheduled = false;
+                drop(inbox);
+                // Snapshot takers wait for the quiescent state this
+                // transition just established.
+                slot.space.notify_all();
                 return;
             }
         }
@@ -900,6 +977,108 @@ mod tests {
             m.batched_deadline_queries, 0,
             "no cache, nothing to coalesce"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_continues_stream_and_seq_across_engines() {
+        // Spike-then-drift trace that shrinks the window and trips
+        // alarms, so resuming exercises real adaptation state.
+        let trace: Vec<f64> = (0..60)
+            .map(|t| match t {
+                0..=9 => 0.0,
+                _ => 2.0 + 0.04 * (t as f64 - 10.0),
+            })
+            .collect();
+        let cut = 23;
+
+        // Uninterrupted reference.
+        let reference = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.28, 10);
+        let (ref_session, ref_out) = reference.add_session(logger, det);
+        for &x in &trace {
+            ref_session.submit(tick(x)).unwrap();
+        }
+        reference.drain();
+        let expected: Vec<TickOutcome> = ref_out.try_iter().collect();
+        assert!(expected.iter().any(|o| o.step.alarm()));
+
+        // Interrupted run: snapshot at the cut, kill the engine, then
+        // restore into a brand-new engine with fresh parts.
+        let first = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.28, 10);
+        let (session, out) = first.add_session(logger, det);
+        for &x in &trace[..cut] {
+            session.submit(tick(x)).unwrap();
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.next_seq, cut as u64);
+        let mut got: Vec<TickOutcome> = out.try_iter().collect();
+        drop(session);
+        drop(first);
+
+        let second = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.28, 10);
+        let (restored, out2) = second.restore_session(logger, det, &snap).unwrap();
+        for &x in &trace[cut..] {
+            restored.submit(tick(x)).unwrap();
+        }
+        second.drain();
+        got.extend(out2.try_iter());
+
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert_eq!(g.seq, e.seq, "seq numbering must continue gap-free");
+            assert_eq!(g.step, e.step, "outcome stream must be identical");
+        }
+    }
+
+    #[test]
+    fn snapshot_waits_for_queued_ticks() {
+        // Pile ticks up behind a stalled drain, then snapshot from
+        // another thread: the snapshot must block until every queued
+        // tick has been processed, so the captured state reflects all
+        // of them.
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            backpressure: BackpressurePolicy::Block,
+        });
+        let (logger, det) = parts(0.5, 10);
+        let (session, outcomes) = engine.add_session(logger, det);
+        let snap = {
+            let stall = session.slot.state.lock().unwrap();
+            for _ in 0..20 {
+                session.submit(tick(0.0)).unwrap();
+            }
+            let handle = std::thread::scope(|scope| {
+                let taker = scope.spawn(|| session.snapshot());
+                // The taker cannot finish while the drain is stalled.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                assert!(!taker.is_finished(), "snapshot returned mid-queue");
+                drop(stall);
+                taker.join().unwrap()
+            });
+            handle
+        };
+        assert_eq!(snap.next_seq, 20);
+        assert_eq!(snap.state.logger.next_step, 20);
+        assert_eq!(outcomes.try_iter().count(), 20);
+    }
+
+    #[test]
+    fn restore_session_rejects_bad_snapshots_without_creating_one() {
+        let engine = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.5, 10);
+        let (session, _out) = engine.add_session(logger, det);
+        for _ in 0..5 {
+            session.submit(tick(0.0)).unwrap();
+        }
+        let mut snap = session.snapshot();
+        snap.state.reestimation_period = 0;
+        let (logger, det) = parts(0.5, 10);
+        let before = engine.metrics().sessions_active;
+        assert!(engine.restore_session(logger, det, &snap).is_err());
+        assert_eq!(engine.metrics().sessions_active, before);
     }
 
     #[test]

@@ -42,8 +42,8 @@ mod metrics;
 mod pool;
 
 pub use engine::{
-    BackpressurePolicy, DetectionEngine, EngineConfig, SessionHandle, SessionId, SubmitError, Tick,
-    TickOutcome,
+    BackpressurePolicy, DetectionEngine, EngineConfig, SessionHandle, SessionId, SessionSnapshot,
+    SubmitError, Tick, TickOutcome,
 };
 pub use metrics::{bucket_bound_ns, LatencyHistogram, RuntimeMetrics, LATENCY_BUCKETS};
 pub use pool::WorkerPool;

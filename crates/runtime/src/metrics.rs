@@ -93,12 +93,17 @@ impl LatencyHistogram {
     /// the samples fall — a conservative quantile estimate. `None`
     /// before any sample, and `None` when the requested quantile
     /// lands in the overflow bucket (no finite bound would be
-    /// truthful there).
+    /// truthful there). `q = 0` reports the bound of the first
+    /// non-empty bucket (the minimum's bucket), so it too is `None`
+    /// when every sample overflowed.
     pub fn quantile_bound_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        // At least one sample must be covered: a target of zero would
+        // let the scan stop at bucket 0 even when that bucket — or
+        // every finite bucket — is empty.
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -252,6 +257,25 @@ mod tests {
         edge.record(Duration::from_nanos(last_bound));
         assert_eq!(edge.snapshot().overflow, 0);
         assert_eq!(edge.snapshot().quantile_bound_ns(1.0), Some(last_bound));
+    }
+
+    #[test]
+    fn zero_quantile_reports_first_nonempty_bucket_or_none() {
+        // Samples only in bucket 3 (129*2^2 < 1500 <= 128*2^4): the
+        // minimum's bound is bucket 3's, not bucket 0's.
+        let hist = HistInner::default();
+        hist.record(Duration::from_nanos(1500));
+        hist.record(Duration::from_nanos(1600));
+        let snap = hist.snapshot();
+        assert_eq!(snap.quantile_bound_ns(0.0), Some(2048));
+        // Every sample in overflow: no finite bound exists for any
+        // quantile, q = 0 included (the regression: it used to report
+        // Some(128) off the empty bucket 0).
+        let over = HistInner::default();
+        over.record(Duration::from_secs(10));
+        let snap = over.snapshot();
+        assert_eq!(snap.quantile_bound_ns(0.0), None);
+        assert_eq!(snap.quantile_bound_ns(1.0), None);
     }
 
     #[test]

@@ -7,14 +7,33 @@
 //! of `n`, and the server still returns one [`WireOutcome`] per tick
 //! in submission order, so the reconstructed `AdaptiveStep` stream is
 //! identical to stepping the engine in-process.
+//!
+//! # Reply correlation and poisoning
+//!
+//! Every request carries a correlation id that the server echoes on
+//! the reply, and the client verifies the echo. This closes a real
+//! desync bug: a reply that arrives *after* a
+//! [`Client::set_reply_timeout`] expiry used to sit in the socket
+//! buffer and be delivered as the answer to the *next* call —
+//! silently attributing outcomes to the wrong request. Now any
+//! mid-call transport failure (timeout, I/O error, protocol
+//! violation, correlation mismatch, wrong reply shape) marks the
+//! client **poisoned**: the stream position is unknown, so every
+//! subsequent call fails fast with [`ClientError::Poisoned`] instead
+//! of reading a stale frame. A poisoned client cannot be revived —
+//! reconnect (or use [`crate::ReconnectingClient`], which does so
+//! automatically and restores sessions from snapshots).
+//!
+//! Typed [`ClientError::Server`] errors do *not* poison: they are
+//! well-framed replies on a still-synchronized stream.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::wire::{
-    read_frame, write_frame, ErrorCode, Frame, ReadFrameError, SessionSpec, WireError, WireMetrics,
-    WireOutcome, WireTick, DEFAULT_MAX_FRAME_LEN,
+    read_envelope, write_frame_corr, ErrorCode, Frame, ReadFrameError, SessionSpec, WireError,
+    WireMetrics, WireOutcome, WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Everything that can go wrong on a client call.
@@ -36,7 +55,27 @@ pub enum ClientError {
     /// The server answered with a well-formed frame of the wrong
     /// type for the request (a server bug or a desynchronized
     /// stream).
-    UnexpectedReply(&'static str),
+    UnexpectedReply {
+        /// The frame type the request called for.
+        expected: &'static str,
+        /// The frame type that actually arrived.
+        got: &'static str,
+    },
+    /// The reply's correlation id does not match the request's — the
+    /// stream is delivering answers to some earlier call.
+    Desync {
+        /// Correlation id this call sent.
+        sent: u64,
+        /// Correlation id the reply carried.
+        got: u64,
+    },
+    /// A previous call on this client failed mid-stream; the reply
+    /// stream position is unknown and the connection must not be
+    /// reused.
+    Poisoned {
+        /// What poisoned the client.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -46,9 +85,17 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "protocol error: {e}"),
             ClientError::Closed => write!(f, "server closed the connection"),
             ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
-            ClientError::UnexpectedReply(expected) => {
-                write!(f, "unexpected reply frame (expected {expected})")
+            ClientError::UnexpectedReply { expected, got } => {
+                write!(f, "unexpected reply frame (expected {expected}, got {got})")
             }
+            ClientError::Desync { sent, got } => write!(
+                f,
+                "reply stream desynchronized (sent correlation id {sent}, reply carries {got})"
+            ),
+            ClientError::Poisoned { reason } => write!(
+                f,
+                "client poisoned by an earlier mid-stream failure ({reason}); reconnect required"
+            ),
         }
     }
 }
@@ -92,6 +139,8 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     max_frame_len: u32,
+    next_corr: u64,
+    poisoned: Option<&'static str>,
 }
 
 impl Client {
@@ -110,17 +159,23 @@ impl Client {
             reader,
             writer: BufWriter::new(stream),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            next_corr: 1,
+            poisoned: None,
         };
         let hello = Frame::Hello {
             client: format!("awsad-serve-client/{}", env!("CARGO_PKG_VERSION")),
         };
         match client.call(&hello)? {
             Frame::HelloAck { .. } => Ok(client),
-            other => Err(unexpected("HelloAck", other)),
+            other => Err(client.unexpected("HelloAck", &other)),
         }
     }
 
     /// Sets a read timeout for replies (`None` = block forever).
+    ///
+    /// A call that times out poisons the client (see the module docs):
+    /// the reply may still arrive later, and reading it as the answer
+    /// to a subsequent request would misattribute outcomes.
     ///
     /// # Errors
     ///
@@ -128,6 +183,18 @@ impl Client {
     pub fn set_reply_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
         self.reader.get_ref().set_read_timeout(timeout)?;
         Ok(())
+    }
+
+    /// Why this client refuses calls, if a mid-stream failure has
+    /// poisoned it; `None` while healthy.
+    pub fn poisoned(&self) -> Option<&'static str> {
+        self.poisoned
+    }
+
+    /// Whether a mid-stream failure has poisoned this client (every
+    /// further call will fail with [`ClientError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     /// Opens a detection session described by `spec`.
@@ -148,7 +215,7 @@ impl Client {
                 state_dim: state_dim as usize,
                 input_dim: input_dim as usize,
             }),
-            other => Err(unexpected("SessionOpened", other)),
+            other => Err(self.unexpected("SessionOpened", &other)),
         }
     }
 
@@ -166,9 +233,19 @@ impl Client {
                 input: input.to_vec(),
             }],
         )?;
-        outcomes
-            .pop()
-            .ok_or(ClientError::UnexpectedReply("exactly one outcome"))
+        match outcomes.pop() {
+            Some(outcome) => Ok(outcome),
+            None => {
+                // tick_batch checked the count, so this is
+                // unreachable; poison anyway rather than trust a
+                // stream that just contradicted itself.
+                self.poisoned = Some("empty outcome batch for a one-tick request");
+                Err(ClientError::UnexpectedReply {
+                    expected: "exactly one outcome",
+                    got: "empty TickOutcomes",
+                })
+            }
+        }
     }
 
     /// Submits a batch of ticks in one round trip and blocks until
@@ -178,7 +255,8 @@ impl Client {
     ///
     /// As [`Client::tick`]; additionally
     /// [`ClientError::UnexpectedReply`] if the server returns a
-    /// mismatched outcome count or session id.
+    /// mismatched outcome count or session id (which also poisons the
+    /// client — such a reply means the stream cannot be trusted).
     pub fn tick_batch(&mut self, session: u64, ticks: &[WireTick]) -> Result<Vec<WireOutcome>> {
         let n = ticks.len();
         let request = Frame::Tick {
@@ -191,13 +269,80 @@ impl Client {
                 outcomes,
             } => {
                 if got_session != session || outcomes.len() != n {
-                    return Err(ClientError::UnexpectedReply(
-                        "outcomes for the submitted batch",
-                    ));
+                    self.poisoned = Some("outcome batch does not match the submitted batch");
+                    return Err(ClientError::UnexpectedReply {
+                        expected: "outcomes for the submitted batch",
+                        got: "TickOutcomes",
+                    });
                 }
                 Ok(outcomes)
             }
-            other => Err(unexpected("TickOutcomes", other)),
+            other => Err(self.unexpected("TickOutcomes", &other)),
+        }
+    }
+
+    /// Fetches a bit-exact snapshot of a session's detector state —
+    /// enough to rebuild it with [`Client::restore_session`] on any
+    /// connection (including to a restarted server) such that the
+    /// resumed outcome stream is byte-identical to an uninterrupted
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownSession`] on
+    /// an id this connection does not own; transport failures
+    /// otherwise. A pre-snapshot server answers
+    /// [`ClientError::Wire`] (unknown frame type) and drops the
+    /// connection.
+    pub fn snapshot_session(&mut self, session: u64) -> Result<WireSessionState> {
+        match self.call(&Frame::SnapshotSession { session })? {
+            Frame::SessionSnapshot {
+                session: got_session,
+                state,
+            } => {
+                if got_session != session {
+                    self.poisoned = Some("snapshot for a different session");
+                    return Err(ClientError::UnexpectedReply {
+                        expected: "snapshot of the requested session",
+                        got: "SessionSnapshot",
+                    });
+                }
+                Ok(state)
+            }
+            other => Err(self.unexpected("SessionSnapshot", &other)),
+        }
+    }
+
+    /// Opens a session resumed from `state` (as returned by
+    /// [`Client::snapshot_session`]) under `spec` — the spec must be
+    /// the one the snapshotted session was opened with. The server
+    /// assigns a fresh id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::BadSnapshot`] when
+    /// the state fails validation against the spec; otherwise as
+    /// [`Client::open_session`].
+    pub fn restore_session(
+        &mut self,
+        spec: &SessionSpec,
+        state: &WireSessionState,
+    ) -> Result<RemoteSession> {
+        let request = Frame::RestoreSession {
+            spec: spec.clone(),
+            state: state.clone(),
+        };
+        match self.call(&request)? {
+            Frame::SessionOpened {
+                session,
+                state_dim,
+                input_dim,
+            } => Ok(RemoteSession {
+                id: session,
+                state_dim: state_dim as usize,
+                input_dim: input_dim as usize,
+            }),
+            other => Err(self.unexpected("SessionOpened", &other)),
         }
     }
 
@@ -211,7 +356,7 @@ impl Client {
     pub fn close_session(&mut self, session: u64) -> Result<()> {
         match self.call(&Frame::CloseSession { session })? {
             Frame::SessionClosed { .. } => Ok(()),
-            other => Err(unexpected("SessionClosed", other)),
+            other => Err(self.unexpected("SessionClosed", &other)),
         }
     }
 
@@ -223,22 +368,62 @@ impl Client {
     pub fn metrics(&mut self) -> Result<WireMetrics> {
         match self.call(&Frame::MetricsQuery)? {
             Frame::MetricsReply(m) => Ok(m),
-            other => Err(unexpected("MetricsReply", other)),
+            other => Err(self.unexpected("MetricsReply", &other)),
         }
     }
 
     /// One request/reply round trip. [`Frame::Error`] replies are
     /// lifted into [`ClientError::Server`] here so every typed method
     /// above only matches its success frame.
+    ///
+    /// This is where the stream-integrity invariants live: a poisoned
+    /// client refuses the call outright; a transport failure or a
+    /// correlation-id mismatch poisons it. Server error frames pass
+    /// through without poisoning — they are well-framed replies on a
+    /// healthy stream.
     fn call(&mut self, request: &Frame) -> Result<Frame> {
-        write_frame(&mut self.writer, request)?;
-        match read_frame(&mut self.reader, self.max_frame_len)? {
+        if let Some(reason) = self.poisoned {
+            return Err(ClientError::Poisoned { reason });
+        }
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        if let Err(e) = write_frame_corr(&mut self.writer, request, Some(corr)) {
+            self.poisoned = Some("write failed mid-call");
+            return Err(e.into());
+        }
+        let envelope = match read_envelope(&mut self.reader, self.max_frame_len) {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                self.poisoned = Some(match &e {
+                    ReadFrameError::Closed => "connection closed mid-call",
+                    ReadFrameError::Io(_) => "read failed or timed out mid-call",
+                    ReadFrameError::Wire(_) => "malformed reply frame",
+                });
+                return Err(e.into());
+            }
+        };
+        // A legacy server does not echo correlation ids; `None` is
+        // trusted for compatibility. A *wrong* id is proof of desync.
+        if let Some(got) = envelope.corr {
+            if got != corr {
+                self.poisoned = Some("reply correlation id mismatch");
+                return Err(ClientError::Desync { sent: corr, got });
+            }
+        }
+        match envelope.frame {
             Frame::Error { code, message } => Err(ClientError::Server { code, message }),
             frame => Ok(frame),
         }
     }
-}
 
-fn unexpected(expected: &'static str, _got: Frame) -> ClientError {
-    ClientError::UnexpectedReply(expected)
+    /// Records an unexpected (but well-framed) reply. The correlation
+    /// id matched, yet the frame type is wrong for the request — a
+    /// server bug either way, so the stream cannot be trusted.
+    fn unexpected(&mut self, expected: &'static str, got: &Frame) -> ClientError {
+        self.poisoned = Some("reply frame type did not match the request");
+        ClientError::UnexpectedReply {
+            expected,
+            got: got.type_name(),
+        }
+    }
 }

@@ -22,11 +22,21 @@
 //!   and graceful shutdown via a flag + listener wakeup.
 //! * [`client`] — a blocking **client library** with single-tick and
 //!   batched-tick APIs, used by `examples/serve_demo.rs` and the
-//!   `serve_loopback` throughput bench.
+//!   `serve_loopback` throughput bench. Every request carries a
+//!   correlation id the server echoes, and a mid-stream failure
+//!   poisons the client rather than risking reply misattribution.
+//! * [`reconnect`] — [`ReconnectingClient`], which makes detection
+//!   sessions survive connection failure: it checkpoints each session
+//!   (`SnapshotSession`) after every batch, reconnects with
+//!   decorrelated-jitter backoff, restores sessions
+//!   (`RestoreSession`) on the fresh connection, and replays the
+//!   interrupted batch — the resumed outcome stream is byte-identical
+//!   to an uninterrupted run, even across a server restart.
 //!
 //! The server answers [`wire::Frame::MetricsQuery`] with the engine's
 //! [`awsad_runtime::RuntimeMetrics`] plus its own transport counters
-//! (frames in/out, decode errors, dropped connections).
+//! (frames in/out, decode errors, dropped connections, idle-TTL
+//! session evictions).
 //!
 //! # Quickstart
 //!
@@ -55,12 +65,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod reconnect;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, RemoteSession};
+pub use reconnect::{ReconnectingClient, RetryPolicy};
 pub use server::{Server, ServerConfig, TransportMetrics};
 pub use wire::{
-    ErrorCode, Frame, SessionSpec, WireError, WireLatency, WireMetrics, WireOutcome, WireTick,
-    DEFAULT_MAX_FRAME_LEN, VERSION,
+    ErrorCode, Frame, SessionSpec, WireError, WireLatency, WireMetrics, WireOutcome,
+    WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN, VERSION,
 };

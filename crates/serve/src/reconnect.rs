@@ -1,0 +1,365 @@
+//! A self-healing client: reconnects through transport failure and
+//! resumes its detection sessions from snapshots.
+//!
+//! [`Client`] is deliberately brittle — any mid-stream failure poisons
+//! it, because the reply stream can no longer be trusted.
+//! [`ReconnectingClient`] layers the recovery protocol on top:
+//!
+//! 1. after every successful batch it snapshots the session
+//!    ([`Client::snapshot_session`]) and keeps the state as its
+//!    **checkpoint**; outcomes are returned to the caller only once
+//!    the checkpoint is stored;
+//! 2. on any transport failure it drops the connection, backs off
+//!    (decorrelated jitter, deterministic per seed), reconnects, and
+//!    restores every tracked session from its checkpoint
+//!    ([`Client::restore_session`]);
+//! 3. it then **replays** the interrupted batch. The detector is
+//!    deterministic and the checkpoint is bit-exact, so the replay
+//!    produces exactly the outcomes the lost reply would have carried
+//!    — the caller-visible outcome stream is byte-identical to an
+//!    uninterrupted run, even if the server was killed and restarted
+//!    between two ticks.
+//!
+//! Typed server errors ([`ClientError::Server`]) are *not* retried:
+//! they are authoritative answers, not transport noise.
+//!
+//! Session ids returned by this type are **local** and stable across
+//! reconnects; the remote id may change every time the session is
+//! restored under a fresh connection.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+use crate::client::{Client, ClientError, RemoteSession, Result};
+use crate::wire::{SessionSpec, WireMetrics, WireOutcome, WireSessionState, WireTick};
+
+/// Backoff and retry limits for [`ReconnectingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Reconnection attempts per recovery (each one call may trigger
+    /// at most one recovery sequence); attempts beyond this surface
+    /// the underlying error to the caller.
+    pub max_retries: u32,
+    /// First backoff delay, and the floor for every later one.
+    pub base_delay: Duration,
+    /// Cap on any single backoff delay.
+    pub max_delay: Duration,
+    /// Seed for the jitter PRNG — equal seeds give identical backoff
+    /// schedules, which keeps chaos tests deterministic.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// One session as tracked across reconnects.
+#[derive(Debug)]
+struct TrackedSession {
+    spec: SessionSpec,
+    remote: RemoteSession,
+    /// Bit-exact detector state as of the last successful batch
+    /// (`None` until then — restoring such a session is a fresh open,
+    /// which is the same state).
+    checkpoint: Option<WireSessionState>,
+}
+
+/// A client that survives connection failure: see the module docs for
+/// the checkpoint/restore/replay protocol.
+#[derive(Debug)]
+pub struct ReconnectingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: u64,
+    last_delay: Duration,
+    client: Option<Client>,
+    sessions: HashMap<u64, TrackedSession>,
+    next_local: u64,
+    reconnects: u64,
+    connected_once: bool,
+}
+
+impl ReconnectingClient {
+    /// Resolves `addr` once and connects (retrying per `policy`).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution failure, or the last connect error once
+    /// retries are exhausted.
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<ReconnectingClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(std::io::Error::other("address resolved to nothing")))?;
+        let mut rc = ReconnectingClient {
+            addr,
+            last_delay: policy.base_delay,
+            rng: if policy.seed == 0 {
+                // xorshift has a zero fixed point; substitute the
+                // default increment.
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                policy.seed
+            },
+            policy,
+            client: None,
+            sessions: HashMap::new(),
+            next_local: 1,
+            reconnects: 0,
+            connected_once: false,
+        };
+        rc.recover()?;
+        Ok(rc)
+    }
+
+    /// Connections (re-)established over this client's lifetime,
+    /// minus the first — i.e. how many times transport failure forced
+    /// a recovery.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Opens a tracked session. The returned [`RemoteSession::id`] is
+    /// a *local* id, stable across reconnects; pass it to
+    /// [`ReconnectingClient::tick_batch`] etc.
+    ///
+    /// # Errors
+    ///
+    /// Non-retryable [`ClientError::Server`] rejections, or transport
+    /// failure once retries are exhausted.
+    pub fn open_session(&mut self, spec: &SessionSpec) -> Result<RemoteSession> {
+        let remote = self.with_retry(|client| client.open_session(spec))?;
+        let local = self.next_local;
+        self.next_local += 1;
+        self.sessions.insert(
+            local,
+            TrackedSession {
+                spec: spec.clone(),
+                remote,
+                checkpoint: None,
+            },
+        );
+        Ok(RemoteSession {
+            id: local,
+            ..remote
+        })
+    }
+
+    /// Submits one tick; see [`ReconnectingClient::tick_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ReconnectingClient::tick_batch`].
+    pub fn tick(&mut self, session: u64, estimate: &[f64], input: &[f64]) -> Result<WireOutcome> {
+        let mut outcomes = self.tick_batch(
+            session,
+            &[WireTick {
+                estimate: estimate.to_vec(),
+                input: input.to_vec(),
+            }],
+        )?;
+        outcomes.pop().ok_or(ClientError::UnexpectedReply {
+            expected: "exactly one outcome",
+            got: "empty TickOutcomes",
+        })
+    }
+
+    /// Submits a batch, surviving transport failure at any point: the
+    /// batch is replayed against the restored checkpoint until it
+    /// completes *and* the post-batch checkpoint is stored. Outcomes
+    /// are byte-identical to an uninterrupted run (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Non-retryable [`ClientError::Server`] errors (unknown session,
+    /// dimension mismatch, …), or the underlying transport error once
+    /// retries are exhausted.
+    pub fn tick_batch(&mut self, session: u64, ticks: &[WireTick]) -> Result<Vec<WireOutcome>> {
+        if !self.sessions.contains_key(&session) {
+            return Err(ClientError::UnexpectedReply {
+                expected: "a session opened on this client",
+                got: "unknown local session id",
+            });
+        }
+        let mut recoveries = 0u32;
+        loop {
+            let result = self.try_batch_once(session, ticks);
+            match result {
+                Ok(outcomes) => return Ok(outcomes),
+                Err(e) if !retryable(&e) => return Err(e),
+                Err(e) => {
+                    self.client = None;
+                    if recoveries >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    recoveries += 1;
+                    self.recover()?;
+                }
+            }
+        }
+    }
+
+    /// Closes and untracks a session. Transport failure here is
+    /// absorbed: the session is already untracked, so the next
+    /// recovery simply does not restore it and the server closes it
+    /// with the dead connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the server rejects the close
+    /// (e.g. the session was evicted for idleness).
+    pub fn close_session(&mut self, session: u64) -> Result<()> {
+        let Some(tracked) = self.sessions.remove(&session) else {
+            return Ok(());
+        };
+        match self.client.as_mut() {
+            Some(client) => match client.close_session(tracked.remote.id) {
+                Ok(()) => Ok(()),
+                Err(e) if retryable(&e) => {
+                    self.client = None;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            None => Ok(()),
+        }
+    }
+
+    /// Fetches server metrics (retrying through transport failure).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReconnectingClient::tick_batch`].
+    pub fn metrics(&mut self) -> Result<WireMetrics> {
+        self.with_retry(|client| client.metrics())
+    }
+
+    /// One attempt: run the batch on the current connection, then
+    /// checkpoint. Only a stored checkpoint makes the outcomes safe
+    /// to hand out — a failure after the batch but before the
+    /// checkpoint must replay the batch, not trust stale state.
+    fn try_batch_once(&mut self, session: u64, ticks: &[WireTick]) -> Result<Vec<WireOutcome>> {
+        if self.client.is_none() {
+            self.recover()?;
+        }
+        let remote_id = self.sessions[&session].remote.id;
+        let client = self.client.as_mut().expect("recovered client");
+        let outcomes = client.tick_batch(remote_id, ticks)?;
+        let state = client.snapshot_session(remote_id)?;
+        self.sessions
+            .get_mut(&session)
+            .expect("tracked session")
+            .checkpoint = Some(state);
+        Ok(outcomes)
+    }
+
+    /// Runs a non-tick call with the same recover-and-retry loop.
+    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut Client) -> Result<T>) -> Result<T> {
+        let mut recoveries = 0u32;
+        loop {
+            if self.client.is_none() {
+                self.recover()?;
+            }
+            match op(self.client.as_mut().expect("recovered client")) {
+                Ok(value) => return Ok(value),
+                Err(e) if !retryable(&e) => return Err(e),
+                Err(e) => {
+                    self.client = None;
+                    if recoveries >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    recoveries += 1;
+                }
+            }
+        }
+    }
+
+    /// (Re-)establishes the connection and restores every tracked
+    /// session from its checkpoint, with backoff between attempts.
+    fn recover(&mut self) -> Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_connect_and_restore() {
+                Ok(()) => {
+                    if self.connected_once {
+                        self.reconnects += 1;
+                    }
+                    self.connected_once = true;
+                    self.last_delay = self.policy.base_delay;
+                    return Ok(());
+                }
+                Err(e) if !retryable(&e) => return Err(e),
+                Err(e) => {
+                    if attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    let delay = self.next_backoff();
+                    thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    fn try_connect_and_restore(&mut self) -> Result<()> {
+        let mut client = Client::connect(self.addr)?;
+        for tracked in self.sessions.values_mut() {
+            let restored = match &tracked.checkpoint {
+                Some(state) => client.restore_session(&tracked.spec, state)?,
+                // No batch ever completed: a fresh open is the same
+                // detector state.
+                None => client.open_session(&tracked.spec)?,
+            };
+            tracked.remote = restored;
+        }
+        self.client = Some(client);
+        Ok(())
+    }
+
+    /// Decorrelated-jitter backoff: uniform in
+    /// `[base, min(max, 3 * previous))`, never below `base`.
+    fn next_backoff(&mut self) -> Duration {
+        let base = self.policy.base_delay.as_nanos() as u64;
+        let ceiling = (self.last_delay.as_nanos() as u64)
+            .saturating_mul(3)
+            .min(self.policy.max_delay.as_nanos() as u64)
+            .max(base.saturating_add(1));
+        let span = ceiling - base;
+        let delay = Duration::from_nanos(base + self.next_u64() % span);
+        self.last_delay = delay;
+        delay
+    }
+
+    /// xorshift64* — deterministic, dependency-free jitter source.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Whether an error means "the transport is suspect, reconnect and
+/// retry" as opposed to "the server authoritatively said no".
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(_)
+        | ClientError::Wire(_)
+        | ClientError::Closed
+        | ClientError::Desync { .. }
+        | ClientError::Poisoned { .. }
+        | ClientError::UnexpectedReply { .. } => true,
+        ClientError::Server { .. } => false,
+    }
+}

@@ -2,12 +2,26 @@
 //! [`DetectionEngine`].
 //!
 //! Threading model: one accept thread plus **one reader thread per
-//! connection**. A connection thread owns its sessions exclusively
-//! (id lookup happens in a connection-local map, so one client can
-//! never address another's session) and speaks a strict
-//! request/reply discipline: every decoded frame is answered by
-//! exactly one reply frame. Cross-connection concurrency comes from
-//! the engine's worker pool, not from interleaving on a socket.
+//! connection**. Sessions live in a server-wide registry keyed by
+//! session id, but every entry records the connection that opened it
+//! and lookups check that owner — so one client can never address
+//! another's session, exactly as when the map was connection-local.
+//! Each connection speaks a strict request/reply discipline: every
+//! decoded frame is answered by exactly one reply frame, and a
+//! request's correlation id (when present) is echoed on its reply.
+//! Cross-connection concurrency comes from the engine's worker pool,
+//! not from interleaving on a socket.
+//!
+//! Session lifetime: a connection's sessions are closed when the
+//! connection ends (any cause). A client that wants its detector
+//! state to survive transport failure snapshots it
+//! ([`Frame::SnapshotSession`]) and restores it on a fresh connection
+//! ([`Frame::RestoreSession`]) — the engine rebuilds the session
+//! bit-exactly, so the resumed outcome stream is byte-identical to an
+//! uninterrupted run. `crate::ReconnectingClient` automates this.
+//! Orthogonally, [`ServerConfig::session_ttl`] lets the server evict
+//! sessions a *live* connection has left idle; the accept thread
+//! sweeps for them between accepts.
 //!
 //! Hostile-input posture, per the serving-layer design:
 //!
@@ -19,7 +33,10 @@
 //!   ticks still drain, and every other session keeps ticking;
 //! * sockets carry a read timeout so connection threads observe the
 //!   shutdown flag within [`ServerConfig::read_timeout`] even while a
-//!   peer is idle or trickling bytes mid-frame;
+//!   peer is idle or trickling bytes mid-frame, and a frame that does
+//!   not complete within [`ServerConfig::frame_deadline`] of its
+//!   first byte drops the connection — a slow-loris peer ties up only
+//!   its own connection, and only for a bounded time;
 //! * overload maps onto the engine's own backpressure: under
 //!   [`BackpressurePolicy::Block`](awsad_runtime::BackpressurePolicy)
 //!   a flooding client is throttled by its own unanswered batch, and
@@ -32,9 +49,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use awsad_core::{AdaptiveDetector, DetectorConfig};
+use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
 use awsad_linalg::Vector;
 use awsad_models::Simulator;
 use awsad_reach::{CacheConfig, DeadlineCache};
@@ -44,8 +61,8 @@ use awsad_runtime::{
 };
 
 use crate::wire::{
-    read_frame, write_frame, ErrorCode, Frame, ReadFrameError, SessionSpec, WireLatency,
-    WireMetrics, WireOutcome, DEFAULT_MAX_FRAME_LEN,
+    read_envelope, write_frame, write_frame_corr, ErrorCode, Frame, ReadFrameError, SessionSpec,
+    WireLatency, WireMetrics, WireOutcome, WireSessionState, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Server construction parameters.
@@ -68,6 +85,19 @@ pub struct ServerConfig {
     pub max_sessions_per_connection: usize,
     /// Name returned in the `HelloAck` handshake.
     pub server_name: String,
+    /// Evict sessions that have not served a request for this long
+    /// (`None` — the default — never evicts). Eviction closes the
+    /// session exactly as `CloseSession` would; the owning client's
+    /// next use gets [`ErrorCode::UnknownSession`]. The sweep runs on
+    /// the accept thread between accepts, so expect eviction within
+    /// roughly a sweep interval (~10 ms) past the deadline.
+    pub session_ttl: Option<Duration>,
+    /// Maximum wall-clock time a single frame may take from its first
+    /// byte to its last. A peer that stalls mid-frame past this
+    /// deadline is disconnected (counted in `connections_dropped`),
+    /// bounding how long a slow-loris writer can hold a connection
+    /// thread.
+    pub frame_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +109,8 @@ impl Default for ServerConfig {
             outcome_timeout: Duration::from_secs(30),
             max_sessions_per_connection: 64,
             server_name: format!("awsad-serve/{}", env!("CARGO_PKG_VERSION")),
+            session_ttl: None,
+            frame_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -92,6 +124,7 @@ struct TransportInner {
     decode_errors: AtomicU64,
     connections_opened: AtomicU64,
     connections_dropped: AtomicU64,
+    sessions_evicted: AtomicU64,
 }
 
 /// A point-in-time copy of the server's transport counters.
@@ -109,6 +142,9 @@ pub struct TransportMetrics {
     /// Connections torn down for cause — decode error or transport
     /// I/O failure (clean client closes do not count).
     pub connections_dropped: u64,
+    /// Sessions closed by the idle-TTL sweep
+    /// ([`ServerConfig::session_ttl`]).
+    pub sessions_evicted: u64,
 }
 
 impl TransportInner {
@@ -119,8 +155,28 @@ impl TransportInner {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
         }
     }
+}
+
+/// The mutable half of a registered session. Locked for the duration
+/// of each request touching the session; the TTL sweep `try_lock`s it
+/// so an in-flight request is never evicted under itself.
+struct SessionInner {
+    handle: SessionHandle,
+    outcomes: mpsc::Receiver<TickOutcome>,
+}
+
+/// One open session in the server-wide registry.
+struct ServeSession {
+    /// Connection that opened it; lookups from any other connection
+    /// answer `UnknownSession`.
+    owner: u64,
+    state_dim: usize,
+    input_dim: usize,
+    last_used: Mutex<Instant>,
+    inner: Mutex<SessionInner>,
 }
 
 struct ServerShared {
@@ -128,6 +184,11 @@ struct ServerShared {
     engine: DetectionEngine,
     transport: TransportInner,
     shutdown: AtomicBool,
+    next_conn_id: AtomicU64,
+    /// Server-wide session registry; entries carry their owning
+    /// connection id. Dropping an entry closes its session (the
+    /// handle's `Drop` does the close).
+    sessions: Mutex<HashMap<u64, Arc<ServeSession>>>,
     /// Joined on shutdown; finished threads are reaped opportunistically
     /// by the accept loop so a long-lived server does not accumulate
     /// handles for long-gone connections.
@@ -161,11 +222,16 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Non-blocking accepts let the same thread run the idle-session
+        // sweep between connection attempts.
+        listener.set_nonblocking(true)?;
         let shared = Arc::new(ServerShared {
             engine: DetectionEngine::new(config.engine.clone()),
             config,
             transport: TransportInner::default(),
             shutdown: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(1),
+            sessions: Mutex::new(HashMap::new()),
             connections: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -201,8 +267,9 @@ impl Server {
     /// engine. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // The accept thread may be parked in accept(); poke it with a
-        // throwaway connection so it observes the flag.
+        // The accept thread polls the shutdown flag between
+        // non-blocking accept attempts; a throwaway connection is not
+        // needed but hurries it along on a loaded box.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.accept_thread.lock().expect("accept lock").take() {
             let _ = handle.join();
@@ -228,25 +295,38 @@ impl Drop for Server {
 
 fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
     loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // The listener's non-blocking flag is inherited by
+                // accepted sockets on some platforms; connection
+                // threads want plain blocking reads with a timeout.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
                 shared
                     .transport
                     .connections_opened
                     .fetch_add(1, Ordering::Relaxed);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(&shared);
                 let handle = thread::Builder::new()
                     .name("awsad-serve-conn".into())
-                    .spawn(move || handle_connection(stream, conn_shared))
+                    .spawn(move || handle_connection(stream, conn_shared, conn_id))
                     .expect("spawn connection thread");
                 let mut conns = shared.connections.lock().expect("connections lock");
                 conns.retain(|h| !h.is_finished());
                 conns.push(handle);
             }
-            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                sweep_idle_sessions(&shared);
+                thread::sleep(Duration::from_millis(10));
+            }
             Err(_) => {
                 // Transient accept failure (e.g. EMFILE); back off
                 // briefly instead of spinning.
@@ -256,15 +336,59 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
     }
 }
 
+/// Closes registry sessions idle past [`ServerConfig::session_ttl`].
+/// A session whose `inner` lock is held is mid-request — by
+/// definition not idle — and is skipped via `try_lock`.
+fn sweep_idle_sessions(shared: &ServerShared) {
+    let Some(ttl) = shared.config.session_ttl else {
+        return;
+    };
+    let now = Instant::now();
+    let mut registry = shared.sessions.lock().expect("session registry lock");
+    registry.retain(|_, session| {
+        let Ok(_inner) = session.inner.try_lock() else {
+            return true;
+        };
+        // Re-check idleness under the inner lock: a request that
+        // finished between our `now` and this try_lock has already
+        // refreshed `last_used`.
+        let last = *session.last_used.lock().expect("last_used lock");
+        if now.saturating_duration_since(last) < ttl {
+            return true;
+        }
+        shared
+            .transport
+            .sessions_evicted
+            .fetch_add(1, Ordering::Relaxed);
+        false
+    });
+}
+
 /// Wraps the connection socket so blocking reads wake up every
 /// [`ServerConfig::read_timeout`] to observe the shutdown flag — even
 /// mid-frame, so a byte-trickling peer cannot pin a thread across
 /// shutdown. Reads never return `WouldBlock` to the framing layer;
 /// they either deliver bytes, report a real error, or fail with
 /// [`io::ErrorKind::Other`] once shutdown is requested.
+///
+/// The reader also enforces [`ServerConfig::frame_deadline`]: a timer
+/// arms on the first byte read after [`Self::frame_done`] (i.e. the
+/// first byte of a frame) and a read past the deadline fails with
+/// [`io::ErrorKind::TimedOut`], so a slow-loris peer holds its
+/// connection thread for at most one deadline.
 struct ShutdownAwareReader<'a> {
     stream: BufReader<TcpStream>,
     shutdown: &'a AtomicBool,
+    frame_deadline: Duration,
+    mid_frame_since: Option<Instant>,
+}
+
+impl ShutdownAwareReader<'_> {
+    /// Marks the current frame complete, disarming the mid-frame
+    /// stall deadline until the next byte arrives.
+    fn frame_done(&mut self) {
+        self.mid_frame_since = None;
+    }
 }
 
 impl Read for ShutdownAwareReader<'_> {
@@ -273,7 +397,21 @@ impl Read for ShutdownAwareReader<'_> {
             if self.shutdown.load(Ordering::SeqCst) {
                 return Err(io::Error::other("server shutting down"));
             }
+            if let Some(since) = self.mid_frame_since {
+                if since.elapsed() >= self.frame_deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "frame not completed within the frame deadline",
+                    ));
+                }
+            }
             match self.stream.read(buf) {
+                Ok(n) => {
+                    if n > 0 && self.mid_frame_since.is_none() {
+                        self.mid_frame_since = Some(Instant::now());
+                    }
+                    return Ok(n);
+                }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut => {}
@@ -283,15 +421,7 @@ impl Read for ShutdownAwareReader<'_> {
     }
 }
 
-/// One open session as a connection thread sees it.
-struct ConnSession {
-    handle: SessionHandle,
-    outcomes: mpsc::Receiver<TickOutcome>,
-    state_dim: usize,
-    input_dim: usize,
-}
-
-fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
+fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>, conn_id: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let write_stream = match stream.try_clone() {
@@ -307,24 +437,26 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
     let mut reader = ShutdownAwareReader {
         stream: BufReader::new(stream),
         shutdown: &shared.shutdown,
+        frame_deadline: shared.config.frame_deadline,
+        mid_frame_since: None,
     };
     let mut writer = BufWriter::new(write_stream);
-    let mut sessions: HashMap<u64, ConnSession> = HashMap::new();
 
     loop {
-        let frame = match read_frame(&mut reader, shared.config.max_frame_len) {
-            Ok(frame) => frame,
-            Err(ReadFrameError::Closed) => return, // clean client close
+        let envelope = match read_envelope(&mut reader, shared.config.max_frame_len) {
+            Ok(envelope) => envelope,
+            Err(ReadFrameError::Closed) => break, // clean client close
             Err(ReadFrameError::Io(_)) => {
-                // Shutdown or transport failure; either way this
-                // connection is done.
+                // Shutdown, transport failure, or a mid-frame stall
+                // past the frame deadline; either way this connection
+                // is done.
                 if !shared.shutdown.load(Ordering::SeqCst) {
                     shared
                         .transport
                         .connections_dropped
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                return;
+                break;
             }
             Err(ReadFrameError::Wire(err)) => {
                 // Malformed traffic: count it, tell the peer why
@@ -344,28 +476,37 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
                 };
                 shared.transport.frames_out.fetch_add(1, Ordering::Relaxed);
                 let _ = write_frame(&mut writer, &reply);
-                return;
+                break;
             }
         };
+        reader.frame_done();
         shared.transport.frames_in.fetch_add(1, Ordering::Relaxed);
 
-        let reply = handle_frame(&shared, &mut sessions, frame);
+        let reply = handle_frame(&shared, conn_id, envelope.frame);
         // Count before the bytes hit the wire: a client that has read
         // its reply must observe the counter already bumped, which
         // keeps `frames_out` exact from any observer's point of view
         // (the write-failure path below tears the connection down, so
         // the one-frame overcount there is visible as a drop).
         shared.transport.frames_out.fetch_add(1, Ordering::Relaxed);
-        if write_frame(&mut writer, &reply).is_err() {
+        // Echo the request's correlation id (legacy corr-less request
+        // → legacy corr-less reply, byte-identical to older servers).
+        if write_frame_corr(&mut writer, &reply, envelope.corr).is_err() {
             shared
                 .transport
                 .connections_dropped
                 .fetch_add(1, Ordering::Relaxed);
-            return;
+            break;
         }
     }
-    // `sessions` drops here (or on any return): handles close, the
-    // engine keeps draining whatever was already queued.
+    // Close this connection's sessions: drop them from the registry
+    // (the handle's `Drop` closes each; the engine still drains
+    // whatever was already queued).
+    shared
+        .sessions
+        .lock()
+        .expect("session registry lock")
+        .retain(|_, s| s.owner != conn_id);
 }
 
 fn error(code: ErrorCode, message: impl Into<String>) -> Frame {
@@ -375,24 +516,49 @@ fn error(code: ErrorCode, message: impl Into<String>) -> Frame {
     }
 }
 
-fn handle_frame(
+/// Looks up `session` in the registry, enforcing connection
+/// ownership, and refreshes its idle clock.
+#[allow(clippy::result_large_err)] // Err is the ready-to-send reply frame; rare path
+fn lookup_session(
     shared: &ServerShared,
-    sessions: &mut HashMap<u64, ConnSession>,
-    frame: Frame,
-) -> Frame {
+    conn_id: u64,
+    session: u64,
+) -> Result<Arc<ServeSession>, Frame> {
+    let registry = shared.sessions.lock().expect("session registry lock");
+    match registry.get(&session) {
+        Some(s) if s.owner == conn_id => {
+            *s.last_used.lock().expect("last_used lock") = Instant::now();
+            Ok(Arc::clone(s))
+        }
+        // An existing session owned by another connection is reported
+        // exactly like a missing one: ids must not leak across
+        // clients.
+        _ => Err(error(
+            ErrorCode::UnknownSession,
+            format!("session {session}"),
+        )),
+    }
+}
+
+fn handle_frame(shared: &ServerShared, conn_id: u64, frame: Frame) -> Frame {
     match frame {
         Frame::Hello { client: _ } => Frame::HelloAck {
             server: shared.config.server_name.clone(),
         },
-        Frame::OpenSession(spec) => open_session(shared, sessions, &spec),
-        Frame::Tick { session, ticks } => run_ticks(shared, sessions, session, ticks),
-        Frame::CloseSession { session } => match sessions.remove(&session) {
-            Some(conn_session) => {
-                conn_session.handle.close();
-                Frame::SessionClosed { session }
+        Frame::OpenSession(spec) => open_session(shared, conn_id, &spec, None),
+        Frame::RestoreSession { spec, state } => open_session(shared, conn_id, &spec, Some(&state)),
+        Frame::Tick { session, ticks } => run_ticks(shared, conn_id, session, ticks),
+        Frame::SnapshotSession { session } => snapshot_session(shared, conn_id, session),
+        Frame::CloseSession { session } => {
+            let mut registry = shared.sessions.lock().expect("session registry lock");
+            match registry.get(&session) {
+                Some(s) if s.owner == conn_id => {
+                    registry.remove(&session);
+                    Frame::SessionClosed { session }
+                }
+                _ => error(ErrorCode::UnknownSession, format!("session {session}")),
             }
-            None => error(ErrorCode::UnknownSession, format!("session {session}")),
-        },
+        }
         Frame::MetricsQuery => Frame::MetricsReply(wire_metrics(
             &shared.engine.metrics(),
             &shared.transport.snapshot(),
@@ -405,6 +571,7 @@ fn handle_frame(
         | Frame::TickOutcomes { .. }
         | Frame::SessionClosed { .. }
         | Frame::MetricsReply(_)
+        | Frame::SessionSnapshot { .. }
         | Frame::Error { .. } => error(
             ErrorCode::Internal,
             "reply-direction frame is not a valid request",
@@ -412,28 +579,20 @@ fn handle_frame(
     }
 }
 
-fn open_session(
-    shared: &ServerShared,
-    sessions: &mut HashMap<u64, ConnSession>,
+/// Builds the detector stack a spec describes. `Err` carries the
+/// ready-to-send error frame.
+#[allow(clippy::result_large_err)] // Err is the ready-to-send reply frame; rare path
+fn build_session_parts(
     spec: &SessionSpec,
-) -> Frame {
-    if sessions.len() >= shared.config.max_sessions_per_connection {
-        return error(
-            ErrorCode::SessionLimit,
-            format!(
-                "connection already holds {} sessions",
-                shared.config.max_sessions_per_connection
-            ),
-        );
-    }
+) -> Result<(DataLogger, AdaptiveDetector, usize, usize), Frame> {
     let Some(sim) = Simulator::all()
         .into_iter()
         .find(|s| s.table1_row() == spec.model as usize)
     else {
-        return error(
+        return Err(error(
             ErrorCode::BadModel,
             format!("no Table 1 row {} (valid: 1..=5)", spec.model),
-        );
+        ));
     };
     let model = sim.build();
     let w_m = if spec.max_window == 0 {
@@ -447,7 +606,7 @@ fn open_session(
         Vector::from_slice(&spec.threshold)
     };
     if threshold.len() != model.state_dim() {
-        return error(
+        return Err(error(
             ErrorCode::DimensionMismatch,
             format!(
                 "threshold has {} entries, {} wants {}",
@@ -455,19 +614,24 @@ fn open_session(
                 model.name,
                 model.state_dim()
             ),
-        );
+        ));
     }
     let det_cfg = match DetectorConfig::with_min_window(threshold, spec.min_window as usize, w_m) {
         Ok(cfg) => cfg,
-        Err(e) => return error(ErrorCode::Internal, format!("detector config: {e}")),
+        Err(e) => return Err(error(ErrorCode::Internal, format!("detector config: {e}"))),
     };
     let estimator = match model.deadline_estimator(w_m) {
         Ok(est) => est,
-        Err(e) => return error(ErrorCode::Internal, format!("deadline estimator: {e}")),
+        Err(e) => {
+            return Err(error(
+                ErrorCode::Internal,
+                format!("deadline estimator: {e}"),
+            ))
+        }
     };
     let mut detector = match AdaptiveDetector::new(det_cfg, estimator) {
         Ok(det) => det,
-        Err(e) => return error(ErrorCode::Internal, format!("detector: {e}")),
+        Err(e) => return Err(error(ErrorCode::Internal, format!("detector: {e}"))),
     };
     if spec.cache_capacity > 0 {
         detector.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(
@@ -475,39 +639,106 @@ fn open_session(
         )));
     }
     let logger = model.data_logger(w_m);
-    let (handle, outcomes) = shared.engine.add_session(logger, detector);
+    Ok((
+        logger,
+        detector,
+        model.state_dim(),
+        model.system.input_dim(),
+    ))
+}
+
+/// Opens a fresh session, or — when `restore` carries a snapshot —
+/// rebuilds one mid-stream. Both paths answer `SessionOpened`.
+fn open_session(
+    shared: &ServerShared,
+    conn_id: u64,
+    spec: &SessionSpec,
+    restore: Option<&WireSessionState>,
+) -> Frame {
+    {
+        let registry = shared.sessions.lock().expect("session registry lock");
+        if registry.values().filter(|s| s.owner == conn_id).count()
+            >= shared.config.max_sessions_per_connection
+        {
+            return error(
+                ErrorCode::SessionLimit,
+                format!(
+                    "connection already holds {} sessions",
+                    shared.config.max_sessions_per_connection
+                ),
+            );
+        }
+    }
+    let (logger, detector, state_dim, input_dim) = match build_session_parts(spec) {
+        Ok(parts) => parts,
+        Err(reply) => return reply,
+    };
+    let (handle, outcomes) = match restore {
+        None => shared.engine.add_session(logger, detector),
+        Some(state) => {
+            match shared
+                .engine
+                .restore_session(logger, detector, &state.to_snapshot())
+            {
+                Ok(pair) => pair,
+                Err(e) => return error(ErrorCode::BadSnapshot, format!("restore: {e}")),
+            }
+        }
+    };
     let id = handle.id().0;
-    sessions.insert(
-        id,
-        ConnSession {
-            handle,
-            outcomes,
-            state_dim: model.state_dim(),
-            input_dim: model.system.input_dim(),
-        },
-    );
+    shared
+        .sessions
+        .lock()
+        .expect("session registry lock")
+        .insert(
+            id,
+            Arc::new(ServeSession {
+                owner: conn_id,
+                state_dim,
+                input_dim,
+                last_used: Mutex::new(Instant::now()),
+                inner: Mutex::new(SessionInner { handle, outcomes }),
+            }),
+        );
     Frame::SessionOpened {
         session: id,
-        state_dim: model.state_dim() as u32,
-        input_dim: model.system.input_dim() as u32,
+        state_dim: state_dim as u32,
+        input_dim: input_dim as u32,
+    }
+}
+
+fn snapshot_session(shared: &ServerShared, conn_id: u64, session: u64) -> Frame {
+    let serve_session = match lookup_session(shared, conn_id, session) {
+        Ok(s) => s,
+        Err(reply) => return reply,
+    };
+    let inner = serve_session.inner.lock().expect("session inner lock");
+    // The strict request/reply discipline means every prior batch's
+    // outcomes have been delivered, so this only waits for queue
+    // drain (normally instant).
+    let snapshot = inner.handle.snapshot();
+    Frame::SessionSnapshot {
+        session,
+        state: WireSessionState::from_snapshot(&snapshot),
     }
 }
 
 fn run_ticks(
     shared: &ServerShared,
-    sessions: &mut HashMap<u64, ConnSession>,
+    conn_id: u64,
     session: u64,
     ticks: Vec<crate::wire::WireTick>,
 ) -> Frame {
-    let Some(conn_session) = sessions.get(&session) else {
-        return error(ErrorCode::UnknownSession, format!("session {session}"));
+    let serve_session = match lookup_session(shared, conn_id, session) {
+        Ok(s) => s,
+        Err(reply) => return reply,
     };
     // Validate the whole batch before submitting anything: the engine
     // asserts on dimension mismatches, and a half-submitted batch
     // would desynchronize the outcome stream.
     for (i, tick) in ticks.iter().enumerate() {
-        if tick.estimate.len() != conn_session.state_dim
-            || tick.input.len() != conn_session.input_dim
+        if tick.estimate.len() != serve_session.state_dim
+            || tick.input.len() != serve_session.input_dim
         {
             return error(
                 ErrorCode::DimensionMismatch,
@@ -515,19 +746,20 @@ fn run_ticks(
                     "tick {i}: got estimate/input dims {}/{}, session wants {}/{}",
                     tick.estimate.len(),
                     tick.input.len(),
-                    conn_session.state_dim,
-                    conn_session.input_dim
+                    serve_session.state_dim,
+                    serve_session.input_dim
                 ),
             );
         }
     }
+    let inner = serve_session.inner.lock().expect("session inner lock");
     let n = ticks.len();
     for tick in ticks {
         // Under the Block policy this throttles the producer right
         // here — per-session bounded-queue backpressure reaching all
         // the way back through TCP to the client, which is waiting on
         // this very reply.
-        if conn_session
+        if inner
             .handle
             .submit(Tick {
                 estimate: Vector::from_vec(tick.estimate),
@@ -540,10 +772,7 @@ fn run_ticks(
     }
     let mut outcomes = Vec::with_capacity(n);
     for _ in 0..n {
-        match conn_session
-            .outcomes
-            .recv_timeout(shared.config.outcome_timeout)
-        {
+        match inner.outcomes.recv_timeout(shared.config.outcome_timeout) {
             Ok(outcome) => outcomes.push(WireOutcome::from_outcome(&outcome)),
             Err(_) => {
                 return error(
@@ -583,5 +812,6 @@ fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> WireMe
         connections_dropped: transport.connections_dropped,
         alloc_free_ticks: engine.alloc_free_ticks,
         batched_deadline_queries: engine.batched_deadline_queries,
+        sessions_evicted: transport.sessions_evicted,
     }
 }

@@ -21,6 +21,20 @@
 //! this module, and a decoder fed hostile bytes can only fail with a
 //! typed [`WireError`] — it never panics and never allocates more than
 //! the declared (and size-guarded) frame length.
+//!
+//! # Correlation ids
+//!
+//! Any frame may carry an optional **correlation id** appended after
+//! its body: exactly eight extra bytes, read as a `u64`. A server
+//! echoes a request's correlation id on the reply, which lets a client
+//! pair replies with requests instead of trusting stream position —
+//! the fix for the reply-desync bug where a timed-out request's late
+//! reply was delivered as the answer to the *next* request. The field
+//! is append-only in the same style as the metrics counters: frames
+//! without it (every pre-correlation peer) decode exactly as before,
+//! and [`Frame::decode`] (the strict entry point) still rejects it so
+//! legacy round-trip expectations hold. Use
+//! [`Frame::decode_enveloped`] / [`read_envelope`] to accept it.
 
 use std::io::{self, Read, Write};
 
@@ -50,6 +64,9 @@ const FRAME_CLOSE_SESSION: u8 = 0x07;
 const FRAME_SESSION_CLOSED: u8 = 0x08;
 const FRAME_METRICS_QUERY: u8 = 0x09;
 const FRAME_METRICS_REPLY: u8 = 0x0a;
+const FRAME_SNAPSHOT_SESSION: u8 = 0x0b;
+const FRAME_SESSION_SNAPSHOT: u8 = 0x0c;
+const FRAME_RESTORE_SESSION: u8 = 0x0d;
 const FRAME_ERROR: u8 = 0x0f;
 
 /// A typed decode failure. Every way a byte stream can violate the
@@ -118,6 +135,10 @@ pub enum ErrorCode {
     Timeout = 5,
     /// Anything else; the message has details.
     Internal = 6,
+    /// A `RestoreSession` snapshot failed validation against the spec
+    /// it was restored under. Only emitted in reply to the (new)
+    /// `RestoreSession` frame, so legacy clients never see it.
+    BadSnapshot = 7,
 }
 
 impl ErrorCode {
@@ -129,6 +150,7 @@ impl ErrorCode {
             4 => ErrorCode::SessionLimit,
             5 => ErrorCode::Timeout,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::BadSnapshot,
             _ => return Err(WireError::BadValue("error code")),
         })
     }
@@ -143,6 +165,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::SessionLimit => "session limit reached",
             ErrorCode::Timeout => "engine timeout",
             ErrorCode::Internal => "internal error",
+            ErrorCode::BadSnapshot => "bad snapshot",
         })
     }
 }
@@ -261,6 +284,116 @@ impl WireOutcome {
     }
 }
 
+/// Wire image of one retained [`awsad_core::LogEntry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireLogEntry {
+    /// Control step index.
+    pub step: u64,
+    /// State estimate `x̄_t`.
+    pub estimate: Vec<f64>,
+    /// Control input `u_t`.
+    pub input: Vec<f64>,
+    /// Model prediction (`None` for the first logged step).
+    pub prediction: Option<Vec<f64>>,
+    /// Residual `z_t`.
+    pub residual: Vec<f64>,
+}
+
+/// Wire image of a full session snapshot
+/// ([`awsad_runtime::SessionSnapshot`]): the detector's adaptation
+/// state, the logger's retained window, and the session's outcome
+/// sequence counter. Floats travel bit-exact, so a restored session's
+/// outcome stream is byte-identical to the uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSessionState {
+    /// Window size chosen at the previous step (`w_p`).
+    pub prev_window: u64,
+    /// Steps since the last fresh deadline query.
+    pub steps_since_estimate: u64,
+    /// Initial-state radius for deadline queries.
+    pub initial_radius: f64,
+    /// Whether complementary detection is enabled.
+    pub complementary_enabled: bool,
+    /// Re-estimation period.
+    pub reestimation_period: u64,
+    /// Carried deadline estimate: `None` = re-query next step,
+    /// `Some(None)` = `Deadline::Beyond`, `Some(Some(t))` =
+    /// `Deadline::Within(t)`.
+    pub cached_deadline: Option<Option<u64>>,
+    /// The step index the next record will be assigned.
+    pub next_step: u64,
+    /// The `seq` the next submitted tick will be assigned.
+    pub next_seq: u64,
+    /// Retained logger entries, oldest first.
+    pub entries: Vec<WireLogEntry>,
+}
+
+impl WireSessionState {
+    /// Builds the wire image of an engine session snapshot.
+    pub fn from_snapshot(snapshot: &awsad_runtime::SessionSnapshot) -> Self {
+        let s = &snapshot.state;
+        WireSessionState {
+            prev_window: s.prev_window as u64,
+            steps_since_estimate: s.steps_since_estimate as u64,
+            initial_radius: s.initial_radius,
+            complementary_enabled: s.complementary_enabled,
+            reestimation_period: s.reestimation_period as u64,
+            cached_deadline: s.cached_deadline.map(|d| d.steps().map(|t| t as u64)),
+            next_step: s.logger.next_step as u64,
+            next_seq: snapshot.next_seq,
+            entries: s
+                .logger
+                .entries
+                .iter()
+                .map(|e| WireLogEntry {
+                    step: e.step as u64,
+                    estimate: e.estimate.as_slice().to_vec(),
+                    input: e.input.as_slice().to_vec(),
+                    prediction: e.prediction.as_ref().map(|p| p.as_slice().to_vec()),
+                    residual: e.residual.as_slice().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the engine snapshot this state carries. The round
+    /// trip through [`WireSessionState::from_snapshot`] is lossless;
+    /// semantic validation happens at restore time
+    /// ([`awsad_runtime::DetectionEngine::restore_session`]).
+    pub fn to_snapshot(&self) -> awsad_runtime::SessionSnapshot {
+        use awsad_core::{DetectorSnapshot, LoggerSnapshot};
+        use awsad_linalg::Vector;
+        awsad_runtime::SessionSnapshot {
+            state: DetectorSnapshot {
+                prev_window: self.prev_window as usize,
+                steps_since_estimate: self.steps_since_estimate as usize,
+                cached_deadline: self.cached_deadline.map(|d| match d {
+                    Some(t) => Deadline::Within(t as usize),
+                    None => Deadline::Beyond,
+                }),
+                initial_radius: self.initial_radius,
+                complementary_enabled: self.complementary_enabled,
+                reestimation_period: self.reestimation_period as usize,
+                logger: LoggerSnapshot {
+                    entries: self
+                        .entries
+                        .iter()
+                        .map(|e| awsad_core::LogEntry {
+                            step: e.step as usize,
+                            estimate: Vector::from_slice(&e.estimate),
+                            input: Vector::from_slice(&e.input),
+                            prediction: e.prediction.as_ref().map(|p| Vector::from_slice(p)),
+                            residual: Vector::from_slice(&e.residual),
+                        })
+                        .collect(),
+                    next_step: self.next_step as usize,
+                },
+            },
+            next_seq: self.next_seq,
+        }
+    }
+}
+
 /// Wire image of one latency-stage summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireLatency {
@@ -317,6 +450,9 @@ pub struct WireMetrics {
     /// (see `RuntimeMetrics::batched_deadline_queries`). Appended
     /// after the v1 field set, zeroed when absent.
     pub batched_deadline_queries: u64,
+    /// Sessions evicted by the server's idle-TTL sweep. Third appended
+    /// counter (after the two above), zeroed when absent.
+    pub sessions_evicted: u64,
 }
 
 /// Every frame the protocol defines. Requests flow client → server;
@@ -375,6 +511,30 @@ pub enum Frame {
     MetricsQuery,
     /// Reply to `MetricsQuery`.
     MetricsReply(WireMetrics),
+    /// Ask for a full state snapshot of one session. The server
+    /// blocks (bounded by its outcome deadline) until the session's
+    /// queued ticks have drained, so the snapshot is a clean cut.
+    SnapshotSession {
+        /// Session to snapshot.
+        session: u64,
+    },
+    /// Reply to `SnapshotSession`.
+    SessionSnapshot {
+        /// The session the state belongs to.
+        session: u64,
+        /// The captured state.
+        state: WireSessionState,
+    },
+    /// Open a session that resumes from a previously captured state.
+    /// Replied to with `SessionOpened` (a fresh server-side id) or an
+    /// `Error` with [`ErrorCode::BadSnapshot`].
+    RestoreSession {
+        /// Configuration to rebuild the detector/logger pair from —
+        /// must match the spec the snapshot was taken under.
+        spec: SessionSpec,
+        /// The state to resume from.
+        state: WireSessionState,
+    },
     /// Typed failure reply to any request.
     Error {
         /// Failure category.
@@ -451,6 +611,38 @@ impl Enc {
         self.opt_u64(l.p50_bound_ns);
         self.opt_u64(l.p99_bound_ns);
         self.u64(l.overflow);
+    }
+
+    fn session_state(&mut self, s: &WireSessionState) {
+        self.u64(s.prev_window);
+        self.u64(s.steps_since_estimate);
+        self.f64(s.initial_radius);
+        self.u8(s.complementary_enabled as u8);
+        self.u64(s.reestimation_period);
+        match s.cached_deadline {
+            None => self.u8(0),
+            Some(None) => self.u8(1),
+            Some(Some(t)) => {
+                self.u8(2);
+                self.u64(t);
+            }
+        }
+        self.u64(s.next_step);
+        self.u64(s.next_seq);
+        self.u32(s.entries.len() as u32);
+        for e in &s.entries {
+            self.u64(e.step);
+            self.f64s(&e.estimate);
+            self.f64s(&e.input);
+            match &e.prediction {
+                None => self.u8(0),
+                Some(p) => {
+                    self.u8(1);
+                    self.f64s(p);
+                }
+            }
+            self.f64s(&e.residual);
+        }
     }
 }
 
@@ -544,6 +736,50 @@ impl<'a> Dec<'a> {
         })
     }
 
+    fn session_state(&mut self) -> Result<WireSessionState, WireError> {
+        let prev_window = self.u64()?;
+        let steps_since_estimate = self.u64()?;
+        let initial_radius = self.f64()?;
+        let complementary_enabled = self.bool()?;
+        let reestimation_period = self.u64()?;
+        let cached_deadline = match self.u8()? {
+            0 => None,
+            1 => Some(None),
+            2 => Some(Some(self.u64()?)),
+            _ => return Err(WireError::BadValue("deadline tag")),
+        };
+        let next_step = self.u64()?;
+        let next_seq = self.u64()?;
+        // Minimum entry size: step (8) + three empty vec prefixes
+        // (3 × 4) + prediction tag (1).
+        let n = self.seq_len(21)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(WireLogEntry {
+                step: self.u64()?,
+                estimate: self.f64s()?,
+                input: self.f64s()?,
+                prediction: match self.u8()? {
+                    0 => None,
+                    1 => Some(self.f64s()?),
+                    _ => return Err(WireError::BadValue("prediction tag")),
+                },
+                residual: self.f64s()?,
+            });
+        }
+        Ok(WireSessionState {
+            prev_window,
+            steps_since_estimate,
+            initial_radius,
+            complementary_enabled,
+            reestimation_period,
+            cached_deadline,
+            next_step,
+            next_seq,
+            entries,
+        })
+    }
+
     /// Bytes not yet consumed — the gate for append-only optional
     /// field extensions (fields added to the *end* of a frame body in
     /// a later revision, decoded only when present).
@@ -561,6 +797,17 @@ impl<'a> Dec<'a> {
     }
 }
 
+/// A decoded frame together with the optional correlation id its
+/// sender appended (see the module docs). Produced by
+/// [`Frame::decode_enveloped`] / [`read_envelope`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The decoded frame.
+    pub frame: Frame,
+    /// The appended correlation id, `None` for legacy peers.
+    pub corr: Option<u64>,
+}
+
 impl Frame {
     fn frame_type(&self) -> u8 {
         match self {
@@ -574,13 +821,45 @@ impl Frame {
             Frame::SessionClosed { .. } => FRAME_SESSION_CLOSED,
             Frame::MetricsQuery => FRAME_METRICS_QUERY,
             Frame::MetricsReply(_) => FRAME_METRICS_REPLY,
+            Frame::SnapshotSession { .. } => FRAME_SNAPSHOT_SESSION,
+            Frame::SessionSnapshot { .. } => FRAME_SESSION_SNAPSHOT,
+            Frame::RestoreSession { .. } => FRAME_RESTORE_SESSION,
             Frame::Error { .. } => FRAME_ERROR,
         }
     }
 
+    /// The variant's name, for diagnostics (carried by
+    /// `ClientError::UnexpectedReply` so protocol mismatches name
+    /// what actually arrived).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::HelloAck { .. } => "HelloAck",
+            Frame::OpenSession(_) => "OpenSession",
+            Frame::SessionOpened { .. } => "SessionOpened",
+            Frame::Tick { .. } => "Tick",
+            Frame::TickOutcomes { .. } => "TickOutcomes",
+            Frame::CloseSession { .. } => "CloseSession",
+            Frame::SessionClosed { .. } => "SessionClosed",
+            Frame::MetricsQuery => "MetricsQuery",
+            Frame::MetricsReply(_) => "MetricsReply",
+            Frame::SnapshotSession { .. } => "SnapshotSession",
+            Frame::SessionSnapshot { .. } => "SessionSnapshot",
+            Frame::RestoreSession { .. } => "RestoreSession",
+            Frame::Error { .. } => "Error",
+        }
+    }
+
     /// Serializes the frame payload (header + body, without the
-    /// length prefix — [`write_frame`] adds that).
+    /// length prefix — [`write_frame`] adds that), with no
+    /// correlation id.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_corr(None)
+    }
+
+    /// Serializes the frame payload, appending `corr` after the body
+    /// when present (see the module docs on correlation ids).
+    pub fn encode_with_corr(&self, corr: Option<u64>) -> Vec<u8> {
         let mut e = Enc::new(self.frame_type());
         match self {
             Frame::Hello { client } => e.str(client),
@@ -646,18 +925,49 @@ impl Frame {
                 // and new peers interoperate without a version bump.
                 e.u64(m.alloc_free_ticks);
                 e.u64(m.batched_deadline_queries);
+                e.u64(m.sessions_evicted);
+            }
+            Frame::SnapshotSession { session } => e.u64(*session),
+            Frame::SessionSnapshot { session, state } => {
+                e.u64(*session);
+                e.session_state(state);
+            }
+            Frame::RestoreSession { spec, state } => {
+                e.u8(spec.model);
+                e.u32(spec.max_window);
+                e.u32(spec.min_window);
+                e.f64s(&spec.threshold);
+                e.u32(spec.cache_capacity);
+                e.session_state(state);
             }
             Frame::Error { code, message } => {
                 e.u8(*code as u8);
                 e.str(message);
             }
         }
+        if let Some(corr) = corr {
+            e.u64(corr);
+        }
         e.buf
     }
 
-    /// Decodes one payload (header + body). Never panics on hostile
-    /// input; every failure is a typed [`WireError`].
+    /// Decodes one payload (header + body), **rejecting** any appended
+    /// correlation id with [`WireError::TrailingBytes`] — the strict
+    /// legacy entry point. Never panics on hostile input; every
+    /// failure is a typed [`WireError`].
     pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let env = Frame::decode_enveloped(payload)?;
+        if env.corr.is_some() {
+            return Err(WireError::TrailingBytes(8));
+        }
+        Ok(env.frame)
+    }
+
+    /// Decodes one payload, accepting an optional appended correlation
+    /// id: exactly eight bytes after the body are the id; zero extra
+    /// bytes is a legacy frame; anything else is
+    /// [`WireError::TrailingBytes`].
+    pub fn decode_enveloped(payload: &[u8]) -> Result<Envelope, WireError> {
         let mut d = Dec {
             bytes: payload,
             pos: 0,
@@ -736,24 +1046,54 @@ impl Frame {
                     connections_dropped: d.u64()?,
                     alloc_free_ticks: 0,
                     batched_deadline_queries: 0,
+                    sessions_evicted: 0,
                 };
-                // Append-only extension: a legacy peer's reply ends
-                // here (the counters stay zeroed); a current peer
-                // appends both counters, all-or-nothing.
-                if d.remaining() > 0 {
+                // Append-only extensions, oldest first. The remaining
+                // byte count disambiguates: ≥ 24 means all three
+                // counters are present (three-counter peers always
+                // write all three, and two-counter peers predate
+                // correlation ids, so 24 can never be two counters
+                // plus a correlation id); ≥ 16 means the first two.
+                // Whatever is left after the counters (0 or 8 bytes)
+                // is handled by the envelope's correlation-id logic.
+                if d.remaining() >= 24 {
+                    m.alloc_free_ticks = d.u64()?;
+                    m.batched_deadline_queries = d.u64()?;
+                    m.sessions_evicted = d.u64()?;
+                } else if d.remaining() >= 16 {
                     m.alloc_free_ticks = d.u64()?;
                     m.batched_deadline_queries = d.u64()?;
                 }
                 Frame::MetricsReply(m)
             }
+            FRAME_SNAPSHOT_SESSION => Frame::SnapshotSession { session: d.u64()? },
+            FRAME_SESSION_SNAPSHOT => Frame::SessionSnapshot {
+                session: d.u64()?,
+                state: d.session_state()?,
+            },
+            FRAME_RESTORE_SESSION => Frame::RestoreSession {
+                spec: SessionSpec {
+                    model: d.u8()?,
+                    max_window: d.u32()?,
+                    min_window: d.u32()?,
+                    threshold: d.f64s()?,
+                    cache_capacity: d.u32()?,
+                },
+                state: d.session_state()?,
+            },
             FRAME_ERROR => Frame::Error {
                 code: ErrorCode::from_u8(d.u8()?)?,
                 message: d.str()?,
             },
             other => return Err(WireError::UnknownFrameType(other)),
         };
+        let corr = if d.remaining() == 8 {
+            Some(d.u64()?)
+        } else {
+            None
+        };
         d.finish()?;
-        Ok(frame)
+        Ok(Envelope { frame, corr })
     }
 }
 
@@ -786,21 +1126,34 @@ impl std::fmt::Display for ReadFrameError {
 
 impl std::error::Error for ReadFrameError {}
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame without a correlation id.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
-    let payload = frame.encode();
+    write_frame_corr(w, frame, None)
+}
+
+/// Writes one length-prefixed frame, appending `corr` when present.
+pub fn write_frame_corr<W: Write>(w: &mut W, frame: &Frame, corr: Option<u64>) -> io::Result<()> {
+    let payload = frame.encode_with_corr(corr);
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(&payload)?;
     w.flush()
 }
 
-/// Reads one length-prefixed frame, enforcing `max_len` on the
-/// declared payload length *before* allocating.
+/// Reads one length-prefixed frame, discarding any correlation id —
+/// the legacy entry point; correlation-aware callers use
+/// [`read_envelope`].
 ///
 /// EOF exactly at a frame boundary is the clean-close signal
 /// [`ReadFrameError::Closed`]; EOF mid-frame is
 /// [`WireError::Truncated`].
 pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Frame, ReadFrameError> {
+    read_envelope(r, max_len).map(|env| env.frame)
+}
+
+/// Reads one length-prefixed frame together with its optional
+/// correlation id, enforcing `max_len` on the declared payload length
+/// *before* allocating.
+pub fn read_envelope<R: Read>(r: &mut R, max_len: u32) -> Result<Envelope, ReadFrameError> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < prefix.len() {
@@ -834,12 +1187,44 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Frame, ReadFrameEr
             Err(e) => return Err(ReadFrameError::Io(e)),
         }
     }
-    Frame::decode(&payload).map_err(ReadFrameError::Wire)
+    Frame::decode_enveloped(&payload).map_err(ReadFrameError::Wire)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A session state with every interesting shape: a first entry
+    /// without a prediction, a cached `Within` deadline, bit-pattern
+    /// float specials.
+    fn sample_state() -> WireSessionState {
+        WireSessionState {
+            prev_window: 5,
+            steps_since_estimate: 2,
+            initial_radius: 0.25,
+            complementary_enabled: true,
+            reestimation_period: 3,
+            cached_deadline: Some(Some(4)),
+            next_step: 2,
+            next_seq: 2,
+            entries: vec![
+                WireLogEntry {
+                    step: 0,
+                    estimate: vec![0.0, -0.0],
+                    input: vec![1.5],
+                    prediction: None,
+                    residual: vec![0.0, 0.0],
+                },
+                WireLogEntry {
+                    step: 1,
+                    estimate: vec![0.1, f64::MIN_POSITIVE],
+                    input: vec![-2.5],
+                    prediction: Some(vec![0.05, 0.0]),
+                    residual: vec![0.05, f64::MIN_POSITIVE],
+                },
+            ],
+        }
+    }
 
     /// One representative value per frame variant. The match below is
     /// exhaustive on purpose: adding a frame type without extending
@@ -856,6 +1241,9 @@ mod tests {
             FRAME_SESSION_CLOSED,
             FRAME_METRICS_QUERY,
             FRAME_METRICS_REPLY,
+            FRAME_SNAPSHOT_SESSION,
+            FRAME_SESSION_SNAPSHOT,
+            FRAME_RESTORE_SESSION,
             FRAME_ERROR,
         ];
         let latency = WireLatency {
@@ -946,7 +1334,17 @@ mod tests {
                     connections_dropped: 1,
                     alloc_free_ticks: 950,
                     batched_deadline_queries: 31,
+                    sessions_evicted: 2,
                 }),
+                FRAME_SNAPSHOT_SESSION => Frame::SnapshotSession { session: 7 },
+                FRAME_SESSION_SNAPSHOT => Frame::SessionSnapshot {
+                    session: 7,
+                    state: sample_state(),
+                },
+                FRAME_RESTORE_SESSION => Frame::RestoreSession {
+                    spec: SessionSpec::model_defaults(3),
+                    state: sample_state(),
+                },
                 FRAME_ERROR => Frame::Error {
                     code: ErrorCode::DimensionMismatch,
                     message: "estimate has 2 entries, model wants 3".into(),
@@ -987,13 +1385,20 @@ mod tests {
     fn truncation_at_every_boundary_errors_without_panic() {
         for frame in sample_frames() {
             let payload = frame.encode();
-            // The one *legal* short read: a MetricsReply cut exactly at
-            // the legacy field boundary is a valid v1 reply (the
-            // append-only counters are optional-when-absent).
-            let legacy_boundary =
-                matches!(frame, Frame::MetricsReply(_)).then(|| payload.len() - 16);
+            // The *legal* short reads: a MetricsReply cut exactly at an
+            // append-only counter boundary is a valid older reply.
+            // `len - 24` drops all three counters (v1 peer); `len - 8`
+            // drops only `sessions_evicted` (two-counter peer). The cut
+            // at `len - 16` is NOT legal under strict decode: the lone
+            // trailing counter parses as a correlation id, which
+            // `Frame::decode` rejects as trailing bytes.
+            let legacy_boundaries: &[usize] = if matches!(frame, Frame::MetricsReply(_)) {
+                &[payload.len() - 24, payload.len() - 8]
+            } else {
+                &[]
+            };
             for cut in 0..payload.len() {
-                if Some(cut) == legacy_boundary {
+                if legacy_boundaries.contains(&cut) {
                     assert!(
                         Frame::decode(&payload[..cut]).is_ok(),
                         "legacy-boundary cut must decode"
@@ -1023,6 +1428,62 @@ mod tests {
     }
 
     #[test]
+    fn correlation_id_round_trips_on_every_frame() {
+        for frame in sample_frames() {
+            let payload = frame.encode_with_corr(Some(0xdead_beef_cafe_f00d));
+            let env = Frame::decode_enveloped(&payload)
+                .unwrap_or_else(|e| panic!("enveloped decode failed for {frame:?}: {e}"));
+            assert_eq!(env.corr, Some(0xdead_beef_cafe_f00d), "frame {frame:?}");
+            assert_eq!(env.frame, frame);
+            // A corr-less encoding decodes enveloped with no corr.
+            let bare = Frame::decode_enveloped(&frame.encode()).unwrap();
+            assert_eq!(bare.corr, None);
+            assert_eq!(bare.frame, frame);
+        }
+    }
+
+    #[test]
+    fn strict_decode_rejects_correlation_ids() {
+        // The strict decoder must not silently absorb the appended
+        // correlation id. (Even on MetricsReply: the three appended
+        // counters are consumed first by the `remaining >= 24` rule,
+        // which leaves the corr id as the trailing 8 bytes.)
+        for frame in sample_frames() {
+            assert_eq!(
+                Frame::decode(&frame.encode_with_corr(Some(42))),
+                Err(WireError::TrailingBytes(8)),
+                "frame {frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_through_stream_io() {
+        let frame = Frame::SnapshotSession { session: 9 };
+        let mut buf = Vec::new();
+        write_frame_corr(&mut buf, &frame, Some(17)).unwrap();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let env = read_envelope(&mut cursor, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(env.corr, Some(17));
+        assert_eq!(env.frame, frame);
+        let env = read_envelope(&mut cursor, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(env.corr, None);
+        assert_eq!(env.frame, frame);
+    }
+
+    #[test]
+    fn session_state_round_trips_through_runtime_snapshot() {
+        let wire = sample_state();
+        let snapshot = wire.to_snapshot();
+        assert_eq!(snapshot.next_seq, 2);
+        assert_eq!(snapshot.state.prev_window, 5);
+        assert_eq!(snapshot.state.logger.entries.len(), 2);
+        let back = WireSessionState::from_snapshot(&snapshot);
+        assert_eq!(back, wire);
+    }
+
+    #[test]
     fn legacy_metrics_reply_decodes_with_zeroed_appended_counters() {
         let Frame::MetricsReply(sample) = sample_frames()
             .into_iter()
@@ -1031,22 +1492,38 @@ mod tests {
         else {
             unreachable!()
         };
-        assert!(sample.alloc_free_ticks > 0 && sample.batched_deadline_queries > 0);
+        assert!(
+            sample.alloc_free_ticks > 0
+                && sample.batched_deadline_queries > 0
+                && sample.sessions_evicted > 0
+        );
         let payload = Frame::MetricsReply(sample).encode();
-        // A v1 peer's reply is byte-identical minus the two appended
-        // counters; it must decode with both reading zero and every
-        // other field intact.
-        let legacy = &payload[..payload.len() - 16];
+        // A v1 peer's reply is byte-identical minus the three appended
+        // counters; it must decode with all of them reading zero and
+        // every other field intact.
+        let legacy = &payload[..payload.len() - 24];
         let Frame::MetricsReply(decoded) = Frame::decode(legacy).unwrap() else {
             panic!("legacy reply must still be a MetricsReply");
         };
-        assert_eq!(decoded.alloc_free_ticks, 0);
-        assert_eq!(decoded.batched_deadline_queries, 0);
         assert_eq!(
             decoded,
             WireMetrics {
                 alloc_free_ticks: 0,
                 batched_deadline_queries: 0,
+                sessions_evicted: 0,
+                ..sample
+            }
+        );
+        // A two-counter peer (one revision back) drops only the
+        // trailing `sessions_evicted`.
+        let two_counter = &payload[..payload.len() - 8];
+        let Frame::MetricsReply(decoded) = Frame::decode(two_counter).unwrap() else {
+            panic!("two-counter reply must still be a MetricsReply");
+        };
+        assert_eq!(
+            decoded,
+            WireMetrics {
+                sessions_evicted: 0,
                 ..sample
             }
         );

@@ -1,0 +1,330 @@
+//! Chaos tests: deterministic transport-fault injection against the
+//! serving layer.
+//!
+//! The load-bearing guarantees proven here:
+//!
+//! * a detection session **survives a server kill-and-restart**: the
+//!   `ReconnectingClient` restores it from its checkpoint and the
+//!   resumed `AdaptiveStep` stream is byte-identical to an
+//!   uninterrupted direct-engine run of the same seeded bias attack;
+//! * truncated-mid-frame and dropped replies are likewise survived
+//!   byte-identically;
+//! * the timeout-desync bug is fixed: a reply arriving after the
+//!   client's reply timeout can no longer be misattributed to the
+//!   next call (the legacy call pattern demonstrably misattributed
+//!   it; the fixed client poisons itself instead);
+//! * a slow-loris peer ties up only its own connection and only until
+//!   the server's frame deadline — asserted on transport counters,
+//!   not wall-clock;
+//! * idle sessions are evicted after `session_ttl` and the eviction
+//!   is observable (counter + `UnknownSession` on next use).
+
+mod support;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use awsad_core::AdaptiveStep;
+use awsad_serve::client::{Client, ClientError};
+use awsad_serve::reconnect::{ReconnectingClient, RetryPolicy};
+use awsad_serve::server::{Server, ServerConfig};
+use awsad_serve::wire::{self, ErrorCode, Frame, SessionSpec, WireOutcome};
+
+use support::{direct_engine_steps, pinned_trace, FaultPlan, FaultProxy, ReplyFault};
+
+/// Polls until the predicate holds or the deadline passes — counter
+/// updates race the test thread, never the protocol itself.
+fn wait_for(mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !pred() {
+        assert!(Instant::now() < deadline, "condition not reached in time");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A fast retry policy for tests: deterministic seed, short delays.
+fn test_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 40,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(100),
+        seed: 7,
+    }
+}
+
+fn assert_stream_matches(outcomes: &[WireOutcome], trace_len: usize, direct: &[AdaptiveStep]) {
+    assert_eq!(outcomes.len(), trace_len);
+    // Seq numbering must be continuous across every reconnect/resume.
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.seq, i as u64, "seq discontinuity at {i}");
+        assert!(!o.degraded);
+    }
+    let steps: Vec<AdaptiveStep> = outcomes.iter().map(|o| o.to_step()).collect();
+    assert_eq!(steps, *direct, "resumed stream must equal direct stepping");
+    // The attack half must actually alarm, or the comparison is
+    // vacuously all-quiet.
+    assert!(
+        outcomes.iter().any(|o| o.alarm()),
+        "pinned scenario must trip at least one alarm"
+    );
+}
+
+#[test]
+fn session_survives_server_kill_and_restart_byte_identically() {
+    let config = ServerConfig::default();
+    let server = Server::bind("127.0.0.1:0", config.clone()).unwrap();
+    let addr = server.local_addr();
+
+    let mut rc = ReconnectingClient::connect(addr, test_policy()).unwrap();
+    let session = rc.open_session(&SessionSpec::model_defaults(2)).unwrap();
+
+    let trace = pinned_trace(120);
+    let mut outcomes = Vec::new();
+    let mut server = Some(server);
+    for (i, chunk) in trace.chunks(10).enumerate() {
+        if i == 6 {
+            // Kill the server mid-stream — sessions and all — and
+            // bring a fresh one up on the same address.
+            let old = server.take().unwrap();
+            old.shutdown();
+            drop(old);
+            server = Some(Server::bind(addr, config.clone()).unwrap());
+        }
+        outcomes.extend(rc.tick_batch(session.id, chunk).unwrap());
+    }
+
+    assert!(
+        rc.reconnects() >= 1,
+        "the kill must have forced at least one reconnect"
+    );
+    assert_stream_matches(&outcomes, trace.len(), &direct_engine_steps(&trace));
+    server.unwrap().shutdown();
+}
+
+#[test]
+fn truncated_and_dropped_replies_are_survived_byte_identically() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    // Connection 1: hello, open, batch 1, checkpoint 1 forwarded, then
+    // batch 2's reply is cut mid-frame (6 bytes = prefix + 2 bytes of
+    // body). Connection 2: hello, restore, batch-2 replay, checkpoint
+    // forwarded, then batch 3's reply is swallowed whole. Connection 3
+    // runs clean.
+    let proxy = FaultProxy::start(
+        server.local_addr(),
+        vec![
+            FaultPlan::after(4, ReplyFault::Truncate(6)),
+            FaultPlan::after(4, ReplyFault::Drop),
+        ],
+    );
+
+    let mut rc = ReconnectingClient::connect(proxy.addr(), test_policy()).unwrap();
+    let session = rc.open_session(&SessionSpec::model_defaults(2)).unwrap();
+
+    let trace = pinned_trace(120);
+    let mut outcomes = Vec::new();
+    for chunk in trace.chunks(40) {
+        outcomes.extend(rc.tick_batch(session.id, chunk).unwrap());
+    }
+
+    assert_eq!(rc.reconnects(), 2, "one reconnect per injected fault");
+    assert_stream_matches(&outcomes, trace.len(), &direct_engine_steps(&trace));
+    drop(proxy);
+    server.shutdown();
+}
+
+#[test]
+fn late_reply_after_timeout_poisons_instead_of_misattributing() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let trace = pinned_trace(4);
+
+    // Part 1 — the regression, demonstrated with the legacy call
+    // pattern (write a frame, read *whatever frame comes next*): after
+    // a timed-out tick, the delayed reply is delivered as the answer
+    // to the following metrics call. This is the bug.
+    let proxy = FaultProxy::start(
+        server.local_addr(),
+        vec![
+            // Reply 0 (open) forwarded; reply 1 (tick outcomes)
+            // delayed past the client timeout, then delivered late.
+            FaultPlan {
+                replies: vec![
+                    ReplyFault::Forward,
+                    ReplyFault::Delay(Duration::from_millis(400)),
+                ],
+            },
+            // Connection for part 2: same delay on the tick reply.
+            FaultPlan {
+                replies: vec![
+                    ReplyFault::Forward,
+                    ReplyFault::Forward,
+                    ReplyFault::Delay(Duration::from_millis(400)),
+                ],
+            },
+        ],
+    );
+
+    let mut legacy = TcpStream::connect(proxy.addr()).unwrap();
+    wire::write_frame(
+        &mut legacy,
+        &Frame::OpenSession(SessionSpec::model_defaults(2)),
+    )
+    .unwrap();
+    let Frame::SessionOpened { session, .. } =
+        wire::read_frame(&mut legacy, wire::DEFAULT_MAX_FRAME_LEN).unwrap()
+    else {
+        panic!("expected SessionOpened");
+    };
+    wire::write_frame(
+        &mut legacy,
+        &Frame::Tick {
+            session,
+            ticks: vec![trace[0].clone()],
+        },
+    )
+    .unwrap();
+    legacy
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    // The tick reply is 400 ms out; this read times out first.
+    assert!(matches!(
+        wire::read_frame(&mut legacy, wire::DEFAULT_MAX_FRAME_LEN),
+        Err(wire::ReadFrameError::Io(_))
+    ));
+    // Legacy pattern: shrug, issue the next request, read the next
+    // frame. The late TickOutcomes is sitting in the socket by now —
+    // and gets returned as the "answer" to MetricsQuery.
+    legacy.set_read_timeout(None).unwrap();
+    wire::write_frame(&mut legacy, &Frame::MetricsQuery).unwrap();
+    match wire::read_frame(&mut legacy, wire::DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Frame::TickOutcomes { .. } => {} // the misattribution, observed
+        other => panic!("expected the stale TickOutcomes, got {other:?}"),
+    }
+
+    // Part 2 — the fixed client on the same fault: the timeout
+    // poisons it, and no later call ever reads the stale frame.
+    let mut client = Client::connect(proxy.addr()).unwrap();
+    let session = client
+        .open_session(&SessionSpec::model_defaults(2))
+        .unwrap();
+    client
+        .set_reply_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    match client.tick(session.id, &trace[0].estimate, &trace[0].input) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected a timeout Io error, got {other:?}"),
+    }
+    assert!(client.is_poisoned());
+    // Give the delayed reply time to arrive in the socket buffer,
+    // exactly as in part 1 — then prove the client refuses to touch it.
+    std::thread::sleep(Duration::from_millis(500));
+    match client.metrics() {
+        Err(ClientError::Poisoned { .. }) => {}
+        other => panic!("poisoned client must refuse calls, got {other:?}"),
+    }
+
+    drop(proxy);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_ties_up_only_its_own_connection_for_a_bounded_time() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(20),
+        frame_deadline: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+
+    // The attacker: sends two bytes of a length prefix, then stalls.
+    let mut loris = TcpStream::connect(server.local_addr()).unwrap();
+    loris.write_all(&[0x00, 0x00]).unwrap();
+    loris.flush().unwrap();
+
+    // A healthy client on its own connection is entirely unaffected
+    // while the attacker is stalling.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let session = client
+        .open_session(&SessionSpec::model_defaults(2))
+        .unwrap();
+    for tick in pinned_trace(10) {
+        client
+            .tick(session.id, &tick.estimate, &tick.input)
+            .unwrap();
+    }
+
+    // Counter-based bound: the server drops the stalled connection
+    // once the frame deadline lapses. No decode error — the bytes
+    // were not malformed, just never finished.
+    wait_for(|| server.transport_metrics().connections_dropped >= 1);
+    let m = server.transport_metrics();
+    assert_eq!(m.connections_dropped, 1);
+    assert_eq!(m.decode_errors, 0);
+
+    // The healthy connection is still live after the teardown.
+    let outcome = client.tick(session.id, &[0.0], &[0.0]).unwrap();
+    assert_eq!(outcome.seq, 10);
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_evicted_after_ttl() {
+    let config = ServerConfig {
+        session_ttl: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let session = client
+        .open_session(&SessionSpec::model_defaults(2))
+        .unwrap();
+    client.tick(session.id, &[0.0], &[0.0]).unwrap();
+
+    // Stop using the session; the accept-thread sweep evicts it.
+    wait_for(|| server.transport_metrics().sessions_evicted == 1);
+    wait_for(|| server.engine_metrics().sessions_active == 0);
+
+    // The eviction is indistinguishable from a close: next use gets
+    // UnknownSession, the connection itself is untouched.
+    match client.tick(session.id, &[0.0], &[0.0]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("expected UnknownSession after eviction, got {other:?}"),
+    }
+    let replacement = client
+        .open_session(&SessionSpec::model_defaults(2))
+        .unwrap();
+    client.tick(replacement.id, &[0.0], &[0.0]).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restore_over_the_wire_continues_seq_and_stream() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let spec = SessionSpec::model_defaults(2);
+    let session = client.open_session(&spec).unwrap();
+
+    let trace = pinned_trace(60);
+    let mut outcomes = client.tick_batch(session.id, &trace[..30]).unwrap();
+    let state = client.snapshot_session(session.id).unwrap();
+    client.close_session(session.id).unwrap();
+
+    // Restore on the same connection under a fresh id; the stream
+    // picks up exactly where the snapshot left off.
+    let restored = client.restore_session(&spec, &state).unwrap();
+    assert_ne!(restored.id, session.id);
+    outcomes.extend(client.tick_batch(restored.id, &trace[30..]).unwrap());
+
+    assert_stream_matches(&outcomes, trace.len(), &direct_engine_steps(&trace));
+
+    // A corrupt snapshot is rejected with the typed error, not a
+    // hung or poisoned connection.
+    let mut bad = state.clone();
+    bad.reestimation_period = 0;
+    match client.restore_session(&spec, &bad) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadSnapshot),
+        other => panic!("expected BadSnapshot, got {other:?}"),
+    }
+    assert!(!client.is_poisoned());
+    server.shutdown();
+}

@@ -40,7 +40,7 @@
 //! | [`models`] | `awsad-models` | the five Table 1 simulators + RC-car testbed |
 //! | [`sim`] | `awsad-sim` | closed-loop episodes, Monte-Carlo cells, sweeps, metrics |
 //! | [`runtime`] | `awsad-runtime` | multi-session streaming engine: worker pool, bounded queues, deadline cache wiring, metrics |
-//! | [`serve`] | `awsad-serve` | detection-as-a-service: binary wire protocol, TCP server, blocking client |
+//! | [`serve`] | `awsad-serve` | detection-as-a-service: binary wire protocol, TCP server, blocking + reconnecting clients, session snapshot/resume |
 //!
 //! ## Quickstart
 //!
@@ -87,7 +87,8 @@ pub mod prelude {
     pub use awsad_core::{
         calibrate_threshold, estimate_covariance, AdaptiveDetector, AlarmFilter, AlarmPolicy,
         ChiSquaredDetector, CusumDetector, DataLogger, DetectionReport, DetectorConfig,
-        EveryStepDetector, EwmaDetector, FixedWindowDetector, ResidualDetector, WindowDetector,
+        DetectorSnapshot, EveryStepDetector, EwmaDetector, FixedWindowDetector, ResidualDetector,
+        WindowDetector,
     };
     pub use awsad_linalg::{discretize, eigenvalues, expm, spectral_radius, Lu, Matrix, Vector};
     pub use awsad_lti::{LtiSystem, NoiseModel, Observer, Plant};
@@ -98,9 +99,12 @@ pub mod prelude {
     };
     pub use awsad_runtime::{
         BackpressurePolicy, DetectionEngine, EngineConfig, RuntimeMetrics, SessionHandle,
-        SessionId, Tick, TickOutcome, WorkerPool,
+        SessionId, SessionSnapshot, Tick, TickOutcome, WorkerPool,
     };
-    pub use awsad_serve::{Client, Server, ServerConfig, SessionSpec};
+    pub use awsad_serve::{
+        Client, ReconnectingClient, RetryPolicy, Server, ServerConfig, SessionSpec, WireOutcome,
+        WireTick,
+    };
     pub use awsad_sets::{Ball, BoxSet, Halfspace, Interval, Polytope, Support};
     pub use awsad_sim::{
         evaluate, run_benign_cell, run_cell, run_cells_on, run_cells_parallel, run_episode,
