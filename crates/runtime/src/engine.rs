@@ -445,6 +445,56 @@ impl SessionHandle {
         Ok(())
     }
 
+    /// Submits one tick pre-flagged for the degraded path, bypassing
+    /// queue-capacity accounting.
+    ///
+    /// Whether a given tick lands over capacity under
+    /// [`BackpressurePolicy::Degrade`] depends on drain timing, which
+    /// makes organic overload inherently racy. Tests and differential
+    /// harnesses that need a *deterministic* degrade pattern use this
+    /// to force exactly which ticks take the degraded path; the
+    /// resulting outcome stream is the one an overloaded run would
+    /// produce for that same pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::SessionClosed`] after [`SessionHandle::close`].
+    pub fn submit_degraded(&self, tick: Tick) -> Result<(), SubmitError> {
+        let engine = &self.slot.engine;
+        let mut inbox = self.slot.inbox.lock().expect("inbox lock");
+        if inbox.closed {
+            return Err(SubmitError::SessionClosed);
+        }
+        let seq = inbox.next_seq;
+        inbox.next_seq += 1;
+        {
+            let mut pending = engine.pending.lock().expect("pending lock");
+            *pending += 1;
+            engine
+                .metrics
+                .queue_depth_high_water
+                .fetch_max(*pending, Ordering::Relaxed);
+        }
+        engine
+            .metrics
+            .ticks_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        inbox.ticks.push_back(QueuedTick {
+            seq,
+            degraded: true,
+            tick,
+        });
+        let schedule = !inbox.scheduled;
+        inbox.scheduled = true;
+        drop(inbox);
+
+        if schedule {
+            let slot = Arc::clone(&self.slot);
+            self.pool.execute(move || drain_session(&slot));
+        }
+        Ok(())
+    }
+
     /// Closes the session: further submits fail, queued ticks still
     /// drain. Idempotent.
     pub fn close(&self) {

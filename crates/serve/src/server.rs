@@ -579,17 +579,26 @@ fn handle_frame(shared: &ServerShared, conn_id: u64, frame: Frame) -> Frame {
     }
 }
 
-/// Builds the detector stack a spec describes. `Err` carries the
-/// ready-to-send error frame.
-#[allow(clippy::result_large_err)] // Err is the ready-to-send reply frame; rare path
-fn build_session_parts(
+/// Builds the detector stack a spec describes — **exactly** the
+/// construction `OpenSession`/`RestoreSession` perform, exposed so
+/// differential harnesses (`awsad-testkit`) can assemble the
+/// bit-identical local reference for a spec instead of hand-copying
+/// the server's defaulting rules.
+///
+/// Returns `(logger, detector, state_dim, input_dim)`.
+///
+/// # Errors
+///
+/// The error code the server would reply with, plus a human-readable
+/// detail.
+pub fn session_parts_for_spec(
     spec: &SessionSpec,
-) -> Result<(DataLogger, AdaptiveDetector, usize, usize), Frame> {
+) -> Result<(DataLogger, AdaptiveDetector, usize, usize), (ErrorCode, String)> {
     let Some(sim) = Simulator::all()
         .into_iter()
         .find(|s| s.table1_row() == spec.model as usize)
     else {
-        return Err(error(
+        return Err((
             ErrorCode::BadModel,
             format!("no Table 1 row {} (valid: 1..=5)", spec.model),
         ));
@@ -606,7 +615,7 @@ fn build_session_parts(
         Vector::from_slice(&spec.threshold)
     };
     if threshold.len() != model.state_dim() {
-        return Err(error(
+        return Err((
             ErrorCode::DimensionMismatch,
             format!(
                 "threshold has {} entries, {} wants {}",
@@ -616,23 +625,13 @@ fn build_session_parts(
             ),
         ));
     }
-    let det_cfg = match DetectorConfig::with_min_window(threshold, spec.min_window as usize, w_m) {
-        Ok(cfg) => cfg,
-        Err(e) => return Err(error(ErrorCode::Internal, format!("detector config: {e}"))),
-    };
-    let estimator = match model.deadline_estimator(w_m) {
-        Ok(est) => est,
-        Err(e) => {
-            return Err(error(
-                ErrorCode::Internal,
-                format!("deadline estimator: {e}"),
-            ))
-        }
-    };
-    let mut detector = match AdaptiveDetector::new(det_cfg, estimator) {
-        Ok(det) => det,
-        Err(e) => return Err(error(ErrorCode::Internal, format!("detector: {e}"))),
-    };
+    let det_cfg = DetectorConfig::with_min_window(threshold, spec.min_window as usize, w_m)
+        .map_err(|e| (ErrorCode::Internal, format!("detector config: {e}")))?;
+    let estimator = model
+        .deadline_estimator(w_m)
+        .map_err(|e| (ErrorCode::Internal, format!("deadline estimator: {e}")))?;
+    let mut detector = AdaptiveDetector::new(det_cfg, estimator)
+        .map_err(|e| (ErrorCode::Internal, format!("detector: {e}")))?;
     if spec.cache_capacity > 0 {
         detector.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(
             spec.cache_capacity as usize,
@@ -645,6 +644,15 @@ fn build_session_parts(
         model.state_dim(),
         model.system.input_dim(),
     ))
+}
+
+/// Wraps [`session_parts_for_spec`] for the reply path. `Err` carries
+/// the ready-to-send error frame.
+#[allow(clippy::result_large_err)] // Err is the ready-to-send reply frame; rare path
+fn build_session_parts(
+    spec: &SessionSpec,
+) -> Result<(DataLogger, AdaptiveDetector, usize, usize), Frame> {
+    session_parts_for_spec(spec).map_err(|(code, msg)| error(code, msg))
 }
 
 /// Opens a fresh session, or — when `restore` carries a snapshot —

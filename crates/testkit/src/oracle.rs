@@ -1,0 +1,458 @@
+//! Differential oracles: every detection path must produce the same
+//! bits.
+//!
+//! The stack grew five independent ways to compute one
+//! [`AdaptiveStep`] stream — direct [`AdaptiveDetector`] stepping, the
+//! runtime engine, the serve wire path, [`ReconnectingClient`] resume
+//! through transport failure, and snapshot/restore into a fresh
+//! engine. Floats travel the wire as their IEEE-754 bit patterns and
+//! every state copy is bit-exact, so the streams must be **equal**,
+//! not approximately equal. The oracles here run one generated
+//! [`Scenario`] through each path and diff the streams; any mismatch
+//! is reported with the scenario's seed string so the exact episode
+//! replays from one line.
+//!
+//! Alongside the stream oracles sit the estimator self-checks: the
+//! precomputed-box deadline walk against the seed-formula
+//! [`DeadlineEstimator::reference_deadline`], exact-cache
+//! transparency, and quantized-cache conservatism (a quantized answer
+//! may be *earlier* than the exact deadline, never later).
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger};
+use awsad_linalg::Vector;
+use awsad_reach::{CacheConfig, Deadline, DeadlineCache, DeadlineEstimator};
+use awsad_runtime::{DetectionEngine, EngineConfig, Tick, TickOutcome};
+use awsad_serve::client::Client;
+use awsad_serve::reconnect::{ReconnectingClient, RetryPolicy};
+use awsad_serve::wire::{WireOutcome, WireTick};
+
+use crate::proxy::{FaultPlan, FaultProxy, ReplyFault};
+use crate::scenario::Scenario;
+
+/// A differential-oracle violation: which path disagreed, on what,
+/// and the seed string that replays the episode.
+#[derive(Debug, Clone)]
+pub struct OracleError {
+    /// Seed string of the failing scenario.
+    pub seed: String,
+    /// The path or check that diverged.
+    pub path: &'static str,
+    /// What exactly disagreed.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "oracle violation [{}] on {}: {}",
+            self.path, self.seed, self.detail
+        )
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl OracleError {
+    fn new(scenario: &Scenario, path: &'static str, detail: impl Into<String>) -> OracleError {
+        OracleError {
+            seed: scenario.seed.to_string(),
+            path,
+            detail: detail.into(),
+        }
+    }
+}
+
+fn tick_of(wire: &WireTick) -> Tick {
+    Tick {
+        estimate: Vector::from_slice(&wire.estimate),
+        input: Vector::from_slice(&wire.input),
+    }
+}
+
+/// Path 1 — direct stepping: record each tick, step the detector.
+/// With a non-empty `degraded` set, those ticks take
+/// [`AdaptiveDetector::step_degraded`] — the reference the engine's
+/// degrade path must reproduce.
+pub fn direct_steps_with(
+    scenario: &Scenario,
+    mut is_degraded: impl FnMut(usize) -> bool,
+) -> Vec<AdaptiveStep> {
+    let (mut logger, mut detector): (DataLogger, AdaptiveDetector) = scenario.parts();
+    scenario
+        .trace
+        .iter()
+        .enumerate()
+        .map(|(i, wire)| {
+            logger.record(
+                Vector::from_slice(&wire.estimate),
+                Vector::from_slice(&wire.input),
+            );
+            if is_degraded(i) {
+                detector.step_degraded(&logger)
+            } else {
+                detector.step(&logger)
+            }
+        })
+        .collect()
+}
+
+/// Path 1 with no degraded ticks — the canonical reference stream.
+pub fn direct_steps(scenario: &Scenario) -> Vec<AdaptiveStep> {
+    direct_steps_with(scenario, |_| false)
+}
+
+fn collect_outcomes(
+    scenario: &Scenario,
+    path: &'static str,
+    outcomes: &std::sync::mpsc::Receiver<TickOutcome>,
+    expect_degraded: Option<&mut dyn FnMut(usize) -> bool>,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let mut steps = Vec::new();
+    let mut degraded_of = expect_degraded;
+    for (i, outcome) in outcomes.try_iter().enumerate() {
+        if outcome.seq != i as u64 {
+            return Err(OracleError::new(
+                scenario,
+                path,
+                format!("seq discontinuity at {i}: got {}", outcome.seq),
+            ));
+        }
+        let want_degraded = degraded_of.as_mut().is_some_and(|f| f(i));
+        if outcome.degraded != want_degraded {
+            return Err(OracleError::new(
+                scenario,
+                path,
+                format!(
+                    "tick {i}: degraded flag {} (expected {})",
+                    outcome.degraded, want_degraded
+                ),
+            ));
+        }
+        steps.push(outcome.step);
+    }
+    Ok(steps)
+}
+
+/// Path 2 — the runtime engine. Ticks for which `is_degraded` holds
+/// are injected via `submit_degraded` so the overload pattern is
+/// deterministic.
+pub fn engine_steps_with(
+    scenario: &Scenario,
+    config: EngineConfig,
+    mut is_degraded: impl FnMut(usize) -> bool,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let (logger, detector) = scenario.parts();
+    let engine = DetectionEngine::new(config);
+    let (session, outcomes) = engine.add_session(logger, detector);
+    for (i, wire) in scenario.trace.iter().enumerate() {
+        let result = if is_degraded(i) {
+            session.submit_degraded(tick_of(wire))
+        } else {
+            session.submit(tick_of(wire))
+        };
+        result.map_err(|e| OracleError::new(scenario, "engine", format!("submit: {e:?}")))?;
+    }
+    engine.drain();
+    collect_outcomes(scenario, "engine", &outcomes, Some(&mut is_degraded))
+}
+
+/// Path 2 with default engine configuration and no degraded ticks.
+pub fn engine_steps(scenario: &Scenario) -> Result<Vec<AdaptiveStep>, OracleError> {
+    engine_steps_with(scenario, EngineConfig::default(), |_| false)
+}
+
+/// Path 5 — snapshot/restore: run to `cut`, snapshot, restore into a
+/// **fresh** engine, continue; returns the stitched stream.
+pub fn snapshot_restore_steps(
+    scenario: &Scenario,
+    cut: usize,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let cut = cut.min(scenario.trace.len());
+    let (logger, detector) = scenario.parts();
+    let engine_a = DetectionEngine::new(EngineConfig::default());
+    let (session_a, outcomes_a) = engine_a.add_session(logger, detector);
+    for wire in &scenario.trace[..cut] {
+        session_a
+            .submit(tick_of(wire))
+            .map_err(|e| OracleError::new(scenario, "snapshot", format!("submit: {e:?}")))?;
+    }
+    // snapshot() waits for the queue to drain, so it is the clean cut.
+    let snap = session_a.snapshot();
+    let mut steps = collect_outcomes(scenario, "snapshot", &outcomes_a, None)?;
+
+    let (logger, detector) = scenario.parts();
+    let engine_b = DetectionEngine::new(EngineConfig::default());
+    let (session_b, outcomes_b) = engine_b
+        .restore_session(logger, detector, &snap)
+        .map_err(|e| OracleError::new(scenario, "snapshot", format!("restore: {e}")))?;
+    for wire in &scenario.trace[cut..] {
+        session_b
+            .submit(tick_of(wire))
+            .map_err(|e| OracleError::new(scenario, "snapshot", format!("submit: {e:?}")))?;
+    }
+    engine_b.drain();
+    let mut tail = Vec::new();
+    for (i, outcome) in outcomes_b.try_iter().enumerate() {
+        let seq = (cut + i) as u64;
+        if outcome.seq != seq {
+            return Err(OracleError::new(
+                scenario,
+                "snapshot",
+                format!("resumed seq discontinuity: got {}, want {seq}", outcome.seq),
+            ));
+        }
+        tail.push(outcome.step);
+    }
+    steps.append(&mut tail);
+    Ok(steps)
+}
+
+fn wire_steps(
+    scenario: &Scenario,
+    path: &'static str,
+    outcomes: &[WireOutcome],
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let mut steps = Vec::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if o.seq != i as u64 {
+            return Err(OracleError::new(
+                scenario,
+                path,
+                format!("seq discontinuity at {i}: got {}", o.seq),
+            ));
+        }
+        if o.degraded {
+            return Err(OracleError::new(
+                scenario,
+                path,
+                format!("tick {i} unexpectedly degraded"),
+            ));
+        }
+        steps.push(o.to_step());
+    }
+    Ok(steps)
+}
+
+/// Path 3 — the serve wire path: open a session on a live server,
+/// stream the trace in batches, close. `addr` is a running
+/// [`awsad_serve::server::Server`]'s address.
+pub fn serve_steps(
+    scenario: &Scenario,
+    addr: SocketAddr,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let spec = scenario
+        .spec
+        .as_ref()
+        .expect("serve path needs a registry scenario");
+    let fail = |detail: String| OracleError::new(scenario, "serve", detail);
+    let mut client = Client::connect(addr).map_err(|e| fail(format!("connect: {e}")))?;
+    let session = client
+        .open_session(spec)
+        .map_err(|e| fail(format!("open: {e}")))?;
+    let mut outcomes = Vec::new();
+    for chunk in scenario.trace.chunks(16) {
+        outcomes.extend(
+            client
+                .tick_batch(session.id, chunk)
+                .map_err(|e| fail(format!("tick_batch: {e}")))?,
+        );
+    }
+    client
+        .close_session(session.id)
+        .map_err(|e| fail(format!("close: {e}")))?;
+    wire_steps(scenario, "serve", &outcomes)
+}
+
+/// Path 4 — reconnect/resume: stream through a fault-injection proxy
+/// that swallows one mid-stream reply and severs the connection; the
+/// [`ReconnectingClient`] must checkpoint, reconnect, restore, and
+/// replay so the caller-visible stream is identical anyway.
+pub fn resume_steps(
+    scenario: &Scenario,
+    addr: SocketAddr,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let spec = scenario
+        .spec
+        .as_ref()
+        .expect("resume path needs a registry scenario");
+    let fail = |detail: String| OracleError::new(scenario, "resume", detail);
+    // Reply order on connection 1: hello(0), open(1), batch 1(2),
+    // checkpoint(3), batch 2(4) — swallow batch 2's reply, forcing a
+    // restore-and-replay on connection 2 (unplanned → clean).
+    let proxy = FaultProxy::start(addr, vec![FaultPlan::after(4, ReplyFault::Drop)]);
+    let policy = RetryPolicy {
+        max_retries: 20,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        seed: scenario.seed.seed | 1,
+    };
+    let mut rc = ReconnectingClient::connect(proxy.addr(), policy)
+        .map_err(|e| fail(format!("connect: {e}")))?;
+    let session = rc
+        .open_session(spec)
+        .map_err(|e| fail(format!("open: {e}")))?;
+    let chunk = (scenario.trace.len() / 4).max(1);
+    let mut outcomes = Vec::new();
+    for batch in scenario.trace.chunks(chunk) {
+        outcomes.extend(
+            rc.tick_batch(session.id, batch)
+                .map_err(|e| fail(format!("tick_batch: {e}")))?,
+        );
+    }
+    rc.close_session(session.id)
+        .map_err(|e| fail(format!("close: {e}")))?;
+    if scenario.trace.len() >= 2 * chunk && rc.reconnects() == 0 {
+        return Err(fail("fault plan never forced a reconnect".into()));
+    }
+    wire_steps(scenario, "resume", &outcomes)
+}
+
+fn diff_streams(
+    scenario: &Scenario,
+    path: &'static str,
+    got: &[AdaptiveStep],
+    want: &[AdaptiveStep],
+) -> Result<(), OracleError> {
+    if got.len() != want.len() {
+        return Err(OracleError::new(
+            scenario,
+            path,
+            format!("stream length {} != reference {}", got.len(), want.len()),
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g != w {
+            return Err(OracleError::new(
+                scenario,
+                path,
+                format!("tick {i} diverged: got {g:?}, reference {w:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the local paths — direct, engine (Block), engine without the
+/// scenario's deadline cache, snapshot/restore at a seed-derived cut —
+/// and asserts all streams bit-identical.
+pub fn check_local_paths(scenario: &Scenario) -> Result<(), OracleError> {
+    let reference = direct_steps(scenario);
+    diff_streams(scenario, "engine", &engine_steps(scenario)?, &reference)?;
+    // The exact deadline cache must be decision-transparent: stripping
+    // it from the detector may not change a single output bit.
+    if scenario.cache_capacity > 0 {
+        let stripped = {
+            let (logger, mut detector) = scenario.parts();
+            detector.take_deadline_cache();
+            let engine = DetectionEngine::new(EngineConfig::default());
+            let (session, outcomes) = engine.add_session(logger, detector);
+            for wire in &scenario.trace {
+                session.submit(tick_of(wire)).map_err(|e| {
+                    OracleError::new(scenario, "engine-nocache", format!("submit: {e:?}"))
+                })?;
+            }
+            engine.drain();
+            collect_outcomes(scenario, "engine-nocache", &outcomes, None)?
+        };
+        diff_streams(scenario, "engine-nocache", &stripped, &reference)?;
+    }
+    let cut = if scenario.trace.is_empty() {
+        0
+    } else {
+        (scenario.seed.seed as usize) % scenario.trace.len()
+    };
+    diff_streams(
+        scenario,
+        "snapshot",
+        &snapshot_restore_steps(scenario, cut)?,
+        &reference,
+    )?;
+    Ok(())
+}
+
+/// Runs **all five** paths against one registry scenario and asserts
+/// every stream bit-identical to direct stepping. `addr` is a running
+/// server (shared across scenarios — each check opens and closes its
+/// own sessions).
+pub fn check_five_paths(scenario: &Scenario, addr: SocketAddr) -> Result<(), OracleError> {
+    check_local_paths(scenario)?;
+    let reference = direct_steps(scenario);
+    diff_streams(scenario, "serve", &serve_steps(scenario, addr)?, &reference)?;
+    diff_streams(
+        scenario,
+        "resume",
+        &resume_steps(scenario, addr)?,
+        &reference,
+    )?;
+    Ok(())
+}
+
+fn deadline_not_later(conservative: Deadline, exact: Deadline) -> bool {
+    match (conservative.steps(), exact.steps()) {
+        (None, None) => true,
+        (None, Some(_)) => false, // claims more time than the exact walk
+        (Some(_), None) => true,  // earlier than "beyond" is fine
+        (Some(c), Some(e)) => c <= e,
+    }
+}
+
+/// Estimator self-checks on the scenario's own trace states:
+///
+/// * the precomputed-box walk ([`DeadlineEstimator::checked_deadline`])
+///   equals the seed-formula [`DeadlineEstimator::reference_deadline`];
+/// * an exact [`DeadlineCache`] is transparent (same deadline on miss
+///   and on hit);
+/// * a quantized cache is conservative — never later than exact.
+pub fn check_estimator(scenario: &Scenario) -> Result<(), OracleError> {
+    let estimator: DeadlineEstimator = scenario.estimator();
+    let r0 = scenario.initial_radius;
+    let mut exact_cache = DeadlineCache::new(CacheConfig::exact(256));
+    let quantum = scenario
+        .threshold
+        .as_slice()
+        .iter()
+        .fold(f64::MAX, |a, &b| a.min(b))
+        .max(1e-6);
+    let mut quant_cache = DeadlineCache::new(CacheConfig::quantized(quantum, 256));
+    let fail = |detail: String| OracleError::new(scenario, "estimator", detail);
+
+    for wire in scenario.trace.iter().take(16) {
+        let x = Vector::from_slice(&wire.estimate);
+        let walked = estimator
+            .checked_deadline(&x, r0)
+            .map_err(|e| fail(format!("checked_deadline: {e}")))?;
+        let reference = estimator
+            .reference_deadline(&x, r0)
+            .map_err(|e| fail(format!("reference_deadline: {e}")))?;
+        if walked != reference {
+            return Err(fail(format!(
+                "precomputed walk {walked:?} != reference formula {reference:?} at {x:?}"
+            )));
+        }
+        for _ in 0..2 {
+            // First pass misses, second hits; both must equal the walk.
+            let cached = exact_cache
+                .deadline(&estimator, &x, r0)
+                .map_err(|e| fail(format!("exact cache: {e}")))?;
+            if cached != walked {
+                return Err(fail(format!(
+                    "exact cache {cached:?} != walk {walked:?} at {x:?}"
+                )));
+            }
+        }
+        let quantized = quant_cache
+            .deadline(&estimator, &x, r0)
+            .map_err(|e| fail(format!("quantized cache: {e}")))?;
+        if !deadline_not_later(quantized, walked) {
+            return Err(fail(format!(
+                "quantized cache {quantized:?} is later than exact {walked:?} at {x:?}"
+            )));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,619 @@
+//! Seeded scenario generation and the one-line seed string.
+//!
+//! A **scenario** is everything a differential oracle needs to run one
+//! detection episode: a plant, a detector configuration, and a
+//! closed-loop `(estimate, input)` trace with an attack schedule baked
+//! in. Scenarios come in two families:
+//!
+//! * [`Family::Registry`] — a random Table 1 model under randomized
+//!   window parameters, threshold scaling, cache capacity, and attack
+//!   schedule. Everything is expressible as a
+//!   [`SessionSpec`], so registry scenarios can run through **all**
+//!   detection paths including the serve wire protocol.
+//! * [`Family::RandomLti`] — a freshly synthesized stable-or-marginal
+//!   LTI plant (spectral radius dialed in explicitly), random PID
+//!   gains, noise bounds, and detector knobs the wire protocol cannot
+//!   express (initial radius, re-estimation period, complementary
+//!   toggle). These exercise the local paths and the estimator
+//!   oracles.
+//!
+//! Every scenario derives deterministically from a [`SeedSpec`], which
+//! serializes to a one-line seed string
+//!
+//! ```text
+//! awsad1:<family>:<seed as 16 hex digits>[:len=N]
+//! ```
+//!
+//! so a failure anywhere (CI, fuzz run, property test) replays exactly
+//! from the printed line. The optional `len=N` caps the trace length —
+//! the shrinker uses it to minimize a failing episode without leaving
+//! the seed-string format.
+
+use std::fmt;
+use std::str::FromStr;
+
+use awsad_attack::{AttackWindow, BiasAttack, DelayAttack, NoAttack, ReplayAttack, SensorAttack};
+use awsad_control::{Controller, PidChannel, PidController, PidGains, Reference};
+use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
+use awsad_linalg::{spectral_radius, Matrix, Vector};
+use awsad_lti::LtiSystem;
+use awsad_models::Simulator;
+use awsad_reach::{CacheConfig, DeadlineCache, DeadlineEstimator, ReachConfig};
+use awsad_serve::server::session_parts_for_spec;
+use awsad_serve::wire::{SessionSpec, WireTick};
+use awsad_sets::BoxSet;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Which generator produced a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// A randomized Table 1 model — runs every path, wire included.
+    Registry,
+    /// A synthesized random LTI plant — local paths + estimator
+    /// oracles.
+    RandomLti,
+}
+
+impl Family {
+    fn tag(self) -> &'static str {
+        match self {
+            Family::Registry => "registry",
+            Family::RandomLti => "lti",
+        }
+    }
+}
+
+/// The replayable identity of a scenario: family + 64-bit seed +
+/// optional trace-length cap. Parses from and prints as the one-line
+/// seed string (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSpec {
+    /// Generator family.
+    pub family: Family,
+    /// The RNG seed every random choice derives from.
+    pub seed: u64,
+    /// Trace-length override (`None` = the generator's own draw).
+    /// The shrinker lowers this to minimize failing episodes.
+    pub len: Option<usize>,
+}
+
+impl SeedSpec {
+    /// A registry-family seed with no length override.
+    pub fn registry(seed: u64) -> SeedSpec {
+        SeedSpec {
+            family: Family::Registry,
+            seed,
+            len: None,
+        }
+    }
+
+    /// A random-LTI-family seed with no length override.
+    pub fn random_lti(seed: u64) -> SeedSpec {
+        SeedSpec {
+            family: Family::RandomLti,
+            seed,
+            len: None,
+        }
+    }
+
+    /// The same seed with the trace capped at `len` ticks.
+    pub fn with_len(self, len: usize) -> SeedSpec {
+        SeedSpec {
+            len: Some(len),
+            ..self
+        }
+    }
+
+    /// The `cargo run` invocation that replays this exact scenario.
+    pub fn repro_command(&self) -> String {
+        format!("cargo run --release -p awsad-testkit --bin fuzz -- --repro {self}")
+    }
+}
+
+impl fmt::Display for SeedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "awsad1:{}:{:016x}", self.family.tag(), self.seed)?;
+        if let Some(len) = self.len {
+            write!(f, ":len={len}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SeedSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SeedSpec, String> {
+        let mut parts = s.split(':');
+        match parts.next() {
+            Some("awsad1") => {}
+            other => {
+                return Err(format!(
+                    "seed string must start with \"awsad1:\", got {other:?}"
+                ))
+            }
+        }
+        let family = match parts.next() {
+            Some("registry") => Family::Registry,
+            Some("lti") => Family::RandomLti,
+            other => {
+                return Err(format!(
+                    "unknown scenario family {other:?} (expected \"registry\" or \"lti\")"
+                ))
+            }
+        };
+        let seed = match parts.next() {
+            Some(hex) => {
+                u64::from_str_radix(hex, 16).map_err(|e| format!("bad seed hex {hex:?}: {e}"))?
+            }
+            None => return Err("seed string is missing the seed field".into()),
+        };
+        let mut len = None;
+        for extra in parts {
+            if let Some(n) = extra.strip_prefix("len=") {
+                len = Some(
+                    n.parse::<usize>()
+                        .map_err(|e| format!("bad len {n:?}: {e}"))?,
+                );
+            } else {
+                return Err(format!("unknown seed-string field {extra:?}"));
+            }
+        }
+        Ok(SeedSpec { family, seed, len })
+    }
+}
+
+/// A fully materialized scenario: the plant, the detector knobs, and
+/// the attack-carrying closed-loop trace every path consumes.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The seed this scenario replays from.
+    pub seed: SeedSpec,
+    /// Human-readable description (plant + attack schedule).
+    pub label: String,
+    /// The wire spec — `Some` exactly for [`Family::Registry`]
+    /// scenarios, which are the ones the serve paths can run.
+    pub spec: Option<SessionSpec>,
+    /// The plant.
+    pub system: LtiSystem,
+    /// Per-dimension residual threshold `τ`.
+    pub threshold: Vector,
+    /// Maximum window `w_m`.
+    pub max_window: usize,
+    /// Minimum window.
+    pub min_window: usize,
+    /// Exact deadline-cache capacity (0 = no cache).
+    pub cache_capacity: usize,
+    /// Initial-state radius for deadline queries.
+    pub initial_radius: f64,
+    /// Deadline re-estimation period.
+    pub reestimation_period: usize,
+    /// Whether complementary detection runs on window shrink.
+    pub complementary: bool,
+    /// Process-noise bound `ε` the reachability analysis assumes.
+    pub epsilon: f64,
+    /// Actuator saturation box `U`.
+    pub control_limits: BoxSet,
+    /// Safe set `S`.
+    pub safe_set: BoxSet,
+    /// The `(estimate, input)` stream, attack already applied.
+    pub trace: Vec<WireTick>,
+}
+
+impl Scenario {
+    /// Materializes the scenario a seed describes. Identical seeds
+    /// produce identical scenarios, bit for bit.
+    pub fn from_seed(seed: &SeedSpec) -> Scenario {
+        match seed.family {
+            Family::Registry => registry_scenario(seed),
+            Family::RandomLti => random_lti_scenario(seed),
+        }
+    }
+
+    /// Builds the `(logger, detector)` pair for the local reference
+    /// run. For registry scenarios this delegates to the **server's
+    /// own** construction ([`session_parts_for_spec`]) so the local
+    /// reference cannot drift from what the wire path builds.
+    pub fn parts(&self) -> (DataLogger, AdaptiveDetector) {
+        match &self.spec {
+            Some(spec) => {
+                let (logger, detector, _, _) =
+                    session_parts_for_spec(spec).expect("generated spec must be buildable");
+                (logger, detector)
+            }
+            None => {
+                let det_cfg = DetectorConfig::with_min_window(
+                    self.threshold.clone(),
+                    self.min_window,
+                    self.max_window,
+                )
+                .expect("generated detector config must be valid");
+                let mut detector = AdaptiveDetector::new(det_cfg, self.estimator())
+                    .expect("generated detector must be valid");
+                if self.cache_capacity > 0 {
+                    detector.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(
+                        self.cache_capacity,
+                    )));
+                }
+                detector.set_initial_radius(self.initial_radius);
+                detector.set_reestimation_period(self.reestimation_period);
+                detector.set_complementary_enabled(self.complementary);
+                let logger = DataLogger::new(self.system.clone(), self.max_window);
+                (logger, detector)
+            }
+        }
+    }
+
+    /// Builds a fresh deadline estimator for this scenario's plant.
+    pub fn estimator(&self) -> DeadlineEstimator {
+        let config = ReachConfig::new(
+            self.control_limits.clone(),
+            self.epsilon,
+            self.safe_set.clone(),
+            self.max_window,
+        )
+        .expect("generated reach config must be valid");
+        DeadlineEstimator::new(self.system.a(), self.system.b(), config)
+            .expect("generated estimator must be valid")
+    }
+}
+
+/// Draws the attack schedule for a trace of `len` steps and returns
+/// the attack plus its description.
+fn draw_attack(
+    rng: &mut StdRng,
+    len: usize,
+    dim: usize,
+    target_dim: usize,
+    magnitude: f64,
+) -> (Box<dyn SensorAttack + Send>, String) {
+    let onset = rng.random_range(len / 3..=(2 * len) / 3);
+    let duration = if rng.random_bool(0.5) {
+        Some(rng.random_range(4..=len / 2 + 4))
+    } else {
+        None
+    };
+    let window = AttackWindow::new(onset, duration);
+    let dur_desc = match duration {
+        Some(d) => format!("for {d}"),
+        None => "onward".into(),
+    };
+    match rng.random_range(0..4u32) {
+        0 => (Box::new(NoAttack), "benign".into()),
+        1 => {
+            let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+            let mut bias = Vector::zeros(dim);
+            bias[target_dim] = sign * magnitude;
+            (
+                Box::new(BiasAttack::new(window, bias)),
+                format!(
+                    "bias {:+.4} on dim {target_dim} at {onset} {dur_desc}",
+                    sign * magnitude
+                ),
+            )
+        }
+        2 => {
+            let delay = rng.random_range(1..=4usize);
+            (
+                Box::new(DelayAttack::new(window, delay)),
+                format!("delay {delay} at {onset} {dur_desc}"),
+            )
+        }
+        _ => {
+            let record_len = rng.random_range(3..=8usize).min(onset.max(1));
+            let record_start = onset.saturating_sub(record_len);
+            (
+                Box::new(ReplayAttack::new(window, record_start, record_len)),
+                format!("replay [{record_start}, +{record_len}) at {onset} {dur_desc}"),
+            )
+        }
+    }
+}
+
+/// Uniform draw from `[-bound, bound]`, tolerating a zero bound.
+fn jitter(rng: &mut StdRng, bound: f64) -> f64 {
+    if bound > 0.0 {
+        rng.random_range(-bound..=bound)
+    } else {
+        0.0
+    }
+}
+
+/// Runs the closed loop: measure (+noise), tamper, control, record,
+/// step (+process noise). Returns the tick stream the detectors see.
+#[allow(clippy::too_many_arguments)]
+fn closed_loop_trace(
+    rng: &mut StdRng,
+    system: &LtiSystem,
+    x0: &Vector,
+    controller: &mut dyn Controller,
+    attack: &mut dyn SensorAttack,
+    sensor_noise: f64,
+    process_noise: f64,
+    len: usize,
+) -> Vec<WireTick> {
+    let n = system.state_dim();
+    let mut x = x0.clone();
+    let mut trace = Vec::with_capacity(len);
+    for t in 0..len {
+        let measured = Vector::from_fn(n, |i| x[i] + jitter(rng, sensor_noise));
+        let estimate = attack.tamper(t, &measured);
+        let u = controller.control(t, &estimate);
+        trace.push(WireTick {
+            estimate: estimate.as_slice().to_vec(),
+            input: u.as_slice().to_vec(),
+        });
+        let stepped = system.step(&x, &u);
+        x = Vector::from_fn(n, |i| stepped[i] + jitter(rng, process_noise));
+    }
+    trace
+}
+
+/// Generates a [`Family::Registry`] scenario: a random Table 1 row
+/// under randomized spec knobs and attack schedule. Detector knobs
+/// the wire cannot express stay at the server's defaults (radius 0,
+/// period 1, complementary on) so every path builds the same state.
+fn registry_scenario(seed: &SeedSpec) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed.seed);
+    let sim = Simulator::all()[rng.random_range(0..5usize)];
+    let model = sim.build();
+    let n = model.state_dim();
+
+    let max_window = rng.random_range(4..=12usize);
+    let min_window = if rng.random_bool(0.3) {
+        rng.random_range(1..=2usize).min(max_window)
+    } else {
+        0
+    };
+    // Half the scenarios keep the model's profiled τ (spec leaves it
+    // empty — exercising the server-side defaulting), half scale it.
+    let threshold_field = if rng.random_bool(0.5) {
+        Vec::new()
+    } else {
+        let factor = rng.random_range(0.5..=2.0);
+        model
+            .threshold
+            .iter()
+            .map(|&tau| tau * factor)
+            .collect::<Vec<f64>>()
+    };
+    let cache_capacity = [0usize, 64, 1024][rng.random_range(0..3usize)];
+
+    // The natural length is always drawn, even under a len override,
+    // so shrinking (which only lowers `len`) perturbs the rest of the
+    // random stream as little as possible.
+    let drawn_len = rng.random_range(40..=72usize);
+    let len = seed.len.unwrap_or(drawn_len);
+    let profile = &model.attack_profile;
+    let magnitude = rng.random_range(profile.bias_range.0..=profile.bias_range.1);
+    let (mut attack, attack_desc) =
+        draw_attack(&mut rng, len.max(6), n, profile.target_dim, magnitude);
+
+    let mut pid = model.controller().expect("registry model validated");
+    let trace = closed_loop_trace(
+        &mut rng,
+        &model.system,
+        &model.x0,
+        &mut pid,
+        attack.as_mut(),
+        model.sensor_noise,
+        0.5 * model.epsilon,
+        len,
+    );
+
+    let spec = SessionSpec {
+        model: sim.table1_row() as u8,
+        max_window: max_window as u32,
+        min_window: min_window as u32,
+        threshold: threshold_field,
+        cache_capacity: cache_capacity as u32,
+    };
+    let threshold = if spec.threshold.is_empty() {
+        model.threshold.clone()
+    } else {
+        Vector::from_slice(&spec.threshold)
+    };
+    Scenario {
+        seed: *seed,
+        label: format!(
+            "{} w_m={max_window} cache={cache_capacity} {attack_desc}",
+            model.name
+        ),
+        spec: Some(spec),
+        system: model.system.clone(),
+        threshold,
+        max_window,
+        min_window,
+        cache_capacity,
+        initial_radius: 0.0,
+        reestimation_period: 1,
+        complementary: true,
+        epsilon: model.epsilon,
+        control_limits: model.control_limits.clone(),
+        safe_set: model.safe_set.clone(),
+        trace,
+    }
+}
+
+/// Generates a [`Family::RandomLti`] scenario: a synthesized plant
+/// whose spectral radius is dialed in by rescaling a random matrix,
+/// random PID gains, and detector knobs beyond the wire protocol.
+fn random_lti_scenario(seed: &SeedSpec) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed.seed);
+    let n = rng.random_range(2..=4usize);
+    let m = rng.random_range(1..=2usize);
+
+    // Controlled spectral radius: draw a raw matrix, measure ρ, and
+    // rescale to the target — stable (< 1) or marginal (≈ 1).
+    let target_rho = if rng.random_bool(0.2) {
+        rng.random_range(0.98..=1.0)
+    } else {
+        rng.random_range(0.5..=0.95)
+    };
+    let raw = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..=1.0));
+    let rho = spectral_radius(&raw).unwrap_or(0.0);
+    let a = if rho > 1e-9 {
+        raw.scale(target_rho / rho)
+    } else {
+        Matrix::diagonal(&vec![target_rho; n])
+    };
+    let b = Matrix::from_fn(n, m, |_, _| rng.random_range(-1.0..=1.0));
+    let dt = if rng.random_bool(0.5) { 0.01 } else { 0.02 };
+    let system = LtiSystem::new_discrete_fully_observable(a, b, dt)
+        .expect("synthesized matrices are finite and well-shaped");
+
+    let sensor_noise = rng.random_range(0.001..=0.01);
+    let epsilon = rng.random_range(0.002..=0.02);
+    let u_max = rng.random_range(0.5..=2.0);
+    let control_limits = BoxSet::symmetric(m, u_max).expect("positive bound");
+    let safe_bound = rng.random_range(1.5..=4.0);
+    let safe_set = BoxSet::symmetric(n, safe_bound).expect("positive bound");
+    let threshold = Vector::from_fn(n, |_| sensor_noise * rng.random_range(2.0..=6.0));
+
+    let max_window = rng.random_range(4..=10usize);
+    let min_window = if rng.random_bool(0.3) {
+        rng.random_range(1..=2usize).min(max_window)
+    } else {
+        0
+    };
+    let cache_capacity = [0usize, 64, 1024][rng.random_range(0..3usize)];
+    let initial_radius = if rng.random_bool(0.5) {
+        sensor_noise
+    } else {
+        0.0
+    };
+    let reestimation_period = rng.random_range(1..=3usize);
+    let complementary = rng.random_bool(0.8);
+
+    // Random PID gains, one channel per input driven by a random
+    // state dimension, regulating to zero.
+    let channels = (0..m)
+        .map(|j| {
+            PidChannel::new(
+                rng.random_range(0..n),
+                j,
+                PidGains::new(
+                    rng.random_range(0.1..=2.0),
+                    rng.random_range(0.0..=0.5),
+                    rng.random_range(0.0..=0.1),
+                ),
+                Reference::constant(0.0),
+            )
+        })
+        .collect::<Vec<_>>();
+    let mut pid = PidController::new(channels, control_limits.clone(), dt)
+        .expect("synthesized PID channels are in range");
+
+    let x0 = Vector::from_fn(n, |_| rng.random_range(-0.1..=0.1));
+    let drawn_len = rng.random_range(40..=72usize);
+    let len = seed.len.unwrap_or(drawn_len);
+    let target_dim = rng.random_range(0..n);
+    let magnitude = threshold[target_dim] * rng.random_range(1.5..=8.0);
+    let (mut attack, attack_desc) = draw_attack(&mut rng, len.max(6), n, target_dim, magnitude);
+
+    let trace = closed_loop_trace(
+        &mut rng,
+        &system,
+        &x0,
+        &mut pid,
+        attack.as_mut(),
+        sensor_noise,
+        0.5 * epsilon,
+        len,
+    );
+
+    Scenario {
+        seed: *seed,
+        label: format!(
+            "lti n={n} m={m} ρ={target_rho:.2} w_m={max_window} cache={cache_capacity} {attack_desc}"
+        ),
+        spec: None,
+        system,
+        threshold,
+        max_window,
+        min_window,
+        cache_capacity,
+        initial_radius,
+        reestimation_period,
+        complementary,
+        epsilon,
+        control_limits,
+        safe_set,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_string_round_trips() {
+        for spec in [
+            SeedSpec::registry(0),
+            SeedSpec::registry(u64::MAX),
+            SeedSpec::random_lti(0xdead_beef),
+            SeedSpec::registry(42).with_len(17),
+        ] {
+            let s = spec.to_string();
+            assert_eq!(s.parse::<SeedSpec>().unwrap(), spec, "via {s}");
+        }
+    }
+
+    #[test]
+    fn seed_string_rejects_garbage() {
+        for bad in [
+            "",
+            "awsad1",
+            "awsad2:registry:00",
+            "awsad1:nope:00",
+            "awsad1:registry:xyz",
+            "awsad1:registry:00:len=q",
+            "awsad1:registry:00:frobnicate=1",
+        ] {
+            assert!(bad.parse::<SeedSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_scenario() {
+        for seed in [SeedSpec::registry(7), SeedSpec::random_lti(7)] {
+            let a = Scenario::from_seed(&seed);
+            let b = Scenario::from_seed(&seed);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.trace.len(), b.trace.len());
+            for (ta, tb) in a.trace.iter().zip(&b.trace) {
+                assert_eq!(ta.estimate, tb.estimate);
+                assert_eq!(ta.input, tb.input);
+            }
+        }
+    }
+
+    #[test]
+    fn len_override_caps_trace() {
+        let seed = SeedSpec::registry(3).with_len(9);
+        assert_eq!(Scenario::from_seed(&seed).trace.len(), 9);
+    }
+
+    #[test]
+    fn registry_scenarios_build_via_server_construction() {
+        for s in 0..8u64 {
+            let scenario = Scenario::from_seed(&SeedSpec::registry(s));
+            let (logger, detector) = scenario.parts();
+            assert_eq!(logger.system().state_dim(), scenario.system.state_dim());
+            assert_eq!(detector.config().max_window(), scenario.max_window);
+            assert_eq!(detector.has_deadline_cache(), scenario.cache_capacity > 0);
+        }
+    }
+
+    #[test]
+    fn random_lti_scenarios_build() {
+        for s in 0..8u64 {
+            let scenario = Scenario::from_seed(&SeedSpec::random_lti(s));
+            let (logger, detector) = scenario.parts();
+            assert_eq!(logger.system().state_dim(), scenario.system.state_dim());
+            assert_eq!(detector.initial_radius(), scenario.initial_radius);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Degrade-path property: under a random overflow pattern, every
+//! degraded tick reports the safe ceiling — window `w_m` with no
+//! deadline estimate — the stream prefix before the first degraded
+//! tick is untouched (identical to the no-overload Block-mode
+//! stream), and the whole stream matches a direct detector driven
+//! with `step_degraded` at the same ticks.
+//!
+//! Full post-degrade equality with the Block stream is deliberately
+//! NOT asserted: a degraded step resets the previous window to `w_m`
+//! and drops the cached deadline, so later regular steps legitimately
+//! differ. What must hold is that the engine's degrade handling is
+//! exactly the detector's `step_degraded`, nothing more and nothing
+//! less.
+
+use awsad_reach::Deadline;
+use awsad_runtime::EngineConfig;
+use awsad_testkit::oracle::{direct_steps, direct_steps_with, engine_steps_with};
+use awsad_testkit::scenario::{Scenario, SeedSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// A random overload pattern with at least one degraded tick.
+fn degrade_pattern(seed: u64, len: usize) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let density = rng.random_range(0.05..0.5);
+    let mut pattern: Vec<bool> = (0..len).map(|_| rng.random_bool(density)).collect();
+    let forced = rng.random_range(0..len);
+    pattern[forced] = true;
+    pattern
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn degraded_ticks_report_wm_and_leave_the_prefix_alone(
+        seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+    ) {
+        let spec = if seed.is_multiple_of(2) {
+            SeedSpec::registry(seed)
+        } else {
+            SeedSpec::random_lti(seed)
+        };
+        let scenario = Scenario::from_seed(&spec);
+        let pattern = degrade_pattern(pattern_seed, scenario.trace.len());
+
+        let engine = engine_steps_with(&scenario, EngineConfig::default(), |i| pattern[i])
+            .unwrap_or_else(|e| panic!("{e}\n  repro: {}", spec.repro_command()));
+        prop_assert_eq!(engine.len(), scenario.trace.len());
+
+        // Every degraded tick falls back to the w_m ceiling and skips
+        // the deadline query.
+        for (i, step) in engine.iter().enumerate() {
+            if pattern[i] {
+                prop_assert_eq!(
+                    step.window, scenario.max_window,
+                    "degraded tick {} reported window {} != w_m {}; repro: {}",
+                    i, step.window, scenario.max_window, spec.repro_command()
+                );
+                prop_assert_eq!(
+                    step.deadline, Deadline::Beyond,
+                    "degraded tick {} reported a deadline estimate; repro: {}",
+                    i, spec.repro_command()
+                );
+                prop_assert!(
+                    step.complementary_alarms.is_empty(),
+                    "degraded tick {} ran complementary checks; repro: {}",
+                    i, spec.repro_command()
+                );
+            }
+        }
+
+        // Before the first overload the stream is byte-identical to
+        // the undisturbed Block-mode stream.
+        let first = pattern.iter().position(|&d| d).unwrap();
+        let block = direct_steps(&scenario);
+        prop_assert_eq!(
+            &engine[..first], &block[..first],
+            "stream diverged before the first degraded tick {}; repro: {}",
+            first, spec.repro_command()
+        );
+
+        // End to end, the engine must equal a direct detector that
+        // calls step_degraded at exactly the same ticks.
+        let reference = direct_steps_with(&scenario, |i| pattern[i]);
+        prop_assert_eq!(
+            engine, reference,
+            "degrade stream != direct step_degraded reference; repro: {}",
+            spec.repro_command()
+        );
+    }
+}
