@@ -1,0 +1,1102 @@
+//! The readiness-based detection server: a small pool of I/O shards,
+//! each running one event loop over one [`crate::sys::Poller`].
+//!
+//! # Shard model
+//!
+//! Every shard owns, exclusively and without locks:
+//!
+//! * a clone of the listening socket (all clones share one file
+//!   description, so the kernel load-balances accepts across whichever
+//!   shards are awake);
+//! * a slab of connection states with incremental frame decode
+//!   ([`crate::codec::FrameAssembler`]) and vectored reply writes
+//!   ([`crate::codec::WriteQueue`]);
+//! * its **own** [`DetectionEngine`], so a session's ticks never cross
+//!   a shard boundary or contend on a cross-shard lock;
+//! * a shard-local session registry keyed by wire session id.
+//!
+//! Sessions are pinned to shards by a stable function of the session
+//! id: shard `k` of `n` allocates ids `k, k + n, k + 2n, …`, so
+//! `id % n` names the owning shard forever. Since a session is only
+//! reachable from the connection that opened it, and a connection
+//! lives on exactly one shard, no request can ever need a session
+//! another shard owns — the pinning is total, not a cache policy.
+//!
+//! # Readiness state machine
+//!
+//! The loop is level-triggered: a handler that stops mid-work (a full
+//! request queue, a write that hit `EAGAIN`) is simply re-notified on
+//! the next wait. Per readiness event a connection advances through
+//! read → decode → enqueue requests → serve → queue replies → flush;
+//! a `Tick` batch parks as the connection's single in-flight engine
+//! batch, and the engine's drain doorbell
+//! ([`DetectionEngine::set_drain_notifier`] writing one byte into the
+//! shard's wake pipe) re-enters the loop to collect outcomes — the
+//! event loop never blocks on the engine.
+//!
+//! Backpressure is the request-queue bound: a connection with
+//! [`REQUEST_QUEUE_CAP`] undecoded requests stops being read, which
+//! fills the kernel socket buffer, which stalls the sender — TCP
+//! doing the throttling, exactly like the blocking server's bounded
+//! engine queue but one layer down.
+//!
+//! # Protocol fidelity
+//!
+//! The wire behavior is the blocking server's, bit for bit: same
+//! frames, same correlation-id echo, same error codes and messages,
+//! same `frame_deadline` slow-loris bound, same TTL eviction
+//! semantics, same session-ownership rules. Every existing client
+//! works unmodified; the six-path differential oracle in
+//! `awsad-testkit` holds the two servers to byte-identical streams.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use awsad_linalg::Vector;
+use awsad_runtime::{DetectionEngine, RuntimeMetrics, SessionHandle, Tick, TickOutcome};
+use awsad_serve::server::{session_parts_for_spec, wire_metrics, ServerConfig, TransportMetrics};
+use awsad_serve::wire::{ErrorCode, Frame, SessionSpec, WireOutcome, WireSessionState, WireTick};
+
+use crate::codec::{BufferPool, FrameAssembler, ReadStatus, WriteQueue};
+use crate::sys::{Interest, Poller, PollerBackend};
+
+/// Decoded-but-unserved requests a connection may hold before the
+/// shard stops reading it (TCP backpressure takes over from there).
+pub const REQUEST_QUEUE_CAP: usize = 32;
+
+/// Poller token of the shard's listener clone.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the shard's wake pipe (engine doorbell + shutdown).
+const TOKEN_WAKE: u64 = 1;
+/// Connection tokens start here; the low 32 bits are `slot + 2`, the
+/// high 32 bits a generation counter so an event raced against slot
+/// reuse can be recognized as stale and dropped.
+const TOKEN_CONN_BASE: u64 = 2;
+
+/// Cadence of the maintenance sweep (frame deadline, session TTL,
+/// outcome timeout) — also the poller wait bound, so sweeps run even
+/// on a silent shard.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Construction parameters for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Protocol-level configuration, shared verbatim with the
+    /// blocking server: engine shape (applied **per shard**), frame
+    /// size limit, outcome timeout, per-connection session limit,
+    /// server name, session TTL, and frame deadline.
+    /// `read_timeout` is ignored — a readiness loop has no blocking
+    /// reads to bound.
+    pub base: ServerConfig,
+    /// I/O shard count; `0` (the default) sizes to available
+    /// parallelism, clamped to `1..=4` (each shard also carries its
+    /// engine's workers, so shard count is not the whole story).
+    pub shards: usize,
+    /// Force the portable `poll(2)` backend even where epoll is
+    /// available (diagnostics and differential testing).
+    pub force_poll: bool,
+    /// Connections one shard will hold; an accept beyond this is
+    /// closed immediately (counted in `connections_dropped`).
+    pub max_connections_per_shard: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            base: ServerConfig::default(),
+            shards: 0,
+            force_poll: false,
+            max_connections_per_shard: 16 * 1024,
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// The shard count `bind` will actually use.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards != 0 {
+            return self.shards;
+        }
+        thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(1, 4)
+    }
+}
+
+/// Per-shard transport counters; summed across shards for
+/// `MetricsQuery` and [`NetServer::transport_metrics`].
+#[derive(Debug, Default)]
+struct ShardStats {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    decode_errors: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_dropped: AtomicU64,
+    sessions_evicted: AtomicU64,
+    partial_frame_resumes: AtomicU64,
+}
+
+/// The slice of a shard other threads may see: its engine (for
+/// cross-shard metrics merges) and its counters.
+struct ShardShared {
+    engine: DetectionEngine,
+    stats: ShardStats,
+}
+
+/// State shared by all shards and the [`NetServer`] handle.
+struct NetShared {
+    config: NetServerConfig,
+    shards: Vec<Arc<ShardShared>>,
+    shutdown: AtomicBool,
+}
+
+impl NetShared {
+    /// Cross-shard engine metrics: per-shard snapshots folded with
+    /// [`RuntimeMetrics::merged`].
+    fn merged_engine_metrics(&self) -> RuntimeMetrics {
+        self.shards.iter().fold(RuntimeMetrics::zero(), |acc, s| {
+            acc.merged(&s.engine.metrics())
+        })
+    }
+
+    /// Cross-shard transport counters, summed.
+    fn summed_transport(&self) -> TransportMetrics {
+        let mut t = TransportMetrics::default();
+        for s in &self.shards {
+            t.frames_in += s.stats.frames_in.load(Ordering::Relaxed);
+            t.frames_out += s.stats.frames_out.load(Ordering::Relaxed);
+            t.decode_errors += s.stats.decode_errors.load(Ordering::Relaxed);
+            t.connections_opened += s.stats.connections_opened.load(Ordering::Relaxed);
+            t.connections_dropped += s.stats.connections_dropped.load(Ordering::Relaxed);
+            t.sessions_evicted += s.stats.sessions_evicted.load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Total frames completed mid-frame across all shards.
+    fn summed_resumes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.stats.partial_frame_resumes.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A running readiness-based detection server. Dropping it (or
+/// calling [`NetServer::shutdown`]) wakes every shard and joins them.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    backend: PollerBackend,
+    shared: Arc<NetShared>,
+    /// One write end per shard wake pipe, for shutdown nudges.
+    wakers: Vec<UnixStream>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("backend", &self.backend.name())
+            .field("shards", &self.shared.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts the shard pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/clone and poller construction failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: NetServerConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let nshards = config.resolved_shards();
+        let shards: Vec<Arc<ShardShared>> = (0..nshards)
+            .map(|_| {
+                Arc::new(ShardShared {
+                    engine: DetectionEngine::new(config.base.engine.clone()),
+                    stats: ShardStats::default(),
+                })
+            })
+            .collect();
+        let shared = Arc::new(NetShared {
+            config,
+            shards,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut wakers = Vec::with_capacity(nshards);
+        let mut threads = Vec::with_capacity(nshards);
+        let mut backend = PollerBackend::Poll;
+        for idx in 0..nshards {
+            let poller = Poller::new(shared.config.force_poll)?;
+            backend = poller.backend();
+            let (wake_rx, wake_tx) = UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            // The engine's drain doorbell: rings the shard awake when
+            // outcomes become collectable. Nonblocking — a full pipe
+            // already holds a pending wake, so a dropped byte is fine.
+            let doorbell = wake_tx.try_clone()?;
+            shared.shards[idx].engine.set_drain_notifier(move || {
+                let _ = (&doorbell).write(&[1]);
+            });
+            wakers.push(wake_tx);
+            let shard = Shard::new(
+                idx,
+                nshards,
+                Arc::clone(&shared),
+                poller,
+                listener.try_clone()?,
+                wake_rx,
+            );
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("awsad-net-shard-{idx}"))
+                    .spawn(move || shard.run())
+                    .expect("spawn shard thread"),
+            );
+        }
+        Ok(NetServer {
+            local_addr,
+            backend,
+            shared,
+            wakers,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The readiness backend the shards are running on.
+    pub fn backend(&self) -> PollerBackend {
+        self.backend
+    }
+
+    /// Number of I/O shards (each with its own engine).
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Cross-shard engine counters, folded with
+    /// [`RuntimeMetrics::merged`].
+    pub fn engine_metrics(&self) -> RuntimeMetrics {
+        self.shared.merged_engine_metrics()
+    }
+
+    /// Cross-shard transport counters, summed.
+    pub fn transport_metrics(&self) -> TransportMetrics {
+        self.shared.summed_transport()
+    }
+
+    /// Frames that arrived torn across readiness wakeups and were
+    /// completed by mid-frame resume, across all shards.
+    pub fn partial_frame_resumes(&self) -> u64 {
+        self.shared.summed_resumes()
+    }
+
+    /// Stops every shard: connections close, sessions drop (queued
+    /// ticks still drain on each shard's engine), threads join.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for w in &self.wakers {
+            let _ = (&*w).write(&[1]);
+        }
+        let threads: Vec<_> = self
+            .threads
+            .lock()
+            .expect("shard thread handles lock")
+            .drain(..)
+            .collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One open session on a shard. Unlike the blocking server's
+/// registry entry there are no locks: the owning shard thread is the
+/// only toucher.
+struct NetSession {
+    /// Token of the connection that opened it; any other connection's
+    /// lookup answers `UnknownSession`, exactly as if absent.
+    owner: u64,
+    state_dim: usize,
+    input_dim: usize,
+    last_used: Instant,
+    /// An engine batch is in flight — the TTL sweep must not evict
+    /// (the analogue of the blocking server's `try_lock` skip).
+    busy: bool,
+    handle: SessionHandle,
+    outcomes: mpsc::Receiver<TickOutcome>,
+}
+
+/// A `Tick` batch submitted to the engine, awaiting its outcomes. At
+/// most one exists per connection, which preserves the blocking
+/// server's strict request→reply ordering.
+struct PendingBatch {
+    /// Wire session id the reply will name.
+    session: u64,
+    corr: Option<u64>,
+    expected: usize,
+    outcomes: Vec<WireOutcome>,
+    since: Instant,
+}
+
+/// Per-connection state in the shard slab.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    assembler: FrameAssembler,
+    /// `assembler.resumed_frames()` already published to the shard
+    /// counter (delta accounting).
+    resumes_reported: u64,
+    writes: WriteQueue,
+    requests: VecDeque<awsad_serve::wire::Envelope>,
+    pending: Option<PendingBatch>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Peer closed its write side cleanly at a frame boundary; serve
+    /// what's queued, flush, then close without counting a drop.
+    read_eof: bool,
+    /// Fatal protocol error: the error frame is queued; close once it
+    /// flushes (or the flush fails).
+    poisoned: bool,
+    /// This connection's teardown has already been counted in
+    /// `connections_dropped`.
+    drop_counted: bool,
+    /// Sessions currently owned (O(1) session-limit check).
+    sessions_open: usize,
+}
+
+/// What serving one request produced.
+enum Served {
+    /// An immediate reply frame.
+    Reply(Frame),
+    /// A `Tick` batch went to the engine; the reply forms when the
+    /// outcomes arrive.
+    Batch(PendingBatch),
+}
+
+/// One I/O shard: poller, listener clone, wake pipe, connection slab,
+/// session registry, buffer pool — all exclusively owned.
+struct Shard {
+    nshards: usize,
+    shared: Arc<NetShared>,
+    shard: Arc<ShardShared>,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    conns: Vec<Option<Conn>>,
+    free_slots: Vec<usize>,
+    conns_active: usize,
+    sessions: HashMap<u64, NetSession>,
+    /// Next wire session id: starts at `idx`, steps by `nshards`, so
+    /// `id % nshards == idx` pins the session here for life.
+    next_session_id: u64,
+    /// Generation stamp for connection tokens.
+    next_gen: u64,
+    pool: BufferPool,
+    /// Scratch: completed payloads from the current read.
+    payloads: Vec<Vec<u8>>,
+    /// Scratch: events from the current wait.
+    events: Vec<crate::sys::Event>,
+    last_sweep: Instant,
+}
+
+impl Shard {
+    fn new(
+        idx: usize,
+        nshards: usize,
+        shared: Arc<NetShared>,
+        poller: Poller,
+        listener: TcpListener,
+        wake_rx: UnixStream,
+    ) -> Shard {
+        let shard = Arc::clone(&shared.shards[idx]);
+        Shard {
+            nshards,
+            shared,
+            shard,
+            poller,
+            listener,
+            wake_rx,
+            conns: Vec::new(),
+            free_slots: Vec::new(),
+            conns_active: 0,
+            sessions: HashMap::new(),
+            next_session_id: idx as u64,
+            next_gen: 0,
+            pool: BufferPool::default(),
+            payloads: Vec::new(),
+            events: Vec::new(),
+            last_sweep: Instant::now(),
+        }
+    }
+
+    fn run(mut self) {
+        if self
+            .poller
+            .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+            || self
+                .poller
+                .register(self.wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)
+                .is_err()
+        {
+            return;
+        }
+        let mut events = Vec::new();
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            if self.poller.wait(&mut events, SWEEP_INTERVAL).is_err() {
+                // EBADF-class failures are unrecoverable for the loop;
+                // EINTR already surfaces as an empty wait.
+                break;
+            }
+            std::mem::swap(&mut self.events, &mut events);
+            let mut pump = false;
+            for i in 0..self.events.len() {
+                let ev = self.events[i];
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => {
+                        self.drain_wake_pipe();
+                        pump = true;
+                    }
+                    token => self.conn_event(token),
+                }
+            }
+            self.events.clear();
+            std::mem::swap(&mut self.events, &mut events);
+            if pump {
+                self.pump_all();
+            }
+            if self.last_sweep.elapsed() >= SWEEP_INTERVAL {
+                self.sweep();
+                self.last_sweep = Instant::now();
+            }
+        }
+        // Shutdown: deregister and drop everything; each session
+        // handle's Drop closes it and the engine drains what's queued.
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close_conn(slot, false);
+            }
+        }
+    }
+
+    /// Accepts until `EAGAIN`. All shards share the listener's file
+    /// description, so whichever shards wake race for each pending
+    /// connection; losers see `EAGAIN` and move on.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns_active >= self.shared.config.max_connections_per_shard {
+                        self.shard
+                            .stats
+                            .connections_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.shard
+                        .stats
+                        .connections_opened
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.insert_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient failure (e.g. EMFILE): give up this
+                // readiness round; level triggering re-offers it.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, stream: TcpStream) {
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let token = (slot as u64 + TOKEN_CONN_BASE) | ((self.next_gen & 0xffff_ffff) << 32);
+        let fd = stream.as_raw_fd();
+        let conn = Conn {
+            stream,
+            token,
+            assembler: FrameAssembler::new(self.shared.config.base.max_frame_len),
+            resumes_reported: 0,
+            writes: WriteQueue::default(),
+            requests: VecDeque::new(),
+            pending: None,
+            interest: Interest::READ,
+            read_eof: false,
+            poisoned: false,
+            drop_counted: false,
+            sessions_open: 0,
+        };
+        if self.poller.register(fd, token, Interest::READ).is_err() {
+            // Poller rejected the fd; the stream drops and closes.
+            self.shard
+                .stats
+                .connections_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            self.free_slots.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(conn);
+        self.conns_active += 1;
+    }
+
+    /// Maps a poller token to its slab slot, discarding stale events
+    /// (a slot reused after close gets a fresh generation).
+    fn slot_of(&self, token: u64) -> Option<usize> {
+        let slot = (token & 0xffff_ffff).checked_sub(TOKEN_CONN_BASE)? as usize;
+        match self.conns.get(slot) {
+            Some(Some(c)) if c.token == token => Some(slot),
+            _ => None,
+        }
+    }
+
+    fn conn_event(&mut self, token: u64) {
+        let Some(slot) = self.slot_of(token) else {
+            return;
+        };
+        // Readable work first: even a connection the peer already
+        // hung up on may hold complete frames worth serving.
+        self.read_ready(slot);
+        if self.conns[slot].is_some() {
+            self.advance(slot);
+        }
+    }
+
+    /// Reads whatever the socket has, decodes completed frames into
+    /// the request queue, and classifies the stop condition.
+    fn read_ready(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().expect("live conn");
+        if conn.poisoned || conn.read_eof || conn.requests.len() >= REQUEST_QUEUE_CAP {
+            return;
+        }
+        let status =
+            conn.assembler
+                .read_available(&mut conn.stream, &mut self.pool, &mut self.payloads);
+        let resumes = conn.assembler.resumed_frames();
+        if resumes != conn.resumes_reported {
+            self.shard
+                .stats
+                .partial_frame_resumes
+                .fetch_add(resumes - conn.resumes_reported, Ordering::Relaxed);
+            conn.resumes_reported = resumes;
+        }
+        for payload in self.payloads.drain(..) {
+            if !conn.poisoned {
+                match Frame::decode_enveloped(&payload) {
+                    Ok(env) => {
+                        self.shard.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                        conn.requests.push_back(env);
+                    }
+                    Err(err) => poison(conn, &self.shard.stats, &err),
+                }
+            }
+            self.pool.put(payload);
+        }
+        match status {
+            ReadStatus::WouldBlock => {}
+            ReadStatus::Closed => conn.read_eof = true,
+            ReadStatus::Protocol(err) => {
+                if !conn.poisoned {
+                    poison(conn, &self.shard.stats, &err);
+                }
+            }
+            ReadStatus::Io(_) => {
+                let count = !self.shared.shutdown.load(Ordering::SeqCst);
+                self.close_conn(slot, count);
+            }
+        }
+    }
+
+    /// Serves queued requests, collects a completed pending batch,
+    /// flushes, updates poller interest, and closes if the connection
+    /// has nothing left to live for.
+    fn advance(&mut self, slot: usize) {
+        self.serve_requests(slot);
+        if self.conns[slot].is_none() {
+            return;
+        }
+        self.flush(slot);
+        if self.conns[slot].is_none() {
+            return;
+        }
+        let conn = self.conns[slot].as_mut().expect("live conn");
+        let done_writing = conn.writes.is_empty();
+        if conn.poisoned && done_writing {
+            // Error frame delivered; teardown was already counted.
+            self.close_conn(slot, false);
+            return;
+        }
+        if conn.read_eof && done_writing && conn.requests.is_empty() && conn.pending.is_none() {
+            // Clean close at a frame boundary: not a drop.
+            self.close_conn(slot, false);
+            return;
+        }
+        let want = Interest {
+            readable: !conn.read_eof && !conn.poisoned && conn.requests.len() < REQUEST_QUEUE_CAP,
+            writable: !done_writing,
+        };
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            let token = conn.token;
+            conn.interest = want;
+            if self.poller.reregister(fd, token, want).is_err() {
+                self.close_conn(slot, !self.shared.shutdown.load(Ordering::SeqCst));
+            }
+        }
+    }
+
+    /// Serves requests in arrival order until the queue empties or a
+    /// `Tick` batch parks as the in-flight pending batch (strict
+    /// request→reply ordering: nothing overtakes an unanswered Tick).
+    fn serve_requests(&mut self, slot: usize) {
+        loop {
+            let env = {
+                let conn = self.conns[slot].as_mut().expect("live conn");
+                if conn.pending.is_some() || conn.poisoned {
+                    return;
+                }
+                match conn.requests.pop_front() {
+                    Some(env) => env,
+                    None => return,
+                }
+            };
+            let token = self.conns[slot].as_ref().expect("live conn").token;
+            match self.serve_frame(token, env.frame) {
+                Served::Reply(reply) => self.queue_reply(slot, &reply, env.corr),
+                Served::Batch(mut batch) => {
+                    batch.corr = env.corr;
+                    if let Some(sess) = self.sessions.get_mut(&batch.session) {
+                        sess.busy = true;
+                    }
+                    self.conns[slot].as_mut().expect("live conn").pending = Some(batch);
+                    // Outcomes may already be waiting (the doorbell
+                    // can beat us here); collect eagerly.
+                    self.pump_conn(slot);
+                }
+            }
+        }
+    }
+
+    /// Encodes and queues a reply, counting `frames_out` before the
+    /// bytes can possibly hit the wire (same observer contract as the
+    /// blocking server). The request's correlation id is echoed;
+    /// legacy corr-less requests get legacy corr-less replies.
+    fn queue_reply(&mut self, slot: usize, reply: &Frame, corr: Option<u64>) {
+        self.shard.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        let conn = self.conns[slot].as_mut().expect("live conn");
+        conn.writes.push_frame(reply.encode_with_corr(corr));
+    }
+
+    /// Flushes a connection's write queue; a transport failure tears
+    /// the connection down.
+    fn flush(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().expect("live conn");
+        if conn.writes.is_empty() {
+            return;
+        }
+        if conn.writes.flush(&mut conn.stream).is_err() {
+            let count = !conn.drop_counted && !self.shared.shutdown.load(Ordering::SeqCst);
+            self.close_conn(slot, count);
+        }
+    }
+
+    /// Collects outcomes for every connection with an in-flight
+    /// batch. Runs once per loop iteration after the doorbell rang —
+    /// coalesced, so a burst of engine drains costs one pass.
+    fn pump_all(&mut self) {
+        for slot in 0..self.conns.len() {
+            if matches!(&self.conns[slot], Some(c) if c.pending.is_some()) {
+                self.pump_conn(slot);
+                if self.conns[slot].is_some() {
+                    self.advance(slot);
+                }
+            }
+        }
+    }
+
+    /// Drains available outcomes into `slot`'s pending batch; when
+    /// complete, queues the `TickOutcomes` reply and serves whatever
+    /// requests queued up behind it.
+    fn pump_conn(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().expect("live conn");
+        let Some(pending) = conn.pending.as_mut() else {
+            return;
+        };
+        let Some(sess) = self.sessions.get_mut(&pending.session) else {
+            // The session vanished under the batch (shutdown path);
+            // the outcome-timeout sweep will answer.
+            return;
+        };
+        while pending.outcomes.len() < pending.expected {
+            match sess.outcomes.try_recv() {
+                Ok(outcome) => pending.outcomes.push(WireOutcome::from_outcome(&outcome)),
+                Err(_) => break,
+            }
+        }
+        if pending.outcomes.len() < pending.expected {
+            return;
+        }
+        let batch = conn.pending.take().expect("pending batch");
+        sess.busy = false;
+        sess.last_used = Instant::now();
+        let reply = Frame::TickOutcomes {
+            session: batch.session,
+            outcomes: batch.outcomes,
+        };
+        self.queue_reply(slot, &reply, batch.corr);
+        self.serve_requests(slot);
+    }
+
+    /// Drains the wake pipe (engine doorbell and shutdown nudges are
+    /// both just bytes; what matters is that the loop woke).
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    /// The maintenance sweep: slow-loris frame deadlines, outcome
+    /// timeouts, and session TTL eviction. Also a pump safety net —
+    /// the doorbell is at-least-once, but a missed edge only ever
+    /// costs one sweep interval of reply latency.
+    fn sweep(&mut self) {
+        self.pump_all();
+        let frame_deadline = self.shared.config.base.frame_deadline;
+        let outcome_timeout = self.shared.config.base.outcome_timeout;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            // A peer stalled mid-frame past the deadline is dropped —
+            // the readiness analogue of the blocking reader's armed
+            // timer.
+            if matches!(conn.assembler.mid_frame_since(), Some(since) if since.elapsed() >= frame_deadline)
+            {
+                self.close_conn(slot, !self.shared.shutdown.load(Ordering::SeqCst));
+                continue;
+            }
+            // An engine batch past the outcome deadline answers
+            // `Timeout`, exactly like the blocking server's
+            // `recv_timeout` expiring.
+            if matches!(conn.pending.as_ref(), Some(p) if p.since.elapsed() >= outcome_timeout) {
+                let conn = self.conns[slot].as_mut().expect("live conn");
+                let batch = conn.pending.take().expect("pending batch");
+                if let Some(sess) = self.sessions.get_mut(&batch.session) {
+                    sess.busy = false;
+                }
+                let reply = error(
+                    ErrorCode::Timeout,
+                    format!(
+                        "engine produced {}/{} outcomes in time",
+                        batch.outcomes.len(),
+                        batch.expected
+                    ),
+                );
+                self.queue_reply(slot, &reply, batch.corr);
+                self.advance(slot);
+            }
+        }
+        if let Some(ttl) = self.shared.config.base.session_ttl {
+            let expired: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| !s.busy && s.last_used.elapsed() >= ttl)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                if let Some(sess) = self.sessions.remove(&id) {
+                    self.shard
+                        .stats
+                        .sessions_evicted
+                        .fetch_add(1, Ordering::Relaxed);
+                    if let Some(slot) = self.slot_of(sess.owner) {
+                        let conn = self.conns[slot].as_mut().expect("live conn");
+                        conn.sessions_open = conn.sessions_open.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tears a connection down: poller deregistration **before** the
+    /// fd closes (a closed fd in a poll set is undefined-ish:
+    /// POLLNVAL at best), session cleanup, slab slot recycling.
+    fn close_conn(&mut self, slot: usize, count_drop: bool) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if count_drop && !conn.drop_counted {
+            self.shard
+                .stats
+                .connections_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if conn.sessions_open > 0 {
+            // Dropping the entries closes the sessions; the engine
+            // still drains whatever was queued.
+            self.sessions.retain(|_, s| s.owner != conn.token);
+        }
+        self.conns_active -= 1;
+        self.free_slots.push(slot);
+    }
+
+    /// Serves one request frame. Mirrors the blocking server's
+    /// `handle_frame` case for case — same codes, same messages — so
+    /// clients cannot tell the servers apart.
+    fn serve_frame(&mut self, conn_token: u64, frame: Frame) -> Served {
+        match frame {
+            Frame::Hello { client: _ } => Served::Reply(Frame::HelloAck {
+                server: self.shared.config.base.server_name.clone(),
+            }),
+            Frame::OpenSession(spec) => self.open_session(conn_token, &spec, None),
+            Frame::RestoreSession { spec, state } => {
+                self.open_session(conn_token, &spec, Some(&state))
+            }
+            Frame::Tick { session, ticks } => self.start_ticks(conn_token, session, ticks),
+            Frame::SnapshotSession { session } => {
+                Served::Reply(self.snapshot_session(conn_token, session))
+            }
+            Frame::CloseSession { session } => {
+                let reply = match self.sessions.get(&session) {
+                    Some(s) if s.owner == conn_token => {
+                        if let Some(sess) = self.sessions.remove(&session) {
+                            if let Some(slot) = self.slot_of(conn_token) {
+                                let conn = self.conns[slot].as_mut().expect("live conn");
+                                conn.sessions_open = conn.sessions_open.saturating_sub(1);
+                            }
+                            drop(sess);
+                        }
+                        Frame::SessionClosed { session }
+                    }
+                    _ => error(ErrorCode::UnknownSession, format!("session {session}")),
+                };
+                Served::Reply(reply)
+            }
+            Frame::MetricsQuery => {
+                // The one cross-shard read: fold every shard's engine
+                // snapshot and sum the transport counters, then fill
+                // the append-only shard fields.
+                let mut wm = wire_metrics(
+                    &self.shared.merged_engine_metrics(),
+                    &self.shared.summed_transport(),
+                );
+                wm.shards = self.nshards as u64;
+                wm.partial_frame_resumes = self.shared.summed_resumes();
+                Served::Reply(Frame::MetricsReply(wm))
+            }
+            Frame::HelloAck { .. }
+            | Frame::SessionOpened { .. }
+            | Frame::TickOutcomes { .. }
+            | Frame::SessionClosed { .. }
+            | Frame::MetricsReply(_)
+            | Frame::SessionSnapshot { .. }
+            | Frame::Error { .. } => Served::Reply(error(
+                ErrorCode::Internal,
+                "reply-direction frame is not a valid request",
+            )),
+        }
+    }
+
+    fn open_session(
+        &mut self,
+        conn_token: u64,
+        spec: &SessionSpec,
+        restore: Option<&WireSessionState>,
+    ) -> Served {
+        let limit = self.shared.config.base.max_sessions_per_connection;
+        let Some(slot) = self.slot_of(conn_token) else {
+            return Served::Reply(error(ErrorCode::Internal, "connection gone"));
+        };
+        if self.conns[slot].as_ref().expect("live conn").sessions_open >= limit {
+            return Served::Reply(error(
+                ErrorCode::SessionLimit,
+                format!("connection already holds {limit} sessions"),
+            ));
+        }
+        let (logger, detector, state_dim, input_dim) = match session_parts_for_spec(spec) {
+            Ok(parts) => parts,
+            Err((code, msg)) => return Served::Reply(error(code, msg)),
+        };
+        let (handle, outcomes) = match restore {
+            None => self.shard.engine.add_session(logger, detector),
+            Some(state) => {
+                match self
+                    .shard
+                    .engine
+                    .restore_session(logger, detector, &state.to_snapshot())
+                {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        return Served::Reply(error(
+                            ErrorCode::BadSnapshot,
+                            format!("restore: {e}"),
+                        ))
+                    }
+                }
+            }
+        };
+        // Wire ids are shard-allocated (engine-internal ids restart
+        // at zero per shard and may collide across shards): this id
+        // satisfies `id % nshards == shard index` forever.
+        let id = self.next_session_id;
+        self.next_session_id += self.nshards as u64;
+        self.sessions.insert(
+            id,
+            NetSession {
+                owner: conn_token,
+                state_dim,
+                input_dim,
+                last_used: Instant::now(),
+                busy: false,
+                handle,
+                outcomes,
+            },
+        );
+        self.conns[slot].as_mut().expect("live conn").sessions_open += 1;
+        Served::Reply(Frame::SessionOpened {
+            session: id,
+            state_dim: state_dim as u32,
+            input_dim: input_dim as u32,
+        })
+    }
+
+    /// Validates and submits a `Tick` batch. Whole-batch dimension
+    /// validation happens before anything is submitted (a
+    /// half-submitted batch would desynchronize the outcome stream).
+    fn start_ticks(&mut self, conn_token: u64, session: u64, ticks: Vec<WireTick>) -> Served {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return Served::Reply(error(
+                ErrorCode::UnknownSession,
+                format!("session {session}"),
+            ));
+        };
+        if sess.owner != conn_token {
+            // Another connection's session answers exactly like a
+            // missing one: ids must not leak across clients.
+            return Served::Reply(error(
+                ErrorCode::UnknownSession,
+                format!("session {session}"),
+            ));
+        }
+        sess.last_used = Instant::now();
+        for (i, tick) in ticks.iter().enumerate() {
+            if tick.estimate.len() != sess.state_dim || tick.input.len() != sess.input_dim {
+                return Served::Reply(error(
+                    ErrorCode::DimensionMismatch,
+                    format!(
+                        "tick {i}: got estimate/input dims {}/{}, session wants {}/{}",
+                        tick.estimate.len(),
+                        tick.input.len(),
+                        sess.state_dim,
+                        sess.input_dim
+                    ),
+                ));
+            }
+        }
+        let n = ticks.len();
+        for tick in ticks {
+            // Under the Block policy a saturated session queue parks
+            // the shard here briefly — the same backpressure the
+            // blocking server applies, compressed into the submit.
+            // Degrade never parks.
+            if sess
+                .handle
+                .submit(Tick {
+                    estimate: Vector::from_vec(tick.estimate),
+                    input: Vector::from_vec(tick.input),
+                })
+                .is_err()
+            {
+                return Served::Reply(error(
+                    ErrorCode::UnknownSession,
+                    "session closed under batch",
+                ));
+            }
+        }
+        Served::Batch(PendingBatch {
+            session,
+            corr: None, // filled by the caller from the envelope
+            expected: n,
+            outcomes: Vec::with_capacity(n),
+            since: Instant::now(),
+        })
+    }
+
+    fn snapshot_session(&mut self, conn_token: u64, session: u64) -> Frame {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return error(ErrorCode::UnknownSession, format!("session {session}"));
+        };
+        if sess.owner != conn_token {
+            return error(ErrorCode::UnknownSession, format!("session {session}"));
+        }
+        sess.last_used = Instant::now();
+        // Strict request→reply ordering means the session's prior
+        // batch (if any) already delivered its outcomes, so this only
+        // waits for queue drain — effectively instant.
+        let snapshot = sess.handle.snapshot();
+        Frame::SessionSnapshot {
+            session,
+            state: WireSessionState::from_snapshot(&snapshot),
+        }
+    }
+}
+
+/// Marks a connection fatally desynchronized: counts the decode error
+/// and the drop, queues the explanatory error frame (best effort —
+/// delivery races the peer), and flags the connection for
+/// close-after-flush.
+fn poison(conn: &mut Conn, stats: &ShardStats, err: &dyn std::fmt::Display) {
+    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+    stats.connections_dropped.fetch_add(1, Ordering::Relaxed);
+    stats.frames_out.fetch_add(1, Ordering::Relaxed);
+    let reply = error(
+        ErrorCode::Internal,
+        format!("protocol violation, closing connection: {err}"),
+    );
+    conn.writes.push_frame(reply.encode());
+    conn.poisoned = true;
+    conn.drop_counted = true;
+    conn.requests.clear();
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Frame {
+    Frame::Error {
+        code,
+        message: message.into(),
+    }
+}

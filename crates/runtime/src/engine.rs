@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger, DetectorSnapshot};
@@ -156,6 +156,13 @@ struct EngineShared {
     pending: Mutex<u64>,
     idle: Condvar,
     next_id: Mutex<u64>,
+    /// Optional hook invoked on a pool worker after every drained
+    /// batch's outcomes have been sent. Lets a readiness-based caller
+    /// (an event loop that must never block on a channel) get a
+    /// doorbell — e.g. a byte written to a wake pipe — instead of
+    /// parking in `recv`. Set once; `get` on the hot path is a plain
+    /// atomic load.
+    drain_notifier: OnceLock<Box<dyn Fn() + Send + Sync>>,
 }
 
 /// An online multi-session detection engine.
@@ -247,6 +254,7 @@ impl DetectionEngine {
                 pending: Mutex::new(0),
                 idle: Condvar::new(),
                 next_id: Mutex::new(0),
+                drain_notifier: OnceLock::new(),
             }),
         }
     }
@@ -254,6 +262,20 @@ impl DetectionEngine {
     /// The engine configuration in effect (capacity already clamped).
     pub fn config(&self) -> &EngineConfig {
         &self.shared.config
+    }
+
+    /// Installs a callback invoked on a pool worker after each drained
+    /// batch of outcomes has been sent (at-least-once per batch; may
+    /// coalesce nothing — callers must treat it as a doorbell and
+    /// re-check their receivers). Intended for event-loop hosts that
+    /// cannot block in `recv`: the callback typically writes one byte
+    /// to a wake pipe registered with the host's poller.
+    ///
+    /// The notifier can be set only once per engine; later calls
+    /// return `false` and leave the original in place. It must not
+    /// block and must not call back into the engine.
+    pub fn set_drain_notifier(&self, notify: impl Fn() + Send + Sync + 'static) -> bool {
+        self.shared.drain_notifier.set(Box::new(notify)).is_ok()
     }
 
     /// The number of pool worker threads.
@@ -696,6 +718,15 @@ fn drain_session(slot: &SessionSlot) {
         if *pending == 0 {
             engine.idle.notify_all();
         }
+        drop(pending);
+
+        // Ring the host's doorbell after the batch's outcomes are
+        // visible on their channels (and after `pending` has been
+        // published, so a host that polls `metrics()` on wake sees a
+        // consistent backlog).
+        if let Some(notify) = engine.drain_notifier.get() {
+            notify();
+        }
     }
 }
 
@@ -735,6 +766,35 @@ mod tests {
             estimate: Vector::from_slice(&[x]),
             input: Vector::from_slice(&[0.0]),
         }
+    }
+
+    #[test]
+    fn drain_notifier_fires_after_outcomes_are_receivable() {
+        let engine = DetectionEngine::new(EngineConfig::default());
+        let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let fired2 = Arc::clone(&fired);
+        assert!(engine.set_drain_notifier(move || {
+            fired2.fetch_add(1, Ordering::Relaxed);
+        }));
+        // Second install is rejected, first stays.
+        assert!(!engine.set_drain_notifier(|| {}));
+
+        let (logger, det) = parts(0.5, 10);
+        let (session, outcomes) = engine.add_session(logger, det);
+        for i in 0..5 {
+            session.submit(tick(i as f64 * 0.01)).unwrap();
+        }
+        engine.drain();
+        // The doorbell rings *after* `pending` hits zero (drain() can
+        // return first), so give the worker a moment to get there.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while fired.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        // At least one ring per drained batch, and by the time it
+        // rang the outcomes were already on the channel.
+        assert!(fired.load(Ordering::Relaxed) >= 1);
+        assert_eq!(outcomes.try_iter().count(), 5);
     }
 
     #[test]

@@ -89,6 +89,27 @@ impl LatencyHistogram {
         }
     }
 
+    /// Elementwise sum of two histograms — the distribution that
+    /// would have resulted from recording both sample sets into one
+    /// histogram. Bucket bounds are fixed and identical across all
+    /// histograms, so the merge is exact (no re-bucketing error);
+    /// counters saturate rather than wrap on overflow.
+    pub fn merged(&self, other: &LatencyHistogram) -> LatencyHistogram {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (slot, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(other.buckets.iter()))
+        {
+            *slot = a.saturating_add(*b);
+        }
+        LatencyHistogram {
+            buckets,
+            overflow: self.overflow.saturating_add(other.overflow),
+            count: self.count.saturating_add(other.count),
+            sum_ns: self.sum_ns.saturating_add(other.sum_ns),
+        }
+    }
+
     /// Upper bucket bound below which at least `q` (in `[0, 1]`) of
     /// the samples fall — a conservative quantile estimate. `None`
     /// before any sample, and `None` when the requested quantile
@@ -189,6 +210,43 @@ impl RuntimeMetrics {
     pub fn backlog(&self) -> u64 {
         self.ticks_submitted.saturating_sub(self.ticks_processed)
     }
+
+    /// A snapshot with every counter zero — the identity for
+    /// [`RuntimeMetrics::merged`], so a fleet of shards can fold
+    /// their snapshots without special-casing the empty fleet.
+    pub fn zero() -> RuntimeMetrics {
+        MetricsInner::default().snapshot()
+    }
+
+    /// Combines two independent engine snapshots into the view a
+    /// single engine doing both workloads would have reported.
+    ///
+    /// This is the aggregation contract for sharded deployments
+    /// (one `DetectionEngine` per I/O shard): additive counters sum
+    /// (saturating), `sessions_active` sums because a session lives
+    /// on exactly one shard, `queue_depth_high_water` takes the max —
+    /// per-shard high-waters are observed at unrelated instants, so
+    /// their sum would claim a global depth that never existed, while
+    /// the max is a depth some queue really reached — and latency
+    /// histograms merge elementwise (exact; shared fixed bounds).
+    pub fn merged(&self, other: &RuntimeMetrics) -> RuntimeMetrics {
+        RuntimeMetrics {
+            sessions_active: self.sessions_active.saturating_add(other.sessions_active),
+            ticks_submitted: self.ticks_submitted.saturating_add(other.ticks_submitted),
+            ticks_processed: self.ticks_processed.saturating_add(other.ticks_processed),
+            alarms_raised: self.alarms_raised.saturating_add(other.alarms_raised),
+            degraded_ticks: self.degraded_ticks.saturating_add(other.degraded_ticks),
+            queue_depth_high_water: self
+                .queue_depth_high_water
+                .max(other.queue_depth_high_water),
+            alloc_free_ticks: self.alloc_free_ticks.saturating_add(other.alloc_free_ticks),
+            batched_deadline_queries: self
+                .batched_deadline_queries
+                .saturating_add(other.batched_deadline_queries),
+            log_latency: self.log_latency.merged(&other.log_latency),
+            detect_latency: self.detect_latency.merged(&other.detect_latency),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +341,54 @@ mod tests {
         let snap = HistInner::default().snapshot();
         assert_eq!(snap.quantile_bound_ns(0.5), None);
         assert_eq!(snap.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_histogram_of_both_sample_sets() {
+        let (a, b, both) = (
+            HistInner::default(),
+            HistInner::default(),
+            HistInner::default(),
+        );
+        let left = [100u64, 1_500, 40_000];
+        let right = [90u64, 300, 10_000_000_000]; // last one overflows
+        for &ns in &left {
+            a.record(Duration::from_nanos(ns));
+            both.record(Duration::from_nanos(ns));
+        }
+        for &ns in &right {
+            b.record(Duration::from_nanos(ns));
+            both.record(Duration::from_nanos(ns));
+        }
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+        // Merging with an empty histogram is the identity.
+        assert_eq!(merged.merged(&HistInner::default().snapshot()), merged);
+    }
+
+    #[test]
+    fn runtime_metrics_merge_sums_counters_and_maxes_high_water() {
+        let (a, b) = (MetricsInner::default(), MetricsInner::default());
+        a.sessions_active.store(3, Ordering::Relaxed);
+        a.ticks_submitted.store(100, Ordering::Relaxed);
+        a.ticks_processed.store(90, Ordering::Relaxed);
+        a.queue_depth_high_water.store(7, Ordering::Relaxed);
+        a.log_latency.record(Duration::from_nanos(200));
+        b.sessions_active.store(5, Ordering::Relaxed);
+        b.ticks_submitted.store(40, Ordering::Relaxed);
+        b.ticks_processed.store(40, Ordering::Relaxed);
+        b.queue_depth_high_water.store(12, Ordering::Relaxed);
+        b.alarms_raised.store(2, Ordering::Relaxed);
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged.sessions_active, 8);
+        assert_eq!(merged.ticks_submitted, 140);
+        assert_eq!(merged.backlog(), 10);
+        assert_eq!(merged.alarms_raised, 2);
+        assert_eq!(merged.queue_depth_high_water, 12);
+        assert_eq!(merged.log_latency.count, 1);
+        // zero() is the fold identity and merge is symmetric.
+        assert_eq!(RuntimeMetrics::zero().merged(&merged), merged);
+        assert_eq!(b.snapshot().merged(&a.snapshot()), merged);
     }
 
     #[test]

@@ -793,7 +793,11 @@ fn run_ticks(
     Frame::TickOutcomes { session, outcomes }
 }
 
-fn wire_latency(hist: &LatencyHistogram) -> WireLatency {
+/// Collapses one [`LatencyHistogram`] into its wire summary
+/// (count/mean/conservative quantile bounds/overflow). Shared by the
+/// blocking server and `awsad-net`; quantile bounds honor the
+/// histogram's overflow honesty (`None` when no finite bound holds).
+pub fn wire_latency(hist: &LatencyHistogram) -> WireLatency {
     WireLatency {
         count: hist.count,
         mean_ns: hist.mean_ns(),
@@ -803,7 +807,14 @@ fn wire_latency(hist: &LatencyHistogram) -> WireLatency {
     }
 }
 
-fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> WireMetrics {
+/// Folds an engine snapshot plus transport counters into the
+/// `MetricsReply` image. The single construction path for metrics
+/// replies: the blocking server uses it directly, and `awsad-net`
+/// feeds it a cross-shard [`RuntimeMetrics::merged`] snapshot plus
+/// summed transport counters, then fills the shard-specific appended
+/// fields (`shards`, `partial_frame_resumes`) — which stay zero here,
+/// marking an unsharded reply.
+pub fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> WireMetrics {
     WireMetrics {
         sessions_active: engine.sessions_active,
         ticks_submitted: engine.ticks_submitted,
@@ -821,5 +832,7 @@ fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> WireMe
         alloc_free_ticks: engine.alloc_free_ticks,
         batched_deadline_queries: engine.batched_deadline_queries,
         sessions_evicted: transport.sessions_evicted,
+        shards: 0,
+        partial_frame_resumes: 0,
     }
 }

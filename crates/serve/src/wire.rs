@@ -453,6 +453,18 @@ pub struct WireMetrics {
     /// Sessions evicted by the server's idle-TTL sweep. Third appended
     /// counter (after the two above), zeroed when absent.
     pub sessions_evicted: u64,
+    /// Number of I/O shards whose engines were merged into this reply.
+    /// `0` means the reply came from an unsharded (blocking) server.
+    /// Fourth appended counter; always written together with
+    /// [`WireMetrics::partial_frame_resumes`], zeroed when absent.
+    pub shards: u64,
+    /// Frames whose bytes arrived torn across more than one readiness
+    /// wakeup and were completed by the incremental decoder resuming
+    /// mid-frame. Always `0` on the blocking server (its reads park
+    /// until the frame completes, so nothing "resumes"). Fifth
+    /// appended counter, written together with [`WireMetrics::shards`],
+    /// zeroed when absent.
+    pub partial_frame_resumes: u64,
 }
 
 /// Every frame the protocol defines. Requests flow client → server;
@@ -926,6 +938,8 @@ impl Frame {
                 e.u64(m.alloc_free_ticks);
                 e.u64(m.batched_deadline_queries);
                 e.u64(m.sessions_evicted);
+                e.u64(m.shards);
+                e.u64(m.partial_frame_resumes);
             }
             Frame::SnapshotSession { session } => e.u64(*session),
             Frame::SessionSnapshot { session, state } => {
@@ -1047,16 +1061,28 @@ impl Frame {
                     alloc_free_ticks: 0,
                     batched_deadline_queries: 0,
                     sessions_evicted: 0,
+                    shards: 0,
+                    partial_frame_resumes: 0,
                 };
                 // Append-only extensions, oldest first. The remaining
-                // byte count disambiguates: ≥ 24 means all three
-                // counters are present (three-counter peers always
+                // byte count disambiguates each generation: ≥ 40 means
+                // all five counters are present (five-counter peers
+                // always write all five, so the only other way to
+                // reach 40 would be three counters + a correlation id
+                // + 8 junk bytes, which no peer emits); ≥ 24 means
+                // exactly the first three (three-counter peers always
                 // write all three, and two-counter peers predate
                 // correlation ids, so 24 can never be two counters
                 // plus a correlation id); ≥ 16 means the first two.
                 // Whatever is left after the counters (0 or 8 bytes)
                 // is handled by the envelope's correlation-id logic.
-                if d.remaining() >= 24 {
+                if d.remaining() >= 40 {
+                    m.alloc_free_ticks = d.u64()?;
+                    m.batched_deadline_queries = d.u64()?;
+                    m.sessions_evicted = d.u64()?;
+                    m.shards = d.u64()?;
+                    m.partial_frame_resumes = d.u64()?;
+                } else if d.remaining() >= 24 {
                     m.alloc_free_ticks = d.u64()?;
                     m.batched_deadline_queries = d.u64()?;
                     m.sessions_evicted = d.u64()?;
@@ -1335,6 +1361,8 @@ mod tests {
                     alloc_free_ticks: 950,
                     batched_deadline_queries: 31,
                     sessions_evicted: 2,
+                    shards: 4,
+                    partial_frame_resumes: 87,
                 }),
                 FRAME_SNAPSHOT_SESSION => Frame::SnapshotSession { session: 7 },
                 FRAME_SESSION_SNAPSHOT => Frame::SessionSnapshot {
@@ -1387,13 +1415,15 @@ mod tests {
             let payload = frame.encode();
             // The *legal* short reads: a MetricsReply cut exactly at an
             // append-only counter boundary is a valid older reply.
-            // `len - 24` drops all three counters (v1 peer); `len - 8`
-            // drops only `sessions_evicted` (two-counter peer). The cut
-            // at `len - 16` is NOT legal under strict decode: the lone
-            // trailing counter parses as a correlation id, which
-            // `Frame::decode` rejects as trailing bytes.
+            // `len - 40` drops all five counters (v1 peer); `len - 24`
+            // keeps the first two (two-counter peer); `len - 16` keeps
+            // the first three (three-counter peer). The cuts at
+            // `len - 32` and `len - 8` are NOT legal under strict
+            // decode: the lone trailing counter parses as a
+            // correlation id, which `Frame::decode` rejects as
+            // trailing bytes.
             let legacy_boundaries: &[usize] = if matches!(frame, Frame::MetricsReply(_)) {
-                &[payload.len() - 24, payload.len() - 8]
+                &[payload.len() - 40, payload.len() - 24, payload.len() - 16]
             } else {
                 &[]
             };
@@ -1496,12 +1526,14 @@ mod tests {
             sample.alloc_free_ticks > 0
                 && sample.batched_deadline_queries > 0
                 && sample.sessions_evicted > 0
+                && sample.shards > 0
+                && sample.partial_frame_resumes > 0
         );
         let payload = Frame::MetricsReply(sample).encode();
-        // A v1 peer's reply is byte-identical minus the three appended
+        // A v1 peer's reply is byte-identical minus the five appended
         // counters; it must decode with all of them reading zero and
         // every other field intact.
-        let legacy = &payload[..payload.len() - 24];
+        let legacy = &payload[..payload.len() - 40];
         let Frame::MetricsReply(decoded) = Frame::decode(legacy).unwrap() else {
             panic!("legacy reply must still be a MetricsReply");
         };
@@ -1511,12 +1543,13 @@ mod tests {
                 alloc_free_ticks: 0,
                 batched_deadline_queries: 0,
                 sessions_evicted: 0,
+                shards: 0,
+                partial_frame_resumes: 0,
                 ..sample
             }
         );
-        // A two-counter peer (one revision back) drops only the
-        // trailing `sessions_evicted`.
-        let two_counter = &payload[..payload.len() - 8];
+        // A two-counter peer keeps the first two appended counters.
+        let two_counter = &payload[..payload.len() - 24];
         let Frame::MetricsReply(decoded) = Frame::decode(two_counter).unwrap() else {
             panic!("two-counter reply must still be a MetricsReply");
         };
@@ -1524,6 +1557,22 @@ mod tests {
             decoded,
             WireMetrics {
                 sessions_evicted: 0,
+                shards: 0,
+                partial_frame_resumes: 0,
+                ..sample
+            }
+        );
+        // A three-counter peer (the revision that predates sharding)
+        // drops only the shard pair.
+        let three_counter = &payload[..payload.len() - 16];
+        let Frame::MetricsReply(decoded) = Frame::decode(three_counter).unwrap() else {
+            panic!("three-counter reply must still be a MetricsReply");
+        };
+        assert_eq!(
+            decoded,
+            WireMetrics {
+                shards: 0,
+                partial_frame_resumes: 0,
                 ..sample
             }
         );

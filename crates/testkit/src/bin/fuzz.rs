@@ -5,18 +5,25 @@
 //! fuzz --seconds 30 --seed 5      # CI smoke: scenarios + wire fuzz
 //! fuzz --repro <seed-string>      # replay one scenario exactly
 //! fuzz --wire <n>                 # replay one wire-fuzz iteration
+//! fuzz --torn <n>                 # replay one torn-frame probe
 //! ```
 //!
-//! The smoke loop interleaves three activities, all derived from the
+//! The smoke loop interleaves four activities, all derived from the
 //! master seed:
 //!
 //! * **scenario oracles** — generate a scenario, run the differential
-//!   oracles (all five paths for registry scenarios, local paths for
-//!   random-LTI ones) plus the estimator self-checks;
+//!   oracles (all six paths for registry scenarios — including the
+//!   readiness `awsad-net` server — local paths for random-LTI ones)
+//!   plus the estimator self-checks;
 //! * **wire fuzz** — batches of structure-aware frame mutations plus
 //!   the allocation-guard checks;
 //! * **poisoning probes** — periodically prove hostile bytes on one
-//!   connection cannot perturb another connection's stream.
+//!   connection cannot perturb another connection's stream, on both
+//!   server implementations;
+//! * **torn-frame probes** — requests split into 1–7 byte chunks and
+//!   interleaved across connections sharing one event-loop shard,
+//!   proving the incremental decoder never leaks partial-frame state
+//!   between connections.
 //!
 //! On a scenario failure the shrinker minimizes the trace length via
 //! the seed string's `len=` field (re-verifying each candidate) and
@@ -27,10 +34,11 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use awsad_net::{NetServer, NetServerConfig};
 use awsad_serve::server::{Server, ServerConfig};
 use awsad_testkit::scenario::{Scenario, SeedSpec};
 use awsad_testkit::wirefuzz;
-use awsad_testkit::{check_estimator, check_five_paths, check_local_paths};
+use awsad_testkit::{check_estimator, check_local_paths, check_six_paths};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -39,6 +47,16 @@ struct Args {
     seed: u64,
     repro: Option<String>,
     wire: Option<u64>,
+    torn: Option<u64>,
+}
+
+/// One event-loop shard, so torn-frame interleaving is guaranteed to
+/// land every fuzzed connection on the same incremental decoder.
+fn one_shard() -> NetServerConfig {
+    NetServerConfig {
+        shards: 1,
+        ..NetServerConfig::default()
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         repro: None,
         wire: None,
+        torn: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,8 +89,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--wire: {e}"))?,
                 );
             }
+            "--torn" => {
+                args.torn = Some(
+                    value("--torn")?
+                        .parse()
+                        .map_err(|e| format!("--torn: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: fuzz [--seconds N] [--seed S] [--repro SEEDSTRING] [--wire N]");
+                println!(
+                    "usage: fuzz [--seconds N] [--seed S] [--repro SEEDSTRING] [--wire N] [--torn N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -82,11 +110,15 @@ fn parse_args() -> Result<Args, String> {
 
 /// Runs every oracle that applies to the scenario; returns the first
 /// failure rendered as a string.
-fn check_scenario(seed: &SeedSpec, addr: SocketAddr) -> Result<(), String> {
+fn check_scenario(
+    seed: &SeedSpec,
+    serve_addr: SocketAddr,
+    net_addr: SocketAddr,
+) -> Result<(), String> {
     let scenario = Scenario::from_seed(seed);
     check_estimator(&scenario).map_err(|e| e.to_string())?;
     if scenario.spec.is_some() {
-        check_five_paths(&scenario, addr).map_err(|e| e.to_string())?;
+        check_six_paths(&scenario, serve_addr, net_addr).map_err(|e| e.to_string())?;
     } else {
         check_local_paths(&scenario).map_err(|e| e.to_string())?;
     }
@@ -135,13 +167,16 @@ fn report_scenario_failure(
 fn smoke(seconds: u64, master_seed: u64) -> ExitCode {
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind fuzz server");
     let addr = server.local_addr();
-    let check = |seed: &SeedSpec| check_scenario(seed, addr);
+    let net_server = NetServer::bind("127.0.0.1:0", one_shard()).expect("bind fuzz net server");
+    let net_addr = net_server.local_addr();
+    let check = |seed: &SeedSpec| check_scenario(seed, addr, net_addr);
 
     let deadline = Instant::now() + Duration::from_secs(seconds);
     let mut rng = StdRng::seed_from_u64(master_seed);
     let mut scenarios = 0u64;
     let mut wire_iters = 0u64;
     let mut probes = 0u64;
+    let mut torn_probes = 0u64;
     let mut failed = false;
 
     while Instant::now() < deadline && !failed {
@@ -186,25 +221,45 @@ fn smoke(seconds: u64, master_seed: u64) -> ExitCode {
         scenarios += 1;
 
         // Poisoning probe every 8th lap: hostile bytes from the frame
-        // mutator against a live connection pair.
+        // mutator against a live connection pair, on both servers.
         if scenarios.is_multiple_of(8) {
             let probe_seed = SeedSpec::registry(rng.random_range(0..=u64::MAX)).with_len(24);
             let scenario = Scenario::from_seed(&probe_seed);
             let mut garbage = wirefuzz::arbitrary_frame(&mut rng).encode();
             wirefuzz::mutate(&mut rng, &mut garbage);
-            if let Err(v) = wirefuzz::check_no_cross_connection_poisoning(&scenario, addr, &garbage)
-            {
-                eprintln!("FAIL poisoning probe on {probe_seed}: {v}");
-                failed = true;
+            for (which, target) in [("serve", addr), ("net", net_addr)] {
+                if let Err(v) =
+                    wirefuzz::check_no_cross_connection_poisoning(&scenario, target, &garbage)
+                {
+                    eprintln!("FAIL poisoning probe ({which}) on {probe_seed}: {v}");
+                    failed = true;
+                }
+            }
+            if failed {
                 break;
             }
             probes += 1;
         }
+
+        // Torn-frame probe every 8th lap (offset from the poisoning
+        // probes): interleaved 1–7 byte chunks across connections on
+        // the net server's single shard.
+        if scenarios % 8 == 4 {
+            let torn_seed = rng.random_range(0..=u64::MAX);
+            if let Err(v) = run_torn_probe(torn_seed, net_addr) {
+                eprintln!("FAIL torn-frame probe {torn_seed}: {v}");
+                eprintln!("cargo run --release -p awsad-testkit --bin fuzz -- --torn {torn_seed}");
+                failed = true;
+                break;
+            }
+            torn_probes += 1;
+        }
     }
 
+    net_server.shutdown();
     server.shutdown();
     println!(
-        "fuzz smoke: {scenarios} scenarios, {wire_iters} wire iterations, {probes} poisoning probes ({})",
+        "fuzz smoke: {scenarios} scenarios, {wire_iters} wire iterations, {probes} poisoning probes, {torn_probes} torn-frame probes ({})",
         if failed { "FAILED" } else { "all green" }
     );
     if failed {
@@ -212,6 +267,16 @@ fn smoke(seconds: u64, master_seed: u64) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// One torn-frame probe, fully determined by its seed: the scenario,
+/// the chunk sizes, and the garbage bytes all derive from it.
+fn run_torn_probe(torn_seed: u64, net_addr: SocketAddr) -> Result<(), String> {
+    let mut torn_rng = StdRng::seed_from_u64(torn_seed);
+    let probe_seed = SeedSpec::registry(torn_rng.random_range(0..=u64::MAX)).with_len(48);
+    let scenario = Scenario::from_seed(&probe_seed);
+    wirefuzz::check_torn_frame_interleaving(&scenario, net_addr, &mut torn_rng)
+        .map_err(|v| format!("{probe_seed}: {v}"))
 }
 
 fn repro(seed_string: &str) -> ExitCode {
@@ -224,9 +289,12 @@ fn repro(seed_string: &str) -> ExitCode {
     };
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind fuzz server");
     let addr = server.local_addr();
+    let net_server = NetServer::bind("127.0.0.1:0", one_shard()).expect("bind fuzz net server");
+    let net_addr = net_server.local_addr();
     let scenario = Scenario::from_seed(&seed);
     println!("replaying {seed}: {}", scenario.label);
-    let result = check_scenario(&seed, addr);
+    let result = check_scenario(&seed, addr, net_addr);
+    net_server.shutdown();
     server.shutdown();
     match result {
         Ok(()) => {
@@ -254,6 +322,22 @@ fn wire_repro(wire_seed: u64) -> ExitCode {
     }
 }
 
+fn torn_repro(torn_seed: u64) -> ExitCode {
+    let net_server = NetServer::bind("127.0.0.1:0", one_shard()).expect("bind fuzz net server");
+    let result = run_torn_probe(torn_seed, net_server.local_addr());
+    net_server.shutdown();
+    match result {
+        Ok(()) => {
+            println!("torn-frame probe {torn_seed} passes");
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            eprintln!("FAIL torn-frame probe {torn_seed}: {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -267,6 +351,9 @@ fn main() -> ExitCode {
     }
     if let Some(wire_seed) = args.wire {
         return wire_repro(wire_seed);
+    }
+    if let Some(torn_seed) = args.torn {
+        return torn_repro(torn_seed);
     }
     smoke(args.seconds, args.seed)
 }

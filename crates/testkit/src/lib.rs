@@ -1,12 +1,13 @@
 //! Machine-generated adversarial coverage for the AWSAD stack.
 //!
-//! PRs 1–4 grew five independent ways to compute the same
+//! The stack has grown six independent ways to compute the same
 //! [`awsad_core::AdaptiveStep`] stream — direct
 //! [`awsad_core::AdaptiveDetector`] stepping, the runtime engine, the
-//! serve wire path, [`awsad_serve::ReconnectingClient`] resume, and
-//! snapshot/restore — each pinned until now only by hand-picked
-//! models and traces. This crate replaces curated examples with a
-//! generator + oracle harness:
+//! serve wire path, [`awsad_serve::ReconnectingClient`] resume,
+//! snapshot/restore, and the readiness-based `awsad-net` event-loop
+//! server — each pinned until now only by hand-picked models and
+//! traces. This crate replaces curated examples with a generator +
+//! oracle harness:
 //!
 //! * [`scenario`] — seeded scenario generators: random stable and
 //!   marginal LTI plants with controlled spectral radius, random PID
@@ -20,7 +21,9 @@
 //! * [`wirefuzz`] — a structure-aware fuzzer for the wire protocol:
 //!   generates valid frames, then mutates them (length-prefix lies,
 //!   truncation, bit flips, envelope corruption, hostile allocation
-//!   sizes) asserting decode never panics or over-allocates.
+//!   sizes) asserting decode never panics or over-allocates; plus
+//!   live-server probes for cross-connection poisoning and torn
+//!   frames interleaved across a shard's connections.
 //! * [`proxy`] — the frame-aware fault-injection TCP proxy shared by
 //!   the serve chaos tests and the fuzzer's resume path.
 //!
@@ -38,6 +41,8 @@ pub mod proxy;
 pub mod scenario;
 pub mod wirefuzz;
 
-pub use oracle::{check_estimator, check_five_paths, check_local_paths, OracleError};
+pub use oracle::{
+    check_estimator, check_five_paths, check_local_paths, check_six_paths, OracleError,
+};
 pub use proxy::{FaultPlan, FaultProxy, ReplyFault};
 pub use scenario::{Family, Scenario, SeedSpec};

@@ -1,16 +1,19 @@
 //! Differential oracles: every detection path must produce the same
 //! bits.
 //!
-//! The stack grew five independent ways to compute one
+//! The stack grew six independent ways to compute one
 //! [`AdaptiveStep`] stream — direct [`AdaptiveDetector`] stepping, the
 //! runtime engine, the serve wire path, [`ReconnectingClient`] resume
-//! through transport failure, and snapshot/restore into a fresh
-//! engine. Floats travel the wire as their IEEE-754 bit patterns and
-//! every state copy is bit-exact, so the streams must be **equal**,
-//! not approximately equal. The oracles here run one generated
-//! [`Scenario`] through each path and diff the streams; any mismatch
-//! is reported with the scenario's seed string so the exact episode
-//! replays from one line.
+//! through transport failure, snapshot/restore into a fresh engine,
+//! and the readiness-based `awsad-net` server with its sharded
+//! engines and incremental decoder. Floats travel the wire as their
+//! IEEE-754 bit patterns and every state copy is bit-exact, so the
+//! streams must be **equal**, not approximately equal. The oracles
+//! here run one generated [`Scenario`] through each path and diff the
+//! streams; any mismatch is reported with the scenario's seed string
+//! so the exact episode replays from one line. The six-path check
+//! additionally re-encodes both servers' outcome streams and demands
+//! the wire images themselves be bit-identical.
 //!
 //! Alongside the stream oracles sit the estimator self-checks: the
 //! precomputed-box deadline walk against the seed-formula
@@ -28,7 +31,7 @@ use awsad_reach::{CacheConfig, Deadline, DeadlineCache, DeadlineEstimator};
 use awsad_runtime::{DetectionEngine, EngineConfig, Tick, TickOutcome};
 use awsad_serve::client::Client;
 use awsad_serve::reconnect::{ReconnectingClient, RetryPolicy};
-use awsad_serve::wire::{WireOutcome, WireTick};
+use awsad_serve::wire::{Frame, WireOutcome, WireTick};
 
 use crate::proxy::{FaultPlan, FaultProxy, ReplyFault};
 use crate::scenario::Scenario;
@@ -238,18 +241,20 @@ fn wire_steps(
     Ok(steps)
 }
 
-/// Path 3 — the serve wire path: open a session on a live server,
-/// stream the trace in batches, close. `addr` is a running
-/// [`awsad_serve::server::Server`]'s address.
-pub fn serve_steps(
+/// Streams the scenario through a live server with the stock blocking
+/// [`Client`] and returns the raw wire outcomes. The transport cannot
+/// tell which server implementation answers, which is the point: this
+/// is the shared body of the serve (path 3) and net (path 6) oracles.
+fn remote_outcomes(
     scenario: &Scenario,
     addr: SocketAddr,
-) -> Result<Vec<AdaptiveStep>, OracleError> {
+    path: &'static str,
+) -> Result<Vec<WireOutcome>, OracleError> {
     let spec = scenario
         .spec
         .as_ref()
-        .expect("serve path needs a registry scenario");
-    let fail = |detail: String| OracleError::new(scenario, "serve", detail);
+        .expect("remote paths need a registry scenario");
+    let fail = |detail: String| OracleError::new(scenario, path, detail);
     let mut client = Client::connect(addr).map_err(|e| fail(format!("connect: {e}")))?;
     let session = client
         .open_session(spec)
@@ -265,7 +270,28 @@ pub fn serve_steps(
     client
         .close_session(session.id)
         .map_err(|e| fail(format!("close: {e}")))?;
+    Ok(outcomes)
+}
+
+/// Path 3 — the serve wire path: open a session on a live server,
+/// stream the trace in batches, close. `addr` is a running
+/// [`awsad_serve::server::Server`]'s address.
+pub fn serve_steps(
+    scenario: &Scenario,
+    addr: SocketAddr,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let outcomes = remote_outcomes(scenario, addr, "serve")?;
     wire_steps(scenario, "serve", &outcomes)
+}
+
+/// Path 6 — the readiness server: the identical client code against a
+/// running `awsad_net::NetServer`'s address. The stream crosses the
+/// event loop's incremental decoder and a shard-owned engine instead
+/// of a connection thread and the shared engine; the bits must not
+/// care.
+pub fn net_steps(scenario: &Scenario, addr: SocketAddr) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let outcomes = remote_outcomes(scenario, addr, "net")?;
+    wire_steps(scenario, "net", &outcomes)
 }
 
 /// Path 4 — reconnect/resume: stream through a fault-injection proxy
@@ -389,6 +415,71 @@ pub fn check_five_paths(scenario: &Scenario, addr: SocketAddr) -> Result<(), Ora
         &resume_steps(scenario, addr)?,
         &reference,
     )?;
+    Ok(())
+}
+
+/// Runs **all six** paths: the five of [`check_five_paths`] against
+/// `serve_addr` (a blocking server), plus the readiness server at
+/// `net_addr`. Beyond stream equality, the serve and net outcome
+/// streams are re-encoded as `TickOutcomes` wire frames which must be
+/// **bit-identical** — the two servers may not differ even in float
+/// bit patterns or field ordering on the wire.
+pub fn check_six_paths(
+    scenario: &Scenario,
+    serve_addr: SocketAddr,
+    net_addr: SocketAddr,
+) -> Result<(), OracleError> {
+    check_local_paths(scenario)?;
+    let reference = direct_steps(scenario);
+    let serve_outcomes = remote_outcomes(scenario, serve_addr, "serve")?;
+    diff_streams(
+        scenario,
+        "serve",
+        &wire_steps(scenario, "serve", &serve_outcomes)?,
+        &reference,
+    )?;
+    diff_streams(
+        scenario,
+        "resume",
+        &resume_steps(scenario, serve_addr)?,
+        &reference,
+    )?;
+    let net_outcomes = remote_outcomes(scenario, net_addr, "net")?;
+    diff_streams(
+        scenario,
+        "net",
+        &wire_steps(scenario, "net", &net_outcomes)?,
+        &reference,
+    )?;
+    // Wire-image bit-exactness: session ids differ between servers
+    // (shard-striped vs engine-assigned), so compare the re-encoded
+    // outcome payloads under a fixed session id.
+    let serve_image = Frame::TickOutcomes {
+        session: 0,
+        outcomes: serve_outcomes,
+    }
+    .encode();
+    let net_image = Frame::TickOutcomes {
+        session: 0,
+        outcomes: net_outcomes,
+    }
+    .encode();
+    if serve_image != net_image {
+        let at = serve_image
+            .iter()
+            .zip(&net_image)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| serve_image.len().min(net_image.len()));
+        return Err(OracleError::new(
+            scenario,
+            "net",
+            format!(
+                "re-encoded wire images differ between servers: {} vs {} bytes, first divergence at byte {at}",
+                serve_image.len(),
+                net_image.len()
+            ),
+        ));
+    }
     Ok(())
 }
 

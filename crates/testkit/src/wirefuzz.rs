@@ -23,7 +23,13 @@
 //!
 //! Cross-connection poisoning (a malformed frame on one connection
 //! harming another) is checked separately against a live server —
-//! see [`check_no_cross_connection_poisoning`].
+//! see [`check_no_cross_connection_poisoning`]. For the readiness
+//! server's incremental decoder there is a sharper variant,
+//! [`check_torn_frame_interleaving`]: every request torn into 1–7
+//! byte chunks and round-robin interleaved across connections on the
+//! same shard, so the decoder is forced to park and resume partial
+//! frames for several connections at once while hostile bytes stream
+//! in beside them.
 
 use std::io::{Cursor, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -32,7 +38,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use awsad_serve::client::Client;
 use awsad_serve::wire::{
     read_envelope, Frame, SessionSpec, WireError, WireLatency, WireMetrics, WireOutcome,
-    WireSessionState, WireTick,
+    WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN,
 };
 use rand::rngs::StdRng;
 use rand::RngExt as _;
@@ -164,6 +170,8 @@ fn arbitrary_metrics(rng: &mut StdRng) -> WireMetrics {
         alloc_free_ticks: rng.random_range(0..=u64::MAX),
         batched_deadline_queries: rng.random_range(0..=u64::MAX),
         sessions_evicted: rng.random_range(0..=u64::MAX),
+        shards: rng.random_range(0..=u64::MAX),
+        partial_frame_resumes: rng.random_range(0..=u64::MAX),
     }
 }
 
@@ -507,6 +515,217 @@ pub fn check_no_cross_connection_poisoning(
                 "B's tick {i} diverged after attacker garbage: {:?} vs {want:?}",
                 o.to_step()
             )));
+        }
+    }
+    Ok(())
+}
+
+/// The full on-wire image of a frame: u32 BE length prefix + payload.
+fn framed(frame: &Frame) -> Vec<u8> {
+    let payload = frame.encode();
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend(payload);
+    out
+}
+
+/// Round-robin drains byte lanes onto their streams in 1–7 byte torn
+/// chunks, so every frame boundary lands mid-chunk on some connection
+/// while the others' partial frames sit parked in the decoder.
+///
+/// Write failures on lanes at index `fatal_below` or above are
+/// tolerated (the server is entitled to drop a poisoned connection
+/// mid-write); failures below it are reported.
+fn drain_torn(
+    rng: &mut StdRng,
+    streams: &[TcpStream],
+    lanes: &mut [(usize, Vec<u8>, usize)],
+    fatal_below: usize,
+) -> Result<(), String> {
+    loop {
+        let mut wrote = false;
+        for (idx, bytes, off) in lanes.iter_mut() {
+            if *off >= bytes.len() {
+                continue;
+            }
+            let take = rng.random_range(1..=7usize).min(bytes.len() - *off);
+            match (&streams[*idx]).write_all(&bytes[*off..*off + take]) {
+                Ok(()) => *off += take,
+                Err(_) if *idx >= fatal_below => *off = bytes.len(),
+                Err(e) => return Err(format!("torn write on connection {idx}: {e}")),
+            }
+            wrote = true;
+        }
+        if !wrote {
+            return Ok(());
+        }
+    }
+}
+
+/// Torn frames interleaved across connections on the same shard: two
+/// honest connections stream the scenario with every request split
+/// into 1–7 byte chunks, round-robin interleaved with each other
+/// **and** with a third connection whose honestly-prefixed hostile
+/// bytes are torn the same way. The decoder must park and resume each
+/// connection's partial frame without leaking state between slots:
+/// both honest streams must equal the direct reference bit-for-bit,
+/// and only the garbage connection may die.
+///
+/// `addr` may point at either server implementation; the readiness
+/// server is the interesting target since one thread decodes all
+/// three connections.
+pub fn check_torn_frame_interleaving(
+    scenario: &Scenario,
+    addr: SocketAddr,
+    rng: &mut StdRng,
+) -> Result<(), FuzzViolation> {
+    const VALID: usize = 2;
+    let spec = scenario
+        .spec
+        .as_ref()
+        .expect("torn-frame check needs a registry scenario");
+    let fail = |detail: String| FuzzViolation {
+        property: "torn-frame-interleaving",
+        detail,
+    };
+    let expected = crate::oracle::direct_steps(scenario);
+
+    let mut streams = Vec::with_capacity(VALID + 1);
+    for i in 0..=VALID {
+        let s = TcpStream::connect(addr).map_err(|e| fail(format!("connect {i}: {e}")))?;
+        let _ = s.set_nodelay(true);
+        streams.push(s);
+    }
+
+    // Hostile bytes under an honest length prefix; the first byte
+    // breaks the magic so the frame can never accidentally decode.
+    let mut garbage = vec![0u8; rng.random_range(8..64usize)];
+    for b in garbage.iter_mut() {
+        *b = rng.random_range(0..=u8::MAX);
+    }
+    garbage[0] = 0xFF;
+    let mut attacker_bytes = (garbage.len() as u32).to_be_bytes().to_vec();
+    attacker_bytes.extend(garbage);
+
+    // Wave 0: both session opens torn and interleaved with the
+    // garbage connection's bytes.
+    let open = framed(&Frame::OpenSession(spec.clone()));
+    let mut lanes = vec![
+        (0usize, open.clone(), 0usize),
+        (1, open, 0),
+        (VALID, attacker_bytes, 0),
+    ];
+    drain_torn(rng, &streams, &mut lanes, VALID).map_err(fail)?;
+
+    let mut sessions = [0u64; VALID];
+    for (i, sess) in sessions.iter_mut().enumerate() {
+        match read_envelope(&mut (&streams[i]), DEFAULT_MAX_FRAME_LEN) {
+            Ok(env) => match env.frame {
+                Frame::SessionOpened { session, .. } => *sess = session,
+                other => {
+                    return Err(fail(format!(
+                        "connection {i}: open answered {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            Err(e) => return Err(fail(format!("connection {i}: open reply: {e}"))),
+        }
+    }
+
+    // The garbage connection must die alone: an error frame, or a
+    // drop with nothing readable.
+    if let Ok(env) = read_envelope(&mut (&streams[VALID]), DEFAULT_MAX_FRAME_LEN) {
+        if !matches!(env.frame, Frame::Error { .. }) {
+            return Err(fail(format!(
+                "garbage connection got {} instead of an error",
+                env.frame.type_name()
+            )));
+        }
+    }
+
+    // Tick waves: at most 8 in-flight batches per connection so the
+    // pipeline never trips the server's request-queue backpressure.
+    let chunks: Vec<&[WireTick]> = scenario.trace.chunks(16).collect();
+    let mut outcomes: Vec<Vec<WireOutcome>> = vec![Vec::new(); VALID];
+    for wave in chunks.chunks(8) {
+        let mut lanes: Vec<(usize, Vec<u8>, usize)> = (0..VALID)
+            .map(|i| {
+                let mut bytes = Vec::new();
+                for ticks in wave {
+                    bytes.extend(framed(&Frame::Tick {
+                        session: sessions[i],
+                        ticks: ticks.to_vec(),
+                    }));
+                }
+                (i, bytes, 0)
+            })
+            .collect();
+        drain_torn(rng, &streams, &mut lanes, VALID).map_err(fail)?;
+        for (i, got) in outcomes.iter_mut().enumerate() {
+            for _ in 0..wave.len() {
+                match read_envelope(&mut (&streams[i]), DEFAULT_MAX_FRAME_LEN) {
+                    Ok(env) => match env.frame {
+                        Frame::TickOutcomes {
+                            session,
+                            outcomes: batch,
+                        } if session == sessions[i] => got.extend(batch),
+                        other => {
+                            return Err(fail(format!(
+                                "connection {i}: tick answered {}",
+                                other.type_name()
+                            )))
+                        }
+                    },
+                    Err(e) => return Err(fail(format!("connection {i}: tick reply: {e}"))),
+                }
+            }
+        }
+    }
+
+    // Close both sessions, torn the same way.
+    let mut lanes: Vec<(usize, Vec<u8>, usize)> = (0..VALID)
+        .map(|i| {
+            (
+                i,
+                framed(&Frame::CloseSession {
+                    session: sessions[i],
+                }),
+                0,
+            )
+        })
+        .collect();
+    drain_torn(rng, &streams, &mut lanes, VALID).map_err(fail)?;
+    for (i, sess) in sessions.iter().enumerate() {
+        match read_envelope(&mut (&streams[i]), DEFAULT_MAX_FRAME_LEN) {
+            Ok(env) => match env.frame {
+                Frame::SessionClosed { session } if session == *sess => {}
+                other => {
+                    return Err(fail(format!(
+                        "connection {i}: close answered {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            Err(e) => return Err(fail(format!("connection {i}: close reply: {e}"))),
+        }
+    }
+
+    for (i, got) in outcomes.iter().enumerate() {
+        if got.len() != expected.len() {
+            return Err(fail(format!(
+                "connection {i} got {} outcomes, expected {}",
+                got.len(),
+                expected.len()
+            )));
+        }
+        for (t, (o, want)) in got.iter().zip(&expected).enumerate() {
+            if o.to_step() != *want {
+                return Err(fail(format!(
+                    "connection {i} tick {t} diverged under torn interleaving: {:?} vs {want:?}",
+                    o.to_step()
+                )));
+            }
         }
     }
     Ok(())

@@ -41,6 +41,7 @@
 //! | [`sim`] | `awsad-sim` | closed-loop episodes, Monte-Carlo cells, sweeps, metrics |
 //! | [`runtime`] | `awsad-runtime` | multi-session streaming engine: worker pool, bounded queues, deadline cache wiring, metrics |
 //! | [`serve`] | `awsad-serve` | detection-as-a-service: binary wire protocol, TCP server, blocking + reconnecting clients, session snapshot/resume |
+//! | [`net`] | `awsad-net` | readiness-based (epoll) event-loop server: I/O shards with per-shard engines, incremental frame decode, vectored writes |
 //!
 //! ## Quickstart
 //!
@@ -69,6 +70,7 @@ pub use awsad_core as core;
 pub use awsad_linalg as linalg;
 pub use awsad_lti as lti;
 pub use awsad_models as models;
+pub use awsad_net as net;
 pub use awsad_reach as reach;
 pub use awsad_runtime as runtime;
 pub use awsad_serve as serve;
@@ -93,6 +95,7 @@ pub mod prelude {
     pub use awsad_linalg::{discretize, eigenvalues, expm, spectral_radius, Lu, Matrix, Vector};
     pub use awsad_lti::{LtiSystem, NoiseModel, Observer, Plant};
     pub use awsad_models::{rc_car, CpsModel, Simulator};
+    pub use awsad_net::{NetServer, NetServerConfig};
     pub use awsad_reach::{
         CacheConfig, CacheStats, Deadline, DeadlineCache, DeadlineEstimator,
         PolytopeDeadlineEstimator, ReachConfig,
