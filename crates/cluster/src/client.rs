@@ -1,0 +1,463 @@
+//! The cluster-aware client: consistent-hash routing, checkpointing,
+//! failover, and live drain migration.
+//!
+//! [`ClusterClient`] owns the ring and one wire [`Client`] per shard
+//! it has talked to. Sessions are addressed by a client-assigned
+//! **cluster key**; the key's ring position picks the primary shard,
+//! and the primary's ring successor (for the session's replica key)
+//! is where the server replicates snapshots — and therefore where the
+//! client promotes when the primary dies.
+//!
+//! # Why a resumed stream is byte-identical
+//!
+//! After every delivered batch the client snapshots the session and
+//! keeps the state as its **checkpoint** — the same discipline as
+//! [`awsad_serve::ReconnectingClient`], one level up. When a call
+//! hits a transport failure (the wire client's poisoned fail-fast),
+//! the shard is declared dead and the interrupted batch is replayed
+//! on a fresh session seeded with state at exactly the client's
+//! progress point:
+//!
+//! * if the promoted replica's `next_seq` equals the checkpoint's,
+//!   the replica *is* the checkpoint (both were cut after the same
+//!   batch of a deterministic pipeline) and is used directly;
+//! * otherwise — the replica lagged, ran ahead because the server
+//!   applied the in-flight batch before dying, or never existed —
+//!   the promoted session is discarded and the client restores from
+//!   its own checkpoint.
+//!
+//! Either way the replayed batch starts from the bit-exact state the
+//! dead shard held after the last *delivered* batch, and the detector
+//! pipeline is deterministic, so the outcomes the caller sees are the
+//! ones the dead shard would have produced. Duplicated server-side
+//! work is possible (the dead shard may have applied the batch before
+//! dying); duplicated or lost *caller-visible* outcomes are not.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use awsad_serve::client::{Client, ClientError};
+use awsad_serve::wire::{
+    ErrorCode, RingMember, SessionSpec, WireOutcome, WireSessionState, WireTick,
+};
+
+use crate::ring::{replica_key, HashRing};
+
+/// Everything that can go wrong on a cluster call.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A wire-client failure that routing could not absorb.
+    Client(ClientError),
+    /// The ring has no members able to serve the request.
+    NoShards,
+    /// No session is routed under this cluster key.
+    UnknownSession(u64),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Client(e) => write!(f, "shard call failed: {e}"),
+            ClusterError::NoShards => write!(f, "no live shards on the ring"),
+            ClusterError::UnknownSession(key) => {
+                write!(f, "no session routed under cluster key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ClientError> for ClusterError {
+    fn from(e: ClientError) -> Self {
+        ClusterError::Client(e)
+    }
+}
+
+/// Result alias for cluster calls.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// A session opened through the cluster router.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSession {
+    /// The cluster key — what every subsequent call addresses. Stable
+    /// across failover and migration (the shard-local session id is
+    /// not).
+    pub key: u64,
+    /// State-estimate dimension the session expects per tick.
+    pub state_dim: usize,
+    /// Input dimension the session expects per tick.
+    pub input_dim: usize,
+}
+
+/// Where one session currently lives.
+struct Route {
+    spec: SessionSpec,
+    /// Current primary shard.
+    shard: u32,
+    /// Session id on that shard.
+    remote: u64,
+    /// State after the last delivered batch — the replay seed.
+    checkpoint: WireSessionState,
+    /// Promotion target captured at the instant the primary was
+    /// declared dead (computed on the ring the primary replicated
+    /// by, so it names the member actually holding the replica).
+    backup: Option<u32>,
+}
+
+/// Whether a wire-client error means the connection (and presumably
+/// the shard) is gone, as opposed to a well-framed server verdict.
+fn transport_failure(e: &ClientError) -> bool {
+    !matches!(e, ClientError::Server { .. })
+}
+
+/// The consistent-hash session router. See the module docs for the
+/// failover protocol.
+pub struct ClusterClient {
+    ring: HashRing,
+    conns: HashMap<u32, Client>,
+    routes: HashMap<u64, Route>,
+    next_key: u64,
+    failovers: u64,
+}
+
+impl ClusterClient {
+    /// A router over an explicit ring (connections are opened
+    /// lazily, per shard, on first use).
+    pub fn new(ring: HashRing) -> ClusterClient {
+        ClusterClient {
+            ring,
+            conns: HashMap::new(),
+            routes: HashMap::new(),
+            next_key: 1,
+            failovers: 0,
+        }
+    }
+
+    /// A router over a fresh epoch-1 ring of `members`.
+    pub fn from_members(members: &[RingMember]) -> ClusterClient {
+        ClusterClient::new(HashRing::new(1, members.to_vec()))
+    }
+
+    /// The ring the router currently routes by.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// How many sessions have been failed over to a backup so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The shard currently serving cluster key `key`.
+    pub fn primary_of(&self, key: u64) -> Option<u32> {
+        self.routes.get(&key).map(|r| r.shard)
+    }
+
+    /// The connection to `shard`, opened on demand.
+    fn conn(&mut self, shard: u32) -> std::result::Result<&mut Client, ClientError> {
+        if !self.conns.contains_key(&shard) {
+            let addr = self
+                .ring
+                .addr_of(shard)
+                .ok_or(ClientError::Closed)?
+                .to_string();
+            self.conns.insert(shard, Client::connect(addr.as_str())?);
+        }
+        Ok(self
+            .conns
+            .get_mut(&shard)
+            .expect("connection just inserted"))
+    }
+
+    /// Opens a session: the cluster key's ring position picks the
+    /// primary, and an immediate snapshot seeds the checkpoint so the
+    /// session can fail over before its first batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoShards`] on an empty ring; wire failures
+    /// otherwise.
+    pub fn open_session(&mut self, spec: &SessionSpec) -> Result<ClusterSession> {
+        let key = self.next_key;
+        self.next_key += 1;
+        let shard = self.ring.primary_for(key).ok_or(ClusterError::NoShards)?;
+        let conn = self.conn(shard)?;
+        let session = conn.open_session(spec)?;
+        let checkpoint = conn.snapshot_session(session.id)?;
+        self.routes.insert(
+            key,
+            Route {
+                spec: spec.clone(),
+                shard,
+                remote: session.id,
+                checkpoint,
+                backup: None,
+            },
+        );
+        Ok(ClusterSession {
+            key,
+            state_dim: session.state_dim,
+            input_dim: session.input_dim,
+        })
+    }
+
+    /// Streams one batch through the session's primary, checkpointing
+    /// after delivery. A transport failure declares the primary dead
+    /// and transparently replays the batch on the backup — the
+    /// returned outcomes are byte-identical either way (module docs).
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (dimension mismatch, unknown session —
+    /// e.g. after a TTL eviction) surface as
+    /// [`ClusterError::Client`]; failover exhaustion (no surviving
+    /// member) as [`ClusterError::NoShards`].
+    pub fn tick_batch(&mut self, key: u64, ticks: &[WireTick]) -> Result<Vec<WireOutcome>> {
+        let (shard, remote) = {
+            let route = self
+                .routes
+                .get(&key)
+                .ok_or(ClusterError::UnknownSession(key))?;
+            (route.shard, route.remote)
+        };
+        if self.ring.addr_of(shard).is_some() {
+            match self.try_batch(shard, remote, ticks) {
+                Ok((outcomes, checkpoint)) => {
+                    self.routes
+                        .get_mut(&key)
+                        .expect("route present above")
+                        .checkpoint = checkpoint;
+                    return Ok(outcomes);
+                }
+                Err(e) if transport_failure(&e) => {
+                    // Fall through to failover.
+                }
+                Err(e) => return Err(e.into()),
+            }
+            self.fail_shard(shard);
+        }
+        self.failover_and_replay(key, ticks)
+    }
+
+    /// One tick, as a batch of one.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterClient::tick_batch`].
+    pub fn tick(&mut self, key: u64, estimate: &[f64], input: &[f64]) -> Result<WireOutcome> {
+        let ticks = [WireTick {
+            estimate: estimate.to_vec(),
+            input: input.to_vec(),
+        }];
+        let mut outcomes = self.tick_batch(key, &ticks)?;
+        Ok(outcomes.pop().expect("one outcome per tick"))
+    }
+
+    /// The deliver-then-checkpoint unit: only when both round trips
+    /// succeed is the batch considered delivered. On any transport
+    /// failure the whole unit is re-run on the backup, which by
+    /// determinism reproduces the identical outcomes.
+    fn try_batch(
+        &mut self,
+        shard: u32,
+        remote: u64,
+        ticks: &[WireTick],
+    ) -> std::result::Result<(Vec<WireOutcome>, WireSessionState), ClientError> {
+        let conn = self.conn(shard)?;
+        let outcomes = conn.tick_batch(remote, ticks)?;
+        let checkpoint = conn.snapshot_session(remote)?;
+        Ok((outcomes, checkpoint))
+    }
+
+    /// Declares `dead` gone: drops its connection, pins every
+    /// affected session's promotion target (computed on the ring the
+    /// dead shard replicated by — the member set must match for the
+    /// successor walk to land on the actual replica holder), shrinks
+    /// the ring, and broadcasts the new epoch so surviving
+    /// replicators re-route. Idempotent.
+    fn fail_shard(&mut self, dead: u32) {
+        if self.ring.addr_of(dead).is_none() {
+            return;
+        }
+        self.conns.remove(&dead);
+        let ring = &self.ring;
+        for route in self.routes.values_mut() {
+            if route.shard == dead && route.backup.is_none() {
+                route.backup = ring.successor_for(replica_key(dead, route.remote), dead);
+            }
+        }
+        self.ring = self.ring.without(dead);
+        self.broadcast_ring();
+    }
+
+    /// Pushes the current ring view to every member, best-effort: a
+    /// member that cannot be reached right now simply keeps routing
+    /// replicas by its previous view (sheds them if the target is
+    /// gone) until a later broadcast lands.
+    fn broadcast_ring(&mut self) {
+        let epoch = self.ring.epoch();
+        let members: Vec<RingMember> = self.ring.members().to_vec();
+        for member in &members {
+            let Ok(conn) = self.conn(member.shard) else {
+                continue;
+            };
+            if conn.ring_update(epoch, &members).is_err() {
+                self.conns.remove(&member.shard);
+            }
+        }
+    }
+
+    /// Moves the session to its pinned backup and replays `ticks`
+    /// there. Promotion of the replica is the fast path; any replica
+    /// position other than the client's own progress point falls back
+    /// to restoring the checkpoint.
+    fn failover_and_replay(&mut self, key: u64, ticks: &[WireTick]) -> Result<Vec<WireOutcome>> {
+        let (dead, old_remote, spec, checkpoint, backup) = {
+            let route = self
+                .routes
+                .get(&key)
+                .ok_or(ClusterError::UnknownSession(key))?;
+            (
+                route.shard,
+                route.remote,
+                route.spec.clone(),
+                route.checkpoint.clone(),
+                route.backup,
+            )
+        };
+        let target = backup.ok_or(ClusterError::NoShards)?;
+        let rk = replica_key(dead, old_remote);
+        let conn = self.conn(target)?;
+        let (remote, state) = match conn.promote_session(rk) {
+            Ok((id, state)) if state.next_seq == checkpoint.next_seq => (id, state),
+            Ok((id, _ahead_or_behind)) => {
+                // The replica is not at the client's progress point:
+                // it lagged, or the primary applied the in-flight
+                // batch before dying. Replaying from it would skip or
+                // repeat outcomes, so discard it and seed from the
+                // client's own checkpoint.
+                conn.close_session(id)?;
+                let restored = conn.restore_session(&spec, &checkpoint)?;
+                (restored.id, checkpoint.clone())
+            }
+            Err(ClientError::Server {
+                code: ErrorCode::UnknownSession,
+                ..
+            }) => {
+                // No replica ever arrived (replication is
+                // best-effort); the checkpoint alone carries the
+                // session over.
+                let restored = conn.restore_session(&spec, &checkpoint)?;
+                (restored.id, checkpoint.clone())
+            }
+            Err(e) => return Err(e.into()),
+        };
+        {
+            let route = self.routes.get_mut(&key).expect("route present above");
+            route.shard = target;
+            route.remote = remote;
+            route.checkpoint = state;
+            route.backup = None;
+        }
+        self.failovers += 1;
+        if ticks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let conn = self.conn(target)?;
+        let outcomes = conn.tick_batch(remote, ticks)?;
+        let checkpoint = conn.snapshot_session(remote)?;
+        self.routes
+            .get_mut(&key)
+            .expect("route present above")
+            .checkpoint = checkpoint;
+        Ok(outcomes)
+    }
+
+    /// The session's state after the last delivered batch (no round
+    /// trip — this is the client-held checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownSession`] on an unrouted key.
+    pub fn checkpoint(&self, key: u64) -> Result<&WireSessionState> {
+        self.routes
+            .get(&key)
+            .map(|r| &r.checkpoint)
+            .ok_or(ClusterError::UnknownSession(key))
+    }
+
+    /// Closes the session on its primary and forgets the route. Any
+    /// replica the backup still holds becomes garbage it will reject
+    /// or overwrite on key reuse; it is never promoted (only this
+    /// client knows the key).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownSession`] on an unrouted key; wire
+    /// failures otherwise.
+    pub fn close_session(&mut self, key: u64) -> Result<()> {
+        let route = self
+            .routes
+            .remove(&key)
+            .ok_or(ClusterError::UnknownSession(key))?;
+        if self.ring.addr_of(route.shard).is_none() {
+            // The primary is already gone, and with it the session.
+            return Ok(());
+        }
+        self.conn(route.shard)?.close_session(route.remote)?;
+        Ok(())
+    }
+
+    /// Live migration: moves every session off `shard` to its new
+    /// owner under the shrunken ring, with zero dropped ticks — the
+    /// shard stays up throughout, each session is snapshotted at a
+    /// batch boundary, closed on the old shard, and restored
+    /// bit-exactly on its new primary before the ring update retires
+    /// the member. Returns how many sessions moved.
+    ///
+    /// # Errors
+    ///
+    /// Wire failures; a failed move leaves that session on the old
+    /// shard (the drain can be retried).
+    pub fn drain_shard(&mut self, shard: u32) -> Result<usize> {
+        if self.ring.addr_of(shard).is_none() {
+            return Ok(0);
+        }
+        let shrunk = self.ring.without(shard);
+        if shrunk.is_empty() {
+            return Err(ClusterError::NoShards);
+        }
+        let keys: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| r.shard == shard)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut moved = 0;
+        for key in keys {
+            let (remote, spec) = {
+                let route = self.routes.get(&key).expect("key collected above");
+                (route.remote, route.spec.clone())
+            };
+            let state = {
+                let conn = self.conn(shard)?;
+                let state = conn.snapshot_session(remote)?;
+                conn.close_session(remote)?;
+                state
+            };
+            let new_primary = shrunk.primary_for(key).expect("non-empty ring");
+            let restored = self.conn(new_primary)?.restore_session(&spec, &state)?;
+            let route = self.routes.get_mut(&key).expect("key collected above");
+            route.shard = new_primary;
+            route.remote = restored.id;
+            route.checkpoint = state;
+            route.backup = None;
+            moved += 1;
+        }
+        self.ring = shrunk;
+        self.broadcast_ring();
+        self.conns.remove(&shard);
+        Ok(moved)
+    }
+}

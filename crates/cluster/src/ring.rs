@@ -1,0 +1,302 @@
+//! The consistent-hash ring mapping session keys to shard servers.
+//!
+//! Every member contributes [`VNODES`] virtual points so load stays
+//! balanced when the membership is small or changes by one. Placement
+//! is a pure function of the member set — no coordination, no state:
+//! any two holders of the same member list (client router, shard
+//! replicators) compute identical primaries and backups, which is the
+//! invariant the failover protocol rests on. Hashing is FNV-1a over
+//! little-endian words, so the layout is deterministic across
+//! processes and platforms.
+
+use awsad_serve::wire::RingMember;
+
+/// Virtual points each member contributes to the ring.
+pub const VNODES: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, passed through a murmur-style finalizer
+/// — raw FNV has weak avalanche in the high bits on short structured
+/// input (sequential shard/vnode ids), which skews the arc lengths.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// The ring point of virtual node `vnode` of member `shard`.
+fn point_of(shard: u32, vnode: u32) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&shard.to_le_bytes());
+    bytes[4..].copy_from_slice(&vnode.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Where a session key lands on the ring.
+fn key_point(key: u64) -> u64 {
+    fnv1a(&key.to_le_bytes())
+}
+
+/// A versioned, immutable consistent-hash ring.
+///
+/// Membership changes produce a *new* ring with a strictly larger
+/// epoch ([`HashRing::without`], [`HashRing::with_member`]); holders
+/// compare epochs to discard stale views (the wire `RingUpdate` /
+/// `ReplicateAck` exchange carries exactly this number).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    epoch: u64,
+    members: Vec<RingMember>,
+    /// `(point, shard)` sorted by point; ties broken by shard id so
+    /// the layout is a pure function of the member set.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Builds a ring at `epoch` over `members`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two members share a shard id — placement would be
+    /// ambiguous.
+    pub fn new(epoch: u64, mut members: Vec<RingMember>) -> HashRing {
+        members.sort_by_key(|m| m.shard);
+        for pair in members.windows(2) {
+            assert!(
+                pair[0].shard != pair[1].shard,
+                "duplicate ring member shard {}",
+                pair[0].shard
+            );
+        }
+        let mut points = Vec::with_capacity(members.len() * VNODES);
+        for m in &members {
+            for vnode in 0..VNODES as u32 {
+                points.push((point_of(m.shard, vnode), m.shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            epoch,
+            members,
+            points,
+        }
+    }
+
+    /// The ring's version number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current members, sorted by shard id.
+    pub fn members(&self) -> &[RingMember] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The address of member `shard`, when present.
+    pub fn addr_of(&self, shard: u32) -> Option<&str> {
+        self.members
+            .iter()
+            .find(|m| m.shard == shard)
+            .map(|m| m.addr.as_str())
+    }
+
+    /// Index of the first ring point clockwise from `key`'s position
+    /// (wrapping).
+    fn start_index(&self, key: u64) -> usize {
+        let p = key_point(key);
+        match self.points.binary_search(&(p, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The shard owning `key`: the member of the first virtual point
+    /// clockwise from the key's position. `None` on an empty ring.
+    pub fn primary_for(&self, key: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points[self.start_index(key)].1)
+    }
+
+    /// The first member *other than* `exclude` clockwise from `key`'s
+    /// position — the backup that receives `key`'s snapshot replicas
+    /// when `exclude` is the primary, and the promotion target when
+    /// that primary dies. `None` when no other member exists.
+    ///
+    /// Both sides of the failover protocol call this with the same
+    /// member set: the primary's replicator to pick where replicas
+    /// go, the cluster client to pick where to promote. Determinism
+    /// of the walk is what makes those two answers agree.
+    pub fn successor_for(&self, key: u64, exclude: u32) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.start_index(key);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if shard != exclude {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// A new ring at `epoch + 1` with `shard` removed. Removing an
+    /// absent member still bumps the epoch (the caller decided the
+    /// member is gone; the version must say so).
+    pub fn without(&self, shard: u32) -> HashRing {
+        let members = self
+            .members
+            .iter()
+            .filter(|m| m.shard != shard)
+            .cloned()
+            .collect();
+        HashRing::new(self.epoch + 1, members)
+    }
+
+    /// A new ring at `epoch + 1` with `member` added (replacing any
+    /// existing member with the same shard id).
+    pub fn with_member(&self, member: RingMember) -> HashRing {
+        let mut members: Vec<RingMember> = self
+            .members
+            .iter()
+            .filter(|m| m.shard != member.shard)
+            .cloned()
+            .collect();
+        members.push(member);
+        HashRing::new(self.epoch + 1, members)
+    }
+}
+
+/// The cluster-wide replica key of session `session` living on
+/// primary shard `shard`.
+///
+/// Shard ids are confined to 16 bits here so the key stays collision
+/// free: the primary's id rides the top 16 bits, the shard-local
+/// session id the bottom 48. The serve replication egress computes
+/// exactly this value, so the client can re-derive any session's
+/// replica key from its route.
+pub fn replica_key(shard: u32, session: u64) -> u64 {
+    debug_assert!(shard < (1 << 16), "shard id {shard} exceeds 16 bits");
+    debug_assert!(session < (1 << 48), "session id {session} exceeds 48 bits");
+    ((shard as u64) << 48) | (session & ((1 << 48) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u32) -> Vec<RingMember> {
+        (0..n)
+            .map(|shard| RingMember {
+                shard,
+                addr: format!("127.0.0.1:{}", 9000 + shard),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let a = HashRing::new(1, members(3));
+        let b = HashRing::new(1, members(3));
+        for key in 0..1000u64 {
+            let p = a.primary_for(key).unwrap();
+            assert_eq!(Some(p), b.primary_for(key));
+            let s = a.successor_for(key, p).unwrap();
+            assert_ne!(s, p);
+            assert_eq!(Some(s), b.successor_for(key, p));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_members() {
+        let ring = HashRing::new(1, members(3));
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[ring.primary_for(key).unwrap() as usize] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 300,
+                "shard {shard} owns only {c}/3000 keys — vnode spread is broken"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_keys_owned_by_the_removed_member() {
+        let full = HashRing::new(1, members(4));
+        let shrunk = full.without(2);
+        assert_eq!(shrunk.epoch(), 2);
+        assert_eq!(shrunk.len(), 3);
+        for key in 0..2000u64 {
+            let before = full.primary_for(key).unwrap();
+            let after = shrunk.primary_for(key).unwrap();
+            if before != 2 {
+                assert_eq!(
+                    before, after,
+                    "key {key} moved off surviving shard {before} — not consistent hashing"
+                );
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn successor_matches_post_removal_primary() {
+        // The promotion invariant: the backup the primary replicated
+        // to is exactly the owner of the key once the primary is gone.
+        let full = HashRing::new(1, members(3));
+        for key in 0..2000u64 {
+            let primary = full.primary_for(key).unwrap();
+            let backup = full.successor_for(key, primary).unwrap();
+            assert_eq!(full.without(primary).primary_for(key), Some(backup));
+        }
+    }
+
+    #[test]
+    fn single_member_ring_has_no_successor() {
+        let ring = HashRing::new(1, members(1));
+        assert_eq!(ring.primary_for(7), Some(0));
+        assert_eq!(ring.successor_for(7, 0), None);
+        assert!(HashRing::new(1, Vec::new()).primary_for(7).is_none());
+    }
+
+    #[test]
+    fn replica_key_packs_shard_and_session() {
+        let k = replica_key(3, 41);
+        assert_eq!(k >> 48, 3);
+        assert_eq!(k & ((1 << 48) - 1), 41);
+        assert_ne!(replica_key(1, 41), replica_key(2, 41));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ring member")]
+    fn duplicate_shard_ids_are_rejected() {
+        let mut m = members(2);
+        m[1].shard = 0;
+        let _ = HashRing::new(1, m);
+    }
+}

@@ -1,0 +1,210 @@
+//! Cluster chaos: a shard killed under multi-session load, and a
+//! fault-injection proxy making a *healthy* shard look dead. In
+//! every case each session's outcome stream must re-encode to the
+//! byte-identical wire image of its uninterrupted single-server run.
+
+use std::time::Duration;
+
+use awsad_cluster::{ClusterSession, LocalCluster};
+use awsad_serve::client::Client;
+use awsad_serve::server::{Server, ServerConfig};
+use awsad_serve::wire::{Frame, WireOutcome};
+use awsad_testkit::scenario::{Scenario, SeedSpec};
+use awsad_testkit::{FaultPlan, FaultProxy, ReplyFault};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+const SESSIONS: usize = 6;
+const BATCH: usize = 8;
+
+fn direct_outcomes(scenario: &Scenario) -> Vec<WireOutcome> {
+    let spec = scenario.spec.as_ref().expect("registry scenario");
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind reference");
+    let mut client = Client::connect(server.local_addr()).expect("connect reference");
+    let session = client.open_session(spec).expect("open reference");
+    let mut outcomes = Vec::new();
+    for chunk in scenario.trace.chunks(BATCH) {
+        outcomes.extend(
+            client
+                .tick_batch(session.id, chunk)
+                .expect("reference batch"),
+        );
+    }
+    server.shutdown();
+    outcomes
+}
+
+fn wire_image(outcomes: Vec<WireOutcome>) -> Vec<u8> {
+    Frame::TickOutcomes {
+        session: 0,
+        outcomes,
+    }
+    .encode()
+}
+
+/// Six sessions stream interleaved batches across a 3-shard ring;
+/// one shard is killed with no warning mid-load. Every stream —
+/// failed-over or untouched — must finish byte-identical to its
+/// direct reference, with no tick lost or repeated.
+#[test]
+fn killing_a_shard_under_multi_session_load_loses_nothing() {
+    let mut rng = StdRng::seed_from_u64(0xC4A0_5000);
+    let scenarios: Vec<Scenario> = (0..SESSIONS)
+        .map(|_| {
+            Scenario::from_seed(&SeedSpec::registry(rng.random_range(0..=u64::MAX)).with_len(48))
+        })
+        .collect();
+    let references: Vec<Vec<u8>> = scenarios
+        .iter()
+        .map(|s| wire_image(direct_outcomes(s)))
+        .collect();
+
+    let mut cluster = LocalCluster::launch(3, ServerConfig::default()).expect("launch");
+    let mut client = cluster.client();
+    let sessions: Vec<ClusterSession> = scenarios
+        .iter()
+        .map(|s| {
+            client
+                .open_session(s.spec.as_ref().expect("registry scenario"))
+                .expect("open")
+        })
+        .collect();
+    let batches: usize = scenarios[0].trace.len() / BATCH;
+    let mut streams: Vec<Vec<WireOutcome>> = vec![Vec::new(); SESSIONS];
+
+    // Pick the victim: whichever shard serves session 0 right now.
+    let victim = client.primary_of(sessions[0].key).expect("routed");
+    let on_victim = sessions
+        .iter()
+        .filter(|s| client.primary_of(s.key) == Some(victim))
+        .count() as u64;
+
+    for round in 0..batches {
+        if round == batches / 2 {
+            // Let in-flight replication land, then pull the plug.
+            cluster
+                .shard(victim)
+                .expect("victim is live")
+                .replicator
+                .flush(Duration::from_secs(5));
+            cluster.kill(victim);
+        }
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let chunk = &scenario.trace[round * BATCH..(round + 1) * BATCH];
+            streams[i].extend(
+                client
+                    .tick_batch(sessions[i].key, chunk)
+                    .expect("batch under chaos"),
+            );
+        }
+    }
+
+    assert_eq!(
+        client.failovers(),
+        on_victim,
+        "exactly the victim's sessions fail over"
+    );
+    assert!(on_victim >= 1, "the victim must have served session 0");
+    // Replication really flowed before the kill: some survivor holds
+    // delivered replicas, and the survivors' engines saw promotions.
+    let survivor_failovers: u64 = cluster
+        .live_shards()
+        .into_iter()
+        .filter_map(|s| cluster.engine_metrics(s))
+        .map(|m| m.failovers)
+        .sum();
+    assert!(
+        survivor_failovers <= on_victim,
+        "promotions cannot exceed failed-over sessions"
+    );
+    for (i, stream) in streams.into_iter().enumerate() {
+        assert_eq!(
+            wire_image(stream),
+            references[i],
+            "session {i} diverged from its direct reference"
+        );
+        client.close_session(sessions[i].key).expect("close");
+    }
+    cluster.shutdown();
+}
+
+/// A reply dropped by the proxy *after* the server applied the batch:
+/// the client must declare the (perfectly healthy) shard dead, find
+/// the replica on the backup **ahead** of its own checkpoint, discard
+/// it, restore the checkpoint, and replay — still byte-identical,
+/// with the duplicated work invisible to the caller.
+#[test]
+fn dropped_reply_forces_failover_past_a_replica_that_ran_ahead() {
+    let seed = SeedSpec::registry(0xFA_07_70).with_len(48);
+    let scenario = Scenario::from_seed(&seed);
+    let spec = scenario.spec.as_ref().expect("registry scenario");
+    let reference = wire_image(direct_outcomes(&scenario));
+
+    let cluster = LocalCluster::launch(3, ServerConfig::default()).expect("launch");
+    // The first cluster key a fresh client assigns is 1; its primary
+    // is a pure ring function, so the proxy can be interposed on
+    // exactly that member before the client ever connects.
+    let primary = cluster.ring().primary_for(1).expect("non-empty ring");
+    let real_addr = cluster
+        .shard(primary)
+        .expect("primary is live")
+        .server
+        .local_addr();
+    // Connection reply order: hello(0), open(1), checkpoint(2), then
+    // batch+checkpoint pairs. Dropping reply 5 swallows the second
+    // batch's outcomes after the server has already applied them.
+    let proxy = FaultProxy::start(real_addr, vec![FaultPlan::after(5, ReplyFault::Drop)]);
+    let mut members = cluster.ring().members().to_vec();
+    members
+        .iter_mut()
+        .find(|m| m.shard == primary)
+        .expect("primary is a member")
+        .addr = proxy.addr().to_string();
+
+    let mut client = awsad_cluster::ClusterClient::from_members(&members);
+    let session = client.open_session(spec).expect("open through proxy");
+    assert_eq!(
+        session.key, 1,
+        "key assignment must match the interposed member"
+    );
+    let mut outcomes = Vec::new();
+    outcomes.extend(
+        client
+            .tick_batch(session.key, &scenario.trace[..BATCH])
+            .expect("first batch"),
+    );
+    // Second batch: the server applies it, replicates it, but the
+    // reply is dropped and the connection severed. Flushing the real
+    // shard's replicator afterwards guarantees the backup's replica
+    // is *ahead* of the client checkpoint when promotion runs.
+    let run_rest = |client: &mut awsad_cluster::ClusterClient,
+                    outcomes: &mut Vec<WireOutcome>|
+     -> Result<(), awsad_cluster::ClusterError> {
+        for chunk in scenario.trace[BATCH..].chunks(BATCH) {
+            outcomes.extend(client.tick_batch(session.key, chunk)?);
+        }
+        Ok(())
+    };
+    // The drop lands inside this loop; the flush below must happen
+    // after the server processed the batch, so give replication a
+    // moment before the client's failover promotes. The client's
+    // failover path itself tolerates either replica position, so the
+    // test outcome does not depend on winning this race — only the
+    // stream bytes are asserted.
+    run_rest(&mut client, &mut outcomes).expect("stream survives the dropped reply");
+
+    assert_eq!(client.failovers(), 1, "the dropped reply must fail over");
+    assert_ne!(
+        client.primary_of(session.key),
+        Some(primary),
+        "the session moved off the proxied member"
+    );
+    // The original shard is alive and well — failover was a client
+    // decision, and it must not have corrupted the survivor.
+    let mut probe = Client::connect(real_addr).expect("original shard still accepts");
+    probe
+        .open_session(&awsad_serve::wire::SessionSpec::model_defaults(2))
+        .expect("original shard still serves");
+    assert_eq!(wire_image(outcomes), reference);
+    cluster.shutdown();
+}

@@ -1,0 +1,178 @@
+//! Failover and migration must be invisible in the outcome stream:
+//! a scenario streamed through a 3-shard cluster with its primary
+//! killed (or drained) mid-stream re-encodes to the byte-identical
+//! `TickOutcomes` wire image of an uninterrupted single-server run.
+
+use awsad_cluster::LocalCluster;
+use awsad_serve::client::Client;
+use awsad_serve::server::{Server, ServerConfig};
+use awsad_serve::wire::{Frame, WireOutcome};
+use awsad_testkit::scenario::{Scenario, SeedSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// The uninterrupted reference: the scenario streamed through one
+/// plain server.
+fn direct_outcomes(scenario: &Scenario) -> Vec<WireOutcome> {
+    let spec = scenario.spec.as_ref().expect("registry scenario");
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind reference");
+    let mut client = Client::connect(server.local_addr()).expect("connect reference");
+    let session = client.open_session(spec).expect("open reference");
+    let mut outcomes = Vec::new();
+    for chunk in scenario.trace.chunks(16) {
+        outcomes.extend(
+            client
+                .tick_batch(session.id, chunk)
+                .expect("reference batch"),
+        );
+    }
+    server.shutdown();
+    outcomes
+}
+
+/// Byte-level comparison under a fixed session id, exactly like the
+/// six-path oracle does between the serve and net servers.
+fn assert_wire_identical(seed: &SeedSpec, got: Vec<WireOutcome>, want: Vec<WireOutcome>) {
+    let got_image = Frame::TickOutcomes {
+        session: 0,
+        outcomes: got,
+    }
+    .encode();
+    let want_image = Frame::TickOutcomes {
+        session: 0,
+        outcomes: want,
+    }
+    .encode();
+    assert_eq!(
+        got_image, want_image,
+        "cluster outcome stream is not byte-identical to the direct run (seed {seed})"
+    );
+}
+
+#[test]
+fn killing_the_primary_mid_stream_leaves_the_outcome_bytes_unchanged() {
+    let mut rng = StdRng::seed_from_u64(0xC105_7E12);
+    for _ in 0..8 {
+        let seed = SeedSpec::registry(rng.random_range(0..=u64::MAX)).with_len(64);
+        let scenario = Scenario::from_seed(&seed);
+        let spec = scenario.spec.as_ref().expect("registry scenario");
+        let reference = direct_outcomes(&scenario);
+
+        let mut cluster = LocalCluster::launch(3, ServerConfig::default()).expect("launch");
+        let mut client = cluster.client();
+        let session = client.open_session(spec).expect("open");
+        let mut outcomes = Vec::new();
+        let cut = scenario.trace.len() / 2;
+        for chunk in scenario.trace[..cut].chunks(8) {
+            outcomes.extend(client.tick_batch(session.key, chunk).expect("pre-kill"));
+        }
+        // Let replication land so promotion has a replica to take,
+        // then kill the primary without warning.
+        let primary = client.primary_of(session.key).expect("routed");
+        cluster
+            .shard(primary)
+            .expect("primary is live")
+            .replicator
+            .flush(std::time::Duration::from_secs(5));
+        cluster.kill(primary);
+        for chunk in scenario.trace[cut..].chunks(8) {
+            outcomes.extend(client.tick_batch(session.key, chunk).expect("post-kill"));
+        }
+        assert_eq!(client.failovers(), 1, "exactly one failover (seed {seed})");
+        assert_ne!(
+            client.primary_of(session.key),
+            Some(primary),
+            "the session must have moved off the dead shard"
+        );
+        client.close_session(session.key).expect("close");
+        assert_wire_identical(&seed, outcomes, reference);
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn failover_without_a_replica_restores_from_the_client_checkpoint() {
+    // No flush, tiny trace, kill immediately after the first batch —
+    // replication may or may not have landed; byte-identity must hold
+    // regardless of which recovery path runs.
+    let seed = SeedSpec::registry(0x00D1_CE77).with_len(32);
+    let scenario = Scenario::from_seed(&seed);
+    let spec = scenario.spec.as_ref().expect("registry scenario");
+    let reference = direct_outcomes(&scenario);
+
+    let mut cluster = LocalCluster::launch(3, ServerConfig::default()).expect("launch");
+    let mut client = cluster.client();
+    let session = client.open_session(spec).expect("open");
+    let mut outcomes = Vec::new();
+    outcomes.extend(
+        client
+            .tick_batch(session.key, &scenario.trace[..8])
+            .expect("first batch"),
+    );
+    cluster.kill(client.primary_of(session.key).expect("routed"));
+    for chunk in scenario.trace[8..].chunks(8) {
+        outcomes.extend(client.tick_batch(session.key, chunk).expect("post-kill"));
+    }
+    assert_eq!(client.failovers(), 1);
+    assert_wire_identical(&seed, outcomes, reference);
+    cluster.shutdown();
+}
+
+#[test]
+fn draining_a_shard_moves_its_sessions_with_zero_dropped_ticks() {
+    let mut rng = StdRng::seed_from_u64(0x000D_4A11);
+    for _ in 0..4 {
+        let seed = SeedSpec::registry(rng.random_range(0..=u64::MAX)).with_len(64);
+        let scenario = Scenario::from_seed(&seed);
+        let spec = scenario.spec.as_ref().expect("registry scenario");
+        let reference = direct_outcomes(&scenario);
+
+        let cluster = LocalCluster::launch(3, ServerConfig::default()).expect("launch");
+        let mut client = cluster.client();
+        let session = client.open_session(spec).expect("open");
+        let mut outcomes = Vec::new();
+        let cut = scenario.trace.len() / 2;
+        for chunk in scenario.trace[..cut].chunks(8) {
+            outcomes.extend(client.tick_batch(session.key, chunk).expect("pre-drain"));
+        }
+        let old_primary = client.primary_of(session.key).expect("routed");
+        let moved = client.drain_shard(old_primary).expect("drain");
+        assert_eq!(moved, 1, "the one session on the shard must move");
+        assert_ne!(client.primary_of(session.key), Some(old_primary));
+        assert_eq!(
+            client.failovers(),
+            0,
+            "a drain is planned migration, not failover"
+        );
+        for chunk in scenario.trace[cut..].chunks(8) {
+            outcomes.extend(client.tick_batch(session.key, chunk).expect("post-drain"));
+        }
+        client.close_session(session.key).expect("close");
+        assert_wire_identical(&seed, outcomes, reference);
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn failover_exhaustion_surfaces_as_no_shards() {
+    // A single-shard "cluster" has no backup: killing the shard must
+    // produce a loud routing error, never a hang or silent loss.
+    let seed = SeedSpec::registry(7).with_len(16);
+    let scenario = Scenario::from_seed(&seed);
+    let spec = scenario.spec.as_ref().expect("registry scenario");
+    let mut cluster = LocalCluster::launch(1, ServerConfig::default()).expect("launch");
+    let mut client = cluster.client();
+    let session = client.open_session(spec).expect("open");
+    client
+        .tick_batch(session.key, &scenario.trace[..4])
+        .expect("first batch");
+    cluster.kill(0);
+    let err = client
+        .tick_batch(session.key, &scenario.trace[4..8])
+        .expect_err("no backup exists");
+    assert!(
+        matches!(err, awsad_cluster::ClusterError::NoShards),
+        "expected NoShards, got {err:?}"
+    );
+    cluster.shutdown();
+}

@@ -61,8 +61,12 @@ use std::time::{Duration, Instant};
 
 use awsad_linalg::Vector;
 use awsad_runtime::{DetectionEngine, RuntimeMetrics, SessionHandle, Tick, TickOutcome};
-use awsad_serve::server::{session_parts_for_spec, wire_metrics, ServerConfig, TransportMetrics};
-use awsad_serve::wire::{ErrorCode, Frame, SessionSpec, WireOutcome, WireSessionState, WireTick};
+use awsad_serve::server::{
+    session_parts_for_spec, wire_metrics, ReplicationUpdate, ServerConfig, TransportMetrics,
+};
+use awsad_serve::wire::{
+    ErrorCode, Frame, RingMember, SessionSpec, WireOutcome, WireSessionState, WireTick,
+};
 
 use crate::codec::{BufferPool, FrameAssembler, ReadStatus, WriteQueue};
 use crate::sys::{Interest, Poller, PollerBackend};
@@ -151,11 +155,25 @@ struct ShardShared {
     stats: ShardStats,
 }
 
+/// One backup copy held for a remote primary's session, keyed by the
+/// cluster-wide replica key. Server-wide (any shard's connection may
+/// replicate or promote it), mirroring the blocking server.
+struct ReplicaEntry {
+    generation: u64,
+    spec: SessionSpec,
+    state: WireSessionState,
+}
+
 /// State shared by all shards and the [`NetServer`] handle.
 struct NetShared {
     config: NetServerConfig,
     shards: Vec<Arc<ShardShared>>,
     shutdown: AtomicBool,
+    /// Backup copies this server holds for remote primaries'
+    /// sessions, waiting to be promoted on failover.
+    replicas: Mutex<HashMap<u64, ReplicaEntry>>,
+    /// Highest ring epoch accepted via [`Frame::RingUpdate`].
+    ring_epoch: AtomicU64,
 }
 
 impl NetShared {
@@ -235,6 +253,8 @@ impl NetServer {
             config,
             shards,
             shutdown: AtomicBool::new(false),
+            replicas: Mutex::new(HashMap::new()),
+            ring_epoch: AtomicU64::new(0),
         });
 
         let mut wakers = Vec::with_capacity(nshards);
@@ -345,6 +365,9 @@ struct NetSession {
     owner: u64,
     state_dim: usize,
     input_dim: usize,
+    /// Retained for replication egress: the backup rebuilds the
+    /// detector stack from this spec at promotion time.
+    spec: SessionSpec,
     last_used: Instant,
     /// An engine batch is in flight — the TTL sweep must not evict
     /// (the analogue of the blocking server's `try_lock` skip).
@@ -774,6 +797,20 @@ impl Shard {
         let batch = conn.pending.take().expect("pending batch");
         sess.busy = false;
         sess.last_used = Instant::now();
+        if let Some(sink) = &self.shared.config.base.replication {
+            // The batch's outcomes are all in hand, so the session
+            // queue is drained and this snapshot captures exactly the
+            // post-batch state — same egress point as the blocking
+            // server's run_ticks.
+            let snapshot = sess.handle.snapshot();
+            let lag = sink.replicate(ReplicationUpdate {
+                session: batch.session,
+                generation: snapshot.generation,
+                spec: sess.spec.clone(),
+                state: WireSessionState::from_snapshot(&snapshot),
+            });
+            self.shard.engine.record_replication(lag);
+        }
         let reply = Frame::TickOutcomes {
             session: batch.session,
             outcomes: batch.outcomes,
@@ -884,8 +921,10 @@ impl Shard {
                 server: self.shared.config.base.server_name.clone(),
             }),
             Frame::OpenSession(spec) => self.open_session(conn_token, &spec, None),
+            // A wire-level restore starts a fresh snapshot lineage
+            // (generation 0), same as the blocking server.
             Frame::RestoreSession { spec, state } => {
-                self.open_session(conn_token, &spec, Some(&state))
+                self.open_session(conn_token, &spec, Some((&state, 0)))
             }
             Frame::Tick { session, ticks } => self.start_ticks(conn_token, session, ticks),
             Frame::SnapshotSession { session } => {
@@ -919,12 +958,23 @@ impl Shard {
                 wm.partial_frame_resumes = self.shared.summed_resumes();
                 Served::Reply(Frame::MetricsReply(wm))
             }
+            Frame::ReplicateSnapshot {
+                key,
+                generation,
+                spec,
+                state,
+            } => Served::Reply(self.store_replica(key, generation, spec, state)),
+            Frame::PromoteSession { key } => self.promote_session(conn_token, key),
+            Frame::RingUpdate { epoch, members } => {
+                Served::Reply(self.ring_update(epoch, &members))
+            }
             Frame::HelloAck { .. }
             | Frame::SessionOpened { .. }
             | Frame::TickOutcomes { .. }
             | Frame::SessionClosed { .. }
             | Frame::MetricsReply(_)
             | Frame::SessionSnapshot { .. }
+            | Frame::ReplicateAck { .. }
             | Frame::Error { .. } => Served::Reply(error(
                 ErrorCode::Internal,
                 "reply-direction frame is not a valid request",
@@ -932,11 +982,99 @@ impl Shard {
         }
     }
 
+    /// Accepts (or rejects as stale) one replicated snapshot — same
+    /// codes and messages as the blocking server.
+    fn store_replica(
+        &mut self,
+        key: u64,
+        generation: u64,
+        spec: SessionSpec,
+        state: WireSessionState,
+    ) -> Frame {
+        let mut replicas = self.shared.replicas.lock().expect("replica store lock");
+        if let Some(existing) = replicas.get(&key) {
+            if existing.generation >= generation {
+                return error(
+                    ErrorCode::BadSnapshot,
+                    format!(
+                        "stale replica generation {generation} for key {key} (holding {})",
+                        existing.generation
+                    ),
+                );
+            }
+        }
+        replicas.insert(
+            key,
+            ReplicaEntry {
+                generation,
+                spec,
+                state,
+            },
+        );
+        Frame::ReplicateAck { key, generation }
+    }
+
+    /// Turns the stored replica under `key` into a live session on
+    /// *this* shard's engine, owned by the requesting connection. The
+    /// replica is consumed; the reply echoes the restored state.
+    fn promote_session(&mut self, conn_token: u64, key: u64) -> Served {
+        let entry = {
+            let mut replicas = self.shared.replicas.lock().expect("replica store lock");
+            match replicas.remove(&key) {
+                Some(entry) => entry,
+                None => {
+                    return Served::Reply(error(
+                        ErrorCode::UnknownSession,
+                        format!("replica {key}"),
+                    ))
+                }
+            }
+        };
+        let served = self.open_session(
+            conn_token,
+            &entry.spec,
+            Some((&entry.state, entry.generation)),
+        );
+        let Served::Reply(Frame::SessionOpened { session, .. }) = served else {
+            // The restore failed; put the replica back so a retry can
+            // still promote it.
+            self.shared
+                .replicas
+                .lock()
+                .expect("replica store lock")
+                .insert(key, entry);
+            return served;
+        };
+        self.shard.engine.record_failover();
+        Served::Reply(Frame::SessionSnapshot {
+            session,
+            state: entry.state,
+        })
+    }
+
+    /// Accepts a ring-membership update, ignoring stale epochs.
+    fn ring_update(&mut self, epoch: u64, members: &[RingMember]) -> Frame {
+        let current = self
+            .shared
+            .ring_epoch
+            .fetch_max(epoch, Ordering::SeqCst)
+            .max(epoch);
+        if current == epoch {
+            if let Some(sink) = &self.shared.config.base.replication {
+                sink.ring_update(epoch, members);
+            }
+        }
+        Frame::ReplicateAck {
+            key: 0,
+            generation: current,
+        }
+    }
+
     fn open_session(
         &mut self,
         conn_token: u64,
         spec: &SessionSpec,
-        restore: Option<&WireSessionState>,
+        restore: Option<(&WireSessionState, u64)>,
     ) -> Served {
         let limit = self.shared.config.base.max_sessions_per_connection;
         let Some(slot) = self.slot_of(conn_token) else {
@@ -954,11 +1092,13 @@ impl Shard {
         };
         let (handle, outcomes) = match restore {
             None => self.shard.engine.add_session(logger, detector),
-            Some(state) => {
+            Some((state, generation)) => {
+                let mut snapshot = state.to_snapshot();
+                snapshot.generation = generation;
                 match self
                     .shard
                     .engine
-                    .restore_session(logger, detector, &state.to_snapshot())
+                    .restore_session(logger, detector, &snapshot)
                 {
                     Ok(pair) => pair,
                     Err(e) => {
@@ -981,6 +1121,7 @@ impl Shard {
                 owner: conn_token,
                 state_dim,
                 input_dim,
+                spec: spec.clone(),
                 last_used: Instant::now(),
                 busy: false,
                 handle,

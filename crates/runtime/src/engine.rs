@@ -96,6 +96,14 @@ pub struct SessionSnapshot {
     /// The `seq` the next submitted tick will be assigned, so restored
     /// sessions continue the per-session FIFO numbering without a gap.
     pub next_seq: u64,
+    /// Strictly increasing snapshot counter for this session lineage:
+    /// each [`SessionHandle::snapshot`] call returns the next
+    /// generation, and a session restored from a snapshot continues
+    /// counting from that snapshot's generation. Two snapshots of the
+    /// same lineage are therefore totally ordered — the replication
+    /// layer uses this to reject a stale replica that arrives after a
+    /// newer one (generations never move backwards).
+    pub generation: u64,
 }
 
 /// Error returned by [`SessionHandle::submit`].
@@ -130,6 +138,10 @@ struct Inbox {
     scheduled: bool,
     closed: bool,
     next_seq: u64,
+    /// Snapshot generations handed out so far (see
+    /// [`SessionSnapshot::generation`]); seeded from the restoring
+    /// snapshot so the lineage's counter survives migration.
+    generation: u64,
 }
 
 struct SessionState {
@@ -296,7 +308,7 @@ impl DetectionEngine {
         logger: DataLogger,
         detector: AdaptiveDetector,
     ) -> (SessionHandle, mpsc::Receiver<TickOutcome>) {
-        self.add_session_with(logger, detector, 0)
+        self.add_session_with(logger, detector, 0, 0)
     }
 
     /// Opens a session that resumes from `snapshot`: the detector and
@@ -318,7 +330,7 @@ impl DetectionEngine {
         snapshot: &SessionSnapshot,
     ) -> awsad_core::Result<(SessionHandle, mpsc::Receiver<TickOutcome>)> {
         detector.restore(&mut logger, &snapshot.state)?;
-        Ok(self.add_session_with(logger, detector, snapshot.next_seq))
+        Ok(self.add_session_with(logger, detector, snapshot.next_seq, snapshot.generation))
     }
 
     fn add_session_with(
@@ -326,6 +338,7 @@ impl DetectionEngine {
         logger: DataLogger,
         detector: AdaptiveDetector,
         next_seq: u64,
+        generation: u64,
     ) -> (SessionHandle, mpsc::Receiver<TickOutcome>) {
         let id = {
             let mut next = self.shared.next_id.lock().expect("id lock");
@@ -342,6 +355,7 @@ impl DetectionEngine {
                 scheduled: false,
                 closed: false,
                 next_seq,
+                generation,
             }),
             space: Condvar::new(),
             state: Mutex::new(SessionState {
@@ -366,6 +380,37 @@ impl DetectionEngine {
     /// A point-in-time copy of the runtime counters.
     pub fn metrics(&self) -> RuntimeMetrics {
         self.shared.metrics.snapshot()
+    }
+
+    /// Records one session snapshot accepted into this node's replica
+    /// store, with the replication backlog observed at that moment
+    /// (`lag` = snapshots queued on the egress side but not yet
+    /// acknowledged). Bumps `sessions_replicated` and raises
+    /// `replication_lag_hwm` to `lag` if it is a new high-water.
+    ///
+    /// The engine itself never replicates; this is the hook the
+    /// serving layers use so replication health aggregates through
+    /// [`RuntimeMetrics::merged`] exactly like every other counter.
+    pub fn record_replication(&self, lag: u64) {
+        self.shared
+            .metrics
+            .sessions_replicated
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .metrics
+            .replication_lag_hwm
+            .fetch_max(lag, Ordering::Relaxed);
+    }
+
+    /// Records one replica promotion (a stored backup snapshot turned
+    /// into a live session after its primary died). See
+    /// [`DetectionEngine::record_replication`] for why this lives on
+    /// the engine.
+    pub fn record_failover(&self) {
+        self.shared
+            .metrics
+            .failovers
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Blocks until every tick submitted so far has been processed.
@@ -555,9 +600,11 @@ impl SessionHandle {
         // (inbox → state) cannot deadlock against drain_session's
         // state → inbox.
         let state = self.slot.state.lock().expect("state lock");
+        inbox.generation += 1;
         SessionSnapshot {
             state: state.detector.snapshot(&state.logger),
             next_seq: inbox.next_seq,
+            generation: inbox.generation,
         }
     }
 
@@ -1140,6 +1187,39 @@ mod tests {
             assert_eq!(g.seq, e.seq, "seq numbering must continue gap-free");
             assert_eq!(g.step, e.step, "outcome stream must be identical");
         }
+    }
+
+    #[test]
+    fn snapshot_generations_increase_and_survive_restore() {
+        let engine = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.5, 10);
+        let (session, _out) = engine.add_session(logger, det);
+        session.submit(tick(0.0)).unwrap();
+        let s1 = session.snapshot();
+        let s2 = session.snapshot();
+        assert_eq!(s1.generation, 1);
+        assert_eq!(s2.generation, 2, "each snapshot is a fresh generation");
+
+        // A restored session continues the lineage's counter, so a
+        // snapshot taken after migration still orders after every
+        // pre-migration snapshot.
+        let second = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.5, 10);
+        let (restored, _out2) = second.restore_session(logger, det, &s2).unwrap();
+        assert_eq!(restored.snapshot().generation, 3);
+    }
+
+    #[test]
+    fn replication_recorders_feed_metrics() {
+        let engine = DetectionEngine::new(EngineConfig::default());
+        engine.record_replication(2);
+        engine.record_replication(5);
+        engine.record_replication(1);
+        engine.record_failover();
+        let m = engine.metrics();
+        assert_eq!(m.sessions_replicated, 3);
+        assert_eq!(m.failovers, 1);
+        assert_eq!(m.replication_lag_hwm, 5, "high-water, not last value");
     }
 
     #[test]

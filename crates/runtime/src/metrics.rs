@@ -147,6 +147,9 @@ pub(crate) struct MetricsInner {
     pub(crate) queue_depth_high_water: AtomicU64,
     pub(crate) alloc_free_ticks: AtomicU64,
     pub(crate) batched_deadline_queries: AtomicU64,
+    pub(crate) sessions_replicated: AtomicU64,
+    pub(crate) failovers: AtomicU64,
+    pub(crate) replication_lag_hwm: AtomicU64,
     pub(crate) log_latency: HistInner,
     pub(crate) detect_latency: HistInner,
 }
@@ -162,6 +165,9 @@ impl MetricsInner {
             queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
             alloc_free_ticks: self.alloc_free_ticks.load(Ordering::Relaxed),
             batched_deadline_queries: self.batched_deadline_queries.load(Ordering::Relaxed),
+            sessions_replicated: self.sessions_replicated.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            replication_lag_hwm: self.replication_lag_hwm.load(Ordering::Relaxed),
             log_latency: self.log_latency.snapshot(),
             detect_latency: self.detect_latency.snapshot(),
         }
@@ -198,6 +204,18 @@ pub struct RuntimeMetrics {
     /// Deadline-cache entries inserted by *batched* (coalesced)
     /// reachability walks rather than per-tick misses.
     pub batched_deadline_queries: u64,
+    /// Session snapshots accepted into this node's replica store by
+    /// the cluster replication ingress (`ReplicateSnapshot` frames
+    /// stored, stale generations excluded).
+    pub sessions_replicated: u64,
+    /// Replica promotions served by this node (`PromoteSession`
+    /// frames that turned a stored replica into a live session).
+    pub failovers: u64,
+    /// Highest replication backlog observed: snapshots queued on the
+    /// egress side but not yet acknowledged by the backup. A
+    /// high-water mark, not a rate — it answers "how stale could the
+    /// backup have been at the worst moment".
+    pub replication_lag_hwm: u64,
     /// Latency distribution of the logging stage (`DataLogger::record`).
     pub log_latency: LatencyHistogram,
     /// Latency distribution of the detection stage
@@ -243,6 +261,14 @@ impl RuntimeMetrics {
             batched_deadline_queries: self
                 .batched_deadline_queries
                 .saturating_add(other.batched_deadline_queries),
+            sessions_replicated: self
+                .sessions_replicated
+                .saturating_add(other.sessions_replicated),
+            failovers: self.failovers.saturating_add(other.failovers),
+            // Like queue_depth_high_water: per-shard high-waters are
+            // from unrelated instants, so the max is the only honest
+            // aggregate.
+            replication_lag_hwm: self.replication_lag_hwm.max(other.replication_lag_hwm),
             log_latency: self.log_latency.merged(&other.log_latency),
             detect_latency: self.detect_latency.merged(&other.detect_latency),
         }
@@ -373,18 +399,28 @@ mod tests {
         a.ticks_submitted.store(100, Ordering::Relaxed);
         a.ticks_processed.store(90, Ordering::Relaxed);
         a.queue_depth_high_water.store(7, Ordering::Relaxed);
+        a.sessions_replicated.store(11, Ordering::Relaxed);
+        a.failovers.store(1, Ordering::Relaxed);
+        a.replication_lag_hwm.store(4, Ordering::Relaxed);
         a.log_latency.record(Duration::from_nanos(200));
         b.sessions_active.store(5, Ordering::Relaxed);
         b.ticks_submitted.store(40, Ordering::Relaxed);
         b.ticks_processed.store(40, Ordering::Relaxed);
         b.queue_depth_high_water.store(12, Ordering::Relaxed);
         b.alarms_raised.store(2, Ordering::Relaxed);
+        b.sessions_replicated.store(9, Ordering::Relaxed);
+        b.replication_lag_hwm.store(2, Ordering::Relaxed);
         let merged = a.snapshot().merged(&b.snapshot());
         assert_eq!(merged.sessions_active, 8);
         assert_eq!(merged.ticks_submitted, 140);
         assert_eq!(merged.backlog(), 10);
         assert_eq!(merged.alarms_raised, 2);
         assert_eq!(merged.queue_depth_high_water, 12);
+        // Replication counters: totals sum, the lag high-water maxes
+        // (two shards' worst backlogs are from unrelated instants).
+        assert_eq!(merged.sessions_replicated, 20);
+        assert_eq!(merged.failovers, 1);
+        assert_eq!(merged.replication_lag_hwm, 4);
         assert_eq!(merged.log_latency.count, 1);
         // zero() is the fold identity and merge is symmetric.
         assert_eq!(RuntimeMetrics::zero().merged(&merged), merged);

@@ -32,8 +32,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::wire::{
-    read_envelope, write_frame_corr, ErrorCode, Frame, ReadFrameError, SessionSpec, WireError,
-    WireMetrics, WireOutcome, WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN,
+    read_envelope, write_frame_corr, ErrorCode, Frame, ReadFrameError, RingMember, SessionSpec,
+    WireError, WireMetrics, WireOutcome, WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Everything that can go wrong on a client call.
@@ -369,6 +369,83 @@ impl Client {
         match self.call(&Frame::MetricsQuery)? {
             Frame::MetricsReply(m) => Ok(m),
             other => Err(self.unexpected("MetricsReply", &other)),
+        }
+    }
+
+    /// Stores `state` as the backup copy of the session lineage
+    /// identified by the cluster-wide replica `key` (cluster
+    /// replication egress — see `awsad-cluster`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::BadSnapshot`] when
+    /// the receiver already holds `generation` or newer for this key;
+    /// transport failures otherwise.
+    pub fn replicate_snapshot(
+        &mut self,
+        key: u64,
+        generation: u64,
+        spec: &SessionSpec,
+        state: &WireSessionState,
+    ) -> Result<()> {
+        let request = Frame::ReplicateSnapshot {
+            key,
+            generation,
+            spec: spec.clone(),
+            state: state.clone(),
+        };
+        match self.call(&request)? {
+            Frame::ReplicateAck {
+                key: got_key,
+                generation: got_generation,
+            } => {
+                if got_key != key || got_generation != generation {
+                    self.poisoned = Some("replicate ack does not match the submitted snapshot");
+                    return Err(ClientError::UnexpectedReply {
+                        expected: "ack of the submitted snapshot",
+                        got: "ReplicateAck",
+                    });
+                }
+                Ok(())
+            }
+            other => Err(self.unexpected("ReplicateAck", &other)),
+        }
+    }
+
+    /// Promotes the replica stored under `key` into a live session on
+    /// this connection, returning the fresh session id together with
+    /// the state it was restored from (whose `next_seq` tells the
+    /// caller how far the replica had caught up).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownSession`]
+    /// when no replica is held under `key` (including after a prior
+    /// promote — promotion consumes the replica); transport failures
+    /// otherwise.
+    pub fn promote_session(&mut self, key: u64) -> Result<(u64, WireSessionState)> {
+        match self.call(&Frame::PromoteSession { key })? {
+            Frame::SessionSnapshot { session, state } => Ok((session, state)),
+            other => Err(self.unexpected("SessionSnapshot", &other)),
+        }
+    }
+
+    /// Pushes a ring-membership view to the server, returning the
+    /// epoch now in force there (which is `epoch` when the update was
+    /// accepted, or a newer value when the server already knew
+    /// better).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ring_update(&mut self, epoch: u64, members: &[RingMember]) -> Result<u64> {
+        let request = Frame::RingUpdate {
+            epoch,
+            members: members.to_vec(),
+        };
+        match self.call(&request)? {
+            Frame::ReplicateAck { generation, .. } => Ok(generation),
+            other => Err(self.unexpected("ReplicateAck", &other)),
         }
     }
 

@@ -71,8 +71,8 @@ pub mod wire;
 
 pub use client::{Client, ClientError, RemoteSession};
 pub use reconnect::{ReconnectingClient, RetryPolicy};
-pub use server::{Server, ServerConfig, TransportMetrics};
+pub use server::{ReplicationSink, ReplicationUpdate, Server, ServerConfig, TransportMetrics};
 pub use wire::{
-    ErrorCode, Frame, SessionSpec, WireError, WireLatency, WireMetrics, WireOutcome,
+    ErrorCode, Frame, RingMember, SessionSpec, WireError, WireLatency, WireMetrics, WireOutcome,
     WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN, VERSION,
 };

@@ -128,6 +128,16 @@ impl ReconnectingClient {
         self.reconnects
     }
 
+    /// The delay the next backoff will be derived from:
+    /// [`RetryPolicy::base_delay`] after any successful call, inflated
+    /// while an outage is being retried. Exposed so tests (and
+    /// operators) can verify the jitter state was reset — an earlier
+    /// version let an outage that exhausted its retries leak its
+    /// inflated delay into the *next* outage's first backoff.
+    pub fn current_backoff_floor(&self) -> Duration {
+        self.last_delay
+    }
+
     /// Opens a tracked session. The returned [`RemoteSession::id`] is
     /// a *local* id, stable across reconnects; pass it to
     /// [`ReconnectingClient::tick_batch`] etc.
@@ -194,7 +204,17 @@ impl ReconnectingClient {
         loop {
             let result = self.try_batch_once(session, ticks);
             match result {
-                Ok(outcomes) => return Ok(outcomes),
+                Ok(outcomes) => {
+                    // A successful call proves the outage is over:
+                    // reset the jitter state so a *later* outage
+                    // starts from the base delay instead of
+                    // inheriting this one's inflation (which recover()
+                    // alone cannot guarantee — a recovery that
+                    // exhausts its retries returns with the delay
+                    // still inflated).
+                    self.last_delay = self.policy.base_delay;
+                    return Ok(outcomes);
+                }
                 Err(e) if !retryable(&e) => return Err(e),
                 Err(e) => {
                     self.client = None;
@@ -270,7 +290,11 @@ impl ReconnectingClient {
                 self.recover()?;
             }
             match op(self.client.as_mut().expect("recovered client")) {
-                Ok(value) => return Ok(value),
+                Ok(value) => {
+                    // See tick_batch: success resets the jitter state.
+                    self.last_delay = self.policy.base_delay;
+                    return Ok(value);
+                }
                 Err(e) if !retryable(&e) => return Err(e),
                 Err(e) => {
                     self.client = None;

@@ -61,12 +61,47 @@ use awsad_runtime::{
 };
 
 use crate::wire::{
-    read_envelope, write_frame, write_frame_corr, ErrorCode, Frame, ReadFrameError, SessionSpec,
-    WireLatency, WireMetrics, WireOutcome, WireSessionState, DEFAULT_MAX_FRAME_LEN,
+    read_envelope, write_frame, write_frame_corr, ErrorCode, Frame, ReadFrameError, RingMember,
+    SessionSpec, WireLatency, WireMetrics, WireOutcome, WireSessionState, DEFAULT_MAX_FRAME_LEN,
 };
 
-/// Server construction parameters.
+/// One session snapshot headed for a backup peer, handed to the
+/// server's [`ReplicationSink`] after every accepted tick batch.
 #[derive(Debug, Clone)]
+pub struct ReplicationUpdate {
+    /// The live session id on the primary.
+    pub session: u64,
+    /// Snapshot generation (strictly increasing per session lineage);
+    /// the backup rejects anything not newer than what it holds.
+    pub generation: u64,
+    /// The spec the session was opened with — the backup needs it to
+    /// rebuild the detector stack at promotion time.
+    pub spec: SessionSpec,
+    /// The session state as of the just-answered batch.
+    pub state: WireSessionState,
+}
+
+/// Where a replication-enabled server sends its post-batch snapshots.
+///
+/// Implementations (see `awsad-cluster`) typically enqueue the update
+/// for a background sender so the hot reply path never waits on the
+/// backup's socket — replication is asynchronous by design, and the
+/// cluster router compensates for the resulting lag at promotion time
+/// by comparing the promoted replica's progress against its own
+/// checkpoint.
+pub trait ReplicationSink: Send + Sync {
+    /// Accepts one update. Returns the sink's current backlog —
+    /// updates accepted but not yet acknowledged by the backup,
+    /// including this one — which the server records as the
+    /// replication-lag high-water mark.
+    fn replicate(&self, update: ReplicationUpdate) -> u64;
+    /// The server accepted ring epoch `epoch` with membership
+    /// `members`; the sink re-derives its backup target from it.
+    fn ring_update(&self, epoch: u64, members: &[RingMember]);
+}
+
+/// Server construction parameters.
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Engine configuration (worker count, queue capacity,
     /// backpressure policy) for the shared detection engine.
@@ -98,6 +133,29 @@ pub struct ServerConfig {
     /// bounding how long a slow-loris writer can hold a connection
     /// thread.
     pub frame_deadline: Duration,
+    /// When set, every accepted tick batch is followed by a session
+    /// snapshot handed to this sink for asynchronous replication to a
+    /// backup peer (`None` — the default — replicates nothing).
+    pub replication: Option<Arc<dyn ReplicationSink>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("engine", &self.engine)
+            .field("max_frame_len", &self.max_frame_len)
+            .field("read_timeout", &self.read_timeout)
+            .field("outcome_timeout", &self.outcome_timeout)
+            .field(
+                "max_sessions_per_connection",
+                &self.max_sessions_per_connection,
+            )
+            .field("server_name", &self.server_name)
+            .field("session_ttl", &self.session_ttl)
+            .field("frame_deadline", &self.frame_deadline)
+            .field("replication", &self.replication.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -111,6 +169,7 @@ impl Default for ServerConfig {
             server_name: format!("awsad-serve/{}", env!("CARGO_PKG_VERSION")),
             session_ttl: None,
             frame_deadline: Duration::from_secs(30),
+            replication: None,
         }
     }
 }
@@ -175,8 +234,19 @@ struct ServeSession {
     owner: u64,
     state_dim: usize,
     input_dim: usize,
+    /// Retained for replication egress: the backup rebuilds the
+    /// detector stack from this spec at promotion time.
+    spec: SessionSpec,
     last_used: Mutex<Instant>,
     inner: Mutex<SessionInner>,
+}
+
+/// One backup copy held for a remote primary's session, keyed by the
+/// cluster-wide replica key.
+struct ReplicaEntry {
+    generation: u64,
+    spec: SessionSpec,
+    state: WireSessionState,
 }
 
 struct ServerShared {
@@ -189,6 +259,12 @@ struct ServerShared {
     /// connection id. Dropping an entry closes its session (the
     /// handle's `Drop` does the close).
     sessions: Mutex<HashMap<u64, Arc<ServeSession>>>,
+    /// Backup copies this server holds for remote primaries'
+    /// sessions, waiting to be promoted on failover.
+    replicas: Mutex<HashMap<u64, ReplicaEntry>>,
+    /// Highest ring epoch accepted via [`Frame::RingUpdate`]; older
+    /// epochs are ignored (and acked with this value).
+    ring_epoch: AtomicU64,
     /// Joined on shutdown; finished threads are reaped opportunistically
     /// by the accept loop so a long-lived server does not accumulate
     /// handles for long-gone connections.
@@ -232,6 +308,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             next_conn_id: AtomicU64::new(1),
             sessions: Mutex::new(HashMap::new()),
+            replicas: Mutex::new(HashMap::new()),
+            ring_epoch: AtomicU64::new(0),
             connections: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -546,7 +624,12 @@ fn handle_frame(shared: &ServerShared, conn_id: u64, frame: Frame) -> Frame {
             server: shared.config.server_name.clone(),
         },
         Frame::OpenSession(spec) => open_session(shared, conn_id, &spec, None),
-        Frame::RestoreSession { spec, state } => open_session(shared, conn_id, &spec, Some(&state)),
+        // A wire-level restore starts a fresh snapshot lineage
+        // (generation 0): the wire state image cannot carry the
+        // counter, and only cluster promotion needs it.
+        Frame::RestoreSession { spec, state } => {
+            open_session(shared, conn_id, &spec, Some((&state, 0)))
+        }
         Frame::Tick { session, ticks } => run_ticks(shared, conn_id, session, ticks),
         Frame::SnapshotSession { session } => snapshot_session(shared, conn_id, session),
         Frame::CloseSession { session } => {
@@ -563,6 +646,14 @@ fn handle_frame(shared: &ServerShared, conn_id: u64, frame: Frame) -> Frame {
             &shared.engine.metrics(),
             &shared.transport.snapshot(),
         )),
+        Frame::ReplicateSnapshot {
+            key,
+            generation,
+            spec,
+            state,
+        } => store_replica(shared, key, generation, spec, state),
+        Frame::PromoteSession { key } => promote_session(shared, conn_id, key),
+        Frame::RingUpdate { epoch, members } => ring_update(shared, epoch, &members),
         // Reply-direction frames arriving from a client are requests
         // we cannot serve; answer with a typed error but keep the
         // connection (the stream itself is still well-formed).
@@ -572,10 +663,97 @@ fn handle_frame(shared: &ServerShared, conn_id: u64, frame: Frame) -> Frame {
         | Frame::SessionClosed { .. }
         | Frame::MetricsReply(_)
         | Frame::SessionSnapshot { .. }
+        | Frame::ReplicateAck { .. }
         | Frame::Error { .. } => error(
             ErrorCode::Internal,
             "reply-direction frame is not a valid request",
         ),
+    }
+}
+
+/// Accepts (or rejects as stale) one replicated snapshot from a
+/// remote primary.
+fn store_replica(
+    shared: &ServerShared,
+    key: u64,
+    generation: u64,
+    spec: SessionSpec,
+    state: WireSessionState,
+) -> Frame {
+    let mut replicas = shared.replicas.lock().expect("replica store lock");
+    if let Some(existing) = replicas.get(&key) {
+        if existing.generation >= generation {
+            return error(
+                ErrorCode::BadSnapshot,
+                format!(
+                    "stale replica generation {generation} for key {key} (holding {})",
+                    existing.generation
+                ),
+            );
+        }
+    }
+    replicas.insert(
+        key,
+        ReplicaEntry {
+            generation,
+            spec,
+            state,
+        },
+    );
+    Frame::ReplicateAck { key, generation }
+}
+
+/// Turns the stored replica under `key` into a live session owned by
+/// the requesting connection. The replica is consumed; the reply
+/// echoes the restored state so the promoting router can judge the
+/// replica's freshness against its own checkpoint.
+fn promote_session(shared: &ServerShared, conn_id: u64, key: u64) -> Frame {
+    let entry = {
+        let mut replicas = shared.replicas.lock().expect("replica store lock");
+        match replicas.remove(&key) {
+            Some(entry) => entry,
+            None => return error(ErrorCode::UnknownSession, format!("replica {key}")),
+        }
+    };
+    let reply = open_session(
+        shared,
+        conn_id,
+        &entry.spec,
+        Some((&entry.state, entry.generation)),
+    );
+    let Frame::SessionOpened { session, .. } = reply else {
+        // The restore failed; put the replica back so a retry (or a
+        // different router) can still promote it.
+        shared
+            .replicas
+            .lock()
+            .expect("replica store lock")
+            .insert(key, entry);
+        return reply;
+    };
+    shared.engine.record_failover();
+    Frame::SessionSnapshot {
+        session,
+        state: entry.state,
+    }
+}
+
+/// Accepts a ring-membership update, ignoring stale epochs. The ack
+/// always carries the epoch now in force, so a sender with an old
+/// view can tell it lost.
+fn ring_update(shared: &ServerShared, epoch: u64, members: &[RingMember]) -> Frame {
+    let current = shared
+        .ring_epoch
+        .fetch_max(epoch, Ordering::SeqCst)
+        .max(epoch);
+    if current == epoch {
+        if let Some(sink) = &shared.config.replication {
+            sink.ring_update(epoch, members);
+        }
+    }
+    Frame::ReplicateAck {
+        key: 0,
+        generation: current,
     }
 }
 
@@ -655,13 +833,14 @@ fn build_session_parts(
     session_parts_for_spec(spec).map_err(|(code, msg)| error(code, msg))
 }
 
-/// Opens a fresh session, or — when `restore` carries a snapshot —
-/// rebuilds one mid-stream. Both paths answer `SessionOpened`.
+/// Opens a fresh session, or — when `restore` carries a snapshot and
+/// the generation to seed its lineage counter with — rebuilds one
+/// mid-stream. Both paths answer `SessionOpened`.
 fn open_session(
     shared: &ServerShared,
     conn_id: u64,
     spec: &SessionSpec,
-    restore: Option<&WireSessionState>,
+    restore: Option<(&WireSessionState, u64)>,
 ) -> Frame {
     {
         let registry = shared.sessions.lock().expect("session registry lock");
@@ -683,11 +862,10 @@ fn open_session(
     };
     let (handle, outcomes) = match restore {
         None => shared.engine.add_session(logger, detector),
-        Some(state) => {
-            match shared
-                .engine
-                .restore_session(logger, detector, &state.to_snapshot())
-            {
+        Some((state, generation)) => {
+            let mut snapshot = state.to_snapshot();
+            snapshot.generation = generation;
+            match shared.engine.restore_session(logger, detector, &snapshot) {
                 Ok(pair) => pair,
                 Err(e) => return error(ErrorCode::BadSnapshot, format!("restore: {e}")),
             }
@@ -704,6 +882,7 @@ fn open_session(
                 owner: conn_id,
                 state_dim,
                 input_dim,
+                spec: spec.clone(),
                 last_used: Mutex::new(Instant::now()),
                 inner: Mutex::new(SessionInner { handle, outcomes }),
             }),
@@ -790,6 +969,20 @@ fn run_ticks(
             }
         }
     }
+    if let Some(sink) = &shared.config.replication {
+        // All outcomes are in hand, so the session queue is drained
+        // and this snapshot captures exactly the post-batch state. The
+        // sink only enqueues (replication is asynchronous), so the
+        // reply is not delayed by the backup's socket.
+        let snapshot = inner.handle.snapshot();
+        let lag = sink.replicate(ReplicationUpdate {
+            session,
+            generation: snapshot.generation,
+            spec: serve_session.spec.clone(),
+            state: WireSessionState::from_snapshot(&snapshot),
+        });
+        shared.engine.record_replication(lag);
+    }
     Frame::TickOutcomes { session, outcomes }
 }
 
@@ -834,5 +1027,8 @@ pub fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> Wi
         sessions_evicted: transport.sessions_evicted,
         shards: 0,
         partial_frame_resumes: 0,
+        sessions_replicated: engine.sessions_replicated,
+        failovers: engine.failovers,
+        replication_lag_hwm: engine.replication_lag_hwm,
     }
 }

@@ -68,6 +68,10 @@ const FRAME_SNAPSHOT_SESSION: u8 = 0x0b;
 const FRAME_SESSION_SNAPSHOT: u8 = 0x0c;
 const FRAME_RESTORE_SESSION: u8 = 0x0d;
 const FRAME_ERROR: u8 = 0x0f;
+const FRAME_REPLICATE_SNAPSHOT: u8 = 0x10;
+const FRAME_REPLICATE_ACK: u8 = 0x11;
+const FRAME_PROMOTE_SESSION: u8 = 0x12;
+const FRAME_RING_UPDATE: u8 = 0x13;
 
 /// A typed decode failure. Every way a byte stream can violate the
 /// protocol maps to exactly one variant; the server counts these and
@@ -390,6 +394,14 @@ impl WireSessionState {
                 },
             },
             next_seq: self.next_seq,
+            // The wire image deliberately omits the generation
+            // counter: `session_state` is the trailing field of
+            // `SessionSnapshot`/`RestoreSession` frames, so appending
+            // eight bytes here would be indistinguishable from a
+            // correlation id. Legacy restores start a fresh lineage;
+            // replication carries the generation in
+            // `Frame::ReplicateSnapshot` instead.
+            generation: 0,
         }
     }
 }
@@ -465,6 +477,31 @@ pub struct WireMetrics {
     /// appended counter, written together with [`WireMetrics::shards`],
     /// zeroed when absent.
     pub partial_frame_resumes: u64,
+    /// Session snapshots accepted into this server's replica store by
+    /// cluster replication ingress (`ReplicateSnapshot` frames stored;
+    /// stale generations excluded). Sixth appended counter, always
+    /// written together with the two below, zeroed when absent.
+    pub sessions_replicated: u64,
+    /// Replica promotions served (`PromoteSession` frames that turned
+    /// a stored backup into a live session). Seventh appended counter,
+    /// zeroed when absent.
+    pub failovers: u64,
+    /// Highest replication backlog observed on the egress side
+    /// (snapshots queued but not yet acknowledged by the backup) —
+    /// merged across shards by max, like `queue_depth_high_water`.
+    /// Eighth appended counter, zeroed when absent.
+    pub replication_lag_hwm: u64,
+}
+
+/// One shard server in a cluster ring announcement
+/// ([`Frame::RingUpdate`]): a stable shard id plus the address peers
+/// reach it at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingMember {
+    /// Stable shard id (survives address changes).
+    pub shard: u32,
+    /// `host:port` the shard server listens on.
+    pub addr: String,
 }
 
 /// Every frame the protocol defines. Requests flow client → server;
@@ -553,6 +590,60 @@ pub enum Frame {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// Cluster replication: store `state` as the backup copy of the
+    /// session lineage identified by `key` (a cluster-wide replica
+    /// key, not a live session id on the receiving server). The
+    /// receiver keeps at most one replica per key — the one with the
+    /// highest `generation` — and rejects a stale arrival
+    /// (`generation` ≤ stored) with [`ErrorCode::BadSnapshot`], which
+    /// is what makes out-of-order replication deliveries harmless.
+    /// Replied to with [`Frame::ReplicateAck`].
+    ReplicateSnapshot {
+        /// Cluster-wide replica key of the session lineage.
+        key: u64,
+        /// Snapshot generation (see
+        /// `awsad_runtime::SessionSnapshot::generation`).
+        generation: u64,
+        /// Configuration to rebuild the detector/logger pair from at
+        /// promotion time.
+        spec: SessionSpec,
+        /// The replicated session state.
+        state: WireSessionState,
+    },
+    /// Reply to [`Frame::ReplicateSnapshot`] (echoing what was
+    /// stored) and to [`Frame::RingUpdate`] (with `key` 0 and
+    /// `generation` echoing the accepted epoch).
+    ReplicateAck {
+        /// The replica key that was stored (0 for a ring ack).
+        key: u64,
+        /// The generation now held for that key (the epoch for a ring
+        /// ack).
+        generation: u64,
+    },
+    /// Failover: turn the stored replica under `key` into a live
+    /// session owned by the requesting connection. The replica is
+    /// consumed (a second promote answers
+    /// [`ErrorCode::UnknownSession`]), and the reply is a
+    /// [`Frame::SessionSnapshot`] carrying the fresh live session id
+    /// plus the exact state it was restored from — the promoting
+    /// router compares `next_seq` against its own progress to decide
+    /// whether the replica is current or replication lag lost the
+    /// tail.
+    PromoteSession {
+        /// Replica key to promote.
+        key: u64,
+    },
+    /// Cluster control plane: the current ring membership. Servers
+    /// with replication enabled re-derive their ring-successor backup
+    /// target from this; an `epoch` older than one already accepted
+    /// is ignored (acked with the *current* epoch, so the sender can
+    /// tell). Replied to with [`Frame::ReplicateAck`].
+    RingUpdate {
+        /// Monotone membership epoch.
+        epoch: u64,
+        /// Every live shard, in no particular order.
+        members: Vec<RingMember>,
     },
 }
 
@@ -837,6 +928,10 @@ impl Frame {
             Frame::SessionSnapshot { .. } => FRAME_SESSION_SNAPSHOT,
             Frame::RestoreSession { .. } => FRAME_RESTORE_SESSION,
             Frame::Error { .. } => FRAME_ERROR,
+            Frame::ReplicateSnapshot { .. } => FRAME_REPLICATE_SNAPSHOT,
+            Frame::ReplicateAck { .. } => FRAME_REPLICATE_ACK,
+            Frame::PromoteSession { .. } => FRAME_PROMOTE_SESSION,
+            Frame::RingUpdate { .. } => FRAME_RING_UPDATE,
         }
     }
 
@@ -859,6 +954,10 @@ impl Frame {
             Frame::SessionSnapshot { .. } => "SessionSnapshot",
             Frame::RestoreSession { .. } => "RestoreSession",
             Frame::Error { .. } => "Error",
+            Frame::ReplicateSnapshot { .. } => "ReplicateSnapshot",
+            Frame::ReplicateAck { .. } => "ReplicateAck",
+            Frame::PromoteSession { .. } => "PromoteSession",
+            Frame::RingUpdate { .. } => "RingUpdate",
         }
     }
 
@@ -940,6 +1039,9 @@ impl Frame {
                 e.u64(m.sessions_evicted);
                 e.u64(m.shards);
                 e.u64(m.partial_frame_resumes);
+                e.u64(m.sessions_replicated);
+                e.u64(m.failovers);
+                e.u64(m.replication_lag_hwm);
             }
             Frame::SnapshotSession { session } => e.u64(*session),
             Frame::SessionSnapshot { session, state } => {
@@ -957,6 +1059,34 @@ impl Frame {
             Frame::Error { code, message } => {
                 e.u8(*code as u8);
                 e.str(message);
+            }
+            Frame::ReplicateSnapshot {
+                key,
+                generation,
+                spec,
+                state,
+            } => {
+                e.u64(*key);
+                e.u64(*generation);
+                e.u8(spec.model);
+                e.u32(spec.max_window);
+                e.u32(spec.min_window);
+                e.f64s(&spec.threshold);
+                e.u32(spec.cache_capacity);
+                e.session_state(state);
+            }
+            Frame::ReplicateAck { key, generation } => {
+                e.u64(*key);
+                e.u64(*generation);
+            }
+            Frame::PromoteSession { key } => e.u64(*key),
+            Frame::RingUpdate { epoch, members } => {
+                e.u64(*epoch);
+                e.u32(members.len() as u32);
+                for m in members {
+                    e.u32(m.shard);
+                    e.str(&m.addr);
+                }
             }
         }
         if let Some(corr) = corr {
@@ -1063,20 +1193,35 @@ impl Frame {
                     sessions_evicted: 0,
                     shards: 0,
                     partial_frame_resumes: 0,
+                    sessions_replicated: 0,
+                    failovers: 0,
+                    replication_lag_hwm: 0,
                 };
                 // Append-only extensions, oldest first. The remaining
-                // byte count disambiguates each generation: ≥ 40 means
-                // all five counters are present (five-counter peers
-                // always write all five, so the only other way to
-                // reach 40 would be three counters + a correlation id
-                // + 8 junk bytes, which no peer emits); ≥ 24 means
-                // exactly the first three (three-counter peers always
-                // write all three, and two-counter peers predate
-                // correlation ids, so 24 can never be two counters
-                // plus a correlation id); ≥ 16 means the first two.
+                // byte count disambiguates each generation because
+                // every peer generation writes its *whole* counter set:
+                // ≥ 64 means all eight counters are present (the only
+                // other way to reach 64 would be a five-counter peer
+                // appending a correlation id plus 16 junk bytes, which
+                // no peer emits); ≥ 40 means exactly the first five
+                // (an eight-counter payload is never < 64, and five
+                // counters + a correlation id = 48, which still lands
+                // in this branch and leaves the id for the envelope);
+                // ≥ 24 means exactly the first three (two-counter
+                // peers predate correlation ids, so 24 can never be
+                // two counters plus an id); ≥ 16 means the first two.
                 // Whatever is left after the counters (0 or 8 bytes)
                 // is handled by the envelope's correlation-id logic.
-                if d.remaining() >= 40 {
+                if d.remaining() >= 64 {
+                    m.alloc_free_ticks = d.u64()?;
+                    m.batched_deadline_queries = d.u64()?;
+                    m.sessions_evicted = d.u64()?;
+                    m.shards = d.u64()?;
+                    m.partial_frame_resumes = d.u64()?;
+                    m.sessions_replicated = d.u64()?;
+                    m.failovers = d.u64()?;
+                    m.replication_lag_hwm = d.u64()?;
+                } else if d.remaining() >= 40 {
                     m.alloc_free_ticks = d.u64()?;
                     m.batched_deadline_queries = d.u64()?;
                     m.sessions_evicted = d.u64()?;
@@ -1111,6 +1256,37 @@ impl Frame {
                 code: ErrorCode::from_u8(d.u8()?)?,
                 message: d.str()?,
             },
+            FRAME_REPLICATE_SNAPSHOT => Frame::ReplicateSnapshot {
+                key: d.u64()?,
+                generation: d.u64()?,
+                spec: SessionSpec {
+                    model: d.u8()?,
+                    max_window: d.u32()?,
+                    min_window: d.u32()?,
+                    threshold: d.f64s()?,
+                    cache_capacity: d.u32()?,
+                },
+                state: d.session_state()?,
+            },
+            FRAME_REPLICATE_ACK => Frame::ReplicateAck {
+                key: d.u64()?,
+                generation: d.u64()?,
+            },
+            FRAME_PROMOTE_SESSION => Frame::PromoteSession { key: d.u64()? },
+            FRAME_RING_UPDATE => {
+                let epoch = d.u64()?;
+                // Smallest member encoding: u32 shard + u32 length
+                // prefix of an empty addr = 8 bytes.
+                let n = d.seq_len(8)?;
+                let mut members = Vec::with_capacity(n);
+                for _ in 0..n {
+                    members.push(RingMember {
+                        shard: d.u32()?,
+                        addr: d.str()?,
+                    });
+                }
+                Frame::RingUpdate { epoch, members }
+            }
             other => return Err(WireError::UnknownFrameType(other)),
         };
         let corr = if d.remaining() == 8 {
@@ -1271,6 +1447,10 @@ mod tests {
             FRAME_SESSION_SNAPSHOT,
             FRAME_RESTORE_SESSION,
             FRAME_ERROR,
+            FRAME_REPLICATE_SNAPSHOT,
+            FRAME_REPLICATE_ACK,
+            FRAME_PROMOTE_SESSION,
+            FRAME_RING_UPDATE,
         ];
         let latency = WireLatency {
             count: 400,
@@ -1363,6 +1543,9 @@ mod tests {
                     sessions_evicted: 2,
                     shards: 4,
                     partial_frame_resumes: 87,
+                    sessions_replicated: 996,
+                    failovers: 1,
+                    replication_lag_hwm: 3,
                 }),
                 FRAME_SNAPSHOT_SESSION => Frame::SnapshotSession { session: 7 },
                 FRAME_SESSION_SNAPSHOT => Frame::SessionSnapshot {
@@ -1376,6 +1559,32 @@ mod tests {
                 FRAME_ERROR => Frame::Error {
                     code: ErrorCode::DimensionMismatch,
                     message: "estimate has 2 entries, model wants 3".into(),
+                },
+                FRAME_REPLICATE_SNAPSHOT => Frame::ReplicateSnapshot {
+                    key: (3u64 << 48) | 7,
+                    generation: 12,
+                    spec: SessionSpec::model_defaults(3),
+                    state: sample_state(),
+                },
+                FRAME_REPLICATE_ACK => Frame::ReplicateAck {
+                    key: (3u64 << 48) | 7,
+                    generation: 12,
+                },
+                FRAME_PROMOTE_SESSION => Frame::PromoteSession {
+                    key: (3u64 << 48) | 7,
+                },
+                FRAME_RING_UPDATE => Frame::RingUpdate {
+                    epoch: 5,
+                    members: vec![
+                        RingMember {
+                            shard: 0,
+                            addr: "127.0.0.1:9401".into(),
+                        },
+                        RingMember {
+                            shard: 2,
+                            addr: String::new(),
+                        },
+                    ],
                 },
                 _ => unreachable!("unlisted frame type {t:#04x}"),
             })
@@ -1415,15 +1624,21 @@ mod tests {
             let payload = frame.encode();
             // The *legal* short reads: a MetricsReply cut exactly at an
             // append-only counter boundary is a valid older reply.
-            // `len - 40` drops all five counters (v1 peer); `len - 24`
-            // keeps the first two (two-counter peer); `len - 16` keeps
-            // the first three (three-counter peer). The cuts at
-            // `len - 32` and `len - 8` are NOT legal under strict
-            // decode: the lone trailing counter parses as a
-            // correlation id, which `Frame::decode` rejects as
-            // trailing bytes.
+            // `len - 64` drops all eight counters (v1 peer); `len - 48`
+            // keeps the first two (two-counter peer); `len - 40` keeps
+            // the first three (three-counter peer); `len - 24` keeps
+            // the first five (five-counter peer). Every other
+            // counter-dropping cut is NOT legal under strict decode:
+            // the leftover 8 bytes parse as a correlation id, which
+            // `Frame::decode` rejects as trailing bytes (and a
+            // 16-byte leftover is rejected outright).
             let legacy_boundaries: &[usize] = if matches!(frame, Frame::MetricsReply(_)) {
-                &[payload.len() - 40, payload.len() - 24, payload.len() - 16]
+                &[
+                    payload.len() - 64,
+                    payload.len() - 48,
+                    payload.len() - 40,
+                    payload.len() - 24,
+                ]
             } else {
                 &[]
             };
@@ -1475,8 +1690,8 @@ mod tests {
     #[test]
     fn strict_decode_rejects_correlation_ids() {
         // The strict decoder must not silently absorb the appended
-        // correlation id. (Even on MetricsReply: the three appended
-        // counters are consumed first by the `remaining >= 24` rule,
+        // correlation id. (Even on MetricsReply: the eight appended
+        // counters are consumed first by the `remaining >= 64` rule,
         // which leaves the corr id as the trailing 8 bytes.)
         for frame in sample_frames() {
             assert_eq!(
@@ -1528,12 +1743,15 @@ mod tests {
                 && sample.sessions_evicted > 0
                 && sample.shards > 0
                 && sample.partial_frame_resumes > 0
+                && sample.sessions_replicated > 0
+                && sample.failovers > 0
+                && sample.replication_lag_hwm > 0
         );
         let payload = Frame::MetricsReply(sample).encode();
-        // A v1 peer's reply is byte-identical minus the five appended
+        // A v1 peer's reply is byte-identical minus the eight appended
         // counters; it must decode with all of them reading zero and
         // every other field intact.
-        let legacy = &payload[..payload.len() - 40];
+        let legacy = &payload[..payload.len() - 64];
         let Frame::MetricsReply(decoded) = Frame::decode(legacy).unwrap() else {
             panic!("legacy reply must still be a MetricsReply");
         };
@@ -1545,11 +1763,14 @@ mod tests {
                 sessions_evicted: 0,
                 shards: 0,
                 partial_frame_resumes: 0,
+                sessions_replicated: 0,
+                failovers: 0,
+                replication_lag_hwm: 0,
                 ..sample
             }
         );
         // A two-counter peer keeps the first two appended counters.
-        let two_counter = &payload[..payload.len() - 24];
+        let two_counter = &payload[..payload.len() - 48];
         let Frame::MetricsReply(decoded) = Frame::decode(two_counter).unwrap() else {
             panic!("two-counter reply must still be a MetricsReply");
         };
@@ -1559,12 +1780,15 @@ mod tests {
                 sessions_evicted: 0,
                 shards: 0,
                 partial_frame_resumes: 0,
+                sessions_replicated: 0,
+                failovers: 0,
+                replication_lag_hwm: 0,
                 ..sample
             }
         );
         // A three-counter peer (the revision that predates sharding)
-        // drops only the shard pair.
-        let three_counter = &payload[..payload.len() - 16];
+        // keeps the first three.
+        let three_counter = &payload[..payload.len() - 40];
         let Frame::MetricsReply(decoded) = Frame::decode(three_counter).unwrap() else {
             panic!("three-counter reply must still be a MetricsReply");
         };
@@ -1573,6 +1797,24 @@ mod tests {
             WireMetrics {
                 shards: 0,
                 partial_frame_resumes: 0,
+                sessions_replicated: 0,
+                failovers: 0,
+                replication_lag_hwm: 0,
+                ..sample
+            }
+        );
+        // A five-counter peer (the revision that predates clustering)
+        // drops only the replication triple.
+        let five_counter = &payload[..payload.len() - 24];
+        let Frame::MetricsReply(decoded) = Frame::decode(five_counter).unwrap() else {
+            panic!("five-counter reply must still be a MetricsReply");
+        };
+        assert_eq!(
+            decoded,
+            WireMetrics {
+                sessions_replicated: 0,
+                failovers: 0,
+                replication_lag_hwm: 0,
                 ..sample
             }
         );

@@ -1,12 +1,14 @@
 //! Differential oracles: every detection path must produce the same
 //! bits.
 //!
-//! The stack grew six independent ways to compute one
+//! The stack grew seven independent ways to compute one
 //! [`AdaptiveStep`] stream — direct [`AdaptiveDetector`] stepping, the
 //! runtime engine, the serve wire path, [`ReconnectingClient`] resume
 //! through transport failure, snapshot/restore into a fresh engine,
-//! and the readiness-based `awsad-net` server with its sharded
-//! engines and incremental decoder. Floats travel the wire as their
+//! the readiness-based `awsad-net` server with its sharded
+//! engines and incremental decoder, and the `awsad-cluster` router
+//! streaming across a 3-shard consistent-hash ring with its primary
+//! killed mid-stream. Floats travel the wire as their
 //! IEEE-754 bit patterns and every state copy is bit-exact, so the
 //! streams must be **equal**, not approximately equal. The oracles
 //! here run one generated [`Scenario`] through each path and diff the
@@ -25,12 +27,14 @@ use std::fmt;
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use awsad_cluster::LocalCluster;
 use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger};
 use awsad_linalg::Vector;
 use awsad_reach::{CacheConfig, Deadline, DeadlineCache, DeadlineEstimator};
 use awsad_runtime::{DetectionEngine, EngineConfig, Tick, TickOutcome};
 use awsad_serve::client::Client;
 use awsad_serve::reconnect::{ReconnectingClient, RetryPolicy};
+use awsad_serve::server::ServerConfig;
 use awsad_serve::wire::{Frame, WireOutcome, WireTick};
 
 use crate::proxy::{FaultPlan, FaultProxy, ReplyFault};
@@ -480,6 +484,79 @@ pub fn check_six_paths(
             ),
         ));
     }
+    Ok(())
+}
+
+/// Path 7 — the cluster router: the scenario streams through a fresh
+/// 3-shard [`LocalCluster`] and the session's primary is killed with
+/// no warning halfway through. The router's failover (promote the
+/// ring successor's replica, or restore the client checkpoint, then
+/// replay the interrupted batch) must leave the caller-visible stream
+/// bit-identical to direct stepping.
+pub fn cluster_steps(scenario: &Scenario) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let spec = scenario
+        .spec
+        .as_ref()
+        .expect("cluster path needs a registry scenario");
+    let fail = |detail: String| OracleError::new(scenario, "cluster", detail);
+    let mut cluster = LocalCluster::launch(3, ServerConfig::default())
+        .map_err(|e| fail(format!("launch: {e}")))?;
+    let mut client = cluster.client();
+    let session = client
+        .open_session(spec)
+        .map_err(|e| fail(format!("open: {e}")))?;
+    let chunk = (scenario.trace.len() / 4).max(1);
+    let mut outcomes = Vec::new();
+    let mut killed = false;
+    for (i, batch) in scenario.trace.chunks(chunk).enumerate() {
+        // Kill the primary after the second batch; a seed-derived
+        // coin decides whether in-flight replicas get to land first,
+        // so both recovery paths (promote the replica / restore the
+        // checkpoint) stay exercised across the scenario corpus.
+        if i == 2 && !killed {
+            killed = true;
+            let primary = client
+                .primary_of(session.key)
+                .ok_or_else(|| fail("session lost its route".into()))?;
+            if scenario.seed.seed & 1 == 0 {
+                if let Some(shard) = cluster.shard(primary) {
+                    shard.replicator.flush(Duration::from_secs(5));
+                }
+            }
+            cluster.kill(primary);
+        }
+        outcomes.extend(
+            client
+                .tick_batch(session.key, batch)
+                .map_err(|e| fail(format!("tick_batch: {e}")))?,
+        );
+    }
+    if killed && client.failovers() == 0 {
+        return Err(fail("the kill never forced a failover".into()));
+    }
+    client
+        .close_session(session.key)
+        .map_err(|e| fail(format!("close: {e}")))?;
+    cluster.shutdown();
+    wire_steps(scenario, "cluster", &outcomes)
+}
+
+/// Runs **all seven** paths: the six of [`check_six_paths`], plus the
+/// cluster router with a mid-stream shard kill. The cluster launches
+/// its own 3-shard ring per scenario — the kill is destructive, so
+/// the servers cannot be shared the way `serve_addr`/`net_addr` are.
+pub fn check_seven_paths(
+    scenario: &Scenario,
+    serve_addr: SocketAddr,
+    net_addr: SocketAddr,
+) -> Result<(), OracleError> {
+    check_six_paths(scenario, serve_addr, net_addr)?;
+    diff_streams(
+        scenario,
+        "cluster",
+        &cluster_steps(scenario)?,
+        &direct_steps(scenario),
+    )?;
     Ok(())
 }
 

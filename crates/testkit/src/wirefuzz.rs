@@ -172,6 +172,9 @@ fn arbitrary_metrics(rng: &mut StdRng) -> WireMetrics {
         sessions_evicted: rng.random_range(0..=u64::MAX),
         shards: rng.random_range(0..=u64::MAX),
         partial_frame_resumes: rng.random_range(0..=u64::MAX),
+        sessions_replicated: rng.random_range(0..=u64::MAX),
+        failovers: rng.random_range(0..=u64::MAX),
+        replication_lag_hwm: rng.random_range(0..=u64::MAX),
     }
 }
 
@@ -206,10 +209,10 @@ fn arbitrary_state(rng: &mut StdRng) -> WireSessionState {
     }
 }
 
-/// A random valid frame covering every one of the protocol's 14
+/// A random valid frame covering every one of the protocol's 18
 /// variants, with hostile float bit patterns throughout.
 pub fn arbitrary_frame(rng: &mut StdRng) -> Frame {
-    match rng.random_range(0..14u32) {
+    match rng.random_range(0..18u32) {
         0 => Frame::Hello {
             client: arbitrary_string(rng, 24),
         },
@@ -253,9 +256,31 @@ pub fn arbitrary_frame(rng: &mut StdRng) -> Frame {
             spec: arbitrary_spec(rng),
             state: arbitrary_state(rng),
         },
-        _ => Frame::Error {
+        13 => Frame::Error {
             code: awsad_serve::wire::ErrorCode::Internal,
             message: arbitrary_string(rng, 32),
+        },
+        14 => Frame::ReplicateSnapshot {
+            key: rng.random_range(0..=u64::MAX),
+            generation: rng.random_range(0..=u64::MAX),
+            spec: arbitrary_spec(rng),
+            state: arbitrary_state(rng),
+        },
+        15 => Frame::ReplicateAck {
+            key: rng.random_range(0..=u64::MAX),
+            generation: rng.random_range(0..=u64::MAX),
+        },
+        16 => Frame::PromoteSession {
+            key: rng.random_range(0..=u64::MAX),
+        },
+        _ => Frame::RingUpdate {
+            epoch: rng.random_range(0..=u64::MAX),
+            members: (0..rng.random_range(0..4usize))
+                .map(|_| awsad_serve::wire::RingMember {
+                    shard: rng.random_range(0..=u32::MAX),
+                    addr: arbitrary_string(rng, 20),
+                })
+                .collect(),
         },
     }
 }

@@ -1,0 +1,56 @@
+//! The seventh differential-oracle path, run at volume: ≥100 seeded
+//! registry scenarios streamed through a fresh 3-shard
+//! `awsad-cluster` ring with the session's primary killed mid-stream,
+//! asserting the `AdaptiveStep` stream bit-identical to direct
+//! stepping. A seed-derived coin decides per scenario whether
+//! replication is flushed before the kill, so both recovery paths —
+//! promoting the ring successor's replica and restoring the client's
+//! own checkpoint — stay covered across the corpus.
+//!
+//! Every scenario that fails prints its seed string, so the repro is
+//! always `cargo run --release -p awsad-testkit --bin fuzz -- --repro
+//! <seed>`.
+
+use awsad_testkit::oracle::{cluster_steps, direct_steps};
+use awsad_testkit::scenario::{Scenario, SeedSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+const SCENARIOS: u64 = 100;
+
+#[test]
+fn one_hundred_registry_scenarios_survive_a_mid_stream_shard_kill() {
+    let mut rng = StdRng::seed_from_u64(0x7_5EED);
+    let mut failures = Vec::new();
+    for _ in 0..SCENARIOS {
+        let seed = SeedSpec::registry(rng.random_range(0..=u64::MAX));
+        let scenario = Scenario::from_seed(&seed);
+        let reference = direct_steps(&scenario);
+        match cluster_steps(&scenario) {
+            Ok(steps) if steps == reference => {}
+            Ok(steps) => {
+                let at = steps
+                    .iter()
+                    .zip(&reference)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| steps.len().min(reference.len()));
+                failures.push(format!(
+                    "cluster stream diverged at tick {at} ({} vs {} ticks)\n  repro: {}",
+                    steps.len(),
+                    reference.len(),
+                    seed.repro_command()
+                ));
+            }
+            Err(e) => failures.push(format!("{e}\n  repro: {}", seed.repro_command())),
+        }
+        if failures.len() >= 3 {
+            break; // enough evidence; don't grind through the rest
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "cluster-path divergence on {} scenario(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -42,6 +42,7 @@
 //! | [`runtime`] | `awsad-runtime` | multi-session streaming engine: worker pool, bounded queues, deadline cache wiring, metrics |
 //! | [`serve`] | `awsad-serve` | detection-as-a-service: binary wire protocol, TCP server, blocking + reconnecting clients, session snapshot/resume |
 //! | [`net`] | `awsad-net` | readiness-based (epoll) event-loop server: I/O shards with per-shard engines, incremental frame decode, vectored writes |
+//! | [`cluster`] | `awsad-cluster` | consistent-hash session sharding: snapshot replication to ring successors, backup promotion on shard failure, live drain migration |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,7 @@
 pub mod tour;
 
 pub use awsad_attack as attack;
+pub use awsad_cluster as cluster;
 pub use awsad_control as control;
 pub use awsad_core as core;
 pub use awsad_linalg as linalg;
@@ -83,6 +85,7 @@ pub mod prelude {
         AttackWindow, BiasAttack, ChainedAttack, DelayAttack, NoAttack, RampAttack,
         RandomValueAttack, ReplayAttack, SensorAttack,
     };
+    pub use awsad_cluster::{ClusterClient, HashRing, LocalCluster};
     pub use awsad_control::{
         Controller, LqrController, PidChannel, PidController, PidGains, Reference,
     };
