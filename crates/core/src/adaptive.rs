@@ -29,6 +29,24 @@ impl AdaptiveStep {
     }
 }
 
+/// How a lane's deadline resolves in phase A of a batched step (see
+/// the batch-stepping hooks on [`AdaptiveDetector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchDeadlinePhase {
+    /// The deadline is already committed (aged estimate or cache hit).
+    Ready {
+        /// The committed deadline.
+        deadline: Deadline,
+    },
+    /// A reachability walk from the lane's trusted estimate is needed;
+    /// `cache_miss` records whether an installed cache counted a miss
+    /// (the walked answer must then be inserted at commit).
+    Walk {
+        /// Whether an installed deadline cache counted a miss.
+        cache_miss: bool,
+    },
+}
+
 /// The adaptive window-based detector (§4.2/§4.3).
 ///
 /// Each step it:
@@ -356,6 +374,149 @@ impl AdaptiveDetector {
             current_alarm,
             complementary_alarms: Vec::new(),
         }
+    }
+
+    // --- Batch-stepping hooks -------------------------------------
+    //
+    // The cross-session batch planner (`crate::batch::BatchPlan`)
+    // decomposes `step` into phases so the expensive pieces — the
+    // reachability walk and the window mean — can run once over a
+    // whole group of sessions. Each hook mirrors a contiguous piece of
+    // `step` *exactly* (same branches, same f64 operations in the same
+    // order, same cache statistics), which is what makes the batched
+    // outcome stream bit-identical to per-session stepping. Any edit
+    // to `step` must be reflected here.
+
+    /// Whether this detector can take the batched stepping path
+    /// ([`crate::BatchPlan`]). A *quantized* deadline cache cannot:
+    /// its miss path re-evaluates at a snapped representative with an
+    /// inflated radius, which the shared batched walk does not
+    /// reproduce, so such lanes fall back to the scalar
+    /// [`AdaptiveDetector::step`].
+    pub fn batch_supported(&self) -> bool {
+        !self
+            .deadline_cache
+            .as_ref()
+            .is_some_and(|c| c.config().quantum > 0.0)
+    }
+
+    /// Phase A of a batched step: resolve the deadline *source* for
+    /// this lane, mirroring the deadline match in
+    /// [`AdaptiveDetector::step`]. Aged estimates and cache hits are
+    /// committed immediately (state and statistics identical to the
+    /// scalar path); a miss or an uncached lane reports
+    /// [`BatchDeadlinePhase::Walk`] and the caller resolves it through
+    /// one batched reachability walk followed by
+    /// [`AdaptiveDetector::batch_commit_walked_deadline`].
+    pub(crate) fn batch_deadline_phase(&mut self, logger: &DataLogger) -> BatchDeadlinePhase {
+        match self.cached_deadline {
+            Some(cached) if self.steps_since_estimate < self.reestimation_period => {
+                self.steps_since_estimate += 1;
+                let aged = match cached {
+                    Deadline::Within(t_d) => Deadline::Within(t_d.saturating_sub(1)),
+                    Deadline::Beyond => Deadline::Beyond,
+                };
+                self.cached_deadline = Some(aged);
+                BatchDeadlinePhase::Ready { deadline: aged }
+            }
+            _ => {
+                let trusted = logger
+                    .trusted_entry(self.prev_window)
+                    .expect("logger has at least one entry");
+                match self.deadline_cache.as_mut() {
+                    Some(cache) => match cache.lookup(&trusted.estimate, self.initial_radius) {
+                        Some(hit) => {
+                            self.steps_since_estimate = 1;
+                            self.cached_deadline = Some(hit);
+                            BatchDeadlinePhase::Ready { deadline: hit }
+                        }
+                        // The miss is already counted; the walked
+                        // answer must come back via
+                        // `batch_commit_walked_deadline`.
+                        None => BatchDeadlinePhase::Walk { cache_miss: true },
+                    },
+                    None => BatchDeadlinePhase::Walk { cache_miss: false },
+                }
+            }
+        }
+    }
+
+    /// Commits a deadline the caller walked for this lane's
+    /// [`BatchDeadlinePhase::Walk`]: stores the miss in the cache
+    /// (bit-identical to the scalar miss path's insert) and resets the
+    /// aging counter exactly as [`AdaptiveDetector::step`] does after
+    /// a fresh query.
+    pub(crate) fn batch_commit_walked_deadline(
+        &mut self,
+        logger: &DataLogger,
+        deadline: Deadline,
+        cache_miss: bool,
+    ) {
+        if cache_miss {
+            let trusted = logger
+                .trusted_entry(self.prev_window)
+                .expect("logger has at least one entry");
+            if let Some(cache) = self.deadline_cache.as_mut() {
+                cache.insert_computed(&trusted.estimate, self.initial_radius, deadline);
+            }
+        }
+        self.steps_since_estimate = 1;
+        self.cached_deadline = Some(deadline);
+    }
+
+    /// Phase C of a batched step: complementary detection on window
+    /// shrink, verbatim from [`AdaptiveDetector::step`] (same guard,
+    /// same window ends, same scratch-buffer checks).
+    pub(crate) fn batch_complementary(
+        &mut self,
+        logger: &DataLogger,
+        current: usize,
+        w_p: usize,
+        w_c: usize,
+    ) -> Vec<usize> {
+        let mut complementary_alarms = Vec::new();
+        if self.complementary_enabled && w_c < w_p && current > 0 {
+            let first_end = current.saturating_sub(w_p + 1).saturating_add(w_c);
+            for end in first_end..current {
+                if self
+                    .checker
+                    .check_with(logger, end, w_c, &mut self.mean_scratch)
+                    == Some(true)
+                {
+                    complementary_alarms.push(end);
+                }
+            }
+        }
+        complementary_alarms
+    }
+
+    /// Scalar fallback for the current-window check of a batched step
+    /// (used when a lane's window is not fully retained): the exact
+    /// phase-5 expression of [`AdaptiveDetector::step`].
+    pub(crate) fn batch_check_current(
+        &mut self,
+        logger: &DataLogger,
+        current: usize,
+        w_c: usize,
+    ) -> bool {
+        self.checker
+            .check_with(logger, current, w_c, &mut self.mean_scratch)
+            .unwrap_or(false)
+    }
+
+    /// Threshold decision on a batched window mean held as a slice —
+    /// the same check [`AdaptiveDetector::step`] applies to its
+    /// scratch vector.
+    pub(crate) fn batch_exceeds_mean(&self, mean: &[f64]) -> bool {
+        self.checker.exceeds_slice(mean)
+    }
+
+    /// Final phase of a batched step: publish the window and the
+    /// alloc-free flag, exactly as the tail of
+    /// [`AdaptiveDetector::step`].
+    pub(crate) fn batch_finalize(&mut self, w_c: usize, alloc_free: bool) {
+        self.prev_window = w_c;
+        self.last_step_alloc_free = alloc_free;
     }
 
     /// Resets the adaptation state (the previous window returns to

@@ -1,0 +1,457 @@
+//! Cross-session batched stepping.
+//!
+//! [`BatchPlan`] steps a *group* of detection sessions one tick at a
+//! time through shared kernels: every lane that needs a fresh deadline
+//! is answered by **one** batched reachability walk
+//! ([`awsad_reach::DeadlineEstimator::deadline_batch_refs_with`]), and
+//! every lane's current-window mean is evaluated by **one**
+//! structure-of-arrays kernel call
+//! ([`awsad_linalg::kernels::soa::window_mean_lanes`]). Per lane, each
+//! phase reproduces the corresponding piece of
+//! [`AdaptiveDetector::step`] with the exact same branches and f64
+//! operation order (see the batch-stepping hooks in `adaptive.rs`),
+//! so the produced [`AdaptiveStep`] stream — and the deadline-cache
+//! statistics — are bit-identical to stepping each session alone.
+//!
+//! # Grouping contract
+//!
+//! A group must be homogeneous where the shared kernels demand it:
+//! every lane has the same state dimension, the same initial radius,
+//! and estimators running bit-identical walks (equal
+//! [`awsad_reach::DeadlineEstimator::fingerprint`]s — in practice,
+//! sessions of the same plant model and reach configuration). Lanes
+//! whose detector reports [`AdaptiveDetector::batch_supported`] `==
+//! false` (quantized deadline caches) and lanes taking a *degraded*
+//! step must be stepped scalar instead; the runtime's engine routes
+//! them to the scalar path and counts them as fallbacks. Thresholds,
+//! window bounds, re-estimation periods and cache capacities may all
+//! differ per lane — those phases stay per-lane.
+
+use awsad_linalg::kernels::soa::{self, SoaBatch};
+use awsad_linalg::Vector;
+use awsad_reach::{BatchScratch, Deadline};
+
+use crate::adaptive::BatchDeadlinePhase;
+use crate::{AdaptiveDetector, AdaptiveStep, DataLogger};
+
+/// One session's view inside a batched step: its logger (with the
+/// current tick already recorded) and its detector.
+#[derive(Debug)]
+pub struct BatchLane<'a> {
+    /// The lane's data logger; the caller must have recorded the
+    /// current tick's `(estimate, input)` before the batched step.
+    pub logger: &'a DataLogger,
+    /// The lane's adaptive detector.
+    pub detector: &'a mut AdaptiveDetector,
+}
+
+/// Reusable buffers and the stepping logic for cross-session batched
+/// detection. See the [module docs](self) for the grouping contract
+/// and the bit-identity argument.
+#[derive(Debug, Default)]
+pub struct BatchPlan {
+    walk_scratch: BatchScratch,
+    walk_deadlines: Vec<Deadline>,
+    walk_lanes: Vec<usize>,
+    phases: Vec<BatchDeadlinePhase>,
+    windows: Vec<usize>,
+    currents: Vec<usize>,
+    alloc_free: Vec<bool>,
+    scalar_mean: Vec<bool>,
+    means: SoaBatch,
+    offsets: Vec<usize>,
+    factors: Vec<f64>,
+}
+
+impl BatchPlan {
+    /// Creates a plan with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Steps every lane of `lanes` one tick, appending one
+    /// [`AdaptiveStep`] per lane (in lane order) to `out`. The results
+    /// are bit-identical to calling `lane.detector.step(lane.logger)`
+    /// on each lane in isolation, provided the [grouping
+    /// contract](self) holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a lane's logger is empty (record the tick first),
+    /// when lanes disagree on state dimension or initial radius, or
+    /// when a lane's estimator rejects the batched walk (dimension
+    /// mismatch within the group).
+    pub fn step_group(&mut self, lanes: &mut [BatchLane<'_>], out: &mut Vec<AdaptiveStep>) {
+        let n_lanes = lanes.len();
+        if n_lanes == 0 {
+            return;
+        }
+
+        // Phase A: resolve each lane's deadline source. Aged estimates
+        // and cache hits commit immediately; walk lanes queue up.
+        self.phases.clear();
+        self.walk_lanes.clear();
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            let phase = lane.detector.batch_deadline_phase(lane.logger);
+            if matches!(phase, BatchDeadlinePhase::Walk { .. }) {
+                self.walk_lanes.push(j);
+            }
+            self.phases.push(phase);
+        }
+
+        // One batched reachability walk answers every queued lane.
+        // Each column of the walk is bit-identical to the scalar
+        // `checked_deadline_with` the lane would have run alone.
+        self.walk_deadlines.clear();
+        if !self.walk_lanes.is_empty() {
+            let first = self.walk_lanes[0];
+            let r0 = lanes[first].detector.initial_radius();
+            let mut trusted: Vec<&Vector> = Vec::with_capacity(self.walk_lanes.len());
+            for &j in &self.walk_lanes {
+                let lane = &lanes[j];
+                assert_eq!(
+                    lane.detector.initial_radius().to_bits(),
+                    r0.to_bits(),
+                    "grouped lanes must share the initial radius"
+                );
+                trusted.push(
+                    &lane
+                        .logger
+                        .trusted_entry(lane.detector.previous_window())
+                        .expect("record the current step before detection")
+                        .estimate,
+                );
+            }
+            lanes[first]
+                .detector
+                .estimator()
+                .deadline_batch_refs_with(
+                    &trusted,
+                    r0,
+                    &mut self.walk_scratch,
+                    &mut self.walk_deadlines,
+                )
+                .expect("grouped lanes share the estimator's state dimension");
+            drop(trusted);
+            for (k, &j) in self.walk_lanes.iter().enumerate() {
+                let BatchDeadlinePhase::Walk { cache_miss } = self.phases[j] else {
+                    unreachable!("walk_lanes only holds Walk phases");
+                };
+                let lane = &mut lanes[j];
+                lane.detector.batch_commit_walked_deadline(
+                    lane.logger,
+                    self.walk_deadlines[k],
+                    cache_miss,
+                );
+            }
+        }
+
+        // Phases B/C per lane: window adjustment and complementary
+        // detection (rare, scalar). `walk_lanes` is ordered, so the
+        // walked deadlines realign by a single cursor.
+        self.windows.clear();
+        self.currents.clear();
+        self.alloc_free.clear();
+        let base = out.len();
+        let mut walk_k = 0usize;
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            let (deadline, mut alloc_free) = match self.phases[j] {
+                BatchDeadlinePhase::Ready { deadline } => (deadline, true),
+                BatchDeadlinePhase::Walk { cache_miss } => {
+                    let d = self.walk_deadlines[walk_k];
+                    walk_k += 1;
+                    // A cache insert allocates, exactly like the
+                    // scalar miss path.
+                    (d, !cache_miss)
+                }
+            };
+            let det = &mut *lane.detector;
+            let current = lane
+                .logger
+                .current_step()
+                .expect("record the current step before detection");
+            let w_p = det.previous_window();
+            let w_c = deadline.window_size(det.config().min_window(), det.config().max_window());
+            let complementary_alarms = det.batch_complementary(lane.logger, current, w_p, w_c);
+            if !complementary_alarms.is_empty() {
+                alloc_free = false;
+            }
+            self.windows.push(w_c);
+            self.currents.push(current);
+            self.alloc_free.push(alloc_free);
+            out.push(AdaptiveStep {
+                step: current,
+                deadline,
+                window: w_c,
+                previous_window: w_p,
+                current_alarm: false, // filled by phase D below
+                complementary_alarms,
+            });
+        }
+
+        // Phase D: one SoA kernel call evaluates every lane's
+        // current-window mean; per lane the accumulation order equals
+        // `window_mean_into` exactly. Lanes whose window is not fully
+        // retained (only possible for hand-built loggers — the
+        // detector never outruns retention) fall back to the scalar
+        // check.
+        let dim = lanes[0].logger.system().state_dim();
+        self.means.reset(dim, n_lanes);
+        self.offsets.clear();
+        self.factors.clear();
+        self.scalar_mean.clear();
+        self.offsets.push(0);
+        let mut entries: Vec<&[f64]> = Vec::new();
+        for (j, lane) in lanes.iter().enumerate() {
+            assert_eq!(
+                lane.logger.system().state_dim(),
+                dim,
+                "grouped lanes must share the state dimension"
+            );
+            let current = self.currents[j];
+            let start = current.saturating_sub(self.windows[j]);
+            let retained = lane
+                .logger
+                .oldest_step()
+                .is_some_and(|first| start >= first);
+            if retained {
+                let mut count = 0usize;
+                for step in start..=current {
+                    entries.push(
+                        lane.logger
+                            .entry(step)
+                            .expect("retained window is contiguous")
+                            .residual
+                            .as_slice(),
+                    );
+                    count += 1;
+                }
+                let divisor = count.saturating_sub(1).max(1);
+                self.factors.push(1.0 / divisor as f64);
+                self.scalar_mean.push(false);
+            } else {
+                self.factors.push(1.0);
+                self.scalar_mean.push(true);
+            }
+            self.offsets.push(entries.len());
+        }
+        soa::window_mean_lanes(&entries, &self.offsets, &self.factors, &mut self.means);
+        drop(entries);
+
+        // Phase E: threshold decisions and finalization.
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            let alarm = if self.scalar_mean[j] {
+                lane.detector
+                    .batch_check_current(lane.logger, self.currents[j], self.windows[j])
+            } else {
+                lane.detector.batch_exceeds_mean(self.means.lane(j))
+            };
+            out[base + j].current_alarm = alarm;
+            lane.detector
+                .batch_finalize(self.windows[j], self.alloc_free[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetectorConfig;
+    use awsad_linalg::Matrix;
+    use awsad_lti::LtiSystem;
+    use awsad_reach::{CacheConfig, DeadlineCache, DeadlineEstimator, ReachConfig};
+    use awsad_sets::BoxSet;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn rand_unit(state: &mut u64) -> f64 {
+        (splitmix(state) >> 11) as f64 / (1u64 << 52) as f64
+    }
+
+    /// Integrator plant, |u| <= 1, safe |x| <= 5, horizon 40.
+    fn session(
+        tau: f64,
+        w_m: usize,
+        period: usize,
+        cache: Option<usize>,
+        r0: f64,
+    ) -> (DataLogger, AdaptiveDetector) {
+        let sys = LtiSystem::new_discrete_fully_observable(
+            Matrix::identity(1),
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            0.02,
+        )
+        .unwrap();
+        let reach = ReachConfig::new(
+            BoxSet::from_bounds(&[-1.0], &[1.0]).unwrap(),
+            0.0,
+            BoxSet::from_bounds(&[-5.0], &[5.0]).unwrap(),
+            40,
+        )
+        .unwrap();
+        let est = DeadlineEstimator::new(sys.a(), sys.b(), reach).unwrap();
+        let cfg = DetectorConfig::new(Vector::from_slice(&[tau]), w_m).unwrap();
+        let logger = DataLogger::new(sys, w_m);
+        let mut det = AdaptiveDetector::new(cfg, est).unwrap();
+        det.set_initial_radius(r0);
+        det.set_reestimation_period(period);
+        if let Some(cap) = cache {
+            det.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(cap)));
+        }
+        (logger, det)
+    }
+
+    /// Drives `n_lanes` heterogeneous sessions (mixed thresholds,
+    /// window bounds, re-estimation periods, cache configurations) for
+    /// `ticks` steps twice — once scalar, once through the plan — and
+    /// asserts bit-identical step streams and cache statistics.
+    fn assert_group_matches_scalar(r0: f64, seed: u64) {
+        let n_lanes = 7usize;
+        let ticks = 60usize;
+        let mut direct = Vec::new();
+        let mut batched = Vec::new();
+        for j in 0..n_lanes {
+            let tau = 0.02 + 0.03 * j as f64;
+            let w_m = 6 + 2 * (j % 3);
+            let period = 1 + j % 3;
+            let cache = match j % 3 {
+                0 => None,
+                1 => Some(64),
+                _ => Some(2), // tiny: exercises evictions
+            };
+            direct.push(session(tau, w_m, period, cache, r0));
+            batched.push(session(tau, w_m, period, cache, r0));
+        }
+        let mut plan = BatchPlan::new();
+        let mut state = seed;
+        for t in 0..ticks {
+            // Estimates wander toward the safe boundary so deadlines
+            // shrink and complementary detection fires; a few repeats
+            // guarantee cache hits.
+            let mut xs: Vec<f64> = (0..n_lanes)
+                .map(|_| -5.4 + 10.8 * rand_unit(&mut state))
+                .collect();
+            if t % 5 == 0 {
+                xs.iter_mut().for_each(|x| *x = 1.25);
+            }
+            let mut scalar_steps = Vec::new();
+            for (j, (logger, det)) in direct.iter_mut().enumerate() {
+                logger.record(Vector::from_slice(&[xs[j]]), Vector::zeros(1));
+                scalar_steps.push(det.step(logger));
+            }
+            let mut lanes: Vec<BatchLane<'_>> = Vec::new();
+            for (j, (logger, det)) in batched.iter_mut().enumerate() {
+                logger.record(Vector::from_slice(&[xs[j]]), Vector::zeros(1));
+                let _ = j;
+                lanes.push(BatchLane {
+                    logger,
+                    detector: det,
+                });
+            }
+            let mut batch_steps = Vec::new();
+            plan.step_group(&mut lanes, &mut batch_steps);
+            assert_eq!(batch_steps, scalar_steps, "tick {t}");
+        }
+        for (j, ((_, d), (_, b))) in direct.iter().zip(&batched).enumerate() {
+            assert_eq!(
+                b.deadline_cache_stats(),
+                d.deadline_cache_stats(),
+                "lane {j} cache stats"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_group_bit_identical_to_scalar_steps() {
+        assert_group_matches_scalar(0.0, 0x00d1_ce5e_ed00_0001);
+    }
+
+    #[test]
+    fn batched_group_bit_identical_with_initial_radius() {
+        assert_group_matches_scalar(0.25, 0x00d1_ce5e_ed00_0002);
+    }
+
+    #[test]
+    fn empty_group_is_a_no_op() {
+        let mut plan = BatchPlan::new();
+        let mut out = Vec::new();
+        plan.step_group(&mut [], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn quantized_cache_is_not_batch_supported() {
+        let (_, mut det) = session(0.1, 8, 1, None, 0.0);
+        assert!(det.batch_supported());
+        det.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(16)));
+        assert!(det.batch_supported());
+        det.set_deadline_cache(DeadlineCache::new(CacheConfig::quantized(0.5, 16)));
+        assert!(!det.batch_supported());
+    }
+
+    #[test]
+    fn degraded_interleaving_stays_bit_identical() {
+        // Degraded ticks are stepped scalar (as the engine routes
+        // them); the batched lanes around them must still match.
+        let n_lanes = 4usize;
+        let mut direct: Vec<_> = (0..n_lanes)
+            .map(|_| session(0.05, 8, 1, Some(32), 0.0))
+            .collect();
+        let mut batched: Vec<_> = (0..n_lanes)
+            .map(|j| {
+                let _ = j;
+                session(0.05, 8, 1, Some(32), 0.0)
+            })
+            .collect();
+        let mut plan = BatchPlan::new();
+        let mut state = 0xabad_1deau64;
+        for t in 0..40 {
+            let xs: Vec<f64> = (0..n_lanes)
+                .map(|_| -5.2 + 10.4 * rand_unit(&mut state))
+                .collect();
+            // Lane j is degraded on ticks where (t + j) % 7 == 0.
+            let mut scalar_steps = Vec::new();
+            for (j, (logger, det)) in direct.iter_mut().enumerate() {
+                logger.record(Vector::from_slice(&[xs[j]]), Vector::zeros(1));
+                scalar_steps.push(if (t + j) % 7 == 0 {
+                    det.step_degraded(logger)
+                } else {
+                    det.step(logger)
+                });
+            }
+            let mut batch_steps: Vec<Option<AdaptiveStep>> = vec![None; n_lanes];
+            let mut lanes = Vec::new();
+            let mut lane_ids = Vec::new();
+            for (j, (logger, det)) in batched.iter_mut().enumerate() {
+                logger.record(Vector::from_slice(&[xs[j]]), Vector::zeros(1));
+                if (t + j) % 7 == 0 {
+                    batch_steps[j] = Some(det.step_degraded(logger));
+                } else {
+                    lane_ids.push(j);
+                    lanes.push(BatchLane {
+                        logger,
+                        detector: det,
+                    });
+                }
+            }
+            let mut group_out = Vec::new();
+            plan.step_group(&mut lanes, &mut group_out);
+            for (k, j) in lane_ids.into_iter().enumerate() {
+                batch_steps[j] = Some(group_out[k].clone());
+            }
+            for j in 0..n_lanes {
+                assert_eq!(
+                    batch_steps[j].as_ref().unwrap(),
+                    &scalar_steps[j],
+                    "tick {t} lane {j}"
+                );
+            }
+        }
+    }
+}

@@ -82,6 +82,7 @@
 mod adaptive;
 mod alarm;
 mod baselines;
+pub mod batch;
 mod calibrate;
 mod chi_squared;
 mod config;
@@ -95,6 +96,7 @@ mod window;
 pub use adaptive::{AdaptiveDetector, AdaptiveStep};
 pub use alarm::{AlarmFilter, AlarmPolicy};
 pub use baselines::{CusumDetector, EveryStepDetector, ResidualDetector};
+pub use batch::{BatchLane, BatchPlan};
 pub use calibrate::calibrate_threshold;
 pub use chi_squared::{estimate_covariance, ChiSquaredDetector};
 pub use config::DetectorConfig;

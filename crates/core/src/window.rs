@@ -34,6 +34,31 @@ impl WindowDetector {
         mean_residual.any_exceeds(&self.threshold)
     }
 
+    /// Slice twin of [`WindowDetector::exceeds`] for the batched
+    /// detection path, which holds window means in a column-major
+    /// [`awsad_linalg::kernels::soa::SoaBatch`] rather than per-lane
+    /// `Vector`s. Same decision procedure — non-finite fails safe,
+    /// otherwise any strict per-dimension exceedance alarms — so the
+    /// boolean is identical for identical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub(crate) fn exceeds_slice(&self, mean_residual: &[f64]) -> bool {
+        assert_eq!(
+            mean_residual.len(),
+            self.threshold.len(),
+            "statistic dimension must match the threshold"
+        );
+        if mean_residual.iter().any(|v| !v.is_finite()) {
+            return true;
+        }
+        mean_residual
+            .iter()
+            .zip(self.threshold.as_slice())
+            .any(|(v, t)| v > t)
+    }
+
     /// The dimensions whose statistic exceeds their threshold —
     /// attribution for operators ("which sensor looks wrong").
     /// Non-finite entries count as exceeding (fail-safe, as in

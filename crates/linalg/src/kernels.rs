@@ -8,6 +8,8 @@
 //! slice paths bit-identical to the owned-type paths by construction
 //! (a single implementation, a single f64 operation order).
 
+pub mod soa;
+
 /// Dot product of two equal-length slices.
 ///
 /// Accumulates left to right from `0.0` (`iter().zip().map().sum()`),
@@ -25,39 +27,48 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Four dot products sharing one left operand, with interleaved
+/// `N` dot products sharing one left operand, with interleaved
 /// accumulators.
 ///
-/// Each lane accumulates left to right from `0.0` in exactly the order
-/// of [`dot`], so every result is bit-identical to `dot(a, x_i)` — but
-/// the four lanes form independent floating-point dependency chains,
-/// so a latency-bound reduction (the strictly sequential sum `dot` is
-/// pinned to) overlaps up to 4× across lanes. This is what makes the
-/// batched reachability walk faster than four scalar walks without
+/// Each lane accumulates left to right in exactly the order of
+/// [`dot`] — starting from `-0.0`, the additive identity
+/// `Iterator::sum` folds from, so even empty and signed-zero inputs
+/// match — making every result bit-identical to `dot(a, xs[i])`. The
+/// `N` lanes form independent floating-point dependency chains, so a
+/// latency-bound reduction (the strictly sequential sum `dot` is
+/// pinned to) overlaps up to `N`× across lanes. This is what makes
+/// batched reachability walks faster than `N` scalar walks without
 /// reassociating a single addition.
 ///
 /// # Panics
 ///
 /// Panics if any slice length differs from `a`'s.
 #[inline]
-pub fn dot4(a: &[f64], x0: &[f64], x1: &[f64], x2: &[f64], x3: &[f64]) -> [f64; 4] {
+pub fn dot_n<const N: usize>(a: &[f64], xs: [&[f64]; N]) -> [f64; N] {
     let k = a.len();
     assert!(
-        x0.len() == k && x1.len() == k && x2.len() == k && x3.len() == k,
-        "dot4 kernel length mismatch"
+        xs.iter().all(|x| x.len() == k),
+        "dot_n kernel length mismatch"
     );
-    let mut s0 = 0.0f64;
-    let mut s1 = 0.0f64;
-    let mut s2 = 0.0f64;
-    let mut s3 = 0.0f64;
+    let mut acc = [-0.0f64; N];
     for i in 0..k {
         let av = a[i];
-        s0 += av * x0[i];
-        s1 += av * x1[i];
-        s2 += av * x2[i];
-        s3 += av * x3[i];
+        for j in 0..N {
+            acc[j] += av * xs[j][i];
+        }
     }
-    [s0, s1, s2, s3]
+    acc
+}
+
+/// Four dot products sharing one left operand — a thin alias for
+/// [`dot_n::<4>`](dot_n) kept for the existing reach-walk call sites.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `a`'s.
+#[inline]
+pub fn dot4(a: &[f64], x0: &[f64], x1: &[f64], x2: &[f64], x3: &[f64]) -> [f64; 4] {
+    dot_n::<4>(a, [x0, x1, x2, x3])
 }
 
 /// Sum of absolute values (ℓ1 norm) of a slice.
@@ -110,6 +121,55 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot4_mismatched_panics() {
         dot4(&[1.0, 2.0], &[1.0, 2.0], &[1.0], &[1.0, 2.0], &[1.0, 2.0]);
+    }
+
+    /// Splitmix64 — deterministic data without external deps.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn rand_f64(state: &mut u64) -> f64 {
+        // Uniform in [-8, 8) with full mantissa variety.
+        (splitmix(state) >> 11) as f64 / (1u64 << 52) as f64 * 16.0 - 8.0
+    }
+
+    /// Satellite: every const-generic width reproduces `dot` bit-exactly
+    /// on 200 random models (random dimension, random data).
+    #[test]
+    fn dot_n_all_widths_bit_identical_to_dot_on_random_models() {
+        fn check_width<const N: usize>(state: &mut u64) {
+            let k = (splitmix(state) % 24) as usize;
+            let a: Vec<f64> = (0..k).map(|_| rand_f64(state)).collect();
+            let xs: Vec<Vec<f64>> = (0..N)
+                .map(|_| (0..k).map(|_| rand_f64(state)).collect())
+                .collect();
+            let refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+            let arr: [&[f64]; N] = refs.as_slice().try_into().unwrap();
+            let got = dot_n::<N>(&a, arr);
+            for (j, x) in xs.iter().enumerate() {
+                assert_eq!(
+                    got[j].to_bits(),
+                    dot(&a, x).to_bits(),
+                    "width {N} lane {j} dim {k}"
+                );
+            }
+        }
+        let mut state = 0x8a5c_d789_635d_2dffu64;
+        // 200 random models spread across widths 1..=8 (25 each).
+        for _ in 0..25 {
+            check_width::<1>(&mut state);
+            check_width::<2>(&mut state);
+            check_width::<3>(&mut state);
+            check_width::<4>(&mut state);
+            check_width::<5>(&mut state);
+            check_width::<6>(&mut state);
+            check_width::<7>(&mut state);
+            check_width::<8>(&mut state);
+        }
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! Structure-of-arrays lane kernels for cross-session batch stepping.
+//!
+//! A [`SoaBatch`] packs one equal-dimension vector per *lane* into a
+//! single column-major buffer (lane `j` occupies
+//! `data[j * dim .. (j + 1) * dim]`). The lane kernels below evaluate
+//! a reduction or update over every lane of a batch while preserving,
+//! **per lane**, the exact f64 operation order of the scalar kernels
+//! in [`kernels`](crate::kernels) — accumulate left to right from
+//! `0.0`, never reassociate. Lanes only ever interleave *independent*
+//! dependency chains, so every lane result is bit-identical to the
+//! scalar call on that lane's data by construction. That is the
+//! property the testkit's differential oracles rely on: batched
+//! detection must equal per-session detection bit for bit.
+
+use super::{dot, dot_n, norm_l2};
+
+/// A column-major batch of equal-dimension vectors (one per lane).
+///
+/// The buffer is reusable: [`SoaBatch::reset`] reshapes and zero-fills
+/// without reallocating when capacity suffices, so steady-state batch
+/// loops stay allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SoaBatch {
+    data: Vec<f64>,
+    dim: usize,
+    lanes: usize,
+}
+
+impl SoaBatch {
+    /// Creates an empty batch with room for `lanes` lanes of `dim`
+    /// components.
+    pub fn with_capacity(dim: usize, lanes: usize) -> Self {
+        SoaBatch {
+            data: Vec::with_capacity(dim * lanes),
+            dim: 0,
+            lanes: 0,
+        }
+    }
+
+    /// Reshapes to `lanes` lanes of `dim` components, zero-filled.
+    /// Reuses the existing allocation when it is large enough.
+    pub fn reset(&mut self, dim: usize, lanes: usize) {
+        let len = dim * lanes;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.dim = dim;
+        self.lanes = lanes;
+    }
+
+    /// Per-lane vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lane `j` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= self.lanes()`.
+    #[inline]
+    pub fn lane(&self, j: usize) -> &[f64] {
+        assert!(j < self.lanes, "lane index out of range");
+        &self.data[j * self.dim..(j + 1) * self.dim]
+    }
+
+    /// Lane `j` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= self.lanes()`.
+    #[inline]
+    pub fn lane_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.lanes, "lane index out of range");
+        &mut self.data[j * self.dim..(j + 1) * self.dim]
+    }
+
+    /// The whole column-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The whole column-major buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// Dot product of `a` against every lane of `batch`, written to
+/// `out[j]`.
+///
+/// Lanes are processed four at a time through [`dot_n::<4>`](dot_n)
+/// (independent interleaved accumulators) with a scalar [`dot`] tail,
+/// so every `out[j]` is bit-identical to `dot(a, batch.lane(j))`.
+///
+/// # Panics
+///
+/// Panics when `a.len() != batch.dim()` (for a non-empty batch) or
+/// `out.len() != batch.lanes()`.
+pub fn dot_lanes(a: &[f64], batch: &SoaBatch, out: &mut [f64]) {
+    assert_eq!(out.len(), batch.lanes(), "dot_lanes output length mismatch");
+    let lanes = batch.lanes();
+    let mut j = 0;
+    while j + 4 <= lanes {
+        let r = dot_n::<4>(
+            a,
+            [
+                batch.lane(j),
+                batch.lane(j + 1),
+                batch.lane(j + 2),
+                batch.lane(j + 3),
+            ],
+        );
+        out[j..j + 4].copy_from_slice(&r);
+        j += 4;
+    }
+    while j < lanes {
+        out[j] = dot(a, batch.lane(j));
+        j += 1;
+    }
+}
+
+/// Euclidean norm of every lane of `batch`, written to `out[j]`.
+///
+/// Per lane the squares accumulate left to right from `0.0` and the
+/// root is taken last — the exact order of [`norm_l2`] — with four
+/// lanes interleaved for instruction-level parallelism, so every
+/// `out[j]` is bit-identical to `norm_l2(batch.lane(j))`.
+///
+/// # Panics
+///
+/// Panics when `out.len() != batch.lanes()`.
+pub fn norm_l2_lanes(batch: &SoaBatch, out: &mut [f64]) {
+    assert_eq!(
+        out.len(),
+        batch.lanes(),
+        "norm_l2_lanes output length mismatch"
+    );
+    let lanes = batch.lanes();
+    let dim = batch.dim();
+    let mut j = 0;
+    while j + 4 <= lanes {
+        let (x0, x1, x2, x3) = (
+            batch.lane(j),
+            batch.lane(j + 1),
+            batch.lane(j + 2),
+            batch.lane(j + 3),
+        );
+        // -0.0 is the identity `Iterator::sum` folds from; starting
+        // there keeps empty/signed-zero lanes bit-identical too.
+        let mut acc = [-0.0f64; 4];
+        for i in 0..dim {
+            acc[0] += x0[i] * x0[i];
+            acc[1] += x1[i] * x1[i];
+            acc[2] += x2[i] * x2[i];
+            acc[3] += x3[i] * x3[i];
+        }
+        for (o, s) in out[j..j + 4].iter_mut().zip(acc) {
+            *o = s.sqrt();
+        }
+        j += 4;
+    }
+    while j < lanes {
+        out[j] = norm_l2(batch.lane(j));
+        j += 1;
+    }
+}
+
+/// In-place `y += alpha * x` over every lane pair.
+///
+/// Purely elementwise — each component sees exactly one
+/// fused-order `y[i] + alpha * x[i]` evaluation, identical to the
+/// scalar per-lane update, so no ordering caveats apply.
+///
+/// # Panics
+///
+/// Panics when the two batches have different shapes.
+pub fn axpy_lanes(alpha: f64, x: &SoaBatch, y: &mut SoaBatch) {
+    assert!(
+        x.dim() == y.dim() && x.lanes() == y.lanes(),
+        "axpy_lanes shape mismatch"
+    );
+    for (yv, xv) in y.data.iter_mut().zip(&x.data) {
+        *yv += alpha * *xv;
+    }
+}
+
+/// Per-position weighted row sum over a flat dimension-major matrix:
+/// with `rows` holding `w.len()` consecutive rows of `out.len()`
+/// positions each (`rows[j * out.len() + l]` = row `j`, position `l`),
+/// computes `out[l] = (((-0.0 + w[0]·row₀[l]) + w[1]·row₁[l]) + …)`.
+///
+/// This is [`dot`] evaluated per *position*: position `l`'s virtual
+/// vector is `[row₀[l], row₁[l], …]`, and each result is bit-identical
+/// to `dot(w, that_vector)` — the same left-to-right accumulation from
+/// `-0.0`, never reassociated. The difference is purely layout: the
+/// inner loop runs contiguously across positions, so the compiler can
+/// vectorize a batched reachability walk *across sessions* —
+/// independent dependency chains side by side — where the scalar
+/// [`dot`] is pinned to one latency-bound sequential chain.
+///
+/// Positions are processed in two-register tiles with the weight loop
+/// *inner*: each tile's partial sums live in vector registers for the
+/// whole fold (no round trip through `out` per weight), the flat
+/// layout walks rows by a constant stride (no per-row fat-pointer
+/// chase), and the two side-by-side registers halve the exposure to
+/// the add's dependency latency. Loop interchange does not
+/// reassociate: every position still folds `w[0], w[1], …` left to
+/// right from `-0.0`.
+///
+/// # Panics
+///
+/// Panics when `rows.len() != w.len() * out.len()`.
+pub fn weighted_rows_sum(w: &[f64], rows: &[f64], out: &mut [f64]) {
+    let lanes = out.len();
+    assert_eq!(
+        rows.len(),
+        w.len() * lanes,
+        "weighted_rows_sum expects w.len() rows of out.len() positions"
+    );
+    if lanes == 0 {
+        return;
+    }
+    const TILE: usize = 16;
+    let tiled = lanes - lanes % TILE;
+    let mut l = 0;
+    while l < tiled {
+        let mut acc = [-0.0f64; TILE];
+        for (&wj, row) in w.iter().zip(rows.chunks_exact(lanes)) {
+            for (a, &x) in acc.iter_mut().zip(&row[l..l + TILE]) {
+                *a += wj * x;
+            }
+        }
+        out[l..l + TILE].copy_from_slice(&acc);
+        l += TILE;
+    }
+    for (l, o) in out.iter_mut().enumerate().skip(tiled) {
+        let mut acc = -0.0f64;
+        for (&wj, row) in w.iter().zip(rows.chunks_exact(lanes)) {
+            acc += wj * row[l];
+        }
+        *o = acc;
+    }
+}
+
+/// Batched windowed mean: for each lane `j`, sums the entry slices
+/// `entries[offsets[j] .. offsets[j + 1]]` elementwise in order and
+/// scales by `factors[j]`, writing the result into `out.lane(j)`.
+///
+/// Per lane this is exactly the scalar window-mean order — zero-fill,
+/// add each entry left to right (ascending step order), multiply by
+/// the precomputed `1/divisor` factor — so each lane of `out` is
+/// bit-identical to the per-session `window_mean_into` result for the
+/// same entries and factor.
+///
+/// # Panics
+///
+/// Panics when `offsets` is not a monotone partition of `entries` with
+/// `offsets.len() == out.lanes() + 1`, when
+/// `factors.len() != out.lanes()`, or when any entry slice length
+/// differs from `out.dim()`.
+pub fn window_mean_lanes(
+    entries: &[&[f64]],
+    offsets: &[usize],
+    factors: &[f64],
+    out: &mut SoaBatch,
+) {
+    let lanes = out.lanes();
+    assert_eq!(
+        offsets.len(),
+        lanes + 1,
+        "window_mean_lanes offsets length mismatch"
+    );
+    assert_eq!(
+        factors.len(),
+        lanes,
+        "window_mean_lanes factors length mismatch"
+    );
+    assert_eq!(
+        *offsets.last().unwrap_or(&0),
+        entries.len(),
+        "window_mean_lanes offsets must cover all entries"
+    );
+    let dim = out.dim();
+    for j in 0..lanes {
+        let (lo, hi) = (offsets[j], offsets[j + 1]);
+        assert!(lo <= hi, "window_mean_lanes offsets must be monotone");
+        let lane = out.lane_mut(j);
+        lane.fill(0.0);
+        for entry in &entries[lo..hi] {
+            assert_eq!(entry.len(), dim, "window_mean_lanes entry dim mismatch");
+            for (acc, v) in lane.iter_mut().zip(*entry) {
+                *acc += *v;
+            }
+        }
+        let factor = factors[j];
+        for acc in lane.iter_mut() {
+            *acc *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn rand_f64(state: &mut u64) -> f64 {
+        (splitmix(state) >> 11) as f64 / (1u64 << 52) as f64 * 16.0 - 8.0
+    }
+
+    fn random_batch(state: &mut u64, dim: usize, lanes: usize) -> SoaBatch {
+        let mut b = SoaBatch::with_capacity(dim, lanes);
+        b.reset(dim, lanes);
+        for v in b.as_mut_slice() {
+            *v = rand_f64(state);
+        }
+        b
+    }
+
+    #[test]
+    fn reset_reuses_and_zero_fills() {
+        let mut b = SoaBatch::with_capacity(3, 8);
+        b.reset(3, 8);
+        b.lane_mut(2)[1] = 7.0;
+        let ptr = b.as_slice().as_ptr();
+        b.reset(3, 5);
+        assert_eq!(b.lanes(), 5);
+        assert_eq!(b.dim(), 3);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(b.as_slice().as_ptr(), ptr, "no reallocation on shrink");
+    }
+
+    #[test]
+    fn dot_lanes_bit_identical_to_scalar_dot_at_all_lane_counts() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for lanes in [0usize, 1, 3, 4, 5, 7, 8, 11] {
+            for dim in [0usize, 1, 2, 5, 16] {
+                let a: Vec<f64> = (0..dim).map(|_| rand_f64(&mut state)).collect();
+                let b = random_batch(&mut state, dim, lanes);
+                let mut out = vec![0.0; lanes];
+                dot_lanes(&a, &b, &mut out);
+                for (j, o) in out.iter().enumerate() {
+                    assert_eq!(
+                        o.to_bits(),
+                        dot(&a, b.lane(j)).to_bits(),
+                        "lanes {lanes} dim {dim} lane {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn norm_l2_lanes_bit_identical_to_scalar() {
+        let mut state = 0xdead_beef_cafe_f00du64;
+        for lanes in [1usize, 4, 6, 9] {
+            for dim in [1usize, 3, 8] {
+                let b = random_batch(&mut state, dim, lanes);
+                let mut out = vec![0.0; lanes];
+                norm_l2_lanes(&b, &mut out);
+                for (j, o) in out.iter().enumerate() {
+                    assert_eq!(
+                        o.to_bits(),
+                        norm_l2(b.lane(j)).to_bits(),
+                        "lanes {lanes} dim {dim} lane {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_lanes_matches_scalar_update() {
+        let mut state = 0x0f0f_0f0f_1337_4242u64;
+        let x = random_batch(&mut state, 4, 6);
+        let mut y = random_batch(&mut state, 4, 6);
+        let y0 = y.clone();
+        axpy_lanes(0.5, &x, &mut y);
+        for j in 0..6 {
+            for d in 0..4 {
+                let expect = y0.lane(j)[d] + 0.5 * x.lane(j)[d];
+                assert_eq!(y.lane(j)[d].to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn window_mean_lanes_matches_scalar_window_mean_order() {
+        let mut state = 0x5151_aaaa_bbbb_ccccu64;
+        let dim = 3;
+        // Lane 0: 4 entries, lane 1: 1 entry, lane 2: 0 entries.
+        let raw: Vec<Vec<f64>> = (0..5)
+            .map(|_| (0..dim).map(|_| rand_f64(&mut state)).collect())
+            .collect();
+        let entries: Vec<&[f64]> = raw.iter().map(|e| e.as_slice()).collect();
+        let offsets = [0usize, 4, 5, 5];
+        let factors = [1.0 / 3.0, 1.0, 1.0];
+        let mut out = SoaBatch::with_capacity(dim, 3);
+        out.reset(dim, 3);
+        window_mean_lanes(&entries, &offsets, &factors, &mut out);
+        for j in 0..3 {
+            // Scalar reference: the exact window_mean_into order.
+            let mut acc = vec![0.0f64; dim];
+            for entry in &entries[offsets[j]..offsets[j + 1]] {
+                for (a, v) in acc.iter_mut().zip(*entry) {
+                    *a += *v;
+                }
+            }
+            for a in acc.iter_mut() {
+                *a *= factors[j];
+            }
+            for (x, a) in out.lane(j).iter().zip(&acc) {
+                assert_eq!(x.to_bits(), a.to_bits(), "lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rows_sum_bit_identical_to_transposed_dot() {
+        let mut state = 0x0bad_c0de_0bad_c0deu64;
+        for dims in [0usize, 1, 2, 5, 8] {
+            for positions in [1usize, 2, 3, 7, 16, 18, 33, 64] {
+                let w: Vec<f64> = (0..dims).map(|_| rand_f64(&mut state)).collect();
+                let raw: Vec<Vec<f64>> = (0..dims)
+                    .map(|_| (0..positions).map(|_| rand_f64(&mut state)).collect())
+                    .collect();
+                let rows: Vec<f64> = raw.iter().flatten().copied().collect();
+                let mut out = vec![f64::NAN; positions];
+                weighted_rows_sum(&w, &rows, &mut out);
+                for (l, o) in out.iter().enumerate() {
+                    let lane: Vec<f64> = raw.iter().map(|r| r[l]).collect();
+                    assert_eq!(
+                        o.to_bits(),
+                        dot(&w, &lane).to_bits(),
+                        "dims {dims} positions {positions} position {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must cover")]
+    fn window_mean_lanes_rejects_uncovered_entries() {
+        let raw = [[1.0f64, 2.0]];
+        let entries: Vec<&[f64]> = raw.iter().map(|e| e.as_slice()).collect();
+        let mut out = SoaBatch::with_capacity(2, 1);
+        out.reset(2, 1);
+        window_mean_lanes(&entries, &[0, 0], &[1.0], &mut out);
+    }
+}

@@ -415,6 +415,12 @@ struct Conn {
 }
 
 /// What serving one request produced.
+//
+// `Frame` is large (MetricsReply carries every runtime counter), but a
+// `Served` lives only from `serve_frame` to the match in the caller —
+// boxing the frame would buy nothing except an allocation per request
+// on the serve hot path.
+#[allow(clippy::large_enum_variant)]
 enum Served {
     /// An immediate reply frame.
     Reply(Frame),

@@ -196,6 +196,43 @@ impl DeadlineCache {
         Ok(deadline)
     }
 
+    /// The lookup half of [`DeadlineCache::deadline_with`], split out
+    /// for callers that resolve misses in bulk: builds the key and
+    /// returns the cached deadline, counting a hit — or counts a miss
+    /// and returns `None`, leaving the computation to the caller.
+    ///
+    /// A caller that answers the miss must evaluate it exactly as
+    /// [`DeadlineCache::deadline_with`] would (for an exact-mode cache,
+    /// `quantum == 0`: a plain walk from `(x0, r0)`) and hand the
+    /// result back through [`DeadlineCache::insert_computed`] with the
+    /// same `(x0, r0)`. The pair then reproduces `deadline_with`'s
+    /// cache state and statistics exactly: one miss counted here, no
+    /// extra count at insert. The runtime's batch planner uses this to
+    /// fold many sessions' misses into one batched walk; it only
+    /// batches exact-mode caches, since a quantized miss must be
+    /// re-evaluated at its snapped representative with an inflated
+    /// radius.
+    pub fn lookup(&mut self, x0: &Vector, r0: f64) -> Option<Deadline> {
+        build_key(self.config.quantum, x0, r0, &mut self.key_scratch);
+        if let Some(&hit) = self.entries.get(self.key_scratch.as_slice()) {
+            self.stats.hits += 1;
+            return Some(hit);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores a deadline the caller computed for a
+    /// [`DeadlineCache::lookup`] miss on the same `(x0, r0)`. Counts
+    /// nothing — the miss was already counted by the lookup — so
+    /// `lookup` + compute + `insert_computed` is stat-identical and
+    /// state-identical to one [`DeadlineCache::deadline_with`] call.
+    pub fn insert_computed(&mut self, x0: &Vector, r0: f64, deadline: Deadline) {
+        build_key(self.config.quantum, x0, r0, &mut self.key_scratch);
+        let key = self.key_scratch.clone();
+        self.insert(key, deadline);
+    }
+
     /// Speculatively fills the cache for a batch of states with one
     /// [`DeadlineEstimator::deadline_batch`] walk.
     ///
@@ -311,6 +348,27 @@ mod tests {
         assert_eq!(stats.hits, 3);
         assert_eq!(stats.len, 2);
         assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_insert_computed_reproduces_deadline_with_exactly() {
+        let est = integrator();
+        let mut split = DeadlineCache::new(CacheConfig::exact(64));
+        let mut fused = DeadlineCache::new(CacheConfig::exact(64));
+        let mut scratch = crate::DeadlineScratch::new();
+        for x in [0.0, 3.0, 0.0, -2.5, 3.0, 0.0] {
+            let reference = fused.deadline_with(&est, &v(x), 0.0, &mut scratch).unwrap();
+            let got = match split.lookup(&v(x), 0.0) {
+                Some(hit) => hit,
+                None => {
+                    let d = est.checked_deadline_with(&v(x), 0.0, &mut scratch).unwrap();
+                    split.insert_computed(&v(x), 0.0, d);
+                    d
+                }
+            };
+            assert_eq!(got, reference, "x={x}");
+        }
+        assert_eq!(split.stats(), fused.stats());
     }
 
     #[test]

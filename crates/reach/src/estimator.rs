@@ -1,4 +1,4 @@
-use awsad_linalg::kernels::{dot, norm_l1, norm_l2};
+use awsad_linalg::kernels::{dot, norm_l1, norm_l2, soa};
 use awsad_linalg::{Matrix, Vector};
 use awsad_sets::BoxSet;
 
@@ -92,14 +92,18 @@ impl DeadlineScratch {
 
 /// Reusable buffers for [`DeadlineEstimator::deadline_batch_with`].
 ///
-/// Active states are packed column-major (`cur[j*n..][..n]` is state
-/// `j`); `idx` maps packed columns back to caller positions so resolved
-/// states can be compacted out of the batch mid-walk.
+/// Active states are packed *dimension-major* (`cur[d*active..][..active]`
+/// holds component `d` of every live state), so the per-step advance
+/// and containment loops run contiguously across states and vectorize;
+/// `idx` maps packed positions back to caller positions so resolved
+/// states can be compacted out of the batch mid-walk, and `alive`
+/// holds each step's containment verdicts.
 #[derive(Debug, Clone, Default)]
 pub struct BatchScratch {
     cur: Vec<f64>,
     next: Vec<f64>,
     idx: Vec<usize>,
+    alive: Vec<bool>,
 }
 
 impl BatchScratch {
@@ -287,6 +291,49 @@ impl DeadlineEstimator {
         self.n
     }
 
+    /// A structural fingerprint of everything that defines this
+    /// estimator's deadline walk: state dimension, horizon, the exact
+    /// bits of `A` and of every precomputed table (drift, spread,
+    /// row-norm, admissible boxes).
+    ///
+    /// Two estimators with equal fingerprints run bit-identical walks
+    /// for every `(x₀, r₀)` query, so the runtime's batch planner may
+    /// group their sessions into one batched walk. FNV-1a over the
+    /// table bits; a collision would require two *different* walks to
+    /// hash alike, which is vanishingly unlikely and would only cost a
+    /// mixed group falling back to per-lane stepping if containment
+    /// diverged — outcomes are asserted, not assumed, by the testkit
+    /// oracles.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *h = (*h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        mix(&mut h, self.n as u64);
+        mix(&mut h, self.config.max_steps as u64);
+        mix(&mut h, self.config.epsilon.to_bits());
+        for i in 0..self.n {
+            for v in self.a.row_slice(i) {
+                mix(&mut h, v.to_bits());
+            }
+        }
+        for table in [
+            &self.drift,
+            &self.spread,
+            &self.pow_row_norm,
+            &self.adm_lo,
+            &self.adm_hi,
+        ] {
+            for v in table.iter() {
+                mix(&mut h, v.to_bits());
+            }
+        }
+        h
+    }
+
     /// The box over-approximation `R̄(x₀, t)` of the reachable set
     /// after exactly `t` steps.
     ///
@@ -427,48 +474,154 @@ impl DeadlineEstimator {
         scratch: &mut BatchScratch,
         out: &mut Vec<Deadline>,
     ) -> Result<()> {
+        self.deadline_batch_core(states.iter().map(|s| s.as_slice()), r0, scratch, out)
+    }
+
+    /// [`DeadlineEstimator::deadline_batch_with`] over borrowed states.
+    ///
+    /// The cross-session batch planner holds its states inside per-lane
+    /// loggers, so it can only produce `&Vector`s; both entry points
+    /// delegate to the same walk, so results stay bit-identical to the
+    /// owned-slice variant and to per-state scalar queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReachError::DimensionMismatch`] if any state has the
+    /// wrong length (checked before any arithmetic; `out` is left
+    /// empty in that case).
+    pub fn deadline_batch_refs_with(
+        &self,
+        states: &[&Vector],
+        r0: f64,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Deadline>,
+    ) -> Result<()> {
+        self.deadline_batch_core(states.iter().map(|s| s.as_slice()), r0, scratch, out)
+    }
+
+    /// Shared implementation of the batched walks, laid out
+    /// structure-of-arrays: live states are packed dimension-major, so
+    /// each step advances component `d` of *every* state through one
+    /// contiguous [`soa::weighted_rows_sum`] pass (per state the
+    /// accumulation order is exactly [`dot`]'s — bit-identical to the
+    /// scalar walk, vectorizable across states), and containment is a
+    /// branch-free sweep across states per dimension against the
+    /// folded admissible boxes. Resolved states are compacted out in
+    /// stable order so the per-step cost tracks the live count.
+    fn deadline_batch_core<'s>(
+        &self,
+        states: impl Iterator<Item = &'s [f64]> + Clone,
+        r0: f64,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Deadline>,
+    ) -> Result<()> {
         out.clear();
-        for s in states {
-            self.check_state(s)?;
+        let mut count = 0usize;
+        for s in states.clone() {
+            if s.len() != self.n {
+                return Err(ReachError::DimensionMismatch {
+                    expected: self.n,
+                    actual: s.len(),
+                });
+            }
+            count += 1;
         }
         let n = self.n;
-        out.resize(states.len(), Deadline::Beyond);
-        scratch.cur.clear();
+        out.resize(count, Deadline::Beyond);
         scratch.idx.clear();
-        for (j, s) in states.iter().enumerate() {
-            if self.contained_fast(s.as_slice(), r0, 0) {
-                scratch.cur.extend_from_slice(s.as_slice());
+        for (j, s) in states.clone().enumerate() {
+            if self.contained_fast(s, r0, 0) {
                 scratch.idx.push(j);
             } else {
                 out[j] = Deadline::Within(0);
             }
         }
-        scratch.next.clear();
-        scratch.next.resize(scratch.cur.len(), 0.0);
+        let mut active = scratch.idx.len();
+        // Transpose the survivors into dimension-major rows.
+        scratch.cur.clear();
+        scratch.cur.resize(n * active, 0.0);
+        let mut k = 0usize;
+        for (j, s) in states.enumerate() {
+            if matches!(out[j], Deadline::Beyond) {
+                for (d, &x) in s.iter().enumerate() {
+                    scratch.cur[d * active + k] = x;
+                }
+                k += 1;
+            }
+        }
         for t in 1..=self.config.max_steps {
-            let active = scratch.idx.len();
             if active == 0 {
                 break;
             }
-            self.a
-                .mul_cols_into(&scratch.cur[..active * n], &mut scratch.next[..active * n])?;
-            std::mem::swap(&mut scratch.cur, &mut scratch.next);
-            let mut j = 0;
-            while j < scratch.idx.len() {
-                if self.contained_fast(&scratch.cur[j * n..(j + 1) * n], r0, t) {
-                    j += 1;
-                    continue;
-                }
-                out[scratch.idx[j]] = Deadline::Within(t - 1);
-                // Compact: move the last live column into slot j.
-                let last = scratch.idx.len() - 1;
-                if j != last {
-                    let (head, tail) = scratch.cur.split_at_mut(last * n);
-                    head[j * n..(j + 1) * n].copy_from_slice(&tail[..n]);
-                }
-                scratch.idx.swap_remove(j);
-                scratch.cur.truncate(last * n);
+            // Advance: next[i][*] = Σ_j A[i][j] · cur[j][*], every
+            // state's component i in one contiguous pass.
+            scratch.next.resize(n * active, 0.0);
+            let cur = &scratch.cur[..n * active];
+            for (i, next_row) in scratch.next.chunks_exact_mut(active).enumerate() {
+                soa::weighted_rows_sum(self.a.row_slice(i), cur, next_row);
             }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            // Containment across states per dimension; the per-state
+            // comparisons match `contained_fast` exactly, so each
+            // verdict is bit-identical to the scalar walk's.
+            let lo = &self.adm_lo[t * n..(t + 1) * n];
+            let hi = &self.adm_hi[t * n..(t + 1) * n];
+            scratch.alive.clear();
+            scratch.alive.resize(active, true);
+            if r0 == 0.0 {
+                for d in 0..n {
+                    let row = &scratch.cur[d * active..(d + 1) * active];
+                    let (l, h) = (lo[d], hi[d]);
+                    // Non-short-circuit `&`: same predicate, but the
+                    // sweep compiles to straight-line masked compares.
+                    for (ok, &x) in scratch.alive.iter_mut().zip(row) {
+                        *ok = *ok & (x >= l) & (x <= h);
+                    }
+                }
+            } else {
+                let pow = &self.pow_row_norm[t * n..(t + 1) * n];
+                for d in 0..n {
+                    let row = &scratch.cur[d * active..(d + 1) * active];
+                    let c = r0 * pow[d];
+                    let (l, h) = (lo[d], hi[d]);
+                    for (ok, &x) in scratch.alive.iter_mut().zip(row) {
+                        *ok = *ok & (x - c >= l) & (x + c <= h);
+                    }
+                }
+            }
+            let survivors = scratch.alive.iter().filter(|&&a| a).count();
+            if survivors == active {
+                continue;
+            }
+            // First escape at step t: safe through t-1. Record the
+            // escapees, then compact the survivors in stable order.
+            for (k, &alive) in scratch.alive.iter().enumerate() {
+                if !alive {
+                    out[scratch.idx[k]] = Deadline::Within(t - 1);
+                }
+            }
+            scratch.next.clear();
+            scratch.next.resize(n * survivors, 0.0);
+            for d in 0..n {
+                let src = &scratch.cur[d * active..(d + 1) * active];
+                let dst = &mut scratch.next[d * survivors..(d + 1) * survivors];
+                let mut m = 0usize;
+                for (k, &alive) in scratch.alive.iter().enumerate() {
+                    if alive {
+                        dst[m] = src[k];
+                        m += 1;
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            let alive = &scratch.alive;
+            let mut m = 0usize;
+            scratch.idx.retain(|_| {
+                let keep = alive[m];
+                m += 1;
+                keep
+            });
+            active = survivors;
         }
         Ok(())
     }
@@ -891,6 +1044,49 @@ mod tests {
     fn empty_batch_is_fine() {
         let est = integrator(10, 5.0);
         assert!(est.deadline_batch(&[], 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn refs_batch_matches_owned_batch() {
+        let est = integrator(100, 5.0);
+        let states: Vec<Vector> = [4.9, 0.0, 5.5, 3.0, -4.9, -5.5, 1.0]
+            .iter()
+            .map(|&x| Vector::from_slice(&[x]))
+            .collect();
+        let refs: Vec<&Vector> = states.iter().collect();
+        for r0 in [0.0, 0.5] {
+            let owned = est.deadline_batch(&states, r0).unwrap();
+            let mut scratch = BatchScratch::new();
+            let mut out = Vec::new();
+            est.deadline_batch_refs_with(&refs, r0, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, owned, "r0={r0}");
+        }
+        // Dimension errors are still caught before any arithmetic.
+        let bad = Vector::zeros(2);
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        assert!(est
+            .deadline_batch_refs_with(&[&states[0], &bad], 0.0, &mut scratch, &mut out)
+            .is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_separates_walk_defining_changes_only() {
+        let a = integrator(100, 5.0);
+        let b = integrator(100, 5.0);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same build, same print");
+        assert_ne!(
+            a.fingerprint(),
+            integrator(99, 5.0).fingerprint(),
+            "horizon matters"
+        );
+        assert_ne!(
+            a.fingerprint(),
+            integrator(100, 4.0).fingerprint(),
+            "safe set folds into the admissible tables"
+        );
     }
 
     #[test]

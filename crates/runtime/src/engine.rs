@@ -1,9 +1,11 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
-use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger, DetectorSnapshot};
+use awsad_core::{
+    AdaptiveDetector, AdaptiveStep, BatchLane, BatchPlan, DataLogger, DetectorSnapshot,
+};
 use awsad_linalg::Vector;
 use awsad_reach::CacheStats;
 
@@ -37,6 +39,22 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// What to do when a session queue is full.
     pub backpressure: BackpressurePolicy,
+    /// How many queued ticks one drain cycle pops and processes per
+    /// session under a single state-lock acquisition (clamped to ≥ 1).
+    /// Bounds both the lock hold time and the size of the coalesced
+    /// deadline-cache prewarm (scalar mode) or the per-session share
+    /// of a cross-session batch (batch mode).
+    pub drain_batch: usize,
+    /// Opt into the cross-session batched drain: instead of one drain
+    /// job per session, a single mega-drain gathers waiting ticks from
+    /// *every* session, groups sessions whose detectors share a plant
+    /// model and window geometry, and steps each group through
+    /// [`awsad_core::BatchPlan`] — structure-of-arrays kernels that
+    /// amortize the reachability walk and window means across lanes.
+    /// Sessions that cannot batch (quantized deadline caches) and
+    /// degraded ticks fall back to the scalar path automatically.
+    /// Outcomes are bit-identical to the per-session path either way.
+    pub cross_session_batch: bool,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +63,8 @@ impl Default for EngineConfig {
             workers: 0,
             queue_capacity: 64,
             backpressure: BackpressurePolicy::Block,
+            drain_batch: 32,
+            cross_session_batch: false,
         }
     }
 }
@@ -158,6 +178,36 @@ struct SessionSlot {
     /// on close.
     space: Condvar,
     state: Mutex<SessionState>,
+    /// Batch-grouping key: sessions with equal keys share an estimator
+    /// walk fingerprint, seeding radius and window clamp range, so the
+    /// mega-drain may step them through one [`BatchPlan`] group.
+    /// `None` means this session always takes the scalar path (batch
+    /// mode off, or a quantized deadline cache whose miss semantics
+    /// the batched walk cannot reproduce).
+    batch_key: Option<u64>,
+}
+
+impl Drop for SessionSlot {
+    fn drop(&mut self) {
+        // In batch mode the registry holds only weak references, so a
+        // handle dropped with ticks still queued can take the slot —
+        // and the ticks — down before any drain claims them. Refund
+        // the pending count so `DetectionEngine::drain` still
+        // terminates (the ticks are gone; their outcomes channel died
+        // with the handle anyway).
+        let leftover = match self.inbox.get_mut() {
+            Ok(inbox) => inbox.ticks.len() as u64,
+            Err(_) => 0,
+        };
+        if leftover > 0 {
+            if let Ok(mut pending) = self.engine.pending.lock() {
+                *pending = pending.saturating_sub(leftover);
+                if *pending == 0 {
+                    self.engine.idle.notify_all();
+                }
+            }
+        }
+    }
 }
 
 struct EngineShared {
@@ -175,6 +225,14 @@ struct EngineShared {
     /// parking in `recv`. Set once; `get` on the hot path is a plain
     /// atomic load.
     drain_notifier: OnceLock<Box<dyn Fn() + Send + Sync>>,
+    /// Batch mode only: every session ever added, for the mega-drain's
+    /// gather pass. Weak so closed-and-dropped sessions don't leak
+    /// (dead entries are pruned on each gather).
+    sessions: Mutex<Vec<Weak<SessionSlot>>>,
+    /// Batch mode only: whether a mega-drain job is queued or running.
+    /// At most one at a time — it is the cross-session analogue of
+    /// `Inbox::scheduled`.
+    batch_scheduled: Mutex<bool>,
 }
 
 /// An online multi-session detection engine.
@@ -255,6 +313,7 @@ impl DetectionEngine {
     pub fn new(config: EngineConfig) -> Self {
         let config = EngineConfig {
             queue_capacity: config.queue_capacity.max(1),
+            drain_batch: config.drain_batch.max(1),
             ..config
         };
         let pool = Arc::new(WorkerPool::new(config.workers));
@@ -267,6 +326,8 @@ impl DetectionEngine {
                 idle: Condvar::new(),
                 next_id: Mutex::new(0),
                 drain_notifier: OnceLock::new(),
+                sessions: Mutex::new(Vec::new()),
+                batch_scheduled: Mutex::new(false),
             }),
         }
     }
@@ -347,6 +408,11 @@ impl DetectionEngine {
             id
         };
         let (tx, rx) = mpsc::channel();
+        let batch_key = if self.shared.config.cross_session_batch && detector.batch_supported() {
+            Some(batch_key_of(&detector))
+        } else {
+            None
+        };
         let slot = Arc::new(SessionSlot {
             id,
             engine: Arc::clone(&self.shared),
@@ -363,7 +429,15 @@ impl DetectionEngine {
                 detector,
                 outcomes: tx,
             }),
+            batch_key,
         });
+        if self.shared.config.cross_session_batch {
+            self.shared
+                .sessions
+                .lock()
+                .expect("registry lock")
+                .push(Arc::downgrade(&slot));
+        }
         self.shared
             .metrics
             .sessions_active
@@ -501,14 +575,7 @@ impl SessionHandle {
             degraded,
             tick,
         });
-        let schedule = !inbox.scheduled;
-        inbox.scheduled = true;
-        drop(inbox);
-
-        if schedule {
-            let slot = Arc::clone(&self.slot);
-            self.pool.execute(move || drain_session(&slot));
-        }
+        self.schedule_drain(inbox);
         Ok(())
     }
 
@@ -551,15 +618,37 @@ impl SessionHandle {
             degraded: true,
             tick,
         });
-        let schedule = !inbox.scheduled;
-        inbox.scheduled = true;
-        drop(inbox);
-
-        if schedule {
-            let slot = Arc::clone(&self.slot);
-            self.pool.execute(move || drain_session(&slot));
-        }
+        self.schedule_drain(inbox);
         Ok(())
+    }
+
+    /// Queues whatever drain the engine mode calls for after a push:
+    /// scalar mode schedules this session's own drain (serialized by
+    /// `Inbox::scheduled`), batch mode rings the engine-wide
+    /// mega-drain (serialized by `EngineShared::batch_scheduled` —
+    /// per-session `scheduled` is left alone; the mega-drain uses it
+    /// as its claim marker during gather).
+    fn schedule_drain(&self, mut inbox: std::sync::MutexGuard<'_, Inbox>) {
+        let engine = &self.slot.engine;
+        if engine.config.cross_session_batch {
+            drop(inbox);
+            let mut scheduled = engine.batch_scheduled.lock().expect("batch lock");
+            if !*scheduled {
+                *scheduled = true;
+                let shared = Arc::clone(engine);
+                let pool = Arc::clone(&self.pool);
+                let pool2 = Arc::clone(&self.pool);
+                pool.execute(move || mega_drain(&shared, &pool2));
+            }
+        } else {
+            let schedule = !inbox.scheduled;
+            inbox.scheduled = true;
+            drop(inbox);
+            if schedule {
+                let slot = Arc::clone(&self.slot);
+                self.pool.execute(move || drain_session(&slot));
+            }
+        }
     }
 
     /// Closes the session: further submits fail, queued ticks still
@@ -628,31 +717,46 @@ impl Drop for SessionHandle {
     }
 }
 
-/// How many queued ticks one drain cycle pops and processes under a
-/// single state-lock acquisition. Bounds both the lock hold time and
-/// the size of the coalesced deadline-cache prewarm.
-const DRAIN_BATCH: usize = 32;
+/// Batch-grouping key: FNV-1a over everything that must match for two
+/// sessions to share a [`BatchPlan`] group — the estimator's walk
+/// fingerprint (plant model, horizon, admissible geometry), the
+/// seeding radius, and the window clamp range. Equal keys make the
+/// batched walk bit-identical to each lane's own scalar walk.
+fn batch_key_of(detector: &AdaptiveDetector) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for v in [
+        detector.estimator().fingerprint(),
+        detector.initial_radius().to_bits(),
+        detector.config().min_window() as u64,
+        detector.config().max_window() as u64,
+    ] {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
 
-/// Drains one session's inbox on a pool worker. At most one instance
-/// per session runs at a time (guarded by `Inbox::scheduled`), so
-/// outcomes leave in submission order.
+/// Drains one session's inbox on a pool worker (scalar mode). At most
+/// one instance per session runs at a time (guarded by
+/// `Inbox::scheduled`), so outcomes leave in submission order.
 ///
-/// Ticks are popped and processed in batches of up to [`DRAIN_BATCH`]:
-/// the session state lock is taken *first* and the inbox popped under
-/// it, so a stalled session stalls the pop too (queued ticks keep
-/// counting against the queue capacity until the session can actually
-/// run). When a batch carries more than one tick and the detector has
-/// a deadline cache, the batch's estimates are prewarmed with one
-/// batched reachability walk before the per-tick steps — coalescing
-/// what would otherwise be per-tick cache-miss walks.
+/// Ticks are popped and processed in batches of up to
+/// [`EngineConfig::drain_batch`]: the session state lock is taken
+/// *first* and the inbox popped under it, so a stalled session stalls
+/// the pop too (queued ticks keep counting against the queue capacity
+/// until the session can actually run).
 fn drain_session(slot: &SessionSlot) {
-    let mut batch: Vec<QueuedTick> = Vec::with_capacity(DRAIN_BATCH);
+    let drain_batch = slot.engine.config.drain_batch;
+    let mut batch: Vec<QueuedTick> = Vec::with_capacity(drain_batch);
     loop {
         let mut state = slot.state.lock().expect("state lock");
         batch.clear();
         {
             let mut inbox = slot.inbox.lock().expect("inbox lock");
-            while batch.len() < DRAIN_BATCH {
+            while batch.len() < drain_batch {
                 match inbox.ticks.pop_front() {
                     Some(t) => batch.push(t),
                     None => break,
@@ -672,93 +776,8 @@ fn drain_session(slot: &SessionSlot) {
         slot.space.notify_all();
 
         let engine = &slot.engine;
-        let SessionState {
-            logger,
-            detector,
-            outcomes,
-        } = &mut *state;
-
-        // Coalesce the batch's same-model deadline queries: any of
-        // these estimates may become a trusted query within this or a
-        // later batch, so computing them in one batched walk turns the
-        // per-tick misses into cache hits. Prewarmed entries are
-        // bit-identical to miss-path entries, so outcomes are
-        // unchanged.
-        if batch.len() > 1 && detector.has_deadline_cache() {
-            let estimates: Vec<&Vector> = batch
-                .iter()
-                .filter(|q| !q.degraded)
-                .map(|q| &q.tick.estimate)
-                .collect();
-            if !estimates.is_empty() {
-                let inserted = detector.prewarm_deadline_cache(&estimates);
-                if inserted > 0 {
-                    engine
-                        .metrics
-                        .batched_deadline_queries
-                        .fetch_add(inserted as u64, Ordering::Relaxed);
-                }
-            }
-        }
-
-        let processed = batch.len() as u64;
-        let mut degraded_ticks = 0u64;
-        let mut alarms = 0u64;
-        let mut alloc_free = 0u64;
-        for queued in batch.drain(..) {
-            let t0 = Instant::now();
-            logger.record(queued.tick.estimate, queued.tick.input);
-            let t1 = Instant::now();
-            let step = if queued.degraded {
-                detector.step_degraded(logger)
-            } else {
-                detector.step(logger)
-            };
-            let t2 = Instant::now();
-
-            engine.metrics.log_latency.record(t1 - t0);
-            engine.metrics.detect_latency.record(t2 - t1);
-            if queued.degraded {
-                degraded_ticks += 1;
-            } else if detector.last_step_was_alloc_free() {
-                alloc_free += 1;
-            }
-            if step.alarm() {
-                alarms += 1;
-            }
-
-            // The receiver may be gone (caller only wanted metrics).
-            let _ = outcomes.send(TickOutcome {
-                session: slot.id,
-                seq: queued.seq,
-                degraded: queued.degraded,
-                step,
-            });
-        }
+        let processed = process_batch_scalar(slot, &mut state, &mut batch).0;
         drop(state);
-
-        engine
-            .metrics
-            .ticks_processed
-            .fetch_add(processed, Ordering::Relaxed);
-        if degraded_ticks > 0 {
-            engine
-                .metrics
-                .degraded_ticks
-                .fetch_add(degraded_ticks, Ordering::Relaxed);
-        }
-        if alarms > 0 {
-            engine
-                .metrics
-                .alarms_raised
-                .fetch_add(alarms, Ordering::Relaxed);
-        }
-        if alloc_free > 0 {
-            engine
-                .metrics
-                .alloc_free_ticks
-                .fetch_add(alloc_free, Ordering::Relaxed);
-        }
 
         let mut pending = engine.pending.lock().expect("pending lock");
         *pending -= processed;
@@ -774,6 +793,429 @@ fn drain_session(slot: &SessionSlot) {
         if let Some(notify) = engine.drain_notifier.get() {
             notify();
         }
+    }
+}
+
+/// Steps one session through an already-popped batch of its ticks on
+/// the scalar path — the common core of the per-session drain and the
+/// mega-drain's fallback for unbatchable sessions. Updates every
+/// metric except the pending count (the callers own that, at
+/// different granularities). Returns `(processed, degraded)` counts.
+///
+/// When the batch carries more than one tick and the detector has a
+/// deadline cache, the batch's estimates are prewarmed with one
+/// batched reachability walk before the per-tick steps — coalescing
+/// what would otherwise be per-tick cache-miss walks. Prewarmed
+/// entries are bit-identical to miss-path entries, so outcomes are
+/// unchanged.
+fn process_batch_scalar(
+    slot: &SessionSlot,
+    state: &mut SessionState,
+    batch: &mut Vec<QueuedTick>,
+) -> (u64, u64) {
+    let engine = &slot.engine;
+    let SessionState {
+        logger,
+        detector,
+        outcomes,
+    } = state;
+
+    if batch.len() > 1 && detector.has_deadline_cache() {
+        let estimates: Vec<&Vector> = batch
+            .iter()
+            .filter(|q| !q.degraded)
+            .map(|q| &q.tick.estimate)
+            .collect();
+        if !estimates.is_empty() {
+            let inserted = detector.prewarm_deadline_cache(&estimates);
+            if inserted > 0 {
+                engine
+                    .metrics
+                    .batched_deadline_queries
+                    .fetch_add(inserted as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let processed = batch.len() as u64;
+    let mut degraded_ticks = 0u64;
+    let mut alarms = 0u64;
+    let mut alloc_free = 0u64;
+    for queued in batch.drain(..) {
+        let t0 = Instant::now();
+        logger.record(queued.tick.estimate, queued.tick.input);
+        let t1 = Instant::now();
+        let step = if queued.degraded {
+            detector.step_degraded(logger)
+        } else {
+            detector.step(logger)
+        };
+        let t2 = Instant::now();
+
+        engine.metrics.log_latency.record(t1 - t0);
+        engine.metrics.detect_latency.record(t2 - t1);
+        if queued.degraded {
+            degraded_ticks += 1;
+        } else if detector.last_step_was_alloc_free() {
+            alloc_free += 1;
+        }
+        if step.alarm() {
+            alarms += 1;
+        }
+
+        // The receiver may be gone (caller only wanted metrics).
+        let _ = outcomes.send(TickOutcome {
+            session: slot.id,
+            seq: queued.seq,
+            degraded: queued.degraded,
+            step,
+        });
+    }
+
+    engine
+        .metrics
+        .ticks_processed
+        .fetch_add(processed, Ordering::Relaxed);
+    if degraded_ticks > 0 {
+        engine
+            .metrics
+            .degraded_ticks
+            .fetch_add(degraded_ticks, Ordering::Relaxed);
+    }
+    if alarms > 0 {
+        engine
+            .metrics
+            .alarms_raised
+            .fetch_add(alarms, Ordering::Relaxed);
+    }
+    if alloc_free > 0 {
+        engine
+            .metrics
+            .alloc_free_ticks
+            .fetch_add(alloc_free, Ordering::Relaxed);
+    }
+    (processed, degraded_ticks)
+}
+
+/// Countdown used by the mega-drain to wait for the group tasks it
+/// scattered onto spare pool workers.
+struct GroupLatch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// The cross-session batched drain (batch mode's replacement for the
+/// per-session [`drain_session`] jobs). At most one runs per engine
+/// (guarded by `EngineShared::batch_scheduled`).
+///
+/// Each round it **gathers** up to [`EngineConfig::drain_batch`]
+/// waiting ticks from every registered session (claiming each via
+/// `Inbox::scheduled`, exactly like a per-session drain would),
+/// groups the claimed sessions by [`SessionSlot::batch_key`],
+/// **batch-detects** each group through one [`BatchPlan`] — lock-step
+/// across sessions, structure-of-arrays kernels under the hood — and
+/// **scatters** whole groups onto spare pool workers when there are
+/// any (the gather thread always processes the first group itself, so
+/// progress never depends on another worker being free). Unbatchable
+/// sessions (`batch_key == None`) and degraded ticks take the scalar
+/// path, so every outcome stream is bit-identical to scalar mode.
+fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
+    let drain_batch = shared.config.drain_batch;
+    let mut plan = BatchPlan::new();
+    loop {
+        // Gather: claim a tick batch from every session with work.
+        let slots: Vec<Arc<SessionSlot>> = {
+            let mut registry = shared.sessions.lock().expect("registry lock");
+            registry.retain(|weak| weak.strong_count() > 0);
+            registry.iter().filter_map(Weak::upgrade).collect()
+        };
+        let mut gathered: Vec<(Arc<SessionSlot>, Vec<QueuedTick>)> = Vec::new();
+        let mut round_ticks = 0u64;
+        for slot in slots {
+            let mut inbox = slot.inbox.lock().expect("inbox lock");
+            if inbox.scheduled || inbox.ticks.is_empty() {
+                continue;
+            }
+            let take = inbox.ticks.len().min(drain_batch);
+            let batch: Vec<QueuedTick> = inbox.ticks.drain(..take).collect();
+            inbox.scheduled = true;
+            drop(inbox);
+            // Queue slots freed: wake blocked producers.
+            slot.space.notify_all();
+            round_ticks += batch.len() as u64;
+            gathered.push((slot, batch));
+        }
+
+        if gathered.is_empty() {
+            // A tick is queued only after the pending count rises
+            // (both under its session's inbox lock), so pending == 0
+            // here proves no session holds unclaimed work and the
+            // drain may retire. pending > 0 with an empty gather means
+            // a submit is mid-flight (or a dying session is about to
+            // refund its ticks) — spin until it lands. Holding the
+            // batch_scheduled lock across the check closes the race
+            // with a submit that just pushed: either it finds the flag
+            // still set (we saw its pending rise and loop again), or
+            // we retired first and its schedule attempt starts a fresh
+            // drain.
+            let mut scheduled = shared.batch_scheduled.lock().expect("batch lock");
+            let pending = shared.pending.lock().expect("pending lock");
+            if *pending == 0 {
+                *scheduled = false;
+                return;
+            }
+            drop(pending);
+            drop(scheduled);
+            std::thread::yield_now();
+            continue;
+        }
+
+        // Group claimed sessions by batch key. `None` sorts first;
+        // those sessions are unbatchable, so each becomes its own
+        // scalar "group".
+        gathered.sort_by_key(|(slot, _)| slot.batch_key);
+        let mut groups: Vec<Vec<(Arc<SessionSlot>, Vec<QueuedTick>)>> = Vec::new();
+        for (slot, batch) in gathered {
+            let split = match groups.last() {
+                Some(group) => {
+                    let key = group[0].0.batch_key;
+                    key.is_none() || key != slot.batch_key
+                }
+                None => true,
+            };
+            if split {
+                groups.push(Vec::new());
+            }
+            groups.last_mut().expect("just pushed").push((slot, batch));
+        }
+
+        // Scatter: spare workers take whole groups. Never wait on a
+        // dispatched task unless another worker exists to run it.
+        if groups.len() > 1 && pool.workers() > 1 {
+            let latch = Arc::new(GroupLatch {
+                remaining: Mutex::new(groups.len() - 1),
+                done: Condvar::new(),
+            });
+            let mut rest = groups.into_iter();
+            let mut first = rest.next().expect("non-empty groups");
+            for mut group in rest {
+                let shared2 = Arc::clone(shared);
+                let latch2 = Arc::clone(&latch);
+                pool.execute(move || {
+                    let mut plan = BatchPlan::new();
+                    process_group(&shared2, &mut plan, &mut group);
+                    let mut remaining = latch2.remaining.lock().expect("latch lock");
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        latch2.done.notify_all();
+                    }
+                });
+            }
+            process_group(shared, &mut plan, &mut first);
+            let mut remaining = latch.remaining.lock().expect("latch lock");
+            while *remaining > 0 {
+                remaining = latch.done.wait(remaining).expect("latch lock");
+            }
+        } else {
+            for mut group in groups {
+                process_group(shared, &mut plan, &mut group);
+            }
+        }
+
+        let mut pending = shared.pending.lock().expect("pending lock");
+        *pending -= round_ticks;
+        if *pending == 0 {
+            shared.idle.notify_all();
+        }
+        drop(pending);
+
+        // As in scalar mode: doorbell after outcomes and pending are
+        // both published.
+        if let Some(notify) = shared.drain_notifier.get() {
+            notify();
+        }
+    }
+}
+
+/// Releases a mega-drain claim on one session: the batch-mode
+/// counterpart of a per-session drain's empty-pop transition.
+fn finish_slot(slot: &SessionSlot) {
+    let mut inbox = slot.inbox.lock().expect("inbox lock");
+    inbox.scheduled = false;
+    drop(inbox);
+    // Snapshot takers and blocked producers re-check their conditions.
+    slot.space.notify_all();
+}
+
+/// Processes one gathered group: scalar sessions one by one, batchable
+/// sessions in lock-step through the [`BatchPlan`]. Clears every
+/// member's claim on the way out.
+fn process_group(
+    shared: &EngineShared,
+    plan: &mut BatchPlan,
+    group: &mut Vec<(Arc<SessionSlot>, Vec<QueuedTick>)>,
+) {
+    if group[0].0.batch_key.is_none() {
+        for (slot, batch) in group.iter_mut() {
+            let mut state = slot.state.lock().expect("state lock");
+            let (processed, degraded) = process_batch_scalar(slot, &mut state, batch);
+            drop(state);
+            shared
+                .metrics
+                .scalar_fallback_ticks
+                .fetch_add(processed - degraded, Ordering::Relaxed);
+            finish_slot(slot);
+        }
+        return;
+    }
+    let (slots, mut batches): (Vec<_>, Vec<_>) = group.drain(..).unzip();
+    process_group_vectorized(shared, plan, &slots, &mut batches);
+    for slot in &slots {
+        finish_slot(slot);
+    }
+}
+
+/// Steps a group of same-key sessions in lock-step: tick position 0 of
+/// every session forms one [`BatchPlan`] lane set, then position 1,
+/// and so on — per-session FIFO holds because each session contributes
+/// at most one tick per position, in order. Degraded ticks are stepped
+/// scalar (`step_degraded`) inline at their position; everything else
+/// rides the structure-of-arrays batch.
+///
+/// All member state locks are held for the whole group (the gather
+/// already claimed every member via `Inbox::scheduled`, so the only
+/// other state-lock takers — snapshots, cache stats — briefly wait,
+/// exactly as they would behind a scalar drain's batch).
+fn process_group_vectorized(
+    shared: &EngineShared,
+    plan: &mut BatchPlan,
+    slots: &[Arc<SessionSlot>],
+    batches: &mut [Vec<QueuedTick>],
+) {
+    let mut guards: Vec<_> = slots
+        .iter()
+        .map(|slot| slot.state.lock().expect("state lock"))
+        .collect();
+    let mut cursors = vec![0usize; slots.len()];
+    let mut processed = 0u64;
+    let mut degraded_ticks = 0u64;
+    let mut alarms = 0u64;
+    let mut alloc_free = 0u64;
+    let mut batch_ticks = 0u64;
+    let mut lane_meta: Vec<(usize, u64)> = Vec::new();
+    let mut steps: Vec<AdaptiveStep> = Vec::new();
+    loop {
+        let t0 = Instant::now();
+        lane_meta.clear();
+        let mut lanes: Vec<BatchLane<'_>> = Vec::new();
+        let mut recorded = 0u32;
+        for (k, guard) in guards.iter_mut().enumerate() {
+            let Some(queued) = batches[k].get_mut(cursors[k]) else {
+                continue;
+            };
+            cursors[k] += 1;
+            recorded += 1;
+            let estimate = std::mem::replace(&mut queued.tick.estimate, Vector::zeros(0));
+            let input = std::mem::replace(&mut queued.tick.input, Vector::zeros(0));
+            let state: &mut SessionState = &mut *guard;
+            state.logger.record(estimate, input);
+            if queued.degraded {
+                let step = state.detector.step_degraded(&state.logger);
+                degraded_ticks += 1;
+                if step.alarm() {
+                    alarms += 1;
+                }
+                let _ = state.outcomes.send(TickOutcome {
+                    session: slots[k].id,
+                    seq: queued.seq,
+                    degraded: true,
+                    step,
+                });
+            } else {
+                lane_meta.push((k, queued.seq));
+                lanes.push(BatchLane {
+                    logger: &state.logger,
+                    detector: &mut state.detector,
+                });
+            }
+        }
+        if recorded == 0 {
+            break;
+        }
+        processed += u64::from(recorded);
+        let t1 = Instant::now();
+        let n_lanes = lanes.len();
+        steps.clear();
+        if n_lanes > 0 {
+            plan.step_group(&mut lanes, &mut steps);
+        }
+        drop(lanes);
+        let t2 = Instant::now();
+
+        // One timing span covers the whole position; attribute the
+        // mean to each tick so batch-mode histograms stay comparable
+        // with scalar-mode ones (same count, same total).
+        shared
+            .metrics
+            .log_latency
+            .record_n((t1 - t0) / recorded, u64::from(recorded));
+        if n_lanes > 0 {
+            shared
+                .metrics
+                .detect_latency
+                .record_n((t2 - t1) / n_lanes as u32, n_lanes as u64);
+            batch_ticks += n_lanes as u64;
+            shared
+                .metrics
+                .batch_sessions_hwm
+                .fetch_max(n_lanes as u64, Ordering::Relaxed);
+        }
+
+        for (&(k, seq), step) in lane_meta.iter().zip(steps.drain(..)) {
+            let state = &guards[k];
+            if step.alarm() {
+                alarms += 1;
+            }
+            if state.detector.last_step_was_alloc_free() {
+                alloc_free += 1;
+            }
+            let _ = state.outcomes.send(TickOutcome {
+                session: slots[k].id,
+                seq,
+                degraded: false,
+                step,
+            });
+        }
+    }
+    drop(guards);
+
+    shared
+        .metrics
+        .ticks_processed
+        .fetch_add(processed, Ordering::Relaxed);
+    if degraded_ticks > 0 {
+        shared
+            .metrics
+            .degraded_ticks
+            .fetch_add(degraded_ticks, Ordering::Relaxed);
+    }
+    if alarms > 0 {
+        shared
+            .metrics
+            .alarms_raised
+            .fetch_add(alarms, Ordering::Relaxed);
+    }
+    if alloc_free > 0 {
+        shared
+            .metrics
+            .alloc_free_ticks
+            .fetch_add(alloc_free, Ordering::Relaxed);
+    }
+    if batch_ticks > 0 {
+        shared
+            .metrics
+            .batch_ticks
+            .fetch_add(batch_ticks, Ordering::Relaxed);
     }
 }
 
@@ -951,6 +1393,7 @@ mod tests {
             workers: 2,
             queue_capacity: 4,
             backpressure: BackpressurePolicy::Degrade,
+            ..EngineConfig::default()
         });
         let (logger, det) = parts(0.5, 10);
         let (session, outcomes) = engine.add_session(logger, det);
@@ -997,6 +1440,7 @@ mod tests {
             workers: 2,
             queue_capacity: CAPACITY,
             backpressure: BackpressurePolicy::Degrade,
+            ..EngineConfig::default()
         });
         let (logger, det) = parts(0.5, 10);
         let (session, outcomes) = engine.add_session(logger, det);
@@ -1046,6 +1490,7 @@ mod tests {
             workers: 2,
             queue_capacity: 2,
             backpressure: BackpressurePolicy::Block,
+            ..EngineConfig::default()
         });
         let (logger, det) = parts(0.5, 10);
         let (session, outcomes) = engine.add_session(logger, det);
@@ -1089,6 +1534,7 @@ mod tests {
             workers: 2,
             queue_capacity: 64,
             backpressure: BackpressurePolicy::Block,
+            ..EngineConfig::default()
         });
         let (logger, mut det) = parts(0.5, 10);
         det.set_deadline_cache(DeadlineCache::new(CacheConfig::exact(128)));
@@ -1232,6 +1678,7 @@ mod tests {
             workers: 2,
             queue_capacity: 64,
             backpressure: BackpressurePolicy::Block,
+            ..EngineConfig::default()
         });
         let (logger, det) = parts(0.5, 10);
         let (session, outcomes) = engine.add_session(logger, det);
@@ -1287,5 +1734,236 @@ mod tests {
         let engine = DetectionEngine::new(EngineConfig::default());
         engine.drain();
         assert_eq!(engine.metrics().ticks_processed, 0);
+    }
+
+    #[test]
+    fn drain_batch_defaults_and_clamps() {
+        assert_eq!(EngineConfig::default().drain_batch, 32);
+        assert!(!EngineConfig::default().cross_session_batch);
+        let engine = DetectionEngine::new(EngineConfig {
+            drain_batch: 0,
+            ..EngineConfig::default()
+        });
+        assert_eq!(engine.config().drain_batch, 1, "zero clamps to one");
+    }
+
+    #[test]
+    fn degrade_stall_semantics_unchanged_at_all_drain_batch_values() {
+        // The drain-batch knob bounds how many ticks one state-lock
+        // acquisition processes; it must not change *which* ticks the
+        // Degrade policy flags. Replay the stalled-session scenario of
+        // `degrade_policy_flags_overflow_ticks` at several knob values
+        // and require the same degrade envelope every time.
+        for drain_batch in [1usize, 2, 32, 128] {
+            let engine = DetectionEngine::new(EngineConfig {
+                workers: 2,
+                queue_capacity: 4,
+                backpressure: BackpressurePolicy::Degrade,
+                drain_batch,
+                ..EngineConfig::default()
+            });
+            let (logger, det) = parts(0.5, 10);
+            let (session, outcomes) = engine.add_session(logger, det);
+            {
+                let _stall = session.slot.state.lock().unwrap();
+                for _ in 0..10 {
+                    session.submit(tick(0.0)).unwrap();
+                }
+            }
+            engine.drain();
+            let outs: Vec<TickOutcome> = outcomes.try_iter().collect();
+            assert_eq!(outs.len(), 10, "drain_batch={drain_batch}");
+            let degraded: Vec<bool> = outs.iter().map(|o| o.degraded).collect();
+            let n_degraded = degraded.iter().filter(|&&d| d).count();
+            assert!(
+                (5..=6).contains(&n_degraded),
+                "drain_batch={drain_batch}: degraded = {degraded:?}"
+            );
+            assert!(degraded[..4].iter().all(|&d| !d));
+            assert!(degraded[5..].iter().all(|&d| d));
+            for o in outs.iter().filter(|o| o.degraded) {
+                assert_eq!(o.step.window, 10);
+            }
+        }
+    }
+
+    /// Mixed fleet on a batch-mode engine vs direct per-detector
+    /// stepping: same-model sessions (batchable), a quantized-cache
+    /// session (scalar fallback), and a forced degrade pattern — every
+    /// outcome stream must be bit-identical to standalone stepping.
+    #[test]
+    fn batch_mode_matches_direct_detector_stepping() {
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 1,
+            cross_session_batch: true,
+            ..EngineConfig::default()
+        });
+        // Sessions 0-3: same plant/geometry (one batch group, varied
+        // thresholds are fine). Session 4: quantized deadline cache —
+        // never batchable. Session 5: different horizon → different
+        // fingerprint → its own group.
+        let mut sessions = Vec::new();
+        let mut direct = Vec::new();
+        for i in 0..6 {
+            let tau = 0.3 + 0.05 * i as f64;
+            let w_m = if i == 5 { 8 } else { 10 };
+            let (logger, mut det) = parts(tau, w_m);
+            let (ref_logger, mut det_ref) = parts(tau, w_m);
+            if i == 4 {
+                det.set_deadline_cache(DeadlineCache::new(CacheConfig::quantized(0.5, 64)));
+                det_ref.set_deadline_cache(DeadlineCache::new(CacheConfig::quantized(0.5, 64)));
+            }
+            sessions.push(engine.add_session(logger, det));
+            direct.push((ref_logger, det_ref));
+        }
+        let ticks = 50usize;
+        for t in 0..ticks {
+            for (i, (session, _)) in sessions.iter().enumerate() {
+                let x = 0.11 * ((t * 7 + i * 3) % 13) as f64 - 0.6;
+                if (t + i) % 9 == 0 {
+                    session.submit_degraded(tick(x)).unwrap();
+                } else {
+                    session.submit(tick(x)).unwrap();
+                }
+            }
+        }
+        engine.drain();
+        for (i, (_, outcomes)) in sessions.iter().enumerate() {
+            let (ref_logger, ref_det) = &mut direct[i];
+            for t in 0..ticks {
+                let x = 0.11 * ((t * 7 + i * 3) % 13) as f64 - 0.6;
+                ref_logger.record(Vector::from_slice(&[x]), Vector::from_slice(&[0.0]));
+                let expected = if (t + i) % 9 == 0 {
+                    ref_det.step_degraded(ref_logger)
+                } else {
+                    ref_det.step(ref_logger)
+                };
+                let got = outcomes.try_recv().expect("outcome per tick");
+                assert_eq!(got.seq, t as u64, "session {i}");
+                assert_eq!(got.step, expected, "session {i} tick {t}");
+                assert_eq!(got.degraded, (t + i) % 9 == 0);
+            }
+        }
+        let m = engine.metrics();
+        assert_eq!(m.ticks_processed, 6 * ticks as u64);
+        assert!(m.batch_ticks > 0, "same-model sessions must vectorize");
+        assert!(
+            m.scalar_fallback_ticks > 0,
+            "the quantized-cache session must fall back scalar"
+        );
+        assert!(
+            m.batch_sessions_hwm >= 2,
+            "at least two sessions must have shared a lane set, got {}",
+            m.batch_sessions_hwm
+        );
+        assert_eq!(
+            m.log_latency.count,
+            6 * ticks as u64,
+            "batched timing must attribute one sample per tick"
+        );
+    }
+
+    #[test]
+    fn batch_mode_scatters_groups_across_workers() {
+        // Two distinct model groups on a multi-worker pool: the
+        // mega-drain dispatches one group to a spare worker and
+        // processes the other inline. Outcomes must still match
+        // direct stepping exactly.
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 4,
+            cross_session_batch: true,
+            ..EngineConfig::default()
+        });
+        let mut sessions = Vec::new();
+        let mut direct = Vec::new();
+        for i in 0..6 {
+            let w_m = if i % 2 == 0 { 10 } else { 12 };
+            let (logger, det) = parts(0.4, w_m);
+            let (ref_logger, ref_det) = parts(0.4, w_m);
+            sessions.push(engine.add_session(logger, det));
+            direct.push((ref_logger, ref_det));
+        }
+        for t in 0..60 {
+            for (i, (session, _)) in sessions.iter().enumerate() {
+                let x = 0.07 * ((t * 5 + i) % 11) as f64;
+                session.submit(tick(x)).unwrap();
+            }
+        }
+        engine.drain();
+        for (i, (_, outcomes)) in sessions.iter().enumerate() {
+            let (ref_logger, ref_det) = &mut direct[i];
+            for t in 0..60 {
+                let x = 0.07 * ((t * 5 + i) % 11) as f64;
+                ref_logger.record(Vector::from_slice(&[x]), Vector::from_slice(&[0.0]));
+                let expected = ref_det.step(ref_logger);
+                let got = outcomes.try_recv().expect("outcome per tick");
+                assert_eq!(got.step, expected, "session {i} tick {t}");
+            }
+        }
+        assert_eq!(engine.metrics().ticks_processed, 360);
+    }
+
+    #[test]
+    fn batch_mode_snapshot_waits_and_cuts_cleanly() {
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 1,
+            cross_session_batch: true,
+            ..EngineConfig::default()
+        });
+        let (logger, det) = parts(0.5, 10);
+        let (session, outcomes) = engine.add_session(logger, det);
+        for _ in 0..20 {
+            session.submit(tick(0.0)).unwrap();
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.next_seq, 20, "snapshot waits for queued ticks");
+        assert_eq!(snap.state.logger.next_step, 20);
+        engine.drain();
+        assert_eq!(outcomes.try_iter().count(), 20);
+    }
+
+    #[test]
+    fn batch_mode_dropped_session_does_not_hang_drain() {
+        // A handle dropped with ticks still queued takes the slot (and
+        // the ticks) down before the mega-drain can claim them; the
+        // slot's Drop must refund the pending count so drain returns.
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 1,
+            cross_session_batch: true,
+            ..EngineConfig::default()
+        });
+        let (logger, det) = parts(0.5, 10);
+        let (session, outcomes) = engine.add_session(logger, det);
+        for _ in 0..10 {
+            session.submit(tick(0.0)).unwrap();
+        }
+        drop(session);
+        drop(outcomes);
+        engine.drain();
+        // Whether the mega-drain won the race or the refund did, the
+        // engine must be idle now and stay functional.
+        let (logger, det) = parts(0.5, 10);
+        let (fresh, fresh_out) = engine.add_session(logger, det);
+        fresh.submit(tick(0.0)).unwrap();
+        engine.drain();
+        assert_eq!(fresh_out.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn batch_mode_close_drains_queued_ticks() {
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 1,
+            cross_session_batch: true,
+            ..EngineConfig::default()
+        });
+        let (logger, det) = parts(0.5, 10);
+        let (session, outcomes) = engine.add_session(logger, det);
+        for _ in 0..5 {
+            session.submit(tick(0.0)).unwrap();
+        }
+        session.close();
+        assert_eq!(session.submit(tick(0.0)), Err(SubmitError::SessionClosed));
+        engine.drain();
+        assert_eq!(outcomes.try_iter().count(), 5);
     }
 }

@@ -47,6 +47,25 @@ impl HistInner {
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records `n` samples of identical duration in one shot. The
+    /// batched detection path measures one elapsed span for a whole
+    /// lane group and attributes the per-lane mean to each tick, so
+    /// histogram counts and totals stay comparable with the scalar
+    /// path's per-tick samples at a fraction of the clock reads.
+    pub(crate) fn record_n(&self, each: Duration, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let ns = each.as_nanos().min(u64::MAX as u128) as u64;
+        match bucket_index(ns) {
+            Some(i) => self.buckets[i].fetch_add(n, Ordering::Relaxed),
+            None => self.overflow.fetch_add(n, Ordering::Relaxed),
+        };
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(ns.saturating_mul(n), Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> LatencyHistogram {
         let mut buckets = [0u64; LATENCY_BUCKETS];
         for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
@@ -150,6 +169,9 @@ pub(crate) struct MetricsInner {
     pub(crate) sessions_replicated: AtomicU64,
     pub(crate) failovers: AtomicU64,
     pub(crate) replication_lag_hwm: AtomicU64,
+    pub(crate) batch_ticks: AtomicU64,
+    pub(crate) batch_sessions_hwm: AtomicU64,
+    pub(crate) scalar_fallback_ticks: AtomicU64,
     pub(crate) log_latency: HistInner,
     pub(crate) detect_latency: HistInner,
 }
@@ -168,6 +190,9 @@ impl MetricsInner {
             sessions_replicated: self.sessions_replicated.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             replication_lag_hwm: self.replication_lag_hwm.load(Ordering::Relaxed),
+            batch_ticks: self.batch_ticks.load(Ordering::Relaxed),
+            batch_sessions_hwm: self.batch_sessions_hwm.load(Ordering::Relaxed),
+            scalar_fallback_ticks: self.scalar_fallback_ticks.load(Ordering::Relaxed),
             log_latency: self.log_latency.snapshot(),
             detect_latency: self.detect_latency.snapshot(),
         }
@@ -216,6 +241,21 @@ pub struct RuntimeMetrics {
     /// high-water mark, not a rate — it answers "how stale could the
     /// backup have been at the worst moment".
     pub replication_lag_hwm: u64,
+    /// Non-degraded ticks stepped through the cross-session batched
+    /// path (structure-of-arrays lanes in a `BatchPlan` group) rather
+    /// than a per-session scalar step. Zero unless
+    /// `EngineConfig::cross_session_batch` is on.
+    pub batch_ticks: u64,
+    /// Widest lane set a single batched detection step has covered —
+    /// how many sessions actually vectorized together at the best
+    /// moment. A high-water mark, merged by max like the other
+    /// high-waters.
+    pub batch_sessions_hwm: u64,
+    /// Non-degraded ticks that fell back to the scalar path while the
+    /// engine was in batch mode (unbatchable sessions: quantized
+    /// deadline caches). Degraded ticks count in `degraded_ticks`
+    /// only, never here.
+    pub scalar_fallback_ticks: u64,
     /// Latency distribution of the logging stage (`DataLogger::record`).
     pub log_latency: LatencyHistogram,
     /// Latency distribution of the detection stage
@@ -269,6 +309,13 @@ impl RuntimeMetrics {
             // from unrelated instants, so the max is the only honest
             // aggregate.
             replication_lag_hwm: self.replication_lag_hwm.max(other.replication_lag_hwm),
+            batch_ticks: self.batch_ticks.saturating_add(other.batch_ticks),
+            // A lane width some batched step really reached; sums
+            // would claim widths that never existed.
+            batch_sessions_hwm: self.batch_sessions_hwm.max(other.batch_sessions_hwm),
+            scalar_fallback_ticks: self
+                .scalar_fallback_ticks
+                .saturating_add(other.scalar_fallback_ticks),
             log_latency: self.log_latency.merged(&other.log_latency),
             detect_latency: self.detect_latency.merged(&other.detect_latency),
         }
@@ -367,6 +414,37 @@ mod tests {
         let snap = HistInner::default().snapshot();
         assert_eq!(snap.quantile_bound_ns(0.5), None);
         assert_eq!(snap.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn record_n_equals_n_identical_records() {
+        let (batched, looped) = (HistInner::default(), HistInner::default());
+        batched.record_n(Duration::from_nanos(700), 5);
+        batched.record_n(Duration::from_secs(10), 2); // overflow bucket
+        batched.record_n(Duration::from_nanos(1), 0); // no-op
+        for _ in 0..5 {
+            looped.record(Duration::from_nanos(700));
+        }
+        for _ in 0..2 {
+            looped.record(Duration::from_secs(10));
+        }
+        assert_eq!(batched.snapshot(), looped.snapshot());
+    }
+
+    #[test]
+    fn batch_counters_merge_by_sum_and_hwm_by_max() {
+        let (a, b) = (MetricsInner::default(), MetricsInner::default());
+        a.batch_ticks.store(100, Ordering::Relaxed);
+        a.batch_sessions_hwm.store(16, Ordering::Relaxed);
+        a.scalar_fallback_ticks.store(3, Ordering::Relaxed);
+        b.batch_ticks.store(50, Ordering::Relaxed);
+        b.batch_sessions_hwm.store(9, Ordering::Relaxed);
+        b.scalar_fallback_ticks.store(7, Ordering::Relaxed);
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged.batch_ticks, 150);
+        assert_eq!(merged.batch_sessions_hwm, 16, "lane width is a high-water");
+        assert_eq!(merged.scalar_fallback_ticks, 10);
+        assert_eq!(RuntimeMetrics::zero().merged(&merged), merged);
     }
 
     #[test]

@@ -141,8 +141,19 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.state.lock().expect("pool lock").shutdown = true;
         self.shared.available.notify_all();
+        // The last pool reference can die *inside* a pool job — e.g. a
+        // queued drain closure holding an `Arc<WorkerPool>` outliving
+        // the engine that spawned it. Joining the current thread would
+        // be a self-deadlock (EDEADLK), so that one handle is detached
+        // instead: the shutdown flag above makes it exit on its own
+        // once the queue is empty.
+        let me = std::thread::current().id();
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            if handle.thread().id() == me {
+                drop(handle);
+            } else {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -218,6 +229,30 @@ mod tests {
         // The single worker must survive to run this:
         let results = pool.run_ordered(vec![1, 2, 3], |i: i32| i + 1);
         assert_eq!(results, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn last_reference_dropped_inside_a_job_shuts_down_cleanly() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let inner = Arc::clone(&pool);
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel();
+        pool.execute(move || {
+            ready_tx.send(()).unwrap();
+            go_rx.recv().unwrap();
+            // With main's reference gone, this drop runs the pool's
+            // Drop on a worker thread; a self-join would deadlock or
+            // panic before the send below.
+            drop(inner);
+            done_tx.send(()).unwrap();
+        });
+        ready_rx.recv().unwrap();
+        drop(pool);
+        go_tx.send(()).unwrap();
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("worker-side pool drop must not self-deadlock");
     }
 
     #[test]

@@ -1030,5 +1030,8 @@ pub fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> Wi
         sessions_replicated: engine.sessions_replicated,
         failovers: engine.failovers,
         replication_lag_hwm: engine.replication_lag_hwm,
+        batch_ticks: engine.batch_ticks,
+        batch_sessions_hwm: engine.batch_sessions_hwm,
+        scalar_fallback_ticks: engine.scalar_fallback_ticks,
     }
 }

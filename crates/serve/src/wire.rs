@@ -491,6 +491,19 @@ pub struct WireMetrics {
     /// merged across shards by max, like `queue_depth_high_water`.
     /// Eighth appended counter, zeroed when absent.
     pub replication_lag_hwm: u64,
+    /// Non-degraded ticks stepped through the cross-session batched
+    /// detection path (see `RuntimeMetrics::batch_ticks`). Ninth
+    /// appended counter, always written together with the two below,
+    /// zeroed when absent.
+    pub batch_ticks: u64,
+    /// Widest lane set a single batched detection step has covered —
+    /// merged across shards by max, like `queue_depth_high_water`.
+    /// Tenth appended counter, zeroed when absent.
+    pub batch_sessions_hwm: u64,
+    /// Non-degraded ticks that fell back to the scalar path while the
+    /// engine was in batch mode. Eleventh appended counter, zeroed
+    /// when absent.
+    pub scalar_fallback_ticks: u64,
 }
 
 /// One shard server in a cluster ring announcement
@@ -1042,6 +1055,9 @@ impl Frame {
                 e.u64(m.sessions_replicated);
                 e.u64(m.failovers);
                 e.u64(m.replication_lag_hwm);
+                e.u64(m.batch_ticks);
+                e.u64(m.batch_sessions_hwm);
+                e.u64(m.scalar_fallback_ticks);
             }
             Frame::SnapshotSession { session } => e.u64(*session),
             Frame::SessionSnapshot { session, state } => {
@@ -1196,23 +1212,41 @@ impl Frame {
                     sessions_replicated: 0,
                     failovers: 0,
                     replication_lag_hwm: 0,
+                    batch_ticks: 0,
+                    batch_sessions_hwm: 0,
+                    scalar_fallback_ticks: 0,
                 };
                 // Append-only extensions, oldest first. The remaining
                 // byte count disambiguates each generation because
                 // every peer generation writes its *whole* counter set:
-                // ≥ 64 means all eight counters are present (the only
-                // other way to reach 64 would be a five-counter peer
-                // appending a correlation id plus 16 junk bytes, which
-                // no peer emits); ≥ 40 means exactly the first five
-                // (an eight-counter payload is never < 64, and five
-                // counters + a correlation id = 48, which still lands
-                // in this branch and leaves the id for the envelope);
-                // ≥ 24 means exactly the first three (two-counter
-                // peers predate correlation ids, so 24 can never be
-                // two counters plus an id); ≥ 16 means the first two.
-                // Whatever is left after the counters (0 or 8 bytes)
-                // is handled by the envelope's correlation-id logic.
-                if d.remaining() >= 64 {
+                // ≥ 88 means all eleven counters are present (an
+                // eight-counter peer plus a correlation id is 72,
+                // safely below); ≥ 64 means exactly the first eight
+                // (an eleven-counter payload is never < 88, and eight
+                // counters + a correlation id = 72, which still lands
+                // in this branch and leaves the id for the envelope;
+                // the only other way to reach 64 would be a
+                // five-counter peer appending a correlation id plus 16
+                // junk bytes, which no peer emits); ≥ 40 means exactly
+                // the first five; ≥ 24 means exactly the first three
+                // (two-counter peers predate correlation ids, so 24
+                // can never be two counters plus an id); ≥ 16 means
+                // the first two. Whatever is left after the counters
+                // (0 or 8 bytes) is handled by the envelope's
+                // correlation-id logic.
+                if d.remaining() >= 88 {
+                    m.alloc_free_ticks = d.u64()?;
+                    m.batched_deadline_queries = d.u64()?;
+                    m.sessions_evicted = d.u64()?;
+                    m.shards = d.u64()?;
+                    m.partial_frame_resumes = d.u64()?;
+                    m.sessions_replicated = d.u64()?;
+                    m.failovers = d.u64()?;
+                    m.replication_lag_hwm = d.u64()?;
+                    m.batch_ticks = d.u64()?;
+                    m.batch_sessions_hwm = d.u64()?;
+                    m.scalar_fallback_ticks = d.u64()?;
+                } else if d.remaining() >= 64 {
                     m.alloc_free_ticks = d.u64()?;
                     m.batched_deadline_queries = d.u64()?;
                     m.sessions_evicted = d.u64()?;
@@ -1546,6 +1580,9 @@ mod tests {
                     sessions_replicated: 996,
                     failovers: 1,
                     replication_lag_hwm: 3,
+                    batch_ticks: 4100,
+                    batch_sessions_hwm: 16,
+                    scalar_fallback_ticks: 9,
                 }),
                 FRAME_SNAPSHOT_SESSION => Frame::SnapshotSession { session: 7 },
                 FRAME_SESSION_SNAPSHOT => Frame::SessionSnapshot {
@@ -1624,19 +1661,22 @@ mod tests {
             let payload = frame.encode();
             // The *legal* short reads: a MetricsReply cut exactly at an
             // append-only counter boundary is a valid older reply.
-            // `len - 64` drops all eight counters (v1 peer); `len - 48`
-            // keeps the first two (two-counter peer); `len - 40` keeps
-            // the first three (three-counter peer); `len - 24` keeps
-            // the first five (five-counter peer). Every other
-            // counter-dropping cut is NOT legal under strict decode:
-            // the leftover 8 bytes parse as a correlation id, which
-            // `Frame::decode` rejects as trailing bytes (and a
-            // 16-byte leftover is rejected outright).
+            // `len - 88` drops all eleven counters (v1 peer);
+            // `len - 72` keeps the first two (two-counter peer);
+            // `len - 64` keeps the first three (three-counter peer);
+            // `len - 48` keeps the first five (five-counter peer);
+            // `len - 24` keeps the first eight (eight-counter peer).
+            // Every other counter-dropping cut is NOT legal under
+            // strict decode: the leftover 8 bytes parse as a
+            // correlation id, which `Frame::decode` rejects as
+            // trailing bytes (and a 16-byte leftover is rejected
+            // outright).
             let legacy_boundaries: &[usize] = if matches!(frame, Frame::MetricsReply(_)) {
                 &[
+                    payload.len() - 88,
+                    payload.len() - 72,
                     payload.len() - 64,
                     payload.len() - 48,
-                    payload.len() - 40,
                     payload.len() - 24,
                 ]
             } else {
@@ -1690,8 +1730,8 @@ mod tests {
     #[test]
     fn strict_decode_rejects_correlation_ids() {
         // The strict decoder must not silently absorb the appended
-        // correlation id. (Even on MetricsReply: the eight appended
-        // counters are consumed first by the `remaining >= 64` rule,
+        // correlation id. (Even on MetricsReply: the eleven appended
+        // counters are consumed first by the `remaining >= 88` rule,
         // which leaves the corr id as the trailing 8 bytes.)
         for frame in sample_frames() {
             assert_eq!(
@@ -1746,12 +1786,15 @@ mod tests {
                 && sample.sessions_replicated > 0
                 && sample.failovers > 0
                 && sample.replication_lag_hwm > 0
+                && sample.batch_ticks > 0
+                && sample.batch_sessions_hwm > 0
+                && sample.scalar_fallback_ticks > 0
         );
         let payload = Frame::MetricsReply(sample).encode();
-        // A v1 peer's reply is byte-identical minus the eight appended
+        // A v1 peer's reply is byte-identical minus the eleven appended
         // counters; it must decode with all of them reading zero and
         // every other field intact.
-        let legacy = &payload[..payload.len() - 64];
+        let legacy = &payload[..payload.len() - 88];
         let Frame::MetricsReply(decoded) = Frame::decode(legacy).unwrap() else {
             panic!("legacy reply must still be a MetricsReply");
         };
@@ -1766,11 +1809,14 @@ mod tests {
                 sessions_replicated: 0,
                 failovers: 0,
                 replication_lag_hwm: 0,
+                batch_ticks: 0,
+                batch_sessions_hwm: 0,
+                scalar_fallback_ticks: 0,
                 ..sample
             }
         );
         // A two-counter peer keeps the first two appended counters.
-        let two_counter = &payload[..payload.len() - 48];
+        let two_counter = &payload[..payload.len() - 72];
         let Frame::MetricsReply(decoded) = Frame::decode(two_counter).unwrap() else {
             panic!("two-counter reply must still be a MetricsReply");
         };
@@ -1783,12 +1829,15 @@ mod tests {
                 sessions_replicated: 0,
                 failovers: 0,
                 replication_lag_hwm: 0,
+                batch_ticks: 0,
+                batch_sessions_hwm: 0,
+                scalar_fallback_ticks: 0,
                 ..sample
             }
         );
         // A three-counter peer (the revision that predates sharding)
         // keeps the first three.
-        let three_counter = &payload[..payload.len() - 40];
+        let three_counter = &payload[..payload.len() - 64];
         let Frame::MetricsReply(decoded) = Frame::decode(three_counter).unwrap() else {
             panic!("three-counter reply must still be a MetricsReply");
         };
@@ -1800,12 +1849,15 @@ mod tests {
                 sessions_replicated: 0,
                 failovers: 0,
                 replication_lag_hwm: 0,
+                batch_ticks: 0,
+                batch_sessions_hwm: 0,
+                scalar_fallback_ticks: 0,
                 ..sample
             }
         );
         // A five-counter peer (the revision that predates clustering)
-        // drops only the replication triple.
-        let five_counter = &payload[..payload.len() - 24];
+        // drops the replication triple and the batch triple.
+        let five_counter = &payload[..payload.len() - 48];
         let Frame::MetricsReply(decoded) = Frame::decode(five_counter).unwrap() else {
             panic!("five-counter reply must still be a MetricsReply");
         };
@@ -1815,6 +1867,24 @@ mod tests {
                 sessions_replicated: 0,
                 failovers: 0,
                 replication_lag_hwm: 0,
+                batch_ticks: 0,
+                batch_sessions_hwm: 0,
+                scalar_fallback_ticks: 0,
+                ..sample
+            }
+        );
+        // An eight-counter peer (the revision that predates batch
+        // stepping) drops only the batch triple.
+        let eight_counter = &payload[..payload.len() - 24];
+        let Frame::MetricsReply(decoded) = Frame::decode(eight_counter).unwrap() else {
+            panic!("eight-counter reply must still be a MetricsReply");
+        };
+        assert_eq!(
+            decoded,
+            WireMetrics {
+                batch_ticks: 0,
+                batch_sessions_hwm: 0,
+                scalar_fallback_ticks: 0,
                 ..sample
             }
         );

@@ -332,6 +332,7 @@ fn degrade_policy_reaches_the_wire() {
             workers: 1,
             queue_capacity: 2,
             backpressure: BackpressurePolicy::Degrade,
+            ..EngineConfig::default()
         },
         ..ServerConfig::default()
     };

@@ -1,14 +1,16 @@
 //! Differential oracles: every detection path must produce the same
 //! bits.
 //!
-//! The stack grew seven independent ways to compute one
+//! The stack grew eight independent ways to compute one
 //! [`AdaptiveStep`] stream — direct [`AdaptiveDetector`] stepping, the
 //! runtime engine, the serve wire path, [`ReconnectingClient`] resume
 //! through transport failure, snapshot/restore into a fresh engine,
 //! the readiness-based `awsad-net` server with its sharded
-//! engines and incremental decoder, and the `awsad-cluster` router
+//! engines and incremental decoder, the `awsad-cluster` router
 //! streaming across a 3-shard consistent-hash ring with its primary
-//! killed mid-stream. Floats travel the wire as their
+//! killed mid-stream, and the cross-session SoA batch path that
+//! gathers co-pending ticks from *many* sessions and steps them as
+//! vectorized lane groups. Floats travel the wire as their
 //! IEEE-754 bit patterns and every state copy is bit-exact, so the
 //! streams must be **equal**, not approximately equal. The oracles
 //! here run one generated [`Scenario`] through each path and diff the
@@ -31,7 +33,7 @@ use awsad_cluster::LocalCluster;
 use awsad_core::{AdaptiveDetector, AdaptiveStep, DataLogger};
 use awsad_linalg::Vector;
 use awsad_reach::{CacheConfig, Deadline, DeadlineCache, DeadlineEstimator};
-use awsad_runtime::{DetectionEngine, EngineConfig, Tick, TickOutcome};
+use awsad_runtime::{DetectionEngine, EngineConfig, RuntimeMetrics, Tick, TickOutcome};
 use awsad_serve::client::Client;
 use awsad_serve::reconnect::{ReconnectingClient, RetryPolicy};
 use awsad_serve::server::ServerConfig;
@@ -87,9 +89,22 @@ fn tick_of(wire: &WireTick) -> Tick {
 /// degrade path must reproduce.
 pub fn direct_steps_with(
     scenario: &Scenario,
+    is_degraded: impl FnMut(usize) -> bool,
+) -> Vec<AdaptiveStep> {
+    let (logger, detector) = scenario.parts();
+    direct_steps_from(scenario, logger, detector, is_degraded)
+}
+
+/// Path 1 over caller-supplied parts: the same record/step walk, but
+/// on a logger/detector pair the caller may have modified (the batch
+/// oracle swaps in a quantized deadline cache to force the engine's
+/// scalar fallback — the reference must run the *same* detector).
+pub fn direct_steps_from(
+    scenario: &Scenario,
+    mut logger: DataLogger,
+    mut detector: AdaptiveDetector,
     mut is_degraded: impl FnMut(usize) -> bool,
 ) -> Vec<AdaptiveStep> {
-    let (mut logger, mut detector): (DataLogger, AdaptiveDetector) = scenario.parts();
     scenario
         .trace
         .iter()
@@ -557,6 +572,132 @@ pub fn check_seven_paths(
         &cluster_steps(scenario)?,
         &direct_steps(scenario),
     )?;
+    Ok(())
+}
+
+/// Seed-derived degraded pattern for the batch-path oracle: which
+/// ticks of a scenario enter via `submit_degraded`. Deterministic in
+/// the scenario seed so the direct reference replays it exactly.
+pub fn batch_degraded(scenario: &Scenario, i: usize) -> bool {
+    (i as u64)
+        .wrapping_add(scenario.seed.seed)
+        .is_multiple_of(7)
+}
+
+/// Which chunk members the batch oracle rebuilds with a *quantized*
+/// deadline cache. Quantized caches are decision-relevant (their
+/// deadlines may be earlier than exact), so the engine refuses to
+/// batch them — these sessions must take the scalar fallback inside
+/// the mega-drain, and their reference stream is recomputed with the
+/// identical quantized detector.
+pub fn batch_forces_fallback(index: usize) -> bool {
+    index % 4 == 3
+}
+
+fn batch_parts(scenario: &Scenario, index: usize) -> (DataLogger, AdaptiveDetector) {
+    let (logger, mut detector) = scenario.parts();
+    if batch_forces_fallback(index) {
+        detector.set_deadline_cache(DeadlineCache::new(CacheConfig::quantized(0.5, 64)));
+    }
+    (logger, detector)
+}
+
+/// Path 8 — cross-session SoA batch stepping: the whole *chunk* of
+/// scenarios shares one engine running with `cross_session_batch`
+/// enabled, one session per scenario. Ticks are submitted
+/// round-robin (position `p` of every scenario before position `p+1`
+/// of any), so the mega-drain's gather keeps finding co-pending ticks
+/// across sessions and steps same-geometry sessions as vectorized
+/// lane groups. Sessions at [`batch_forces_fallback`] indices carry a
+/// quantized deadline cache and must route through the scalar
+/// fallback instead. Returns one step stream per scenario plus the
+/// engine's final metrics so callers can assert both paths actually
+/// ran.
+pub fn batch_engine_steps(
+    scenarios: &[Scenario],
+) -> Result<(Vec<Vec<AdaptiveStep>>, RuntimeMetrics), OracleError> {
+    let engine = DetectionEngine::new(EngineConfig {
+        workers: 1,
+        cross_session_batch: true,
+        drain_batch: 8,
+        ..EngineConfig::default()
+    });
+    let sessions: Vec<_> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let (logger, detector) = batch_parts(s, i);
+            engine.add_session(logger, detector)
+        })
+        .collect();
+    let longest = scenarios.iter().map(|s| s.trace.len()).max().unwrap_or(0);
+    for p in 0..longest {
+        for (scenario, (session, _)) in scenarios.iter().zip(&sessions) {
+            let Some(wire) = scenario.trace.get(p) else {
+                continue;
+            };
+            let result = if batch_degraded(scenario, p) {
+                session.submit_degraded(tick_of(wire))
+            } else {
+                session.submit(tick_of(wire))
+            };
+            result.map_err(|e| OracleError::new(scenario, "batch", format!("submit: {e:?}")))?;
+        }
+    }
+    engine.drain();
+    let mut streams = Vec::with_capacity(scenarios.len());
+    for (scenario, (_, outcomes)) in scenarios.iter().zip(&sessions) {
+        let mut expected = |i: usize| batch_degraded(scenario, i);
+        streams.push(collect_outcomes(
+            scenario,
+            "batch",
+            outcomes,
+            Some(&mut expected),
+        )?);
+    }
+    Ok((streams, engine.metrics()))
+}
+
+/// Runs path 8 over a chunk of scenarios and asserts every session's
+/// stream bit-identical to direct stepping of the *same* detector
+/// (quantized-cache members included), and — via the engine's own
+/// counters — that the vectorized path and, when the chunk is large
+/// enough to contain a fallback member, the scalar fallback both
+/// actually executed.
+pub fn check_batch_path(scenarios: &[Scenario]) -> Result<(), OracleError> {
+    if scenarios.is_empty() {
+        return Ok(());
+    }
+    let (streams, metrics) = batch_engine_steps(scenarios)?;
+    for (i, (scenario, got)) in scenarios.iter().zip(&streams).enumerate() {
+        let (logger, detector) = batch_parts(scenario, i);
+        let reference =
+            direct_steps_from(scenario, logger, detector, |p| batch_degraded(scenario, p));
+        diff_streams(scenario, "batch", got, &reference)?;
+    }
+    let first = &scenarios[0];
+    let any_batched = scenarios
+        .iter()
+        .enumerate()
+        .any(|(i, s)| !batch_forces_fallback(i) && !s.trace.is_empty());
+    if any_batched && metrics.batch_ticks == 0 {
+        return Err(OracleError::new(
+            first,
+            "batch",
+            "no tick took the vectorized path (batch_ticks == 0)",
+        ));
+    }
+    let any_fallback = scenarios
+        .iter()
+        .enumerate()
+        .any(|(i, s)| batch_forces_fallback(i) && !s.trace.is_empty());
+    if any_fallback && metrics.scalar_fallback_ticks == 0 {
+        return Err(OracleError::new(
+            first,
+            "batch",
+            "no quantized-cache session took the scalar fallback (scalar_fallback_ticks == 0)",
+        ));
+    }
     Ok(())
 }
 

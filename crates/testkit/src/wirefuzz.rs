@@ -175,6 +175,9 @@ fn arbitrary_metrics(rng: &mut StdRng) -> WireMetrics {
         sessions_replicated: rng.random_range(0..=u64::MAX),
         failovers: rng.random_range(0..=u64::MAX),
         replication_lag_hwm: rng.random_range(0..=u64::MAX),
+        batch_ticks: rng.random_range(0..=u64::MAX),
+        batch_sessions_hwm: rng.random_range(0..=u64::MAX),
+        scalar_fallback_ticks: rng.random_range(0..=u64::MAX),
     }
 }
 

@@ -27,6 +27,7 @@ fn main() {
         workers: 0, // one per CPU
         queue_capacity: 32,
         backpressure: BackpressurePolicy::Block,
+        ..EngineConfig::default()
     });
     let simulators = Simulator::all();
 
