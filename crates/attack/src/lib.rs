@@ -21,7 +21,11 @@
 //! * [`RandomValueAttack`] — the measurement is *replaced* by draws
 //!   from a box ("arbitrary values" taken literally);
 //! * [`ChainedAttack`] — sequential composition of attacks (e.g. a
-//!   delay masking a concurrent bias).
+//!   delay masking a concurrent bias);
+//! * [`PerSensor`] — a sensor-mask combinator lifting any of the above
+//!   from whole-vector tampering to falsification of a chosen subset
+//!   of output channels (the per-sensor attack model of the
+//!   related-work baselines).
 //!
 //! All attacks implement [`SensorAttack`], which the closed-loop
 //! simulator interposes between the plant's true measurement and the
@@ -51,6 +55,7 @@
 mod bias;
 mod chain;
 mod delay;
+mod per_sensor;
 mod ramp;
 mod random_value;
 mod replay;
@@ -59,6 +64,7 @@ mod window;
 pub use bias::BiasAttack;
 pub use chain::ChainedAttack;
 pub use delay::DelayAttack;
+pub use per_sensor::PerSensor;
 pub use ramp::RampAttack;
 pub use random_value::RandomValueAttack;
 pub use replay::ReplayAttack;

@@ -1,0 +1,241 @@
+use awsad_linalg::Vector;
+
+use crate::SensorAttack;
+
+/// Sensor-mask combinator: applies an inner [`SensorAttack`] to a
+/// chosen **subset of output channels**, leaving every other channel
+/// untouched.
+///
+/// The paper's evaluation (and every attack in this crate) tampers the
+/// whole measurement vector at once; real sensor falsification
+/// compromises *individual sensors*. `PerSensor` lifts any existing
+/// whole-vector attack to that model: the selected channels of `y_t`
+/// are gathered into a compressed vector, the inner attack tampers
+/// that vector (so a stateful inner attack — delay, replay — records
+/// per-selected-channel history in compressed coordinates), and the
+/// tampered values are scattered back into their original positions.
+///
+/// ```
+/// use awsad_attack::{AttackWindow, BiasAttack, PerSensor, SensorAttack};
+/// use awsad_linalg::Vector;
+///
+/// // Bias only sensor 2 of a 3-sensor plant.
+/// let mut atk = PerSensor::new(
+///     vec![2],
+///     BiasAttack::new(AttackWindow::from_step(5), Vector::from_slice(&[1.0])),
+/// )
+/// .unwrap();
+/// let y = Vector::from_slice(&[4.0, 5.0, 6.0]);
+/// assert_eq!(atk.tamper(5, &y).as_slice(), &[4.0, 5.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerSensor<A> {
+    sensors: Vec<usize>,
+    inner: A,
+}
+
+impl<A: SensorAttack> PerSensor<A> {
+    /// Wraps `inner` so it attacks only the output channels listed in
+    /// `sensors` (zero-based indices into the measurement vector).
+    /// The inner attack must be dimensioned for `sensors.len()`
+    /// channels, not the full measurement.
+    ///
+    /// Returns `None` when `sensors` is empty or contains a duplicate
+    /// (a duplicated index would silently drop one of the two
+    /// tampered values on scatter).
+    pub fn new(sensors: Vec<usize>, inner: A) -> Option<Self> {
+        if sensors.is_empty() {
+            return None;
+        }
+        let mut seen = sensors.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        Some(PerSensor { sensors, inner })
+    }
+
+    /// The attacked channel indices, in scatter order.
+    pub fn sensors(&self) -> &[usize] {
+        &self.sensors
+    }
+
+    /// The wrapped attack.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: SensorAttack> SensorAttack for PerSensor<A> {
+    /// # Panics
+    ///
+    /// If a configured sensor index is out of range for `y`, or the
+    /// inner attack returns a vector whose length differs from the
+    /// number of selected sensors.
+    fn tamper(&mut self, t: usize, y: &Vector) -> Vector {
+        let compressed = Vector::from_vec(self.sensors.iter().map(|&s| y[s]).collect::<Vec<f64>>());
+        let tampered = self.inner.tamper(t, &compressed);
+        assert_eq!(
+            tampered.len(),
+            self.sensors.len(),
+            "inner attack must preserve the selected-channel dimension"
+        );
+        let mut out = y.clone();
+        for (k, &s) in self.sensors.iter().enumerate() {
+            out[s] = tampered[k];
+        }
+        out
+    }
+
+    fn is_active(&self, t: usize) -> bool {
+        self.inner.is_active(t)
+    }
+
+    fn onset(&self) -> Option<usize> {
+        self.inner.onset()
+    }
+
+    fn end(&self) -> Option<usize> {
+        self.inner.end()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackWindow, BiasAttack, DelayAttack, NoAttack, ReplayAttack};
+
+    fn y3(a: f64, b: f64, c: f64) -> Vector {
+        Vector::from_slice(&[a, b, c])
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_masks() {
+        assert!(PerSensor::new(vec![], NoAttack).is_none());
+        assert!(PerSensor::new(vec![1, 0, 1], NoAttack).is_none());
+        assert!(PerSensor::new(vec![2, 0], NoAttack).is_some());
+    }
+
+    #[test]
+    fn bias_hits_only_selected_channels() {
+        let mut atk = PerSensor::new(
+            vec![0, 2],
+            BiasAttack::new(
+                AttackWindow::from_step(3),
+                Vector::from_slice(&[10.0, -10.0]),
+            ),
+        )
+        .unwrap();
+        // Before onset: identity.
+        assert_eq!(
+            atk.tamper(2, &y3(1.0, 2.0, 3.0)).as_slice(),
+            &[1.0, 2.0, 3.0]
+        );
+        // Active: channel 1 untouched, 0 and 2 biased.
+        assert_eq!(
+            atk.tamper(3, &y3(1.0, 2.0, 3.0)).as_slice(),
+            &[11.0, 2.0, -7.0]
+        );
+        assert!(atk.is_active(3));
+        assert_eq!(atk.onset(), Some(3));
+    }
+
+    #[test]
+    fn delay_history_is_per_selected_channel() {
+        // Delay channel 1 by 2 steps; channels 0 and 2 stay live.
+        let mut atk =
+            PerSensor::new(vec![1], DelayAttack::new(AttackWindow::from_step(3), 2)).unwrap();
+        for t in 0..3 {
+            let v = t as f64;
+            assert_eq!(
+                atk.tamper(t, &y3(v, 10.0 + v, 20.0 + v)).as_slice(),
+                &[v, 10.0 + v, 20.0 + v]
+            );
+        }
+        // Step 3 delivers channel 1's step-1 value; others current.
+        assert_eq!(
+            atk.tamper(3, &y3(3.0, 13.0, 23.0)).as_slice(),
+            &[3.0, 11.0, 23.0]
+        );
+    }
+
+    #[test]
+    fn replay_scatters_recorded_values() {
+        // Replay channel 2 from a 2-step-early recording window.
+        let mut atk = PerSensor::new(
+            vec![2],
+            ReplayAttack::new(AttackWindow::new(4, Some(2)), 0, 2),
+        )
+        .unwrap();
+        let mut last = Vec::new();
+        for t in 0..6 {
+            let v = t as f64;
+            last = atk.tamper(t, &y3(v, v, 100.0 + v)).as_slice().to_vec();
+        }
+        // Channels 0/1 always live.
+        assert_eq!(last[0], 5.0);
+        assert_eq!(last[1], 5.0);
+        // Channel 2 replays recorded history, not the live 105.0.
+        assert_ne!(last[2], 105.0);
+    }
+
+    #[test]
+    fn reset_propagates_to_inner() {
+        let mut atk =
+            PerSensor::new(vec![0], DelayAttack::new(AttackWindow::from_step(1), 1)).unwrap();
+        atk.tamper(0, &y3(1.0, 0.0, 0.0));
+        atk.reset();
+        // Fresh history: step 0 records anew, step 1 delays to it.
+        assert_eq!(atk.tamper(0, &y3(7.0, 0.0, 0.0))[0], 7.0);
+        assert_eq!(atk.tamper(1, &y3(8.0, 0.0, 0.0))[0], 7.0);
+    }
+
+    #[test]
+    fn metadata_delegates() {
+        let atk = PerSensor::new(
+            vec![1],
+            BiasAttack::new(AttackWindow::new(4, Some(2)), Vector::from_slice(&[1.0])),
+        )
+        .unwrap();
+        assert_eq!(atk.onset(), Some(4));
+        assert_eq!(atk.end(), Some(6));
+        assert_eq!(atk.name(), "bias");
+        assert_eq!(atk.sensors(), &[1]);
+        assert_eq!(atk.inner().bias().len(), 1);
+    }
+
+    /// An inner attack that misbehaves by emitting a fixed-size vector
+    /// regardless of input — the scatter must refuse it.
+    struct WrongSize;
+
+    impl SensorAttack for WrongSize {
+        fn tamper(&mut self, _t: usize, _y: &Vector) -> Vector {
+            Vector::zeros(5)
+        }
+        fn is_active(&self, _t: usize) -> bool {
+            true
+        }
+        fn onset(&self) -> Option<usize> {
+            Some(0)
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> &'static str {
+            "wrong-size"
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selected-channel dimension")]
+    fn wrong_inner_dimension_panics() {
+        let mut atk = PerSensor::new(vec![0], WrongSize).unwrap();
+        atk.tamper(0, &y3(0.0, 0.0, 0.0));
+    }
+}

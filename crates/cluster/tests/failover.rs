@@ -90,6 +90,56 @@ fn killing_the_primary_mid_stream_leaves_the_outcome_bytes_unchanged() {
     }
 }
 
+/// Per-sensor families carry an output map in their spec; the map
+/// travels inside `ReplicateSnapshot` / `RestoreSession` frames, so a
+/// mid-stream failover must reproduce the byte-identical outcome
+/// stream with the spec extension intact on whichever recovery path
+/// (replica promotion or client checkpoint) ends up running.
+#[test]
+fn killing_the_primary_is_invisible_for_output_map_scenarios() {
+    let mut rng = StdRng::seed_from_u64(0x5E02_7E12);
+    for i in 0..6 {
+        let seed = if i % 2 == 0 {
+            SeedSpec::sensor(rng.random_range(0..=u64::MAX)).with_len(64)
+        } else {
+            SeedSpec::severe(rng.random_range(0..=u64::MAX)).with_len(64)
+        };
+        let scenario = Scenario::from_seed(&seed);
+        let spec = scenario
+            .spec
+            .as_ref()
+            .expect("sensor families are wire-capable");
+        assert!(
+            !spec.output_map.is_empty(),
+            "the scenario under test must actually carry an output map"
+        );
+        let reference = direct_outcomes(&scenario);
+
+        let mut cluster = LocalCluster::launch(3, ServerConfig::default()).expect("launch");
+        let mut client = cluster.client();
+        let session = client.open_session(spec).expect("open");
+        let mut outcomes = Vec::new();
+        let cut = scenario.trace.len() / 2;
+        for chunk in scenario.trace[..cut].chunks(8) {
+            outcomes.extend(client.tick_batch(session.key, chunk).expect("pre-kill"));
+        }
+        let primary = client.primary_of(session.key).expect("routed");
+        cluster
+            .shard(primary)
+            .expect("primary is live")
+            .replicator
+            .flush(std::time::Duration::from_secs(5));
+        cluster.kill(primary);
+        for chunk in scenario.trace[cut..].chunks(8) {
+            outcomes.extend(client.tick_batch(session.key, chunk).expect("post-kill"));
+        }
+        assert_eq!(client.failovers(), 1, "exactly one failover (seed {seed})");
+        client.close_session(session.key).expect("close");
+        assert_wire_identical(&seed, outcomes, reference);
+        cluster.shutdown();
+    }
+}
+
 #[test]
 fn failover_without_a_replica_restores_from_the_client_checkpoint() {
     // No flush, tiny trace, kill immediately after the first batch —

@@ -20,8 +20,15 @@ use crate::{DetectError, Result};
 /// # Errors
 ///
 /// Returns [`DetectError::InvalidThreshold`] when the trace is empty,
-/// shorter than the window, dimensionally inconsistent, or when
-/// `target_rate`/`margin` are out of range.
+/// shorter than the window, dimensionally inconsistent, contains a
+/// negative entry, or when `target_rate`/`margin` are out of range.
+///
+/// Residuals are magnitudes (`z_t = |x̃_t − x̄_t|`), so a negative
+/// entry is out of domain — and accepting one would silently break
+/// the calibration guarantee: scaling a *negative* quantile by
+/// `margin ≥ 1` moves the threshold toward zero, making the fixed
+/// detector alarm **more** often than `target_rate` on its own
+/// calibration trace.
 ///
 /// # Example
 ///
@@ -72,6 +79,11 @@ pub fn calibrate_threshold(
     if residuals.iter().any(|r| r.len() != n || !r.is_finite()) {
         return Err(DetectError::InvalidThreshold {
             reason: "residual trace must be dimensionally consistent and finite",
+        });
+    }
+    if residuals.iter().any(|r| r.iter().any(|&x| x < 0.0)) {
+        return Err(DetectError::InvalidThreshold {
+            reason: "residuals are magnitudes and must be non-negative",
         });
     }
 
@@ -182,6 +194,96 @@ mod tests {
             rate >= target - 0.05,
             "rate {rate} far below target {target}"
         );
+    }
+
+    #[test]
+    fn negative_residuals_are_rejected() {
+        // Residuals are magnitudes; a negative entry would make
+        // `tau * margin` (margin ≥ 1) cross toward zero and break the
+        // calibration guarantee, so it is a domain error.
+        let mut trace = constant_trace(0.1, 50);
+        trace[7] = Vector::from_slice(&[-0.1]);
+        assert!(calibrate_threshold(&trace, 5, 0.05, 1.2).is_err());
+        assert!(calibrate_threshold(&trace, 5, 0.0, 1.0).is_err());
+    }
+
+    /// The single-statistic endpoint: a trace exactly one longer than
+    /// the window yields one window statistic, and every target rate
+    /// must select it (idx = 0 at both ends of the clamp).
+    #[test]
+    fn single_statistic_trace_pins_both_endpoints() {
+        let trace = constant_trace(0.2, 6);
+        for target in [0.0, 0.5, 0.999] {
+            let tau = calibrate_threshold(&trace, 5, target, 1.0).unwrap();
+            let expected = 0.2 * 6.0 / 5.0;
+            assert!((tau[0] - expected).abs() < 1e-12, "target {target}");
+        }
+    }
+
+    /// `target_rate = 0` with the maximum duplicated: ties at the top
+    /// of the sorted statistics must still select the maximum value.
+    #[test]
+    fn zero_target_rate_with_tied_maximum() {
+        let mut trace = constant_trace(0.1, 100);
+        trace[30] = Vector::from_slice(&[0.7]);
+        trace[60] = Vector::from_slice(&[0.7]);
+        let tau = calibrate_threshold(&trace, 0, 0.0, 1.0).unwrap();
+        assert!((tau[0] - 0.7).abs() < 1e-12);
+        // No statistic strictly exceeds the calibrated threshold.
+        assert!(trace.iter().all(|r| r[0] <= tau[0]));
+    }
+
+    /// The calibration guarantee, as a seeded property test: for any
+    /// non-negative trace, window, target rate and margin, the fixed
+    /// detector using the calibrated `τ` alarms on **at most**
+    /// `target_rate` of its own calibration-trace statistics.
+    #[test]
+    fn alarm_rate_never_exceeds_target_rate() {
+        // Deterministic xorshift so the trace set is reproducible.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for len in [8usize, 33, 100, 257] {
+            for window in [0usize, 1, 3, 7] {
+                if len <= window {
+                    continue;
+                }
+                let trace: Vec<Vector> = (0..len)
+                    .map(|_| Vector::from_slice(&[next() * 2.0]))
+                    .collect();
+                // The detector's window statistics, computed with the
+                // same running sum the calibration uses (so the
+                // comparison is bit-exact, not merely close).
+                let divisor = window.max(1) as f64;
+                let mut stats = Vec::new();
+                let mut sum = 0.0;
+                for t in 0..len {
+                    sum += trace[t][0];
+                    if t > window {
+                        sum -= trace[t - window - 1][0];
+                    }
+                    if t >= window {
+                        stats.push(sum / divisor);
+                    }
+                }
+                for target in [0.0, 0.01, 0.1, 0.5, 0.9, 0.999] {
+                    for margin in [1.0, 1.25] {
+                        let tau = calibrate_threshold(&trace, window, target, margin).unwrap();
+                        let exceed = stats.iter().filter(|&&s| s > tau[0]).count();
+                        let rate = exceed as f64 / stats.len() as f64;
+                        assert!(
+                            rate <= target,
+                            "len {len} window {window} target {target} margin {margin}: \
+                             alarm rate {rate} exceeds target"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub enum DetectError {
         /// Explanation.
         reason: &'static str,
     },
+    /// A sensor-localization parameter or measurement window was
+    /// invalid.
+    InvalidLocalization {
+        /// Explanation.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -64,6 +70,9 @@ impl fmt::Display for DetectError {
             }
             DetectError::InvalidSnapshot { reason } => {
                 write!(f, "invalid session snapshot: {reason}")
+            }
+            DetectError::InvalidLocalization { reason } => {
+                write!(f, "invalid localization: {reason}")
             }
         }
     }
@@ -100,5 +109,10 @@ mod tests {
         }
         .to_string()
         .contains("contiguous"));
+        assert!(DetectError::InvalidLocalization {
+            reason: "window too short"
+        }
+        .to_string()
+        .contains("window"));
     }
 }

@@ -23,14 +23,20 @@
 //!   unchecked (Fig. 3). When the window grows no extra work is needed
 //!   (Fig. 4).
 //!
-//! Four classical single-stream baselines are included for the
+//! A zoo of classical single-stream baselines is included for the
 //! ablation studies — [`CusumDetector`], [`EwmaDetector`],
 //! [`ChiSquaredDetector`] (covariance-whitened, with
-//! [`estimate_covariance`] as its calibration) and
+//! [`estimate_covariance`] as its calibration),
+//! [`WindowedChiSquaredDetector`] (the windowed variant of
+//! arXiv:1710.02573, tuned by [`tune_windowed_limit`]) and
 //! [`EveryStepDetector`] — plus [`FixedWindowDetector`], the
 //! comparison arm used throughout the paper's evaluation (Table 2,
 //! Figs. 6 and 8). [`calibrate_threshold`] performs the offline
 //! profiling that produces a Table 1-style `τ` from a benign trace.
+//! Beyond alarm-only detection, [`SensorLocalizer`] implements the
+//! greedy l0-style secure-state-estimation localizer of the related
+//! work (arXiv:1412.4324), reporting *which* sensors are suspected of
+//! lying.
 //!
 //! # Window-size convention
 //!
@@ -88,10 +94,12 @@ mod chi_squared;
 mod config;
 mod error;
 mod ewma;
+mod localize;
 mod logger;
 mod report;
 mod snapshot;
 mod window;
+mod windowed_chi;
 
 pub use adaptive::{AdaptiveDetector, AdaptiveStep};
 pub use alarm::{AlarmFilter, AlarmPolicy};
@@ -102,10 +110,12 @@ pub use chi_squared::{estimate_covariance, ChiSquaredDetector};
 pub use config::DetectorConfig;
 pub use error::DetectError;
 pub use ewma::EwmaDetector;
+pub use localize::{LocalizationReport, SensorLocalizer};
 pub use logger::{DataLogger, LogEntry, RetentionState};
 pub use report::DetectionReport;
 pub use snapshot::{DetectorSnapshot, LoggerSnapshot};
 pub use window::{FixedWindowDetector, WindowDetector};
+pub use windowed_chi::{tune_windowed_limit, WindowedChiSquaredDetector};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DetectError>;

@@ -1,0 +1,405 @@
+use std::collections::VecDeque;
+
+use awsad_linalg::{Lu, Matrix, Vector};
+
+use crate::{DetectError, ResidualDetector, Result};
+
+/// Windowed chi-squared detector: alarms when the **sum** of the last
+/// `window` Mahalanobis statistics exceeds a limit.
+///
+/// Where [`crate::ChiSquaredDetector`] thresholds each per-step
+/// statistic `g_t = z_tᵀ Σ⁻¹ z_t` in isolation, this detector follows
+/// the windowed variant of Tunga, Murguia & Ruths ("Tuning windowed
+/// chi-squared detectors for sensor attacks", arXiv:1710.02573):
+///
+/// ```text
+/// S_t = Σ_{i = t − ℓ + 1}^{t} z_iᵀ Σ⁻¹ z_i,   alarm ⟺ S_t > α
+/// ```
+///
+/// Under benign Gaussian residuals, `S_t` is χ²-distributed with
+/// `ℓ · n` degrees of freedom, so a window of `ℓ` steps trades
+/// per-step sensitivity for robustness to isolated noise spikes — the
+/// same window/false-alarm trade-off the adaptive detector navigates
+/// at run time, here fixed offline. [`tune_windowed_limit`] implements
+/// the paper's tuning procedure empirically: pick `α` so the detector
+/// alarms on roughly `target_rate` of a benign calibration trace.
+///
+/// # Window convention
+///
+/// The window covers exactly the last `ℓ` observed statistics (not the
+/// adaptive detector's `w + 1`-sample span). During warm-up, while
+/// fewer than `ℓ` statistics exist, the sum runs over what has been
+/// observed — the partial sum is a lower bound on the full-window sum,
+/// so warm-up can only *under*-alarm.
+///
+/// # Example
+///
+/// ```
+/// use awsad_core::{estimate_covariance, ResidualDetector, WindowedChiSquaredDetector};
+/// use awsad_linalg::Vector;
+///
+/// let benign: Vec<Vector> = (0..100)
+///     .map(|t| Vector::from_slice(&[0.01 * ((t % 7) as f64 - 3.0)]))
+///     .collect();
+/// let cov = estimate_covariance(&benign).unwrap();
+/// // Window of 4: one outlier among small residuals is absorbed...
+/// let mut det = WindowedChiSquaredDetector::new(cov, 4, 30.0).unwrap();
+/// assert!(!det.observe(0, &Vector::from_slice(&[0.05])));
+/// // ...but a persistent shift accumulates past the limit.
+/// assert!((1..5).map(|t| det.observe(t, &Vector::from_slice(&[0.06]))).any(|a| a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedChiSquaredDetector {
+    precision: Matrix,
+    window: usize,
+    limit: f64,
+    history: VecDeque<f64>,
+    sum: f64,
+}
+
+impl WindowedChiSquaredDetector {
+    /// Creates the detector from a residual covariance `Σ`, a window
+    /// length `ℓ ≥ 1` (in steps), and the statistic limit `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidCusumParameter`] (shared with the
+    /// other single-stream baselines) when `Σ` is not square/finite or
+    /// is singular, when the window is zero, or when the limit is not
+    /// positive and finite.
+    pub fn new(covariance: Matrix, window: usize, limit: f64) -> Result<Self> {
+        if !covariance.is_square() || !covariance.is_finite() {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "covariance must be square and finite",
+            });
+        }
+        if window == 0 {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "chi-squared window must be at least one step",
+            });
+        }
+        if !(limit.is_finite() && limit > 0.0) {
+            return Err(DetectError::InvalidCusumParameter {
+                reason: "chi-squared limit must be positive and finite",
+            });
+        }
+        let precision = Lu::new(&covariance)
+            .and_then(|lu| lu.inverse())
+            .map_err(|_| DetectError::InvalidCusumParameter {
+                reason: "covariance is singular; regularize it (add jitter to the diagonal)",
+            })?;
+        Ok(WindowedChiSquaredDetector {
+            precision,
+            window,
+            limit,
+            history: VecDeque::with_capacity(window),
+            sum: 0.0,
+        })
+    }
+
+    /// The window length `ℓ` in steps.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The statistic limit `α`.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+
+    /// The current windowed statistic `S_t` (sum of the buffered
+    /// per-step statistics).
+    pub fn statistic(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl ResidualDetector for WindowedChiSquaredDetector {
+    fn observe(&mut self, _t: usize, residual: &Vector) -> bool {
+        assert_eq!(
+            residual.len(),
+            self.precision.rows(),
+            "residual dimension must match the covariance"
+        );
+        let whitened = self
+            .precision
+            .checked_mul_vec(residual)
+            .expect("shape validated at construction");
+        let g = residual.dot(&whitened);
+        // Add the new statistic before expiring the old one — the same
+        // floating-point order as `tune_windowed_limit`, so a limit
+        // tuned at `target_rate = 0` is bit-exactly non-alarming on
+        // its own calibration trace.
+        self.history.push_back(g);
+        self.sum += g;
+        if self.history.len() > self.window {
+            let expired = self.history.pop_front().expect("window is non-empty");
+            self.sum -= expired;
+        }
+        // Fail safe on non-finite data, as the per-step detector does.
+        !self.sum.is_finite() || self.sum > self.limit
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.sum = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "windowed-chi-squared"
+    }
+}
+
+/// Tunes the windowed chi-squared limit `α` from a benign residual
+/// trace — the empirical counterpart of the tuning procedure of
+/// arXiv:1710.02573, which selects `α` so that the detector's false
+/// alarm rate matches a budget.
+///
+/// The trace is whitened with `Σ⁻¹`, the windowed sums `S_t` the
+/// detector would have computed are collected (full windows only), and
+/// the returned limit is the empirical `(1 − target_rate)`-quantile of
+/// those sums scaled by `margin` — the same quantile arithmetic as
+/// [`crate::calibrate_threshold`], so `target_rate = 0` selects the
+/// trace maximum and the detector is guaranteed to alarm on at most
+/// `target_rate` of its own calibration trace.
+///
+/// # Errors
+///
+/// Returns [`DetectError::InvalidThreshold`] when the trace is shorter
+/// than the window, dimensionally inconsistent with the covariance, or
+/// non-finite; when `target_rate ∉ [0, 1)` or `margin < 1`; or when
+/// the covariance is singular (via
+/// [`DetectError::InvalidCusumParameter`]).
+///
+/// # Example
+///
+/// ```
+/// use awsad_core::{estimate_covariance, tune_windowed_limit, WindowedChiSquaredDetector};
+/// use awsad_linalg::Vector;
+///
+/// let benign: Vec<Vector> = (0..200)
+///     .map(|t| Vector::from_slice(&[0.1 * ((t as f64) * 1.3).sin()]))
+///     .collect();
+/// let cov = estimate_covariance(&benign).unwrap();
+/// let alpha = tune_windowed_limit(&benign, &cov, 5, 0.02, 1.1).unwrap();
+/// let det = WindowedChiSquaredDetector::new(cov, 5, alpha).unwrap();
+/// assert!(det.limit() > 0.0);
+/// ```
+pub fn tune_windowed_limit(
+    residuals: &[Vector],
+    covariance: &Matrix,
+    window: usize,
+    target_rate: f64,
+    margin: f64,
+) -> Result<f64> {
+    if window == 0 {
+        return Err(DetectError::InvalidThreshold {
+            reason: "chi-squared window must be at least one step",
+        });
+    }
+    if residuals.len() < window {
+        return Err(DetectError::InvalidThreshold {
+            reason: "residual trace must be at least one window long",
+        });
+    }
+    if !(0.0..1.0).contains(&target_rate) {
+        return Err(DetectError::InvalidThreshold {
+            reason: "target rate must be in [0, 1)",
+        });
+    }
+    if !(margin.is_finite() && margin >= 1.0) {
+        return Err(DetectError::InvalidThreshold {
+            reason: "margin must be finite and at least 1",
+        });
+    }
+    let n = covariance.rows();
+    if residuals.iter().any(|r| r.len() != n || !r.is_finite()) {
+        return Err(DetectError::InvalidThreshold {
+            reason: "residual trace must match the covariance dimension and be finite",
+        });
+    }
+    let precision = Lu::new(covariance)
+        .and_then(|lu| lu.inverse())
+        .map_err(|_| DetectError::InvalidCusumParameter {
+            reason: "covariance is singular; regularize it (add jitter to the diagonal)",
+        })?;
+
+    // Per-step Mahalanobis statistics, then windowed sums via a
+    // running sum — the detector's own arithmetic.
+    let steps: Vec<f64> = residuals
+        .iter()
+        .map(|r| {
+            let whitened = precision
+                .checked_mul_vec(r)
+                .expect("dimension validated above");
+            r.dot(&whitened)
+        })
+        .collect();
+    let mut sums: Vec<f64> = Vec::with_capacity(steps.len() - window + 1);
+    let mut sum = 0.0;
+    for (t, &g) in steps.iter().enumerate() {
+        sum += g;
+        if t >= window {
+            sum -= steps[t - window];
+        }
+        if t + 1 >= window {
+            sums.push(sum);
+        }
+    }
+    if !sums.iter().all(|s| s.is_finite()) {
+        return Err(DetectError::InvalidThreshold {
+            reason: "windowed statistics overflowed; rescale the residual trace",
+        });
+    }
+    sums.sort_by(|a, b| a.partial_cmp(b).expect("finite sums"));
+    let idx =
+        (((sums.len() as f64) * (1.0 - target_rate)).ceil() as usize).clamp(1, sums.len()) - 1;
+    Ok(sums[idx] * margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_cov(entries: &[f64]) -> Matrix {
+        Matrix::diagonal(entries)
+    }
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WindowedChiSquaredDetector::new(Matrix::zeros(2, 3), 4, 9.0).is_err());
+        assert!(WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 0, 9.0).is_err());
+        assert!(WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 4, 0.0).is_err());
+        assert!(WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 4, f64::NAN).is_err());
+        assert!(WindowedChiSquaredDetector::new(diag_cov(&[1.0, 0.0]), 4, 9.0).is_err());
+        assert!(WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 4, 9.0).is_ok());
+    }
+
+    #[test]
+    fn windowed_sum_matches_hand_computation() {
+        // Σ = 1 so g_t = z_t²; window 3.
+        let mut det = WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 3, 100.0).unwrap();
+        det.observe(0, &v(1.0));
+        det.observe(1, &v(2.0));
+        det.observe(2, &v(3.0));
+        assert!((det.statistic() - (1.0 + 4.0 + 9.0)).abs() < 1e-12);
+        // Window slides: 1.0 expires, 4.0 enters.
+        det.observe(3, &v(2.0));
+        assert!((det.statistic() - (4.0 + 9.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorbs_isolated_spike_but_catches_persistent_shift() {
+        // Per-step detector with the same per-step budget would fire
+        // on the lone spike; the windowed sum does not.
+        let mut det = WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 4, 12.0).unwrap();
+        for t in 0..10 {
+            assert!(!det.observe(t, &v(0.1)));
+        }
+        assert!(!det.observe(10, &v(3.0))); // g = 9, S ≈ 9.03 < 12
+        for t in 11..14 {
+            det.observe(t, &v(0.1));
+        }
+        // Persistent 2.0-shift: g = 4 per step, S reaches 16 > 12.
+        let mut fired = false;
+        for t in 14..20 {
+            fired |= det.observe(t, &v(2.0));
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn warm_up_only_under_alarms() {
+        let mut early = WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 8, 5.0).unwrap();
+        // A first-step statistic below the limit does not alarm (the
+        // sum runs over one sample, not eight)...
+        assert!(!early.observe(0, &v(2.0))); // g = 4 ≤ 5
+                                             // ...and the partial sum still accumulates during warm-up.
+        assert!(early.observe(1, &v(2.0))); // S = 8 > 5
+    }
+
+    #[test]
+    fn fail_safe_on_non_finite() {
+        let mut det = WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 4, 9.0).unwrap();
+        assert!(det.observe(0, &v(f64::NAN)));
+    }
+
+    #[test]
+    fn reset_clears_window() {
+        let mut det = WindowedChiSquaredDetector::new(diag_cov(&[1.0]), 2, 9.0).unwrap();
+        det.observe(0, &v(2.0));
+        assert!(det.statistic() > 0.0);
+        det.reset();
+        assert_eq!(det.statistic(), 0.0);
+        assert_eq!(det.name(), "windowed-chi-squared");
+        assert_eq!(det.window(), 2);
+    }
+
+    #[test]
+    fn tuning_validation() {
+        let trace: Vec<Vector> = (0..20).map(|_| v(0.1)).collect();
+        let cov = diag_cov(&[1.0]);
+        assert!(tune_windowed_limit(&trace, &cov, 0, 0.05, 1.0).is_err());
+        assert!(tune_windowed_limit(&trace[..3], &cov, 4, 0.05, 1.0).is_err());
+        assert!(tune_windowed_limit(&trace, &cov, 4, 1.0, 1.0).is_err());
+        assert!(tune_windowed_limit(&trace, &cov, 4, 0.05, 0.5).is_err());
+        assert!(tune_windowed_limit(&trace, &diag_cov(&[1.0, 1.0]), 4, 0.05, 1.0).is_err());
+        assert!(tune_windowed_limit(&trace, &diag_cov(&[0.0]), 4, 0.05, 1.0).is_err());
+        assert!(tune_windowed_limit(&trace, &cov, 4, 0.05, 1.0).is_ok());
+    }
+
+    #[test]
+    fn zero_target_rate_never_alarms_on_calibration_trace() {
+        // The tuned detector at target_rate = 0 must not alarm on the
+        // very trace it was tuned from.
+        let trace: Vec<Vector> = (0..200)
+            .map(|t| v(0.2 * ((t as f64) * 1.37).sin()))
+            .collect();
+        let cov = crate::estimate_covariance(&trace).unwrap();
+        let window = 5;
+        let alpha = tune_windowed_limit(&trace, &cov, window, 0.0, 1.0).unwrap();
+        let mut det = WindowedChiSquaredDetector::new(cov, window, alpha).unwrap();
+        for (t, r) in trace.iter().enumerate() {
+            assert!(!det.observe(t, r), "alarm at step {t}");
+        }
+    }
+
+    #[test]
+    fn tuned_alarm_rate_stays_at_or_below_target() {
+        let trace: Vec<Vector> = (0..500)
+            .map(|t| v(0.1 + 0.3 * ((t as f64) * 0.73).sin().abs()))
+            .collect();
+        let cov = crate::estimate_covariance(&trace).unwrap();
+        let window = 4;
+        let target = 0.05;
+        let alpha = tune_windowed_limit(&trace, &cov, window, target, 1.0).unwrap();
+        let mut det = WindowedChiSquaredDetector::new(cov, window, alpha).unwrap();
+        let mut alarms = 0usize;
+        let mut total = 0usize;
+        for (t, r) in trace.iter().enumerate() {
+            let fired = det.observe(t, r);
+            if t + 1 >= window {
+                // Count only full-window steps, matching the tuner.
+                total += 1;
+                if fired {
+                    alarms += 1;
+                }
+            }
+        }
+        let rate = alarms as f64 / total as f64;
+        assert!(rate <= target, "rate {rate} exceeds target {target}");
+    }
+
+    #[test]
+    fn margin_scales_the_limit() {
+        let trace: Vec<Vector> = (0..50).map(|t| v(0.1 * (t % 3) as f64)).collect();
+        let cov = diag_cov(&[0.01]);
+        let base = tune_windowed_limit(&trace, &cov, 4, 0.1, 1.0).unwrap();
+        let padded = tune_windowed_limit(&trace, &cov, 4, 0.1, 1.5).unwrap();
+        assert!((padded - 1.5 * base).abs() < 1e-12);
+    }
+}

@@ -1,6 +1,7 @@
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, Weak};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 use std::time::Instant;
 
 use awsad_core::{
@@ -143,6 +144,23 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Locks a mutex, recovering the guard when the lock is poisoned.
+///
+/// Every engine mutex guards state the panic-containment path leaves
+/// consistent on purpose (a panicking session is failed and cleared
+/// before anything observes it half-stepped), so poisoning carries no
+/// information here — propagating it is what used to turn one
+/// session's panic into an engine-wide panic cascade, where every
+/// later `submit`/`drain`/`close` died on `.expect("lock")`.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Condvar wait with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cond.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
 struct QueuedTick {
     seq: u64,
     degraded: bool,
@@ -185,6 +203,13 @@ struct SessionSlot {
     /// mode off, or a quantized deadline cache whose miss semantics
     /// the batched walk cannot reproduce).
     batch_key: Option<u64>,
+    /// Set when a panic escaped this session's detector or logger
+    /// (e.g. a wrong-dimension tick tripping [`DataLogger::record`]'s
+    /// assert). A failed session is closed, its queued ticks are
+    /// dropped (with the pending count refunded) and it is never
+    /// stepped again — the failure is contained to this session
+    /// instead of poisoning the engine's locks.
+    failed: AtomicBool,
 }
 
 impl Drop for SessionSlot {
@@ -195,16 +220,17 @@ impl Drop for SessionSlot {
         // the pending count so `DetectionEngine::drain` still
         // terminates (the ticks are gone; their outcomes channel died
         // with the handle anyway).
-        let leftover = match self.inbox.get_mut() {
-            Ok(inbox) => inbox.ticks.len() as u64,
-            Err(_) => 0,
-        };
+        let leftover = self
+            .inbox
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ticks
+            .len() as u64;
         if leftover > 0 {
-            if let Ok(mut pending) = self.engine.pending.lock() {
-                *pending = pending.saturating_sub(leftover);
-                if *pending == 0 {
-                    self.engine.idle.notify_all();
-                }
+            let mut pending = lock_recover(&self.engine.pending);
+            *pending = pending.saturating_sub(leftover);
+            if *pending == 0 {
+                self.engine.idle.notify_all();
             }
         }
     }
@@ -402,7 +428,7 @@ impl DetectionEngine {
         generation: u64,
     ) -> (SessionHandle, mpsc::Receiver<TickOutcome>) {
         let id = {
-            let mut next = self.shared.next_id.lock().expect("id lock");
+            let mut next = lock_recover(&self.shared.next_id);
             let id = SessionId(*next);
             *next += 1;
             id
@@ -430,13 +456,10 @@ impl DetectionEngine {
                 outcomes: tx,
             }),
             batch_key,
+            failed: AtomicBool::new(false),
         });
         if self.shared.config.cross_session_batch {
-            self.shared
-                .sessions
-                .lock()
-                .expect("registry lock")
-                .push(Arc::downgrade(&slot));
+            lock_recover(&self.shared.sessions).push(Arc::downgrade(&slot));
         }
         self.shared
             .metrics
@@ -489,9 +512,9 @@ impl DetectionEngine {
 
     /// Blocks until every tick submitted so far has been processed.
     pub fn drain(&self) {
-        let mut pending = self.shared.pending.lock().expect("pending lock");
+        let mut pending = lock_recover(&self.shared.pending);
         while *pending > 0 {
-            pending = self.shared.idle.wait(pending).expect("pending lock");
+            pending = wait_recover(&self.shared.idle, pending);
         }
     }
 }
@@ -535,7 +558,7 @@ impl SessionHandle {
     pub fn submit(&self, tick: Tick) -> Result<(), SubmitError> {
         let engine = &self.slot.engine;
         let capacity = engine.config.queue_capacity;
-        let mut inbox = self.slot.inbox.lock().expect("inbox lock");
+        let mut inbox = lock_recover(&self.slot.inbox);
         if inbox.closed {
             return Err(SubmitError::SessionClosed);
         }
@@ -543,7 +566,7 @@ impl SessionHandle {
         match engine.config.backpressure {
             BackpressurePolicy::Block => {
                 while inbox.ticks.len() >= capacity {
-                    inbox = self.slot.space.wait(inbox).expect("inbox lock");
+                    inbox = wait_recover(&self.slot.space, inbox);
                     if inbox.closed {
                         return Err(SubmitError::SessionClosed);
                     }
@@ -559,7 +582,7 @@ impl SessionHandle {
         // to a running drain (which decrements after processing), so
         // this happens under the inbox lock, ahead of the push.
         {
-            let mut pending = engine.pending.lock().expect("pending lock");
+            let mut pending = lock_recover(&engine.pending);
             *pending += 1;
             engine
                 .metrics
@@ -595,14 +618,14 @@ impl SessionHandle {
     /// [`SubmitError::SessionClosed`] after [`SessionHandle::close`].
     pub fn submit_degraded(&self, tick: Tick) -> Result<(), SubmitError> {
         let engine = &self.slot.engine;
-        let mut inbox = self.slot.inbox.lock().expect("inbox lock");
+        let mut inbox = lock_recover(&self.slot.inbox);
         if inbox.closed {
             return Err(SubmitError::SessionClosed);
         }
         let seq = inbox.next_seq;
         inbox.next_seq += 1;
         {
-            let mut pending = engine.pending.lock().expect("pending lock");
+            let mut pending = lock_recover(&engine.pending);
             *pending += 1;
             engine
                 .metrics
@@ -632,7 +655,7 @@ impl SessionHandle {
         let engine = &self.slot.engine;
         if engine.config.cross_session_batch {
             drop(inbox);
-            let mut scheduled = engine.batch_scheduled.lock().expect("batch lock");
+            let mut scheduled = lock_recover(&engine.batch_scheduled);
             if !*scheduled {
                 *scheduled = true;
                 let shared = Arc::clone(engine);
@@ -654,7 +677,7 @@ impl SessionHandle {
     /// Closes the session: further submits fail, queued ticks still
     /// drain. Idempotent.
     pub fn close(&self) {
-        let mut inbox = self.slot.inbox.lock().expect("inbox lock");
+        let mut inbox = lock_recover(&self.slot.inbox);
         if !inbox.closed {
             inbox.closed = true;
             self.slot
@@ -679,16 +702,16 @@ impl SessionHandle {
     /// the other — callers wanting a deterministic cut should simply
     /// not submit while snapshotting.
     pub fn snapshot(&self) -> SessionSnapshot {
-        let mut inbox = self.slot.inbox.lock().expect("inbox lock");
+        let mut inbox = lock_recover(&self.slot.inbox);
         while !inbox.ticks.is_empty() || inbox.scheduled {
-            inbox = self.slot.space.wait(inbox).expect("inbox lock");
+            inbox = wait_recover(&self.slot.space, inbox);
         }
         // No drain can be running (scheduled is false) and none can
         // start (that requires the inbox lock we hold), so the state
         // lock is immediately available and the lock order here
         // (inbox → state) cannot deadlock against drain_session's
         // state → inbox.
-        let state = self.slot.state.lock().expect("state lock");
+        let state = lock_recover(&self.slot.state);
         inbox.generation += 1;
         SessionSnapshot {
             state: state.detector.snapshot(&state.logger),
@@ -702,10 +725,7 @@ impl SessionHandle {
     ///
     /// Briefly locks the session state; prefer calling between bursts.
     pub fn deadline_cache_stats(&self) -> Option<CacheStats> {
-        self.slot
-            .state
-            .lock()
-            .expect("state lock")
+        lock_recover(&self.slot.state)
             .detector
             .deadline_cache_stats()
     }
@@ -752,10 +772,10 @@ fn drain_session(slot: &SessionSlot) {
     let drain_batch = slot.engine.config.drain_batch;
     let mut batch: Vec<QueuedTick> = Vec::with_capacity(drain_batch);
     loop {
-        let mut state = slot.state.lock().expect("state lock");
+        let mut state = lock_recover(&slot.state);
         batch.clear();
         {
-            let mut inbox = slot.inbox.lock().expect("inbox lock");
+            let mut inbox = lock_recover(&slot.inbox);
             while batch.len() < drain_batch {
                 match inbox.ticks.pop_front() {
                     Some(t) => batch.push(t),
@@ -779,7 +799,7 @@ fn drain_session(slot: &SessionSlot) {
         let processed = process_batch_scalar(slot, &mut state, &mut batch).0;
         drop(state);
 
-        let mut pending = engine.pending.lock().expect("pending lock");
+        let mut pending = lock_recover(&engine.pending);
         *pending -= processed;
         if *pending == 0 {
             engine.idle.notify_all();
@@ -842,13 +862,31 @@ fn process_batch_scalar(
     let mut alarms = 0u64;
     let mut alloc_free = 0u64;
     for queued in batch.drain(..) {
+        // A session that panicked earlier in this very batch is
+        // failed: its remaining ticks are consumed without stepping
+        // (they still count as processed for the pending count).
+        if slot.failed.load(Ordering::Relaxed) {
+            continue;
+        }
         let t0 = Instant::now();
-        logger.record(queued.tick.estimate, queued.tick.input);
-        let t1 = Instant::now();
-        let step = if queued.degraded {
-            detector.step_degraded(logger)
-        } else {
-            detector.step(logger)
+        // Contain a panicking step to this session: the logger assert
+        // on a wrong-dimension tick (or any panic inside the detector)
+        // must not unwind through the drain — that would poison the
+        // engine's locks and cascade the panic into every other
+        // session's submit. Catch it, fail this session, move on.
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            logger.record(queued.tick.estimate, queued.tick.input);
+            let t1 = Instant::now();
+            let step = if queued.degraded {
+                detector.step_degraded(logger)
+            } else {
+                detector.step(logger)
+            };
+            (step, t1)
+        }));
+        let Ok((step, t1)) = stepped else {
+            fail_session(slot);
+            continue;
         };
         let t2 = Instant::now();
 
@@ -897,6 +935,37 @@ fn process_batch_scalar(
     (processed, degraded_ticks)
 }
 
+/// Fails one session after a panic escaped its logger/detector step:
+/// marks it failed and closed (further submits error with
+/// [`SubmitError::SessionClosed`]), drops its queued ticks with the
+/// pending count refunded so [`DetectionEngine::drain`] still
+/// terminates, and wakes blocked producers and snapshot takers. The
+/// session's outcome stream simply ends; every other session keeps
+/// running — this is the containment that replaces the old
+/// lock-poisoning panic cascade.
+fn fail_session(slot: &SessionSlot) {
+    slot.failed.store(true, Ordering::Relaxed);
+    let mut inbox = lock_recover(&slot.inbox);
+    let dropped = inbox.ticks.len() as u64;
+    inbox.ticks.clear();
+    if !inbox.closed {
+        inbox.closed = true;
+        slot.engine
+            .metrics
+            .sessions_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+    drop(inbox);
+    slot.space.notify_all();
+    if dropped > 0 {
+        let mut pending = lock_recover(&slot.engine.pending);
+        *pending = pending.saturating_sub(dropped);
+        if *pending == 0 {
+            slot.engine.idle.notify_all();
+        }
+    }
+}
+
 /// Countdown used by the mega-drain to wait for the group tasks it
 /// scattered onto spare pool workers.
 struct GroupLatch {
@@ -925,14 +994,14 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
     loop {
         // Gather: claim a tick batch from every session with work.
         let slots: Vec<Arc<SessionSlot>> = {
-            let mut registry = shared.sessions.lock().expect("registry lock");
+            let mut registry = lock_recover(&shared.sessions);
             registry.retain(|weak| weak.strong_count() > 0);
             registry.iter().filter_map(Weak::upgrade).collect()
         };
         let mut gathered: Vec<(Arc<SessionSlot>, Vec<QueuedTick>)> = Vec::new();
         let mut round_ticks = 0u64;
         for slot in slots {
-            let mut inbox = slot.inbox.lock().expect("inbox lock");
+            let mut inbox = lock_recover(&slot.inbox);
             if inbox.scheduled || inbox.ticks.is_empty() {
                 continue;
             }
@@ -958,8 +1027,8 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
             // still set (we saw its pending rise and loop again), or
             // we retired first and its schedule attempt starts a fresh
             // drain.
-            let mut scheduled = shared.batch_scheduled.lock().expect("batch lock");
-            let pending = shared.pending.lock().expect("pending lock");
+            let mut scheduled = lock_recover(&shared.batch_scheduled);
+            let pending = lock_recover(&shared.pending);
             if *pending == 0 {
                 *scheduled = false;
                 return;
@@ -1004,7 +1073,7 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
                 pool.execute(move || {
                     let mut plan = BatchPlan::new();
                     process_group(&shared2, &mut plan, &mut group);
-                    let mut remaining = latch2.remaining.lock().expect("latch lock");
+                    let mut remaining = lock_recover(&latch2.remaining);
                     *remaining -= 1;
                     if *remaining == 0 {
                         latch2.done.notify_all();
@@ -1012,9 +1081,9 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
                 });
             }
             process_group(shared, &mut plan, &mut first);
-            let mut remaining = latch.remaining.lock().expect("latch lock");
+            let mut remaining = lock_recover(&latch.remaining);
             while *remaining > 0 {
-                remaining = latch.done.wait(remaining).expect("latch lock");
+                remaining = wait_recover(&latch.done, remaining);
             }
         } else {
             for mut group in groups {
@@ -1022,7 +1091,7 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
             }
         }
 
-        let mut pending = shared.pending.lock().expect("pending lock");
+        let mut pending = lock_recover(&shared.pending);
         *pending -= round_ticks;
         if *pending == 0 {
             shared.idle.notify_all();
@@ -1040,7 +1109,7 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
 /// Releases a mega-drain claim on one session: the batch-mode
 /// counterpart of a per-session drain's empty-pop transition.
 fn finish_slot(slot: &SessionSlot) {
-    let mut inbox = slot.inbox.lock().expect("inbox lock");
+    let mut inbox = lock_recover(&slot.inbox);
     inbox.scheduled = false;
     drop(inbox);
     // Snapshot takers and blocked producers re-check their conditions.
@@ -1057,7 +1126,7 @@ fn process_group(
 ) {
     if group[0].0.batch_key.is_none() {
         for (slot, batch) in group.iter_mut() {
-            let mut state = slot.state.lock().expect("state lock");
+            let mut state = lock_recover(&slot.state);
             let (processed, degraded) = process_batch_scalar(slot, &mut state, batch);
             drop(state);
             shared
@@ -1092,10 +1161,7 @@ fn process_group_vectorized(
     slots: &[Arc<SessionSlot>],
     batches: &mut [Vec<QueuedTick>],
 ) {
-    let mut guards: Vec<_> = slots
-        .iter()
-        .map(|slot| slot.state.lock().expect("state lock"))
-        .collect();
+    let mut guards: Vec<_> = slots.iter().map(|slot| lock_recover(&slot.state)).collect();
     let mut cursors = vec![0usize; slots.len()];
     let mut processed = 0u64;
     let mut degraded_ticks = 0u64;
@@ -1114,31 +1180,50 @@ fn process_group_vectorized(
                 continue;
             };
             cursors[k] += 1;
-            recorded += 1;
             let estimate = std::mem::replace(&mut queued.tick.estimate, Vector::zeros(0));
             let input = std::mem::replace(&mut queued.tick.input, Vector::zeros(0));
+            let degraded = queued.degraded;
+            let seq = queued.seq;
             let state: &mut SessionState = &mut *guard;
-            state.logger.record(estimate, input);
-            if queued.degraded {
-                let step = state.detector.step_degraded(&state.logger);
+            // Same containment as the scalar path: a panic in this
+            // lane's record (or degraded step) fails only this
+            // session; the rest of the group keeps batching.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                state.logger.record(estimate, input);
+                degraded.then(|| state.detector.step_degraded(&state.logger))
+            }));
+            let Ok(degraded_step) = outcome else {
+                // Consume the failed session's remaining gathered
+                // ticks without stepping (the caller's pending-count
+                // decrement already covers them).
+                processed += (batches[k].len() - cursors[k] + 1) as u64;
+                cursors[k] = batches[k].len();
+                fail_session(&slots[k]);
+                continue;
+            };
+            recorded += 1;
+            if let Some(step) = degraded_step {
                 degraded_ticks += 1;
                 if step.alarm() {
                     alarms += 1;
                 }
                 let _ = state.outcomes.send(TickOutcome {
                     session: slots[k].id,
-                    seq: queued.seq,
+                    seq,
                     degraded: true,
                     step,
                 });
             } else {
-                lane_meta.push((k, queued.seq));
+                lane_meta.push((k, seq));
                 lanes.push(BatchLane {
                     logger: &state.logger,
                     detector: &mut state.detector,
                 });
             }
         }
+        // recorded == 0 means every session is either exhausted or
+        // was failed above (which consumes its remaining ticks), so
+        // the group is done.
         if recorded == 0 {
             break;
         }
@@ -1965,5 +2050,117 @@ mod tests {
         assert_eq!(session.submit(tick(0.0)), Err(SubmitError::SessionClosed));
         engine.drain();
         assert_eq!(outcomes.try_iter().count(), 5);
+    }
+
+    /// A tick whose estimate dimension does not match the 1-dim plant:
+    /// `DataLogger::record` panics on it inside the drain worker.
+    fn poison_tick() -> Tick {
+        Tick {
+            estimate: Vector::from_slice(&[0.0, 0.0]),
+            input: Vector::from_slice(&[0.0]),
+        }
+    }
+
+    /// Regression: a panic inside one session's step (here the
+    /// logger's dimension assert) used to poison the engine's mutexes,
+    /// turning every later submit on *any* session into a panic
+    /// cascade. Now it fails only the offending session: its stream
+    /// ends and further submits see `SessionClosed`, while unrelated
+    /// sessions — including ones opened afterwards — keep processing,
+    /// and `drain` still terminates.
+    #[test]
+    fn panicking_session_is_contained_scalar() {
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let (logger_a, det_a) = parts(1e6, 5);
+        let (session_a, outcomes_a) = engine.add_session(logger_a, det_a);
+        let (logger_b, det_b) = parts(1e6, 5);
+        let (session_b, outcomes_b) = engine.add_session(logger_b, det_b);
+
+        // Two good ticks, the poison tick, then two more queued behind
+        // it that must be dropped, not stepped.
+        for _ in 0..2 {
+            session_a.submit(tick(0.1)).unwrap();
+        }
+        session_a.submit(poison_tick()).unwrap();
+        // The drain worker races these two submits: they either queue
+        // behind the poison tick and get dropped, or the session is
+        // already closed and they bounce — both keep them out of the
+        // outcome stream, which is the property under test.
+        for _ in 0..2 {
+            let _ = session_a.submit(tick(0.1));
+        }
+        for _ in 0..8 {
+            session_b.submit(tick(0.2)).unwrap();
+        }
+        engine.drain();
+
+        // Session A produced outcomes only for the ticks before the
+        // panic; session B's stream is complete.
+        assert_eq!(outcomes_a.try_iter().count(), 2);
+        assert_eq!(outcomes_b.try_iter().count(), 8);
+
+        // The failed session is closed; the healthy one still works.
+        assert_eq!(session_a.submit(tick(0.1)), Err(SubmitError::SessionClosed));
+        session_b.submit(tick(0.2)).unwrap();
+
+        // The engine itself is unharmed: new sessions open and run.
+        let (logger_c, det_c) = parts(1e6, 5);
+        let (session_c, outcomes_c) = engine.add_session(logger_c, det_c);
+        for _ in 0..3 {
+            session_c.submit(tick(0.3)).unwrap();
+        }
+        engine.drain();
+        assert_eq!(outcomes_b.try_iter().count(), 1);
+        assert_eq!(outcomes_c.try_iter().count(), 3);
+    }
+
+    /// The same containment on the cross-session batched drain: the
+    /// poisoned lane fails its own session mid-group, the co-batched
+    /// session's stream stays complete and bit-identical.
+    #[test]
+    fn panicking_session_is_contained_in_batch_mode() {
+        let engine = DetectionEngine::new(EngineConfig {
+            workers: 1,
+            cross_session_batch: true,
+            drain_batch: 8,
+            ..EngineConfig::default()
+        });
+        let (logger_a, det_a) = parts(1e6, 5);
+        let (session_a, outcomes_a) = engine.add_session(logger_a, det_a);
+        let (logger_b, det_b) = parts(1e6, 5);
+        let (session_b, outcomes_b) = engine.add_session(logger_b, det_b);
+
+        for i in 0..6 {
+            if i == 2 {
+                session_a.submit(poison_tick()).unwrap();
+            } else {
+                // Past the poison tick the submit races the drain
+                // worker's containment close; either way the tick
+                // stays out of A's stream.
+                let submitted = session_a.submit(tick(0.1));
+                if i < 2 {
+                    submitted.unwrap();
+                }
+            }
+            session_b.submit(tick(0.2)).unwrap();
+        }
+        engine.drain();
+
+        assert_eq!(outcomes_a.try_iter().count(), 2);
+        let b_steps: Vec<AdaptiveStep> = outcomes_b.try_iter().map(|o| o.step).collect();
+        assert_eq!(b_steps.len(), 6);
+        assert_eq!(session_a.submit(tick(0.1)), Err(SubmitError::SessionClosed));
+
+        // B's stream matches direct stepping — the failure did not
+        // perturb the surviving lanes.
+        let (mut logger, mut det) = parts(1e6, 5);
+        for (i, got) in b_steps.iter().enumerate() {
+            logger.record(Vector::from_slice(&[0.2]), Vector::from_slice(&[0.0]));
+            let want = det.step(&logger);
+            assert_eq!(*got, want, "tick {i}");
+        }
     }
 }

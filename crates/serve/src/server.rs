@@ -803,6 +803,39 @@ pub fn session_parts_for_spec(
             ),
         ));
     }
+    // The output map is scenario metadata: ticks are state estimates
+    // regardless of how many physical sensors produced them, so the
+    // map never changes the detector stack — but a malformed one is a
+    // client bug worth rejecting before it replicates across the
+    // cluster.
+    if !spec.output_map.is_empty() {
+        let rows = spec.output_rows as usize;
+        if rows == 0 || spec.output_map.len() != rows * model.state_dim() {
+            return Err((
+                ErrorCode::DimensionMismatch,
+                format!(
+                    "output map has {} entries, not {} rows x {} states",
+                    spec.output_map.len(),
+                    rows,
+                    model.state_dim()
+                ),
+            ));
+        }
+        if spec.output_map.iter().any(|v| !v.is_finite()) {
+            return Err((
+                ErrorCode::DimensionMismatch,
+                "output map entries must be finite".into(),
+            ));
+        }
+    } else if spec.output_rows != 0 {
+        return Err((
+            ErrorCode::DimensionMismatch,
+            format!(
+                "output map declares {} rows but carries no entries",
+                spec.output_rows
+            ),
+        ));
+    }
     let det_cfg = DetectorConfig::with_min_window(threshold, spec.min_window as usize, w_m)
         .map_err(|e| (ErrorCode::Internal, format!("detector config: {e}")))?;
     let estimator = model

@@ -99,6 +99,18 @@ pub enum WireError {
     BadUtf8,
     /// A field held a value outside its domain (named for diagnosis).
     BadValue(&'static str),
+    /// An **encode-side** failure: a collection is too long for its
+    /// `u32` length prefix. Before this variant existed the encoder
+    /// cast lengths with `as u32`, silently truncating an oversized
+    /// payload into a well-formed frame whose declared counts no
+    /// longer matched its data — the peer would decode garbage (or
+    /// `Truncated`) with no hint the *sender* was at fault.
+    LengthOverflow {
+        /// Which field overflowed (named for diagnosis).
+        what: &'static str,
+        /// The actual element count that did not fit in a `u32`.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -116,6 +128,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::BadValue(what) => write!(f, "field out of domain: {what}"),
+            WireError::LengthOverflow { what, len } => {
+                write!(f, "{what} length {len} does not fit the u32 wire prefix")
+            }
         }
     }
 }
@@ -192,11 +207,26 @@ pub struct SessionSpec {
     pub threshold: Vec<f64>,
     /// Exact deadline-cache capacity (`0` → no cache installed).
     pub cache_capacity: u32,
+    /// Number of rows `p` of the output map (`0` when [`Self::output_map`]
+    /// is empty).
+    pub output_rows: u32,
+    /// Row-major output map `C` (`p × n`, flattened) of the plant the
+    /// session's tick stream was reconstructed from. Empty = the
+    /// legacy fully observable plant (`C = I`). The map does not
+    /// change the detector stack — ticks are state estimates either
+    /// way — but it travels with the session so snapshots, restores
+    /// and replicas describe the scenario losslessly.
+    ///
+    /// On the wire the pair is an append-only trailing extension,
+    /// written only when the map is non-empty; old peers that never
+    /// send it decode as `C = I`.
+    pub output_map: Vec<f64>,
 }
 
 impl SessionSpec {
     /// A spec running model row `model` entirely on its profiled
-    /// defaults, without a deadline cache.
+    /// defaults, without a deadline cache, on a fully observable
+    /// plant.
     pub fn model_defaults(model: u8) -> Self {
         SessionSpec {
             model,
@@ -204,7 +234,16 @@ impl SessionSpec {
             min_window: 0,
             threshold: Vec::new(),
             cache_capacity: 0,
+            output_rows: 0,
+            output_map: Vec::new(),
         }
+    }
+
+    /// Attaches a `rows × n` row-major output map to the spec.
+    pub fn with_output_map(mut self, rows: u32, map: Vec<f64>) -> Self {
+        self.output_rows = rows;
+        self.output_map = map;
+        self
     }
 }
 
@@ -665,6 +704,11 @@ pub enum Frame {
 
 struct Enc {
     buf: Vec<u8>,
+    /// First length-prefix overflow hit while encoding, if any. The
+    /// encoder keeps running after an overflow (the void-returning
+    /// builder methods stay composable) but the finished buffer is
+    /// only released by [`Enc::finish`] when this is `None`.
+    err: Option<WireError>,
 }
 
 impl Enc {
@@ -673,7 +717,33 @@ impl Enc {
         buf.extend_from_slice(&MAGIC);
         buf.extend_from_slice(&VERSION.to_be_bytes());
         buf.push(frame_type);
-        Enc { buf }
+        Enc { buf, err: None }
+    }
+
+    /// Writes a collection's `u32` length prefix, **checked**: a count
+    /// that does not fit poisons the encoder with
+    /// [`WireError::LengthOverflow`] (first overflow wins) instead of
+    /// silently truncating the count with `as u32`.
+    fn len_prefix(&mut self, what: &'static str, len: usize) {
+        match u32::try_from(len) {
+            Ok(v) => self.u32(v),
+            Err(_) => {
+                if self.err.is_none() {
+                    self.err = Some(WireError::LengthOverflow { what, len });
+                }
+                // Keep the buffer structurally valid for the bytes
+                // already written; the poisoned encoder never
+                // releases it anyway.
+                self.u32(u32::MAX);
+            }
+        }
+    }
+
+    fn finish(self) -> Result<Vec<u8>, WireError> {
+        match self.err {
+            None => Ok(self.buf),
+            Some(e) => Err(e),
+        }
     }
 
     fn u8(&mut self, v: u8) {
@@ -703,19 +773,19 @@ impl Enc {
     }
 
     fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+        self.len_prefix("string", s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
 
     fn f64s(&mut self, v: &[f64]) {
-        self.u32(v.len() as u32);
+        self.len_prefix("f64 sequence", v.len());
         for &x in v {
             self.f64(x);
         }
     }
 
     fn u64s(&mut self, v: &[u64]) {
-        self.u32(v.len() as u32);
+        self.len_prefix("u64 sequence", v.len());
         for &x in v {
             self.u64(x);
         }
@@ -727,6 +797,18 @@ impl Enc {
         self.opt_u64(l.p50_bound_ns);
         self.opt_u64(l.p99_bound_ns);
         self.u64(l.overflow);
+    }
+
+    /// Appends the spec's output-map extension — only when a map is
+    /// present, so legacy (`C = I`) frames are byte-identical to what
+    /// older peers emit. A written extension is at least 16 bytes
+    /// (rows + length prefix + ≥ 1 float), which is what lets the
+    /// decoder tell it apart from a bare 8-byte correlation id.
+    fn spec_extension(&mut self, spec: &SessionSpec) {
+        if !spec.output_map.is_empty() {
+            self.u32(spec.output_rows);
+            self.f64s(&spec.output_map);
+        }
     }
 
     fn session_state(&mut self, s: &WireSessionState) {
@@ -745,7 +827,7 @@ impl Enc {
         }
         self.u64(s.next_step);
         self.u64(s.next_seq);
-        self.u32(s.entries.len() as u32);
+        self.len_prefix("log entries", s.entries.len());
         for e in &s.entries {
             self.u64(e.step);
             self.f64s(&e.estimate);
@@ -903,6 +985,22 @@ impl<'a> Dec<'a> {
         self.bytes.len() - self.pos
     }
 
+    /// Reads the spec's trailing output-map extension when present.
+    ///
+    /// More than 8 remaining bytes means an extension: a written
+    /// extension is never smaller than 16 bytes (rows, length prefix,
+    /// and at least one float), so a bare correlation id — exactly
+    /// 8 — can never be mistaken for one. Whatever is left afterwards
+    /// (0 or 8 bytes) falls through to the envelope's correlation-id
+    /// logic.
+    fn spec_extension(&mut self, spec: &mut SessionSpec) -> Result<(), WireError> {
+        if self.remaining() > 8 {
+            spec.output_rows = self.u32()?;
+            spec.output_map = self.f64s()?;
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Result<(), WireError> {
         let left = self.remaining();
         if left == 0 {
@@ -977,13 +1075,49 @@ impl Frame {
     /// Serializes the frame payload (header + body, without the
     /// length prefix — [`write_frame`] adds that), with no
     /// correlation id.
+    ///
+    /// # Panics
+    ///
+    /// If a collection in the frame is longer than `u32::MAX` (see
+    /// [`Frame::try_encode`] for the fallible form).
     pub fn encode(&self) -> Vec<u8> {
         self.encode_with_corr(None)
     }
 
     /// Serializes the frame payload, appending `corr` after the body
     /// when present (see the module docs on correlation ids).
+    ///
+    /// # Panics
+    ///
+    /// If a collection in the frame is longer than `u32::MAX` (see
+    /// [`Frame::try_encode_with_corr`] for the fallible form).
     pub fn encode_with_corr(&self, corr: Option<u64>) -> Vec<u8> {
+        match self.try_encode_with_corr(corr) {
+            Ok(payload) => payload,
+            Err(e) => panic!("frame not encodable: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Frame::encode`]: returns
+    /// [`WireError::LengthOverflow`] instead of silently truncating
+    /// (the pre-fix behavior) or panicking when a collection does not
+    /// fit its `u32` length prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::LengthOverflow`] naming the first field whose
+    /// length exceeds `u32::MAX`.
+    pub fn try_encode(&self) -> Result<Vec<u8>, WireError> {
+        self.try_encode_with_corr(None)
+    }
+
+    /// Fallible form of [`Frame::encode_with_corr`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::LengthOverflow`] naming the first field whose
+    /// length exceeds `u32::MAX`.
+    pub fn try_encode_with_corr(&self, corr: Option<u64>) -> Result<Vec<u8>, WireError> {
         let mut e = Enc::new(self.frame_type());
         match self {
             Frame::Hello { client } => e.str(client),
@@ -994,6 +1128,7 @@ impl Frame {
                 e.u32(spec.min_window);
                 e.f64s(&spec.threshold);
                 e.u32(spec.cache_capacity);
+                e.spec_extension(spec);
             }
             Frame::SessionOpened {
                 session,
@@ -1006,7 +1141,7 @@ impl Frame {
             }
             Frame::Tick { session, ticks } => {
                 e.u64(*session);
-                e.u32(ticks.len() as u32);
+                e.len_prefix("ticks", ticks.len());
                 for t in ticks {
                     e.f64s(&t.estimate);
                     e.f64s(&t.input);
@@ -1014,7 +1149,7 @@ impl Frame {
             }
             Frame::TickOutcomes { session, outcomes } => {
                 e.u64(*session);
-                e.u32(outcomes.len() as u32);
+                e.len_prefix("outcomes", outcomes.len());
                 for o in outcomes {
                     e.u64(o.seq);
                     e.u8(o.degraded as u8);
@@ -1071,6 +1206,7 @@ impl Frame {
                 e.f64s(&spec.threshold);
                 e.u32(spec.cache_capacity);
                 e.session_state(state);
+                e.spec_extension(spec);
             }
             Frame::Error { code, message } => {
                 e.u8(*code as u8);
@@ -1090,6 +1226,7 @@ impl Frame {
                 e.f64s(&spec.threshold);
                 e.u32(spec.cache_capacity);
                 e.session_state(state);
+                e.spec_extension(spec);
             }
             Frame::ReplicateAck { key, generation } => {
                 e.u64(*key);
@@ -1098,7 +1235,7 @@ impl Frame {
             Frame::PromoteSession { key } => e.u64(*key),
             Frame::RingUpdate { epoch, members } => {
                 e.u64(*epoch);
-                e.u32(members.len() as u32);
+                e.len_prefix("ring members", members.len());
                 for m in members {
                     e.u32(m.shard);
                     e.str(&m.addr);
@@ -1108,7 +1245,7 @@ impl Frame {
         if let Some(corr) = corr {
             e.u64(corr);
         }
-        e.buf
+        e.finish()
     }
 
     /// Decodes one payload (header + body), **rejecting** any appended
@@ -1144,13 +1281,19 @@ impl Frame {
         let frame = match frame_type {
             FRAME_HELLO => Frame::Hello { client: d.str()? },
             FRAME_HELLO_ACK => Frame::HelloAck { server: d.str()? },
-            FRAME_OPEN_SESSION => Frame::OpenSession(SessionSpec {
-                model: d.u8()?,
-                max_window: d.u32()?,
-                min_window: d.u32()?,
-                threshold: d.f64s()?,
-                cache_capacity: d.u32()?,
-            }),
+            FRAME_OPEN_SESSION => {
+                let mut spec = SessionSpec {
+                    model: d.u8()?,
+                    max_window: d.u32()?,
+                    min_window: d.u32()?,
+                    threshold: d.f64s()?,
+                    cache_capacity: d.u32()?,
+                    output_rows: 0,
+                    output_map: Vec::new(),
+                };
+                d.spec_extension(&mut spec)?;
+                Frame::OpenSession(spec)
+            }
             FRAME_SESSION_OPENED => Frame::SessionOpened {
                 session: d.u64()?,
                 state_dim: d.u32()?,
@@ -1276,32 +1419,45 @@ impl Frame {
                 session: d.u64()?,
                 state: d.session_state()?,
             },
-            FRAME_RESTORE_SESSION => Frame::RestoreSession {
-                spec: SessionSpec {
+            FRAME_RESTORE_SESSION => {
+                let mut spec = SessionSpec {
                     model: d.u8()?,
                     max_window: d.u32()?,
                     min_window: d.u32()?,
                     threshold: d.f64s()?,
                     cache_capacity: d.u32()?,
-                },
-                state: d.session_state()?,
-            },
+                    output_rows: 0,
+                    output_map: Vec::new(),
+                };
+                let state = d.session_state()?;
+                d.spec_extension(&mut spec)?;
+                Frame::RestoreSession { spec, state }
+            }
             FRAME_ERROR => Frame::Error {
                 code: ErrorCode::from_u8(d.u8()?)?,
                 message: d.str()?,
             },
-            FRAME_REPLICATE_SNAPSHOT => Frame::ReplicateSnapshot {
-                key: d.u64()?,
-                generation: d.u64()?,
-                spec: SessionSpec {
+            FRAME_REPLICATE_SNAPSHOT => {
+                let key = d.u64()?;
+                let generation = d.u64()?;
+                let mut spec = SessionSpec {
                     model: d.u8()?,
                     max_window: d.u32()?,
                     min_window: d.u32()?,
                     threshold: d.f64s()?,
                     cache_capacity: d.u32()?,
-                },
-                state: d.session_state()?,
-            },
+                    output_rows: 0,
+                    output_map: Vec::new(),
+                };
+                let state = d.session_state()?;
+                d.spec_extension(&mut spec)?;
+                Frame::ReplicateSnapshot {
+                    key,
+                    generation,
+                    spec,
+                    state,
+                }
+            }
             FRAME_REPLICATE_ACK => Frame::ReplicateAck {
                 key: d.u64()?,
                 generation: d.u64()?,
@@ -1368,9 +1524,25 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
 }
 
 /// Writes one length-prefixed frame, appending `corr` when present.
+///
+/// A frame whose collections (or whose total payload) exceed the
+/// `u32` wire prefix fails with [`io::ErrorKind::InvalidData`] wrapping
+/// the [`WireError::LengthOverflow`] — nothing is written to `w`, so
+/// the stream stays framed.
 pub fn write_frame_corr<W: Write>(w: &mut W, frame: &Frame, corr: Option<u64>) -> io::Result<()> {
-    let payload = frame.encode_with_corr(corr);
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    let payload = frame
+        .try_encode_with_corr(corr)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::LengthOverflow {
+                what: "frame payload",
+                len: payload.len(),
+            },
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
     w.write_all(&payload)?;
     w.flush()
 }
@@ -1508,6 +1680,8 @@ mod tests {
                     min_window: 1,
                     threshold: vec![0.07, 0.07, f64::MIN_POSITIVE],
                     cache_capacity: 4096,
+                    output_rows: 2,
+                    output_map: vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
                 }),
                 FRAME_SESSION_OPENED => Frame::SessionOpened {
                     session: 7,
@@ -1671,16 +1845,27 @@ mod tests {
             // correlation id, which `Frame::decode` rejects as
             // trailing bytes (and a 16-byte leftover is rejected
             // outright).
-            let legacy_boundaries: &[usize] = if matches!(frame, Frame::MetricsReply(_)) {
-                &[
+            let legacy_boundaries: Vec<usize> = match &frame {
+                Frame::MetricsReply(_) => vec![
                     payload.len() - 88,
                     payload.len() - 72,
                     payload.len() - 64,
                     payload.len() - 48,
                     payload.len() - 24,
-                ]
-            } else {
-                &[]
+                ],
+                // A spec frame cut exactly at the start of the
+                // output-map extension is a valid legacy (no-map)
+                // frame; any cut *inside* the extension leaves either
+                // a short f64 run (Truncated) or ≤ 8 trailing bytes
+                // (rejected by strict decode).
+                Frame::OpenSession(spec)
+                | Frame::RestoreSession { spec, .. }
+                | Frame::ReplicateSnapshot { spec, .. }
+                    if !spec.output_map.is_empty() =>
+                {
+                    vec![payload.len() - (8 + 8 * spec.output_map.len())]
+                }
+                _ => Vec::new(),
             };
             for cut in 0..payload.len() {
                 if legacy_boundaries.contains(&cut) {
@@ -2012,5 +2197,151 @@ mod tests {
         assert_eq!(wire.to_step(), beyond);
         assert!(!wire.alarm());
         assert!(wire.degraded);
+    }
+
+    /// The length-prefix boundary: `u32::MAX` elements still encode,
+    /// one more poisons the encoder with `LengthOverflow` instead of
+    /// silently truncating the count (the pre-fix `as u32` behavior
+    /// would have written a prefix of 0 for `u32::MAX + 1`).
+    #[test]
+    fn length_prefix_boundary_is_checked() {
+        let mut e = Enc::new(FRAME_HELLO);
+        e.len_prefix("at the limit", u32::MAX as usize);
+        assert_eq!(e.err, None);
+        assert_eq!(&e.buf[7..11], &u32::MAX.to_be_bytes());
+
+        let over = u32::MAX as usize + 1;
+        e.len_prefix("first overflow", over);
+        assert_eq!(
+            e.err,
+            Some(WireError::LengthOverflow {
+                what: "first overflow",
+                len: over,
+            })
+        );
+
+        // First overflow wins: a later, larger overflow does not
+        // repoison the encoder.
+        e.len_prefix("second overflow", over + 1);
+        assert_eq!(
+            e.err,
+            Some(WireError::LengthOverflow {
+                what: "first overflow",
+                len: over,
+            })
+        );
+        let err = e.finish().unwrap_err();
+        assert!(err.to_string().contains("first overflow"));
+    }
+
+    /// On frames that fit, the fallible encoders are byte-identical
+    /// to the panicking ones — callers can migrate freely.
+    #[test]
+    fn try_encode_matches_encode_on_normal_frames() {
+        let frames = [
+            Frame::Hello {
+                client: "client".into(),
+            },
+            Frame::Tick {
+                session: 7,
+                ticks: vec![WireTick {
+                    estimate: vec![1.0, -2.0],
+                    input: vec![0.5],
+                }],
+            },
+            Frame::RingUpdate {
+                epoch: 3,
+                members: vec![RingMember {
+                    shard: 1,
+                    addr: "127.0.0.1:9000".into(),
+                }],
+            },
+        ];
+        for frame in &frames {
+            assert_eq!(frame.try_encode().unwrap(), frame.encode());
+            assert_eq!(
+                frame.try_encode_with_corr(Some(99)).unwrap(),
+                frame.encode_with_corr(Some(99))
+            );
+        }
+    }
+
+    /// `write_frame_corr` surfaces an encoder length overflow as
+    /// `io::ErrorKind::InvalidData` without writing any bytes, so a
+    /// stream never carries a corrupt frame.
+    #[test]
+    fn write_frame_maps_length_overflow_to_invalid_data() {
+        // Simulate the poisoned-encoder path directly (materializing
+        // a > u32::MAX-element collection is impractical in a test):
+        // the error type and the io mapping are what the server's
+        // connection loop sees.
+        let e = io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::LengthOverflow {
+                what: "outcomes",
+                len: u32::MAX as usize + 1,
+            },
+        );
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let inner = e
+            .get_ref()
+            .and_then(|i| i.downcast_ref::<WireError>())
+            .expect("wire error preserved");
+        assert!(matches!(inner, WireError::LengthOverflow { what, .. } if *what == "outcomes"));
+    }
+
+    /// The output-map spec extension survives every carrying frame,
+    /// with and without a correlation id (the id follows the
+    /// extension, so this pins the disambiguation rule: remaining > 8
+    /// means extension, remaining == 8 means id).
+    #[test]
+    fn output_map_extension_round_trips_in_all_spec_frames() {
+        let spec =
+            SessionSpec::model_defaults(3).with_output_map(2, vec![1.0, 0.0, 0.5, 0.0, 1.0, -0.25]);
+        let frames = [
+            Frame::OpenSession(spec.clone()),
+            Frame::RestoreSession {
+                spec: spec.clone(),
+                state: sample_state(),
+            },
+            Frame::ReplicateSnapshot {
+                key: 42,
+                generation: 3,
+                spec,
+                state: sample_state(),
+            },
+        ];
+        for f in &frames {
+            assert_eq!(&Frame::decode(&f.encode()).unwrap(), f);
+            let env = Frame::decode_enveloped(&f.encode_with_corr(Some(0xC0FFEE))).unwrap();
+            assert_eq!(&env.frame, f);
+            assert_eq!(env.corr, Some(0xC0FFEE));
+        }
+    }
+
+    /// A spec without an output map encodes byte-identically to the
+    /// pre-extension wire format (no trailing bytes at all), and such
+    /// legacy frames decode to the `C = I` sentinel.
+    #[test]
+    fn legacy_spec_frames_have_no_extension_bytes() {
+        let legacy = Frame::OpenSession(SessionSpec::model_defaults(2));
+        let bytes = legacy.encode();
+        // Header (4 magic + 2 version + 1 type) + body:
+        // u8 model + u32 max + u32 min + (u32 len) + u32 cache.
+        assert_eq!(bytes.len(), 7 + 1 + 4 + 4 + 4 + 4);
+        let decoded = Frame::decode(&bytes).unwrap();
+        let Frame::OpenSession(spec) = decoded else {
+            panic!("wrong frame");
+        };
+        assert_eq!(spec.output_rows, 0);
+        assert!(spec.output_map.is_empty());
+        // With a correlation id the 8 trailing bytes still route to
+        // the envelope, not the extension.
+        let env = Frame::decode_enveloped(&legacy.encode_with_corr(Some(9))).unwrap();
+        assert_eq!(env.corr, Some(9));
+        let Frame::OpenSession(spec) = env.frame else {
+            panic!("wrong frame");
+        };
+        assert!(spec.output_map.is_empty());
     }
 }

@@ -38,6 +38,7 @@ mod benign;
 mod episode;
 mod metrics;
 mod montecarlo;
+mod output_feedback;
 mod parallel;
 mod scenario;
 mod sweep;
@@ -46,6 +47,7 @@ pub use benign::{run_benign_cell, BenignCellResult, BenignStats};
 pub use episode::{run_episode, EpisodeConfig, EpisodeResult};
 pub use metrics::{evaluate, EpisodeMetrics, FP_RATE_LIMIT};
 pub use montecarlo::{run_cell, CellResult, StrategyStats};
+pub use output_feedback::{design_output_observer, run_output_feedback_episode};
 pub use parallel::{run_cells_on, run_cells_parallel, CellJob};
 pub use scenario::{sample_attack, sample_ramp_bias, AttackKind, SampledAttack};
 pub use sweep::{run_window_sweep, SweepPoint};

@@ -1,0 +1,351 @@
+use awsad_attack::SensorAttack;
+use awsad_control::{steady_kalman_gain, ControlError, Controller, PidController, Reference};
+use awsad_core::{
+    AdaptiveDetector, CusumDetector, DataLogger, DetectorConfig, EveryStepDetector, EwmaDetector,
+    FixedWindowDetector, ResidualDetector,
+};
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::{LtiSystem, NoiseModel, Observer};
+use awsad_models::CpsModel;
+use awsad_reach::Deadline;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{EpisodeConfig, EpisodeResult};
+
+/// Designs a steady-state Kalman observer gain for `system` from
+/// scalar noise levels: the process- and measurement-noise standard
+/// deviations are expanded into isotropic covariances (with a small
+/// diagonal floor so zero-noise models stay well-posed) and fed to
+/// [`steady_kalman_gain`].
+///
+/// This is the offline observer-design step of the output-feedback
+/// residual path: where the paper's evaluation assumes a fully
+/// observable plant (`C = I`, the state estimate *is* the
+/// measurement), a `C ≠ I` plant needs a Luenberger observer to
+/// reconstruct `x̂_t` from `y_t` before the logger and detectors can
+/// run at all.
+///
+/// # Errors
+///
+/// Returns [`ControlError::LqrFailure`] when the dual Riccati
+/// iteration fails — e.g. an undetectable `(A, C)` pair, which is
+/// exactly what a randomized output map can produce; callers are
+/// expected to resample.
+pub fn design_output_observer(
+    system: &LtiSystem,
+    process_std: f64,
+    measurement_std: f64,
+) -> Result<Matrix, ControlError> {
+    if !(process_std.is_finite()
+        && process_std >= 0.0
+        && measurement_std.is_finite()
+        && measurement_std >= 0.0)
+    {
+        return Err(ControlError::LqrFailure {
+            reason: "noise levels must be finite and non-negative",
+        });
+    }
+    let n = system.state_dim();
+    let p = system.output_dim();
+    let q = (process_std * process_std).max(1e-8);
+    let r = (measurement_std * measurement_std).max(1e-8);
+    steady_kalman_gain(
+        system.a(),
+        system.c(),
+        &Matrix::diagonal(&vec![q; n]),
+        &Matrix::diagonal(&vec![r; p]),
+    )
+}
+
+/// Runs one closed-loop episode on a **partially observed** plant:
+/// the sensors deliver `y_t = C x_t` (plus noise) for an arbitrary
+/// output map `C ≠ I`, a Luenberger observer with a steady-state
+/// Kalman gain reconstructs `x̂_t`, and the PID controller, data
+/// logger and every detector consume the *reconstructed* estimate.
+///
+/// The attack tampers the `p`-dimensional measurement vector — wrap
+/// it in [`awsad_attack::PerSensor`] to falsify individual sensors —
+/// so corruption reaches the detectors only through the observer's
+/// innovation, exactly as in the secure-state-estimation literature
+/// the baseline zoo competes on.
+///
+/// The returned [`EpisodeResult`] is shape-compatible with
+/// [`crate::run_episode`]: `estimates`/`inputs` are the tick stream
+/// the detectors saw (replayable through an `awsad-runtime` session),
+/// and all metric helpers apply unchanged.
+///
+/// Step order at `t`: measure `y_t = C x_t + v_t`, tamper, update the
+/// observer (prediction uses `u_{t−1}`, zero at `t = 0`), control on
+/// `x̂_t`, log + detect, advance the plant.
+///
+/// # Errors
+///
+/// Returns [`ControlError::LqrFailure`] when `c` does not match the
+/// plant, when the observer design fails (undetectable pair), or when
+/// the designed observer is not convergent.
+///
+/// # Panics
+///
+/// Panics only on internal inconsistencies of `model` (the built-in
+/// models are validated by their unit tests).
+pub fn run_output_feedback_episode(
+    model: &CpsModel,
+    c: &Matrix,
+    attack: &mut dyn SensorAttack,
+    reference: Option<Reference>,
+    cfg: &EpisodeConfig,
+    seed: u64,
+) -> Result<EpisodeResult, ControlError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let observed = LtiSystem::new_discrete(
+        model.system.a().clone(),
+        model.system.b().clone(),
+        c.clone(),
+        model.dt(),
+    )
+    .map_err(|_| ControlError::LqrFailure {
+        reason: "output map does not match the plant dimensions",
+    })?;
+    let p = observed.output_dim();
+
+    let process_radius = model.epsilon * cfg.process_noise_scale.clamp(0.0, 1.0);
+    // Uniform-ball noise of radius r has per-dimension variance r²/3.
+    let gain = design_output_observer(
+        &observed,
+        process_radius / 3f64.sqrt(),
+        cfg.measurement_noise / 3f64.sqrt(),
+    )?;
+    let mut observer = Observer::new(observed.clone(), gain, model.x0.clone())
+        .expect("gain shape follows from the design");
+    if !observer.is_convergent() {
+        return Err(ControlError::LqrFailure {
+            reason: "designed observer is not convergent",
+        });
+    }
+
+    let process_noise = if process_radius > 0.0 {
+        NoiseModel::uniform_ball(process_radius).expect("non-negative noise")
+    } else {
+        NoiseModel::None
+    };
+    let mut plant = awsad_lti::Plant::new(model.system.clone(), model.x0.clone(), process_noise);
+    let mut pid: PidController = model.controller().expect("validated model");
+    if let Some(r) = reference {
+        let mut channels = model.pid_channels.clone();
+        channels[0].reference = r;
+        pid = PidController::new(channels, model.control_limits.clone(), model.dt())
+            .expect("validated model");
+    }
+
+    let det_cfg =
+        DetectorConfig::new(model.threshold.clone(), cfg.max_window).expect("validated model");
+    let mut logger: DataLogger = model.data_logger(cfg.max_window);
+    let mut adaptive = AdaptiveDetector::new(
+        det_cfg.clone(),
+        model
+            .deadline_estimator(cfg.max_window)
+            .expect("validated model"),
+    )
+    .expect("validated model");
+    adaptive.set_initial_radius(cfg.initial_radius);
+    adaptive.set_complementary_enabled(cfg.complementary);
+    adaptive.set_reestimation_period(cfg.reestimation_period.max(1));
+    let fixed = FixedWindowDetector::new(&det_cfg, cfg.fixed_window);
+    let mut cusum = CusumDetector::new(model.threshold.clone(), model.threshold.scale(5.0))
+        .expect("validated model");
+    let mut every_step = EveryStepDetector::new(model.threshold.clone());
+    let lambda = 2.0 / (cfg.fixed_window as f64 + 2.0);
+    let mut ewma =
+        EwmaDetector::new(lambda, model.threshold.clone()).expect("validated parameters");
+
+    let sensor_noise = if cfg.measurement_noise > 0.0 {
+        NoiseModel::uniform_ball(cfg.measurement_noise).expect("non-negative noise")
+    } else {
+        NoiseModel::None
+    };
+
+    let mut out = EpisodeResult {
+        states: Vec::with_capacity(cfg.steps),
+        estimates: Vec::with_capacity(cfg.steps),
+        inputs: Vec::with_capacity(cfg.steps),
+        residuals: Vec::with_capacity(cfg.steps),
+        windows: Vec::with_capacity(cfg.steps),
+        deadlines: Vec::with_capacity(cfg.steps),
+        adaptive_alarms: Vec::with_capacity(cfg.steps),
+        fixed_alarms: Vec::with_capacity(cfg.steps),
+        cusum_alarms: Vec::with_capacity(cfg.steps),
+        every_step_alarms: Vec::with_capacity(cfg.steps),
+        ewma_alarms: Vec::with_capacity(cfg.steps),
+        references: Vec::with_capacity(cfg.steps),
+        attack_onset: attack.onset(),
+        attack_end: attack.end(),
+        unsafe_entry: None,
+        onset_deadline: None,
+    };
+
+    let mut prev_u = Vector::zeros(model.system.input_dim());
+    for t in 0..cfg.steps {
+        let x_true = plant.state().clone();
+        if out.unsafe_entry.is_none() && !model.safe_set.contains(&x_true) {
+            out.unsafe_entry = Some(t);
+        }
+
+        // Sense through C, add sensor noise, then tamper per sensor.
+        let y = observed.measure(&x_true);
+        let noisy = &y + &sensor_noise.sample(p, &mut rng);
+        let tampered = attack.tamper(t, &noisy);
+
+        // Reconstruct the state estimate from output feedback.
+        let estimate = observer.update(&prev_u, &tampered).clone();
+
+        // Control on the reconstructed estimate.
+        let u = pid.control(t, &estimate);
+
+        // Log and detect — the same residual pipeline as `C = I`.
+        let entry = logger.record(estimate.clone(), u.clone());
+        let residual = entry.residual.clone();
+        let adaptive_out = adaptive.step(&logger);
+        let fixed_alarm = fixed.step(&logger);
+        let cusum_alarm = cusum.observe(t, &residual);
+        let every_alarm = every_step.observe(t, &residual);
+        let ewma_alarm = ewma.observe(t, &residual);
+
+        out.states.push(x_true);
+        out.estimates.push(estimate);
+        out.inputs.push(u.clone());
+        out.residuals.push(residual);
+        out.windows.push(adaptive_out.window);
+        out.deadlines.push(match adaptive_out.deadline {
+            Deadline::Within(d) => Some(d),
+            Deadline::Beyond => None,
+        });
+        out.adaptive_alarms.push(adaptive_out.alarm());
+        out.fixed_alarms.push(fixed_alarm);
+        out.cusum_alarms.push(cusum_alarm);
+        out.every_step_alarms.push(every_alarm);
+        out.ewma_alarms.push(ewma_alarm);
+        out.references
+            .push(pid.channels()[0].reference.value(t, model.dt()));
+
+        // Physics.
+        plant.step(&u, &mut rng);
+        prev_u = u;
+    }
+    if let Some(onset) = out.attack_onset {
+        out.onset_deadline = out.deadlines.get(onset).copied().flatten();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awsad_attack::{AttackWindow, BiasAttack, NoAttack, PerSensor};
+    use awsad_models::Simulator;
+
+    /// A selection map keeping the first `p` of `n` states.
+    fn selection(p: usize, n: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..p)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs).unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_output_map() {
+        let model = Simulator::VehicleTurning.build();
+        let cfg = EpisodeConfig::for_model(&model);
+        let c = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]).unwrap();
+        let mut attack = NoAttack;
+        assert!(run_output_feedback_episode(&model, &c, &mut attack, None, &cfg, 1).is_err());
+    }
+
+    #[test]
+    fn full_observation_benign_run_stays_quiet() {
+        let model = Simulator::VehicleTurning.build();
+        let n = model.state_dim();
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut attack = NoAttack;
+        let r =
+            run_output_feedback_episode(&model, &Matrix::identity(n), &mut attack, None, &cfg, 7)
+                .unwrap();
+        assert_eq!(r.states.len(), cfg.steps);
+        assert_eq!(r.unsafe_entry, None, "benign run must stay safe");
+        let fixed_rate = r.fixed_alarms.iter().filter(|&&a| a).count() as f64 / cfg.steps as f64;
+        assert!(fixed_rate < 0.05, "fixed FP rate {fixed_rate}");
+    }
+
+    #[test]
+    fn partial_observation_still_tracks() {
+        // Observe only the inductor current of the RLC circuit; the
+        // observer must reconstruct the capacitor voltage well enough
+        // that the benign closed loop stays safe and mostly quiet.
+        let model = Simulator::RlcCircuit.build();
+        let n = model.state_dim();
+        assert!(n >= 2, "test needs a multi-state model");
+        let cfg = EpisodeConfig::for_model(&model);
+        let mut attack = NoAttack;
+        let r = run_output_feedback_episode(&model, &selection(1, n), &mut attack, None, &cfg, 11)
+            .unwrap();
+        assert_eq!(
+            r.unsafe_entry, None,
+            "benign partial observation must stay safe"
+        );
+        let adaptive_rate =
+            r.adaptive_alarms.iter().filter(|&&a| a).count() as f64 / cfg.steps as f64;
+        assert!(adaptive_rate < 0.10, "adaptive FP rate {adaptive_rate}");
+    }
+
+    #[test]
+    fn per_sensor_bias_is_detected_through_the_observer() {
+        let model = Simulator::VehicleTurning.build();
+        let n = model.state_dim();
+        let cfg = EpisodeConfig::for_model(&model);
+        // Both states sensed; falsify only sensor 0 with a bias large
+        // relative to the model's own bias scenario.
+        let magnitude = model.attack_profile.bias_range.1;
+        let onset = model.attack_profile.onset_range.0;
+        let mut attack = PerSensor::new(
+            vec![0],
+            BiasAttack::new(
+                AttackWindow::from_step(onset),
+                Vector::from_slice(&[magnitude]),
+            ),
+        )
+        .unwrap();
+        let r =
+            run_output_feedback_episode(&model, &Matrix::identity(n), &mut attack, None, &cfg, 13)
+                .unwrap();
+        assert_eq!(r.attack_onset, Some(onset));
+        let m = crate::evaluate(&r, &r.adaptive_alarms);
+        assert!(m.detected, "per-sensor bias must be detected");
+    }
+
+    #[test]
+    fn episodes_are_deterministic() {
+        let model = Simulator::RlcCircuit.build();
+        let n = model.state_dim();
+        let cfg = EpisodeConfig::for_model(&model);
+        let c = if n > 1 {
+            selection(n - 1, n)
+        } else {
+            Matrix::identity(n)
+        };
+        let mut a1 = NoAttack;
+        let mut a2 = NoAttack;
+        let r1 = run_output_feedback_episode(&model, &c, &mut a1, None, &cfg, 21).unwrap();
+        let r2 = run_output_feedback_episode(&model, &c, &mut a2, None, &cfg, 21).unwrap();
+        assert_eq!(r1.estimates, r2.estimates);
+        assert_eq!(r1.adaptive_alarms, r2.adaptive_alarms);
+    }
+
+    #[test]
+    fn observer_design_rejects_bad_noise() {
+        let model = Simulator::VehicleTurning.build();
+        assert!(design_output_observer(&model.system, f64::NAN, 0.1).is_err());
+        assert!(design_output_observer(&model.system, 0.1, -1.0).is_err());
+        assert!(design_output_observer(&model.system, 0.1, 0.1).is_ok());
+    }
+}

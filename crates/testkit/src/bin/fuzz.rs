@@ -206,12 +206,13 @@ fn smoke(seconds: u64, master_seed: u64) -> ExitCode {
             }
         }
 
-        // One scenario per lap, alternating families.
+        // One scenario per lap, cycling through all four families.
         let scenario_seed = rng.random_range(0..=u64::MAX);
-        let seed = if scenarios.is_multiple_of(2) {
-            SeedSpec::registry(scenario_seed)
-        } else {
-            SeedSpec::random_lti(scenario_seed)
+        let seed = match scenarios % 4 {
+            0 => SeedSpec::registry(scenario_seed),
+            1 => SeedSpec::random_lti(scenario_seed),
+            2 => SeedSpec::sensor(scenario_seed),
+            _ => SeedSpec::severe(scenario_seed),
         };
         if let Err(failure) = check(&seed) {
             report_scenario_failure(&seed, failure, check);

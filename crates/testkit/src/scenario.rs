@@ -3,7 +3,7 @@
 //! A **scenario** is everything a differential oracle needs to run one
 //! detection episode: a plant, a detector configuration, and a
 //! closed-loop `(estimate, input)` trace with an attack schedule baked
-//! in. Scenarios come in two families:
+//! in. Scenarios come in four families:
 //!
 //! * [`Family::Registry`] — a random Table 1 model under randomized
 //!   window parameters, threshold scaling, cache capacity, and attack
@@ -16,6 +16,13 @@
 //!   express (initial radius, re-estimation period, complementary
 //!   toggle). These exercise the local paths and the estimator
 //!   oracles.
+//! * [`Family::Sensor`] — a Table 1 model sensed through a randomized
+//!   output map `C ≠ I`: a steady-state Kalman observer reconstructs
+//!   the estimate stream while a per-sensor attack falsifies
+//!   individual output channels. The spec carries the output map, so
+//!   these run every path, wire included.
+//! * [`Family::Severe`] — the sensor family's worst case: fewer than
+//!   half of the sensors are trustworthy.
 //!
 //! Every scenario derives deterministically from a [`SeedSpec`], which
 //! serializes to a one-line seed string
@@ -32,16 +39,19 @@
 use std::fmt;
 use std::str::FromStr;
 
-use awsad_attack::{AttackWindow, BiasAttack, DelayAttack, NoAttack, ReplayAttack, SensorAttack};
+use awsad_attack::{
+    AttackWindow, BiasAttack, DelayAttack, NoAttack, PerSensor, ReplayAttack, SensorAttack,
+};
 use awsad_control::{Controller, PidChannel, PidController, PidGains, Reference};
 use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
 use awsad_linalg::{spectral_radius, Matrix, Vector};
-use awsad_lti::LtiSystem;
+use awsad_lti::{LtiSystem, Observer};
 use awsad_models::Simulator;
 use awsad_reach::{CacheConfig, DeadlineCache, DeadlineEstimator, ReachConfig};
 use awsad_serve::server::session_parts_for_spec;
 use awsad_serve::wire::{SessionSpec, WireTick};
 use awsad_sets::BoxSet;
+use awsad_sim::design_output_observer;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -53,6 +63,16 @@ pub enum Family {
     /// A synthesized random LTI plant — local paths + estimator
     /// oracles.
     RandomLti,
+    /// A Table 1 model sensed through a randomized output map
+    /// `C ≠ I`, with a [`awsad_attack::PerSensor`] attack falsifying a
+    /// *minority* of the individual sensors; estimates come from a
+    /// Luenberger observer, and the spec carries the output map, so
+    /// these run every path, wire included.
+    Sensor,
+    /// Like [`Family::Sensor`] but with **fewer than half** of the
+    /// sensors trustworthy — a strict majority of the output channels
+    /// is falsified, the secure-state-estimation worst case.
+    Severe,
 }
 
 impl Family {
@@ -60,6 +80,8 @@ impl Family {
         match self {
             Family::Registry => "registry",
             Family::RandomLti => "lti",
+            Family::Sensor => "sensor",
+            Family::Severe => "severe",
         }
     }
 }
@@ -92,6 +114,26 @@ impl SeedSpec {
     pub fn random_lti(seed: u64) -> SeedSpec {
         SeedSpec {
             family: Family::RandomLti,
+            seed,
+            len: None,
+        }
+    }
+
+    /// A sensor-family (per-sensor attack, `C ≠ I`) seed with no
+    /// length override.
+    pub fn sensor(seed: u64) -> SeedSpec {
+        SeedSpec {
+            family: Family::Sensor,
+            seed,
+            len: None,
+        }
+    }
+
+    /// A severe-family (majority of sensors lying) seed with no
+    /// length override.
+    pub fn severe(seed: u64) -> SeedSpec {
+        SeedSpec {
+            family: Family::Severe,
             seed,
             len: None,
         }
@@ -137,9 +179,12 @@ impl FromStr for SeedSpec {
         let family = match parts.next() {
             Some("registry") => Family::Registry,
             Some("lti") => Family::RandomLti,
+            Some("sensor") => Family::Sensor,
+            Some("severe") => Family::Severe,
             other => {
                 return Err(format!(
-                    "unknown scenario family {other:?} (expected \"registry\" or \"lti\")"
+                    "unknown scenario family {other:?} (expected \"registry\", \"lti\", \
+                     \"sensor\", or \"severe\")"
                 ))
             }
         };
@@ -199,6 +244,13 @@ pub struct Scenario {
     pub safe_set: BoxSet,
     /// The `(estimate, input)` stream, attack already applied.
     pub trace: Vec<WireTick>,
+    /// The tampered sensor readings `y_t` the observer consumed —
+    /// populated only for the output-feedback families
+    /// ([`Family::Sensor`] / [`Family::Severe`]), empty otherwise.
+    /// The lying-sensor localizer benchmarks consume these.
+    pub measurements: Vec<Vec<f64>>,
+    /// The step the attack schedule activates at (`None` = benign).
+    pub attack_onset: Option<usize>,
 }
 
 impl Scenario {
@@ -208,6 +260,8 @@ impl Scenario {
         match seed.family {
             Family::Registry => registry_scenario(seed),
             Family::RandomLti => random_lti_scenario(seed),
+            Family::Sensor => output_feedback_scenario(seed, false),
+            Family::Severe => output_feedback_scenario(seed, true),
         }
     }
 
@@ -391,6 +445,7 @@ fn registry_scenario(seed: &SeedSpec) -> Scenario {
         draw_attack(&mut rng, len.max(6), n, profile.target_dim, magnitude);
 
     let mut pid = model.controller().expect("registry model validated");
+    let attack_onset = attack.onset();
     let trace = closed_loop_trace(
         &mut rng,
         &model.system,
@@ -408,6 +463,8 @@ fn registry_scenario(seed: &SeedSpec) -> Scenario {
         min_window: min_window as u32,
         threshold: threshold_field,
         cache_capacity: cache_capacity as u32,
+        output_rows: 0,
+        output_map: Vec::new(),
     };
     let threshold = if spec.threshold.is_empty() {
         model.threshold.clone()
@@ -433,6 +490,8 @@ fn registry_scenario(seed: &SeedSpec) -> Scenario {
         control_limits: model.control_limits.clone(),
         safe_set: model.safe_set.clone(),
         trace,
+        measurements: Vec::new(),
+        attack_onset,
     }
 }
 
@@ -511,6 +570,7 @@ fn random_lti_scenario(seed: &SeedSpec) -> Scenario {
     let target_dim = rng.random_range(0..n);
     let magnitude = threshold[target_dim] * rng.random_range(1.5..=8.0);
     let (mut attack, attack_desc) = draw_attack(&mut rng, len.max(6), n, target_dim, magnitude);
+    let attack_onset = attack.onset();
 
     let trace = closed_loop_trace(
         &mut rng,
@@ -541,6 +601,284 @@ fn random_lti_scenario(seed: &SeedSpec) -> Scenario {
         control_limits,
         safe_set,
         trace,
+        measurements: Vec::new(),
+        attack_onset,
+    }
+}
+
+/// Draws a `k`-sensor subset of `0..p` and a [`PerSensor`] attack on
+/// it: per-channel bias, delay, or replay, dimensioned for the subset.
+fn draw_per_sensor_attack(
+    rng: &mut StdRng,
+    len: usize,
+    lying: Vec<usize>,
+    magnitude: f64,
+) -> (Box<dyn SensorAttack + Send>, String) {
+    let k = lying.len();
+    let onset = rng.random_range(len / 3..=(2 * len) / 3);
+    let duration = if rng.random_bool(0.5) {
+        Some(rng.random_range(4..=len / 2 + 4))
+    } else {
+        None
+    };
+    let window = AttackWindow::new(onset, duration);
+    let dur_desc = match duration {
+        Some(d) => format!("for {d}"),
+        None => "onward".into(),
+    };
+    match rng.random_range(0..3u32) {
+        0 => {
+            let bias = Vector::from_fn(k, |_| {
+                let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                sign * magnitude * rng.random_range(0.5..=1.0)
+            });
+            (
+                Box::new(
+                    PerSensor::new(lying.clone(), BiasAttack::new(window, bias))
+                        .expect("lying-sensor indices are distinct and non-empty by construction"),
+                ),
+                format!("bias ~{magnitude:.4} on sensors {lying:?} at {onset} {dur_desc}"),
+            )
+        }
+        1 => {
+            let delay = rng.random_range(1..=4usize);
+            (
+                Box::new(
+                    PerSensor::new(lying.clone(), DelayAttack::new(window, delay))
+                        .expect("lying-sensor indices are distinct and non-empty by construction"),
+                ),
+                format!("delay {delay} on sensors {lying:?} at {onset} {dur_desc}"),
+            )
+        }
+        _ => {
+            let record_len = rng.random_range(3..=8usize).min(onset.max(1));
+            let record_start = onset.saturating_sub(record_len);
+            (
+                Box::new(
+                    PerSensor::new(
+                        lying.clone(),
+                        ReplayAttack::new(window, record_start, record_len),
+                    )
+                    .expect("lying-sensor indices are distinct and non-empty by construction"),
+                ),
+                format!(
+                    "replay [{record_start}, +{record_len}) on sensors {lying:?} at {onset} \
+                     {dur_desc}"
+                ),
+            )
+        }
+    }
+}
+
+/// Runs the output-feedback closed loop: measure through `C` (+
+/// noise), tamper per sensor, reconstruct `x̂_t` with the observer,
+/// control on the estimate, step the plant (+ process noise). The
+/// detectors see `(x̂_t, u_t)` — corruption reaches them only through
+/// the observer's innovation. Also returns the tampered measurement
+/// stream for the lying-sensor localizer benchmarks.
+#[allow(clippy::too_many_arguments)]
+fn output_feedback_trace(
+    rng: &mut StdRng,
+    plant: &LtiSystem,
+    observer: &mut Observer,
+    x0: &Vector,
+    controller: &mut dyn Controller,
+    attack: &mut dyn SensorAttack,
+    sensor_noise: f64,
+    process_noise: f64,
+    len: usize,
+) -> (Vec<WireTick>, Vec<Vec<f64>>) {
+    let n = plant.state_dim();
+    let p = observer.system().output_dim();
+    let mut x = x0.clone();
+    let mut prev_u = Vector::zeros(plant.input_dim());
+    let mut trace = Vec::with_capacity(len);
+    let mut measurements = Vec::with_capacity(len);
+    for t in 0..len {
+        let y = observer.system().measure(&x);
+        let noisy = Vector::from_fn(p, |i| y[i] + jitter(rng, sensor_noise));
+        let tampered = attack.tamper(t, &noisy);
+        let estimate = observer.update(&prev_u, &tampered).clone();
+        let u = controller.control(t, &estimate);
+        trace.push(WireTick {
+            estimate: estimate.as_slice().to_vec(),
+            input: u.as_slice().to_vec(),
+        });
+        measurements.push(tampered.as_slice().to_vec());
+        let stepped = plant.step(&x, &u);
+        x = Vector::from_fn(n, |i| stepped[i] + jitter(rng, process_noise));
+        prev_u = u;
+    }
+    (trace, measurements)
+}
+
+/// Generates a [`Family::Sensor`] (`severe == false`) or
+/// [`Family::Severe`] (`severe == true`) scenario: a Table 1 model
+/// sensed through a randomized output map `C ≠ I` with a
+/// [`PerSensor`] attack falsifying individual sensors, estimates
+/// reconstructed by a steady-state Kalman observer. The spec carries
+/// the output map, so these run every path, wire included; the
+/// detector stack itself is identical to the registry family (the map
+/// is scenario metadata — see `SessionSpec`).
+fn output_feedback_scenario(seed: &SeedSpec, severe: bool) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed.seed);
+    let sim = Simulator::all()[rng.random_range(0..5usize)];
+    let model = sim.build();
+    let n = model.state_dim();
+
+    // Severe needs p ≥ 3 so a strict majority of sensors can lie
+    // while at least one stays honest; sensor needs p ≥ 2 so there is
+    // an honest channel left. Redundant rows (p > n) mirror the
+    // secure-state-estimation setting.
+    let p = if severe {
+        (n + 1).max(3) + rng.random_range(0..=1usize)
+    } else {
+        (n + rng.random_range(0..=1usize)).max(2)
+    };
+
+    let process_noise = 0.5 * model.epsilon;
+    // Uniform jitter of radius r has per-dimension std r/√3.
+    let process_std = process_noise / 3f64.sqrt();
+    let measurement_std = model.sensor_noise / 3f64.sqrt();
+
+    // Redraw the output map until the observer design succeeds: a
+    // random row mix is almost surely detectable thanks to the
+    // identity-ish diagonal bump, but the Riccati iteration gets the
+    // final word.
+    let mut attempts = 0;
+    let (observed, gain) = loop {
+        let c = Matrix::from_fn(p, n, |i, j| {
+            let bump = if j == i % n { 1.0 } else { 0.0 };
+            bump + rng.random_range(-0.5..=0.5)
+        });
+        let candidate = LtiSystem::new_discrete(
+            model.system.a().clone(),
+            model.system.b().clone(),
+            c,
+            model.dt(),
+        )
+        .expect("registry matrices are finite and well-shaped");
+        if let Ok(gain) = design_output_observer(&candidate, process_std, measurement_std) {
+            let probe = Observer::new(candidate.clone(), gain.clone(), model.x0.clone())
+                .expect("gain shape follows from the design");
+            if probe.is_convergent() {
+                break (candidate, gain);
+            }
+        }
+        attempts += 1;
+        assert!(
+            attempts < 64,
+            "observer design kept failing for {} (seed {seed})",
+            model.name
+        );
+    };
+
+    // Lying-sensor subset: a minority (or exactly half) for `sensor`,
+    // a strict majority for `severe` ("fewer than half trustworthy").
+    let lying_count = if severe {
+        let honest = rng.random_range(1..=(p - 1) / 2);
+        p - honest
+    } else {
+        rng.random_range(1..=(p / 2).max(1))
+    };
+    let mut lying = Vec::with_capacity(lying_count);
+    while lying.len() < lying_count {
+        let s = rng.random_range(0..p);
+        if !lying.contains(&s) {
+            lying.push(s);
+        }
+    }
+    lying.sort_unstable();
+
+    let max_window = rng.random_range(4..=12usize);
+    let min_window = if rng.random_bool(0.3) {
+        rng.random_range(1..=2usize).min(max_window)
+    } else {
+        0
+    };
+    let threshold_field = if rng.random_bool(0.5) {
+        Vec::new()
+    } else {
+        let factor = rng.random_range(0.5..=2.0);
+        model
+            .threshold
+            .iter()
+            .map(|&tau| tau * factor)
+            .collect::<Vec<f64>>()
+    };
+    let cache_capacity = [0usize, 64, 1024][rng.random_range(0..3usize)];
+
+    let drawn_len = rng.random_range(40..=72usize);
+    let len = seed.len.unwrap_or(drawn_len);
+    let profile = &model.attack_profile;
+    let magnitude = rng.random_range(profile.bias_range.0..=profile.bias_range.1);
+    // The severe family is about majority corruption, so it never
+    // draws benign; the sensor family keeps a benign slice for
+    // false-positive measurement.
+    let (mut attack, attack_desc): (Box<dyn SensorAttack + Send>, String) =
+        if !severe && rng.random_bool(0.25) {
+            (Box::new(NoAttack), "benign".into())
+        } else {
+            draw_per_sensor_attack(&mut rng, len.max(6), lying, magnitude)
+        };
+
+    let mut pid = model.controller().expect("registry model validated");
+    let mut observer = Observer::new(observed.clone(), gain, model.x0.clone())
+        .expect("gain shape follows from the design");
+    let attack_onset = attack.onset();
+    let (trace, measurements) = output_feedback_trace(
+        &mut rng,
+        &model.system,
+        &mut observer,
+        &model.x0,
+        &mut pid,
+        attack.as_mut(),
+        model.sensor_noise,
+        process_noise,
+        len,
+    );
+
+    let c = observed.c();
+    let output_map = (0..p)
+        .flat_map(|i| (0..n).map(move |j| c[(i, j)]))
+        .collect::<Vec<f64>>();
+    let spec = SessionSpec {
+        model: sim.table1_row() as u8,
+        max_window: max_window as u32,
+        min_window: min_window as u32,
+        threshold: threshold_field,
+        cache_capacity: cache_capacity as u32,
+        output_rows: 0,
+        output_map: Vec::new(),
+    }
+    .with_output_map(p as u32, output_map);
+    let threshold = if spec.threshold.is_empty() {
+        model.threshold.clone()
+    } else {
+        Vector::from_slice(&spec.threshold)
+    };
+    Scenario {
+        seed: *seed,
+        label: format!(
+            "{} {} p={p} w_m={max_window} cache={cache_capacity} {attack_desc}",
+            if severe { "severe" } else { "sensor" },
+            model.name
+        ),
+        spec: Some(spec),
+        system: model.system.clone(),
+        threshold,
+        max_window,
+        min_window,
+        cache_capacity,
+        initial_radius: 0.0,
+        reestimation_period: 1,
+        complementary: true,
+        epsilon: model.epsilon,
+        control_limits: model.control_limits.clone(),
+        safe_set: model.safe_set.clone(),
+        trace,
+        measurements,
+        attack_onset,
     }
 }
 
@@ -554,6 +892,8 @@ mod tests {
             SeedSpec::registry(0),
             SeedSpec::registry(u64::MAX),
             SeedSpec::random_lti(0xdead_beef),
+            SeedSpec::sensor(0xfeed),
+            SeedSpec::severe(0xface).with_len(12),
             SeedSpec::registry(42).with_len(17),
         ] {
             let s = spec.to_string();
@@ -578,7 +918,12 @@ mod tests {
 
     #[test]
     fn same_seed_same_scenario() {
-        for seed in [SeedSpec::registry(7), SeedSpec::random_lti(7)] {
+        for seed in [
+            SeedSpec::registry(7),
+            SeedSpec::random_lti(7),
+            SeedSpec::sensor(7),
+            SeedSpec::severe(7),
+        ] {
             let a = Scenario::from_seed(&seed);
             let b = Scenario::from_seed(&seed);
             assert_eq!(a.label, b.label);
@@ -604,6 +949,56 @@ mod tests {
             assert_eq!(logger.system().state_dim(), scenario.system.state_dim());
             assert_eq!(detector.config().max_window(), scenario.max_window);
             assert_eq!(detector.has_deadline_cache(), scenario.cache_capacity > 0);
+        }
+    }
+
+    #[test]
+    fn sensor_scenarios_carry_consistent_output_maps() {
+        for s in 0..12u64 {
+            for seed in [SeedSpec::sensor(s), SeedSpec::severe(s)] {
+                let scenario = Scenario::from_seed(&seed);
+                let spec = scenario
+                    .spec
+                    .as_ref()
+                    .expect("sensor families are wire-capable");
+                let n = scenario.system.state_dim();
+                let p = spec.output_rows as usize;
+                assert!(p >= 2, "need at least two sensors, got {p}");
+                assert_eq!(spec.output_map.len(), p * n, "map must be p × n row-major");
+                assert!(spec.output_map.iter().all(|v| v.is_finite()));
+                // The server's own construction must accept the spec.
+                let (logger, detector) = scenario.parts();
+                assert_eq!(logger.system().state_dim(), n);
+                assert_eq!(detector.config().max_window(), scenario.max_window);
+            }
+        }
+    }
+
+    #[test]
+    fn severe_scenarios_have_a_lying_majority() {
+        // The label records the lying-sensor subset; parse it back out
+        // and check the trustworthy minority invariant.
+        for s in 0..12u64 {
+            let scenario = Scenario::from_seed(&SeedSpec::severe(s));
+            let spec = scenario.spec.as_ref().unwrap();
+            let p = spec.output_rows as usize;
+            let lying = scenario
+                .label
+                .split("sensors [")
+                .nth(1)
+                .expect("severe labels list the lying sensors")
+                .split(']')
+                .next()
+                .unwrap()
+                .split(',')
+                .count();
+            assert!(
+                2 * (p - lying) < p,
+                "severe scenario must leave fewer than half trustworthy \
+                 (p = {p}, lying = {lying}): {}",
+                scenario.label
+            );
+            assert!(lying < p, "at least one sensor stays honest");
         }
     }
 

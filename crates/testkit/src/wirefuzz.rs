@@ -125,12 +125,25 @@ fn arbitrary_outcome(rng: &mut StdRng) -> WireOutcome {
 }
 
 fn arbitrary_spec(rng: &mut StdRng) -> SessionSpec {
+    // The output-map extension is only written when the map is
+    // non-empty, and the decoder leaves `output_rows` at 0 for legacy
+    // frames — so a round-trippable spec either carries no map at all
+    // (rows 0) or a non-empty map with a non-zero row count.
+    let (output_rows, output_map) = if rng.random_bool(0.5) {
+        (0, Vec::new())
+    } else {
+        let rows = rng.random_range(1..=3u32);
+        let cols = rng.random_range(1..=4usize);
+        (rows, arbitrary_f64s(rng, rows as usize * cols))
+    };
     SessionSpec {
         model: rng.random_range(0..=u8::MAX),
         max_window: rng.random_range(0..=u32::MAX),
         min_window: rng.random_range(0..=u32::MAX),
         threshold: arbitrary_f64s(rng, 6),
         cache_capacity: rng.random_range(0..=u32::MAX),
+        output_rows,
+        output_map,
     }
 }
 

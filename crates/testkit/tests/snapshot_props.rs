@@ -15,10 +15,11 @@ proptest! {
 
     #[test]
     fn restored_stream_is_byte_identical(seed in any::<u64>(), cut_sel in any::<u64>()) {
-        let spec = if seed.is_multiple_of(2) {
-            SeedSpec::registry(seed)
-        } else {
-            SeedSpec::random_lti(seed)
+        let spec = match seed % 4 {
+            0 => SeedSpec::registry(seed),
+            1 => SeedSpec::random_lti(seed),
+            2 => SeedSpec::sensor(seed),
+            _ => SeedSpec::severe(seed),
         };
         let scenario = Scenario::from_seed(&spec);
         // Random cut anywhere in the trace, endpoints included: cut 0
