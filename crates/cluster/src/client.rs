@@ -374,6 +374,87 @@ impl ClusterClient {
         Ok(outcomes)
     }
 
+    /// Swaps the session's plant model in place on its primary and
+    /// checkpoints the recalibrated state, so a later failover
+    /// resumes under the new model. A transport failure mid-call
+    /// fails the primary over and retries once on the backup; if the
+    /// dead primary already applied the swap and its replica landed,
+    /// the retry re-applies it — the returned recalibration count may
+    /// then exceed the caller's expectation by one, but the detector
+    /// state (and therefore the outcome stream) is identical either
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (dimension mismatch, unknown session)
+    /// surface as [`ClusterError::Client`]; failover exhaustion as
+    /// [`ClusterError::NoShards`].
+    pub fn recalibrate(
+        &mut self,
+        key: u64,
+        state_dim: u32,
+        input_dim: u32,
+        a: &[f64],
+        b: &[f64],
+    ) -> Result<u64> {
+        let (shard, remote) = {
+            let route = self
+                .routes
+                .get(&key)
+                .ok_or(ClusterError::UnknownSession(key))?;
+            (route.shard, route.remote)
+        };
+        if self.ring.addr_of(shard).is_some() {
+            match self.try_recalibrate(shard, remote, state_dim, input_dim, a, b) {
+                Ok((count, checkpoint)) => {
+                    self.routes
+                        .get_mut(&key)
+                        .expect("route present above")
+                        .checkpoint = checkpoint;
+                    return Ok(count);
+                }
+                Err(e) if transport_failure(&e) => {
+                    // Fall through to failover.
+                }
+                Err(e) => return Err(e.into()),
+            }
+            self.fail_shard(shard);
+        }
+        // Move the session to its backup (replaying nothing — the
+        // interrupted call carried no ticks), then re-issue the swap
+        // against the promoted or restored session.
+        self.failover_and_replay(key, &[])?;
+        let (shard, remote) = {
+            let route = self.routes.get(&key).expect("route survived failover");
+            (route.shard, route.remote)
+        };
+        let (count, checkpoint) =
+            self.try_recalibrate(shard, remote, state_dim, input_dim, a, b)?;
+        self.routes
+            .get_mut(&key)
+            .expect("route present above")
+            .checkpoint = checkpoint;
+        Ok(count)
+    }
+
+    /// The swap-then-checkpoint unit, mirroring [`Self::try_batch`]:
+    /// only when both round trips succeed is the recalibration
+    /// considered delivered.
+    fn try_recalibrate(
+        &mut self,
+        shard: u32,
+        remote: u64,
+        state_dim: u32,
+        input_dim: u32,
+        a: &[f64],
+        b: &[f64],
+    ) -> std::result::Result<(u64, WireSessionState), ClientError> {
+        let conn = self.conn(shard)?;
+        let count = conn.recalibrate(remote, state_dim, input_dim, a, b)?;
+        let checkpoint = conn.snapshot_session(remote)?;
+        Ok((count, checkpoint))
+    }
+
     /// The session's state after the last delivered batch (no round
     /// trip — this is the client-held checkpoint).
     ///

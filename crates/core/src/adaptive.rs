@@ -1,6 +1,8 @@
-use awsad_linalg::Vector;
+use awsad_linalg::{Matrix, Vector};
+use awsad_lti::LtiSystem;
 use awsad_reach::{CacheStats, Deadline, DeadlineCache, DeadlineEstimator, DeadlineScratch};
 
+use crate::snapshot::RecalibrationState;
 use crate::{DataLogger, DetectError, DetectorConfig, DetectorSnapshot, Result, WindowDetector};
 
 /// The outcome of one adaptive-detector step.
@@ -81,6 +83,7 @@ pub struct AdaptiveDetector {
     scratch: DeadlineScratch,
     mean_scratch: Vector,
     last_step_alloc_free: bool,
+    recalibration: Option<RecalibrationState>,
 }
 
 impl AdaptiveDetector {
@@ -114,6 +117,7 @@ impl AdaptiveDetector {
             scratch: DeadlineScratch::new(),
             mean_scratch,
             last_step_alloc_free: false,
+            recalibration: None,
         })
     }
 
@@ -527,6 +531,82 @@ impl AdaptiveDetector {
         self.cached_deadline = None;
     }
 
+    /// The recalibrated plant model in effect, when the session has
+    /// accepted at least one [`AdaptiveDetector::recalibrate`].
+    pub fn recalibration(&self) -> Option<&RecalibrationState> {
+        self.recalibration.as_ref()
+    }
+
+    /// Number of accepted recalibrations (`0` while the detector still
+    /// runs the model it was configured with).
+    pub fn recalibration_count(&self) -> u64 {
+        self.recalibration.as_ref().map_or(0, |r| r.count)
+    }
+
+    /// Swaps the session's plant model for `(a, b)` mid-stream: the
+    /// deadline estimator is rebuilt from the new matrices under the
+    /// unchanged [`awsad_reach::ReachConfig`], an installed deadline
+    /// cache is cleared (its memoized walks reflect the old model),
+    /// the aged deadline is dropped so the next step re-queries, and
+    /// `logger` predicts with the new model from its next record on.
+    ///
+    /// What is deliberately *kept*: the previous window `w_p`, every
+    /// retained log entry with its original residuals (history is
+    /// immutable), thresholds, window bounds, the re-estimation
+    /// period, and the initial radius. A recalibration changes the
+    /// model, not the protocol.
+    ///
+    /// Returns the new recalibration count (1 on the first accepted
+    /// swap). Detector and logger are left unchanged on error.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidRecalibration`] when `a` is not `n × n`
+    /// for the session's state dimension, `b` is not `n × m` for its
+    /// input dimension, either matrix has a non-finite entry, or the
+    /// replacement cannot seed a deadline estimator / plant model.
+    pub fn recalibrate(&mut self, logger: &mut DataLogger, a: &Matrix, b: &Matrix) -> Result<u64> {
+        let invalid = |reason| Err(DetectError::InvalidRecalibration { reason });
+        let n = self.estimator.state_dim();
+        let m = logger.system().input_dim();
+        if !a.is_square() || a.rows() != n {
+            return invalid("A must be n x n for the session's state dimension");
+        }
+        if b.rows() != n || b.cols() != m {
+            return invalid("B must be n x m for the session's dimensions");
+        }
+        if !a.is_finite() || !b.is_finite() {
+            return invalid("plant matrices must be finite");
+        }
+        let estimator = DeadlineEstimator::new(a, b, self.estimator.config().clone());
+        let Ok(estimator) = estimator else {
+            return invalid("replacement model cannot seed a deadline estimator");
+        };
+        let system = LtiSystem::new_discrete(
+            a.clone(),
+            b.clone(),
+            logger.system().c().clone(),
+            logger.system().dt(),
+        );
+        let Ok(system) = system else {
+            return invalid("replacement model is not a valid plant");
+        };
+        self.estimator = estimator;
+        logger.replace_system(system);
+        if let Some(cache) = self.deadline_cache.as_mut() {
+            cache.clear();
+        }
+        self.cached_deadline = None;
+        self.steps_since_estimate = 0;
+        let count = self.recalibration_count() + 1;
+        self.recalibration = Some(RecalibrationState {
+            a: a.clone(),
+            b: b.clone(),
+            count,
+        });
+        Ok(count)
+    }
+
     /// Captures the detector's full mutable state, together with the
     /// retained window of `logger`, into a [`DetectorSnapshot`].
     ///
@@ -541,6 +621,7 @@ impl AdaptiveDetector {
             initial_radius: self.initial_radius,
             complementary_enabled: self.complementary_enabled,
             reestimation_period: self.reestimation_period,
+            recalibration: self.recalibration.clone(),
             logger: logger.snapshot(),
         }
     }
@@ -578,7 +659,60 @@ impl AdaptiveDetector {
         if snapshot.steps_since_estimate > snapshot.reestimation_period {
             return invalid("aging counter exceeds the re-estimation period");
         }
+        // A recalibrated snapshot rebuilds the estimator and plant
+        // model from its own (Â, B̂) — validated and constructed
+        // *before* any mutation so an invalid block leaves both
+        // detector and logger untouched.
+        let rebuilt = match &snapshot.recalibration {
+            Some(recal) => {
+                let n = self.config.dim();
+                if !recal.a.is_square()
+                    || recal.a.rows() != n
+                    || recal.b.rows() != n
+                    || recal.b.cols() != logger.system().input_dim()
+                {
+                    return invalid("recalibration matrices mismatch the session dimensions");
+                }
+                if !recal.a.is_finite() || !recal.b.is_finite() {
+                    return invalid("recalibration matrices must be finite");
+                }
+                if recal.count == 0 {
+                    return invalid("recalibration count must be positive");
+                }
+                let Ok(estimator) =
+                    DeadlineEstimator::new(&recal.a, &recal.b, self.estimator.config().clone())
+                else {
+                    return invalid("recalibration cannot seed a deadline estimator");
+                };
+                let Ok(system) = LtiSystem::new_discrete(
+                    recal.a.clone(),
+                    recal.b.clone(),
+                    logger.system().c().clone(),
+                    logger.system().dt(),
+                ) else {
+                    return invalid("recalibration is not a valid plant model");
+                };
+                Some((estimator, system))
+            }
+            None => {
+                if self.recalibration.is_some() {
+                    return invalid(
+                        "snapshot predates this detector's recalibration; \
+                         restore into a freshly configured pair",
+                    );
+                }
+                None
+            }
+        };
         logger.restore(&snapshot.logger)?;
+        if let Some((estimator, system)) = rebuilt {
+            self.estimator = estimator;
+            logger.replace_system(system);
+            if let Some(cache) = self.deadline_cache.as_mut() {
+                cache.clear();
+            }
+        }
+        self.recalibration = snapshot.recalibration.clone();
         self.prev_window = snapshot.prev_window;
         self.steps_since_estimate = snapshot.steps_since_estimate;
         self.cached_deadline = snapshot.cached_deadline;
@@ -1088,5 +1222,176 @@ mod tests {
         // the stale estimate (4); instead it re-queries and reads 5.
         logger.record(v(0.0), v(0.0));
         assert_eq!(det.step(&logger).deadline, Deadline::Within(5));
+    }
+
+    #[test]
+    fn recalibrate_swaps_model_and_estimator_in_place() {
+        let (mut logger, mut det) = setup(0.5, 10);
+        for _ in 0..6 {
+            logger.record(v(0.0), v(0.0));
+            det.step(&logger);
+        }
+        assert_eq!(det.recalibration_count(), 0);
+        // Swap the integrator for a contracting plant with a smaller
+        // input gain.
+        let a = Matrix::diagonal(&[0.5]);
+        let b = Matrix::from_rows(&[&[0.25]]).unwrap();
+        assert_eq!(det.recalibrate(&mut logger, &a, &b).unwrap(), 1);
+        assert_eq!(det.recalibration_count(), 1);
+        assert!(logger.system().a().approx_eq(&a));
+        assert!(logger.system().b().approx_eq(&b));
+        assert!(det.estimator().state_dim() == 1);
+        // Predictions from the next record on use the new model:
+        // x̃ = 0.5·x̄ + 0.25·u.
+        logger.record(v(1.0), v(0.0));
+        det.step(&logger);
+        logger.record(v(0.5), v(0.0));
+        let entry = logger.latest().unwrap();
+        assert_eq!(entry.residual.as_slice()[0], 0.0);
+        det.step(&logger);
+    }
+
+    #[test]
+    fn recalibrate_rejects_malformed_models() {
+        let (mut logger, mut det) = setup(0.5, 10);
+        logger.record(v(0.0), v(0.0));
+        det.step(&logger);
+        let good_a = Matrix::identity(1);
+        let good_b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let wide = Matrix::zeros(1, 2);
+        assert!(matches!(
+            det.recalibrate(&mut logger, &wide, &good_b),
+            Err(DetectError::InvalidRecalibration { .. })
+        ));
+        assert!(matches!(
+            det.recalibrate(&mut logger, &Matrix::identity(2), &good_b),
+            Err(DetectError::InvalidRecalibration { .. })
+        ));
+        assert!(matches!(
+            det.recalibrate(&mut logger, &good_a, &Matrix::zeros(1, 2)),
+            Err(DetectError::InvalidRecalibration { .. })
+        ));
+        let nan = Matrix::from_rows(&[&[f64::NAN]]).unwrap();
+        assert!(matches!(
+            det.recalibrate(&mut logger, &nan, &good_b),
+            Err(DetectError::InvalidRecalibration { .. })
+        ));
+        // Rejections leave everything unchanged.
+        assert_eq!(det.recalibration_count(), 0);
+        assert!(logger.system().a().approx_eq(&Matrix::identity(1)));
+    }
+
+    #[test]
+    fn recalibrate_clears_installed_cache_and_forces_requery() {
+        let (mut logger, mut det) = setup(10.0, 10);
+        det.set_deadline_cache(DeadlineCache::new(awsad_reach::CacheConfig::exact(64)));
+        for _ in 0..6 {
+            logger.record(v(0.0), v(0.0));
+            det.step(&logger);
+        }
+        assert!(det.deadline_cache_stats().unwrap().hits > 0);
+        let a = Matrix::diagonal(&[0.5]);
+        let b = Matrix::from_rows(&[&[0.25]]).unwrap();
+        det.recalibrate(&mut logger, &a, &b).unwrap();
+        assert!(det.has_deadline_cache());
+        assert_eq!(det.deadline_cache_stats().unwrap().len, 0);
+        // The next step re-queries under the new model and still runs.
+        logger.record(v(0.0), v(0.0));
+        let out = det.step(&logger);
+        assert!(out.window >= 1);
+    }
+
+    #[test]
+    fn snapshot_restore_survives_recalibration_bit_identically() {
+        let (mut logger, mut det) = setup(0.5, 6);
+        for i in 0..5 {
+            logger.record(v(0.02 * i as f64), v(0.01));
+            det.step(&logger);
+        }
+        let a = Matrix::diagonal(&[0.8]);
+        let b = Matrix::from_rows(&[&[0.5]]).unwrap();
+        det.recalibrate(&mut logger, &a, &b).unwrap();
+        logger.record(v(0.1), v(0.02));
+        det.step(&logger);
+        let snap = det.snapshot(&logger);
+        assert_eq!(snap.recalibration.as_ref().unwrap().count, 1);
+
+        // Restore into a pair built from the *original* configuration:
+        // the snapshot's recalibration block must rebuild the drifted
+        // estimator and plant on its own.
+        let (mut logger2, mut det2) = setup(0.5, 6);
+        det2.restore(&mut logger2, &snap).unwrap();
+        assert_eq!(det2.recalibration_count(), 1);
+        assert!(logger2.system().a().approx_eq(&a));
+        for i in 0..8 {
+            let x = v(0.1 - 0.01 * i as f64);
+            let u = v(0.005 * i as f64);
+            logger.record(x.clone(), u.clone());
+            logger2.record(x, u);
+            assert_eq!(det.step(&logger), det2.step(&logger2));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_recalibration_blocks() {
+        let (mut logger, mut det) = setup(0.5, 6);
+        for _ in 0..4 {
+            logger.record(v(0.0), v(0.0));
+            det.step(&logger);
+        }
+        let good = det.snapshot(&logger);
+        let recal = crate::RecalibrationState {
+            a: Matrix::diagonal(&[0.5]),
+            b: Matrix::from_rows(&[&[0.25]]).unwrap(),
+            count: 1,
+        };
+        let (mut fl, mut fd) = setup(0.5, 6);
+        // Wrong dimensions.
+        let mut bad = good.clone();
+        bad.recalibration = Some(crate::RecalibrationState {
+            a: Matrix::identity(2),
+            ..recal.clone()
+        });
+        assert!(matches!(
+            fd.restore(&mut fl, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        // Zero count.
+        let mut bad = good.clone();
+        bad.recalibration = Some(crate::RecalibrationState {
+            count: 0,
+            ..recal.clone()
+        });
+        assert!(matches!(
+            fd.restore(&mut fl, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        // Non-finite matrices.
+        let mut bad = good.clone();
+        bad.recalibration = Some(crate::RecalibrationState {
+            b: Matrix::from_rows(&[&[f64::INFINITY]]).unwrap(),
+            ..recal.clone()
+        });
+        assert!(matches!(
+            fd.restore(&mut fl, &bad),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        // A pre-recalibration snapshot cannot restore into a detector
+        // that has already swapped models (the original estimator is
+        // gone).
+        let mut bad_target = fd.clone();
+        let mut bad_target_logger = fl.clone();
+        bad_target
+            .recalibrate(&mut bad_target_logger, &recal.a, &recal.b)
+            .unwrap();
+        assert!(matches!(
+            bad_target.restore(&mut bad_target_logger, &good),
+            Err(DetectError::InvalidSnapshot { .. })
+        ));
+        // The valid block restores fine after all the rejections.
+        let mut ok = good.clone();
+        ok.recalibration = Some(recal);
+        assert!(fd.restore(&mut fl, &ok).is_ok());
+        assert_eq!(fd.recalibration_count(), 1);
     }
 }

@@ -46,6 +46,13 @@ pub enum DetectError {
         /// Explanation.
         reason: &'static str,
     },
+    /// A mid-stream recalibration was rejected: the replacement plant
+    /// matrices were malformed, mismatched the session's dimensions,
+    /// or could not seed a new deadline estimator.
+    InvalidRecalibration {
+        /// Explanation.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -73,6 +80,9 @@ impl fmt::Display for DetectError {
             }
             DetectError::InvalidLocalization { reason } => {
                 write!(f, "invalid localization: {reason}")
+            }
+            DetectError::InvalidRecalibration { reason } => {
+                write!(f, "invalid recalibration: {reason}")
             }
         }
     }
@@ -114,5 +124,10 @@ mod tests {
         }
         .to_string()
         .contains("window"));
+        assert!(DetectError::InvalidRecalibration {
+            reason: "A must be square"
+        }
+        .to_string()
+        .contains("square"));
     }
 }

@@ -94,6 +94,7 @@ mod chi_squared;
 mod config;
 mod error;
 mod ewma;
+mod ident;
 mod localize;
 mod logger;
 mod report;
@@ -110,10 +111,11 @@ pub use chi_squared::{estimate_covariance, ChiSquaredDetector};
 pub use config::DetectorConfig;
 pub use error::DetectError;
 pub use ewma::EwmaDetector;
+pub use ident::{DriftConfig, DriftVerdict, IdentError, IdentifiedModel, ModelIdentifier};
 pub use localize::{LocalizationReport, SensorLocalizer};
 pub use logger::{DataLogger, LogEntry, RetentionState};
 pub use report::DetectionReport;
-pub use snapshot::{DetectorSnapshot, LoggerSnapshot};
+pub use snapshot::{DetectorSnapshot, LoggerSnapshot, RecalibrationState};
 pub use window::{FixedWindowDetector, WindowDetector};
 pub use windowed_chi::{tune_windowed_limit, WindowedChiSquaredDetector};
 

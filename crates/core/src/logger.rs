@@ -82,6 +82,30 @@ impl DataLogger {
         self.max_window
     }
 
+    /// Replaces the plant model used for predictions from the next
+    /// [`DataLogger::record`] on. Retained entries keep the residuals
+    /// they were recorded with — a recalibration changes how *future*
+    /// predictions are formed, never history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the replacement's state or input dimension differs
+    /// from the current model (the retained window would become
+    /// meaningless).
+    pub(crate) fn replace_system(&mut self, system: LtiSystem) {
+        assert_eq!(
+            system.state_dim(),
+            self.system.state_dim(),
+            "replacement model must keep the state dimension"
+        );
+        assert_eq!(
+            system.input_dim(),
+            self.system.input_dim(),
+            "replacement model must keep the input dimension"
+        );
+        self.system = system;
+    }
+
     /// Records step `t` (assigned sequentially) and returns the new
     /// entry.
     ///

@@ -1,3 +1,4 @@
+use awsad_linalg::Matrix;
 use awsad_reach::Deadline;
 
 use crate::LogEntry;
@@ -32,8 +33,30 @@ pub struct DetectorSnapshot {
     pub complementary_enabled: bool,
     /// Re-estimation period (1 = query every step).
     pub reestimation_period: usize,
+    /// The in-effect recalibrated plant model, when the session has
+    /// accepted at least one mid-stream [`AdaptiveDetector::recalibrate`].
+    /// `None` means the detector still runs the model it was
+    /// configured with — the common case, and the one whose wire image
+    /// stays byte-identical to every pre-recalibration peer.
+    ///
+    /// [`AdaptiveDetector::recalibrate`]: crate::AdaptiveDetector::recalibrate
+    pub recalibration: Option<RecalibrationState>,
     /// The retained logger window.
     pub logger: LoggerSnapshot,
+}
+
+/// The plant model a session swapped in via a mid-stream
+/// recalibration, carried inside [`DetectorSnapshot`] so restore,
+/// replication, and failover rebuild the *recalibrated* deadline
+/// estimator rather than the configured one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecalibrationState {
+    /// The recalibrated state matrix `Â` (`n × n`).
+    pub a: Matrix,
+    /// The recalibrated input matrix `B̂` (`n × m`).
+    pub b: Matrix,
+    /// How many recalibrations the session has accepted (≥ 1).
+    pub count: u64,
 }
 
 /// The retained window of a [`DataLogger`]: every entry still held

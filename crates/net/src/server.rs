@@ -59,7 +59,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use awsad_linalg::Vector;
+use awsad_linalg::{Matrix, Vector};
 use awsad_runtime::{DetectionEngine, RuntimeMetrics, SessionHandle, Tick, TickOutcome};
 use awsad_serve::server::{
     session_parts_for_spec, wire_metrics, ReplicationUpdate, ServerConfig, TransportMetrics,
@@ -145,6 +145,7 @@ struct ShardStats {
     connections_opened: AtomicU64,
     connections_dropped: AtomicU64,
     sessions_evicted: AtomicU64,
+    recalibrations_rejected: AtomicU64,
     partial_frame_resumes: AtomicU64,
 }
 
@@ -195,6 +196,7 @@ impl NetShared {
             t.connections_opened += s.stats.connections_opened.load(Ordering::Relaxed);
             t.connections_dropped += s.stats.connections_dropped.load(Ordering::Relaxed);
             t.sessions_evicted += s.stats.sessions_evicted.load(Ordering::Relaxed);
+            t.recalibrations_rejected += s.stats.recalibrations_rejected.load(Ordering::Relaxed);
         }
         t
     }
@@ -936,6 +938,15 @@ impl Shard {
             Frame::SnapshotSession { session } => {
                 Served::Reply(self.snapshot_session(conn_token, session))
             }
+            Frame::Recalibrate {
+                session,
+                state_dim,
+                input_dim,
+                a,
+                b,
+            } => Served::Reply(
+                self.recalibrate_session(conn_token, session, state_dim, input_dim, &a, &b),
+            ),
             Frame::CloseSession { session } => {
                 let reply = match self.sessions.get(&session) {
                     Some(s) if s.owner == conn_token => {
@@ -980,6 +991,7 @@ impl Shard {
             | Frame::SessionClosed { .. }
             | Frame::MetricsReply(_)
             | Frame::SessionSnapshot { .. }
+            | Frame::RecalibrateAck { .. }
             | Frame::ReplicateAck { .. }
             | Frame::Error { .. } => Served::Reply(error(
                 ErrorCode::Internal,
@@ -1219,6 +1231,66 @@ impl Shard {
         Frame::SessionSnapshot {
             session,
             state: WireSessionState::from_snapshot(&snapshot),
+        }
+    }
+
+    /// Swaps the session's plant model in place — same codes, same
+    /// messages, and the same replication egress as the blocking
+    /// server's `recalibrate_session`.
+    fn recalibrate_session(
+        &mut self,
+        conn_token: u64,
+        session: u64,
+        state_dim: u32,
+        input_dim: u32,
+        a: &[f64],
+        b: &[f64],
+    ) -> Frame {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return error(ErrorCode::UnknownSession, format!("session {session}"));
+        };
+        if sess.owner != conn_token {
+            return error(ErrorCode::UnknownSession, format!("session {session}"));
+        }
+        sess.last_used = Instant::now();
+        let reject = |stats: &ShardStats, msg: String| {
+            stats
+                .recalibrations_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            error(ErrorCode::DimensionMismatch, msg)
+        };
+        if state_dim as usize != sess.state_dim || input_dim as usize != sess.input_dim {
+            return reject(
+                &self.shard.stats,
+                format!(
+                    "recalibrate declares dims {state_dim}/{input_dim}, session wants {}/{}",
+                    sess.state_dim, sess.input_dim
+                ),
+            );
+        }
+        let n = state_dim as usize;
+        let m = input_dim as usize;
+        let a = Matrix::from_row_major(n, n, a.to_vec()).expect("A validated on decode");
+        let b = Matrix::from_row_major(n, m, b.to_vec()).expect("B validated on decode");
+        // Strict request→reply ordering means no batch is in flight,
+        // so the engine-side quiescence wait is effectively instant.
+        let recal_count = match sess.handle.recalibrate(&a, &b) {
+            Ok(count) => count,
+            Err(e) => return reject(&self.shard.stats, format!("recalibrate: {e}")),
+        };
+        if let Some(sink) = &self.shared.config.base.replication {
+            let snapshot = sess.handle.snapshot();
+            let lag = sink.replicate(ReplicationUpdate {
+                session,
+                generation: snapshot.generation,
+                spec: sess.spec.clone(),
+                state: WireSessionState::from_snapshot(&snapshot),
+            });
+            self.shard.engine.record_replication(lag);
+        }
+        Frame::RecalibrateAck {
+            session,
+            recal_count,
         }
     }
 }

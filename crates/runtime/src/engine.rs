@@ -7,7 +7,7 @@ use std::time::Instant;
 use awsad_core::{
     AdaptiveDetector, AdaptiveStep, BatchLane, BatchPlan, DataLogger, DetectorSnapshot,
 };
-use awsad_linalg::Vector;
+use awsad_linalg::{Matrix, Vector};
 use awsad_reach::CacheStats;
 
 use crate::metrics::{MetricsInner, RuntimeMetrics};
@@ -201,8 +201,13 @@ struct SessionSlot {
     /// mega-drain may step them through one [`BatchPlan`] group.
     /// `None` means this session always takes the scalar path (batch
     /// mode off, or a quantized deadline cache whose miss semantics
-    /// the batched walk cannot reproduce).
-    batch_key: Option<u64>,
+    /// the batched walk cannot reproduce). Behind a mutex because a
+    /// mid-stream recalibration swaps the estimator fingerprint; it is
+    /// only written while the session is quiescent and unclaimed
+    /// (inbox lock held, queue empty, `scheduled` false), and the
+    /// mega-drain reads it only after claiming the session, so a read
+    /// taken under either discipline is stable for the whole drain.
+    batch_key: Mutex<Option<u64>>,
     /// Set when a panic escaped this session's detector or logger
     /// (e.g. a wrong-dimension tick tripping [`DataLogger::record`]'s
     /// assert). A failed session is closed, its queued ticks are
@@ -455,7 +460,7 @@ impl DetectionEngine {
                 detector,
                 outcomes: tx,
             }),
-            batch_key,
+            batch_key: Mutex::new(batch_key),
             failed: AtomicBool::new(false),
         });
         if self.shared.config.cross_session_batch {
@@ -718,6 +723,58 @@ impl SessionHandle {
             next_seq: inbox.next_seq,
             generation: inbox.generation,
         }
+    }
+
+    /// Swaps the session's plant model mid-stream (accepted model
+    /// drift): rebuilds the deadline estimator around `(a, b)`, swaps
+    /// the logger's prediction model, and clears any installed
+    /// deadline cache — see [`AdaptiveDetector::recalibrate`] for the
+    /// exact semantics. Returns the session's new recalibration count.
+    ///
+    /// Like [`SessionHandle::snapshot`], this blocks until every tick
+    /// already submitted has been processed, so the swap is a clean
+    /// cut between two ticks: every outcome before it was stepped
+    /// under the old model, every outcome after it under the new one.
+    /// Not a single queued tick is dropped or stepped twice. Callers
+    /// wanting a deterministic cut should not submit concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`awsad_core::DetectError::InvalidRecalibration`] when the
+    /// model is malformed for this session (wrong dimensions,
+    /// non-finite entries, or a plant no deadline estimator accepts);
+    /// the session is left exactly as it was.
+    pub fn recalibrate(&self, a: &Matrix, b: &Matrix) -> awsad_core::Result<u64> {
+        let inbox = {
+            let mut inbox = lock_recover(&self.slot.inbox);
+            while !inbox.ticks.is_empty() || inbox.scheduled {
+                inbox = wait_recover(&self.slot.space, inbox);
+            }
+            inbox
+        };
+        // Same lock order and reasoning as `snapshot`: no drain is
+        // running or can start while we hold the inbox lock, so the
+        // state lock is immediately available and deadlock-free.
+        let mut state = lock_recover(&self.slot.state);
+        let SessionState {
+            logger, detector, ..
+        } = &mut *state;
+        let count = detector.recalibrate(logger, a, b)?;
+        // The estimator fingerprint changed with the model, so the
+        // batch-group key must follow — still under the inbox lock,
+        // before any drain can observe the new model.
+        if self.slot.engine.config.cross_session_batch {
+            *lock_recover(&self.slot.batch_key) =
+                detector.batch_supported().then(|| batch_key_of(detector));
+        }
+        self.slot
+            .engine
+            .metrics
+            .recalibrations
+            .fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        drop(inbox);
+        Ok(count)
     }
 
     /// Hit/miss counters of the session detector's deadline cache
@@ -998,7 +1055,7 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
             registry.retain(|weak| weak.strong_count() > 0);
             registry.iter().filter_map(Weak::upgrade).collect()
         };
-        let mut gathered: Vec<(Arc<SessionSlot>, Vec<QueuedTick>)> = Vec::new();
+        let mut gathered: Vec<(Option<u64>, Arc<SessionSlot>, Vec<QueuedTick>)> = Vec::new();
         let mut round_ticks = 0u64;
         for slot in slots {
             let mut inbox = lock_recover(&slot.inbox);
@@ -1011,8 +1068,12 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
             drop(inbox);
             // Queue slots freed: wake blocked producers.
             slot.space.notify_all();
+            // The claim above is what pins the key: a recalibration
+            // waits for `scheduled` to clear before rewriting it, so
+            // this copy stays valid for the whole round.
+            let key = *lock_recover(&slot.batch_key);
             round_ticks += batch.len() as u64;
-            gathered.push((slot, batch));
+            gathered.push((key, slot, batch));
         }
 
         if gathered.is_empty() {
@@ -1042,19 +1103,18 @@ fn mega_drain(shared: &Arc<EngineShared>, pool: &Arc<WorkerPool>) {
         // Group claimed sessions by batch key. `None` sorts first;
         // those sessions are unbatchable, so each becomes its own
         // scalar "group".
-        gathered.sort_by_key(|(slot, _)| slot.batch_key);
+        gathered.sort_by_key(|(key, _, _)| *key);
         let mut groups: Vec<Vec<(Arc<SessionSlot>, Vec<QueuedTick>)>> = Vec::new();
-        for (slot, batch) in gathered {
-            let split = match groups.last() {
-                Some(group) => {
-                    let key = group[0].0.batch_key;
-                    key.is_none() || key != slot.batch_key
-                }
+        let mut prev_key: Option<Option<u64>> = None;
+        for (key, slot, batch) in gathered {
+            let split = match prev_key {
+                Some(prev) => prev.is_none() || prev != key,
                 None => true,
             };
             if split {
                 groups.push(Vec::new());
             }
+            prev_key = Some(key);
             groups.last_mut().expect("just pushed").push((slot, batch));
         }
 
@@ -1124,7 +1184,7 @@ fn process_group(
     plan: &mut BatchPlan,
     group: &mut Vec<(Arc<SessionSlot>, Vec<QueuedTick>)>,
 ) {
-    if group[0].0.batch_key.is_none() {
+    if lock_recover(&group[0].0.batch_key).is_none() {
         for (slot, batch) in group.iter_mut() {
             let mut state = lock_recover(&slot.state);
             let (processed, degraded) = process_batch_scalar(slot, &mut state, batch);
@@ -1404,6 +1464,112 @@ mod tests {
             let got = outcomes.try_recv().expect("outcome per tick");
             assert_eq!(got.step, expected);
             assert!(!got.degraded);
+        }
+    }
+
+    #[test]
+    fn recalibrate_mid_stream_matches_direct_reference() {
+        // 20 ticks under the configured model, an accepted drift swap,
+        // 20 more under the new one: outcome-for-outcome identical to
+        // a standalone detector recalibrated at the same cut, with not
+        // a single tick dropped or duplicated across the swap.
+        let new_a = Matrix::from_rows(&[&[0.9]]).unwrap();
+        let new_b = Matrix::from_rows(&[&[0.8]]).unwrap();
+        let engine = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.28, 10);
+        let (mut direct_logger, mut direct_det) = parts(0.28, 10);
+        let (session, outcomes) = engine.add_session(logger, det);
+        let trace: Vec<f64> = (0..40).map(|t| 0.04 * t as f64).collect();
+        for &x in &trace[..20] {
+            session.submit(tick(x)).unwrap();
+        }
+        assert_eq!(session.recalibrate(&new_a, &new_b).unwrap(), 1);
+        for &x in &trace[20..] {
+            session.submit(tick(x)).unwrap();
+        }
+        engine.drain();
+        for (i, &x) in trace.iter().enumerate() {
+            if i == 20 {
+                direct_det
+                    .recalibrate(&mut direct_logger, &new_a, &new_b)
+                    .unwrap();
+            }
+            direct_logger.record(Vector::from_slice(&[x]), Vector::from_slice(&[0.0]));
+            let expected = direct_det.step(&direct_logger);
+            let got = outcomes.try_recv().expect("outcome per tick");
+            assert_eq!(got.seq, i as u64);
+            assert_eq!(got.step, expected, "tick {i}");
+        }
+        assert_eq!(engine.metrics().recalibrations, 1);
+    }
+
+    #[test]
+    fn rejected_recalibration_leaves_session_and_metrics_untouched() {
+        let engine = DetectionEngine::new(EngineConfig::default());
+        let (logger, det) = parts(0.28, 10);
+        let (mut direct_logger, mut direct_det) = parts(0.28, 10);
+        let (session, outcomes) = engine.add_session(logger, det);
+        session.submit(tick(0.01)).unwrap();
+        let wrong_dims = Matrix::identity(2);
+        assert!(session
+            .recalibrate(&wrong_dims, &Matrix::from_rows(&[&[1.0]]).unwrap())
+            .is_err());
+        session.submit(tick(0.02)).unwrap();
+        engine.drain();
+        for &x in &[0.01, 0.02] {
+            direct_logger.record(Vector::from_slice(&[x]), Vector::from_slice(&[0.0]));
+            let expected = direct_det.step(&direct_logger);
+            assert_eq!(outcomes.try_recv().unwrap().step, expected);
+        }
+        assert_eq!(engine.metrics().recalibrations, 0);
+    }
+
+    #[test]
+    fn recalibrate_regroups_batch_mode_sessions() {
+        // Two same-model sessions share a batch group; recalibrating
+        // one must split them (different estimator fingerprints) while
+        // both streams stay bit-identical to scalar references.
+        let new_a = Matrix::from_rows(&[&[0.9]]).unwrap();
+        let new_b = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let engine = DetectionEngine::new(EngineConfig {
+            cross_session_batch: true,
+            ..EngineConfig::default()
+        });
+        let (l0, d0) = parts(0.28, 10);
+        let (l1, d1) = parts(0.28, 10);
+        let (s0, o0) = engine.add_session(l0, d0);
+        let (s1, o1) = engine.add_session(l1, d1);
+        let key_before = *lock_recover(&s0.slot.batch_key);
+        assert!(key_before.is_some());
+        assert_eq!(key_before, *lock_recover(&s1.slot.batch_key));
+
+        let trace: Vec<f64> = (0..30).map(|t| 0.03 * t as f64).collect();
+        for &x in &trace[..15] {
+            s0.submit(tick(x)).unwrap();
+            s1.submit(tick(x)).unwrap();
+        }
+        engine.drain();
+        s0.recalibrate(&new_a, &new_b).unwrap();
+        let key_after = *lock_recover(&s0.slot.batch_key);
+        assert!(key_after.is_some());
+        assert_ne!(key_after, key_before, "fingerprint must follow the model");
+        assert_eq!(*lock_recover(&s1.slot.batch_key), key_before);
+        for &x in &trace[15..] {
+            s0.submit(tick(x)).unwrap();
+            s1.submit(tick(x)).unwrap();
+        }
+        engine.drain();
+
+        let (mut rl0, mut rd0) = parts(0.28, 10);
+        let (mut rl1, mut rd1) = parts(0.28, 10);
+        for (i, &x) in trace.iter().enumerate() {
+            if i == 15 {
+                rd0.recalibrate(&mut rl0, &new_a, &new_b).unwrap();
+            }
+            rl0.record(Vector::from_slice(&[x]), Vector::from_slice(&[0.0]));
+            rl1.record(Vector::from_slice(&[x]), Vector::from_slice(&[0.0]));
+            assert_eq!(o0.try_recv().unwrap().step, rd0.step(&rl0), "s0 tick {i}");
+            assert_eq!(o1.try_recv().unwrap().step, rd1.step(&rl1), "s1 tick {i}");
         }
     }
 

@@ -172,6 +172,7 @@ pub(crate) struct MetricsInner {
     pub(crate) batch_ticks: AtomicU64,
     pub(crate) batch_sessions_hwm: AtomicU64,
     pub(crate) scalar_fallback_ticks: AtomicU64,
+    pub(crate) recalibrations: AtomicU64,
     pub(crate) log_latency: HistInner,
     pub(crate) detect_latency: HistInner,
 }
@@ -193,6 +194,7 @@ impl MetricsInner {
             batch_ticks: self.batch_ticks.load(Ordering::Relaxed),
             batch_sessions_hwm: self.batch_sessions_hwm.load(Ordering::Relaxed),
             scalar_fallback_ticks: self.scalar_fallback_ticks.load(Ordering::Relaxed),
+            recalibrations: self.recalibrations.load(Ordering::Relaxed),
             log_latency: self.log_latency.snapshot(),
             detect_latency: self.detect_latency.snapshot(),
         }
@@ -256,6 +258,11 @@ pub struct RuntimeMetrics {
     /// deadline caches). Degraded ticks count in `degraded_ticks`
     /// only, never here.
     pub scalar_fallback_ticks: u64,
+    /// Mid-stream plant-model swaps accepted by live sessions
+    /// (`SessionHandle::recalibrate` calls that succeeded). Rejected
+    /// attempts leave the session untouched and are counted at the
+    /// transport layer, not here.
+    pub recalibrations: u64,
     /// Latency distribution of the logging stage (`DataLogger::record`).
     pub log_latency: LatencyHistogram,
     /// Latency distribution of the detection stage
@@ -316,6 +323,7 @@ impl RuntimeMetrics {
             scalar_fallback_ticks: self
                 .scalar_fallback_ticks
                 .saturating_add(other.scalar_fallback_ticks),
+            recalibrations: self.recalibrations.saturating_add(other.recalibrations),
             log_latency: self.log_latency.merged(&other.log_latency),
             detect_latency: self.detect_latency.merged(&other.detect_latency),
         }
@@ -437,13 +445,16 @@ mod tests {
         a.batch_ticks.store(100, Ordering::Relaxed);
         a.batch_sessions_hwm.store(16, Ordering::Relaxed);
         a.scalar_fallback_ticks.store(3, Ordering::Relaxed);
+        a.recalibrations.store(2, Ordering::Relaxed);
         b.batch_ticks.store(50, Ordering::Relaxed);
         b.batch_sessions_hwm.store(9, Ordering::Relaxed);
         b.scalar_fallback_ticks.store(7, Ordering::Relaxed);
+        b.recalibrations.store(3, Ordering::Relaxed);
         let merged = a.snapshot().merged(&b.snapshot());
         assert_eq!(merged.batch_ticks, 150);
         assert_eq!(merged.batch_sessions_hwm, 16, "lane width is a high-water");
         assert_eq!(merged.scalar_fallback_ticks, 10);
+        assert_eq!(merged.recalibrations, 5, "model swaps sum across shards");
         assert_eq!(RuntimeMetrics::zero().merged(&merged), merged);
     }
 

@@ -346,6 +346,55 @@ impl Client {
         }
     }
 
+    /// Swaps a session's plant model mid-stream (accepted model
+    /// drift): the server drains the session's queue, rebuilds its
+    /// deadline estimator around `(a, b)` (row-major, `n x n` and
+    /// `n x m`), and replies with the session's new recalibration
+    /// count. Every tick before this call is stepped under the old
+    /// model, every tick after it under the new one — nothing is
+    /// dropped or stepped twice.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownSession`] on
+    /// a foreign id, or [`ErrorCode::DimensionMismatch`] when the
+    /// model does not fit the session (the session is untouched
+    /// then); transport failures otherwise. A pre-recalibration
+    /// server answers [`ClientError::Wire`] (unknown frame type) and
+    /// drops the connection.
+    pub fn recalibrate(
+        &mut self,
+        session: u64,
+        state_dim: u32,
+        input_dim: u32,
+        a: &[f64],
+        b: &[f64],
+    ) -> Result<u64> {
+        let request = Frame::Recalibrate {
+            session,
+            state_dim,
+            input_dim,
+            a: a.to_vec(),
+            b: b.to_vec(),
+        };
+        match self.call(&request)? {
+            Frame::RecalibrateAck {
+                session: got_session,
+                recal_count,
+            } => {
+                if got_session != session {
+                    self.poisoned = Some("recalibrate ack for a different session");
+                    return Err(ClientError::UnexpectedReply {
+                        expected: "ack for the recalibrated session",
+                        got: "RecalibrateAck",
+                    });
+                }
+                Ok(recal_count)
+            }
+            other => Err(self.unexpected("RecalibrateAck", &other)),
+        }
+    }
+
     /// Closes a session (idempotent server-side state: closing an
     /// unknown id is a [`ClientError::Server`] with
     /// [`ErrorCode::UnknownSession`]).

@@ -52,7 +52,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use awsad_core::{AdaptiveDetector, DataLogger, DetectorConfig};
-use awsad_linalg::Vector;
+use awsad_linalg::{Matrix, Vector};
 use awsad_models::Simulator;
 use awsad_reach::{CacheConfig, DeadlineCache};
 use awsad_runtime::{
@@ -184,6 +184,7 @@ struct TransportInner {
     connections_opened: AtomicU64,
     connections_dropped: AtomicU64,
     sessions_evicted: AtomicU64,
+    recalibrations_rejected: AtomicU64,
 }
 
 /// A point-in-time copy of the server's transport counters.
@@ -204,6 +205,10 @@ pub struct TransportMetrics {
     /// Sessions closed by the idle-TTL sweep
     /// ([`ServerConfig::session_ttl`]).
     pub sessions_evicted: u64,
+    /// `Recalibrate` requests refused without touching their session
+    /// (wrong dimensions or a model the detector rejected). Accepted
+    /// swaps count in [`RuntimeMetrics::recalibrations`] instead.
+    pub recalibrations_rejected: u64,
 }
 
 impl TransportInner {
@@ -215,6 +220,7 @@ impl TransportInner {
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            recalibrations_rejected: self.recalibrations_rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -654,6 +660,13 @@ fn handle_frame(shared: &ServerShared, conn_id: u64, frame: Frame) -> Frame {
         } => store_replica(shared, key, generation, spec, state),
         Frame::PromoteSession { key } => promote_session(shared, conn_id, key),
         Frame::RingUpdate { epoch, members } => ring_update(shared, epoch, &members),
+        Frame::Recalibrate {
+            session,
+            state_dim,
+            input_dim,
+            a,
+            b,
+        } => recalibrate_session(shared, conn_id, session, state_dim, input_dim, &a, &b),
         // Reply-direction frames arriving from a client are requests
         // we cannot serve; answer with a typed error but keep the
         // connection (the stream itself is still well-formed).
@@ -664,6 +677,7 @@ fn handle_frame(shared: &ServerShared, conn_id: u64, frame: Frame) -> Frame {
         | Frame::MetricsReply(_)
         | Frame::SessionSnapshot { .. }
         | Frame::ReplicateAck { .. }
+        | Frame::RecalibrateAck { .. }
         | Frame::Error { .. } => error(
             ErrorCode::Internal,
             "reply-direction frame is not a valid request",
@@ -943,6 +957,69 @@ fn snapshot_session(shared: &ServerShared, conn_id: u64, session: u64) -> Frame 
     }
 }
 
+/// Swaps a live session's plant model mid-stream (accepted model
+/// drift). The engine blocks until the session's queue is drained, so
+/// the swap is a clean cut between two ticks; the post-swap state is
+/// replicated like a post-batch state so failover restores the
+/// *recalibrated* session.
+fn recalibrate_session(
+    shared: &ServerShared,
+    conn_id: u64,
+    session: u64,
+    state_dim: u32,
+    input_dim: u32,
+    a: &[f64],
+    b: &[f64],
+) -> Frame {
+    let serve_session = match lookup_session(shared, conn_id, session) {
+        Ok(s) => s,
+        Err(reply) => return reply,
+    };
+    let reject = |msg: String| {
+        shared
+            .transport
+            .recalibrations_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        error(ErrorCode::DimensionMismatch, msg)
+    };
+    if state_dim as usize != serve_session.state_dim
+        || input_dim as usize != serve_session.input_dim
+    {
+        return reject(format!(
+            "recalibrate declares dims {state_dim}/{input_dim}, session wants {}/{}",
+            serve_session.state_dim, serve_session.input_dim
+        ));
+    }
+    // The wire decoder already validated the element counts against
+    // the declared dims, so these constructions cannot fail.
+    let n = state_dim as usize;
+    let m = input_dim as usize;
+    let a = Matrix::from_row_major(n, n, a.to_vec()).expect("A validated on decode");
+    let b = Matrix::from_row_major(n, m, b.to_vec()).expect("B validated on decode");
+    let inner = serve_session.inner.lock().expect("session inner lock");
+    let recal_count = match inner.handle.recalibrate(&a, &b) {
+        Ok(count) => count,
+        Err(e) => return reject(format!("recalibrate: {e}")),
+    };
+    if let Some(sink) = &shared.config.replication {
+        // The queue is drained (recalibrate waited for it), so this
+        // snapshot captures exactly the post-swap state; a failover
+        // from here resumes under the new model.
+        let snapshot = inner.handle.snapshot();
+        let lag = sink.replicate(ReplicationUpdate {
+            session,
+            generation: snapshot.generation,
+            spec: serve_session.spec.clone(),
+            state: WireSessionState::from_snapshot(&snapshot),
+        });
+        shared.engine.record_replication(lag);
+    }
+    Frame::RecalibrateAck {
+        session,
+        recal_count,
+    }
+}
+
 fn run_ticks(
     shared: &ServerShared,
     conn_id: u64,
@@ -1066,5 +1143,7 @@ pub fn wire_metrics(engine: &RuntimeMetrics, transport: &TransportMetrics) -> Wi
         batch_ticks: engine.batch_ticks,
         batch_sessions_hwm: engine.batch_sessions_hwm,
         scalar_fallback_ticks: engine.scalar_fallback_ticks,
+        recalibrations: engine.recalibrations,
+        recalibrations_rejected: transport.recalibrations_rejected,
     }
 }

@@ -72,6 +72,8 @@ const FRAME_REPLICATE_SNAPSHOT: u8 = 0x10;
 const FRAME_REPLICATE_ACK: u8 = 0x11;
 const FRAME_PROMOTE_SESSION: u8 = 0x12;
 const FRAME_RING_UPDATE: u8 = 0x13;
+const FRAME_RECALIBRATE: u8 = 0x14;
+const FRAME_RECALIBRATE_ACK: u8 = 0x15;
 
 /// A typed decode failure. Every way a byte stream can violate the
 /// protocol maps to exactly one variant; the server counts these and
@@ -369,6 +371,34 @@ pub struct WireSessionState {
     pub next_seq: u64,
     /// Retained logger entries, oldest first.
     pub entries: Vec<WireLogEntry>,
+    /// The recalibrated plant model in effect, `None` while the
+    /// session still runs its configured model.
+    ///
+    /// On the wire this rides the `cached_deadline` tag byte: tags
+    /// 3/4/5 mirror 0/1/2 and additionally announce a recalibration
+    /// block *after* the entries vec (`session_state` cannot grow a
+    /// plain trailing extension — the spec extension and the
+    /// correlation id already follow it in the carrying frames). A
+    /// never-recalibrated state keeps tags 0/1/2, so its wire image
+    /// stays byte-identical to every pre-recalibration peer.
+    pub recalibration: Option<WireRecalibration>,
+}
+
+/// Wire image of [`awsad_core::RecalibrationState`]: the plant model a
+/// session swapped in mid-stream, so restore, replication and
+/// failover rebuild the recalibrated estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRecalibration {
+    /// State dimension `n` of the recalibrated matrices.
+    pub state_dim: u32,
+    /// Input dimension `m` of the recalibrated matrices.
+    pub input_dim: u32,
+    /// Row-major `Â` (`n × n`, flattened).
+    pub a: Vec<f64>,
+    /// Row-major `B̂` (`n × m`, flattened).
+    pub b: Vec<f64>,
+    /// Accepted recalibrations (≥ 1).
+    pub count: u64,
 }
 
 impl WireSessionState {
@@ -396,6 +426,13 @@ impl WireSessionState {
                     residual: e.residual.as_slice().to_vec(),
                 })
                 .collect(),
+            recalibration: s.recalibration.as_ref().map(|r| WireRecalibration {
+                state_dim: r.a.rows() as u32,
+                input_dim: r.b.cols() as u32,
+                a: r.a.as_slice().to_vec(),
+                b: r.b.as_slice().to_vec(),
+                count: r.count,
+            }),
         }
     }
 
@@ -403,9 +440,16 @@ impl WireSessionState {
     /// trip through [`WireSessionState::from_snapshot`] is lossless;
     /// semantic validation happens at restore time
     /// ([`awsad_runtime::DetectionEngine::restore_session`]).
+    ///
+    /// # Panics
+    ///
+    /// If a programmatically constructed recalibration block's matrix
+    /// lengths disagree with its declared dimensions — never the case
+    /// for decoded frames, whose recalibration blocks are validated
+    /// structurally during decode.
     pub fn to_snapshot(&self) -> awsad_runtime::SessionSnapshot {
-        use awsad_core::{DetectorSnapshot, LoggerSnapshot};
-        use awsad_linalg::Vector;
+        use awsad_core::{DetectorSnapshot, LoggerSnapshot, RecalibrationState};
+        use awsad_linalg::{Matrix, Vector};
         awsad_runtime::SessionSnapshot {
             state: DetectorSnapshot {
                 prev_window: self.prev_window as usize,
@@ -417,6 +461,17 @@ impl WireSessionState {
                 initial_radius: self.initial_radius,
                 complementary_enabled: self.complementary_enabled,
                 reestimation_period: self.reestimation_period as usize,
+                recalibration: self.recalibration.as_ref().map(|r| {
+                    let n = r.state_dim as usize;
+                    let m = r.input_dim as usize;
+                    RecalibrationState {
+                        a: Matrix::from_row_major(n, n, r.a.clone())
+                            .expect("recalibration A validated on decode"),
+                        b: Matrix::from_row_major(n, m, r.b.clone())
+                            .expect("recalibration B validated on decode"),
+                        count: r.count,
+                    }
+                }),
                 logger: LoggerSnapshot {
                     entries: self
                         .entries
@@ -543,6 +598,15 @@ pub struct WireMetrics {
     /// engine was in batch mode. Eleventh appended counter, zeroed
     /// when absent.
     pub scalar_fallback_ticks: u64,
+    /// Mid-stream recalibrations accepted (`Recalibrate` frames that
+    /// swapped a session's plant model in place). Twelfth appended
+    /// counter, always written together with the one below, zeroed
+    /// when absent.
+    pub recalibrations: u64,
+    /// `Recalibrate` frames rejected (unknown session, malformed
+    /// matrices, or a model the estimator refused). Thirteenth
+    /// appended counter, zeroed when absent.
+    pub recalibrations_rejected: u64,
 }
 
 /// One shard server in a cluster ring announcement
@@ -697,6 +761,32 @@ pub enum Frame {
         /// Every live shard, in no particular order.
         members: Vec<RingMember>,
     },
+    /// Swap the session's plant model for `(a, b)` mid-stream (an
+    /// accepted drift verdict): the server rebuilds the deadline
+    /// estimator and cache in place without dropping a queued tick.
+    /// Append-only like every post-v1 frame — no version bump.
+    /// Replied to with [`Frame::RecalibrateAck`] or an [`Frame::Error`]
+    /// ([`ErrorCode::UnknownSession`] / [`ErrorCode::DimensionMismatch`]).
+    Recalibrate {
+        /// Target session.
+        session: u64,
+        /// State dimension `n` the matrices are declared at.
+        state_dim: u32,
+        /// Input dimension `m` the matrices are declared at.
+        input_dim: u32,
+        /// Row-major `Â` (`n × n`, flattened).
+        a: Vec<f64>,
+        /// Row-major `B̂` (`n × m`, flattened).
+        b: Vec<f64>,
+    },
+    /// Reply to [`Frame::Recalibrate`].
+    RecalibrateAck {
+        /// The session that was recalibrated.
+        session: u64,
+        /// The session's recalibration count after the swap (1 on the
+        /// first accepted recalibration).
+        recal_count: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -817,11 +907,16 @@ impl Enc {
         self.f64(s.initial_radius);
         self.u8(s.complementary_enabled as u8);
         self.u64(s.reestimation_period);
+        // Deadline tags 3/4/5 mirror 0/1/2 and announce a
+        // recalibration block after the entries vec; a
+        // never-recalibrated state writes 0/1/2 and is byte-identical
+        // to the pre-recalibration wire format.
+        let tag_base = if s.recalibration.is_some() { 3 } else { 0 };
         match s.cached_deadline {
-            None => self.u8(0),
-            Some(None) => self.u8(1),
+            None => self.u8(tag_base),
+            Some(None) => self.u8(tag_base + 1),
             Some(Some(t)) => {
-                self.u8(2);
+                self.u8(tag_base + 2);
                 self.u64(t);
             }
         }
@@ -840,6 +935,13 @@ impl Enc {
                 }
             }
             self.f64s(&e.residual);
+        }
+        if let Some(r) = &s.recalibration {
+            self.u32(r.state_dim);
+            self.u32(r.input_dim);
+            self.f64s(&r.a);
+            self.f64s(&r.b);
+            self.u64(r.count);
         }
     }
 }
@@ -940,10 +1042,16 @@ impl<'a> Dec<'a> {
         let initial_radius = self.f64()?;
         let complementary_enabled = self.bool()?;
         let reestimation_period = self.u64()?;
-        let cached_deadline = match self.u8()? {
-            0 => None,
-            1 => Some(None),
-            2 => Some(Some(self.u64()?)),
+        // Tags 3/4/5 mirror 0/1/2 and additionally announce a
+        // recalibration block after the entries vec (see
+        // `WireSessionState::recalibration`).
+        let (cached_deadline, has_recalibration) = match self.u8()? {
+            0 => (None, false),
+            1 => (Some(None), false),
+            2 => (Some(Some(self.u64()?)), false),
+            3 => (None, true),
+            4 => (Some(None), true),
+            5 => (Some(Some(self.u64()?)), true),
             _ => return Err(WireError::BadValue("deadline tag")),
         };
         let next_step = self.u64()?;
@@ -965,6 +1073,32 @@ impl<'a> Dec<'a> {
                 residual: self.f64s()?,
             });
         }
+        let recalibration = if has_recalibration {
+            let state_dim = self.u32()?;
+            let input_dim = self.u32()?;
+            let a = self.f64s()?;
+            let b = self.f64s()?;
+            let count = self.u64()?;
+            if state_dim == 0 || input_dim == 0 {
+                return Err(WireError::BadValue("recalibration dimensions"));
+            }
+            // u64 arithmetic: (2^32 − 1)² still fits, so a hostile
+            // dimension pair cannot overflow the check.
+            if a.len() as u64 != state_dim as u64 * state_dim as u64
+                || b.len() as u64 != state_dim as u64 * input_dim as u64
+            {
+                return Err(WireError::BadValue("recalibration matrix size"));
+            }
+            Some(WireRecalibration {
+                state_dim,
+                input_dim,
+                a,
+                b,
+                count,
+            })
+        } else {
+            None
+        };
         Ok(WireSessionState {
             prev_window,
             steps_since_estimate,
@@ -975,6 +1109,7 @@ impl<'a> Dec<'a> {
             next_step,
             next_seq,
             entries,
+            recalibration,
         })
     }
 
@@ -1043,6 +1178,8 @@ impl Frame {
             Frame::ReplicateAck { .. } => FRAME_REPLICATE_ACK,
             Frame::PromoteSession { .. } => FRAME_PROMOTE_SESSION,
             Frame::RingUpdate { .. } => FRAME_RING_UPDATE,
+            Frame::Recalibrate { .. } => FRAME_RECALIBRATE,
+            Frame::RecalibrateAck { .. } => FRAME_RECALIBRATE_ACK,
         }
     }
 
@@ -1069,6 +1206,8 @@ impl Frame {
             Frame::ReplicateAck { .. } => "ReplicateAck",
             Frame::PromoteSession { .. } => "PromoteSession",
             Frame::RingUpdate { .. } => "RingUpdate",
+            Frame::Recalibrate { .. } => "Recalibrate",
+            Frame::RecalibrateAck { .. } => "RecalibrateAck",
         }
     }
 
@@ -1193,6 +1332,8 @@ impl Frame {
                 e.u64(m.batch_ticks);
                 e.u64(m.batch_sessions_hwm);
                 e.u64(m.scalar_fallback_ticks);
+                e.u64(m.recalibrations);
+                e.u64(m.recalibrations_rejected);
             }
             Frame::SnapshotSession { session } => e.u64(*session),
             Frame::SessionSnapshot { session, state } => {
@@ -1240,6 +1381,26 @@ impl Frame {
                     e.u32(m.shard);
                     e.str(&m.addr);
                 }
+            }
+            Frame::Recalibrate {
+                session,
+                state_dim,
+                input_dim,
+                a,
+                b,
+            } => {
+                e.u64(*session);
+                e.u32(*state_dim);
+                e.u32(*input_dim);
+                e.f64s(a);
+                e.f64s(b);
+            }
+            Frame::RecalibrateAck {
+                session,
+                recal_count,
+            } => {
+                e.u64(*session);
+                e.u64(*recal_count);
             }
         }
         if let Some(corr) = corr {
@@ -1358,26 +1519,46 @@ impl Frame {
                     batch_ticks: 0,
                     batch_sessions_hwm: 0,
                     scalar_fallback_ticks: 0,
+                    recalibrations: 0,
+                    recalibrations_rejected: 0,
                 };
                 // Append-only extensions, oldest first. The remaining
                 // byte count disambiguates each generation because
                 // every peer generation writes its *whole* counter set:
-                // ≥ 88 means all eleven counters are present (an
-                // eight-counter peer plus a correlation id is 72,
-                // safely below); ≥ 64 means exactly the first eight
-                // (an eleven-counter payload is never < 88, and eight
-                // counters + a correlation id = 72, which still lands
-                // in this branch and leaves the id for the envelope;
-                // the only other way to reach 64 would be a
-                // five-counter peer appending a correlation id plus 16
-                // junk bytes, which no peer emits); ≥ 40 means exactly
-                // the first five; ≥ 24 means exactly the first three
-                // (two-counter peers predate correlation ids, so 24
-                // can never be two counters plus an id); ≥ 16 means
-                // the first two. Whatever is left after the counters
-                // (0 or 8 bytes) is handled by the envelope's
-                // correlation-id logic.
-                if d.remaining() >= 88 {
+                // ≥ 104 means all thirteen counters are present (an
+                // eleven-counter peer plus a correlation id is 96,
+                // safely below — which is also why the extension jumped
+                // from eleven counters straight to thirteen: a twelfth
+                // alone would encode as 96 bytes and collide with
+                // eleven + id); ≥ 88 means exactly the first eleven
+                // (a thirteen-counter payload is never < 104, and
+                // eleven counters + a correlation id = 96, which still
+                // lands in this branch and leaves the id for the
+                // envelope); ≥ 64 means exactly the first eight (an
+                // eight-counter peer plus an id = 72; the only other
+                // way to reach 64 would be a five-counter peer
+                // appending a correlation id plus 16 junk bytes, which
+                // no peer emits); ≥ 40 means exactly the first five;
+                // ≥ 24 means exactly the first three (two-counter
+                // peers predate correlation ids, so 24 can never be
+                // two counters plus an id); ≥ 16 means the first two.
+                // Whatever is left after the counters (0 or 8 bytes)
+                // is handled by the envelope's correlation-id logic.
+                if d.remaining() >= 104 {
+                    m.alloc_free_ticks = d.u64()?;
+                    m.batched_deadline_queries = d.u64()?;
+                    m.sessions_evicted = d.u64()?;
+                    m.shards = d.u64()?;
+                    m.partial_frame_resumes = d.u64()?;
+                    m.sessions_replicated = d.u64()?;
+                    m.failovers = d.u64()?;
+                    m.replication_lag_hwm = d.u64()?;
+                    m.batch_ticks = d.u64()?;
+                    m.batch_sessions_hwm = d.u64()?;
+                    m.scalar_fallback_ticks = d.u64()?;
+                    m.recalibrations = d.u64()?;
+                    m.recalibrations_rejected = d.u64()?;
+                } else if d.remaining() >= 88 {
                     m.alloc_free_ticks = d.u64()?;
                     m.batched_deadline_queries = d.u64()?;
                     m.sessions_evicted = d.u64()?;
@@ -1463,6 +1644,33 @@ impl Frame {
                 generation: d.u64()?,
             },
             FRAME_PROMOTE_SESSION => Frame::PromoteSession { key: d.u64()? },
+            FRAME_RECALIBRATE => {
+                let session = d.u64()?;
+                let state_dim = d.u32()?;
+                let input_dim = d.u32()?;
+                let a = d.f64s()?;
+                let b = d.f64s()?;
+                if state_dim == 0 || input_dim == 0 {
+                    return Err(WireError::BadValue("recalibrate dimensions"));
+                }
+                if a.len() as u64 != u64::from(state_dim) * u64::from(state_dim) {
+                    return Err(WireError::BadValue("recalibrate A length"));
+                }
+                if b.len() as u64 != u64::from(state_dim) * u64::from(input_dim) {
+                    return Err(WireError::BadValue("recalibrate B length"));
+                }
+                Frame::Recalibrate {
+                    session,
+                    state_dim,
+                    input_dim,
+                    a,
+                    b,
+                }
+            }
+            FRAME_RECALIBRATE_ACK => Frame::RecalibrateAck {
+                session: d.u64()?,
+                recal_count: d.u64()?,
+            },
             FRAME_RING_UPDATE => {
                 let epoch = d.u64()?;
                 // Smallest member encoding: u32 shard + u32 length
@@ -1631,6 +1839,22 @@ mod tests {
                     residual: vec![0.05, f64::MIN_POSITIVE],
                 },
             ],
+            recalibration: None,
+        }
+    }
+
+    /// [`sample_state`] with a trailing recalibration block, the shape
+    /// a session wears after accepting a mid-stream model swap.
+    fn sample_recalibrated_state() -> WireSessionState {
+        WireSessionState {
+            recalibration: Some(WireRecalibration {
+                state_dim: 2,
+                input_dim: 1,
+                a: vec![0.9, 0.1, 0.0, 0.8],
+                b: vec![0.5, 1.0],
+                count: 3,
+            }),
+            ..sample_state()
         }
     }
 
@@ -1657,6 +1881,8 @@ mod tests {
             FRAME_REPLICATE_ACK,
             FRAME_PROMOTE_SESSION,
             FRAME_RING_UPDATE,
+            FRAME_RECALIBRATE,
+            FRAME_RECALIBRATE_ACK,
         ];
         let latency = WireLatency {
             count: 400,
@@ -1757,6 +1983,8 @@ mod tests {
                     batch_ticks: 4100,
                     batch_sessions_hwm: 16,
                     scalar_fallback_ticks: 9,
+                    recalibrations: 5,
+                    recalibrations_rejected: 2,
                 }),
                 FRAME_SNAPSHOT_SESSION => Frame::SnapshotSession { session: 7 },
                 FRAME_SESSION_SNAPSHOT => Frame::SessionSnapshot {
@@ -1797,6 +2025,17 @@ mod tests {
                         },
                     ],
                 },
+                FRAME_RECALIBRATE => Frame::Recalibrate {
+                    session: 7,
+                    state_dim: 2,
+                    input_dim: 1,
+                    a: vec![0.95, 0.02, -0.01, 0.9],
+                    b: vec![0.5, f64::MIN_POSITIVE],
+                },
+                FRAME_RECALIBRATE_ACK => Frame::RecalibrateAck {
+                    session: 7,
+                    recal_count: 2,
+                },
                 _ => unreachable!("unlisted frame type {t:#04x}"),
             })
             .collect()
@@ -1835,11 +2074,12 @@ mod tests {
             let payload = frame.encode();
             // The *legal* short reads: a MetricsReply cut exactly at an
             // append-only counter boundary is a valid older reply.
-            // `len - 88` drops all eleven counters (v1 peer);
-            // `len - 72` keeps the first two (two-counter peer);
-            // `len - 64` keeps the first three (three-counter peer);
-            // `len - 48` keeps the first five (five-counter peer);
-            // `len - 24` keeps the first eight (eight-counter peer).
+            // `len - 104` drops all thirteen counters (v1 peer);
+            // `len - 88` keeps the first two (two-counter peer);
+            // `len - 80` keeps the first three (three-counter peer);
+            // `len - 64` keeps the first five (five-counter peer);
+            // `len - 40` keeps the first eight (eight-counter peer);
+            // `len - 16` keeps the first eleven (eleven-counter peer).
             // Every other counter-dropping cut is NOT legal under
             // strict decode: the leftover 8 bytes parse as a
             // correlation id, which `Frame::decode` rejects as
@@ -1847,11 +2087,12 @@ mod tests {
             // outright).
             let legacy_boundaries: Vec<usize> = match &frame {
                 Frame::MetricsReply(_) => vec![
+                    payload.len() - 104,
                     payload.len() - 88,
-                    payload.len() - 72,
+                    payload.len() - 80,
                     payload.len() - 64,
-                    payload.len() - 48,
-                    payload.len() - 24,
+                    payload.len() - 40,
+                    payload.len() - 16,
                 ],
                 // A spec frame cut exactly at the start of the
                 // output-map extension is a valid legacy (no-map)
@@ -1915,8 +2156,8 @@ mod tests {
     #[test]
     fn strict_decode_rejects_correlation_ids() {
         // The strict decoder must not silently absorb the appended
-        // correlation id. (Even on MetricsReply: the eleven appended
-        // counters are consumed first by the `remaining >= 88` rule,
+        // correlation id. (Even on MetricsReply: the thirteen appended
+        // counters are consumed first by the `remaining >= 104` rule,
         // which leaves the corr id as the trailing 8 bytes.)
         for frame in sample_frames() {
             assert_eq!(
@@ -1954,6 +2195,67 @@ mod tests {
     }
 
     #[test]
+    fn recalibrated_session_state_round_trips() {
+        // The trailing recalibration block survives the wire (tag 3/4/5
+        // scheme) and the runtime-snapshot conversion in both
+        // directions, for every cached-deadline shape.
+        for deadline in [None, Some(None), Some(Some(4))] {
+            let wire = WireSessionState {
+                cached_deadline: deadline,
+                ..sample_recalibrated_state()
+            };
+            let frame = Frame::SessionSnapshot {
+                session: 9,
+                state: wire.clone(),
+            };
+            let decoded = Frame::decode(&frame.encode()).unwrap();
+            assert_eq!(decoded, frame, "deadline {deadline:?}");
+
+            let snapshot = wire.to_snapshot();
+            let recal = snapshot.state.recalibration.as_ref().unwrap();
+            assert_eq!(recal.a.shape(), (2, 2));
+            assert_eq!(recal.b.shape(), (2, 1));
+            assert_eq!(recal.count, 3);
+            assert_eq!(WireSessionState::from_snapshot(&snapshot), wire);
+        }
+    }
+
+    #[test]
+    fn recalibration_block_truncation_never_decodes() {
+        // A tag-3/4/5 state promises a trailing block; any cut that
+        // removes part or all of it must error, never decode as a
+        // legacy (tag-0/1/2) state.
+        let frame = Frame::SessionSnapshot {
+            session: 9,
+            state: sample_recalibrated_state(),
+        };
+        let payload = frame.encode();
+        // The block is 4 + 4 + (8 + 4*8) + (8 + 2*8) + 8 bytes = 80.
+        for cut in payload.len() - 80..payload.len() {
+            assert!(
+                Frame::decode(&payload[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn never_recalibrated_state_encoding_is_legacy_byte_identical() {
+        // Sessions that never recalibrate must emit the exact bytes a
+        // pre-recalibration peer emits: tag 0/1/2, no trailing block.
+        let state = sample_state();
+        let mut e = Enc::new(FRAME_SESSION_SNAPSHOT);
+        e.u64(9);
+        e.session_state(&state);
+        let modern = Frame::SessionSnapshot { session: 9, state }.encode();
+        assert_eq!(modern, e.buf);
+        // Tag byte sits after the 7-byte header, the session id and
+        // the four u64/f64 state fields plus the complementary flag:
+        // 7 + 8 + 8 + 8 + 8 + 1 + 8 = 48.
+        assert_eq!(modern[48], 2, "Some(Some(_)) deadline must keep tag 2");
+    }
+
+    #[test]
     fn legacy_metrics_reply_decodes_with_zeroed_appended_counters() {
         let Frame::MetricsReply(sample) = sample_frames()
             .into_iter()
@@ -1974,12 +2276,14 @@ mod tests {
                 && sample.batch_ticks > 0
                 && sample.batch_sessions_hwm > 0
                 && sample.scalar_fallback_ticks > 0
+                && sample.recalibrations > 0
+                && sample.recalibrations_rejected > 0
         );
         let payload = Frame::MetricsReply(sample).encode();
-        // A v1 peer's reply is byte-identical minus the eleven appended
-        // counters; it must decode with all of them reading zero and
-        // every other field intact.
-        let legacy = &payload[..payload.len() - 88];
+        // A v1 peer's reply is byte-identical minus the thirteen
+        // appended counters; it must decode with all of them reading
+        // zero and every other field intact.
+        let legacy = &payload[..payload.len() - 104];
         let Frame::MetricsReply(decoded) = Frame::decode(legacy).unwrap() else {
             panic!("legacy reply must still be a MetricsReply");
         };
@@ -1997,11 +2301,13 @@ mod tests {
                 batch_ticks: 0,
                 batch_sessions_hwm: 0,
                 scalar_fallback_ticks: 0,
+                recalibrations: 0,
+                recalibrations_rejected: 0,
                 ..sample
             }
         );
         // A two-counter peer keeps the first two appended counters.
-        let two_counter = &payload[..payload.len() - 72];
+        let two_counter = &payload[..payload.len() - 88];
         let Frame::MetricsReply(decoded) = Frame::decode(two_counter).unwrap() else {
             panic!("two-counter reply must still be a MetricsReply");
         };
@@ -2017,12 +2323,14 @@ mod tests {
                 batch_ticks: 0,
                 batch_sessions_hwm: 0,
                 scalar_fallback_ticks: 0,
+                recalibrations: 0,
+                recalibrations_rejected: 0,
                 ..sample
             }
         );
         // A three-counter peer (the revision that predates sharding)
         // keeps the first three.
-        let three_counter = &payload[..payload.len() - 64];
+        let three_counter = &payload[..payload.len() - 80];
         let Frame::MetricsReply(decoded) = Frame::decode(three_counter).unwrap() else {
             panic!("three-counter reply must still be a MetricsReply");
         };
@@ -2037,12 +2345,14 @@ mod tests {
                 batch_ticks: 0,
                 batch_sessions_hwm: 0,
                 scalar_fallback_ticks: 0,
+                recalibrations: 0,
+                recalibrations_rejected: 0,
                 ..sample
             }
         );
         // A five-counter peer (the revision that predates clustering)
         // drops the replication triple and the batch triple.
-        let five_counter = &payload[..payload.len() - 48];
+        let five_counter = &payload[..payload.len() - 64];
         let Frame::MetricsReply(decoded) = Frame::decode(five_counter).unwrap() else {
             panic!("five-counter reply must still be a MetricsReply");
         };
@@ -2055,12 +2365,14 @@ mod tests {
                 batch_ticks: 0,
                 batch_sessions_hwm: 0,
                 scalar_fallback_ticks: 0,
+                recalibrations: 0,
+                recalibrations_rejected: 0,
                 ..sample
             }
         );
         // An eight-counter peer (the revision that predates batch
-        // stepping) drops only the batch triple.
-        let eight_counter = &payload[..payload.len() - 24];
+        // stepping) drops the batch triple and the recalibration pair.
+        let eight_counter = &payload[..payload.len() - 40];
         let Frame::MetricsReply(decoded) = Frame::decode(eight_counter).unwrap() else {
             panic!("eight-counter reply must still be a MetricsReply");
         };
@@ -2070,6 +2382,22 @@ mod tests {
                 batch_ticks: 0,
                 batch_sessions_hwm: 0,
                 scalar_fallback_ticks: 0,
+                recalibrations: 0,
+                recalibrations_rejected: 0,
+                ..sample
+            }
+        );
+        // An eleven-counter peer (the revision that predates drift
+        // recalibration) drops only the recalibration pair.
+        let eleven_counter = &payload[..payload.len() - 16];
+        let Frame::MetricsReply(decoded) = Frame::decode(eleven_counter).unwrap() else {
+            panic!("eleven-counter reply must still be a MetricsReply");
+        };
+        assert_eq!(
+            decoded,
+            WireMetrics {
+                recalibrations: 0,
+                recalibrations_rejected: 0,
                 ..sample
             }
         );

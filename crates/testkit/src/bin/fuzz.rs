@@ -13,8 +13,9 @@
 //!
 //! * **scenario oracles** — generate a scenario, run the differential
 //!   oracles (all six paths for registry scenarios — including the
-//!   readiness `awsad-net` server — local paths for random-LTI ones)
-//!   plus the estimator self-checks;
+//!   readiness `awsad-net` server — local paths for random-LTI ones,
+//!   and the recalibration path for drift scenarios) plus the
+//!   estimator self-checks;
 //! * **wire fuzz** — batches of structure-aware frame mutations plus
 //!   the allocation-guard checks;
 //! * **poisoning probes** — periodically prove hostile bytes on one
@@ -38,7 +39,7 @@ use awsad_net::{NetServer, NetServerConfig};
 use awsad_serve::server::{Server, ServerConfig};
 use awsad_testkit::scenario::{Scenario, SeedSpec};
 use awsad_testkit::wirefuzz;
-use awsad_testkit::{check_estimator, check_local_paths, check_six_paths};
+use awsad_testkit::{check_estimator, check_local_paths, check_recalibrate_path, check_six_paths};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -121,6 +122,9 @@ fn check_scenario(
         check_six_paths(&scenario, serve_addr, net_addr).map_err(|e| e.to_string())?;
     } else {
         check_local_paths(&scenario).map_err(|e| e.to_string())?;
+    }
+    if scenario.recalibration.is_some() {
+        check_recalibrate_path(&scenario, serve_addr, net_addr).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -206,13 +210,14 @@ fn smoke(seconds: u64, master_seed: u64) -> ExitCode {
             }
         }
 
-        // One scenario per lap, cycling through all four families.
+        // One scenario per lap, cycling through all five families.
         let scenario_seed = rng.random_range(0..=u64::MAX);
-        let seed = match scenarios % 4 {
+        let seed = match scenarios % 5 {
             0 => SeedSpec::registry(scenario_seed),
             1 => SeedSpec::random_lti(scenario_seed),
             2 => SeedSpec::sensor(scenario_seed),
-            _ => SeedSpec::severe(scenario_seed),
+            3 => SeedSpec::severe(scenario_seed),
+            _ => SeedSpec::drift(scenario_seed),
         };
         if let Err(failure) = check(&seed) {
             report_scenario_failure(&seed, failure, check);

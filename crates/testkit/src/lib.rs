@@ -42,8 +42,8 @@ pub mod scenario;
 pub mod wirefuzz;
 
 pub use oracle::{
-    check_estimator, check_five_paths, check_local_paths, check_seven_paths, check_six_paths,
-    OracleError,
+    check_estimator, check_five_paths, check_local_paths, check_recalibrate_path,
+    check_seven_paths, check_six_paths, OracleError,
 };
 pub use proxy::{FaultPlan, FaultProxy, ReplyFault};
 pub use scenario::{Family, Scenario, SeedSpec};

@@ -1,16 +1,20 @@
 //! Differential oracles: every detection path must produce the same
 //! bits.
 //!
-//! The stack grew eight independent ways to compute one
+//! The stack grew nine independent ways to compute one
 //! [`AdaptiveStep`] stream — direct [`AdaptiveDetector`] stepping, the
 //! runtime engine, the serve wire path, [`ReconnectingClient`] resume
 //! through transport failure, snapshot/restore into a fresh engine,
 //! the readiness-based `awsad-net` server with its sharded
 //! engines and incremental decoder, the `awsad-cluster` router
 //! streaming across a 3-shard consistent-hash ring with its primary
-//! killed mid-stream, and the cross-session SoA batch path that
+//! killed mid-stream, the cross-session SoA batch path that
 //! gathers co-pending ticks from *many* sessions and steps them as
-//! vectorized lane groups. Floats travel the wire as their
+//! vectorized lane groups, and the **recalibration** path
+//! ([`check_recalibrate_path`]) that swaps a drift scenario's plant
+//! model mid-stream — in place, over the wire, across
+//! snapshot/restore, and through cluster failover — and demands the
+//! post-swap stream stay bit-identical. Floats travel the wire as their
 //! IEEE-754 bit patterns and every state copy is bit-exact, so the
 //! streams must be **equal**, not approximately equal. The oracles
 //! here run one generated [`Scenario`] through each path and diff the
@@ -698,6 +702,313 @@ pub fn check_batch_path(scenarios: &[Scenario]) -> Result<(), OracleError> {
             "no quantized-cache session took the scalar fallback (scalar_fallback_ticks == 0)",
         ));
     }
+    Ok(())
+}
+
+/// The boundary every path applies a drift scenario's recalibration
+/// at: the precomputed tick index, clamped into the actual trace (a
+/// `len=` override may shorten it).
+fn recal_boundary(scenario: &Scenario) -> usize {
+    scenario
+        .recalibration
+        .as_ref()
+        .expect("recalibrate path needs a drift scenario")
+        .at
+        .min(scenario.trace.len())
+}
+
+/// Path 9 reference — direct stepping with the scenario's
+/// recalibration applied in place at its precomputed boundary: ticks
+/// `0..at` step under the session's original model, then
+/// [`AdaptiveDetector::recalibrate`] swaps in the drifted plant, and
+/// ticks `at..` step under it. History, windows, and thresholds
+/// survive the swap; every other path must reproduce this stream
+/// bit for bit.
+pub fn direct_recalibrated_steps(scenario: &Scenario) -> Vec<AdaptiveStep> {
+    let recal = scenario
+        .recalibration
+        .as_ref()
+        .expect("recalibrate path needs a drift scenario");
+    let at = recal_boundary(scenario);
+    let (mut logger, mut detector) = scenario.parts();
+    let mut steps = Vec::with_capacity(scenario.trace.len());
+    for (i, wire) in scenario.trace.iter().enumerate() {
+        if i == at {
+            detector
+                .recalibrate(&mut logger, &recal.a, &recal.b)
+                .expect("precomputed recalibration must be valid");
+        }
+        logger.record(
+            Vector::from_slice(&wire.estimate),
+            Vector::from_slice(&wire.input),
+        );
+        steps.push(detector.step(&logger));
+    }
+    steps
+}
+
+/// Path 9, engine leg — the session lives in a cross-session-batch
+/// engine and [`awsad_runtime::SessionHandle::recalibrate`] swaps the
+/// model mid-stream: the call waits out in-flight ticks, mutates the
+/// session in place, and regroups its batch key, without dropping or
+/// reordering a single tick.
+pub fn recal_engine_steps(scenario: &Scenario) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let recal = scenario.recalibration.as_ref().expect("drift scenario");
+    let at = recal_boundary(scenario);
+    let (logger, detector) = scenario.parts();
+    let engine = DetectionEngine::new(EngineConfig {
+        workers: 1,
+        cross_session_batch: true,
+        drain_batch: 8,
+        ..EngineConfig::default()
+    });
+    let (session, outcomes) = engine.add_session(logger, detector);
+    let fail = |detail: String| OracleError::new(scenario, "recal-batch", detail);
+    for wire in &scenario.trace[..at] {
+        session
+            .submit(tick_of(wire))
+            .map_err(|e| fail(format!("submit: {e:?}")))?;
+    }
+    session
+        .recalibrate(&recal.a, &recal.b)
+        .map_err(|e| fail(format!("recalibrate: {e}")))?;
+    for wire in &scenario.trace[at..] {
+        session
+            .submit(tick_of(wire))
+            .map_err(|e| fail(format!("submit: {e:?}")))?;
+    }
+    engine.drain();
+    collect_outcomes(scenario, "recal-batch", &outcomes, None)
+}
+
+/// Path 9, snapshot leg — recalibrate mid-stream, snapshot at
+/// `cut ≥ at` (so the snapshot carries the recalibration block),
+/// restore into a **fresh** engine whose parts were built from the
+/// *original* spec, and continue: the restore must rebuild the
+/// drifted estimator and deadline cache from the snapshot alone.
+pub fn recal_snapshot_steps(
+    scenario: &Scenario,
+    cut: usize,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let recal = scenario.recalibration.as_ref().expect("drift scenario");
+    let at = recal_boundary(scenario);
+    let cut = cut.clamp(at, scenario.trace.len());
+    let fail = |detail: String| OracleError::new(scenario, "recal-snapshot", detail);
+
+    let (logger, detector) = scenario.parts();
+    let engine_a = DetectionEngine::new(EngineConfig::default());
+    let (session_a, outcomes_a) = engine_a.add_session(logger, detector);
+    for wire in &scenario.trace[..at] {
+        session_a
+            .submit(tick_of(wire))
+            .map_err(|e| fail(format!("submit: {e:?}")))?;
+    }
+    session_a
+        .recalibrate(&recal.a, &recal.b)
+        .map_err(|e| fail(format!("recalibrate: {e}")))?;
+    for wire in &scenario.trace[at..cut] {
+        session_a
+            .submit(tick_of(wire))
+            .map_err(|e| fail(format!("submit: {e:?}")))?;
+    }
+    let snap = session_a.snapshot();
+    if snap.state.recalibration.is_none() {
+        return Err(fail("snapshot lost the recalibration block".into()));
+    }
+    let mut steps = collect_outcomes(scenario, "recal-snapshot", &outcomes_a, None)?;
+
+    let (logger, detector) = scenario.parts();
+    let engine_b = DetectionEngine::new(EngineConfig::default());
+    let (session_b, outcomes_b) = engine_b
+        .restore_session(logger, detector, &snap)
+        .map_err(|e| fail(format!("restore: {e}")))?;
+    for wire in &scenario.trace[cut..] {
+        session_b
+            .submit(tick_of(wire))
+            .map_err(|e| fail(format!("submit: {e:?}")))?;
+    }
+    engine_b.drain();
+    for (i, outcome) in outcomes_b.try_iter().enumerate() {
+        let seq = (cut + i) as u64;
+        if outcome.seq != seq {
+            return Err(fail(format!(
+                "resumed seq discontinuity: got {}, want {seq}",
+                outcome.seq
+            )));
+        }
+        steps.push(outcome.step);
+    }
+    Ok(steps)
+}
+
+/// Path 9, wire leg — the recalibration travels as a `Recalibrate`
+/// frame between two tick waves on a live server (blocking or
+/// readiness; the client cannot tell). The ack's recalibration count
+/// must be exactly 1 — the session was fresh.
+pub fn recal_remote_steps(
+    scenario: &Scenario,
+    addr: SocketAddr,
+    path: &'static str,
+) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let recal = scenario.recalibration.as_ref().expect("drift scenario");
+    let at = recal_boundary(scenario);
+    let spec = scenario
+        .spec
+        .as_ref()
+        .expect("wire paths need a wire-capable scenario");
+    let fail = |detail: String| OracleError::new(scenario, path, detail);
+    let mut client = Client::connect(addr).map_err(|e| fail(format!("connect: {e}")))?;
+    let session = client
+        .open_session(spec)
+        .map_err(|e| fail(format!("open: {e}")))?;
+    let mut outcomes = Vec::new();
+    for chunk in scenario.trace[..at].chunks(16) {
+        outcomes.extend(
+            client
+                .tick_batch(session.id, chunk)
+                .map_err(|e| fail(format!("tick_batch: {e}")))?,
+        );
+    }
+    let (n, m) = recal.b.shape();
+    let count = client
+        .recalibrate(
+            session.id,
+            n as u32,
+            m as u32,
+            recal.a.as_slice(),
+            recal.b.as_slice(),
+        )
+        .map_err(|e| fail(format!("recalibrate: {e}")))?;
+    if count != 1 {
+        return Err(fail(format!("fresh session acked recalibration #{count}")));
+    }
+    for chunk in scenario.trace[at..].chunks(16) {
+        outcomes.extend(
+            client
+                .tick_batch(session.id, chunk)
+                .map_err(|e| fail(format!("tick_batch: {e}")))?,
+        );
+    }
+    client
+        .close_session(session.id)
+        .map_err(|e| fail(format!("close: {e}")))?;
+    wire_steps(scenario, path, &outcomes)
+}
+
+/// Path 9, cluster leg — recalibrate through the router, then kill
+/// the primary with no warning: the failover must resume the session
+/// **with the drifted model**, from either the replica (replication
+/// runs on recalibration too) or the client checkpoint (refreshed by
+/// [`awsad_cluster::ClusterClient::recalibrate`]). A seed-derived
+/// coin decides whether in-flight replicas land first, keeping both
+/// recovery paths exercised across the corpus.
+pub fn recal_cluster_steps(scenario: &Scenario) -> Result<Vec<AdaptiveStep>, OracleError> {
+    let recal = scenario.recalibration.as_ref().expect("drift scenario");
+    let at = recal_boundary(scenario);
+    let spec = scenario
+        .spec
+        .as_ref()
+        .expect("cluster path needs a wire-capable scenario");
+    let fail = |detail: String| OracleError::new(scenario, "recal-cluster", detail);
+    let mut cluster = LocalCluster::launch(3, ServerConfig::default())
+        .map_err(|e| fail(format!("launch: {e}")))?;
+    let mut client = cluster.client();
+    let session = client
+        .open_session(spec)
+        .map_err(|e| fail(format!("open: {e}")))?;
+    let chunk = (scenario.trace.len() / 4).max(1);
+    let mut outcomes = Vec::new();
+    for batch in scenario.trace[..at].chunks(chunk) {
+        outcomes.extend(
+            client
+                .tick_batch(session.key, batch)
+                .map_err(|e| fail(format!("tick_batch: {e}")))?,
+        );
+    }
+    let (n, m) = recal.b.shape();
+    client
+        .recalibrate(
+            session.key,
+            n as u32,
+            m as u32,
+            recal.a.as_slice(),
+            recal.b.as_slice(),
+        )
+        .map_err(|e| fail(format!("recalibrate: {e}")))?;
+    if at < scenario.trace.len() {
+        let primary = client
+            .primary_of(session.key)
+            .ok_or_else(|| fail("session lost its route".into()))?;
+        if scenario.seed.seed & 1 == 0 {
+            if let Some(shard) = cluster.shard(primary) {
+                shard.replicator.flush(Duration::from_secs(5));
+            }
+        }
+        cluster.kill(primary);
+        for batch in scenario.trace[at..].chunks(chunk) {
+            outcomes.extend(
+                client
+                    .tick_batch(session.key, batch)
+                    .map_err(|e| fail(format!("tick_batch: {e}")))?,
+            );
+        }
+        if client.failovers() == 0 {
+            return Err(fail(
+                "the post-recalibration kill never forced a failover".into(),
+            ));
+        }
+    }
+    client
+        .close_session(session.key)
+        .map_err(|e| fail(format!("close: {e}")))?;
+    cluster.shutdown();
+    wire_steps(scenario, "recal-cluster", &outcomes)
+}
+
+/// Runs the **ninth** differential-oracle path over one drift
+/// scenario: direct in-place recalibration is the reference, and the
+/// batch engine, snapshot/restore across the recalibration, the wire
+/// op against both server implementations, and cluster failover after
+/// the swap must all reproduce it bit for bit.
+pub fn check_recalibrate_path(
+    scenario: &Scenario,
+    serve_addr: SocketAddr,
+    net_addr: SocketAddr,
+) -> Result<(), OracleError> {
+    let reference = direct_recalibrated_steps(scenario);
+    diff_streams(
+        scenario,
+        "recal-batch",
+        &recal_engine_steps(scenario)?,
+        &reference,
+    )?;
+    let at = recal_boundary(scenario);
+    let span = scenario.trace.len() - at + 1;
+    let cut = at + (scenario.seed.seed as usize) % span;
+    diff_streams(
+        scenario,
+        "recal-snapshot",
+        &recal_snapshot_steps(scenario, cut)?,
+        &reference,
+    )?;
+    diff_streams(
+        scenario,
+        "recal-serve",
+        &recal_remote_steps(scenario, serve_addr, "recal-serve")?,
+        &reference,
+    )?;
+    diff_streams(
+        scenario,
+        "recal-net",
+        &recal_remote_steps(scenario, net_addr, "recal-net")?,
+        &reference,
+    )?;
+    diff_streams(
+        scenario,
+        "recal-cluster",
+        &recal_cluster_steps(scenario)?,
+        &reference,
+    )?;
     Ok(())
 }
 

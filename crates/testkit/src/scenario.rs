@@ -3,7 +3,7 @@
 //! A **scenario** is everything a differential oracle needs to run one
 //! detection episode: a plant, a detector configuration, and a
 //! closed-loop `(estimate, input)` trace with an attack schedule baked
-//! in. Scenarios come in four families:
+//! in. Scenarios come in five families:
 //!
 //! * [`Family::Registry`] — a random Table 1 model under randomized
 //!   window parameters, threshold scaling, cache capacity, and attack
@@ -23,6 +23,13 @@
 //!   these run every path, wire included.
 //! * [`Family::Severe`] — the sensor family's worst case: fewer than
 //!   half of the sensors are trustworthy.
+//! * [`Family::Drift`] — a Table 1 model whose **true plant drifts**
+//!   mid-stream (a step or ramp scaling of `A` and/or `B`), noise-free
+//!   so the drifted dynamics are exactly identifiable, with an
+//!   optional concurrent sensor attack on top. Carries a precomputed
+//!   [`ScenarioRecalibration`] — the tick index and drifted matrices
+//!   the session swaps to via the `Recalibrate` wire op — feeding the
+//!   ninth differential-oracle path.
 //!
 //! Every scenario derives deterministically from a [`SeedSpec`], which
 //! serializes to a one-line seed string
@@ -73,6 +80,10 @@ pub enum Family {
     /// sensors trustworthy — a strict majority of the output channels
     /// is falsified, the secure-state-estimation worst case.
     Severe,
+    /// A Table 1 model whose true plant drifts mid-stream, with a
+    /// precomputed recalibration plan — runs every path, wire
+    /// included, through the `Recalibrate` op.
+    Drift,
 }
 
 impl Family {
@@ -82,6 +93,7 @@ impl Family {
             Family::RandomLti => "lti",
             Family::Sensor => "sensor",
             Family::Severe => "severe",
+            Family::Drift => "drift",
         }
     }
 }
@@ -139,6 +151,16 @@ impl SeedSpec {
         }
     }
 
+    /// A drift-family (mid-stream plant drift + recalibration plan)
+    /// seed with no length override.
+    pub fn drift(seed: u64) -> SeedSpec {
+        SeedSpec {
+            family: Family::Drift,
+            seed,
+            len: None,
+        }
+    }
+
     /// The same seed with the trace capped at `len` ticks.
     pub fn with_len(self, len: usize) -> SeedSpec {
         SeedSpec {
@@ -181,10 +203,11 @@ impl FromStr for SeedSpec {
             Some("lti") => Family::RandomLti,
             Some("sensor") => Family::Sensor,
             Some("severe") => Family::Severe,
+            Some("drift") => Family::Drift,
             other => {
                 return Err(format!(
                     "unknown scenario family {other:?} (expected \"registry\", \"lti\", \
-                     \"sensor\", or \"severe\")"
+                     \"sensor\", \"severe\", or \"drift\")"
                 ))
             }
         };
@@ -207,6 +230,22 @@ impl FromStr for SeedSpec {
         }
         Ok(SeedSpec { family, seed, len })
     }
+}
+
+/// The drift family's precomputed model swap: at tick index `at` the
+/// session recalibrates to the drifted plant `(a, b)`. Every oracle
+/// path applies the swap at exactly this boundary — ticks `0..at` run
+/// under the session's original model, ticks `at..` under the drifted
+/// one — so the post-recalibration streams must stay bit-identical.
+#[derive(Debug, Clone)]
+pub struct ScenarioRecalibration {
+    /// Tick index the swap happens before (clamped to the trace
+    /// length under a `len=` override).
+    pub at: usize,
+    /// The drifted state matrix the session swaps to.
+    pub a: Matrix,
+    /// The drifted input matrix the session swaps to.
+    pub b: Matrix,
 }
 
 /// A fully materialized scenario: the plant, the detector knobs, and
@@ -251,6 +290,9 @@ pub struct Scenario {
     pub measurements: Vec<Vec<f64>>,
     /// The step the attack schedule activates at (`None` = benign).
     pub attack_onset: Option<usize>,
+    /// The mid-stream model swap — `Some` exactly for
+    /// [`Family::Drift`] scenarios, which the ninth oracle path runs.
+    pub recalibration: Option<ScenarioRecalibration>,
 }
 
 impl Scenario {
@@ -262,6 +304,7 @@ impl Scenario {
             Family::RandomLti => random_lti_scenario(seed),
             Family::Sensor => output_feedback_scenario(seed, false),
             Family::Severe => output_feedback_scenario(seed, true),
+            Family::Drift => drift_scenario(seed),
         }
     }
 
@@ -492,6 +535,7 @@ fn registry_scenario(seed: &SeedSpec) -> Scenario {
         trace,
         measurements: Vec::new(),
         attack_onset,
+        recalibration: None,
     }
 }
 
@@ -603,6 +647,7 @@ fn random_lti_scenario(seed: &SeedSpec) -> Scenario {
         trace,
         measurements: Vec::new(),
         attack_onset,
+        recalibration: None,
     }
 }
 
@@ -879,6 +924,160 @@ fn output_feedback_scenario(seed: &SeedSpec, severe: bool) -> Scenario {
         trace,
         measurements,
         attack_onset,
+        recalibration: None,
+    }
+}
+
+/// Generates a [`Family::Drift`] scenario: a Table 1 model whose true
+/// plant drifts mid-stream — a step or ramp blending `A` and/or `B`
+/// toward scaled variants — with an optional concurrent sensor attack.
+/// The loop runs **noise-free**, so outside the attack window the
+/// `(estimate, input)` stream is an exact trajectory of whichever
+/// plant is live: pre-drift windows are nominal-consistent and
+/// post-drift windows are exactly identifiable as the drifted model,
+/// which is what lets the drift-vs-attack rule (and the property
+/// tests over this family) draw a hard line between the two alarm
+/// kinds. The precomputed [`ScenarioRecalibration`] lands right after
+/// the drift completes; detector knobs stay at the wire defaults so
+/// every path, serve included, builds identical state.
+fn drift_scenario(seed: &SeedSpec) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed.seed);
+    let sim = Simulator::all()[rng.random_range(0..5usize)];
+    let model = sim.build();
+    let n = model.state_dim();
+
+    let max_window = rng.random_range(4..=12usize);
+    let min_window = if rng.random_bool(0.3) {
+        rng.random_range(1..=2usize).min(max_window)
+    } else {
+        0
+    };
+    let threshold_field = if rng.random_bool(0.5) {
+        Vec::new()
+    } else {
+        let factor = rng.random_range(0.5..=2.0);
+        model
+            .threshold
+            .iter()
+            .map(|&tau| tau * factor)
+            .collect::<Vec<f64>>()
+    };
+    let cache_capacity = [0usize, 64, 1024][rng.random_range(0..3usize)];
+
+    let drawn_len = rng.random_range(48..=72usize);
+    let len = seed.len.unwrap_or(drawn_len);
+
+    // The drift plan: which matrices move, how far, and how fast.
+    // Scaling A toward the origin keeps every drifted plant at least
+    // as stable as the Table 1 original, so the reachability config
+    // stays valid after the swap; B scaling is unconstrained.
+    let drift_a = rng.random_bool(0.7);
+    let drift_b = if drift_a { rng.random_bool(0.4) } else { true };
+    let factor_a = if drift_a {
+        rng.random_range(0.70..=0.92)
+    } else {
+        1.0
+    };
+    let factor_b = if drift_b {
+        rng.random_range(0.6..=1.4)
+    } else {
+        1.0
+    };
+    let ramp = if rng.random_bool(0.5) {
+        0 // step change
+    } else {
+        rng.random_range(3..=8usize)
+    };
+    // Onset and recalibration point are drawn from the *natural*
+    // length so a `len=` override perturbs nothing else; `at` is
+    // clamped into the actual trace by the oracles.
+    let onset = rng.random_range(drawn_len / 4..=drawn_len / 2);
+    let at = (onset + ramp + 1).min(len);
+
+    let a0 = model.system.a().clone();
+    let b0 = model.system.b().clone();
+    let a1 = a0.scale(factor_a);
+    let b1 = b0.scale(factor_b);
+
+    let profile = &model.attack_profile;
+    let magnitude = rng.random_range(profile.bias_range.0..=profile.bias_range.1);
+    let (mut attack, attack_desc) =
+        draw_attack(&mut rng, len.max(6), n, profile.target_dim, magnitude);
+    let attack_onset = attack.onset();
+
+    // Noise-free closed loop over the time-varying truth: the live
+    // plant blends from (A₀, B₀) to (A₁, B₁) across the ramp.
+    let blend = |t: usize| -> f64 {
+        if t < onset {
+            0.0
+        } else if ramp == 0 || t >= onset + ramp {
+            1.0
+        } else {
+            (t - onset + 1) as f64 / ramp as f64
+        }
+    };
+    let mut pid = model.controller().expect("registry model validated");
+    let mut x = model.x0.clone();
+    let mut trace = Vec::with_capacity(len);
+    for t in 0..len {
+        let estimate = attack.tamper(t, &x);
+        let u = pid.control(t, &estimate);
+        trace.push(WireTick {
+            estimate: estimate.as_slice().to_vec(),
+            input: u.as_slice().to_vec(),
+        });
+        let alpha = blend(t);
+        let a_t = Matrix::from_fn(n, n, |i, j| a0[(i, j)] + alpha * (a1[(i, j)] - a0[(i, j)]));
+        let b_t = Matrix::from_fn(n, b0.cols(), |i, j| {
+            b0[(i, j)] + alpha * (b1[(i, j)] - b0[(i, j)])
+        });
+        let ax = a_t.checked_mul_vec(&x).expect("square A times state");
+        let bu = b_t.checked_mul_vec(&u).expect("B times input");
+        x = Vector::from_fn(n, |i| ax[i] + bu[i]);
+    }
+
+    let spec = SessionSpec {
+        model: sim.table1_row() as u8,
+        max_window: max_window as u32,
+        min_window: min_window as u32,
+        threshold: threshold_field,
+        cache_capacity: cache_capacity as u32,
+        output_rows: 0,
+        output_map: Vec::new(),
+    };
+    let threshold = if spec.threshold.is_empty() {
+        model.threshold.clone()
+    } else {
+        Vector::from_slice(&spec.threshold)
+    };
+    let shape = if ramp == 0 {
+        "step".to_string()
+    } else {
+        format!("ramp{ramp}")
+    };
+    Scenario {
+        seed: *seed,
+        label: format!(
+            "drift {} {shape} A×{factor_a:.2} B×{factor_b:.2} at {onset} recal@{at} \
+             w_m={max_window} cache={cache_capacity} {attack_desc}",
+            model.name
+        ),
+        spec: Some(spec),
+        system: model.system.clone(),
+        threshold,
+        max_window,
+        min_window,
+        cache_capacity,
+        initial_radius: 0.0,
+        reestimation_period: 1,
+        complementary: true,
+        epsilon: model.epsilon,
+        control_limits: model.control_limits.clone(),
+        safe_set: model.safe_set.clone(),
+        trace,
+        measurements: Vec::new(),
+        attack_onset,
+        recalibration: Some(ScenarioRecalibration { at, a: a1, b: b1 }),
     }
 }
 
@@ -894,6 +1093,7 @@ mod tests {
             SeedSpec::random_lti(0xdead_beef),
             SeedSpec::sensor(0xfeed),
             SeedSpec::severe(0xface).with_len(12),
+            SeedSpec::drift(0xd1f7),
             SeedSpec::registry(42).with_len(17),
         ] {
             let s = spec.to_string();
@@ -923,6 +1123,7 @@ mod tests {
             SeedSpec::random_lti(7),
             SeedSpec::sensor(7),
             SeedSpec::severe(7),
+            SeedSpec::drift(7),
         ] {
             let a = Scenario::from_seed(&seed);
             let b = Scenario::from_seed(&seed);
@@ -1000,6 +1201,50 @@ mod tests {
             );
             assert!(lying < p, "at least one sensor stays honest");
         }
+    }
+
+    #[test]
+    fn drift_scenarios_carry_an_applicable_recalibration_plan() {
+        for s in 0..12u64 {
+            let scenario = Scenario::from_seed(&SeedSpec::drift(s));
+            let spec = scenario
+                .spec
+                .as_ref()
+                .expect("drift scenarios are wire-capable");
+            let recal = scenario
+                .recalibration
+                .as_ref()
+                .expect("drift scenarios carry a recalibration plan");
+            let n = scenario.system.state_dim();
+            let m = scenario.system.input_dim();
+            assert_eq!(recal.a.shape(), (n, n));
+            assert_eq!(recal.b.shape(), (n, m));
+            assert!(recal.at <= scenario.trace.len());
+            assert_eq!(spec.output_rows, 0, "drift uses full state feedback");
+            // The swap must be accepted by the detector the server
+            // itself would build for this spec.
+            let (mut logger, mut detector) = scenario.parts();
+            let count = detector
+                .recalibrate(&mut logger, &recal.a, &recal.b)
+                .expect("precomputed recalibration must be valid");
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn drift_len_override_only_caps_the_trace() {
+        // Shrinking must not re-roll the drift plan: the same seed
+        // with a shorter len keeps the same drifted matrices and the
+        // recalibration point is merely clamped.
+        let full = Scenario::from_seed(&SeedSpec::drift(11));
+        let cut = Scenario::from_seed(&SeedSpec::drift(11).with_len(10));
+        let (rf, rc) = (
+            full.recalibration.as_ref().unwrap(),
+            cut.recalibration.as_ref().unwrap(),
+        );
+        assert_eq!(cut.trace.len(), 10);
+        assert!(rf.a.approx_eq(&rc.a) && rf.b.approx_eq(&rc.b));
+        assert!(rc.at <= 10);
     }
 
     #[test]

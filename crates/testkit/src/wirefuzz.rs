@@ -38,7 +38,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use awsad_serve::client::Client;
 use awsad_serve::wire::{
     read_envelope, Frame, SessionSpec, WireError, WireLatency, WireMetrics, WireOutcome,
-    WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN,
+    WireRecalibration, WireSessionState, WireTick, DEFAULT_MAX_FRAME_LEN,
 };
 use rand::rngs::StdRng;
 use rand::RngExt as _;
@@ -191,6 +191,25 @@ fn arbitrary_metrics(rng: &mut StdRng) -> WireMetrics {
         batch_ticks: rng.random_range(0..=u64::MAX),
         batch_sessions_hwm: rng.random_range(0..=u64::MAX),
         scalar_fallback_ticks: rng.random_range(0..=u64::MAX),
+        recalibrations: rng.random_range(0..=u64::MAX),
+        recalibrations_rejected: rng.random_range(0..=u64::MAX),
+    }
+}
+
+/// A random recalibration block with wire-consistent dimensions (the
+/// decoder rejects zero dims and wrong element counts, so only
+/// internally consistent blocks round-trip) and hostile float values.
+fn arbitrary_recalibration(rng: &mut StdRng) -> WireRecalibration {
+    let state_dim = rng.random_range(1..=3u32);
+    let input_dim = rng.random_range(1..=2u32);
+    let n = state_dim as usize;
+    let m = input_dim as usize;
+    WireRecalibration {
+        state_dim,
+        input_dim,
+        a: (0..n * n).map(|_| arbitrary_f64(rng)).collect(),
+        b: (0..n * m).map(|_| arbitrary_f64(rng)).collect(),
+        count: rng.random_range(0..=u64::MAX),
     }
 }
 
@@ -222,13 +241,18 @@ fn arbitrary_state(rng: &mut StdRng) -> WireSessionState {
         next_step: rng.random_range(0..=u64::MAX),
         next_seq: rng.random_range(0..=u64::MAX),
         entries,
+        recalibration: if rng.random_bool(0.5) {
+            Some(arbitrary_recalibration(rng))
+        } else {
+            None
+        },
     }
 }
 
-/// A random valid frame covering every one of the protocol's 18
+/// A random valid frame covering every one of the protocol's 20
 /// variants, with hostile float bit patterns throughout.
 pub fn arbitrary_frame(rng: &mut StdRng) -> Frame {
-    match rng.random_range(0..18u32) {
+    match rng.random_range(0..20u32) {
         0 => Frame::Hello {
             client: arbitrary_string(rng, 24),
         },
@@ -288,6 +312,22 @@ pub fn arbitrary_frame(rng: &mut StdRng) -> Frame {
         },
         16 => Frame::PromoteSession {
             key: rng.random_range(0..=u64::MAX),
+        },
+        17 => {
+            // The decoder enforces dims × element counts, so only
+            // consistent shapes round-trip; the values stay hostile.
+            let r = arbitrary_recalibration(rng);
+            Frame::Recalibrate {
+                session: rng.random_range(0..=u64::MAX),
+                state_dim: r.state_dim,
+                input_dim: r.input_dim,
+                a: r.a,
+                b: r.b,
+            }
+        }
+        18 => Frame::RecalibrateAck {
+            session: rng.random_range(0..=u64::MAX),
+            recal_count: rng.random_range(0..=u64::MAX),
         },
         _ => Frame::RingUpdate {
             epoch: rng.random_range(0..=u64::MAX),

@@ -92,7 +92,8 @@ pub mod prelude {
     pub use awsad_core::{
         calibrate_threshold, estimate_covariance, AdaptiveDetector, AlarmFilter, AlarmPolicy,
         ChiSquaredDetector, CusumDetector, DataLogger, DetectionReport, DetectorConfig,
-        DetectorSnapshot, EveryStepDetector, EwmaDetector, FixedWindowDetector, ResidualDetector,
+        DetectorSnapshot, DriftConfig, DriftVerdict, EveryStepDetector, EwmaDetector,
+        FixedWindowDetector, IdentError, IdentifiedModel, ModelIdentifier, ResidualDetector,
         WindowDetector,
     };
     pub use awsad_linalg::{discretize, eigenvalues, expm, spectral_radius, Lu, Matrix, Vector};
